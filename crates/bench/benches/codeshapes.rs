@@ -1,0 +1,49 @@
+//! Criterion confirmation of Table 2: per-processor traversal time for the
+//! four node-code shapes of Figure 8, on one processor's local memory
+//! (2,000 assigned elements per iteration so Criterion can sample densely).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use bcag_core::method::Method;
+use bcag_core::section::RegularSection;
+use bcag_spmd::assign::plan_section;
+use bcag_spmd::codeshapes::{traverse, CodeShape};
+use bcag_spmd::darray::DistArray;
+
+fn bench_codeshapes(c: &mut Criterion) {
+    let p = 32i64;
+    let elems_per_proc = 2_000i64;
+    for k in [4i64, 32, 256] {
+        for s in [3i64, 15, 99] {
+            let total = elems_per_proc * p;
+            let u = s * (total - 1);
+            let section = RegularSection::new(0, u, s).unwrap();
+            let mut arr = DistArray::new(p, k, u + 1, 0.0f32).unwrap();
+            let plans = plan_section(p, k, &section, Method::Lattice).unwrap();
+            let m = (p - 1) as usize;
+            let plan = plans[m].clone();
+            let Some(start) = plan.start else { continue };
+            let tables = plan.tables.clone().expect("tables");
+            let local = arr.local_mut(m as i64);
+
+            let mut group = c.benchmark_group(format!("codeshapes_k{k}_s{s}"));
+            for shape in CodeShape::ALL {
+                group.bench_with_input(
+                    BenchmarkId::new(shape.label(), elems_per_proc),
+                    &shape,
+                    |b, &shape| {
+                        b.iter(|| {
+                            traverse(shape, local, start, plan.last, &plan.delta_m, &tables, |x| {
+                                *x = 100.0
+                            })
+                        })
+                    },
+                );
+            }
+            group.finish();
+        }
+    }
+}
+
+criterion_group!(benches, bench_codeshapes);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Ablation: special-case constructors vs the general lattice algorithm
+//! (paper §6.1: "several special cases ... can be handled more
+//! efficiently").
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use bcag_core::method::{build, Method};
+use bcag_core::params::Problem;
+use bcag_core::special::{build_fast, classify};
+
+fn bench_special(c: &mut Criterion) {
+    let p = 32i64;
+    let mut group = c.benchmark_group("special_cases");
+    // (k, s) pairs hitting each class.
+    for (k, s) in [
+        (256i64, 1i64),  // Dense
+        (256, 4),        // IntraBlock (4 | 256)
+        (256, 8192),     // PeriodOnly (s = pk)
+        (256, 99),       // General (control)
+    ] {
+        let problem = Problem::new(p, k, 0, s).unwrap();
+        let label = format!("k{k}_s{s}_{:?}", classify(&problem));
+        group.bench_with_input(BenchmarkId::new("fast", &label), &(), |b, _| {
+            b.iter(|| black_box(build_fast(&problem, 31).unwrap()))
+        });
+        group.bench_with_input(BenchmarkId::new("general", &label), &(), |b, _| {
+            b.iter(|| black_box(build(&problem, 31, Method::Lattice).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_special);
+criterion_main!(benches);

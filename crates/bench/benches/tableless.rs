@@ -1,0 +1,66 @@
+//! Ablation A2: table-free generation (basis vectors only) vs table-based
+//! traversal.
+//!
+//! The paper's closing remark in Section 6.2: returning only `R` and `L`
+//! "eliminates memory overhead with only a small penalty in the execution
+//! time". Compare the [`bcag_core::walker::Walker`] against the
+//! access-ordered table loop (shape 8(b)) and the two-table loop (8(d)) on
+//! the same workload.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use bcag_core::method::Method;
+use bcag_core::params::Problem;
+use bcag_core::section::RegularSection;
+use bcag_core::walker::Walker;
+use bcag_spmd::assign::plan_section;
+use bcag_spmd::codeshapes::{traverse_branch, traverse_two_table};
+use bcag_spmd::darray::DistArray;
+
+fn bench_tableless(c: &mut Criterion) {
+    let p = 32i64;
+    let elems_per_proc = 2_000i64;
+    for (k, s) in [(32i64, 15i64), (256, 99)] {
+        let total = elems_per_proc * p;
+        let u = s * (total - 1);
+        let section = RegularSection::new(0, u, s).unwrap();
+        let problem = Problem::new(p, k, 0, s).unwrap();
+        let mut arr = DistArray::new(p, k, u + 1, 0.0f32).unwrap();
+        let plans = plan_section(p, k, &section, Method::Lattice).unwrap();
+        let m = p - 1;
+        let plan = plans[m as usize].clone();
+        let Some(start) = plan.start else { continue };
+        let tables = plan.tables.clone().expect("tables");
+        let local = arr.local_mut(m);
+
+        let mut group = c.benchmark_group(format!("tableless_k{k}_s{s}"));
+        group.bench_with_input(BenchmarkId::new("walker", "RL-only"), &(), |b, _| {
+            b.iter(|| {
+                // Generate and consume the local address stream with no
+                // stored tables (setup cost included, as a compiler would
+                // pay it once per loop nest).
+                let w = Walker::new(&problem, m).unwrap();
+                let mut acc = 0i64;
+                for a in w.up_to(u) {
+                    acc = acc.wrapping_add(black_box(a.local));
+                }
+                acc
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("table", "8(b)"), &(), |b, _| {
+            b.iter(|| {
+                traverse_branch(local, start, plan.last, &plan.delta_m, |x| *x = 100.0)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("two-table", "8(d)"), &(), |b, _| {
+            b.iter(|| {
+                traverse_two_table(local, start, plan.last, &tables, |x| *x = 100.0)
+            })
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_tableless);
+criterion_main!(benches);

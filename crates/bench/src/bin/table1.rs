@@ -1,0 +1,63 @@
+//! Regenerates the paper's **Table 1** (and, with `--figure7`, the CSV
+//! series behind **Figure 7**): table-construction time in microseconds,
+//! Lattice vs Sorting, `p = 32`, `k ∈ {4..512}`, five stride families,
+//! maximum over the 32 simulated processors.
+//!
+//! Usage:
+//! ```text
+//! table1 [--quick] [--figure7] [--reps N] [--p N]
+//! ```
+
+use bcag_bench::table1;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut reps = 20usize;
+    let mut p = table1::PAPER_P;
+    let mut quick = false;
+    let mut figure7 = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--figure7" => figure7 = true,
+            "--reps" => {
+                reps = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--reps needs a positive integer"));
+            }
+            "--p" => {
+                p = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--p needs a positive integer"));
+            }
+            other => usage(&format!("unknown argument {other}")),
+        }
+    }
+    let ks: Vec<i64> = if quick {
+        vec![4, 16, 64, 256]
+    } else {
+        table1::PAPER_KS.to_vec()
+    };
+    if quick {
+        reps = reps.min(5);
+    }
+
+    let rows = table1::run(p, &ks, reps);
+    if figure7 {
+        print!("{}", table1::figure7_csv(&rows));
+    } else {
+        table1::print_table(p, &rows);
+        println!();
+        println!("Paper (iPSC/860) for comparison, s=7 column, k=4..512:");
+        println!("  Lattice: 48 58 60 83 122 183 332 614   Sorting: 56 82 138 286 775 1384 2708 5550");
+    }
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!("usage: table1 [--quick] [--figure7] [--reps N] [--p N]");
+    std::process::exit(2);
+}

@@ -1,0 +1,59 @@
+//! Regenerates the paper's **Table 2**: node-code execution time in
+//! microseconds for the four code shapes of Figure 8, with 10,000 assigned
+//! elements per processor, `p = 32`, `k ∈ {4, 32, 256}`, `s ∈ {3, 15, 99}`.
+//!
+//! Usage:
+//! ```text
+//! table2 [--quick] [--reps N] [--p N] [--elems N]
+//! ```
+
+use bcag_bench::table2;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut reps = 5usize;
+    let mut p = 32i64;
+    let mut elems = table2::PAPER_ELEMS_PER_PROC;
+    let mut quick = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--reps" => {
+                reps = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--reps needs a positive integer"));
+            }
+            "--p" => {
+                p = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--p needs a positive integer"));
+            }
+            "--elems" => {
+                elems = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--elems needs a positive integer"));
+            }
+            other => usage(&format!("unknown argument {other}")),
+        }
+    }
+    if quick {
+        p = p.min(8);
+        elems = elems.min(2_000);
+        reps = reps.min(3);
+    }
+
+    let rows = table2::run(p, &table2::PAPER_KS, &table2::PAPER_SS, elems, reps);
+    table2::print_table(p, elems, &rows);
+    println!();
+    println!("Paper (iPSC/860) for comparison (k=4,s=3): 8(a)=18086 8(b)=3219 8(c)=3096 8(d)=2291");
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!("usage: table2 [--quick] [--reps N] [--p N] [--elems N]");
+    std::process::exit(2);
+}

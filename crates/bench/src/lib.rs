@@ -1,0 +1,21 @@
+//! # bcag-bench — harness regenerating the paper's evaluation
+//!
+//! One module per experiment:
+//!
+//! * [`table1`] — Table 1 and Figure 7: table-construction time, Lattice vs
+//!   Sorting, `p = 32`, `k ∈ {4..512}`, five stride families, reporting the
+//!   maximum over the 32 (simulated) processors;
+//! * [`table2`] — Table 2: node-code execution time for the four shapes of
+//!   Figure 8, 10,000 assigned elements per processor;
+//! * [`timing`] — the shared measurement discipline (best-of-N).
+//!
+//! The binaries `table1` and `table2` print rows in the paper's format;
+//! Criterion benches under `benches/` provide statistically robust
+//! confirmation plus the ablations called out in `DESIGN.md`.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod table1;
+pub mod table2;
+pub mod timing;

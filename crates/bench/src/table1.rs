@@ -1,0 +1,175 @@
+//! Table 1 / Figure 7: table-construction time, Lattice vs Sorting.
+//!
+//! Paper setup (Section 6.1): `p = 32`, `l = 0`, block sizes
+//! `k ∈ {4, 8, ..., 512}` (powers of two), strides
+//! `s ∈ {7, 99, k+1, pk−1, pk+1}` — the last two produce reverse-sorted and
+//! properly-sorted first cycles, stressing the baseline's sort. Every
+//! processor runs the complete table-construction algorithm; the reported
+//! time is the maximum over the 32 processors. Figure 7 plots the `s = 7`
+//! column of the same data.
+
+use std::time::Duration;
+
+use bcag_core::method::{build, Method};
+use bcag_core::params::Problem;
+
+use crate::timing::{as_micros, best_of_batched, max_over_procs};
+
+/// The paper's processor count.
+pub const PAPER_P: i64 = 32;
+/// The paper's block sizes.
+pub const PAPER_KS: [i64; 8] = [4, 8, 16, 32, 64, 128, 256, 512];
+
+/// One stride family of Table 1's columns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StrideSpec {
+    /// Fixed stride 7.
+    S7,
+    /// Fixed stride 99.
+    S99,
+    /// `s = k + 1`.
+    KPlus1,
+    /// `s = pk − 1` (reverse-sorted first cycle).
+    PkMinus1,
+    /// `s = pk + 1` (properly sorted first cycle).
+    PkPlus1,
+}
+
+impl StrideSpec {
+    /// All five stride families, in the paper's column order.
+    pub const ALL: [StrideSpec; 5] = [
+        StrideSpec::S7,
+        StrideSpec::S99,
+        StrideSpec::KPlus1,
+        StrideSpec::PkMinus1,
+        StrideSpec::PkPlus1,
+    ];
+
+    /// Column header as printed in the paper.
+    pub fn label(&self) -> &'static str {
+        match self {
+            StrideSpec::S7 => "s=7",
+            StrideSpec::S99 => "s=99",
+            StrideSpec::KPlus1 => "s=k+1",
+            StrideSpec::PkMinus1 => "s=pk-1",
+            StrideSpec::PkPlus1 => "s=pk+1",
+        }
+    }
+
+    /// Resolves the concrete stride for `(p, k)`.
+    pub fn stride(&self, p: i64, k: i64) -> i64 {
+        match self {
+            StrideSpec::S7 => 7,
+            StrideSpec::S99 => 99,
+            StrideSpec::KPlus1 => k + 1,
+            StrideSpec::PkMinus1 => p * k - 1,
+            StrideSpec::PkPlus1 => p * k + 1,
+        }
+    }
+}
+
+/// Measured cell: construction time for one `(k, s)` with one method,
+/// maximum over processors of best-of-`reps` per-processor times.
+pub fn measure_construction(p: i64, k: i64, s: i64, method: Method, reps: usize) -> Duration {
+    let problem = Problem::new(p, k, 0, s).expect("valid parameters");
+    // Batch fast configurations so timer resolution does not dominate.
+    let batch = if k <= 64 { 64 } else { 8 };
+    let times: Vec<Duration> = (0..p)
+        .map(|m| best_of_batched(reps, batch, || build(&problem, m, method).unwrap()))
+        .collect();
+    max_over_procs(&times)
+}
+
+/// One row of Table 1: a block size with all five stride columns, for both
+/// methods.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Block size `k`.
+    pub k: i64,
+    /// `(lattice, sorting)` microseconds per stride family, in
+    /// [`StrideSpec::ALL`] order.
+    pub cells: Vec<(f64, f64)>,
+}
+
+/// Runs the full Table 1 grid.
+pub fn run(p: i64, ks: &[i64], reps: usize) -> Vec<Row> {
+    ks.iter()
+        .map(|&k| {
+            let cells = StrideSpec::ALL
+                .iter()
+                .map(|spec| {
+                    let s = spec.stride(p, k);
+                    let lattice =
+                        as_micros(measure_construction(p, k, s, Method::Lattice, reps));
+                    let sorting =
+                        as_micros(measure_construction(p, k, s, Method::SortingAuto, reps));
+                    (lattice, sorting)
+                })
+                .collect();
+            Row { k, cells }
+        })
+        .collect()
+}
+
+/// Prints the rows in the paper's layout (µs, Lattice vs Sorting per
+/// stride family).
+pub fn print_table(p: i64, rows: &[Row]) {
+    println!("Table 1: execution times in microseconds (p = {p}, max over processors)");
+    print!("{:>8} ", "Block");
+    for spec in StrideSpec::ALL {
+        print!("| {:^21} ", spec.label());
+    }
+    println!();
+    print!("{:>8} ", "size");
+    for _ in StrideSpec::ALL {
+        print!("| {:>10} {:>10} ", "Lattice", "Sorting");
+    }
+    println!();
+    for row in rows {
+        print!("{:>8} ", format!("k={}", row.k));
+        for (lat, srt) in &row.cells {
+            print!("| {lat:>10.2} {srt:>10.2} ");
+        }
+        println!();
+    }
+}
+
+/// Emits the Figure 7 series (the `s = 7` column) as CSV:
+/// `k,lattice_us,sorting_us`.
+pub fn figure7_csv(rows: &[Row]) -> String {
+    let mut out = String::from("k,lattice_us,sorting_us\n");
+    for row in rows {
+        let (lat, srt) = row.cells[0]; // StrideSpec::S7 is column 0
+        out.push_str(&format!("{},{:.3},{:.3}\n", row.k, lat, srt));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stride_specs_resolve() {
+        assert_eq!(StrideSpec::S7.stride(32, 64), 7);
+        assert_eq!(StrideSpec::KPlus1.stride(32, 64), 65);
+        assert_eq!(StrideSpec::PkMinus1.stride(32, 64), 2047);
+        assert_eq!(StrideSpec::PkPlus1.stride(32, 64), 2049);
+    }
+
+    #[test]
+    fn measurement_produces_positive_times() {
+        let d = measure_construction(4, 16, 7, Method::Lattice, 2);
+        assert!(d > Duration::ZERO);
+    }
+
+    #[test]
+    fn small_grid_runs() {
+        let rows = run(4, &[4, 8], 2);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].cells.len(), 5);
+        let csv = figure7_csv(&rows);
+        assert!(csv.starts_with("k,lattice_us,sorting_us\n"));
+        assert_eq!(csv.lines().count(), 3);
+    }
+}

@@ -1,0 +1,80 @@
+//! Measurement discipline shared by the table-regeneration binaries.
+//!
+//! The paper reports single microsecond figures per configuration
+//! ("maximums over all 32 processors", `dclock` timer). We reproduce the
+//! statistic: each processor's computation is timed as the *minimum over
+//! `reps` repetitions* (minimum is the standard noise-robust estimator for
+//! deterministic code), and the reported figure is the *maximum over
+//! processors* of those minima.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Times one closure: minimum duration over `reps` runs, with the result of
+/// each run passed through [`black_box`] so the optimizer cannot delete the
+/// work.
+pub fn best_of<R>(reps: usize, mut f: impl FnMut() -> R) -> Duration {
+    assert!(reps > 0);
+    let mut best = Duration::MAX;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        black_box(f());
+        best = best.min(t0.elapsed());
+    }
+    best
+}
+
+/// Batched variant for very fast closures: each sample executes the closure
+/// `batch` times and the per-call duration is `elapsed / batch`.
+pub fn best_of_batched<R>(reps: usize, batch: u32, mut f: impl FnMut() -> R) -> Duration {
+    assert!(reps > 0 && batch > 0);
+    let mut best = Duration::MAX;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        for _ in 0..batch {
+            black_box(f());
+        }
+        best = best.min(t0.elapsed() / batch);
+    }
+    best
+}
+
+/// The paper's statistic: maximum over processors of per-processor times.
+pub fn max_over_procs(times: &[Duration]) -> Duration {
+    times.iter().copied().max().unwrap_or(Duration::ZERO)
+}
+
+/// Formats a duration as fractional microseconds (the unit of Tables 1/2).
+pub fn as_micros(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e6
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn best_of_returns_a_measurement() {
+        let d = best_of(3, || (0..1000).sum::<u64>());
+        assert!(d > Duration::ZERO);
+        assert!(d < Duration::from_secs(1));
+    }
+
+    #[test]
+    fn batched_is_finite() {
+        let d = best_of_batched(3, 100, || 1 + 1);
+        assert!(d < Duration::from_millis(10));
+    }
+
+    #[test]
+    fn max_over_procs_picks_max() {
+        let times = [Duration::from_micros(3), Duration::from_micros(9), Duration::from_micros(1)];
+        assert_eq!(max_over_procs(&times), Duration::from_micros(9));
+        assert_eq!(max_over_procs(&[]), Duration::ZERO);
+    }
+
+    #[test]
+    fn micros_formatting() {
+        assert!((as_micros(Duration::from_micros(250)) - 250.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,92 @@
+//! Minimal flag parsing for the `bcag` CLI (no external dependencies).
+
+use std::collections::HashMap;
+
+/// Parsed `--flag value` pairs.
+pub struct Flags {
+    map: HashMap<String, String>,
+}
+
+impl Flags {
+    /// Parses `--name value` pairs; returns an error message on malformed
+    /// input or unknown flags.
+    pub fn parse(args: &[String], allowed: &[&str]) -> Result<Flags, String> {
+        let mut map = HashMap::new();
+        let mut it = args.iter();
+        while let Some(arg) = it.next() {
+            let Some(name) = arg.strip_prefix("--") else {
+                return Err(format!("expected a --flag, got `{arg}`"));
+            };
+            if !allowed.contains(&name) {
+                return Err(format!("unknown flag `--{name}` (allowed: {})", allowed.join(", ")));
+            }
+            let Some(value) = it.next() else {
+                return Err(format!("flag `--{name}` needs a value"));
+            };
+            map.insert(name.to_string(), value.clone());
+        }
+        Ok(Flags { map })
+    }
+
+    /// Required integer flag.
+    pub fn req_i64(&self, name: &str) -> Result<i64, String> {
+        self.map
+            .get(name)
+            .ok_or_else(|| format!("missing required flag `--{name}`"))?
+            .parse()
+            .map_err(|_| format!("flag `--{name}` must be an integer"))
+    }
+
+    /// Optional integer flag with a default.
+    pub fn opt_i64(&self, name: &str, default: i64) -> Result<i64, String> {
+        match self.map.get(name) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("flag `--{name}` must be an integer")),
+        }
+    }
+
+    /// Optional string flag.
+    pub fn opt_str(&self, name: &str) -> Option<&str> {
+        self.map.get(name).map(String::as_str)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &[&str]) -> Vec<String> {
+        s.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_flag_pairs() {
+        let f = Flags::parse(&argv(&["--p", "4", "--k", "8"]), &["p", "k"]).unwrap();
+        assert_eq!(f.req_i64("p").unwrap(), 4);
+        assert_eq!(f.req_i64("k").unwrap(), 8);
+    }
+
+    #[test]
+    fn rejects_unknown_and_malformed() {
+        assert!(Flags::parse(&argv(&["--x", "1"]), &["p"]).is_err());
+        assert!(Flags::parse(&argv(&["p", "1"]), &["p"]).is_err());
+        assert!(Flags::parse(&argv(&["--p"]), &["p"]).is_err());
+    }
+
+    #[test]
+    fn required_and_optional_semantics() {
+        let f = Flags::parse(&argv(&["--p", "4"]), &["p", "k", "method"]).unwrap();
+        assert!(f.req_i64("k").is_err());
+        assert_eq!(f.opt_i64("k", 9).unwrap(), 9);
+        assert_eq!(f.opt_str("method"), None);
+        let f = Flags::parse(&argv(&["--p", "x"]), &["p"]).unwrap();
+        assert!(f.req_i64("p").is_err());
+        assert!(f.opt_i64("p", 0).is_err());
+    }
+
+    #[test]
+    fn negative_numbers_parse() {
+        let f = Flags::parse(&argv(&["--s", "-9"]), &["s"]).unwrap();
+        assert_eq!(f.req_i64("s").unwrap(), -9);
+    }
+}

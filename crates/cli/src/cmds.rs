@@ -1,0 +1,320 @@
+//! Implementations of the `bcag` subcommands.
+
+use bcag_core::method::{build, Method};
+use bcag_core::params::Problem;
+use bcag_core::section::RegularSection;
+use bcag_core::viz;
+use bcag_spmd::assign::plan_section;
+
+use crate::args::Flags;
+
+fn fail(msg: &str) -> i32 {
+    eprintln!("error: {msg}");
+    2
+}
+
+fn parse_method(name: Option<&str>) -> Result<Method, String> {
+    match name.unwrap_or("lattice") {
+        "lattice" => Ok(Method::Lattice),
+        "sorting" => Ok(Method::SortingAuto),
+        "sorting-cmp" => Ok(Method::SortingComparison),
+        "sorting-radix" => Ok(Method::SortingRadix),
+        "hiranandani" => Ok(Method::Hiranandani),
+        "oracle" => Ok(Method::Oracle),
+        other => Err(format!("unknown method `{other}`")),
+    }
+}
+
+/// `bcag table`: start location + AM table per processor.
+pub fn table(argv: &[String]) -> i32 {
+    let flags = match Flags::parse(argv, &["p", "k", "l", "s", "m", "method"]) {
+        Ok(f) => f,
+        Err(e) => return fail(&e),
+    };
+    let run = || -> Result<(), String> {
+        let p = flags.req_i64("p")?;
+        let k = flags.req_i64("k")?;
+        let l = flags.req_i64("l")?;
+        let s = flags.req_i64("s")?;
+        let method = parse_method(flags.opt_str("method"))?;
+        let problem = Problem::new(p, k, l, s).map_err(|e| e.to_string())?;
+        let procs: Vec<i64> = match flags.opt_i64("m", -1)? {
+            -1 => (0..p).collect(),
+            m => vec![m],
+        };
+        println!("p={p} k={k} l={l} s={s} d={}, method={}", problem.d(), method.name());
+        for m in procs {
+            let pat = build(&problem, m, method).map_err(|e| e.to_string())?;
+            match pat.start_global() {
+                None => println!("proc {m}: no section elements"),
+                Some(g) => println!(
+                    "proc {m}: start global={g} local={} length={} AM={:?}",
+                    pat.start_local().unwrap(),
+                    pat.len(),
+                    pat.gaps()
+                ),
+            }
+        }
+        Ok(())
+    };
+    match run() {
+        Ok(()) => 0,
+        Err(e) => fail(&e),
+    }
+}
+
+/// `bcag layout`: Figure-1 rendering.
+pub fn layout(argv: &[String]) -> i32 {
+    let flags = match Flags::parse(argv, &["p", "k", "l", "s", "rows"]) {
+        Ok(f) => f,
+        Err(e) => return fail(&e),
+    };
+    let run = || -> Result<(), String> {
+        let p = flags.req_i64("p")?;
+        let k = flags.req_i64("k")?;
+        let l = flags.req_i64("l")?;
+        let s = flags.req_i64("s")?;
+        let rows = flags.opt_i64("rows", 10)?;
+        let problem = Problem::new(p, k, l, s).map_err(|e| e.to_string())?;
+        print!("{}", viz::render_section(&problem, rows));
+        Ok(())
+    };
+    match run() {
+        Ok(()) => 0,
+        Err(e) => fail(&e),
+    }
+}
+
+/// `bcag visits`: Figure-6 rendering for one processor.
+pub fn visits(argv: &[String]) -> i32 {
+    let flags = match Flags::parse(argv, &["p", "k", "l", "s", "m", "rows"]) {
+        Ok(f) => f,
+        Err(e) => return fail(&e),
+    };
+    let run = || -> Result<(), String> {
+        let p = flags.req_i64("p")?;
+        let k = flags.req_i64("k")?;
+        let l = flags.req_i64("l")?;
+        let s = flags.req_i64("s")?;
+        let m = flags.req_i64("m")?;
+        let rows = flags.opt_i64("rows", 10)?;
+        let problem = Problem::new(p, k, l, s).map_err(|e| e.to_string())?;
+        let pat = build(&problem, m, Method::Lattice).map_err(|e| e.to_string())?;
+        print!("{}", viz::render_visits(&pat, rows));
+        println!("legend: (l)=lower bound  <i>=visited by proc {m}  [i]=other section element");
+        Ok(())
+    };
+    match run() {
+        Ok(()) => 0,
+        Err(e) => fail(&e),
+    }
+}
+
+/// `bcag basis`: R and L.
+pub fn basis(argv: &[String]) -> i32 {
+    let flags = match Flags::parse(argv, &["p", "k", "s"]) {
+        Ok(f) => f,
+        Err(e) => return fail(&e),
+    };
+    let run = || -> Result<(), String> {
+        let p = flags.req_i64("p")?;
+        let k = flags.req_i64("k")?;
+        let s = flags.req_i64("s")?;
+        let problem = Problem::new(p, k, 0, s).map_err(|e| e.to_string())?;
+        println!("{}", viz::describe_basis(&problem));
+        Ok(())
+    };
+    match run() {
+        Ok(()) => 0,
+        Err(e) => fail(&e),
+    }
+}
+
+/// `bcag run`: interpret a directive + statement script.
+pub fn run_script(argv: &[String]) -> i32 {
+    let flags = match Flags::parse(argv, &["file"]) {
+        Ok(f) => f,
+        Err(e) => return fail(&e),
+    };
+    let run = || -> Result<(), String> {
+        let file = flags.opt_str("file").ok_or("missing required flag `--file`")?;
+        let src = std::fs::read_to_string(file).map_err(|e| format!("{file}: {e}"))?;
+        let out = bcag_rt::Interp::run(&src).map_err(|e| e.to_string())?;
+        for line in out {
+            println!("{line}");
+        }
+        Ok(())
+    };
+    match run() {
+        Ok(()) => 0,
+        Err(e) => fail(&e),
+    }
+}
+
+/// `bcag codegen`: emit C node code for a shape (paper Figure 8).
+pub fn codegen(argv: &[String]) -> i32 {
+    let flags = match Flags::parse(argv, &["p", "k", "l", "u", "s", "m", "shape", "value"]) {
+        Ok(f) => f,
+        Err(e) => return fail(&e),
+    };
+    let run = || -> Result<(), String> {
+        let p = flags.req_i64("p")?;
+        let k = flags.req_i64("k")?;
+        let l = flags.req_i64("l")?;
+        let u = flags.req_i64("u")?;
+        let s = flags.req_i64("s")?;
+        let m = flags.req_i64("m")?;
+        let shape = match flags.opt_str("shape").unwrap_or("b") {
+            "a" | "mod" => bcag_core::codegen::Shape::ModLoop,
+            "b" | "branch" => bcag_core::codegen::Shape::BranchLoop,
+            "c" | "split" => bcag_core::codegen::Shape::SplitLoop,
+            "d" | "two-table" => bcag_core::codegen::Shape::TwoTableLoop,
+            other => return Err(format!("unknown shape `{other}` (a|b|c|d)")),
+        };
+        let value = flags.opt_str("value").unwrap_or("100.0").to_string();
+        let problem = Problem::new(p, k, l, s).map_err(|e| e.to_string())?;
+        let pattern = build(&problem, m, Method::Lattice).map_err(|e| e.to_string())?;
+        let c = bcag_core::codegen::emit_c(&problem, m, u, &pattern, shape, &value)
+            .map_err(|e| e.to_string())?;
+        print!("{c}");
+        Ok(())
+    };
+    match run() {
+        Ok(()) => 0,
+        Err(e) => fail(&e),
+    }
+}
+
+/// `bcag verify`: differential check of all methods over a parameter sweep.
+pub fn verify(argv: &[String]) -> i32 {
+    let flags = match Flags::parse(argv, &["max-p", "max-k", "max-s", "trials", "seed"]) {
+        Ok(f) => f,
+        Err(e) => return fail(&e),
+    };
+    let run = || -> Result<(), String> {
+        let max_p = flags.opt_i64("max-p", 8)?;
+        let max_k = flags.opt_i64("max-k", 32)?;
+        let max_s = flags.opt_i64("max-s", 0)?; // 0 => 4·p·k
+        let trials = flags.opt_i64("trials", 500)?;
+        let mut state = flags.opt_i64("seed", 0x5EED)? as u64 | 1;
+        let mut next = move |bound: i64| -> i64 {
+            // xorshift64*
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            ((state.wrapping_mul(0x2545F4914F6CDD1D) >> 32) as i64).rem_euclid(bound.max(1))
+        };
+        let mut checked = 0u64;
+        for _ in 0..trials {
+            let p = 1 + next(max_p);
+            let k = 1 + next(max_k);
+            let s_bound = if max_s > 0 { max_s } else { 4 * p * k };
+            let s = 1 + next(s_bound);
+            let l = next(3 * s);
+            let problem = Problem::new(p, k, l, s).map_err(|e| e.to_string())?;
+            if problem.period_elements() > 100_000 {
+                continue; // keep the oracle affordable
+            }
+            for m in 0..p {
+                let reference = build(&problem, m, Method::Oracle).map_err(|e| e.to_string())?;
+                for method in [Method::Lattice, Method::SortingComparison, Method::SortingRadix]
+                {
+                    let pat = build(&problem, m, method).map_err(|e| e.to_string())?;
+                    if pat != reference {
+                        return Err(format!(
+                            "MISMATCH: {} vs oracle at p={p} k={k} l={l} s={s} m={m}",
+                            method.name()
+                        ));
+                    }
+                }
+                checked += 1;
+            }
+        }
+        println!("verified {checked} (parameters, processor) pairs: all methods agree ✓");
+        Ok(())
+    };
+    match run() {
+        Ok(()) => 0,
+        Err(e) => fail(&e),
+    }
+}
+
+/// `bcag hpf`: parse an HPF directive file and enumerate a section.
+pub fn hpf(argv: &[String]) -> i32 {
+    let flags = match Flags::parse(argv, &["file", "section", "proc"]) {
+        Ok(f) => f,
+        Err(e) => return fail(&e),
+    };
+    let run = || -> Result<(), String> {
+        let file = flags.opt_str("file").ok_or("missing required flag `--file`")?;
+        let section = flags
+            .opt_str("section")
+            .ok_or("missing required flag `--section` (e.g. \"A(4:301:9)\")")?;
+        let src = std::fs::read_to_string(file).map_err(|e| format!("{file}: {e}"))?;
+        let prog = bcag_hpf::Program::parse(&src).map_err(|e| e.to_string())?;
+        let (name, secs) = bcag_hpf::Program::parse_section(section).map_err(|e| e.to_string())?;
+        let map = prog.array_map(&name).map_err(|e| e.to_string())?;
+        let procs: Vec<i64> = match flags.opt_i64("proc", -1)? {
+            -1 => (0..map.grid().size()).collect(),
+            m => vec![m],
+        };
+        println!(
+            "array {name}: rank {}, grid {:?}, block sizes {:?}",
+            map.rank(),
+            map.grid().extents(),
+            map.dims().iter().map(|d| d.block_size()).collect::<Vec<_>>()
+        );
+        for rank in procs {
+            let coords = map.grid().delinearize(rank).map_err(|e| e.to_string())?;
+            let accesses = map
+                .section_accesses(&coords, &secs, Method::Lattice)
+                .map_err(|e| e.to_string())?;
+            print!("proc {rank} {coords:?}: {} accesses;", accesses.len());
+            for (idx, local) in accesses.iter().take(12) {
+                print!(" {idx:?}@{local}");
+            }
+            if accesses.len() > 12 {
+                print!(" ...");
+            }
+            println!();
+        }
+        Ok(())
+    };
+    match run() {
+        Ok(()) => 0,
+        Err(e) => fail(&e),
+    }
+}
+
+/// `bcag plan`: bounded-section node plans.
+pub fn plan(argv: &[String]) -> i32 {
+    let flags = match Flags::parse(argv, &["p", "k", "l", "u", "s"]) {
+        Ok(f) => f,
+        Err(e) => return fail(&e),
+    };
+    let run = || -> Result<(), String> {
+        let p = flags.req_i64("p")?;
+        let k = flags.req_i64("k")?;
+        let l = flags.req_i64("l")?;
+        let u = flags.req_i64("u")?;
+        let s = flags.req_i64("s")?;
+        let section = RegularSection::new(l, u, s).map_err(|e| e.to_string())?;
+        let plans = plan_section(p, k, &section, Method::Lattice).map_err(|e| e.to_string())?;
+        println!("section {l}:{u}:{s} over p={p} k={k} ({} elements)", section.count());
+        for (m, plan) in plans.iter().enumerate() {
+            match plan.start {
+                None => println!("proc {m}: idle"),
+                Some(start) => println!(
+                    "proc {m}: start_local={start} last_local={} table_len={}",
+                    plan.last,
+                    plan.delta_m.len()
+                ),
+            }
+        }
+        Ok(())
+    };
+    match run() {
+        Ok(()) => 0,
+        Err(e) => fail(&e),
+    }
+}

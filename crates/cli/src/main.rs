@@ -1,0 +1,76 @@
+//! `bcag` — command-line explorer for block-cyclic address generation.
+//!
+//! Subcommands:
+//!
+//! * `table`  — print a processor's start location and AM gap table
+//! * `layout` — render the cyclic(k) layout with a section highlighted
+//!   (the paper's Figure 1)
+//! * `visits` — render the points one processor's walk visits (Figure 6)
+//! * `basis`  — show the lattice basis vectors R and L (Figures 3/4)
+//! * `plan`   — show the full per-processor node plans for a bounded
+//!   section (starts, lasts, table lengths)
+//!
+//! Run `bcag help` for flags.
+
+mod args;
+mod cmds;
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let code = match argv.first().map(String::as_str) {
+        Some("table") => cmds::table(&argv[1..]),
+        Some("layout") => cmds::layout(&argv[1..]),
+        Some("visits") => cmds::visits(&argv[1..]),
+        Some("basis") => cmds::basis(&argv[1..]),
+        Some("plan") => cmds::plan(&argv[1..]),
+        Some("hpf") => cmds::hpf(&argv[1..]),
+        Some("codegen") => cmds::codegen(&argv[1..]),
+        Some("verify") => cmds::verify(&argv[1..]),
+        Some("run") => cmds::run_script(&argv[1..]),
+        Some("help") | Some("--help") | Some("-h") | None => {
+            print_help();
+            0
+        }
+        Some(other) => {
+            eprintln!("error: unknown subcommand `{other}`\n");
+            print_help();
+            2
+        }
+    };
+    std::process::exit(code);
+}
+
+fn print_help() {
+    println!(
+        "bcag — block-cyclic address generation (Kennedy, Nedeljkovic, Sethi; PPOPP'95)
+
+USAGE:
+    bcag <subcommand> [flags]
+
+SUBCOMMANDS:
+    table   --p P --k K --l L --s S [--m M] [--method NAME]
+            Print start location and AM gap table (all processors, or just M).
+            Methods: lattice (default), sorting, sorting-cmp, sorting-radix,
+            hiranandani, oracle.
+    layout  --p P --k K --l L --s S [--rows R]
+            Render the layout with the section boxed (paper Figure 1).
+    visits  --p P --k K --l L --s S --m M [--rows R]
+            Render the points processor M's walk visits (paper Figure 6).
+    basis   --p P --k K --s S
+            Show the lattice basis vectors R and L (paper Figures 3/4).
+    plan    --p P --k K --l L --u U --s S
+            Show per-processor node plans for the bounded section.
+    hpf     --file FILE --section 'A(l:u:s, ...)' [--proc M]
+            Parse HPF-style directives from FILE and enumerate a section.
+    codegen --p P --k K --l L --u U --s S --m M [--shape a|b|c|d] [--value V]
+            Emit the C node code of Figure 8 with tables folded in.
+    verify  [--max-p N] [--max-k N] [--max-s N] [--trials N] [--seed N]
+            Differential check: all methods vs the brute-force oracle.
+    run     --file FILE
+            Interpret an HPF-like script (directives + INIT/ASSIGN/PRINT/
+            REDISTRIBUTE statements) on the simulated machine.
+
+EXAMPLE (the paper's worked example):
+    bcag table --p 4 --k 8 --l 4 --s 9 --m 1"
+    );
+}

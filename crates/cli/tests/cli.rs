@@ -1,0 +1,116 @@
+//! End-to-end tests of the `bcag` binary: spawn the real executable and
+//! check its output and exit codes.
+
+use std::process::Command;
+
+fn bcag(args: &[&str]) -> (String, String, i32) {
+    let out = Command::new(env!("CARGO_BIN_EXE_bcag"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.code().unwrap_or(-1),
+    )
+}
+
+#[test]
+fn table_reproduces_the_worked_example() {
+    let (stdout, _, code) = bcag(&["table", "--p", "4", "--k", "8", "--l", "4", "--s", "9", "--m", "1"]);
+    assert_eq!(code, 0);
+    assert!(stdout.contains("start global=13 local=5"), "{stdout}");
+    assert!(stdout.contains("AM=[3, 12, 15, 12, 3, 12, 3, 12]"), "{stdout}");
+}
+
+#[test]
+fn table_all_processors_and_methods() {
+    for method in ["lattice", "sorting", "sorting-cmp", "sorting-radix", "oracle"] {
+        let (stdout, _, code) =
+            bcag(&["table", "--p", "4", "--k", "8", "--l", "4", "--s", "9", "--method", method]);
+        assert_eq!(code, 0, "method {method}");
+        assert_eq!(stdout.lines().filter(|l| l.starts_with("proc ")).count(), 4);
+        assert!(stdout.contains("proc 1: start global=13"), "{method}: {stdout}");
+    }
+}
+
+#[test]
+fn basis_prints_r_and_l() {
+    let (stdout, _, code) = bcag(&["basis", "--p", "4", "--k", "8", "--s", "9"]);
+    assert_eq!(code, 0);
+    assert!(stdout.contains("R = (4, 1)"), "{stdout}");
+    assert!(stdout.contains("L = (5, -1)"), "{stdout}");
+}
+
+#[test]
+fn layout_renders_section() {
+    let (stdout, _, code) =
+        bcag(&["layout", "--p", "4", "--k", "8", "--l", "0", "--s", "9", "--rows", "3"]);
+    assert_eq!(code, 0);
+    assert!(stdout.contains("(0)"));
+    assert!(stdout.contains("[9]"));
+}
+
+#[test]
+fn codegen_emits_c() {
+    let (stdout, _, code) = bcag(&[
+        "codegen", "--p", "4", "--k", "8", "--l", "4", "--u", "301", "--s", "9", "--m", "1",
+        "--shape", "b",
+    ]);
+    assert_eq!(code, 0);
+    assert!(stdout.contains("void node_m1(double *A)"), "{stdout}");
+    assert!(stdout.contains("deltaM[8] = { 3, 12, 15, 12, 3, 12, 3, 12 }"), "{stdout}");
+}
+
+#[test]
+fn verify_runs_clean() {
+    let (stdout, _, code) = bcag(&["verify", "--trials", "50", "--max-p", "4", "--max-k", "8"]);
+    assert_eq!(code, 0);
+    assert!(stdout.contains("all methods agree"), "{stdout}");
+}
+
+#[test]
+fn run_executes_a_script() {
+    let dir = std::env::temp_dir();
+    let path = dir.join("bcag_cli_test_script.hpf");
+    std::fs::write(
+        &path,
+        "PROCESSORS P(4)
+         TEMPLATE T(320)
+         REAL A(320)
+         ALIGN A(i) WITH T(i)
+         DISTRIBUTE T(CYCLIC(8)) ONTO P
+         INIT A LINEAR 1 0
+         PRINT SUM A(0:9:1)
+         PRINT TABLE A(4:301:9) 1",
+    )
+    .expect("write script");
+    let (stdout, _, code) = bcag(&["run", "--file", path.to_str().unwrap()]);
+    assert_eq!(code, 0);
+    assert!(stdout.contains("SUM A(0:9:1) = 45"), "{stdout}");
+    assert!(stdout.contains("AM=[3, 12, 15, 12, 3, 12, 3, 12]"), "{stdout}");
+}
+
+#[test]
+fn bad_input_fails_with_diagnostics() {
+    let (_, stderr, code) = bcag(&["table", "--p", "0", "--k", "8", "--l", "0", "--s", "9"]);
+    assert_eq!(code, 2);
+    assert!(stderr.contains("processor count"), "{stderr}");
+
+    let (_, stderr, code) = bcag(&["table", "--p", "4"]);
+    assert_eq!(code, 2);
+    assert!(stderr.contains("missing required flag"), "{stderr}");
+
+    let (_, stderr, code) = bcag(&["frobnicate"]);
+    assert_eq!(code, 2);
+    assert!(stderr.contains("unknown subcommand"), "{stderr}");
+}
+
+#[test]
+fn help_lists_subcommands() {
+    let (stdout, _, code) = bcag(&["help"]);
+    assert_eq!(code, 0);
+    for sub in ["table", "layout", "visits", "basis", "plan", "hpf", "codegen", "verify", "run"] {
+        assert!(stdout.contains(sub), "help missing `{sub}`");
+    }
+}

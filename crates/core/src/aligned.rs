@@ -1,0 +1,228 @@
+//! Affine alignments: `A(i)` aligned to template cell `a·i + b`.
+//!
+//! HPF separates *alignment* (array → template) from *distribution*
+//! (template → processors). The core algorithm assumes identity alignment;
+//! the paper notes (Section 2, citing Chatterjee et al.) that "the memory
+//! access problem for any affine alignment can be solved by two
+//! applications of the access sequence computation algorithm". This module
+//! performs that composition:
+//!
+//! 1. **Storage problem** — the template cells occupied by `A` form the
+//!    regular section `b : ∞ : a` of the template. A processor packs the
+//!    cells it owns contiguously; the *packed address* of `A(i)` is the rank
+//!    of its template cell among the processor's owned cells.
+//! 2. **Access problem** — the section `A(l : u : s)` touches template cells
+//!    `a·(l + t·s) + b`, a section with lower bound `a·l + b` and stride
+//!    `a·s`, whose per-processor enumeration the core algorithm provides.
+//!
+//! The packed gap between consecutive accesses is the rank difference,
+//! which [`crate::start::count_owned`] answers in closed form — so no
+//! sorting and no per-element scanning of the storage sequence is needed.
+
+use crate::error::{BcagError, Result};
+use crate::method::{build, Method};
+use crate::params::Problem;
+use crate::pattern::{AccessPattern, Pattern};
+use crate::start::count_owned;
+
+/// An affine alignment `i ↦ a·i + b` of an array to a template.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Alignment {
+    /// Alignment stride; must be positive (a negative `a` can be handled by
+    /// reversing the array's index space first).
+    pub a: i64,
+    /// Alignment offset; must be nonnegative (template cells are `>= 0`).
+    pub b: i64,
+}
+
+impl Alignment {
+    /// Identity alignment `i ↦ i`.
+    pub const IDENTITY: Alignment = Alignment { a: 1, b: 0 };
+
+    /// Validates `a >= 1`, `b >= 0`.
+    pub fn new(a: i64, b: i64) -> Result<Self> {
+        if a == 0 {
+            return Err(BcagError::ZeroAlignmentStride);
+        }
+        if a < 0 {
+            return Err(BcagError::Precondition(
+                "negative alignment stride: reverse the array index space first",
+            ));
+        }
+        if b < 0 {
+            return Err(BcagError::NegativeLowerBound { l: b });
+        }
+        Ok(Alignment { a, b })
+    }
+
+    /// Template cell of array element `i`.
+    #[inline]
+    pub fn cell(&self, i: i64) -> i64 {
+        self.a * i + self.b
+    }
+}
+
+/// Access sequence of an aligned array in *packed local storage* units.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AlignedPattern {
+    /// The template-level access pattern (application #2 of the core
+    /// algorithm): local addresses here are template-local, counting holes.
+    pub template: AccessPattern,
+    /// Packed address of the start access in `A`'s compressed local
+    /// storage, or `None` for an empty pattern.
+    pub start_packed: Option<i64>,
+    /// Packed-storage gaps between consecutive accesses (cyclic, same
+    /// period as `template`'s gap table).
+    pub packed_gaps: Vec<i64>,
+}
+
+/// Computes processor `m`'s access sequence for the section
+/// `A(l : ∞ : s)` of an array aligned by `align` to a template distributed
+/// `cyclic(k)` over `p` processors.
+///
+/// ```
+/// use bcag_core::aligned::{aligned_pattern, Alignment};
+/// use bcag_core::method::Method;
+/// // A(i) at template cell 2i + 1, template cyclic(8) over 4 procs;
+/// // access A(0 : ∞ : 9) on processor 1.
+/// let pat = aligned_pattern(4, 8, Alignment::new(2, 1).unwrap(), 0, 9, 1,
+///                           Method::Lattice).unwrap();
+/// assert_eq!(pat.packed_gaps.len(), pat.template.len());
+/// ```
+pub fn aligned_pattern(
+    p: i64,
+    k: i64,
+    align: Alignment,
+    l: i64,
+    s: i64,
+    m: i64,
+    method: Method,
+) -> Result<AlignedPattern> {
+    // Application #1: the storage problem (template cells of A).
+    let storage = Problem::new(p, k, align.b, align.a)?;
+    // Application #2: the access problem (template cells of the section).
+    let access = Problem::new(p, k, align.cell(l), align.a * s)?;
+    let template = build(&access, m, method)?;
+
+    let c = match template.pattern() {
+        Pattern::Empty => {
+            return Ok(AlignedPattern { template, start_packed: None, packed_gaps: vec![] })
+        }
+        Pattern::Cyclic(c) => c.clone(),
+    };
+
+    // Rank of a template cell c in packed storage: the number of owned
+    // storage cells <= c - 1... but the access cell itself *is* a storage
+    // cell, so rank(c) = count_owned(storage, m, c) - 1.
+    let rank = |cell: i64| -> Result<i64> { Ok(count_owned(&storage, m, cell)? - 1) };
+
+    let start_packed = rank(c.start_global)?;
+    let mut packed_gaps = Vec::with_capacity(c.gaps.len());
+    let mut cell = c.start_global;
+    let mut r = start_packed;
+    for &step in &c.global_steps {
+        let next_cell = cell + step;
+        let next_r = rank(next_cell)?;
+        packed_gaps.push(next_r - r);
+        cell = next_cell;
+        r = next_r;
+    }
+    Ok(AlignedPattern { template, start_packed: Some(start_packed), packed_gaps })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::Layout;
+
+    /// Brute-force packed enumeration: list A's template cells owned by m in
+    /// increasing order (packed storage), then walk the section and record
+    /// the packed index of each owned access.
+    fn brute_packed(
+        p: i64,
+        k: i64,
+        align: Alignment,
+        l: i64,
+        s: i64,
+        m: i64,
+        n_accesses: usize,
+    ) -> Vec<i64> {
+        let lay = Layout::from_raw(p, k);
+        // Enough template cells to cover the requested accesses.
+        let max_cell = align.cell(l + (n_accesses as i64 + 1) * s * lay.row_len());
+        let storage: Vec<i64> = (0..)
+            .map(|i| align.cell(i))
+            .take_while(|&c| c <= max_cell)
+            .filter(|&c| lay.owner(c) == m)
+            .collect();
+        let rank_of = |cell: i64| storage.binary_search(&cell).expect("access must be stored") as i64;
+        (0..)
+            .map(|t| align.cell(l + t * s))
+            .take_while(|&c| c <= max_cell)
+            .filter(|&c| lay.owner(c) == m)
+            .take(n_accesses)
+            .map(rank_of)
+            .collect()
+    }
+
+    fn enumerate_packed(pat: &AlignedPattern, n: usize) -> Vec<i64> {
+        let Some(start) = pat.start_packed else { return vec![] };
+        let mut out = vec![start];
+        let mut r = start;
+        for t in 0..n.saturating_sub(1) {
+            r += pat.packed_gaps[t % pat.packed_gaps.len()];
+            out.push(r);
+        }
+        out
+    }
+
+    #[test]
+    fn identity_alignment_reduces_to_core() {
+        // With a = 1, b = 0 the packed address *is* the local address.
+        let pr = Problem::new(4, 8, 4, 9).unwrap();
+        let core = crate::lattice_alg::build(&pr, 1).unwrap();
+        let alp =
+            aligned_pattern(4, 8, Alignment::IDENTITY, 4, 9, 1, Method::Lattice).unwrap();
+        assert_eq!(alp.start_packed, core.start_local());
+        assert_eq!(alp.packed_gaps, core.gaps());
+    }
+
+    #[test]
+    fn matches_brute_force_sweep() {
+        for (a, b) in [(1i64, 0i64), (2, 0), (2, 1), (3, 5), (5, 2)] {
+            let align = Alignment::new(a, b).unwrap();
+            for (p, k) in [(2i64, 4i64), (4, 8), (3, 5)] {
+                for (l, s) in [(0i64, 1i64), (0, 3), (2, 7), (1, 9)] {
+                    for m in 0..p {
+                        let alp = aligned_pattern(p, k, align, l, s, m, Method::Lattice)
+                            .unwrap();
+                        let n = 12usize;
+                        let got = enumerate_packed(&alp, n);
+                        let expect = brute_packed(p, k, align, l, s, m, n);
+                        let lim = got.len().min(expect.len());
+                        assert_eq!(
+                            &got[..lim],
+                            &expect[..lim],
+                            "a={a} b={b} p={p} k={k} l={l} s={s} m={m}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn alignment_validation() {
+        assert!(Alignment::new(0, 0).is_err());
+        assert!(Alignment::new(-1, 0).is_err());
+        assert!(Alignment::new(1, -1).is_err());
+        assert!(Alignment::new(3, 7).is_ok());
+    }
+
+    #[test]
+    fn packed_gaps_are_positive() {
+        let align = Alignment::new(3, 2).unwrap();
+        let alp = aligned_pattern(4, 8, align, 0, 7, 2, Method::Lattice).unwrap();
+        assert!(alp.packed_gaps.iter().all(|&g| g > 0));
+    }
+}

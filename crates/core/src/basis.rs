@@ -1,0 +1,207 @@
+//! Selection of the enumeration basis `R`, `L` (paper Section 4,
+//! Figure 5 lines 19–30).
+//!
+//! `R = (b_r, a_r)` is the lattice point of the *smallest positive* section
+//! index whose in-row offset falls in `(0, k)`; `L = (b_l, a_l)` comes from
+//! the *largest* first-cycle index, taken relative to the point that starts
+//! the next cycle (index `pk/d`, coordinates `(0, s/d)`), so `a_l < 0`.
+//! Theorem 2 shows `{R, L}` is a basis of the access lattice, and Theorem 3
+//! shows the displacement from one owned element to the next is always
+//! `R`, `−L`, or `R − L` — the three-case step at the heart of the
+//! linear-time algorithm.
+//!
+//! Both vectors depend only on `(p, k, s)`: they are independent of the
+//! lower bound `l` and of the processor number `m`, so a compiler can hoist
+//! their computation when parameters are compile-time constants (paper
+//! Section 6.1).
+
+use crate::error::{BcagError, Result};
+use crate::lattice::LatticePoint;
+use crate::numth::{self, mod_floor};
+use crate::params::Problem;
+use crate::start::ClassSolver;
+
+/// The enumeration basis: `R` (rightward/downward step) and `L` (leftward
+/// step, negative course displacement), each carrying its section index so
+/// global indices can be advanced without division.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Basis {
+    /// `R = (b_r, a_r)` with section index `i_r > 0`; `0 < b_r < k`,
+    /// `a_r >= 0`.
+    pub r: LatticePoint,
+    /// `L = (b_l, a_l)` with section index `i_l < 0`; `0 < b_l < k`,
+    /// `a_l < 0` in the nondegenerate cases handled here.
+    pub l: LatticePoint,
+}
+
+impl Basis {
+    /// Local-memory gap of a forward `R` step: `a_r·k + b_r` (Equation 1).
+    #[inline]
+    pub fn gap_r(&self, k: i64) -> i64 {
+        self.r.local_gap(k)
+    }
+
+    /// Local-memory gap of a `−L` step: `−(a_l·k + b_l)` (Equation 2).
+    #[inline]
+    pub fn gap_l(&self, k: i64) -> i64 {
+        -self.l.local_gap(k)
+    }
+
+    /// Computes `R` and `L` for the problem's `(p, k, s)`.
+    ///
+    /// Returns an error when the sequence degenerates: the basis exists only
+    /// when some solvable offset class lies strictly inside `(0, k)`, i.e.
+    /// when `d = gcd(s, pk) < k`. The degenerate cases are exactly the
+    /// length-0/length-1 special cases of Figure 5 lines 12–18, which the
+    /// table-construction front-ends handle before asking for a basis.
+    ///
+    /// ```
+    /// use bcag_core::{params::Problem, basis::Basis};
+    /// // Figures 3/4: p=4, k=8, s=9 gives R=(4,1) and L=(5,−1).
+    /// let pr = Problem::new(4, 8, 0, 9).unwrap();
+    /// let basis = Basis::compute(&pr).unwrap();
+    /// assert_eq!((basis.r.b, basis.r.a), (4, 1));
+    /// assert_eq!((basis.l.b, basis.l.a), (5, -1));
+    /// ```
+    pub fn compute(problem: &Problem) -> Result<Self> {
+        let solver = ClassSolver::new(problem);
+        Self::compute_with(problem, &solver)
+    }
+
+    /// Same as [`Basis::compute`] with a caller-supplied [`ClassSolver`] so
+    /// the full algorithm runs extended Euclid exactly once (Figure 5).
+    pub fn compute_with(problem: &Problem, solver: &ClassSolver) -> Result<Self> {
+        let d = solver.d();
+        let k = problem.k();
+        let pk = problem.row_len();
+        let s = problem.s();
+        if d >= k {
+            return Err(BcagError::Precondition(
+                "basis undefined: gcd(s, pk) >= k leaves at most one offset class per processor",
+            ));
+        }
+        // Lines 19–26: minimum and maximum first-access over the offset
+        // classes of the initial cycle of processor 0 with l = 0, i.e.
+        // offsets i in (0, k) that are multiples of d. Use the same
+        // d-stepping the start-location loop uses.
+        let n_d = pk / d;
+        let mut min = i64::MAX;
+        let mut max = 0i64;
+        let mut i = d;
+        while i < k {
+            let j = numth::mulmod(i / d, solver.g.x, n_d);
+            let loc = s * j;
+            min = min.min(loc);
+            max = max.max(loc);
+            i += d;
+        }
+        debug_assert!(min < i64::MAX);
+        // Lines 28–30: coordinates. R from the minimum; L from the maximum
+        // relative to the next cycle's first point (index pk/d at (0, s/d)).
+        let r = LatticePoint { b: mod_floor(min, pk), a: min / pk, i: min / s };
+        let l = LatticePoint {
+            b: mod_floor(max, pk),
+            a: max / pk - s / d,
+            i: max / s - n_d,
+        };
+        debug_assert!(r.b > 0 && r.b < k, "0 < b_r < k");
+        debug_assert!(l.b > 0 && l.b < k, "0 < b_l < k");
+        debug_assert!(r.i > 0 && l.i < 0);
+        Ok(Basis { r, l })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lattice::SectionLattice;
+
+    #[test]
+    fn paper_example_vectors() {
+        let pr = Problem::new(4, 8, 0, 9).unwrap();
+        let b = Basis::compute(&pr).unwrap();
+        // Figure 3/4: R = (4, 1) for index 36, L = (5, −1) for index 261
+        // relative to 288.
+        assert_eq!((b.r.b, b.r.a, b.r.i), (4, 1, 4));
+        assert_eq!((b.l.b, b.l.a, b.l.i), (5, -1, -3));
+        // Gap values used in the Figure 6 walk: +12 and +3.
+        assert_eq!(b.gap_r(8), 12);
+        assert_eq!(b.gap_l(8), 3);
+    }
+
+    #[test]
+    fn vectors_are_lattice_points_and_a_basis() {
+        for p in 1..=5i64 {
+            for k in 2..=6i64 {
+                for s in 1..=50i64 {
+                    let pr = Problem::new(p, k, 0, s).unwrap();
+                    let lat = SectionLattice::new(&pr);
+                    match Basis::compute(&pr) {
+                        Ok(b) => {
+                            // Both points satisfy pk·a + b = i·s.
+                            assert_eq!(lat.membership(b.r.b, b.r.a).map(|q| q.i), Some(b.r.i));
+                            assert_eq!(lat.membership(b.l.b, b.l.a).map(|q| q.i), Some(b.l.i));
+                            // Theorem 2: they form a basis.
+                            assert!(lat.is_basis(&b.r, &b.l), "p={p} k={k} s={s}");
+                            // Offsets strictly inside (0, k).
+                            assert!(b.r.b > 0 && b.r.b < k);
+                            assert!(b.l.b > 0 && b.l.b < k);
+                        }
+                        Err(_) => {
+                            assert!(pr.d() >= k, "basis should exist when d < k (p={p} k={k} s={s})");
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn r_is_smallest_positive_in_strip() {
+        // Exhaustive semantic check of R's definition: the smallest positive
+        // section index whose in-row offset is in (0, k).
+        for (p, k, s) in [(4i64, 8i64, 9i64), (3, 4, 7), (5, 3, 11), (2, 8, 6)] {
+            let pr = Problem::new(p, k, 0, s).unwrap();
+            let b = Basis::compute(&pr).unwrap();
+            let pk = p * k;
+            let expected = (1..)
+                .map(|i| i * s)
+                .find(|&g| {
+                    let off = g % pk;
+                    off > 0 && off < k
+                })
+                .unwrap();
+            assert_eq!(b.r.i * s, expected, "p={p} k={k} s={s}");
+        }
+    }
+
+    #[test]
+    fn l_is_largest_in_first_cycle() {
+        for (p, k, s) in [(4i64, 8i64, 9i64), (3, 4, 7), (5, 3, 11), (2, 8, 6)] {
+            let pr = Problem::new(p, k, 0, s).unwrap();
+            let b = Basis::compute(&pr).unwrap();
+            let pk = p * k;
+            let period = pr.period_elements();
+            let largest = (1..period)
+                .map(|i| i * s)
+                .filter(|&g| {
+                    let off = g % pk;
+                    off > 0 && off < k
+                })
+                .max()
+                .unwrap();
+            // L = largest − next-cycle start.
+            assert_eq!(b.l.i * s, largest - pr.period_global(), "p={p} k={k} s={s}");
+        }
+    }
+
+    #[test]
+    fn degenerate_when_d_at_least_k() {
+        // s = 16, pk = 32 => d = 16 >= k = 8.
+        let pr = Problem::new(4, 8, 0, 16).unwrap();
+        assert!(Basis::compute(&pr).is_err());
+        // pk | s: d = 32 >= 8.
+        let pr = Problem::new(4, 8, 0, 32).unwrap();
+        assert!(Basis::compute(&pr).is_err());
+    }
+}

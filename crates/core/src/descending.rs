@@ -1,0 +1,192 @@
+//! Descending traversal: negative-stride sections.
+//!
+//! Section 2 of the paper assumes `s > 0` and notes the negative case "can
+//! be treated analogously": the element *set* of `A(l : u : s)` with
+//! `s < 0` equals that of the reversed ascending section, and the traversal
+//! visits it in decreasing global order. Descending local enumeration walks
+//! the same gap cycle backwards, so no new table construction is needed —
+//! one ascending table plus the rank of the final element suffice.
+
+use crate::error::Result;
+use crate::method::{build, Method};
+use crate::nth::RandomAccess;
+use crate::params::Problem;
+use crate::pattern::Access;
+use crate::section::RegularSection;
+use crate::start::{count_owned, last_location};
+
+/// Iterator over a processor's accesses in *decreasing* global order,
+/// covering the owned elements of `l..=u` of the ascending problem.
+#[derive(Debug, Clone)]
+pub struct DescendingWalker {
+    gaps: Vec<i64>,
+    global_steps: Vec<i64>,
+    /// Index of the gap that *arrived at* the current position (walking
+    /// backwards consumes gaps in reverse order).
+    idx: usize,
+    pos: Access,
+    remaining: i64,
+}
+
+impl DescendingWalker {
+    /// Builds a descending walker over the owned elements of the ascending
+    /// problem bounded by `u`. Yields nothing when the processor owns no
+    /// section element in `[l, u]`.
+    ///
+    /// ```
+    /// use bcag_core::{params::Problem, descending::DescendingWalker};
+    /// let pr = Problem::new(4, 8, 4, 9).unwrap();
+    /// let down: Vec<i64> = DescendingWalker::new(&pr, 1, 301).unwrap()
+    ///     .map(|a| a.global).collect();
+    /// assert_eq!(&down[..3], &[301, 265, 238]);
+    /// ```
+    pub fn new(problem: &Problem, m: i64, u: i64) -> Result<DescendingWalker> {
+        let pat = build(problem, m, Method::Lattice)?;
+        let empty = DescendingWalker {
+            gaps: vec![1],
+            global_steps: vec![1],
+            idx: 0,
+            pos: Access { global: 0, local: 0 },
+            remaining: 0,
+        };
+        let Some(ra) = RandomAccess::new(&pat) else {
+            return Ok(empty);
+        };
+        let Some(last_g) = last_location(problem, m, u)? else {
+            return Ok(empty);
+        };
+        let count = count_owned(problem, m, u)?;
+        let rank = ra.rank_of_global(last_g).expect("last location is an access");
+        let last = ra.nth(rank);
+        let len = pat.len();
+        Ok(DescendingWalker {
+            gaps: pat.gaps().to_vec(),
+            global_steps: match pat.pattern() {
+                crate::pattern::Pattern::Cyclic(c) => c.global_steps.clone(),
+                crate::pattern::Pattern::Empty => unreachable!("non-empty checked"),
+            },
+            // Gap used to arrive at rank `rank` is entry (rank-1) mod L.
+            idx: ((rank - 1).rem_euclid(len as i64)) as usize,
+            pos: last,
+            remaining: count,
+        })
+    }
+
+    /// Convenience: a descending traversal for the section as the user
+    /// wrote it (typically with `s < 0`). `p`, `k` describe the layout.
+    pub fn for_section(
+        p: i64,
+        k: i64,
+        section: &RegularSection,
+        m: i64,
+    ) -> Result<DescendingWalker> {
+        let norm = section.normalized();
+        if norm.count == 0 {
+            let problem = Problem::new(p, k, 0, 1)?;
+            return Self::new(&problem, m, -1); // u < l: empty
+        }
+        let problem = Problem::new(p, k, norm.lo, norm.step)?;
+        Self::new(&problem, m, norm.hi)
+    }
+}
+
+impl Iterator for DescendingWalker {
+    type Item = Access;
+
+    fn next(&mut self) -> Option<Access> {
+        if self.remaining == 0 {
+            return None;
+        }
+        let out = self.pos;
+        self.remaining -= 1;
+        if self.remaining > 0 {
+            self.pos.global -= self.global_steps[self.idx];
+            self.pos.local -= self.gaps[self.idx];
+            self.idx = if self.idx == 0 { self.gaps.len() - 1 } else { self.idx - 1 };
+        }
+        Some(out)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining as usize, Some(self.remaining as usize))
+    }
+}
+
+impl ExactSizeIterator for DescendingWalker {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lattice_alg;
+
+    #[test]
+    fn descending_is_reverse_of_ascending() {
+        for (p, k, l, s, u) in [
+            (4i64, 8i64, 4i64, 9i64, 301i64),
+            (3, 5, 0, 7, 200),
+            (2, 16, 11, 37, 1000),
+            (4, 8, 0, 32, 700),
+            (2, 1, 0, 2, 50),
+        ] {
+            let pr = Problem::new(p, k, l, s).unwrap();
+            for m in 0..p {
+                let pat = lattice_alg::build(&pr, m).unwrap();
+                let mut fwd: Vec<Access> = pat.iter_to(u).collect();
+                fwd.reverse();
+                let bwd: Vec<Access> = DescendingWalker::new(&pr, m, u).unwrap().collect();
+                assert_eq!(bwd, fwd, "p={p} k={k} l={l} s={s} u={u} m={m}");
+            }
+        }
+    }
+
+    #[test]
+    fn negative_stride_section_traversal() {
+        // A(95 : 5 : -9) on cyclic(8) x 4: visits 95, 86, 77, ... downward.
+        let sec = RegularSection::new(95, 5, -9).unwrap();
+        let mut all: Vec<i64> = Vec::new();
+        for m in 0..4 {
+            let walker = DescendingWalker::for_section(4, 8, &sec, m).unwrap();
+            for acc in walker {
+                assert!(sec.contains(acc.global), "m={m} g={}", acc.global);
+                all.push(acc.global);
+            }
+        }
+        all.sort_unstable();
+        let mut expect: Vec<i64> = sec.iter().collect();
+        expect.sort_unstable();
+        assert_eq!(all, expect);
+    }
+
+    #[test]
+    fn per_processor_descending_order() {
+        let sec = RegularSection::new(300, 0, -7).unwrap();
+        for m in 0..4 {
+            let globals: Vec<i64> = DescendingWalker::for_section(4, 8, &sec, m)
+                .unwrap()
+                .map(|a| a.global)
+                .collect();
+            assert!(globals.windows(2).all(|w| w[0] > w[1]), "m={m}: {globals:?}");
+        }
+    }
+
+    #[test]
+    fn empty_cases() {
+        let sec = RegularSection::new(5, 10, -1).unwrap(); // empty
+        let w = DescendingWalker::for_section(2, 4, &sec, 0).unwrap();
+        assert_eq!(w.count(), 0);
+
+        let pr = Problem::new(2, 1, 0, 2).unwrap();
+        let w = DescendingWalker::new(&pr, 1, 100).unwrap(); // proc 1 owns nothing
+        assert_eq!(w.count(), 0);
+    }
+
+    #[test]
+    fn exact_size_iterator() {
+        let pr = Problem::new(4, 8, 4, 9).unwrap();
+        let w = DescendingWalker::new(&pr, 1, 301).unwrap();
+        assert_eq!(w.len(), 9);
+        let collected: Vec<Access> = w.collect();
+        assert_eq!(collected.len(), 9);
+        assert_eq!(collected[0].global, 301);
+    }
+}

@@ -1,0 +1,153 @@
+//! Finite-state-machine view of the gap sequence.
+//!
+//! Chatterjee et al. "visualize the table containing the offset and memory
+//! gap sequences as the transition diagram of a finite state machine"
+//! (paper Section 2): states are the block offsets the section visits on a
+//! processor; the transition out of a state is labelled with the local
+//! memory gap; the machine's transition structure depends only on
+//! `(p, k, s)`, while the *start state* depends on the lower bound `l` and
+//! the processor number `m`.
+//!
+//! This module materializes that view and uses it to verify the paper's
+//! Section 6.1 observation: when `gcd(s, pk) = 1` the local `AM` sequences
+//! of all processors are cyclic shifts of one another.
+
+use crate::error::Result;
+use crate::method::{build, Method};
+use crate::params::Problem;
+use crate::pattern::{AccessPattern, Pattern};
+
+/// One FSM state: a visited block offset with its outgoing transition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct State {
+    /// Block offset (in `[0, k)`) this state represents.
+    pub offset: i64,
+    /// Local memory gap emitted on the transition out of this state.
+    pub gap: i64,
+    /// Index (into [`Fsm::states`]) of the successor state.
+    pub next: usize,
+}
+
+/// The transition diagram of a processor's access sequence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fsm {
+    /// States in *access order starting from the start state*; the
+    /// transition structure is a single cycle through all of them.
+    pub states: Vec<State>,
+    /// Index of the start state (always 0 by construction; kept explicit
+    /// for readability at call sites).
+    pub start: usize,
+}
+
+impl Fsm {
+    /// Builds the FSM from an access pattern. Returns `None` for an empty
+    /// pattern.
+    pub fn from_pattern(pattern: &AccessPattern) -> Option<Fsm> {
+        let c = match pattern.pattern() {
+            Pattern::Empty => return None,
+            Pattern::Cyclic(c) => c,
+        };
+        let k = pattern.problem().k();
+        let n = c.gaps.len();
+        let mut states = Vec::with_capacity(n);
+        let mut local = c.start_local;
+        for (t, &gap) in c.gaps.iter().enumerate() {
+            states.push(State { offset: local % k, gap, next: (t + 1) % n });
+            local += gap;
+        }
+        Some(Fsm { states, start: 0 })
+    }
+
+    /// Convenience: build the pattern with `method` and convert.
+    pub fn build(problem: &Problem, m: i64, method: Method) -> Result<Option<Fsm>> {
+        Ok(Self::from_pattern(&build(problem, m, method)?))
+    }
+
+    /// The gap sequence read off by running the machine one full cycle from
+    /// the start state.
+    pub fn gap_cycle(&self) -> Vec<i64> {
+        let mut out = Vec::with_capacity(self.states.len());
+        let mut s = self.start;
+        for _ in 0..self.states.len() {
+            out.push(self.states[s].gap);
+            s = self.states[s].next;
+        }
+        out
+    }
+}
+
+/// True when `b` is a cyclic rotation of `a` (used to check the Section 6.1
+/// claim that, for `gcd(s, pk) = 1`, per-processor `AM` tables are cyclic
+/// shifts of one another).
+pub fn is_cyclic_shift(a: &[i64], b: &[i64]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    if a.is_empty() {
+        return true;
+    }
+    (0..a.len()).any(|r| a.iter().cycle().skip(r).take(a.len()).eq(b.iter()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lattice_alg;
+
+    #[test]
+    fn fsm_reproduces_gap_table() {
+        let pr = Problem::new(4, 8, 4, 9).unwrap();
+        let pat = lattice_alg::build(&pr, 1).unwrap();
+        let fsm = Fsm::from_pattern(&pat).unwrap();
+        assert_eq!(fsm.gap_cycle(), pat.gaps());
+        assert_eq!(fsm.states.len(), 8);
+    }
+
+    #[test]
+    fn cyclic_shift_detection() {
+        assert!(is_cyclic_shift(&[1, 2, 3], &[3, 1, 2]));
+        assert!(is_cyclic_shift(&[1, 2, 3], &[1, 2, 3]));
+        assert!(!is_cyclic_shift(&[1, 2, 3], &[3, 2, 1]));
+        assert!(!is_cyclic_shift(&[1, 2], &[1, 2, 3]));
+        assert!(is_cyclic_shift(&[], &[]));
+        assert!(is_cyclic_shift(&[5, 5], &[5, 5]));
+    }
+
+    #[test]
+    fn coprime_stride_tables_are_cyclic_shifts() {
+        // Section 6.1: "if GCD(s, pk) = 1, then the local AM sequences are
+        // cyclic shifts of one another".
+        for s in [7i64, 9, 31, 33] {
+            let pr = Problem::new(4, 8, 0, s).unwrap();
+            assert_eq!(pr.d(), 1);
+            let base = lattice_alg::build(&pr, 0).unwrap();
+            for m in 1..4 {
+                let pat = lattice_alg::build(&pr, m).unwrap();
+                assert!(
+                    is_cyclic_shift(base.gaps(), pat.gaps()),
+                    "s={s} m={m}: {:?} vs {:?}",
+                    base.gaps(),
+                    pat.gaps()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn transition_structure_independent_of_lower_bound() {
+        // The transition table depends only on (p, k, s); the lower bound
+        // only moves the start state (paper Section 2). Compare the state
+        // sets (offset -> gap maps) for two lower bounds.
+        let pr_a = Problem::new(4, 8, 0, 9).unwrap();
+        let pr_b = Problem::new(4, 8, 13, 9).unwrap();
+        for m in 0..4 {
+            let fa = Fsm::from_pattern(&lattice_alg::build(&pr_a, m).unwrap()).unwrap();
+            let fb = Fsm::from_pattern(&lattice_alg::build(&pr_b, m).unwrap()).unwrap();
+            let mut map_a: Vec<(i64, i64)> = fa.states.iter().map(|s| (s.offset, s.gap)).collect();
+            let mut map_b: Vec<(i64, i64)> = fb.states.iter().map(|s| (s.offset, s.gap)).collect();
+            map_a.sort_unstable();
+            map_b.sort_unstable();
+            assert_eq!(map_a, map_b, "m={m}");
+        }
+    }
+}

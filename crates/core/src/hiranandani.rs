@@ -1,0 +1,154 @@
+//! The restricted linear-time method of Hiranandani, Kennedy,
+//! Mellor-Crummey and Sethi (ICS'94), which the paper cites as prior work:
+//! `O(k)` table construction, but **only** when `s mod pk < k`.
+//!
+//! Under that condition the in-row offset advances by `s' = s mod pk < k`
+//! per section element, so the walk can never jump *over* a processor's
+//! block window (the window is `k` wide and each hop is shorter). The next
+//! owned element after leaving the window is therefore reachable with one
+//! ceiling division — no sorting and no lattice basis needed. The simple
+//! structure is why the original implementation could generate the local
+//! index sequence "without actually sorting it" (paper Section 7).
+
+use crate::error::{BcagError, Result};
+use crate::layout::Layout;
+use crate::numth::mod_floor;
+use crate::params::Problem;
+use crate::pattern::{AccessPattern, CyclicPattern, Pattern};
+use crate::start::{start_info_with, ClassSolver};
+
+/// True when the method's precondition `s mod pk < k` holds.
+pub fn applicable(problem: &Problem) -> bool {
+    problem.s() % problem.row_len() < problem.k()
+}
+
+/// Builds processor `m`'s access pattern with the special-case method.
+///
+/// Returns [`BcagError::Precondition`] when `s mod pk >= k`.
+///
+/// ```
+/// use bcag_core::{params::Problem, hiranandani};
+/// // s = 3 < k = 8: applicable.
+/// let pr = Problem::new(4, 8, 0, 3).unwrap();
+/// let pat = hiranandani::build(&pr, 1).unwrap();
+/// pat.check_invariants();
+/// // s = 9 >= k = 8 (and 9 mod 32 = 9): not applicable.
+/// let pr = Problem::new(4, 8, 0, 9).unwrap();
+/// assert!(hiranandani::build(&pr, 1).is_err());
+/// ```
+pub fn build(problem: &Problem, m: i64) -> Result<AccessPattern> {
+    problem.check_proc(m)?;
+    if !applicable(problem) {
+        return Err(BcagError::Precondition(
+            "Hiranandani et al. method requires s mod pk < k",
+        ));
+    }
+    let solver = ClassSolver::new(problem);
+    let info = start_info_with(&solver, m);
+    let Some(start_global) = info.start else {
+        return Ok(AccessPattern::from_parts(*problem, m, Pattern::Empty));
+    };
+    let lay = Layout::new(problem);
+    let start_local = lay.local_addr(start_global);
+    if info.length == 1 {
+        let c = CyclicPattern {
+            start_global,
+            start_local,
+            gaps: vec![problem.period_local()],
+            global_steps: vec![problem.period_global()],
+        };
+        return Ok(AccessPattern::from_parts(*problem, m, Pattern::Cyclic(c)));
+    }
+
+    let pk = problem.row_len();
+    let k = problem.k();
+    let s = problem.s();
+    let sp = s % pk; // in-row advance per element; 1 <= sp < k here
+    debug_assert!(sp >= 1, "sp == 0 implies d = pk >= k, handled as length <= 1");
+    let km = k * m;
+    let window_end = km + k;
+
+    let length = info.length as usize;
+    let mut gaps = Vec::with_capacity(length);
+    let mut global_steps = Vec::with_capacity(length);
+    let mut g = start_global;
+    let mut o = lay.in_row_offset(start_global);
+    for _ in 0..length {
+        // One section step.
+        let mut g1 = g + s;
+        let mut o1 = o + sp;
+        if o1 >= pk {
+            o1 -= pk;
+        }
+        // If that left the window, hop straight to the next element whose
+        // offset re-enters it. Offsets advance by sp < k per element, so the
+        // window cannot be jumped over; one ceiling division finds the count.
+        if !(km..window_end).contains(&o1) {
+            let target = if o1 < km { km } else { km + pk };
+            let t = (target - o1 + sp - 1) / sp; // ceil((target - o1)/sp)
+            g1 += t * s;
+            o1 = mod_floor(o1 + t * sp, pk);
+            debug_assert!((km..window_end).contains(&o1));
+        }
+        gaps.push(lay.local_addr(g1) - lay.local_addr(g));
+        global_steps.push(g1 - g);
+        g = g1;
+        o = o1;
+    }
+
+    let c = CyclicPattern { start_global, start_local, gaps, global_steps };
+    Ok(AccessPattern::from_parts(*problem, m, Pattern::Cyclic(c)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lattice_alg;
+
+    #[test]
+    fn applicability() {
+        assert!(applicable(&Problem::new(4, 8, 0, 3).unwrap()));
+        assert!(applicable(&Problem::new(4, 8, 0, 32).unwrap())); // 32 mod 32 = 0 < 8
+        assert!(applicable(&Problem::new(4, 8, 0, 33).unwrap())); // 1 < 8
+        assert!(applicable(&Problem::new(4, 8, 0, 39).unwrap())); // 7 < 8
+        assert!(!applicable(&Problem::new(4, 8, 0, 9).unwrap())); // 9 >= 8
+        assert!(!applicable(&Problem::new(4, 8, 0, 31).unwrap())); // 31 >= 8
+    }
+
+    #[test]
+    fn agrees_with_lattice_when_applicable() {
+        for p in 1..=4i64 {
+            for k in [1i64, 2, 4, 8] {
+                for s_raw in 1i64..=80 {
+                    for l in [0i64, 5] {
+                        let pr = Problem::new(p, k, l, s_raw).unwrap();
+                        if !applicable(&pr) {
+                            continue;
+                        }
+                        for m in 0..p {
+                            let a = lattice_alg::build(&pr, m).unwrap();
+                            let b = build(&pr, m).unwrap();
+                            assert_eq!(a, b, "p={p} k={k} s={s_raw} l={l} m={m}");
+                            b.check_invariants();
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_out_of_scope_stride() {
+        let pr = Problem::new(4, 8, 0, 9).unwrap();
+        assert!(matches!(build(&pr, 0), Err(BcagError::Precondition(_))));
+    }
+
+    #[test]
+    fn multiple_of_pk_stride() {
+        // sp == 0: pure period stepping, handled by the length<=1 path.
+        let pr = Problem::new(4, 8, 0, 64).unwrap();
+        let pat = build(&pr, 0).unwrap();
+        assert_eq!(pat.len(), 1);
+        pat.check_invariants();
+    }
+}

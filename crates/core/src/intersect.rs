@@ -1,0 +1,165 @@
+//! Intersection of arithmetic progressions.
+//!
+//! The communication-set problem for `A(lₐ:uₐ:sₐ) = B(l_b:u_b:s_b)`
+//! (Chatterjee et al.; Stichnoth, O'Hallaron and Gross — paper Section 7)
+//! reduces to intersecting arithmetic progressions: the set of section
+//! ranks `t` whose B-element lives on processor `src` is a union of
+//! progressions (one per owned offset class), and likewise for the
+//! A-element on `dst`. The ranks exchanged between a processor pair are
+//! pairwise intersections, each solvable in closed form with the Chinese
+//! Remainder construction below.
+
+use crate::numth::{extended_euclid, gcd, lcm, mulmod};
+
+/// An infinite ascending arithmetic progression `{ first + i·step : i ≥ 0 }`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Ap {
+    /// Smallest element.
+    pub first: i64,
+    /// Positive step.
+    pub step: i64,
+}
+
+impl Ap {
+    /// Creates a progression; `step` must be positive.
+    pub fn new(first: i64, step: i64) -> Ap {
+        assert!(step > 0, "Ap requires a positive step");
+        Ap { first, step }
+    }
+
+    /// True when `v` belongs to the progression.
+    pub fn contains(&self, v: i64) -> bool {
+        v >= self.first && (v - self.first) % self.step == 0
+    }
+
+    /// Iterates elements `<= hi`.
+    pub fn iter_to(&self, hi: i64) -> impl Iterator<Item = i64> + '_ {
+        let first = self.first;
+        let step = self.step;
+        (0..)
+            .map(move |i| first + i * step)
+            .take_while(move |&v| v <= hi)
+    }
+
+    /// Number of elements `<= hi`.
+    pub fn count_to(&self, hi: i64) -> i64 {
+        if hi < self.first {
+            0
+        } else {
+            (hi - self.first) / self.step + 1
+        }
+    }
+}
+
+/// Intersects two progressions. The result (when non-empty) is itself a
+/// progression with `step = lcm(step₁, step₂)` and `first` the smallest
+/// common element; the intersection is empty iff
+/// `gcd(step₁, step₂) ∤ (first₂ − first₁)`.
+///
+/// ```
+/// use bcag_core::intersect::{intersect, Ap};
+/// // {1, 4, 7, ...} ∩ {3, 8, 13, ...} = {13, 28, ...}
+/// let i = intersect(&Ap::new(1, 3), &Ap::new(3, 5)).unwrap();
+/// assert_eq!((i.first, i.step), (13, 15));
+/// assert!(intersect(&Ap::new(0, 2), &Ap::new(1, 2)).is_none());
+/// ```
+pub fn intersect(a: &Ap, b: &Ap) -> Option<Ap> {
+    let g = gcd(a.step, b.step);
+    let diff = b.first - a.first;
+    if diff.rem_euclid(g) != 0 {
+        return None;
+    }
+    // Solve a.first + a.step·x ≡ b.first (mod b.step):
+    // a.step·x ≡ diff (mod b.step); divide through by g.
+    let step_a = a.step / g;
+    let step_b = b.step / g;
+    let target = diff.div_euclid(g).rem_euclid(step_b);
+    // step_a and step_b are coprime: invert step_a mod step_b.
+    let e = extended_euclid(step_a, step_b);
+    debug_assert_eq!(e.d, 1);
+    let x0 = mulmod(target, e.x, step_b); // in [0, step_b)
+    let step = lcm(a.step, b.step).expect("caller keeps steps in range");
+    let mut first = a.first + a.step * x0;
+    debug_assert!(b.contains(first) || first < b.first);
+    // Lift above b.first if needed (x0 solved the congruence, not the bound).
+    if first < b.first {
+        let deficit = b.first - first;
+        first += (deficit + step - 1) / step * step;
+    }
+    debug_assert!(a.contains(first) && b.contains(first));
+    Some(Ap { first, step })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn brute_intersect(a: &Ap, b: &Ap, hi: i64) -> Vec<i64> {
+        let set: std::collections::HashSet<i64> = b.iter_to(hi).collect();
+        a.iter_to(hi).filter(|v| set.contains(v)).collect()
+    }
+
+    #[test]
+    fn doc_example() {
+        let i = intersect(&Ap::new(1, 3), &Ap::new(3, 5)).unwrap();
+        assert_eq!((i.first, i.step), (13, 15));
+    }
+
+    #[test]
+    fn exhaustive_small_grid() {
+        for f1 in 0..12i64 {
+            for s1 in 1..10i64 {
+                for f2 in 0..12i64 {
+                    for s2 in 1..10i64 {
+                        let a = Ap::new(f1, s1);
+                        let b = Ap::new(f2, s2);
+                        let expect = brute_intersect(&a, &b, 300);
+                        match intersect(&a, &b) {
+                            None => assert!(
+                                expect.is_empty(),
+                                "missed intersection {a:?} {b:?}: {expect:?}"
+                            ),
+                            Some(i) => {
+                                let got: Vec<i64> = i.iter_to(300).collect();
+                                assert_eq!(got, expect, "{a:?} {b:?}");
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn identical_progressions() {
+        let a = Ap::new(7, 11);
+        let i = intersect(&a, &a).unwrap();
+        assert_eq!((i.first, i.step), (7, 11));
+    }
+
+    #[test]
+    fn disjoint_residues() {
+        assert!(intersect(&Ap::new(0, 4), &Ap::new(1, 4)).is_none());
+        assert!(intersect(&Ap::new(0, 6), &Ap::new(3, 4)).is_none()); // parity clash
+    }
+
+    #[test]
+    fn negative_first_elements() {
+        let i = intersect(&Ap::new(-20, 3), &Ap::new(-5, 7)).unwrap();
+        assert!(i.contains(i.first));
+        assert_eq!((i.first + 20) % 3, 0);
+        assert_eq!((i.first + 5) % 7, 0);
+        assert!(i.first >= -5);
+        // First really is minimal.
+        assert!(!Ap::new(-20, 3).contains(i.first - i.step) || i.first - i.step < -5);
+    }
+
+    #[test]
+    fn ap_counting() {
+        let a = Ap::new(5, 9);
+        assert_eq!(a.count_to(4), 0);
+        assert_eq!(a.count_to(5), 1);
+        assert_eq!(a.count_to(23), 3); // 5, 14, 23
+        assert_eq!(a.iter_to(23).count(), 3);
+    }
+}

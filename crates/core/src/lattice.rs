@@ -1,0 +1,238 @@
+//! The integer lattice of regular-section accesses (paper Section 3).
+//!
+//! Treat each array element as a point of `Z²` with the x-axis running along
+//! in-row offsets and the y-axis along courses (rows). For a distribution
+//! with row length `pk` and a section of stride `s` (lower bound folded
+//! away), the set
+//!
+//! ```text
+//! Λ = { (b, a) ∈ Z² : pk·a + b = i·s,  i ∈ Z }
+//! ```
+//!
+//! is an integer lattice (Theorem 1): it is discrete and closed under
+//! subtraction. Each point corresponds to the section element with index
+//! `i`; `b` is its in-row offset displacement and `a` its course
+//! displacement relative to the origin.
+//!
+//! Two lattice points `(b₁,a₁)` (index `i₁`) and `(b₂,a₂)` (index `i₂`)
+//! form a basis iff `|a₁·i₂ − a₂·i₁| = 1` (Section 3), and a point can be
+//! extended to a basis iff `gcd(a, i) = 1` (no other lattice point lies on
+//! the segment from the origin).
+
+use crate::error::{BcagError, Result};
+use crate::numth::gcd;
+use crate::params::Problem;
+
+/// A point of the section lattice, carrying its section index `i` so that
+/// `pk·a + b = i·s` holds by construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LatticePoint {
+    /// x-coordinate: in-row offset displacement.
+    pub b: i64,
+    /// y-coordinate: course (row) displacement.
+    pub a: i64,
+    /// Section index: the point represents section element `i` (global
+    /// array index `i·s` in the `l = 0` instance).
+    pub i: i64,
+}
+
+impl LatticePoint {
+    /// Local-memory gap contributed by traversing this displacement on a
+    /// single processor: `a·k + b` (Section 4 / Figure 5 line 36).
+    #[inline]
+    pub fn local_gap(&self, k: i64) -> i64 {
+        self.a * k + self.b
+    }
+
+    /// Componentwise addition; indices add as well (lattices are closed
+    /// under addition of points).
+    pub fn add(&self, other: &LatticePoint) -> LatticePoint {
+        LatticePoint { b: self.b + other.b, a: self.a + other.a, i: self.i + other.i }
+    }
+
+    /// Componentwise subtraction.
+    pub fn sub(&self, other: &LatticePoint) -> LatticePoint {
+        LatticePoint { b: self.b - other.b, a: self.a - other.a, i: self.i - other.i }
+    }
+
+    /// True when no other lattice point lies strictly between the origin and
+    /// this point, i.e. the point is *primitive* and can belong to a basis.
+    /// Equivalent to `gcd(a, i) = 1` (Section 3).
+    pub fn is_primitive(&self) -> bool {
+        gcd(self.a, self.i) == 1
+    }
+}
+
+/// The access lattice for a given `(p, k, s)`. Independent of the section's
+/// lower bound `l` (the paper folds `l` away before reasoning about Λ).
+#[derive(Debug, Clone, Copy)]
+pub struct SectionLattice {
+    pk: i64,
+    s: i64,
+}
+
+impl SectionLattice {
+    /// Builds the lattice for a validated problem.
+    pub fn new(problem: &Problem) -> Self {
+        SectionLattice { pk: problem.row_len(), s: problem.s() }
+    }
+
+    /// Row length `pk`.
+    #[inline]
+    pub fn row_len(&self) -> i64 {
+        self.pk
+    }
+
+    /// Section stride `s`.
+    #[inline]
+    pub fn stride(&self) -> i64 {
+        self.s
+    }
+
+    /// Constructs the lattice point for section index `i`, reduced to the
+    /// fundamental strip `0 <= b < pk`:
+    /// `b = (i·s) mod pk`, `a = (i·s) div pk`.
+    pub fn point_for_index(&self, i: i64) -> LatticePoint {
+        let v = (i as i128) * (self.s as i128);
+        let pk = self.pk as i128;
+        LatticePoint {
+            b: v.rem_euclid(pk) as i64,
+            a: v.div_euclid(pk) as i64,
+            i,
+        }
+    }
+
+    /// Membership test: `(b, a)` is a lattice point iff `pk·a + b` is a
+    /// multiple of `s`; returns the point (with its index) when it is.
+    pub fn membership(&self, b: i64, a: i64) -> Option<LatticePoint> {
+        let v = (self.pk as i128) * (a as i128) + b as i128;
+        if v.rem_euclid(self.s as i128) == 0 {
+            Some(LatticePoint { b, a, i: (v / self.s as i128) as i64 })
+        } else {
+            None
+        }
+    }
+
+    /// Basis test from Section 3: `v₁, v₂` generate Λ iff
+    /// `|a₁·i₂ − a₂·i₁| = 1`.
+    pub fn is_basis(&self, v1: &LatticePoint, v2: &LatticePoint) -> bool {
+        let det = (v1.a as i128) * (v2.i as i128) - (v2.a as i128) * (v1.i as i128);
+        det == 1 || det == -1
+    }
+
+    /// Completes a primitive point into a basis using the extended Euclid
+    /// construction of Section 3: choose `i₁ = 1`,
+    /// `(b₁, a₁) = (s mod pk, s div pk)`, then find `a₂, i₂` with
+    /// `a₁·i₂ − a₂·i₁ = 1` and set `b₂ = i₂·s − pk·a₂`.
+    ///
+    /// Returns the constructed pair `(v1, v2)`.
+    pub fn euclid_basis(&self) -> Result<(LatticePoint, LatticePoint)> {
+        let v1 = self.point_for_index(1);
+        // Solve a1 * i2 - a2 * 1 = 1  =>  a2 = a1 * i2 - 1 for any i2; the
+        // extended Euclid form in the paper finds integers via gcd(a1, i1).
+        // With i1 = 1, gcd(a1, 1) = 1 always; pick i2 = 0, a2 = -1.
+        let i2 = 0i64;
+        let a2 = v1.a * i2 - 1;
+        let b2 = i2
+            .checked_mul(self.s)
+            .and_then(|x| {
+                let pa = self.pk.checked_mul(a2)?;
+                x.checked_sub(pa)
+            })
+            .ok_or(BcagError::Overflow)?;
+        let v2 = LatticePoint { b: b2, a: a2, i: i2 };
+        debug_assert!(self.is_basis(&v1, &v2));
+        Ok((v1, v2))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_lattice() -> SectionLattice {
+        let pr = Problem::new(4, 8, 0, 9).unwrap();
+        SectionLattice::new(&pr)
+    }
+
+    #[test]
+    fn figure2_basis_vectors() {
+        // Figure 2: (3, 3) with 3·32 + 3 = 99 = 11·9, and (−1, 2) with
+        // 2·32 − 1 = 63 = 7·9. Since 3·7 − 2·11 = −1 they form a basis.
+        let lat = paper_lattice();
+        let v1 = lat.membership(3, 3).expect("(3,3) is a lattice point");
+        assert_eq!(v1.i, 11);
+        let v2 = lat.membership(-1, 2).expect("(-1,2) is a lattice point");
+        assert_eq!(v2.i, 7);
+        assert!(lat.is_basis(&v1, &v2));
+        assert!(v1.is_primitive());
+        assert!(v2.is_primitive());
+    }
+
+    #[test]
+    fn point_for_index_satisfies_equation() {
+        let lat = paper_lattice();
+        for i in -50..=50 {
+            let pt = lat.point_for_index(i);
+            assert_eq!(32 * pt.a + pt.b, 9 * i);
+            assert!((0..32).contains(&pt.b));
+            assert_eq!(lat.membership(pt.b, pt.a), Some(pt));
+        }
+    }
+
+    #[test]
+    fn membership_rejects_non_points() {
+        let lat = paper_lattice();
+        // 32·1 + 1 = 33, not a multiple of 9.
+        assert!(lat.membership(1, 1).is_none());
+        // 32·1 + 4 = 36 = 4·9: a point.
+        assert_eq!(lat.membership(4, 1).map(|p| p.i), Some(4));
+    }
+
+    #[test]
+    fn closure_under_subtraction() {
+        // Theorem 1's proof: differences of lattice points are lattice points.
+        let lat = paper_lattice();
+        for i1 in -10..=10 {
+            for i2 in -10..=10 {
+                let p1 = lat.point_for_index(i1);
+                let p2 = lat.point_for_index(i2);
+                let diff = p1.sub(&p2);
+                assert!(lat.membership(diff.b, diff.a).is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn non_primitive_point_detected() {
+        let lat = paper_lattice();
+        // Index 22 = 2·11 doubles the (3,3) point: (6,6), gcd(6,22)=2.
+        let p = lat.point_for_index(22);
+        assert_eq!((p.b, p.a), (6, 6));
+        assert!(!p.is_primitive());
+    }
+
+    #[test]
+    fn euclid_basis_always_valid() {
+        for p in 1..=6i64 {
+            for k in 1..=6i64 {
+                for s in 1..=40i64 {
+                    let pr = Problem::new(p, k, 0, s).unwrap();
+                    let lat = SectionLattice::new(&pr);
+                    let (v1, v2) = lat.euclid_basis().unwrap();
+                    assert!(lat.is_basis(&v1, &v2), "p={p} k={k} s={s}");
+                    assert!(lat.membership(v1.b, v1.a).is_some());
+                    assert!(lat.membership(v2.b, v2.a).is_some());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn determinant_not_one_is_not_basis() {
+        let lat = paper_lattice();
+        let v1 = lat.point_for_index(2);
+        let v2 = lat.point_for_index(4);
+        assert!(!lat.is_basis(&v1, &v2));
+    }
+}

@@ -1,0 +1,218 @@
+//! The paper's linear-time algorithm (Figure 5): build the local memory
+//! access sequence in `O(k + min(log s, log p))` time.
+//!
+//! Steps, following the figure line-by-line:
+//!
+//! 1. lines 3–11 — one extended-Euclid call plus the start-location loop
+//!    (shared with every other method via [`crate::start`]);
+//! 2. lines 12–18 — special cases `length == 0` (no accesses) and
+//!    `length == 1` (a single offset class: the gap is one local period
+//!    `k·s/d`);
+//! 3. lines 19–30 — basis vectors `R` and `L` ([`crate::basis`]);
+//! 4. lines 31–49 — the doubly nested gap loop, which emits one `AM` entry
+//!    per owned offset class by applying Theorem 3's three-case step:
+//!    Equation 1 (`+R`) while the offset stays inside the processor's
+//!    window, Equation 2 (`−L`) when it would overflow, and Equation 3
+//!    (`+R−L`) when `−L` alone undershoots the window. At most `2k + 1`
+//!    points are examined (Section 5.1).
+
+use crate::basis::Basis;
+use crate::error::Result;
+use crate::layout::Layout;
+use crate::params::Problem;
+use crate::pattern::{AccessPattern, CyclicPattern, Pattern};
+use crate::start::{start_info_with, ClassSolver};
+
+/// Builds processor `m`'s access pattern with the lattice method.
+///
+/// ```
+/// use bcag_core::{params::Problem, lattice_alg};
+/// // The paper's worked example: p=4, k=8, l=4, s=9, m=1.
+/// let pr = Problem::new(4, 8, 4, 9).unwrap();
+/// let pat = lattice_alg::build(&pr, 1).unwrap();
+/// assert_eq!(pat.start_global(), Some(13));
+/// assert_eq!(pat.gaps(), &[3, 12, 15, 12, 3, 12, 3, 12]);
+/// ```
+pub fn build(problem: &Problem, m: i64) -> Result<AccessPattern> {
+    problem.check_proc(m)?;
+    let solver = ClassSolver::new(problem);
+    let info = start_info_with(&solver, m);
+
+    // Lines 12–14: no owned offset class.
+    let Some(start_global) = info.start else {
+        return Ok(AccessPattern::from_parts(*problem, m, Pattern::Empty));
+    };
+    let lay = Layout::new(problem);
+    let start_local = lay.local_addr(start_global);
+
+    // Lines 15–17: one offset class; successive accesses are exactly one
+    // period apart.
+    if info.length == 1 {
+        let c = CyclicPattern {
+            start_global,
+            start_local,
+            gaps: vec![problem.period_local()],
+            global_steps: vec![problem.period_global()],
+        };
+        return Ok(AccessPattern::from_parts(*problem, m, Pattern::Cyclic(c)));
+    }
+
+    // Lines 19–30: basis vectors. `length >= 2` guarantees `d < k`, so the
+    // basis exists.
+    let basis = Basis::compute_with(problem, &solver)?;
+    let k = problem.k();
+    let s = problem.s();
+    let (b_r, gap_r, step_r) = (basis.r.b, basis.gap_r(k), basis.r.i * s);
+    let (b_l, gap_l, step_l) = (basis.l.b, basis.gap_l(k), -basis.l.i * s);
+    let km = k * m;
+    let window_end = k * (m + 1);
+
+    // Lines 31–49: the gap loop. `offset` is the in-row offset of the most
+    // recently visited point, always within [km, window_end).
+    let length = info.length as usize;
+    let mut gaps = Vec::with_capacity(length);
+    let mut global_steps = Vec::with_capacity(length);
+    let mut offset = lay.in_row_offset(start_global); // line 32
+    while gaps.len() < length {
+        // Lines 35–39: Equation 1 while R stays inside the window.
+        while gaps.len() < length && offset + b_r < window_end {
+            gaps.push(gap_r);
+            global_steps.push(step_r);
+            offset += b_r;
+        }
+        if gaps.len() == length {
+            break; // line 41
+        }
+        // Lines 42–43: Equation 2.
+        let mut gap = gap_l;
+        let mut step = step_l;
+        offset -= b_l;
+        // Lines 44–47: Equation 3 when −L left the window on the low side.
+        if offset < km {
+            gap += gap_r;
+            step += step_r;
+            offset += b_r;
+        }
+        gaps.push(gap);
+        global_steps.push(step);
+    }
+
+    let c = CyclicPattern { start_global, start_local, gaps, global_steps };
+    Ok(AccessPattern::from_parts(*problem, m, Pattern::Cyclic(c)))
+}
+
+/// Builds the patterns of all `p` processors, reusing the shared
+/// `m`-independent work where possible.
+pub fn build_all(problem: &Problem) -> Result<Vec<AccessPattern>> {
+    (0..problem.p()).map(|m| build(problem, m)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure6_worked_example() {
+        let pr = Problem::new(4, 8, 4, 9).unwrap();
+        let pat = build(&pr, 1).unwrap();
+        assert_eq!(pat.start_global(), Some(13));
+        assert_eq!(pat.start_local(), Some(5));
+        assert_eq!(pat.gaps(), &[3, 12, 15, 12, 3, 12, 3, 12]);
+        pat.check_invariants();
+        // The walk visits 13, 40, 76, 139, ... and reaches 301 (first point
+        // of the next cycle) after one full cycle.
+        let walk: Vec<i64> = pat.iter().take(9).map(|a| a.global).collect();
+        assert_eq!(walk, vec![13, 40, 76, 139, 175, 202, 238, 265, 301]);
+    }
+
+    #[test]
+    fn figure1_section_processor0() {
+        // Figure 1 highlights section l=0, s=9 on p=4, k=8. On processor 0
+        // the first cycle of accesses is 0, 36, 99, 135, 162, 198, 225, 261
+        // and the next cycle starts at 288.
+        let pr = Problem::new(4, 8, 0, 9).unwrap();
+        let pat = build(&pr, 0).unwrap();
+        assert_eq!(pat.start_global(), Some(0));
+        let walk: Vec<i64> = pat.iter().take(9).map(|a| a.global).collect();
+        assert_eq!(walk, vec![0, 36, 99, 135, 162, 198, 225, 261, 288]);
+        pat.check_invariants();
+    }
+
+    #[test]
+    fn empty_processor() {
+        let pr = Problem::new(2, 1, 0, 2).unwrap();
+        let pat = build(&pr, 1).unwrap();
+        assert!(pat.is_empty());
+    }
+
+    #[test]
+    fn length_one_special_case() {
+        // pk | s: every access lands on the same offset.
+        let pr = Problem::new(4, 8, 0, 32).unwrap();
+        let pat = build(&pr, 0).unwrap();
+        assert_eq!(pat.len(), 1);
+        assert_eq!(pat.gaps(), &[8]); // k·s/d = 8·32/32
+        pat.check_invariants();
+        // s = 16, d = 16 >= k: one class per processor window.
+        let pr = Problem::new(4, 8, 0, 16).unwrap();
+        for m in 0..4 {
+            let pat = build(&pr, m).unwrap();
+            assert!(pat.len() <= 1);
+            pat.check_invariants();
+        }
+    }
+
+    #[test]
+    fn invariants_over_parameter_sweep() {
+        for p in 1..=4i64 {
+            for k in [1i64, 2, 3, 4, 8] {
+                for s in [1i64, 2, 3, 5, 7, 9, 15, 16, 31, 32, 33, 65] {
+                    for l in [0i64, 1, 7] {
+                        let pr = Problem::new(p, k, l, s).unwrap();
+                        for m in 0..p {
+                            let pat = build(&pr, m).unwrap();
+                            pat.check_invariants();
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stride_one_is_dense_blocks() {
+        // s = 1: every element is accessed; gaps within a block are 1 and
+        // the jump between courses is k·(p−1)+1 local? No: local addresses
+        // are contiguous per block and consecutive between courses, so all
+        // gaps are 1 except none — local memory is dense, AM = [1; k].
+        let pr = Problem::new(4, 8, 0, 1).unwrap();
+        for m in 0..4 {
+            let pat = build(&pr, m).unwrap();
+            assert_eq!(pat.len(), 8);
+            assert_eq!(pat.gaps(), &[1; 8]);
+            pat.check_invariants();
+        }
+    }
+
+    #[test]
+    fn reverse_sorted_case_pk_minus_1() {
+        // s = pk − 1 produces the reverse-sorted first cycle the paper
+        // calls out in Section 6.1.
+        let pr = Problem::new(4, 8, 0, 31).unwrap();
+        for m in 0..4 {
+            let pat = build(&pr, m).unwrap();
+            assert_eq!(pat.len(), 8);
+            pat.check_invariants();
+        }
+    }
+
+    #[test]
+    fn properly_sorted_case_pk_plus_1() {
+        let pr = Problem::new(4, 8, 0, 33).unwrap();
+        for m in 0..4 {
+            let pat = build(&pr, m).unwrap();
+            assert_eq!(pat.len(), 8);
+            pat.check_invariants();
+        }
+    }
+}

@@ -1,0 +1,251 @@
+//! The `cyclic(k)` memory layout model (paper Section 2, Figure 1).
+//!
+//! Array elements laid out `cyclic(k)` over `p` processors form a
+//! two-dimensional matrix: each *row* (course) holds `pk` consecutive
+//! elements split into `p` blocks of `k`. Element `A(i)` lives at
+//!
+//! * **row** (course)       `i div pk`
+//! * **processor**          `(i mod pk) div k`
+//! * **offset in block**    `(i mod pk) mod k`
+//!
+//! and a processor stores its blocks contiguously, so the **local memory
+//! address** of `A(i)` on its owner is `(i div pk) * k + (i mod pk) mod k`.
+//!
+//! The running example of Figure 1 (p = 4, k = 8): element 108 has offset 4
+//! in block 3 of processor 1.
+
+use crate::numth::{div_floor, mod_floor};
+use crate::params::Problem;
+
+/// Full placement of a global index under a `cyclic(k)` layout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Place {
+    /// Owning processor, in `[0, p)`.
+    pub proc: i64,
+    /// Course (row of the two-dimensional visualization), `i div pk`.
+    pub course: i64,
+    /// Offset within the block, `[0, k)`.
+    pub offset: i64,
+    /// Local memory address on the owning processor: `course * k + offset`.
+    pub local: i64,
+}
+
+/// Stateless layout calculator for a `(p, k)` distribution.
+///
+/// Carries only `p` and `k`; methods accept global indices (which may exceed
+/// any declared array extent — the layout is defined for all `i >= 0`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Layout {
+    p: i64,
+    k: i64,
+}
+
+impl Layout {
+    /// Builds a layout from validated problem parameters.
+    pub fn new(problem: &Problem) -> Self {
+        Layout { p: problem.p(), k: problem.k() }
+    }
+
+    /// Builds a layout directly from `(p, k)`; both must be positive
+    /// (typically obtained from a validated [`Problem`]).
+    pub fn from_raw(p: i64, k: i64) -> Self {
+        assert!(p >= 1 && k >= 1, "Layout requires p >= 1 and k >= 1");
+        Layout { p, k }
+    }
+
+    /// Number of processors.
+    #[inline]
+    pub fn p(&self) -> i64 {
+        self.p
+    }
+
+    /// Block size.
+    #[inline]
+    pub fn k(&self) -> i64 {
+        self.k
+    }
+
+    /// Row length `pk`.
+    #[inline]
+    pub fn row_len(&self) -> i64 {
+        self.p * self.k
+    }
+
+    /// Owning processor of global index `i`.
+    ///
+    /// ```
+    /// use bcag_core::layout::Layout;
+    /// let lay = Layout::from_raw(4, 8);
+    /// assert_eq!(lay.owner(108), 1); // Figure 1
+    /// ```
+    #[inline]
+    pub fn owner(&self, i: i64) -> i64 {
+        mod_floor(i, self.row_len()) / self.k
+    }
+
+    /// In-row offset of `i`: its x-coordinate in the paper's lattice view,
+    /// `i mod pk`, in `[0, pk)`.
+    #[inline]
+    pub fn in_row_offset(&self, i: i64) -> i64 {
+        mod_floor(i, self.row_len())
+    }
+
+    /// Course (row number) of `i`: its y-coordinate in the lattice view.
+    #[inline]
+    pub fn course(&self, i: i64) -> i64 {
+        div_floor(i, self.row_len())
+    }
+
+    /// Offset of `i` within its block, in `[0, k)`.
+    #[inline]
+    pub fn block_offset(&self, i: i64) -> i64 {
+        mod_floor(i, self.row_len()) % self.k
+    }
+
+    /// Local memory address of `i` on its owning processor.
+    #[inline]
+    pub fn local_addr(&self, i: i64) -> i64 {
+        self.course(i) * self.k + self.block_offset(i)
+    }
+
+    /// Local memory address of `i` *relative to processor `m`'s block
+    /// window*: `(i div pk) * k + (i mod pk) - k*m`. Equals
+    /// [`Layout::local_addr`] when `m` owns `i`; the formulation mirrors the
+    /// paper's gap arithmetic, where a lattice displacement `(Δb, Δa)`
+    /// between two elements of the same processor yields a local gap of
+    /// `Δa*k + Δb`.
+    #[inline]
+    pub fn local_addr_on(&self, i: i64, m: i64) -> i64 {
+        self.course(i) * self.k + self.in_row_offset(i) - self.k * m
+    }
+
+    /// Full placement of `i`.
+    pub fn place(&self, i: i64) -> Place {
+        Place {
+            proc: self.owner(i),
+            course: self.course(i),
+            offset: self.block_offset(i),
+            local: self.local_addr(i),
+        }
+    }
+
+    /// Inverse map: the global index stored at `local` on processor `m`.
+    ///
+    /// ```
+    /// use bcag_core::layout::Layout;
+    /// let lay = Layout::from_raw(4, 8);
+    /// assert_eq!(lay.global_of(1, 28), 108); // course 3 * k + offset 4
+    /// ```
+    #[inline]
+    pub fn global_of(&self, m: i64, local: i64) -> i64 {
+        let course = div_floor(local, self.k);
+        let offset = mod_floor(local, self.k);
+        course * self.row_len() + m * self.k + offset
+    }
+
+    /// Number of elements of `[0, n)` owned by processor `m`
+    /// (the local extent of an array of `n` elements).
+    pub fn local_len(&self, n: i64, m: i64) -> i64 {
+        if n <= 0 {
+            return 0;
+        }
+        let pk = self.row_len();
+        let full_rows = n / pk;
+        let rem = n % pk; // elements in the final partial row
+        let in_partial = (rem - m * self.k).clamp(0, self.k);
+        full_rows * self.k + in_partial
+    }
+
+    /// True when `m` owns global index `i`.
+    #[inline]
+    pub fn owns(&self, i: i64, m: i64) -> bool {
+        self.owner(i) == m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fig1() -> Layout {
+        Layout::from_raw(4, 8)
+    }
+
+    #[test]
+    fn figure1_element_108() {
+        let lay = fig1();
+        let pl = lay.place(108);
+        assert_eq!(pl.proc, 1);
+        assert_eq!(pl.course, 3);
+        assert_eq!(pl.offset, 4);
+        assert_eq!(pl.local, 28);
+    }
+
+    #[test]
+    fn lattice_coordinates_figure1() {
+        // "the coordinates of the array element with index 108 are (12, 3)":
+        // x = in-row offset 12, y = row 3.
+        let lay = fig1();
+        assert_eq!(lay.in_row_offset(108), 12);
+        assert_eq!(lay.course(108), 3);
+    }
+
+    #[test]
+    fn global_local_roundtrip() {
+        let lay = Layout::from_raw(5, 3);
+        for i in 0..600 {
+            let pl = lay.place(i);
+            assert_eq!(lay.global_of(pl.proc, pl.local), i);
+            assert_eq!(lay.local_addr_on(i, pl.proc), pl.local);
+        }
+    }
+
+    #[test]
+    fn local_len_counts() {
+        let lay = fig1();
+        // 320 elements = 10 full rows: every processor holds 80.
+        for m in 0..4 {
+            assert_eq!(lay.local_len(320, m), 80);
+        }
+        // 100 elements = 3 full rows (96) + partial row of 4 on processor 0.
+        assert_eq!(lay.local_len(100, 0), 24 + 4);
+        assert_eq!(lay.local_len(100, 1), 24);
+        assert_eq!(lay.local_len(100, 3), 24);
+        // Brute-force cross-check.
+        for n in [0i64, 1, 7, 31, 32, 33, 95, 96, 97, 255] {
+            for m in 0..4 {
+                let expected = (0..n).filter(|&i| lay.owner(i) == m).count() as i64;
+                assert_eq!(lay.local_len(n, m), expected, "n={n} m={m}");
+            }
+        }
+    }
+
+    #[test]
+    fn owner_striping() {
+        let lay = fig1();
+        // First row: 0..8 on proc 0, 8..16 on proc 1, etc.
+        for i in 0..8 {
+            assert_eq!(lay.owner(i), 0);
+            assert_eq!(lay.owner(8 + i), 1);
+            assert_eq!(lay.owner(16 + i), 2);
+            assert_eq!(lay.owner(24 + i), 3);
+            assert_eq!(lay.owner(32 + i), 0); // wraps to next course
+        }
+    }
+
+    #[test]
+    fn block_and_cyclic_degenerate_cases() {
+        // cyclic(1) == cyclic: element i goes to processor i mod p.
+        let cyc = Layout::from_raw(4, 1);
+        for i in 0..40 {
+            assert_eq!(cyc.owner(i), i % 4);
+            assert_eq!(cyc.local_addr(i), i / 4);
+        }
+        // block over n = 32, p = 4 => k = 8: contiguous chunks.
+        let blk = Layout::from_raw(4, 8);
+        for i in 0..32 {
+            assert_eq!(blk.owner(i), i / 8);
+            assert_eq!(blk.local_addr(i), i % 8);
+        }
+    }
+}

@@ -1,0 +1,96 @@
+//! Unified front-end over the table-construction methods, so callers (the
+//! SPMD simulator, the benchmark harness, tests) can select an algorithm by
+//! value.
+
+use crate::error::Result;
+use crate::params::Problem;
+use crate::pattern::AccessPattern;
+use crate::sorting_alg::SortKind;
+use crate::{hiranandani, lattice_alg, oracle, sorting_alg};
+
+/// Selects which algorithm computes the access pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Method {
+    /// The paper's lattice-basis method — `O(k + min(log s, log p))`.
+    Lattice,
+    /// Chatterjee et al. baseline with a comparison sort — `O(k log k)`.
+    SortingComparison,
+    /// Chatterjee et al. baseline with the radix sort — `O(k)` passes but
+    /// with a large constant and `O(k)` extra space.
+    SortingRadix,
+    /// Chatterjee et al. baseline with the paper's implementation policy
+    /// (radix for `k >= 64`).
+    SortingAuto,
+    /// Hiranandani et al. special case; errors when `s mod pk >= k`.
+    Hiranandani,
+    /// Brute-force scan over one full period — testing only.
+    Oracle,
+}
+
+impl Method {
+    /// All methods that are valid for *every* parameter combination.
+    pub const GENERAL: [Method; 5] = [
+        Method::Lattice,
+        Method::SortingComparison,
+        Method::SortingRadix,
+        Method::SortingAuto,
+        Method::Oracle,
+    ];
+
+    /// Short human-readable name (used by benches and the CLI).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Method::Lattice => "lattice",
+            Method::SortingComparison => "sorting-cmp",
+            Method::SortingRadix => "sorting-radix",
+            Method::SortingAuto => "sorting",
+            Method::Hiranandani => "hiranandani",
+            Method::Oracle => "oracle",
+        }
+    }
+}
+
+/// Builds the access pattern of processor `m` with the chosen method.
+///
+/// ```
+/// use bcag_core::{params::Problem, method::{build, Method}};
+/// let pr = Problem::new(4, 8, 4, 9).unwrap();
+/// let a = build(&pr, 1, Method::Lattice).unwrap();
+/// let b = build(&pr, 1, Method::SortingRadix).unwrap();
+/// assert_eq!(a, b); // every method computes the same table
+/// ```
+pub fn build(problem: &Problem, m: i64, method: Method) -> Result<AccessPattern> {
+    match method {
+        Method::Lattice => lattice_alg::build(problem, m),
+        Method::SortingComparison => sorting_alg::build(problem, m, SortKind::Comparison),
+        Method::SortingRadix => sorting_alg::build(problem, m, SortKind::Radix),
+        Method::SortingAuto => sorting_alg::build(problem, m, SortKind::Auto),
+        Method::Hiranandani => hiranandani::build(problem, m),
+        Method::Oracle => oracle::build(problem, m),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_general_methods_agree() {
+        let pr = Problem::new(4, 8, 4, 9).unwrap();
+        let reference = build(&pr, 1, Method::Oracle).unwrap();
+        for method in Method::GENERAL {
+            let pat = build(&pr, 1, method).unwrap();
+            assert_eq!(pat, reference, "{}", method.name());
+        }
+    }
+
+    #[test]
+    fn names_are_distinct() {
+        let names: std::collections::HashSet<_> = Method::GENERAL
+            .iter()
+            .chain([Method::Hiranandani].iter())
+            .map(|m| m.name())
+            .collect();
+        assert_eq!(names.len(), 6);
+    }
+}

@@ -1,0 +1,147 @@
+//! Closed-form random access into an access sequence.
+//!
+//! The gap table supports sequential traversal; some clients (load
+//! balancers, work splitters, out-of-order prefetchers) instead need *the
+//! t-th element my processor owns* without walking the first `t − 1`. Since
+//! the sequence is cyclic — access `t = q·L + r` sits exactly `q` periods
+//! past access `r` — prefix sums over one cycle give O(1) lookups after an
+//! O(k) setup.
+
+use crate::pattern::{Access, AccessPattern, Pattern};
+
+/// Prefix-summed view of an access pattern for O(1) `nth` queries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RandomAccess {
+    start_global: i64,
+    start_local: i64,
+    /// `prefix_local[r]` = local-address offset of access `r` from the
+    /// start, for `r` in `0..=L` (entry `L` is one full local period).
+    prefix_local: Vec<i64>,
+    /// Same for global indices; entry `L` is one full global period.
+    prefix_global: Vec<i64>,
+}
+
+impl RandomAccess {
+    /// Builds the prefix sums. Returns `None` for an empty pattern.
+    pub fn new(pattern: &AccessPattern) -> Option<RandomAccess> {
+        let c = match pattern.pattern() {
+            Pattern::Empty => return None,
+            Pattern::Cyclic(c) => c,
+        };
+        let n = c.gaps.len();
+        let mut prefix_local = Vec::with_capacity(n + 1);
+        let mut prefix_global = Vec::with_capacity(n + 1);
+        let (mut pl, mut pg) = (0i64, 0i64);
+        prefix_local.push(0);
+        prefix_global.push(0);
+        for t in 0..n {
+            pl += c.gaps[t];
+            pg += c.global_steps[t];
+            prefix_local.push(pl);
+            prefix_global.push(pg);
+        }
+        Some(RandomAccess {
+            start_global: c.start_global,
+            start_local: c.start_local,
+            prefix_local,
+            prefix_global,
+        })
+    }
+
+    /// Cycle length `L`.
+    pub fn cycle_len(&self) -> usize {
+        self.prefix_local.len() - 1
+    }
+
+    /// The `t`-th access (0-based) of this processor's sequence, in O(1).
+    ///
+    /// ```
+    /// use bcag_core::{params::Problem, lattice_alg, nth::RandomAccess};
+    /// let pr = Problem::new(4, 8, 4, 9).unwrap();
+    /// let pat = lattice_alg::build(&pr, 1).unwrap();
+    /// let ra = RandomAccess::new(&pat).unwrap();
+    /// // Access #8 is the start of the second cycle: global 301.
+    /// assert_eq!(ra.nth(8).global, 301);
+    /// ```
+    pub fn nth(&self, t: i64) -> Access {
+        assert!(t >= 0, "access rank must be nonnegative");
+        let n = self.cycle_len() as i64;
+        let (q, r) = (t / n, (t % n) as usize);
+        Access {
+            global: self.start_global + q * self.prefix_global[n as usize] + self.prefix_global[r],
+            local: self.start_local + q * self.prefix_local[n as usize] + self.prefix_local[r],
+        }
+    }
+
+    /// Inverse query: the rank of the access at global index `g`, or `None`
+    /// when `g` is not one of this processor's accesses. O(L) per call.
+    pub fn rank_of_global(&self, g: i64) -> Option<i64> {
+        if g < self.start_global {
+            return None;
+        }
+        let n = self.cycle_len();
+        let period = self.prefix_global[n];
+        let delta = g - self.start_global;
+        let q = delta / period;
+        let rem = delta % period;
+        let r = self.prefix_global[..n].iter().position(|&pg| pg == rem)?;
+        Some(q * n as i64 + r as i64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lattice_alg;
+    use crate::params::Problem;
+
+    #[test]
+    fn nth_matches_iteration() {
+        for (p, k, l, s) in [(4i64, 8i64, 4i64, 9i64), (3, 5, 0, 7), (2, 16, 11, 37), (5, 2, 1, 6)] {
+            let pr = Problem::new(p, k, l, s).unwrap();
+            for m in 0..p {
+                let pat = lattice_alg::build(&pr, m).unwrap();
+                let Some(ra) = RandomAccess::new(&pat) else {
+                    assert!(pat.is_empty());
+                    continue;
+                };
+                for (t, acc) in pat.iter().take(50).enumerate() {
+                    assert_eq!(ra.nth(t as i64), acc, "p={p} k={k} l={l} s={s} m={m} t={t}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rank_of_global_inverts_nth() {
+        let pr = Problem::new(4, 8, 4, 9).unwrap();
+        let pat = lattice_alg::build(&pr, 1).unwrap();
+        let ra = RandomAccess::new(&pat).unwrap();
+        for t in 0..100i64 {
+            let acc = ra.nth(t);
+            assert_eq!(ra.rank_of_global(acc.global), Some(t));
+        }
+        // Non-accesses return None.
+        assert_eq!(ra.rank_of_global(12), None); // before start
+        assert_eq!(ra.rank_of_global(14), None); // not on section/processor
+    }
+
+    #[test]
+    fn empty_pattern_has_no_random_access() {
+        let pr = Problem::new(2, 1, 0, 2).unwrap();
+        let pat = lattice_alg::build(&pr, 1).unwrap();
+        assert!(RandomAccess::new(&pat).is_none());
+    }
+
+    #[test]
+    fn figure6_specific_ranks() {
+        let pr = Problem::new(4, 8, 4, 9).unwrap();
+        let pat = lattice_alg::build(&pr, 1).unwrap();
+        let ra = RandomAccess::new(&pat).unwrap();
+        assert_eq!(ra.nth(0).global, 13);
+        assert_eq!(ra.nth(3).global, 139);
+        assert_eq!(ra.nth(8).global, 301); // start + one global period
+        assert_eq!(ra.nth(8).local, 77); // 5 + one local period (72)
+        assert_eq!(ra.nth(16).global, 13 + 2 * 288);
+    }
+}

@@ -1,0 +1,83 @@
+//! Brute-force reference implementation ("oracle") used to validate every
+//! real algorithm.
+//!
+//! Walks the section element-by-element over one full period
+//! (`pk / d` section elements), keeps the ones the processor owns, and reads
+//! the gap table off directly. `O(pk/d)` time — far slower than the real
+//! methods for large `p`/`s`, but unconditionally correct and independent of
+//! all the number theory the real methods rely on.
+
+use crate::error::Result;
+use crate::layout::Layout;
+use crate::params::Problem;
+use crate::pattern::{AccessPattern, CyclicPattern, Pattern};
+
+/// Builds processor `m`'s access pattern by exhaustive scanning.
+pub fn build(problem: &Problem, m: i64) -> Result<AccessPattern> {
+    problem.check_proc(m)?;
+    let lay = Layout::new(problem);
+    // All owned accesses within the first period, in increasing order
+    // (section elements are visited in increasing global index already).
+    let owned: Vec<i64> = (0..problem.period_elements())
+        .map(|j| problem.l() + problem.s() * j)
+        .filter(|&g| lay.owner(g) == m)
+        .collect();
+    if owned.is_empty() {
+        return Ok(AccessPattern::from_parts(*problem, m, Pattern::Empty));
+    }
+    let n = owned.len();
+    let mut gaps = Vec::with_capacity(n);
+    let mut global_steps = Vec::with_capacity(n);
+    for t in 0..n {
+        let (next_g, next_local) = if t + 1 < n {
+            (owned[t + 1], lay.local_addr(owned[t + 1]))
+        } else {
+            (
+                owned[0] + problem.period_global(),
+                lay.local_addr(owned[0]) + problem.period_local(),
+            )
+        };
+        gaps.push(next_local - lay.local_addr(owned[t]));
+        global_steps.push(next_g - owned[t]);
+    }
+    let c = CyclicPattern {
+        start_global: owned[0],
+        start_local: lay.local_addr(owned[0]),
+        gaps,
+        global_steps,
+    };
+    Ok(AccessPattern::from_parts(*problem, m, Pattern::Cyclic(c)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lattice_alg;
+
+    #[test]
+    fn figure6_oracle() {
+        let pr = Problem::new(4, 8, 4, 9).unwrap();
+        let pat = build(&pr, 1).unwrap();
+        assert_eq!(pat.start_global(), Some(13));
+        assert_eq!(pat.gaps(), &[3, 12, 15, 12, 3, 12, 3, 12]);
+        pat.check_invariants();
+    }
+
+    #[test]
+    fn oracle_agrees_with_lattice() {
+        for p in 1..=4i64 {
+            for k in [1i64, 2, 3, 8] {
+                for s in [1i64, 2, 5, 9, 16, 31, 33] {
+                    for l in [0i64, 3] {
+                        let pr = Problem::new(p, k, l, s).unwrap();
+                        for m in 0..p {
+                            let a = lattice_alg::build(&pr, m).unwrap();
+                            let b = build(&pr, m).unwrap();
+                            assert_eq!(a, b, "p={p} k={k} s={s} l={l} m={m}");
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,200 @@
+//! Validated problem parameters.
+//!
+//! A [`Problem`] bundles the distribution parameters `(p, k)` with the
+//! regular-section parameters `(l, s)` of the access-sequence problem the
+//! paper states in Section 2: *given an array distributed `cyclic(k)` over
+//! `p` processors and a regular section `A(l : u : s)`, produce for each
+//! processor the sequence of local memory addresses it must touch, in
+//! increasing global index order.*
+//!
+//! Following the paper we keep the upper bound `u` out of the core problem:
+//! the gap sequence is independent of `u` (Section 2), which only determines
+//! where enumeration stops. Bounded traversal takes `u` separately (see
+//! [`crate::section`] and the iterator APIs).
+
+use crate::error::{BcagError, Result};
+use crate::numth::{self, gcd};
+
+/// Safety margin: one full access period `s * p * k` and all intermediate
+/// products must stay below this bound so that every computation in the
+/// crate fits in `i64` without overflow checks on the hot paths.
+pub const MAX_INDEX: i64 = i64::MAX / 8;
+
+/// Validated problem parameters for one access-sequence computation.
+///
+/// Invariants (enforced by [`Problem::new`]):
+/// * `p >= 1`, `k >= 1`
+/// * `s >= 1` (negative strides are normalized away by
+///   [`crate::section::RegularSection`]; `s = 0` is rejected)
+/// * `l >= 0`
+/// * `s * p * k <= MAX_INDEX` and `l <= MAX_INDEX`
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Problem {
+    p: i64,
+    k: i64,
+    l: i64,
+    s: i64,
+}
+
+impl Problem {
+    /// Validates and constructs a problem instance.
+    ///
+    /// ```
+    /// use bcag_core::params::Problem;
+    /// let pr = Problem::new(4, 8, 4, 9).unwrap();
+    /// assert_eq!(pr.row_len(), 32);
+    /// assert!(Problem::new(4, 8, 4, 0).is_err());
+    /// ```
+    pub fn new(p: i64, k: i64, l: i64, s: i64) -> Result<Self> {
+        if p < 1 {
+            return Err(BcagError::InvalidProcessorCount { p });
+        }
+        if k < 1 {
+            return Err(BcagError::InvalidBlockSize { k });
+        }
+        if s == 0 {
+            return Err(BcagError::ZeroStride);
+        }
+        if s < 0 {
+            // The core problem is stated for positive strides; Section 2 of
+            // the paper notes the negative case "can be treated analogously",
+            // which `RegularSection::normalized` implements by reversal.
+            return Err(BcagError::Precondition(
+                "core Problem requires s > 0; normalize the section first",
+            ));
+        }
+        if l < 0 {
+            return Err(BcagError::NegativeLowerBound { l });
+        }
+        let pk = numth::mul(p, k)?;
+        let period = numth::mul(s, pk)?;
+        if period > MAX_INDEX || l > MAX_INDEX {
+            return Err(BcagError::Overflow);
+        }
+        // `l + period` must also be representable.
+        numth::add(l, period)?;
+        Ok(Problem { p, k, l, s })
+    }
+
+    /// Number of processors `p`.
+    #[inline]
+    pub fn p(&self) -> i64 {
+        self.p
+    }
+
+    /// Block size `k` of the `cyclic(k)` distribution.
+    #[inline]
+    pub fn k(&self) -> i64 {
+        self.k
+    }
+
+    /// Regular-section lower bound `l`.
+    #[inline]
+    pub fn l(&self) -> i64 {
+        self.l
+    }
+
+    /// Regular-section stride `s` (always positive).
+    #[inline]
+    pub fn s(&self) -> i64 {
+        self.s
+    }
+
+    /// Row length `pk`: one course of blocks across all processors.
+    #[inline]
+    pub fn row_len(&self) -> i64 {
+        self.p * self.k
+    }
+
+    /// `d = gcd(s, pk)`; the number of offset classes the section visits is
+    /// governed by this quantity.
+    #[inline]
+    pub fn d(&self) -> i64 {
+        gcd(self.s, self.row_len())
+    }
+
+    /// Global-index period of the access pattern: `lcm(s, pk) = s * pk / d`.
+    ///
+    /// Two accesses whose global indices differ by this amount have the same
+    /// in-row offset, hence the gap sequence repeats with (at most) this
+    /// global period.
+    #[inline]
+    pub fn period_global(&self) -> i64 {
+        self.s / self.d() * self.row_len()
+    }
+
+    /// Number of *section elements* per period: `pk / d`.
+    #[inline]
+    pub fn period_elements(&self) -> i64 {
+        self.row_len() / self.d()
+    }
+
+    /// Local-memory advance per period on any processor: `k * s / d`
+    /// (the value the paper assigns to `AM[0]` in the length-1 special case,
+    /// Figure 5 line 16).
+    #[inline]
+    pub fn period_local(&self) -> i64 {
+        self.s / self.d() * self.k
+    }
+
+    /// Validates a processor number against `p`.
+    pub fn check_proc(&self, m: i64) -> Result<()> {
+        if (0..self.p).contains(&m) {
+            Ok(())
+        } else {
+            Err(BcagError::ProcessorOutOfRange { m, p: self.p })
+        }
+    }
+
+    /// Returns the problem with a different lower bound (used by the basis
+    /// computation, which always works on the `l = 0` instance because the
+    /// lattice is independent of `l` — Theorem 1's discussion).
+    pub fn with_lower_bound(&self, l: i64) -> Result<Self> {
+        Problem::new(self.p, self.k, l, self.s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validation() {
+        assert!(Problem::new(0, 8, 0, 9).is_err());
+        assert!(Problem::new(4, 0, 0, 9).is_err());
+        assert!(Problem::new(4, 8, -1, 9).is_err());
+        assert!(Problem::new(4, 8, 0, 0).is_err());
+        assert!(Problem::new(4, 8, 0, -9).is_err());
+        assert!(Problem::new(i64::MAX / 2, 8, 0, 9).is_err());
+        assert!(Problem::new(4, 8, 0, 9).is_ok());
+    }
+
+    #[test]
+    fn derived_quantities_paper_example() {
+        let pr = Problem::new(4, 8, 4, 9).unwrap();
+        assert_eq!(pr.row_len(), 32);
+        assert_eq!(pr.d(), 1);
+        assert_eq!(pr.period_global(), 288); // lcm(9, 32)
+        assert_eq!(pr.period_elements(), 32);
+        assert_eq!(pr.period_local(), 72); // k * s / d = 8 * 9
+    }
+
+    #[test]
+    fn derived_quantities_with_gcd() {
+        // s = 12, pk = 32 => d = 4.
+        let pr = Problem::new(4, 8, 0, 12).unwrap();
+        assert_eq!(pr.d(), 4);
+        assert_eq!(pr.period_global(), 96); // lcm(12, 32)
+        assert_eq!(pr.period_elements(), 8);
+        assert_eq!(pr.period_local(), 24);
+    }
+
+    #[test]
+    fn check_proc_bounds() {
+        let pr = Problem::new(4, 8, 0, 9).unwrap();
+        assert!(pr.check_proc(0).is_ok());
+        assert!(pr.check_proc(3).is_ok());
+        assert!(pr.check_proc(4).is_err());
+        assert!(pr.check_proc(-1).is_err());
+    }
+}

@@ -1,0 +1,149 @@
+//! The sorting-based baseline of Chatterjee, Gilbert, Long, Schreiber and
+//! Teng (PPoPP'93), as described in Section 2 of the paper and used as the
+//! experimental comparison point in Section 6.
+//!
+//! The method shares the start-location computation with the lattice
+//! algorithm (the paper made the shared segments "coded identically" for a
+//! fair comparison — we share the literal code via [`crate::start`]). It
+//! then materializes the first access of every owned offset class, **sorts**
+//! them into increasing global order, and scans the sorted sequence to read
+//! off the local memory gaps. The sort is the `O(k log k)` term that the
+//! lattice method eliminates.
+//!
+//! Matching the paper's implementation notes, the sort is pluggable: a
+//! comparison sort, the linear-time radix sort (their code used radix for
+//! `k >= 64`), or an automatic switch at `k = 64`.
+
+use crate::error::Result;
+use crate::layout::Layout;
+use crate::params::Problem;
+use crate::pattern::{AccessPattern, CyclicPattern, Pattern};
+use crate::radix;
+use crate::start::first_cycle_locs;
+
+/// Which sorting routine the baseline uses for the first-cycle locations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SortKind {
+    /// `slice::sort_unstable` (pattern-defeating quicksort).
+    Comparison,
+    /// LSD radix sort ([`crate::radix`]).
+    Radix,
+    /// The paper's implementation policy: radix sort when `k >= 64`,
+    /// comparison sort otherwise.
+    Auto,
+}
+
+/// Builds processor `m`'s access pattern with the sorting baseline.
+///
+/// ```
+/// use bcag_core::{params::Problem, sorting_alg::{build, SortKind}};
+/// let pr = Problem::new(4, 8, 4, 9).unwrap();
+/// let pat = build(&pr, 1, SortKind::Comparison).unwrap();
+/// assert_eq!(pat.gaps(), &[3, 12, 15, 12, 3, 12, 3, 12]);
+/// ```
+pub fn build(problem: &Problem, m: i64, sort: SortKind) -> Result<AccessPattern> {
+    problem.check_proc(m)?;
+    // Shared segment (Figure 5 lines 3–11): one first-cycle location per
+    // solvable offset class. Unlike the lattice method, the baseline must
+    // store all of them.
+    let mut locs = first_cycle_locs(problem, m)?;
+    if locs.is_empty() {
+        return Ok(AccessPattern::from_parts(*problem, m, Pattern::Empty));
+    }
+
+    // The sort: the dominating O(k log k) step of the baseline.
+    match sort {
+        SortKind::Comparison => locs.sort_unstable(),
+        SortKind::Radix => radix::sort_i64(&mut locs),
+        SortKind::Auto => {
+            if problem.k() >= 64 {
+                radix::sort_i64(&mut locs)
+            } else {
+                locs.sort_unstable()
+            }
+        }
+    }
+
+    // Linear scan of the sorted cycle to produce the gap table; the final
+    // entry wraps around to the start of the next cycle (one period later).
+    let lay = Layout::new(problem);
+    let start_global = locs[0];
+    let start_local = lay.local_addr(start_global);
+    let n = locs.len();
+    let mut gaps = Vec::with_capacity(n);
+    let mut global_steps = Vec::with_capacity(n);
+    for t in 0..n {
+        let (next_g, next_local) = if t + 1 < n {
+            (locs[t + 1], lay.local_addr(locs[t + 1]))
+        } else {
+            (
+                locs[0] + problem.period_global(),
+                lay.local_addr(locs[0]) + problem.period_local(),
+            )
+        };
+        gaps.push(next_local - lay.local_addr(locs[t]));
+        global_steps.push(next_g - locs[t]);
+    }
+
+    let c = CyclicPattern { start_global, start_local, gaps, global_steps };
+    Ok(AccessPattern::from_parts(*problem, m, Pattern::Cyclic(c)))
+}
+
+/// Builds the patterns of all `p` processors.
+pub fn build_all(problem: &Problem, sort: SortKind) -> Result<Vec<AccessPattern>> {
+    (0..problem.p()).map(|m| build(problem, m, sort)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lattice_alg;
+
+    #[test]
+    fn figure6_worked_example_all_sorts() {
+        let pr = Problem::new(4, 8, 4, 9).unwrap();
+        for sort in [SortKind::Comparison, SortKind::Radix, SortKind::Auto] {
+            let pat = build(&pr, 1, sort).unwrap();
+            assert_eq!(pat.start_global(), Some(13));
+            assert_eq!(pat.gaps(), &[3, 12, 15, 12, 3, 12, 3, 12]);
+            pat.check_invariants();
+        }
+    }
+
+    #[test]
+    fn agrees_with_lattice_method_over_sweep() {
+        for p in 1..=4i64 {
+            for k in [1i64, 2, 4, 8, 16] {
+                for s in [1i64, 3, 7, 9, 15, 16, 31, 32, 33, 63, 65, 97] {
+                    for l in [0i64, 2, 11] {
+                        let pr = Problem::new(p, k, l, s).unwrap();
+                        for m in 0..p {
+                            let lat = lattice_alg::build(&pr, m).unwrap();
+                            let srt = build(&pr, m, SortKind::Comparison).unwrap();
+                            assert_eq!(lat, srt, "p={p} k={k} s={s} l={l} m={m}");
+                            let rad = build(&pr, m, SortKind::Radix).unwrap();
+                            assert_eq!(lat, rad, "radix p={p} k={k} s={s} l={l} m={m}");
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_processor() {
+        let pr = Problem::new(2, 1, 0, 2).unwrap();
+        let pat = build(&pr, 1, SortKind::Auto).unwrap();
+        assert!(pat.is_empty());
+    }
+
+    #[test]
+    fn invariants_hold() {
+        for s in [7i64, 99, 31, 33] {
+            let pr = Problem::new(8, 4, 0, s).unwrap();
+            for m in 0..8 {
+                build(&pr, m, SortKind::Comparison).unwrap().check_invariants();
+            }
+        }
+    }
+}

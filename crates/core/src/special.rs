@@ -1,0 +1,181 @@
+//! Special-case fast paths for table construction.
+//!
+//! Section 6.1: *"Chatterjee et al. describe several special cases that can
+//! be handled more efficiently ... the special cases could be detected in
+//! our implementation in the same way as in theirs."* This module is that
+//! detection layer: a classifier that recognizes the degenerate parameter
+//! shapes and constructs their patterns directly — no extended Euclid, no
+//! basis — falling back to the general lattice algorithm otherwise.
+//!
+//! Recognized cases:
+//!
+//! * **Dense** (`s = 1`): every element is touched; each processor's gaps
+//!   are all 1 (local storage is contiguous per block and blocks abut).
+//! * **IntraBlock** (`s < k` and `k mod s == 0`): the stride divides the
+//!   block size (and hence `pk`), so the cycle is the constant gap `s`
+//!   repeated `k/s` times — see `build_intra_block` for the derivation;
+//!   Dense is its `s = 1` instance.
+//! * **PeriodOnly** (`gcd(s, pk) >= k`): at most one offset class per
+//!   processor — the length ≤ 1 case of Figure 5 lines 12–18, which the
+//!   general path already constructs without basis work.
+//!
+//! The classifier is *sound*: whatever it returns is verified equal to the
+//! lattice method by the test suite; anything not recognized returns
+//! `General`.
+
+use crate::error::Result;
+use crate::layout::Layout;
+use crate::method::{build, Method};
+use crate::numth::gcd;
+use crate::params::Problem;
+use crate::pattern::{AccessPattern, CyclicPattern, Pattern};
+
+/// Outcome of the classifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpecialCase {
+    /// `s = 1`: dense traversal.
+    Dense,
+    /// `s < k` and `k % s == 0`: constant-gap cycle.
+    IntraBlock,
+    /// `gcd(s, pk) >= k`: at most one class per processor.
+    PeriodOnly,
+    /// No fast path applies; use the general algorithm.
+    General,
+}
+
+/// Classifies the problem's parameters.
+pub fn classify(problem: &Problem) -> SpecialCase {
+    let (s, k, pk) = (problem.s(), problem.k(), problem.row_len());
+    if s == 1 {
+        SpecialCase::Dense
+    } else if gcd(s, pk) >= k {
+        SpecialCase::PeriodOnly
+    } else if s < k && k % s == 0 {
+        SpecialCase::IntraBlock
+    } else {
+        SpecialCase::General
+    }
+}
+
+/// Builds the pattern using a special-case constructor when one applies,
+/// falling back to the lattice algorithm otherwise. Output is always
+/// identical to [`crate::lattice_alg::build`].
+///
+/// ```
+/// use bcag_core::{params::Problem, special::{build_fast, classify, SpecialCase}};
+/// let pr = Problem::new(4, 8, 0, 2).unwrap();
+/// assert_eq!(classify(&pr), SpecialCase::IntraBlock);
+/// let pat = build_fast(&pr, 1).unwrap();
+/// assert_eq!(pat.gaps(), &[2, 2, 2, 2]); // k/s uniform gaps
+/// ```
+pub fn build_fast(problem: &Problem, m: i64) -> Result<AccessPattern> {
+    problem.check_proc(m)?;
+    match classify(problem) {
+        // Dense is the s = 1 instance of the intra-block constructor
+        // (1 always divides k); the k = 1 corner degenerates to PeriodOnly
+        // structure and goes through the general path.
+        SpecialCase::Dense if problem.k() > 1 => Ok(build_intra_block(problem, m)),
+        SpecialCase::IntraBlock => Ok(build_intra_block(problem, m)),
+        // PeriodOnly still needs the start-location solver (one congruence),
+        // which the general path already handles in O(1) table work.
+        _ => build(problem, m, Method::Lattice),
+    }
+}
+
+/// `s < k` and `s | k`: because `s` also divides `pk`, every access has the
+/// same in-row offset residue `r = l mod s`, one global period is exactly
+/// one course (`lcm(s, pk) = pk`), and each course contributes `k/s`
+/// accesses to every processor at block offsets `r, r+s, ..., r+k−s`.
+///
+/// Consequently **every local gap is `s`** — including the course-to-course
+/// hop, where the course advance (`+k` local) exactly cancels the offset
+/// rewind (`−(k−s)`). Only the global steps distinguish the hop
+/// (`pk − k + s` instead of `s`), and its position in the cycle is fixed by
+/// the start location's block offset.
+fn build_intra_block(problem: &Problem, m: i64) -> AccessPattern {
+    let (s, k, pk, l) = (problem.s(), problem.k(), problem.row_len(), problem.l());
+    debug_assert!(s < k && k % s == 0 && pk % s == 0);
+    let lay = Layout::new(problem);
+    // Start: first section element >= l owned by m. Offsets advance by s
+    // and the window is k >= s wide, so at most one jump is needed.
+    let mut g = l;
+    if lay.owner(g) != m {
+        let off = lay.in_row_offset(g);
+        let target = if off < m * k { m * k } else { m * k + pk };
+        g += (target - off + s - 1) / s * s;
+        debug_assert_eq!(lay.owner(g), m);
+    }
+    let length = (k / s) as usize;
+    let entry = lay.block_offset(g); // block offset of the start access
+    let r = entry % s; // residue class of all accesses
+    // In-row successors of the start before the course hop:
+    let within = ((r + k - s) - entry) / s;
+    let gaps = vec![s; length];
+    let mut global_steps = vec![s; length];
+    global_steps[within as usize] = pk - k + s;
+    let c = CyclicPattern {
+        start_global: g,
+        start_local: lay.local_addr(g),
+        gaps,
+        global_steps,
+    };
+    AccessPattern::from_parts(*problem, m, Pattern::Cyclic(c))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lattice_alg;
+
+    #[test]
+    fn classifier() {
+        let pr = |s| Problem::new(4, 8, 0, s).unwrap();
+        assert_eq!(classify(&pr(1)), SpecialCase::Dense);
+        assert_eq!(classify(&pr(2)), SpecialCase::IntraBlock);
+        assert_eq!(classify(&pr(4)), SpecialCase::IntraBlock);
+        assert_eq!(classify(&pr(3)), SpecialCase::General); // 8 % 3 != 0
+        assert_eq!(classify(&pr(16)), SpecialCase::PeriodOnly); // gcd 16 >= 8
+        assert_eq!(classify(&pr(32)), SpecialCase::PeriodOnly);
+        assert_eq!(classify(&pr(9)), SpecialCase::General);
+    }
+
+    #[test]
+    fn fast_path_equals_lattice_everywhere() {
+        for p in 1..=4i64 {
+            for k in [1i64, 2, 4, 6, 8, 12] {
+                for s in 1..=40i64 {
+                    for l in [0i64, 3, 17] {
+                        let pr = Problem::new(p, k, l, s).unwrap();
+                        for m in 0..p {
+                            let fast = build_fast(&pr, m).unwrap();
+                            let slow = lattice_alg::build(&pr, m).unwrap();
+                            assert_eq!(
+                                fast, slow,
+                                "p={p} k={k} s={s} l={l} m={m} case={:?}",
+                                classify(&pr)
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dense_pattern_structure() {
+        let pr = Problem::new(4, 8, 5, 1).unwrap();
+        for m in 0..4 {
+            let pat = build_fast(&pr, m).unwrap();
+            assert_eq!(pat.gaps(), &[1; 8][..]);
+            pat.check_invariants();
+        }
+    }
+
+    #[test]
+    fn intra_block_pattern_structure() {
+        let pr = Problem::new(4, 8, 0, 2).unwrap();
+        let pat = build_fast(&pr, 1).unwrap();
+        assert_eq!(pat.len(), 4); // k/s accesses per block
+        pat.check_invariants();
+    }
+}

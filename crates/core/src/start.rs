@@ -1,0 +1,279 @@
+//! Starting location, sequence length, and last location for a processor
+//! (paper Section 2 and Figure 5 lines 1–18).
+//!
+//! Element `A(i)` belongs to processor `m` iff its in-row offset
+//! `i mod pk` lies in `[km, k(m+1))`. The first section element on `m` is
+//! found by solving, for each target offset, the linear Diophantine
+//! congruence `s·j ≡ i (mod pk)` where `i` ranges over the window
+//! `[km−l, km−l+k)`; each solvable congruence yields the earliest section
+//! element of that offset class, and the minimum over classes is the start.
+//!
+//! The paper notes (end of Section 5's presentation) that the loop can skip
+//! directly between solvable equations, which are exactly `d = gcd(s, pk)`
+//! apart; we implement that stepping so the loop body runs `length` times,
+//! not `k` times.
+
+use crate::error::Result;
+use crate::numth::{self, mod_floor, ExtendedGcd};
+use crate::params::Problem;
+
+/// Outcome of the start-location computation for one processor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StartInfo {
+    /// Global index of the first section element owned by the processor,
+    /// or `None` when the processor owns no section elements at all
+    /// (`length == 0`).
+    pub start: Option<i64>,
+    /// Length of the cyclic gap sequence: the number of distinct offset
+    /// classes of the section that fall inside this processor's block
+    /// window. At most `k`.
+    pub length: i64,
+}
+
+/// Shared plumbing for the per-offset-class congruences: holds the extended
+/// GCD of `(s, pk)` plus the derived constants every method needs.
+#[derive(Debug, Clone, Copy)]
+pub struct ClassSolver {
+    pub(crate) g: ExtendedGcd,
+    pk: i64,
+    s: i64,
+    l: i64,
+    k: i64,
+}
+
+impl ClassSolver {
+    /// Runs extended Euclid once (Figure 5 line 3) and captures the problem
+    /// constants.
+    pub fn new(problem: &Problem) -> Self {
+        let g = numth::extended_euclid(problem.s(), problem.row_len());
+        ClassSolver { g, pk: problem.row_len(), s: problem.s(), l: problem.l(), k: problem.k() }
+    }
+
+    /// `d = gcd(s, pk)`.
+    #[inline]
+    pub fn d(&self) -> i64 {
+        self.g.d
+    }
+
+    /// Iterates the solvable congruence targets `i` (multiples of `d`) in
+    /// the window `[km−l, km−l+k)`, yielding for each the global index
+    /// `loc = l + s·j` of the earliest section element whose in-row offset
+    /// is `l + i (mod pk)`.
+    pub fn first_locs(&self, m: i64) -> impl Iterator<Item = i64> + '_ {
+        let d = self.g.d;
+        let w0 = m * self.k - self.l;
+        // First multiple of d at or above w0.
+        let first = w0 + mod_floor(-w0, d);
+        let end = w0 + self.k;
+        let n_d = self.pk / d;
+        (0..)
+            .map(move |t| first + t * d)
+            .take_while(move |&i| i < end)
+            .map(move |i| {
+                // Smallest nonnegative j with s·j ≡ i (mod pk):
+                // j = ((i/d)·x) mod (pk/d).
+                let j = numth::mulmod(i / d, self.g.x, n_d);
+                self.l + self.s * j
+            })
+    }
+}
+
+/// Computes the start location and sequence length for processor `m`
+/// (Figure 5 lines 1–11 plus the length-0 detection of lines 12–14).
+///
+/// ```
+/// use bcag_core::{params::Problem, start::start_info};
+/// // Worked example of Figure 6: p=4, k=8, l=4, s=9, m=1.
+/// let pr = Problem::new(4, 8, 4, 9).unwrap();
+/// let info = start_info(&pr, 1).unwrap();
+/// assert_eq!(info.start, Some(13));
+/// assert_eq!(info.length, 8);
+/// ```
+pub fn start_info(problem: &Problem, m: i64) -> Result<StartInfo> {
+    problem.check_proc(m)?;
+    let solver = ClassSolver::new(problem);
+    Ok(start_info_with(&solver, m))
+}
+
+/// Same as [`start_info`] but reuses a prepared [`ClassSolver`]; used by the
+/// full table-construction algorithms so that extended Euclid runs once.
+pub fn start_info_with(solver: &ClassSolver, m: i64) -> StartInfo {
+    let mut start = i64::MAX;
+    let mut length = 0i64;
+    for loc in solver.first_locs(m) {
+        start = start.min(loc);
+        length += 1;
+    }
+    StartInfo { start: (length > 0).then_some(start), length }
+}
+
+/// Global index of the last section element `<= u` owned by processor `m`,
+/// or `None` when the processor owns none in `[l, u]`.
+///
+/// Mirrors the paper's remark that the upper bound is handled "in a similar
+/// way using the upper bound u": for each solvable offset class with minimal
+/// solution `j₀`, the solutions are `j₀ + t·(pk/d)`, so the largest section
+/// element `<= u` in the class is found by one floor division.
+pub fn last_location(problem: &Problem, m: i64, u: i64) -> Result<Option<i64>> {
+    problem.check_proc(m)?;
+    if u < problem.l() {
+        return Ok(None);
+    }
+    let solver = ClassSolver::new(problem);
+    let big_j = (u - problem.l()) / problem.s(); // largest admissible j overall
+    let n_d = problem.row_len() / solver.d();
+    let mut best: Option<i64> = None;
+    for loc in solver.first_locs(m) {
+        let j0 = (loc - problem.l()) / problem.s();
+        if j0 > big_j {
+            continue; // this class first appears beyond u
+        }
+        let j_max = j0 + (big_j - j0) / n_d * n_d;
+        let cand = problem.l() + problem.s() * j_max;
+        best = Some(best.map_or(cand, |b: i64| b.max(cand)));
+    }
+    Ok(best)
+}
+
+/// Number of section elements of `[l, u]` owned by processor `m`.
+pub fn count_owned(problem: &Problem, m: i64, u: i64) -> Result<i64> {
+    problem.check_proc(m)?;
+    if u < problem.l() {
+        return Ok(0);
+    }
+    let solver = ClassSolver::new(problem);
+    let big_j = (u - problem.l()) / problem.s();
+    let n_d = problem.row_len() / solver.d();
+    let mut total = 0i64;
+    for loc in solver.first_locs(m) {
+        let j0 = (loc - problem.l()) / problem.s();
+        if j0 <= big_j {
+            total += (big_j - j0) / n_d + 1;
+        }
+    }
+    Ok(total)
+}
+
+/// Collects the first-cycle locations (one per solvable offset class) for
+/// processor `m`, *unsorted*. This is the data the sorting-based baseline of
+/// Chatterjee et al. sorts; the lattice method never materializes it.
+pub fn first_cycle_locs(problem: &Problem, m: i64) -> Result<Vec<i64>> {
+    problem.check_proc(m)?;
+    let solver = ClassSolver::new(problem);
+    Ok(solver.first_locs(m).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::Layout;
+
+    /// Brute-force reference: scan one full period of the section.
+    fn brute_start(problem: &Problem, m: i64) -> (Option<i64>, i64) {
+        let lay = Layout::new(problem);
+        let mut first = None;
+        let mut classes = std::collections::HashSet::new();
+        for j in 0..problem.period_elements() {
+            let g = problem.l() + problem.s() * j;
+            if lay.owner(g) == m {
+                first.get_or_insert(g);
+                classes.insert(lay.in_row_offset(g));
+            }
+        }
+        (first, classes.len() as i64)
+    }
+
+    #[test]
+    fn figure6_start() {
+        let pr = Problem::new(4, 8, 4, 9).unwrap();
+        let info = start_info(&pr, 1).unwrap();
+        assert_eq!(info.start, Some(13));
+        assert_eq!(info.length, 8);
+    }
+
+    #[test]
+    fn matches_brute_force_sweep() {
+        for p in 1..=4i64 {
+            for k in [1i64, 2, 3, 5, 8] {
+                for s in [1i64, 2, 3, 7, 9, 15, 31, 32, 33, 64] {
+                    for l in [0i64, 1, 4, 13] {
+                        let pr = Problem::new(p, k, l, s).unwrap();
+                        for m in 0..p {
+                            let info = start_info(&pr, m).unwrap();
+                            let (bs, bl) = brute_start(&pr, m);
+                            assert_eq!(info.start, bs, "p={p} k={k} s={s} l={l} m={m}");
+                            assert_eq!(info.length, bl, "p={p} k={k} s={s} l={l} m={m}");
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_when_stride_skips_processor() {
+        // p=2, k=1, s=2, l=0: even indices only; processor 1 owns odd
+        // indices (offsets 1 mod 2), so it gets nothing.
+        let pr = Problem::new(2, 1, 0, 2).unwrap();
+        let info = start_info(&pr, 1).unwrap();
+        assert_eq!(info.start, None);
+        assert_eq!(info.length, 0);
+        let info0 = start_info(&pr, 0).unwrap();
+        assert_eq!(info0.start, Some(0));
+        assert_eq!(info0.length, 1);
+    }
+
+    #[test]
+    fn last_location_brute_force() {
+        for p in 1..=3i64 {
+            for k in [1i64, 2, 4] {
+                for s in [1i64, 3, 7, 8, 9] {
+                    for l in [0i64, 5] {
+                        let pr = Problem::new(p, k, l, s).unwrap();
+                        let lay = Layout::new(&pr);
+                        for u in [l, l + 1, l + 17, l + 100, l + 321] {
+                            for m in 0..p {
+                                let expect = (0..)
+                                    .map(|j| l + s * j)
+                                    .take_while(|&g| g <= u)
+                                    .filter(|&g| lay.owner(g) == m)
+                                    .last();
+                                let got = last_location(&pr, m, u).unwrap();
+                                assert_eq!(got, expect, "p={p} k={k} s={s} l={l} u={u} m={m}");
+                                let cnt = count_owned(&pr, m, u).unwrap();
+                                let expect_cnt = (0..)
+                                    .map(|j| l + s * j)
+                                    .take_while(|&g| g <= u)
+                                    .filter(|&g| lay.owner(g) == m)
+                                    .count() as i64;
+                                assert_eq!(cnt, expect_cnt);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn last_before_lower_bound_is_none() {
+        let pr = Problem::new(4, 8, 10, 9).unwrap();
+        assert_eq!(last_location(&pr, 0, 9).unwrap(), None);
+        assert_eq!(count_owned(&pr, 0, 9).unwrap(), 0);
+    }
+
+    #[test]
+    fn first_cycle_locs_are_class_minima() {
+        let pr = Problem::new(4, 8, 4, 9).unwrap();
+        let locs = first_cycle_locs(&pr, 1).unwrap();
+        assert_eq!(locs.len(), 8);
+        // From the worked example: the eight first accesses on processor 1.
+        let mut sorted = locs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![13, 40, 76, 139, 175, 202, 238, 265]);
+        let lay = Layout::new(&pr);
+        for &g in &locs {
+            assert_eq!(lay.owner(g), 1);
+        }
+    }
+}

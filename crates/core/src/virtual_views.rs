@@ -1,0 +1,168 @@
+//! Virtual-processor enumeration schemes (related work, paper Section 7).
+//!
+//! Gupta, Kaushik, Huang and Sadayappan compile `cyclic(k)` array
+//! statements through *virtual processor views*: a `cyclic(k)` distribution
+//! over `p` processors is viewed as either
+//!
+//! * **virtual-cyclic** — `k` virtual `cyclic(1)` processors per physical
+//!   processor, one per block offset: elements of the same offset are
+//!   visited in increasing index order, but elements of *different* offsets
+//!   are visited in offset order, **not** global index order; or
+//! * **virtual-block** — each course's block as a virtual `block`
+//!   processor: elements are visited in increasing index order, but when
+//!   `s > k` the scheme degenerates to run-time resolution (the paper's
+//!   critique).
+//!
+//! These orders suffice for independent (`forall`) loops but not for
+//! arbitrary loops, which is exactly why the paper insists on increasing
+//! global index order. This module implements both views so the difference
+//! is testable and benchmarkable: all three enumerations produce the same
+//! *set* of (global, local) accesses; only the lattice order is globally
+//! sorted.
+
+use crate::error::Result;
+use crate::layout::Layout;
+use crate::params::Problem;
+use crate::pattern::Access;
+use crate::start::ClassSolver;
+
+/// Enumerates processor `m`'s accesses in **virtual-cyclic** order: offset
+/// class by offset class (ascending block offset), each class in increasing
+/// index order, bounded by `u`.
+pub fn virtual_cyclic(problem: &Problem, m: i64, u: i64) -> Result<Vec<Access>> {
+    problem.check_proc(m)?;
+    let lay = Layout::new(problem);
+    let solver = ClassSolver::new(problem);
+    // First access of every owned class, then stride one period within the
+    // class. Sort classes by their block offset.
+    let mut firsts: Vec<i64> = solver.first_locs(m).collect();
+    firsts.sort_unstable_by_key(|&g| lay.block_offset(g));
+    let period = problem.period_global();
+    let mut out = Vec::new();
+    for first in firsts {
+        let mut g = first;
+        while g <= u {
+            out.push(Access { global: g, local: lay.local_addr(g) });
+            g += period;
+        }
+    }
+    Ok(out)
+}
+
+/// Enumerates processor `m`'s accesses in **virtual-block** order: course
+/// by course (each of `m`'s blocks in turn), each block's owned elements in
+/// increasing index order, bounded by `u`.
+///
+/// For `s <= k` this coincides with increasing global order; for `s > k`
+/// most blocks hold at most one access and the outer scan over blocks is
+/// the "run-time resolution" degeneration Gupta et al. acknowledge — the
+/// loop below walks every course up to `u` even when empty.
+pub fn virtual_block(problem: &Problem, m: i64, u: i64) -> Result<Vec<Access>> {
+    problem.check_proc(m)?;
+    let lay = Layout::new(problem);
+    let (l, s, k, pk) = (problem.l(), problem.s(), problem.k(), problem.row_len());
+    if u < l {
+        return Ok(vec![]);
+    }
+    let mut out = Vec::new();
+    let mut course = 0i64;
+    loop {
+        let block_lo = course * pk + m * k;
+        if block_lo > u {
+            break;
+        }
+        let block_hi = (block_lo + k - 1).min(u);
+        // Owned section elements within [block_lo, block_hi]:
+        // smallest j with l + s·j >= block_lo.
+        if block_hi >= l {
+            let j0 = (block_lo - l).max(0).div_euclid(s)
+                + i64::from((block_lo - l).max(0).rem_euclid(s) != 0);
+            let mut g = l + s * j0;
+            while g <= block_hi {
+                out.push(Access { global: g, local: lay.local_addr(g) });
+                g += s;
+            }
+        }
+        course += 1;
+    }
+    Ok(out)
+}
+
+/// Convenience for tests/benches: the lattice enumeration bounded by `u`
+/// (increasing global order — the order the paper's algorithm produces).
+pub fn lattice_order(problem: &Problem, m: i64, u: i64) -> Result<Vec<Access>> {
+    let pat = crate::lattice_alg::build(problem, m)?;
+    Ok(pat.iter_to(u).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    fn setup(p: i64, k: i64, l: i64, s: i64) -> Problem {
+        Problem::new(p, k, l, s).unwrap()
+    }
+
+    #[test]
+    fn all_views_agree_on_the_access_set() {
+        for (p, k, l, s) in [(4i64, 8i64, 4i64, 9i64), (3, 4, 0, 7), (2, 16, 3, 5), (4, 2, 1, 11)] {
+            let pr = setup(p, k, l, s);
+            let u = l + 40 * s;
+            for m in 0..p {
+                let a: HashSet<_> = lattice_order(&pr, m, u).unwrap().into_iter().collect();
+                let b: HashSet<_> = virtual_cyclic(&pr, m, u).unwrap().into_iter().collect();
+                let c: HashSet<_> = virtual_block(&pr, m, u).unwrap().into_iter().collect();
+                assert_eq!(a, b, "virtual-cyclic set p={p} k={k} l={l} s={s} m={m}");
+                assert_eq!(a, c, "virtual-block set p={p} k={k} l={l} s={s} m={m}");
+            }
+        }
+    }
+
+    #[test]
+    fn virtual_block_is_sorted_virtual_cyclic_is_not() {
+        // The paper's worked example: s = 9 > k = 8 makes virtual-cyclic's
+        // offset-major order differ from global order.
+        let pr = setup(4, 8, 4, 9);
+        let u = 4 + 40 * 9;
+        let vc = virtual_cyclic(&pr, 1, u).unwrap();
+        let vb = virtual_block(&pr, 1, u).unwrap();
+        let is_sorted = |v: &[Access]| v.windows(2).all(|w| w[0].global < w[1].global);
+        assert!(is_sorted(&vb), "virtual-block visits in increasing index order");
+        assert!(!is_sorted(&vc), "virtual-cyclic order is offset-major here");
+        // Within each offset class, virtual-cyclic is increasing.
+        let lay = crate::layout::Layout::new(&pr);
+        for w in vc.windows(2) {
+            if lay.block_offset(w[0].global) == lay.block_offset(w[1].global) {
+                assert!(w[0].global < w[1].global);
+            }
+        }
+    }
+
+    #[test]
+    fn virtual_block_matches_lattice_for_small_strides() {
+        // s <= k: both orders are increasing global order, so they agree
+        // elementwise.
+        for s in 1..=8i64 {
+            let pr = setup(4, 8, 2, s);
+            let u = 2 + 30 * s;
+            for m in 0..4 {
+                assert_eq!(
+                    virtual_block(&pr, m, u).unwrap(),
+                    lattice_order(&pr, m, u).unwrap(),
+                    "s={s} m={m}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_and_boundary_cases() {
+        let pr = setup(2, 1, 0, 2);
+        assert!(virtual_cyclic(&pr, 1, 100).unwrap().is_empty());
+        assert!(virtual_block(&pr, 1, 100).unwrap().is_empty());
+        let pr = setup(4, 8, 50, 9);
+        assert!(virtual_cyclic(&pr, 0, 10).unwrap().is_empty());
+        assert!(virtual_block(&pr, 0, 10).unwrap().is_empty());
+    }
+}

@@ -1,0 +1,250 @@
+//! ASCII renderings of the paper's layout figures.
+//!
+//! Figure 1 of the paper draws the `cyclic(8)`-over-4-processors layout as a
+//! matrix of rows of `pk` elements, with the elements of the section
+//! `l = 0, s = 9` boxed. Figures 2, 4 and 6 reuse the same canvas to show
+//! basis-vector segments and the points the algorithm visits. This module
+//! renders the same pictures as text, for documentation, the CLI, and the
+//! `layout_viz` example.
+
+use crate::basis::Basis;
+use crate::layout::Layout;
+use crate::params::Problem;
+use crate::pattern::AccessPattern;
+
+/// How an element is decorated in the rendering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mark {
+    /// Plain element: printed as its index.
+    None,
+    /// Section element: printed in `[brackets]` (the paper's rectangles).
+    Boxed,
+    /// Element visited by the table-construction walk: printed in `<...>`.
+    Visited,
+    /// The section's lower bound: printed in `(parentheses)` (the paper's
+    /// circle).
+    Origin,
+}
+
+/// Renders `rows` courses of the layout, decorating each element with the
+/// mark chosen by `classify`. Processor boundaries are drawn with `|`.
+pub fn render_layout<F>(p: i64, k: i64, rows: i64, classify: F) -> String
+where
+    F: Fn(i64) -> Mark,
+{
+    let lay = Layout::from_raw(p, k);
+    let pk = lay.row_len();
+    let max_index = rows * pk - 1;
+    let width = max_index.to_string().len() + 2; // room for the decoration
+    let mut out = String::new();
+
+    // Header with processor numbers.
+    out.push_str("  ");
+    for proc in 0..p {
+        let label = format!("Proc {proc}");
+        let block_width = (width + 1) * k as usize;
+        out.push_str(&format!("{label:^block_width$}"));
+        if proc + 1 < p {
+            out.push(' ');
+        }
+    }
+    out.push('\n');
+
+    for row in 0..rows {
+        out.push_str("  ");
+        for col in 0..pk {
+            let i = row * pk + col;
+            let cell = match classify(i) {
+                Mark::None => format!(" {i} "),
+                Mark::Boxed => format!("[{i}]"),
+                Mark::Visited => format!("<{i}>"),
+                Mark::Origin => format!("({i})"),
+            };
+            out.push_str(&format!("{cell:>width$}"));
+            if col % k == k - 1 && col + 1 < pk {
+                out.push_str(" |");
+            } else {
+                out.push(' ');
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Figure-1 style rendering: section elements boxed, lower bound circled.
+pub fn render_section(problem: &Problem, rows: i64) -> String {
+    let l = problem.l();
+    let s = problem.s();
+    render_layout(problem.p(), problem.k(), rows, |i| {
+        if i == l {
+            Mark::Origin
+        } else if i > l && (i - l) % s == 0 {
+            Mark::Boxed
+        } else {
+            Mark::None
+        }
+    })
+}
+
+/// Figure-6 style rendering for one processor: the points the access walk
+/// visits are highlighted, everything else on the section boxed.
+pub fn render_visits(pattern: &AccessPattern, rows: i64) -> String {
+    let pr = pattern.problem();
+    let (l, s) = (pr.l(), pr.s());
+    let limit = rows * pr.row_len();
+    let visited: std::collections::HashSet<i64> =
+        pattern.iter_to(limit).map(|a| a.global).collect();
+    render_layout(pr.p(), pr.k(), rows, |i| {
+        if i == l {
+            Mark::Origin
+        } else if visited.contains(&i) {
+            Mark::Visited
+        } else if i > l && (i - l) % s == 0 {
+            Mark::Boxed
+        } else {
+            Mark::None
+        }
+    })
+}
+
+/// Figure-2 style rendering of the lattice itself: the strip
+/// `0 <= b < pk`, `0 <= a < rows` of the coordinate plane, with lattice
+/// points marked. `O` is the origin, `R` the endpoint of the basis vector
+/// R (the minimum of the initial cycle), `M` the maximum of the initial
+/// cycle (whose displacement to the next cycle start is L), `*` other
+/// lattice points, `·` non-points; `|` separates processors.
+pub fn render_lattice(problem: &Problem, rows: i64) -> String {
+    let pk = problem.row_len();
+    let k = problem.k();
+    let s = problem.s();
+    let basis = Basis::compute(problem).ok();
+    let (r_pt, m_pt) = match &basis {
+        Some(b) => (
+            Some((b.r.b, b.r.a)),
+            // The max point in absolute coordinates: L = max − (0, s/d).
+            Some((b.l.b, b.l.a + s / problem.d())),
+        ),
+        None => (None, None),
+    };
+    let mut out = String::new();
+    out.push_str("    y\\x ");
+    for b in 0..pk {
+        out.push_str(&format!("{:>3}", b % 10));
+        if b % k == k - 1 && b + 1 < pk {
+            out.push_str(" |");
+        }
+    }
+    out.push('\n');
+    for a in 0..rows {
+        out.push_str(&format!("{a:>7} "));
+        for b in 0..pk {
+            let is_point = (pk as i128 * a as i128 + b as i128).rem_euclid(s as i128) == 0;
+            let mark = if (b, a) == (0, 0) {
+                "  O"
+            } else if Some((b, a)) == r_pt {
+                "  R"
+            } else if Some((b, a)) == m_pt {
+                "  M"
+            } else if is_point {
+                "  *"
+            } else {
+                "  ·"
+            };
+            out.push_str(mark);
+            if b % k == k - 1 && b + 1 < pk {
+                out.push_str(" |");
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders a textual summary of the basis vectors, in the style of the
+/// Figure 3 caption ("Vectors R = (4,1) and L = (5,−1)").
+pub fn describe_basis(problem: &Problem) -> String {
+    match Basis::compute(problem) {
+        Ok(b) => format!(
+            "R = ({}, {}) for section index {} (global {}), \
+             L = ({}, {}) for section index {} (relative to next cycle)\n\
+             local gaps: +R -> {}, -L -> {}",
+            b.r.b,
+            b.r.a,
+            b.r.i,
+            b.r.i * problem.s(),
+            b.l.b,
+            b.l.a,
+            b.l.i,
+            b.gap_r(problem.k()),
+            b.gap_l(problem.k()),
+        ),
+        Err(_) => format!(
+            "degenerate lattice: gcd(s, pk) = {} >= k = {}; at most one offset \
+             class per processor",
+            problem.d(),
+            problem.k()
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lattice_alg;
+
+    #[test]
+    fn figure1_rendering_marks_section() {
+        let pr = Problem::new(4, 8, 0, 9).unwrap();
+        let pic = render_section(&pr, 3);
+        assert!(pic.contains("(0)"), "lower bound circled");
+        assert!(pic.contains("[9]"), "first stride element boxed");
+        assert!(pic.contains("[18]"));
+        assert!(pic.contains(" 1 "), "non-section element plain");
+        assert!(pic.contains("Proc 0") && pic.contains("Proc 3"));
+        // 3 rows + header.
+        assert_eq!(pic.lines().count(), 4);
+    }
+
+    #[test]
+    fn figure6_rendering_marks_visits() {
+        let pr = Problem::new(4, 8, 4, 9).unwrap();
+        let pat = lattice_alg::build(&pr, 1).unwrap();
+        let pic = render_visits(&pat, 10);
+        assert!(pic.contains("(4)"), "lower bound");
+        assert!(pic.contains("<13>"), "start visited");
+        assert!(pic.contains("<40>"));
+        assert!(pic.contains("[22]"), "section element not on proc 1 stays boxed");
+    }
+
+    #[test]
+    fn lattice_strip_rendering() {
+        let pr = Problem::new(4, 8, 0, 9).unwrap();
+        let pic = render_lattice(&pr, 10);
+        // 10 rows plus the header.
+        assert_eq!(pic.lines().count(), 11);
+        assert!(pic.contains('O'), "origin marked");
+        assert!(pic.contains('R'), "R endpoint marked");
+        assert!(pic.contains('M'), "cycle maximum marked");
+        // R = (4, 1): row for a = 1 must carry the R mark.
+        let row1 = pic.lines().nth(2).unwrap();
+        assert!(row1.contains('R'), "{row1}");
+        // The max point (5, 8): row a = 8 carries M.
+        let row8 = pic.lines().nth(9).unwrap();
+        assert!(row8.contains('M'), "{row8}");
+        // Point count: lattice points in the strip are the multiples of 9
+        // below 10·32 = 320, i.e. ceil(320/9) = 36 points.
+        let stars = pic.matches('*').count() + 3; // plus O, R, M
+        assert_eq!(stars, 36);
+    }
+
+    #[test]
+    fn basis_description() {
+        let pr = Problem::new(4, 8, 0, 9).unwrap();
+        let d = describe_basis(&pr);
+        assert!(d.contains("R = (4, 1)"));
+        assert!(d.contains("L = (5, -1)"));
+        let degenerate = Problem::new(4, 8, 0, 16).unwrap();
+        assert!(describe_basis(&degenerate).contains("degenerate"));
+    }
+}

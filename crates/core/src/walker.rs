@@ -1,0 +1,207 @@
+//! Table-free address generation from the basis vectors alone.
+//!
+//! Section 6.2 of the paper closes with: *"An important feature of our
+//! method is that the algorithm can be modified to return only vectors
+//! `R = (b_r, a_r)` and `L = (b_l, a_l)`, without storing any tables. Based
+//! on these values, every processor can generate its local addresses as
+//! needed, using simple tests similar to those in lines 35 and 44 of
+//! Figure 5."* (Details appear in the companion ICS'95 paper.)
+//!
+//! [`Walker`] is that modification: an iterator that carries only the two
+//! basis vectors plus the current position, and produces each successive
+//! access with at most two comparisons — `O(1)` space, no `AM` table. This
+//! trades the table memory for a small per-access penalty, the time/space
+//! tradeoff Knies, O'Keefe and MacDonald point out for table-based schemes.
+
+use crate::basis::Basis;
+use crate::error::Result;
+use crate::layout::Layout;
+use crate::params::Problem;
+use crate::pattern::Access;
+use crate::start::{start_info_with, ClassSolver};
+
+/// How the walker advances: degenerate single-class patterns step by whole
+/// periods; general patterns step by the Theorem-3 case analysis.
+#[derive(Debug, Clone, Copy)]
+enum Mode {
+    /// `length <= 1`: every access is one full period after the previous.
+    Periodic { gap: i64, step: i64 },
+    /// General case: three-way step using R and L.
+    Basis {
+        b_r: i64,
+        gap_r: i64,
+        step_r: i64,
+        b_l: i64,
+        gap_l: i64,
+        step_l: i64,
+        km: i64,
+        window_end: i64,
+    },
+}
+
+/// Position of the walk: the global index, its in-row offset, and its local
+/// memory address (all three advance in lockstep without division).
+#[derive(Debug, Clone, Copy)]
+struct Position {
+    global: i64,
+    offset: i64,
+    local: i64,
+}
+
+/// Table-free access generator for one processor.
+///
+/// Implements `Iterator<Item = Access>`; the stream is infinite for a
+/// non-empty pattern (bound it with [`Walker::up_to`] or standard iterator
+/// adapters).
+///
+/// ```
+/// use bcag_core::{params::Problem, walker::Walker};
+/// let pr = Problem::new(4, 8, 4, 9).unwrap();
+/// let walker = Walker::new(&pr, 1).unwrap();
+/// let globals: Vec<i64> = walker.take(5).map(|a| a.global).collect();
+/// assert_eq!(globals, vec![13, 40, 76, 139, 175]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Walker {
+    mode: Mode,
+    pos: Option<Position>,
+}
+
+impl Walker {
+    /// Builds a walker for processor `m`. Cost: one extended-Euclid call
+    /// plus two `O(k)` scans (start location and basis) — identical to the
+    /// table method's setup, but nothing proportional to `k` is stored.
+    pub fn new(problem: &Problem, m: i64) -> Result<Self> {
+        problem.check_proc(m)?;
+        let solver = ClassSolver::new(problem);
+        let info = start_info_with(&solver, m);
+        let Some(start) = info.start else {
+            return Ok(Walker { mode: Mode::Periodic { gap: 0, step: 0 }, pos: None });
+        };
+        let lay = Layout::new(problem);
+        let pos = Position {
+            global: start,
+            offset: lay.in_row_offset(start),
+            local: lay.local_addr(start),
+        };
+        if info.length == 1 {
+            return Ok(Walker {
+                mode: Mode::Periodic {
+                    gap: problem.period_local(),
+                    step: problem.period_global(),
+                },
+                pos: Some(pos),
+            });
+        }
+        let basis = Basis::compute_with(problem, &solver)?;
+        let k = problem.k();
+        let s = problem.s();
+        Ok(Walker {
+            mode: Mode::Basis {
+                b_r: basis.r.b,
+                gap_r: basis.gap_r(k),
+                step_r: basis.r.i * s,
+                b_l: basis.l.b,
+                gap_l: basis.gap_l(k),
+                step_l: -basis.l.i * s,
+                km: k * m,
+                window_end: k * (m + 1),
+            },
+            pos: Some(pos),
+        })
+    }
+
+    /// Bounds the walk at global index `u` (inclusive).
+    pub fn up_to(self, u: i64) -> impl Iterator<Item = Access> {
+        self.take_while(move |a| a.global <= u)
+    }
+}
+
+impl Iterator for Walker {
+    type Item = Access;
+
+    fn next(&mut self) -> Option<Access> {
+        let pos = self.pos.as_mut()?;
+        let out = Access { global: pos.global, local: pos.local };
+        match self.mode {
+            Mode::Periodic { gap, step } => {
+                pos.local += gap;
+                pos.global += step;
+            }
+            Mode::Basis { b_r, gap_r, step_r, b_l, gap_l, step_l, km, window_end } => {
+                // The test of Figure 5 line 35: does +R stay in the window?
+                if pos.offset + b_r < window_end {
+                    pos.offset += b_r;
+                    pos.local += gap_r;
+                    pos.global += step_r;
+                } else {
+                    // Equation 2 (−L), with the line-44 correction to
+                    // Equation 3 (+R − L) when it undershoots.
+                    pos.offset -= b_l;
+                    pos.local += gap_l;
+                    pos.global += step_l;
+                    if pos.offset < km {
+                        pos.offset += b_r;
+                        pos.local += gap_r;
+                        pos.global += step_r;
+                    }
+                }
+            }
+        }
+        Some(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lattice_alg;
+
+    #[test]
+    fn matches_table_based_enumeration() {
+        for p in 1..=4i64 {
+            for k in [1i64, 2, 4, 8] {
+                for s in [1i64, 3, 7, 9, 16, 31, 33, 64] {
+                    for l in [0i64, 4] {
+                        let pr = Problem::new(p, k, l, s).unwrap();
+                        for m in 0..p {
+                            let pat = lattice_alg::build(&pr, m).unwrap();
+                            let from_table: Vec<Access> = pat.iter().take(40).collect();
+                            let from_walker: Vec<Access> =
+                                Walker::new(&pr, m).unwrap().take(40).collect();
+                            assert_eq!(
+                                from_table, from_walker,
+                                "p={p} k={k} s={s} l={l} m={m}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_walker() {
+        let pr = Problem::new(2, 1, 0, 2).unwrap();
+        let mut w = Walker::new(&pr, 1).unwrap();
+        assert!(w.next().is_none());
+    }
+
+    #[test]
+    fn bounded_walk() {
+        let pr = Problem::new(4, 8, 4, 9).unwrap();
+        let w = Walker::new(&pr, 1).unwrap();
+        let globals: Vec<i64> = w.up_to(202).map(|a| a.global).collect();
+        assert_eq!(globals, vec![13, 40, 76, 139, 175, 202]);
+    }
+
+    #[test]
+    fn periodic_mode() {
+        let pr = Problem::new(4, 8, 0, 32).unwrap();
+        let w = Walker::new(&pr, 0).unwrap();
+        let accesses: Vec<Access> = w.take(3).collect();
+        assert_eq!(accesses[0], Access { global: 0, local: 0 });
+        assert_eq!(accesses[1], Access { global: 32, local: 8 });
+        assert_eq!(accesses[2], Access { global: 64, local: 16 });
+    }
+}

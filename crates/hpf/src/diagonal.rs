@@ -1,0 +1,242 @@
+//! Diagonal (coupled-subscript) section access — the paper's future work.
+//!
+//! The conclusions name "compiling programs that access diagonal or
+//! trapezoidal array sections" as an open problem, and the companion ICS'95
+//! paper handles "coupled subscripts". A diagonal section couples all
+//! subscripts to one index variable:
+//!
+//! ```text
+//! A(l₀ + t·s₀, l₁ + t·s₁, ...)   for t = 0 .. count−1
+//! ```
+//!
+//! Processor `(m₀, m₁, ...)` owns the `t`-th element iff it owns it in
+//! *every* dimension. Per dimension, the owned `t`-values form a union of
+//! at most `k_d` arithmetic progressions (one per owned offset class, step
+//! `pk_d / d_d` — exactly the class structure the start-location loop of
+//! Figure 5 exposes); the diagonal's owned set is the intersection of those
+//! unions, computed in closed form with [`bcag_core::intersect`]. Cost:
+//! `O(Π k_d)` progression pairs plus the output size — no per-element
+//! scanning.
+
+use bcag_core::error::{BcagError, Result};
+use bcag_core::intersect::{intersect, Ap};
+use bcag_core::params::Problem;
+use bcag_core::start::first_cycle_locs;
+
+use crate::multidim::ArrayMap;
+
+/// One access of a diagonal section.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DiagonalAccess {
+    /// The index-variable value.
+    pub t: i64,
+    /// The global multi-index `lᵈ + t·sᵈ`.
+    pub index: Vec<i64>,
+    /// Column-major local linear address on the owning processor.
+    pub local: i64,
+}
+
+/// Enumerates, for the processor at `coords`, the owned elements of the
+/// diagonal section `A(starts[d] + t·strides[d])`, `0 <= t < count`, in
+/// increasing `t` order.
+///
+/// Strides must be positive and every touched index must stay inside the
+/// array (checked up front from the extreme `t` values).
+pub fn diagonal_accesses(
+    map: &ArrayMap,
+    coords: &[i64],
+    starts: &[i64],
+    strides: &[i64],
+    count: i64,
+) -> Result<Vec<DiagonalAccess>> {
+    let rank = map.rank();
+    if starts.len() != rank || strides.len() != rank || coords.len() != rank {
+        return Err(BcagError::Precondition("diagonal rank mismatch"));
+    }
+    if count < 0 {
+        return Err(BcagError::Precondition("diagonal count must be nonnegative"));
+    }
+    for d in 0..rank {
+        if strides[d] <= 0 {
+            return Err(BcagError::Precondition("diagonal strides must be positive"));
+        }
+        if starts[d] < 0
+            || (count > 0 && starts[d] + (count - 1) * strides[d] >= map.dims()[d].extent())
+        {
+            return Err(BcagError::Precondition("diagonal leaves the array bounds"));
+        }
+    }
+    if count == 0 {
+        return Ok(vec![]);
+    }
+    let t_max = count - 1;
+
+    // Per-dimension owned t-sets as unions of APs.
+    let mut current: Option<Vec<Ap>> = None;
+    for d in 0..rank {
+        let dm = &map.dims()[d];
+        let align = dm.alignment();
+        // Template-level problem for this dimension's diagonal subscript.
+        let problem = Problem::new(
+            dm.procs(),
+            dm.block_size(),
+            align.cell(starts[d]),
+            align.a * strides[d],
+        )?;
+        let step = problem.period_elements();
+        let aps: Vec<Ap> = first_cycle_locs(&problem, coords[d])?
+            .into_iter()
+            .map(|loc| Ap::new((loc - align.cell(starts[d])) / (align.a * strides[d]), step))
+            .collect();
+        current = Some(match current {
+            None => aps,
+            Some(prev) => {
+                let mut merged = Vec::new();
+                for a in &prev {
+                    for b in &aps {
+                        if let Some(c) = intersect(a, b) {
+                            if c.first <= t_max {
+                                merged.push(c);
+                            }
+                        }
+                    }
+                }
+                merged
+            }
+        });
+    }
+
+    // Materialize, sort by t, map to indices and local addresses.
+    let mut ts: Vec<i64> = current
+        .expect("rank >= 1")
+        .iter()
+        .flat_map(|ap| ap.iter_to(t_max).collect::<Vec<_>>())
+        .collect();
+    ts.sort_unstable();
+    ts.dedup(); // distinct class pairs cannot collide, but stay defensive
+    ts.into_iter()
+        .map(|t| {
+            let index: Vec<i64> =
+                (0..rank).map(|d| starts[d] + t * strides[d]).collect();
+            debug_assert_eq!(&map.owner_coords(&index)?, coords);
+            let local = map.local_linear(&index)?;
+            Ok(DiagonalAccess { t, index, local })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dimmap::DimMap;
+    use crate::dist::Dist;
+    use bcag_core::aligned::Alignment;
+
+    fn brute(
+        map: &ArrayMap,
+        coords: &[i64],
+        starts: &[i64],
+        strides: &[i64],
+        count: i64,
+    ) -> Vec<DiagonalAccess> {
+        (0..count)
+            .filter_map(|t| {
+                let index: Vec<i64> = starts
+                    .iter()
+                    .zip(strides)
+                    .map(|(&l, &s)| l + t * s)
+                    .collect();
+                if map.owner_coords(&index).unwrap() == coords {
+                    let local = map.local_linear(&index).unwrap();
+                    Some(DiagonalAccess { t, index, local })
+                } else {
+                    None
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn main_diagonal_2d() {
+        let map = ArrayMap::new(vec![
+            DimMap::simple(48, 2, Dist::CyclicK(4)).unwrap(),
+            DimMap::simple(48, 3, Dist::CyclicK(5)).unwrap(),
+        ])
+        .unwrap();
+        let mut total = 0usize;
+        for coords in map.grid().iter_coords() {
+            let got = diagonal_accesses(&map, &coords, &[0, 0], &[1, 1], 48).unwrap();
+            let expect = brute(&map, &coords, &[0, 0], &[1, 1], 48);
+            assert_eq!(got, expect, "coords {coords:?}");
+            total += got.len();
+        }
+        assert_eq!(total, 48, "every diagonal element owned exactly once");
+    }
+
+    #[test]
+    fn strided_skew_diagonals() {
+        let map = ArrayMap::new(vec![
+            DimMap::simple(60, 2, Dist::CyclicK(3)).unwrap(),
+            DimMap::simple(90, 2, Dist::CyclicK(4)).unwrap(),
+        ])
+        .unwrap();
+        for (starts, strides, count) in [
+            ([1i64, 2i64], [2i64, 3i64], 25i64),
+            ([5, 0], [1, 4], 20),
+            ([0, 1], [3, 2], 20),
+        ] {
+            for coords in map.grid().iter_coords() {
+                let got =
+                    diagonal_accesses(&map, &coords, &starts, &strides, count).unwrap();
+                let expect = brute(&map, &coords, &starts, &strides, count);
+                assert_eq!(got, expect, "coords {coords:?} starts {starts:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn three_dimensional_diagonal() {
+        let map = ArrayMap::new(vec![
+            DimMap::simple(24, 2, Dist::CyclicK(2)).unwrap(),
+            DimMap::simple(24, 1, Dist::Serial).unwrap(),
+            DimMap::simple(24, 3, Dist::Cyclic).unwrap(),
+        ])
+        .unwrap();
+        for coords in map.grid().iter_coords() {
+            let got = diagonal_accesses(&map, &coords, &[0, 0, 0], &[1, 1, 1], 24).unwrap();
+            let expect = brute(&map, &coords, &[0, 0, 0], &[1, 1, 1], 24);
+            assert_eq!(got, expect);
+        }
+    }
+
+    #[test]
+    fn aligned_diagonal() {
+        let map = ArrayMap::new(vec![
+            DimMap::new(30, 2, Dist::CyclicK(4), Alignment::new(2, 1).unwrap()).unwrap(),
+            DimMap::simple(30, 2, Dist::CyclicK(3)).unwrap(),
+        ])
+        .unwrap();
+        for coords in map.grid().iter_coords() {
+            let got = diagonal_accesses(&map, &coords, &[0, 1], &[1, 1], 29).unwrap();
+            let expect = brute(&map, &coords, &[0, 1], &[1, 1], 29);
+            assert_eq!(got, expect, "coords {coords:?}");
+        }
+    }
+
+    #[test]
+    fn validation() {
+        let map = ArrayMap::new(vec![
+            DimMap::simple(10, 2, Dist::CyclicK(2)).unwrap(),
+            DimMap::simple(10, 2, Dist::CyclicK(2)).unwrap(),
+        ])
+        .unwrap();
+        // Out of bounds.
+        assert!(diagonal_accesses(&map, &[0, 0], &[0, 0], &[1, 1], 11).is_err());
+        // Rank mismatch.
+        assert!(diagonal_accesses(&map, &[0, 0], &[0], &[1, 1], 5).is_err());
+        // Nonpositive stride.
+        assert!(diagonal_accesses(&map, &[0, 0], &[0, 0], &[1, 0], 5).is_err());
+        // Empty.
+        assert_eq!(diagonal_accesses(&map, &[0, 0], &[0, 0], &[1, 1], 0).unwrap(), vec![]);
+    }
+}

@@ -1,0 +1,226 @@
+//! Per-dimension mapping: array dimension → template → processor dimension.
+//!
+//! One `DimMap` captures the full HPF mapping chain for a single array
+//! dimension: the array extent, the affine alignment onto a template
+//! dimension, and the distribution of that template dimension over a
+//! processor-grid dimension. Because HPF alignments and distributions are
+//! per-dimension and independent (paper Section 2), the multidimensional
+//! machinery in [`crate::multidim`] is a plain product of `DimMap`s.
+
+use bcag_core::aligned::{aligned_pattern, AlignedPattern, Alignment};
+use bcag_core::error::Result;
+use bcag_core::method::Method;
+use bcag_core::params::Problem;
+use bcag_core::start::count_owned;
+use bcag_core::Layout;
+
+use crate::dist::Dist;
+
+/// Mapping of one array dimension onto one processor-grid dimension.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DimMap {
+    /// Array extent `n` (valid indices `0..n`).
+    n: i64,
+    /// Effective processor count along this dimension.
+    p: i64,
+    /// Resolved block size of the template distribution.
+    k: i64,
+    /// Affine alignment of array indices to template cells.
+    align: Alignment,
+    /// Extent of the template dimension.
+    template_extent: i64,
+}
+
+impl DimMap {
+    /// Builds the mapping: resolves the distribution's block size against
+    /// the template extent implied by the alignment
+    /// (`align.cell(n-1) + 1` cells are needed).
+    pub fn new(n: i64, p: i64, dist: Dist, align: Alignment) -> Result<Self> {
+        let template_extent = align.cell(n - 1) + 1;
+        let p_eff = dist.effective_procs(p);
+        let k = dist.block_size(template_extent, p_eff)?;
+        // Validate the (p, k) pair through the core constructor.
+        let _ = Problem::new(p_eff, k, 0, 1)?;
+        Ok(DimMap { n, p: p_eff, k, align, template_extent })
+    }
+
+    /// Identity-aligned shorthand.
+    pub fn simple(n: i64, p: i64, dist: Dist) -> Result<Self> {
+        Self::new(n, p, dist, Alignment::IDENTITY)
+    }
+
+    /// Array extent.
+    pub fn extent(&self) -> i64 {
+        self.n
+    }
+
+    /// Effective processors along the dimension.
+    pub fn procs(&self) -> i64 {
+        self.p
+    }
+
+    /// Resolved block size.
+    pub fn block_size(&self) -> i64 {
+        self.k
+    }
+
+    /// The alignment in force.
+    pub fn alignment(&self) -> Alignment {
+        self.align
+    }
+
+    /// Extent of the template dimension.
+    pub fn template_extent(&self) -> i64 {
+        self.template_extent
+    }
+
+    fn layout(&self) -> Layout {
+        Layout::from_raw(self.p, self.k)
+    }
+
+    /// The storage problem: template cells occupied by the array, as a
+    /// regular section of the template (`b : ... : a`).
+    fn storage_problem(&self) -> Result<Problem> {
+        Problem::new(self.p, self.k, self.align.b, self.align.a)
+    }
+
+    /// Owning processor (grid coordinate along this dimension) of array
+    /// index `i`.
+    pub fn owner(&self, i: i64) -> i64 {
+        self.layout().owner(self.align.cell(i))
+    }
+
+    /// Packed local index of array element `i` on its owner: the rank of
+    /// its template cell among the owner's occupied cells. For identity
+    /// alignment this equals the `cyclic(k)` local address.
+    pub fn local_index(&self, i: i64) -> Result<i64> {
+        let m = self.owner(i);
+        Ok(count_owned(&self.storage_problem()?, m, self.align.cell(i))? - 1)
+    }
+
+    /// Number of array elements of this dimension stored on processor `m`
+    /// (the local extent used for local linearization).
+    pub fn local_extent(&self, m: i64) -> Result<i64> {
+        if self.n == 0 {
+            return Ok(0);
+        }
+        count_owned(&self.storage_problem()?, m, self.align.cell(self.n - 1))
+    }
+
+    /// The per-dimension access sequence for section `l : u : s` (ascending,
+    /// `s > 0`) on processor `m`: the list of `(global_index, packed_local)`
+    /// pairs, produced by the chosen core method.
+    pub fn owned_accesses(
+        &self,
+        m: i64,
+        l: i64,
+        u: i64,
+        s: i64,
+        method: Method,
+    ) -> Result<Vec<(i64, i64)>> {
+        let alp: AlignedPattern =
+            aligned_pattern(self.p, self.k, self.align, l, s, m, method)?;
+        let Some(start_packed) = alp.start_packed else {
+            return Ok(vec![]);
+        };
+        let u_eff = u.min(self.n - 1);
+        let cell_bound = self.align.cell(u_eff);
+        let mut out = Vec::new();
+        let mut packed = start_packed;
+        let a = self.align.a;
+        let b = self.align.b;
+        for (t, acc) in alp.template.iter_to(cell_bound).enumerate() {
+            // Recover the array index from the template cell.
+            debug_assert_eq!((acc.global - b) % a, 0);
+            let i = (acc.global - b) / a;
+            out.push((i, packed));
+            packed += alp.packed_gaps[t % alp.packed_gaps.len()];
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_block_mapping() {
+        let dm = DimMap::simple(100, 4, Dist::Block).unwrap();
+        assert_eq!(dm.block_size(), 25);
+        for i in 0..100 {
+            assert_eq!(dm.owner(i), i / 25);
+            assert_eq!(dm.local_index(i).unwrap(), i % 25);
+        }
+        for m in 0..4 {
+            assert_eq!(dm.local_extent(m).unwrap(), 25);
+        }
+    }
+
+    #[test]
+    fn identity_cyclic_k_mapping() {
+        let dm = DimMap::simple(320, 4, Dist::CyclicK(8)).unwrap();
+        assert_eq!(dm.owner(108), 1); // Figure 1
+        assert_eq!(dm.local_index(108).unwrap(), 28);
+        assert_eq!(dm.local_extent(0).unwrap(), 80);
+    }
+
+    #[test]
+    fn serial_dimension() {
+        let dm = DimMap::simple(64, 8, Dist::Serial).unwrap();
+        assert_eq!(dm.procs(), 1);
+        for i in 0..64 {
+            assert_eq!(dm.owner(i), 0);
+            assert_eq!(dm.local_index(i).unwrap(), i);
+        }
+        assert_eq!(dm.local_extent(0).unwrap(), 64);
+    }
+
+    #[test]
+    fn aligned_mapping_packs_correctly() {
+        // A(i) at template cell 2i+1, template cyclic(4) over 3 procs.
+        let align = Alignment::new(2, 1).unwrap();
+        let dm = DimMap::new(30, 3, Dist::CyclicK(4), align).unwrap();
+        // Packed indices must be 0,1,2,... per processor in increasing i.
+        let mut next_packed = [0i64; 3];
+        for i in 0..30 {
+            let m = dm.owner(i) as usize;
+            assert_eq!(dm.local_index(i).unwrap(), next_packed[m], "i={i}");
+            next_packed[m] += 1;
+        }
+        for m in 0..3 {
+            assert_eq!(dm.local_extent(m).unwrap(), next_packed[m as usize]);
+        }
+    }
+
+    #[test]
+    fn owned_accesses_match_brute_force() {
+        let dm = DimMap::simple(320, 4, Dist::CyclicK(8)).unwrap();
+        for m in 0..4 {
+            let got = dm.owned_accesses(m, 4, 310, 9, Method::Lattice).unwrap();
+            let expect: Vec<(i64, i64)> = (0..)
+                .map(|t| 4 + 9 * t)
+                .take_while(|&i| i <= 310)
+                .filter(|&i| dm.owner(i) == m)
+                .map(|i| (i, dm.local_index(i).unwrap()))
+                .collect();
+            assert_eq!(got, expect, "m={m}");
+        }
+    }
+
+    #[test]
+    fn owned_accesses_with_alignment() {
+        let align = Alignment::new(3, 2).unwrap();
+        let dm = DimMap::new(60, 2, Dist::CyclicK(5), align).unwrap();
+        for m in 0..2 {
+            let got = dm.owned_accesses(m, 1, 55, 4, Method::Lattice).unwrap();
+            let expect: Vec<(i64, i64)> = (0..)
+                .map(|t| 1 + 4 * t)
+                .take_while(|&i| i <= 55)
+                .filter(|&i| dm.owner(i) == m)
+                .map(|i| (i, dm.local_index(i).unwrap()))
+                .collect();
+            assert_eq!(got, expect, "m={m}");
+        }
+    }
+}

@@ -1,0 +1,127 @@
+//! HPF distribution formats.
+//!
+//! HPF's `DISTRIBUTE` directive offers `BLOCK`, `CYCLIC` and `CYCLIC(K)`
+//! per dimension (plus `*` for undistributed dimensions). The paper's
+//! observation (Section 1): *block* and *cyclic* are both special cases of
+//! `cyclic(k)` — `cyclic` is `cyclic(1)` and `block` is `cyclic(ceil(n/p))`
+//! — so a single layout engine covers all three once `k` is resolved.
+
+use bcag_core::error::{BcagError, Result};
+
+/// A per-dimension distribution format, prior to resolving the block size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Dist {
+    /// `BLOCK`: contiguous chunks of `ceil(n/p)` elements.
+    Block,
+    /// `CYCLIC`: round-robin single elements (`cyclic(1)`).
+    Cyclic,
+    /// `CYCLIC(K)`: round-robin blocks of `k` elements — the general form.
+    CyclicK(i64),
+    /// `*`: the dimension is not distributed (every processor holds all of
+    /// it); equivalent to distributing over one processor.
+    Serial,
+}
+
+impl Dist {
+    /// Resolves the effective block size `k` for a template of extent `n`
+    /// distributed over `p` processors.
+    ///
+    /// ```
+    /// use bcag_hpf::dist::Dist;
+    /// assert_eq!(Dist::Block.block_size(100, 4).unwrap(), 25);
+    /// assert_eq!(Dist::Block.block_size(101, 4).unwrap(), 26);
+    /// assert_eq!(Dist::Cyclic.block_size(100, 4).unwrap(), 1);
+    /// assert_eq!(Dist::CyclicK(8).block_size(100, 4).unwrap(), 8);
+    /// ```
+    pub fn block_size(&self, n: i64, p: i64) -> Result<i64> {
+        if p < 1 {
+            return Err(BcagError::InvalidProcessorCount { p });
+        }
+        match *self {
+            Dist::Block => {
+                if n < 1 {
+                    return Err(BcagError::EmptySection);
+                }
+                Ok((n + p - 1) / p)
+            }
+            Dist::Cyclic => Ok(1),
+            Dist::CyclicK(k) => {
+                if k < 1 {
+                    Err(BcagError::InvalidBlockSize { k })
+                } else {
+                    Ok(k)
+                }
+            }
+            Dist::Serial => {
+                if n < 1 {
+                    return Err(BcagError::EmptySection);
+                }
+                Ok(n) // one block spanning the whole dimension
+            }
+        }
+    }
+
+    /// The effective processor count along this dimension (`1` for serial
+    /// dimensions, `p` otherwise).
+    pub fn effective_procs(&self, p: i64) -> i64 {
+        match self {
+            Dist::Serial => 1,
+            _ => p,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bcag_core::Layout;
+
+    #[test]
+    fn block_is_cyclic_ceil_n_over_p() {
+        // The paper's equivalence: block == cyclic(ceil(n/p)). With
+        // n = 100, p = 4 => k = 25, element i lives on processor i/25.
+        let k = Dist::Block.block_size(100, 4).unwrap();
+        let lay = Layout::from_raw(4, k);
+        for i in 0..100 {
+            assert_eq!(lay.owner(i), i / 25);
+        }
+    }
+
+    #[test]
+    fn cyclic_is_cyclic_1() {
+        let k = Dist::Cyclic.block_size(77, 5).unwrap();
+        let lay = Layout::from_raw(5, k);
+        for i in 0..77 {
+            assert_eq!(lay.owner(i), i % 5);
+        }
+    }
+
+    #[test]
+    fn serial_dimension_is_single_block() {
+        let k = Dist::Serial.block_size(64, 8).unwrap();
+        assert_eq!(k, 64);
+        assert_eq!(Dist::Serial.effective_procs(8), 1);
+        let lay = Layout::from_raw(1, k);
+        for i in 0..64 {
+            assert_eq!(lay.owner(i), 0);
+            assert_eq!(lay.local_addr(i), i);
+        }
+    }
+
+    #[test]
+    fn invalid_params_rejected() {
+        assert!(Dist::CyclicK(0).block_size(10, 2).is_err());
+        assert!(Dist::Block.block_size(0, 2).is_err());
+        assert!(Dist::Block.block_size(10, 0).is_err());
+    }
+
+    #[test]
+    fn uneven_block_still_covers_all_elements() {
+        // n = 10, p = 4 => k = 3: processors get 3,3,3,1 elements.
+        let k = Dist::Block.block_size(10, 4).unwrap();
+        assert_eq!(k, 3);
+        let lay = Layout::from_raw(4, k);
+        let counts: Vec<i64> = (0..4).map(|m| lay.local_len(10, m)).collect();
+        assert_eq!(counts, vec![3, 3, 3, 1]);
+    }
+}

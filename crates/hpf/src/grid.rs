@@ -1,0 +1,149 @@
+//! Processor grids.
+//!
+//! HPF's `PROCESSORS` directive declares a multidimensional arrangement of
+//! abstract processors; each distributed array dimension maps onto one grid
+//! dimension. Physical (linear) processor ranks are obtained by mixed-radix
+//! linearization of grid coordinates.
+
+use bcag_core::error::{BcagError, Result};
+
+/// A rectangular grid of abstract processors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProcessorGrid {
+    dims: Vec<i64>,
+}
+
+impl ProcessorGrid {
+    /// Creates a grid; every extent must be `>= 1`.
+    pub fn new(dims: Vec<i64>) -> Result<Self> {
+        if dims.is_empty() {
+            return Err(BcagError::Precondition("processor grid needs >= 1 dimension"));
+        }
+        for &d in &dims {
+            if d < 1 {
+                return Err(BcagError::InvalidProcessorCount { p: d });
+            }
+        }
+        // Guard the total size.
+        let mut total: i64 = 1;
+        for &d in &dims {
+            total = total.checked_mul(d).ok_or(BcagError::Overflow)?;
+        }
+        let _ = total;
+        Ok(ProcessorGrid { dims })
+    }
+
+    /// A one-dimensional grid of `p` processors.
+    pub fn linear(p: i64) -> Result<Self> {
+        Self::new(vec![p])
+    }
+
+    /// Grid rank (number of dimensions).
+    pub fn rank(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Extent of grid dimension `d`.
+    pub fn extent(&self, d: usize) -> i64 {
+        self.dims[d]
+    }
+
+    /// Extents of all dimensions.
+    pub fn extents(&self) -> &[i64] {
+        &self.dims
+    }
+
+    /// Total number of processors.
+    pub fn size(&self) -> i64 {
+        self.dims.iter().product()
+    }
+
+    /// Linearizes grid coordinates to a rank in `[0, size)`.
+    /// The **first** coordinate varies fastest (column-major, matching the
+    /// Fortran heritage of HPF).
+    pub fn linearize(&self, coords: &[i64]) -> Result<i64> {
+        if coords.len() != self.dims.len() {
+            return Err(BcagError::Precondition("coordinate rank mismatch"));
+        }
+        let mut rank = 0i64;
+        let mut stride = 1i64;
+        for (c, d) in coords.iter().zip(&self.dims) {
+            if !(0..*d).contains(c) {
+                return Err(BcagError::ProcessorOutOfRange { m: *c, p: *d });
+            }
+            rank += c * stride;
+            stride *= d;
+        }
+        Ok(rank)
+    }
+
+    /// Inverse of [`ProcessorGrid::linearize`].
+    pub fn delinearize(&self, rank: i64) -> Result<Vec<i64>> {
+        if !(0..self.size()).contains(&rank) {
+            return Err(BcagError::ProcessorOutOfRange { m: rank, p: self.size() });
+        }
+        let mut coords = Vec::with_capacity(self.dims.len());
+        let mut r = rank;
+        for &d in &self.dims {
+            coords.push(r % d);
+            r /= d;
+        }
+        Ok(coords)
+    }
+
+    /// Iterates all grid coordinates in rank order.
+    pub fn iter_coords(&self) -> impl Iterator<Item = Vec<i64>> + '_ {
+        (0..self.size()).map(move |r| self.delinearize(r).expect("rank in range"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linearize_roundtrip() {
+        let grid = ProcessorGrid::new(vec![3, 4, 2]).unwrap();
+        assert_eq!(grid.size(), 24);
+        for r in 0..24 {
+            let c = grid.delinearize(r).unwrap();
+            assert_eq!(grid.linearize(&c).unwrap(), r);
+        }
+    }
+
+    #[test]
+    fn first_coordinate_fastest() {
+        let grid = ProcessorGrid::new(vec![3, 4]).unwrap();
+        assert_eq!(grid.linearize(&[0, 0]).unwrap(), 0);
+        assert_eq!(grid.linearize(&[1, 0]).unwrap(), 1);
+        assert_eq!(grid.linearize(&[0, 1]).unwrap(), 3);
+        assert_eq!(grid.linearize(&[2, 3]).unwrap(), 11);
+    }
+
+    #[test]
+    fn bounds_checked() {
+        let grid = ProcessorGrid::new(vec![3, 4]).unwrap();
+        assert!(grid.linearize(&[3, 0]).is_err());
+        assert!(grid.linearize(&[0, -1]).is_err());
+        assert!(grid.linearize(&[0]).is_err());
+        assert!(grid.delinearize(12).is_err());
+        assert!(grid.delinearize(-1).is_err());
+    }
+
+    #[test]
+    fn construction_validation() {
+        assert!(ProcessorGrid::new(vec![]).is_err());
+        assert!(ProcessorGrid::new(vec![0]).is_err());
+        assert!(ProcessorGrid::linear(32).is_ok());
+    }
+
+    #[test]
+    fn iter_coords_covers_grid() {
+        let grid = ProcessorGrid::new(vec![2, 3]).unwrap();
+        let all: Vec<Vec<i64>> = grid.iter_coords().collect();
+        assert_eq!(all.len(), 6);
+        assert_eq!(all[0], vec![0, 0]);
+        assert_eq!(all[1], vec![1, 0]);
+        assert_eq!(all[5], vec![1, 2]);
+    }
+}

@@ -1,0 +1,54 @@
+//! # bcag-hpf — HPF-style data-mapping substrate
+//!
+//! The paper targets High Performance Fortran's two-level data mapping:
+//! arrays are *aligned* (affinely) to templates, and templates are
+//! *distributed* (`block` / `cyclic` / `cyclic(k)`) over processor grids.
+//! This crate supplies that substrate on top of the core address-generation
+//! engine:
+//!
+//! * [`dist`] — distribution formats and their reduction to `cyclic(k)`;
+//! * [`grid`] — multidimensional processor grids;
+//! * [`dimmap`] — the full per-dimension mapping chain
+//!   (array → template → processors) including packed local storage under
+//!   affine alignment;
+//! * [`multidim`] — multidimensional arrays and sections as products of
+//!   independent one-dimensional problems (paper Section 2);
+//! * [`parse`] — a parser for HPF-style `PROCESSORS` / `TEMPLATE` / `ALIGN`
+//!   / `DISTRIBUTE` directives and section expressions;
+//! * [`diagonal`] and [`triangular`] — the paper's named future work:
+//!   coupled-subscript (diagonal) and trapezoidal section access;
+//! * [`multivar`] — subscripts with multiple index variables
+//!   (`A(c + Σ c_d·i_d)` over a forall nest), the companion ICS'95
+//!   extension.
+//!
+//! ```
+//! use bcag_hpf::{dist::Dist, dimmap::DimMap, multidim::ArrayMap};
+//! use bcag_core::{section::RegularSection, method::Method};
+//!
+//! // REAL A(320); ALIGN A(i) WITH T(i); DISTRIBUTE T(CYCLIC(8)) ONTO P(4)
+//! let map = ArrayMap::new(vec![DimMap::simple(320, 4, Dist::CyclicK(8)).unwrap()]).unwrap();
+//! // A(4 : 301 : 9) on processor 1 — the paper's worked example.
+//! let sec = vec![RegularSection::new(4, 301, 9).unwrap()];
+//! let accesses = map.section_accesses(&[1], &sec, Method::Lattice).unwrap();
+//! let locals: Vec<i64> = accesses.iter().map(|(_, a)| *a).collect();
+//! assert_eq!(&locals[..4], &[5, 8, 20, 35]);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod diagonal;
+pub mod dimmap;
+pub mod dist;
+pub mod grid;
+pub mod multidim;
+pub mod multivar;
+pub mod parse;
+pub mod scalapack;
+pub mod triangular;
+
+pub use dimmap::DimMap;
+pub use dist::Dist;
+pub use grid::ProcessorGrid;
+pub use multidim::ArrayMap;
+pub use parse::Program;

@@ -1,0 +1,284 @@
+//! Subscripts with multiple index variables — the other extension the
+//! paper delegates to its companion ICS'95 work (Section 2: "subscripts
+//! containing multiple index variables are described in our related
+//! work").
+//!
+//! The shape handled here is a `forall` nest over index variables
+//! `i₀, …, i_{D−1}` (each `0 .. extent_d`) accessing the one-dimensional
+//! array element
+//!
+//! ```text
+//! A(c + c₀·i₀ + c₁·i₁ + ... + c_{D−1}·i_{D−1})
+//! ```
+//!
+//! For a fixed prefix `(i₀, …, i_{D−2})` the subscript is an ordinary
+//! regular section in the innermost variable: lower bound
+//! `c + Σ c_d·i_d`, stride `c_{D−1}` — one application of the core
+//! algorithm per prefix. Patterns are cached per lower-bound **residue
+//! modulo the access period**, because the transition structure depends
+//! only on `(p, k, s)` (Section 2); across prefixes only the start state
+//! moves, so the cache stays small even for large nests.
+
+use bcag_core::error::{BcagError, Result};
+use bcag_core::method::{build, Method};
+use bcag_core::params::Problem;
+use bcag_core::pattern::AccessPattern;
+use bcag_core::start::last_location;
+use bcag_core::Layout;
+
+use crate::dimmap::DimMap;
+
+/// One access of a multi-variable subscript nest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MultivarAccess {
+    /// The values of the index variables.
+    pub ivars: Vec<i64>,
+    /// The array element's global index.
+    pub global: i64,
+    /// Its local address on the owning processor.
+    pub local: i64,
+}
+
+/// Enumerates, for processor `m`, the owned accesses of
+/// `A(c + Σ coefs[d]·i_d)` over the full nest `0 <= i_d < extents[d]`,
+/// in loop-lexicographic order (last variable fastest).
+///
+/// Requirements: identity alignment on `dm`, positive coefficients, and
+/// the subscript must stay inside the array for the extreme iteration.
+pub fn multivar_accesses(
+    dm: &DimMap,
+    m: i64,
+    c: i64,
+    coefs: &[i64],
+    extents: &[i64],
+) -> Result<Vec<MultivarAccess>> {
+    if coefs.is_empty() || coefs.len() != extents.len() {
+        return Err(BcagError::Precondition("coefs/extents rank mismatch"));
+    }
+    if dm.alignment().a != 1 || dm.alignment().b != 0 {
+        return Err(BcagError::Precondition(
+            "multivar_accesses currently requires identity alignment",
+        ));
+    }
+    for (&cf, &e) in coefs.iter().zip(extents) {
+        if cf <= 0 {
+            return Err(BcagError::Precondition("coefficients must be positive"));
+        }
+        if e < 0 {
+            return Err(BcagError::Precondition("extents must be nonnegative"));
+        }
+    }
+    if c < 0 {
+        return Err(BcagError::Precondition("constant term must be nonnegative"));
+    }
+    let max_subscript = c
+        + coefs
+            .iter()
+            .zip(extents)
+            .map(|(&cf, &e)| cf * (e - 1).max(0))
+            .sum::<i64>();
+    if extents.contains(&0) {
+        return Ok(vec![]);
+    }
+    if max_subscript >= dm.extent() {
+        return Err(BcagError::Precondition("subscript leaves the array bounds"));
+    }
+
+    let inner_coef = *coefs.last().expect("nonempty");
+    let inner_extent = *extents.last().expect("nonempty");
+    let lay = Layout::from_raw(dm.procs(), dm.block_size());
+
+    // Pattern cache keyed by the lower bound's residue modulo the access
+    // period: patterns with equal residue are translates of each other by a
+    // whole number of periods, with identical gaps and shifted start.
+    let probe = Problem::new(dm.procs(), dm.block_size(), 0, inner_coef)?;
+    let period = probe.period_global();
+    let mut cache: std::collections::HashMap<i64, AccessPattern> =
+        std::collections::HashMap::new();
+
+    let mut out = Vec::new();
+    let outer_rank = coefs.len() - 1;
+    let mut prefix = vec![0i64; outer_rank];
+    loop {
+        // Lower bound for this prefix.
+        let lo = c + coefs[..outer_rank]
+            .iter()
+            .zip(&prefix)
+            .map(|(&cf, &i)| cf * i)
+            .sum::<i64>();
+        let hi = lo + inner_coef * (inner_extent - 1);
+        let problem = Problem::new(dm.procs(), dm.block_size(), lo, inner_coef)?;
+        let residue = lo % period;
+        let pattern = match cache.get(&residue) {
+            Some(p) => translate(p, &problem, lo - p.problem().l())?,
+            None => {
+                let p = build(&problem, m, Method::Lattice)?;
+                cache.insert(residue, p.clone());
+                p
+            }
+        };
+        if let Some(last_g) = last_location(&problem, m, hi)? {
+            for acc in pattern.iter() {
+                if acc.global > last_g {
+                    break;
+                }
+                let mut ivars = prefix.clone();
+                ivars.push((acc.global - lo) / inner_coef);
+                debug_assert_eq!(lay.owner(acc.global), m);
+                out.push(MultivarAccess { ivars, global: acc.global, local: acc.local });
+            }
+        }
+        // Advance the prefix odometer (last prefix variable fastest).
+        if outer_rank == 0 {
+            break;
+        }
+        let mut d = outer_rank;
+        loop {
+            d -= 1;
+            prefix[d] += 1;
+            if prefix[d] < extents[d] {
+                break;
+            }
+            prefix[d] = 0;
+            if d == 0 {
+                return Ok(out);
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Shifts a cached pattern by a whole number of periods (same residue):
+/// the gap cycle is reused verbatim; start positions translate linearly.
+fn translate(
+    cached: &AccessPattern,
+    problem: &Problem,
+    delta: i64,
+) -> Result<AccessPattern> {
+    use bcag_core::pattern::{CyclicPattern, Pattern};
+    debug_assert_eq!(delta % problem.period_global().max(1), 0);
+    let periods = delta / problem.period_global().max(1);
+    match cached.pattern() {
+        Pattern::Empty => Ok(AccessPattern::from_parts(
+            *problem,
+            cached.proc(),
+            Pattern::Empty,
+        )),
+        Pattern::Cyclic(c) => Ok(AccessPattern::from_parts(
+            *problem,
+            cached.proc(),
+            Pattern::Cyclic(CyclicPattern {
+                start_global: c.start_global + periods * problem.period_global(),
+                start_local: c.start_local + periods * problem.period_local(),
+                gaps: c.gaps.clone(),
+                global_steps: c.global_steps.clone(),
+            }),
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::Dist;
+
+    fn brute(
+        dm: &DimMap,
+        m: i64,
+        c: i64,
+        coefs: &[i64],
+        extents: &[i64],
+    ) -> Vec<MultivarAccess> {
+        let mut out = Vec::new();
+        let rank = coefs.len();
+        let mut ivars = vec![0i64; rank];
+        'outer: loop {
+            let g = c + coefs.iter().zip(&ivars).map(|(&cf, &i)| cf * i).sum::<i64>();
+            if dm.owner(g) == m {
+                out.push(MultivarAccess {
+                    ivars: ivars.clone(),
+                    global: g,
+                    local: dm.local_index(g).unwrap(),
+                });
+            }
+            let mut d = rank;
+            loop {
+                if d == 0 {
+                    break 'outer;
+                }
+                d -= 1;
+                ivars[d] += 1;
+                if ivars[d] < extents[d] {
+                    break;
+                }
+                ivars[d] = 0;
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn two_variable_nest_matches_brute_force() {
+        let dm = DimMap::simple(400, 4, Dist::CyclicK(8)).unwrap();
+        for (c, coefs, extents) in [
+            (0i64, vec![20i64, 3i64], vec![10i64, 6i64]),
+            (5, vec![7, 2], vec![12, 9]),
+            (1, vec![13, 13], vec![5, 5]),
+        ] {
+            for m in 0..4 {
+                let got = multivar_accesses(&dm, m, c, &coefs, &extents).unwrap();
+                let expect = brute(&dm, m, c, &coefs, &extents);
+                assert_eq!(got, expect, "m={m} c={c} coefs={coefs:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn three_variable_nest() {
+        let dm = DimMap::simple(600, 3, Dist::CyclicK(5)).unwrap();
+        let (c, coefs, extents) = (2i64, vec![100i64, 10i64, 1i64], vec![5i64, 8i64, 9i64]);
+        for m in 0..3 {
+            let got = multivar_accesses(&dm, m, c, &coefs, &extents).unwrap();
+            let expect = brute(&dm, m, c, &coefs, &extents);
+            assert_eq!(got, expect, "m={m}");
+        }
+    }
+
+    #[test]
+    fn single_variable_reduces_to_plain_section() {
+        let dm = DimMap::simple(320, 4, Dist::CyclicK(8)).unwrap();
+        let got = multivar_accesses(&dm, 1, 4, &[9], &[34]).unwrap();
+        // A(4 + 9·t), t < 34 == A(4:301:9): the worked example.
+        let locals: Vec<i64> = got.iter().map(|a| a.local).collect();
+        assert_eq!(&locals[..4], &[5, 8, 20, 35]);
+        assert_eq!(got.len(), 9);
+    }
+
+    #[test]
+    fn validation_and_degenerate_cases() {
+        let dm = DimMap::simple(100, 2, Dist::CyclicK(4)).unwrap();
+        assert!(multivar_accesses(&dm, 0, 0, &[], &[]).is_err());
+        assert!(multivar_accesses(&dm, 0, 0, &[1, 2], &[3]).is_err());
+        assert!(multivar_accesses(&dm, 0, 0, &[0], &[5]).is_err());
+        assert!(multivar_accesses(&dm, 0, 0, &[50], &[3]).is_err()); // exits array
+        assert_eq!(multivar_accesses(&dm, 0, 0, &[1, 1], &[0, 5]).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn coupled_coefficients_cover_every_iteration_once() {
+        // Each (i, j) is a distinct iteration even when subscripts collide;
+        // the enumeration must list every owned iteration, including
+        // aliased elements.
+        let dm = DimMap::simple(60, 2, Dist::CyclicK(3)).unwrap();
+        let coefs = vec![4i64, 4i64]; // i and j alias: 4i + 4j
+        let extents = vec![6i64, 6i64];
+        let mut total = 0usize;
+        for m in 0..2 {
+            let got = multivar_accesses(&dm, m, 0, &coefs, &extents).unwrap();
+            let expect = brute(&dm, m, 0, &coefs, &extents);
+            assert_eq!(got, expect, "m={m}");
+            total += got.len();
+        }
+        assert_eq!(total, 36, "every iteration appears exactly once");
+    }
+}

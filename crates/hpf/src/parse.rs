@@ -1,0 +1,466 @@
+//! Parser for a small HPF-style directive language.
+//!
+//! Enough of HPF's mapping sublanguage to express every configuration in
+//! the paper, so examples and the CLI can be driven by the same text a
+//! Fortran programmer would write:
+//!
+//! ```text
+//! PROCESSORS P(4)
+//! TEMPLATE T(320)
+//! REAL A(320)
+//! ALIGN A(i) WITH T(i)
+//! DISTRIBUTE T(CYCLIC(8)) ONTO P
+//! ```
+//!
+//! plus section expressions like `A(4:301:9)`. Restrictions versus full
+//! HPF: alignments are per-dimension affine (`a*i + b`, no transposition),
+//! distributions are `BLOCK`, `CYCLIC`, `CYCLIC(K)` or `*`, and every array
+//! must be aligned to a declared template.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use bcag_core::aligned::Alignment;
+use bcag_core::section::RegularSection;
+
+use crate::dimmap::DimMap;
+use crate::dist::Dist;
+use crate::multidim::ArrayMap;
+
+/// Parse/semantic error with a human-readable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError(pub String);
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err<T>(msg: impl Into<String>) -> Result<T, ParseError> {
+    Err(ParseError(msg.into()))
+}
+
+/// A parsed program: all declared entities and directives.
+#[derive(Debug, Clone, Default)]
+pub struct Program {
+    /// Processor arrangements by name.
+    pub grids: HashMap<String, Vec<i64>>,
+    /// Templates by name (per-dimension extents).
+    pub templates: HashMap<String, Vec<i64>>,
+    /// Arrays by name (per-dimension extents).
+    pub arrays: HashMap<String, Vec<i64>>,
+    /// Alignments: array name → (template name, per-dimension affine).
+    pub aligns: HashMap<String, (String, Vec<Alignment>)>,
+    /// Distributions: template name → (per-dimension format, grid name).
+    pub dists: HashMap<String, (Vec<Dist>, String)>,
+}
+
+impl Program {
+    /// Parses a whole program, one directive per line. Blank lines and
+    /// `!`-comments are ignored; keywords are case-insensitive. The
+    /// optional HPF sigil `!HPF$` at the start of a line is accepted.
+    pub fn parse(src: &str) -> Result<Program, ParseError> {
+        let mut prog = Program::default();
+        for (no, raw) in src.lines().enumerate() {
+            let mut line = raw.trim();
+            if let Some(rest) = line.strip_prefix("!HPF$").or_else(|| line.strip_prefix("!hpf$")) {
+                line = rest.trim();
+            } else if line.starts_with('!') || line.is_empty() {
+                continue;
+            }
+            prog.parse_line(line)
+                .map_err(|e| ParseError(format!("line {}: {}", no + 1, e.0)))?;
+        }
+        Ok(prog)
+    }
+
+    fn parse_line(&mut self, line: &str) -> Result<(), ParseError> {
+        let upper = line.to_ascii_uppercase();
+        if let Some(rest) = upper.strip_prefix("PROCESSORS ") {
+            let (name, dims) = parse_name_and_ints(rest)?;
+            self.grids.insert(name, dims);
+        } else if let Some(rest) = upper.strip_prefix("TEMPLATE ") {
+            let (name, dims) = parse_name_and_ints(rest)?;
+            self.templates.insert(name, dims);
+        } else if let Some(rest) = upper
+            .strip_prefix("REAL ")
+            .or_else(|| upper.strip_prefix("INTEGER "))
+            .or_else(|| upper.strip_prefix("DIMENSION "))
+        {
+            let (name, dims) = parse_name_and_ints(rest)?;
+            self.arrays.insert(name, dims);
+        } else if upper.starts_with("ALIGN ") {
+            self.parse_align(&upper)?;
+        } else if upper.starts_with("DISTRIBUTE ") {
+            self.parse_distribute(&upper)?;
+        } else {
+            return err(format!("unrecognized directive `{line}`"));
+        }
+        Ok(())
+    }
+
+    /// `ALIGN A(i) WITH T(2*i+1)` / `ALIGN A(i, j) WITH T(i, 3*j)`.
+    fn parse_align(&mut self, upper: &str) -> Result<(), ParseError> {
+        let rest = upper.strip_prefix("ALIGN ").expect("caller checked");
+        let Some((lhs, rhs)) = rest.split_once(" WITH ") else {
+            return err("ALIGN needs the form `ALIGN A(dummies) WITH T(exprs)`");
+        };
+        let (array, dummies) = parse_call(lhs.trim())?;
+        let (template, exprs) = parse_call(rhs.trim())?;
+        if dummies.len() != exprs.len() {
+            return err("ALIGN rank mismatch between array and template");
+        }
+        let mut aligns = Vec::with_capacity(exprs.len());
+        for (dim, (dummy, expr)) in dummies.iter().zip(&exprs).enumerate() {
+            let dummy = dummy.trim();
+            if dummy.is_empty() || !dummy.chars().all(|c| c.is_ascii_alphabetic()) {
+                return err(format!("ALIGN dummy `{dummy}` must be an identifier"));
+            }
+            let (a, b) = parse_affine(expr.trim(), dummy)
+                .map_err(|e| ParseError(format!("dimension {}: {}", dim + 1, e.0)))?;
+            let alignment = Alignment::new(a, b)
+                .map_err(|e| ParseError(format!("dimension {}: {e}", dim + 1)))?;
+            aligns.push(alignment);
+        }
+        self.aligns.insert(array, (template, aligns));
+        Ok(())
+    }
+
+    /// `DISTRIBUTE T(CYCLIC(8)) ONTO P` / `DISTRIBUTE T(BLOCK, *) ONTO P`.
+    fn parse_distribute(&mut self, upper: &str) -> Result<(), ParseError> {
+        let rest = upper.strip_prefix("DISTRIBUTE ").expect("caller checked");
+        let Some((lhs, grid)) = rest.split_once(" ONTO ") else {
+            return err("DISTRIBUTE needs the form `DISTRIBUTE T(formats) ONTO P`");
+        };
+        let (template, formats) = parse_call(lhs.trim())?;
+        let mut dists = Vec::with_capacity(formats.len());
+        for f in &formats {
+            let f = f.trim();
+            let dist = if f == "BLOCK" {
+                Dist::Block
+            } else if f == "CYCLIC" {
+                Dist::Cyclic
+            } else if f == "*" {
+                Dist::Serial
+            } else if let Some(k) = f.strip_prefix("CYCLIC(").and_then(|x| x.strip_suffix(')')) {
+                let k: i64 = k
+                    .trim()
+                    .parse()
+                    .map_err(|_| ParseError(format!("bad CYCLIC block size `{k}`")))?;
+                Dist::CyclicK(k)
+            } else {
+                return err(format!("unknown distribution format `{f}`"));
+            };
+            dists.push(dist);
+        }
+        self.dists.insert(template, (dists, grid.trim().to_string()));
+        Ok(())
+    }
+
+    /// Resolves an array's full mapping chain into an [`ArrayMap`].
+    pub fn array_map(&self, array: &str) -> Result<ArrayMap, ParseError> {
+        let array = array.to_ascii_uppercase();
+        let Some(extents) = self.arrays.get(&array) else {
+            return err(format!("array `{array}` not declared"));
+        };
+        let Some((template, aligns)) = self.aligns.get(&array) else {
+            return err(format!("array `{array}` has no ALIGN directive"));
+        };
+        let Some(t_extents) = self.templates.get(template) else {
+            return err(format!("template `{template}` not declared"));
+        };
+        let Some((dists, grid)) = self.dists.get(template) else {
+            return err(format!("template `{template}` has no DISTRIBUTE directive"));
+        };
+        let Some(grid_dims) = self.grids.get(grid) else {
+            return err(format!("processor arrangement `{grid}` not declared"));
+        };
+        if extents.len() != aligns.len()
+            || t_extents.len() != dists.len()
+            || extents.len() != t_extents.len()
+        {
+            return err("rank mismatch across array/template/distribution");
+        }
+        // Grid dims are consumed by the distributed (non-serial) template
+        // dimensions, in order.
+        let distributed: Vec<usize> = dists
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| !matches!(d, Dist::Serial))
+            .map(|(i, _)| i)
+            .collect();
+        if distributed.len() != grid_dims.len() {
+            return err(format!(
+                "template `{template}` has {} distributed dimensions but grid `{grid}` has rank {}",
+                distributed.len(),
+                grid_dims.len()
+            ));
+        }
+        let mut per_dim_p = vec![1i64; dists.len()];
+        for (gslot, &tdim) in distributed.iter().enumerate() {
+            per_dim_p[tdim] = grid_dims[gslot];
+        }
+        // Check the alignment image fits the template.
+        let mut dims = Vec::with_capacity(extents.len());
+        for d in 0..extents.len() {
+            let image_max = aligns[d].cell(extents[d] - 1);
+            if image_max >= t_extents[d] {
+                return err(format!(
+                    "alignment image of dimension {} exceeds template extent ({} >= {})",
+                    d + 1,
+                    image_max,
+                    t_extents[d]
+                ));
+            }
+            let dm = DimMap::new(extents[d], per_dim_p[d], dists[d], aligns[d])
+                .map_err(|e| ParseError(e.to_string()))?;
+            dims.push(dm);
+        }
+        ArrayMap::new(dims).map_err(|e| ParseError(e.to_string()))
+    }
+
+    /// Parses a section expression `A(4:301:9, 0:9:2)`; returns the array
+    /// name and the per-dimension triplets. Supports `l:u` (stride 1),
+    /// plain `i` (degenerate `i:i`) and negative strides.
+    pub fn parse_section(expr: &str) -> Result<(String, Vec<RegularSection>), ParseError> {
+        let (name, parts) = parse_call(expr.trim().to_ascii_uppercase().as_str())?;
+        let mut triplets = Vec::with_capacity(parts.len());
+        for part in &parts {
+            let fields: Vec<&str> = part.split(':').map(str::trim).collect();
+            let sec = match fields.as_slice() {
+                [one] => {
+                    let i = parse_i64(one)?;
+                    RegularSection::new(i, i, 1)
+                }
+                [l, u] => RegularSection::new(parse_i64(l)?, parse_i64(u)?, 1),
+                [l, u, s] => RegularSection::new(parse_i64(l)?, parse_i64(u)?, parse_i64(s)?),
+                _ => return err(format!("bad triplet `{part}`")),
+            }
+            .map_err(|e| ParseError(e.to_string()))?;
+            triplets.push(sec);
+        }
+        Ok((name, triplets))
+    }
+}
+
+/// Parses `NAME(INT, INT, ...)`.
+fn parse_name_and_ints(s: &str) -> Result<(String, Vec<i64>), ParseError> {
+    let (name, parts) = parse_call(s.trim())?;
+    let ints = parts.iter().map(|p| parse_i64(p.trim())).collect::<Result<Vec<_>, _>>()?;
+    if ints.is_empty() {
+        return err(format!("`{name}` needs at least one extent"));
+    }
+    Ok((name, ints))
+}
+
+/// Splits `NAME(arg, arg, ...)` into the name and raw argument strings.
+fn parse_call(s: &str) -> Result<(String, Vec<String>), ParseError> {
+    let Some(open) = s.find('(') else {
+        return err(format!("expected `NAME(...)`, got `{s}`"));
+    };
+    if !s.ends_with(')') {
+        return err(format!("missing closing parenthesis in `{s}`"));
+    }
+    let name = s[..open].trim();
+    if name.is_empty() || !name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
+        return err(format!("bad name `{name}`"));
+    }
+    let inner = &s[open + 1..s.len() - 1];
+    let parts = inner.split(',').map(|p| p.trim().to_string()).collect();
+    Ok((name.to_string(), parts))
+}
+
+fn parse_i64(s: &str) -> Result<i64, ParseError> {
+    s.parse().map_err(|_| ParseError(format!("expected an integer, got `{s}`")))
+}
+
+/// Parses an affine expression in `dummy`: `i`, `3*i`, `i+2`, `2*i-1`,
+/// `5` (constant ⇒ `a = 0`, rejected later by `Alignment`).
+fn parse_affine(expr: &str, dummy: &str) -> Result<(i64, i64), ParseError> {
+    let compact: String = expr.chars().filter(|c| !c.is_whitespace()).collect();
+    let dummy = dummy.to_ascii_uppercase();
+    // Split an optional trailing "+c" / "-c" (scan from the end, past the
+    // dummy, so "2*I-1" splits at the last sign).
+    let (head, b) = match compact.rfind(['+', '-']) {
+        Some(pos) if pos > 0 && compact[..pos].contains(&dummy) => {
+            let b: i64 = compact[pos..]
+                .parse()
+                .map_err(|_| ParseError(format!("bad affine constant in `{expr}`")))?;
+            (&compact[..pos], b)
+        }
+        _ => (compact.as_str(), 0),
+    };
+    let a = if head == dummy {
+        1
+    } else if let Some(coef) = head.strip_suffix(&format!("*{dummy}")) {
+        parse_i64(coef)?
+    } else if let Some(coef) = head.strip_prefix(&format!("{dummy}*")) {
+        parse_i64(coef)?
+    } else {
+        return err(format!("expression `{expr}` is not affine in `{dummy}`"));
+    };
+    Ok((a, b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bcag_core::method::Method;
+
+    const PAPER_PROGRAM: &str = "
+        ! The paper's running configuration.
+        PROCESSORS P(4)
+        TEMPLATE T(320)
+        REAL A(320)
+        !HPF$ ALIGN A(i) WITH T(i)
+        !HPF$ DISTRIBUTE T(CYCLIC(8)) ONTO P
+    ";
+
+    #[test]
+    fn parses_the_paper_configuration() {
+        let prog = Program::parse(PAPER_PROGRAM).unwrap();
+        let map = prog.array_map("A").unwrap();
+        assert_eq!(map.rank(), 1);
+        assert_eq!(map.grid().size(), 4);
+        assert_eq!(map.dims()[0].block_size(), 8);
+        // Element 108: processor 1, local 28 (Figure 1).
+        assert_eq!(map.owner_rank(&[108]).unwrap(), 1);
+        assert_eq!(map.local_linear(&[108]).unwrap(), 28);
+    }
+
+    #[test]
+    fn parses_sections() {
+        let (name, secs) = Program::parse_section("A(4:301:9)").unwrap();
+        assert_eq!(name, "A");
+        assert_eq!(secs.len(), 1);
+        assert_eq!((secs[0].l, secs[0].u, secs[0].s), (4, 301, 9));
+
+        let (_, secs) = Program::parse_section("B(0:9, 5, 10:0:-2)").unwrap();
+        assert_eq!((secs[0].l, secs[0].u, secs[0].s), (0, 9, 1));
+        assert_eq!((secs[1].l, secs[1].u, secs[1].s), (5, 5, 1));
+        assert_eq!((secs[2].l, secs[2].u, secs[2].s), (10, 0, -2));
+    }
+
+    #[test]
+    fn end_to_end_section_enumeration() {
+        let prog = Program::parse(PAPER_PROGRAM).unwrap();
+        let map = prog.array_map("A").unwrap();
+        let (_, secs) = Program::parse_section("A(4:301:9)").unwrap();
+        let accesses = map.section_accesses(&[1], &secs, Method::Lattice).unwrap();
+        let locals: Vec<i64> = accesses.iter().map(|(_, a)| *a).collect();
+        assert_eq!(locals, vec![5, 8, 20, 35, 47, 50, 62, 65, 77]);
+    }
+
+    #[test]
+    fn affine_alignment_forms() {
+        assert_eq!(parse_affine("I", "I").unwrap(), (1, 0));
+        assert_eq!(parse_affine("2*I", "I").unwrap(), (2, 0));
+        assert_eq!(parse_affine("I*2", "I").unwrap(), (2, 0));
+        assert_eq!(parse_affine("I+3", "I").unwrap(), (1, 3));
+        assert_eq!(parse_affine("2*I+1", "I").unwrap(), (2, 1));
+        assert_eq!(parse_affine("3 * I - 2", "I").unwrap(), (3, -2));
+        assert!(parse_affine("I*I", "I").is_err());
+        assert!(parse_affine("J+1", "I").is_err());
+    }
+
+    #[test]
+    fn aligned_program() {
+        let prog = Program::parse(
+            "PROCESSORS Q(3)
+             TEMPLATE T(100)
+             REAL B(30)
+             ALIGN B(j) WITH T(2*j+1)
+             DISTRIBUTE T(CYCLIC(4)) ONTO Q",
+        )
+        .unwrap();
+        let map = prog.array_map("B").unwrap();
+        // B(5) sits at template cell 11: owner = (11 mod 12) / 4 = 2.
+        assert_eq!(map.owner_rank(&[5]).unwrap(), 2);
+    }
+
+    #[test]
+    fn multidimensional_program() {
+        let prog = Program::parse(
+            "PROCESSORS GRID(2, 2)
+             TEMPLATE T(48, 48)
+             REAL A(48, 48)
+             ALIGN A(i, j) WITH T(i, j)
+             DISTRIBUTE T(CYCLIC(4), CYCLIC(4)) ONTO GRID",
+        )
+        .unwrap();
+        let map = prog.array_map("A").unwrap();
+        assert_eq!(map.grid().extents(), &[2, 2]);
+        assert_eq!(map.local_size(&[0, 0]).unwrap(), 24 * 24);
+    }
+
+    #[test]
+    fn serial_dimension_consumes_no_grid_slot() {
+        let prog = Program::parse(
+            "PROCESSORS P(4)
+             TEMPLATE T(64, 16)
+             REAL A(64, 16)
+             ALIGN A(i, j) WITH T(i, j)
+             DISTRIBUTE T(BLOCK, *) ONTO P",
+        )
+        .unwrap();
+        let map = prog.array_map("A").unwrap();
+        assert_eq!(map.grid().extents(), &[4, 1]);
+        assert_eq!(map.dims()[0].block_size(), 16);
+        assert_eq!(map.dims()[1].procs(), 1);
+    }
+
+    #[test]
+    fn error_paths() {
+        assert!(Program::parse("NONSENSE X(3)").is_err());
+        let prog = Program::parse("PROCESSORS P(4)").unwrap();
+        assert!(prog.array_map("A").is_err());
+        // Missing ALIGN.
+        let prog = Program::parse(
+            "PROCESSORS P(2)
+             TEMPLATE T(10)
+             REAL A(10)
+             DISTRIBUTE T(BLOCK) ONTO P",
+        )
+        .unwrap();
+        assert!(prog.array_map("A").is_err());
+        // Alignment image exceeding the template.
+        let prog = Program::parse(
+            "PROCESSORS P(2)
+             TEMPLATE T(10)
+             REAL A(10)
+             ALIGN A(i) WITH T(2*i)
+             DISTRIBUTE T(BLOCK) ONTO P",
+        )
+        .unwrap();
+        assert!(prog.array_map("A").is_err());
+        // Grid rank mismatch.
+        let prog = Program::parse(
+            "PROCESSORS P(2, 2)
+             TEMPLATE T(10)
+             REAL A(10)
+             ALIGN A(i) WITH T(i)
+             DISTRIBUTE T(BLOCK) ONTO P",
+        )
+        .unwrap();
+        assert!(prog.array_map("A").is_err());
+    }
+
+    #[test]
+    fn case_insensitive_and_comments() {
+        let prog = Program::parse(
+            "! a comment
+             processors p(4)
+
+             template t(320)
+             real a(320)
+             align a(I) with t(I)
+             distribute t(cyclic(8)) onto p",
+        )
+        .unwrap();
+        assert!(prog.array_map("a").is_ok());
+        assert!(prog.array_map("A").is_ok());
+    }
+}

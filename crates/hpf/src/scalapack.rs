@@ -1,0 +1,207 @@
+//! ScaLAPACK array-descriptor interoperability.
+//!
+//! The paper's introduction cites Dongarra, van de Geijn and Walker's
+//! *block-scattered* decomposition — the layout ScaLAPACK standardized as
+//! the 9-element `DESC` integer array (type 1): `[dtype, ctxt, m, n, mb,
+//! nb, rsrc, csrc, lld]`. This module converts between those descriptors
+//! and this library's [`ArrayMap`], so access sequences can be generated
+//! for matrices laid out by (or destined for) ScaLAPACK routines.
+//!
+//! Restrictions of the bridge: identity alignment, `rsrc = csrc = 0` (no
+//! rotated starting processor), and `lld` equal to the tight local leading
+//! dimension.
+
+use bcag_core::error::{BcagError, Result};
+
+use crate::dimmap::DimMap;
+use crate::dist::Dist;
+use crate::multidim::ArrayMap;
+
+/// The descriptor type tag for dense block-cyclic matrices.
+pub const DTYPE_DENSE: i64 = 1;
+
+/// A ScaLAPACK type-1 array descriptor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Desc {
+    /// Descriptor type (`1` for dense).
+    pub dtype: i64,
+    /// BLACS context handle (carried, not interpreted; encodes the grid as
+    /// `nprow * 10_000 + npcol` in this simulation).
+    pub ctxt: i64,
+    /// Global rows.
+    pub m: i64,
+    /// Global columns.
+    pub n: i64,
+    /// Row block size.
+    pub mb: i64,
+    /// Column block size.
+    pub nb: i64,
+    /// First processor row holding the matrix (must be 0 here).
+    pub rsrc: i64,
+    /// First processor column holding the matrix (must be 0 here).
+    pub csrc: i64,
+    /// Local leading dimension on this process.
+    pub lld: i64,
+}
+
+impl Desc {
+    /// As the raw 9-integer array ScaLAPACK routines take.
+    pub fn to_array(&self) -> [i64; 9] {
+        [
+            self.dtype, self.ctxt, self.m, self.n, self.mb, self.nb, self.rsrc, self.csrc,
+            self.lld,
+        ]
+    }
+
+    /// From the raw 9-integer array.
+    pub fn from_array(a: &[i64; 9]) -> Desc {
+        Desc {
+            dtype: a[0],
+            ctxt: a[1],
+            m: a[2],
+            n: a[3],
+            mb: a[4],
+            nb: a[5],
+            rsrc: a[6],
+            csrc: a[7],
+            lld: a[8],
+        }
+    }
+
+    /// Grid shape encoded in the simulated context handle.
+    pub fn grid_shape(&self) -> (i64, i64) {
+        (self.ctxt / 10_000, self.ctxt % 10_000)
+    }
+}
+
+/// Builds the descriptor for a matrix mapped by `map` (rank-2, identity
+/// alignment), as seen by the process at grid coordinates `(prow, pcol)`.
+pub fn desc_from_map(map: &ArrayMap, prow: i64, pcol: i64) -> Result<Desc> {
+    if map.rank() != 2 {
+        return Err(BcagError::Precondition("ScaLAPACK descriptors are rank-2"));
+    }
+    for d in map.dims() {
+        if d.alignment().a != 1 || d.alignment().b != 0 {
+            return Err(BcagError::Precondition(
+                "ScaLAPACK bridge requires identity alignment",
+            ));
+        }
+    }
+    let rows = &map.dims()[0];
+    let cols = &map.dims()[1];
+    let lld = rows.local_extent(prow)?.max(1);
+    let _ = pcol; // lld depends only on the process row for column-major storage
+    Ok(Desc {
+        dtype: DTYPE_DENSE,
+        ctxt: rows.procs() * 10_000 + cols.procs(),
+        m: rows.extent(),
+        n: cols.extent(),
+        mb: rows.block_size(),
+        nb: cols.block_size(),
+        rsrc: 0,
+        csrc: 0,
+        lld,
+    })
+}
+
+/// Reconstructs an [`ArrayMap`] from a descriptor.
+pub fn map_from_desc(desc: &Desc) -> Result<ArrayMap> {
+    if desc.dtype != DTYPE_DENSE {
+        return Err(BcagError::Precondition("only dtype=1 descriptors are supported"));
+    }
+    if desc.rsrc != 0 || desc.csrc != 0 {
+        return Err(BcagError::Precondition("rsrc/csrc must be 0 in this bridge"));
+    }
+    let (nprow, npcol) = desc.grid_shape();
+    ArrayMap::new(vec![
+        DimMap::simple(desc.m, nprow, Dist::CyclicK(desc.mb))?,
+        DimMap::simple(desc.n, npcol, Dist::CyclicK(desc.nb))?,
+    ])
+}
+
+/// ScaLAPACK's `NUMROC` (number of rows or columns): how many of `n`
+/// indices distributed `cyclic(nb)` over `nprocs` land on `iproc`.
+/// Provided both for compatibility and as an independent cross-check of
+/// the layout arithmetic.
+pub fn numroc(n: i64, nb: i64, iproc: i64, nprocs: i64) -> i64 {
+    let nblocks = n / nb;
+    let mut count = nblocks / nprocs * nb;
+    let extra_blocks = nblocks % nprocs;
+    use std::cmp::Ordering;
+    match iproc.cmp(&extra_blocks) {
+        Ordering::Less => count += nb,
+        Ordering::Equal => count += n % nb,
+        Ordering::Greater => {}
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bcag_core::Layout;
+
+    #[test]
+    fn descriptor_roundtrip() {
+        let map = ArrayMap::new(vec![
+            DimMap::simple(100, 2, Dist::CyclicK(8)).unwrap(),
+            DimMap::simple(64, 3, Dist::CyclicK(4)).unwrap(),
+        ])
+        .unwrap();
+        let desc = desc_from_map(&map, 0, 0).unwrap();
+        assert_eq!(desc.to_array(), [1, 20_003, 100, 64, 8, 4, 0, 0, 52]);
+        let back = map_from_desc(&desc).unwrap();
+        assert_eq!(back.extents(), vec![100, 64]);
+        assert_eq!(back.dims()[0].block_size(), 8);
+        assert_eq!(back.dims()[1].procs(), 3);
+        // Ownership agrees everywhere.
+        for i in (0..100).step_by(7) {
+            for j in (0..64).step_by(5) {
+                assert_eq!(
+                    map.owner_coords(&[i, j]).unwrap(),
+                    back.owner_coords(&[i, j]).unwrap()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lld_is_local_row_extent() {
+        let map = ArrayMap::new(vec![
+            DimMap::simple(100, 2, Dist::CyclicK(8)).unwrap(),
+            DimMap::simple(64, 3, Dist::CyclicK(4)).unwrap(),
+        ])
+        .unwrap();
+        // 100 rows cyclic(8) over 2: proc row 0 gets 52, row 1 gets 48.
+        assert_eq!(desc_from_map(&map, 0, 0).unwrap().lld, 52);
+        assert_eq!(desc_from_map(&map, 1, 0).unwrap().lld, 48);
+    }
+
+    #[test]
+    fn numroc_matches_layout() {
+        for n in [1i64, 7, 64, 100, 321] {
+            for nb in [1i64, 2, 5, 8] {
+                for nprocs in [1i64, 2, 3, 4] {
+                    let lay = Layout::from_raw(nprocs, nb);
+                    for iproc in 0..nprocs {
+                        assert_eq!(
+                            numroc(n, nb, iproc, nprocs),
+                            lay.local_len(n, iproc),
+                            "n={n} nb={nb} iproc={iproc} nprocs={nprocs}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_unsupported_descriptors() {
+        let mut raw = [1i64, 20_002, 10, 10, 2, 2, 0, 0, 5];
+        raw[0] = 2; // wrong dtype
+        assert!(map_from_desc(&Desc::from_array(&raw)).is_err());
+        raw[0] = 1;
+        raw[6] = 1; // rsrc != 0
+        assert!(map_from_desc(&Desc::from_array(&raw)).is_err());
+    }
+}

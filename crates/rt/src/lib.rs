@@ -1,0 +1,34 @@
+//! # bcag-rt — a mini HPF-like runtime
+//!
+//! The paper positions its algorithm "for inclusion in compilers and
+//! run-time systems for HPF-like languages". This crate is a toy such
+//! runtime: it interprets scripts mixing HPF mapping directives
+//! (`PROCESSORS` / `TEMPLATE` / `ALIGN` / `DISTRIBUTE`) with executable
+//! array statements (`INIT`, `ASSIGN`, `PRINT`, `REDISTRIBUTE`), compiling
+//! every `ASSIGN` down to exactly the machinery the paper describes: gap
+//! tables from the lattice algorithm, communication sets for mixed
+//! layouts, owner-computes traversal on the simulated SPMD machine.
+//!
+//! ```
+//! use bcag_rt::Interp;
+//! let out = Interp::run("
+//!     PROCESSORS P(4)
+//!     TEMPLATE T(320)
+//!     REAL A(320)
+//!     ALIGN A(i) WITH T(i)
+//!     DISTRIBUTE T(CYCLIC(8)) ONTO P
+//!     INIT A LINEAR 1 0
+//!     ASSIGN A(4:301:9) = A(4:301:9) * 2
+//!     PRINT A(4:31:9)
+//! ").unwrap();
+//! assert_eq!(out[0], "A(4:31:9) = [8.0, 26.0, 44.0, 62.0]");
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod expr;
+pub mod interp;
+
+pub use expr::{parse_expr, parse_lhs, Expr, Op, ParsedExpr, SectionRef};
+pub use interp::Interp;

@@ -1,0 +1,196 @@
+//! SPMD regular-section assignment: the statement `A(l : u : s) = expr`
+//! executed as compiler-generated node code.
+//!
+//! This is the end-to-end path the paper's Table 2 measures: every node
+//! builds (or receives) its gap table, computes its start and last local
+//! addresses, and runs one of the Figure 8 traversal loops over its own
+//! local memory. No communication is needed — the owner computes.
+
+use bcag_core::error::Result;
+use bcag_core::method::{build, Method};
+use bcag_core::params::Problem;
+use bcag_core::section::RegularSection;
+use bcag_core::start::last_location;
+use bcag_core::two_table::TwoTable;
+use bcag_core::Layout;
+
+use crate::codeshapes::{traverse, CodeShape};
+use crate::darray::DistArray;
+use crate::machine::Machine;
+
+/// Per-node plan for one section statement: everything the node program
+/// needs, precomputed (the paper's "table construction" phase).
+#[derive(Debug, Clone)]
+pub struct NodePlan {
+    /// Start local address, or `None` when this node does nothing.
+    pub start: Option<i64>,
+    /// Last local address (inclusive bound of the traversal).
+    pub last: i64,
+    /// Access-ordered `AM` gap table.
+    pub delta_m: Vec<i64>,
+    /// Offset-indexed tables for shape 8(d).
+    pub tables: Option<TwoTable>,
+}
+
+/// Builds the plans of all nodes for `A(l : u : s)` on a `(p, k)` layout.
+pub fn plan_section(
+    p: i64,
+    k: i64,
+    section: &RegularSection,
+    method: Method,
+) -> Result<Vec<NodePlan>> {
+    let norm = section.normalized();
+    if norm.count == 0 {
+        return Ok((0..p)
+            .map(|_| NodePlan { start: None, last: -1, delta_m: vec![], tables: None })
+            .collect());
+    }
+    let problem = Problem::new(p, k, norm.lo, norm.step)?;
+    let lay = Layout::from_raw(p, k);
+    (0..p)
+        .map(|m| {
+            let pat = build(&problem, m, method)?;
+            let last_g = last_location(&problem, m, norm.hi)?;
+            let start = match (pat.start_local(), last_g) {
+                (Some(s), Some(lg)) if s <= lay.local_addr(lg) => Some(s),
+                _ => None,
+            };
+            Ok(NodePlan {
+                start,
+                last: last_g.map_or(-1, |g| lay.local_addr(g)),
+                delta_m: pat.gaps().to_vec(),
+                tables: TwoTable::from_pattern(&pat),
+            })
+        })
+        .collect()
+}
+
+/// Executes `A(section) = value` on the machine with the chosen table
+/// method and node-code shape, in parallel across simulated nodes.
+pub fn assign_scalar<T>(
+    arr: &mut DistArray<T>,
+    section: &RegularSection,
+    value: T,
+    method: Method,
+    shape: CodeShape,
+) -> Result<()>
+where
+    T: Clone + Send + Sync,
+{
+    apply_section(arr, section, method, shape, move |x| *x = value.clone())
+}
+
+/// Executes `A(section) = f(A(section))` elementwise (in place) with the
+/// chosen method and shape.
+pub fn apply_section<T, F>(
+    arr: &mut DistArray<T>,
+    section: &RegularSection,
+    method: Method,
+    shape: CodeShape,
+    f: F,
+) -> Result<()>
+where
+    T: Clone + Send,
+    F: Fn(&mut T) + Sync,
+{
+    let plans = plan_section(arr.p(), arr.k(), section, method)?;
+    let machine = Machine::new(arr.p());
+    machine.run(arr.locals_mut(), |m, local| {
+        let plan = &plans[m];
+        let Some(start) = plan.start else { return };
+        let tables = plan.tables.as_ref().expect("non-empty plan has tables");
+        traverse(shape, local, start, plan.last, &plan.delta_m, tables, &f);
+    });
+    Ok(())
+}
+
+/// Sequential reference semantics of `A(section) = f(...)`, used to verify
+/// the SPMD execution.
+pub fn apply_section_seq<T, F>(global: &mut [T], section: &RegularSection, f: F)
+where
+    F: Fn(&mut T),
+{
+    for i in section.iter() {
+        f(&mut global[i as usize]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_assignment_matches_sequential_all_shapes() {
+        let n = 400i64;
+        let section = RegularSection::new(4, 301, 9).unwrap();
+        for shape in CodeShape::ALL {
+            let mut arr = DistArray::new(4, 8, n, 0.0f64).unwrap();
+            assign_scalar(&mut arr, &section, 100.0, Method::Lattice, shape).unwrap();
+            let mut expect = vec![0.0f64; n as usize];
+            apply_section_seq(&mut expect, &section, |x| *x = 100.0);
+            assert_eq!(arr.to_global(), expect, "shape {}", shape.label());
+        }
+    }
+
+    #[test]
+    fn negative_stride_sections_normalize() {
+        let n = 200i64;
+        let section = RegularSection::new(180, 5, -7).unwrap();
+        let mut arr = DistArray::new(4, 8, n, 0i64).unwrap();
+        assign_scalar(&mut arr, &section, 1, Method::Lattice, CodeShape::BranchLoop).unwrap();
+        let mut expect = vec![0i64; n as usize];
+        apply_section_seq(&mut expect, &section, |x| *x = 1);
+        assert_eq!(arr.to_global(), expect);
+    }
+
+    #[test]
+    fn all_methods_agree() {
+        let n = 500i64;
+        let section = RegularSection::new(3, 488, 11).unwrap();
+        let mut reference: Option<Vec<i64>> = None;
+        for method in Method::GENERAL {
+            let mut arr = DistArray::new(8, 4, n, 0i64).unwrap();
+            apply_section(&mut arr, &section, method, CodeShape::SplitLoop, |x| *x += 7)
+                .unwrap();
+            let g = arr.to_global();
+            match &reference {
+                None => reference = Some(g),
+                Some(r) => assert_eq!(&g, r, "{}", method.name()),
+            }
+        }
+    }
+
+    #[test]
+    fn empty_section_is_noop() {
+        let mut arr = DistArray::new(2, 4, 50, 9i64).unwrap();
+        let section = RegularSection::new(30, 10, 3).unwrap(); // empty
+        assign_scalar(&mut arr, &section, 0, Method::Lattice, CodeShape::ModLoop).unwrap();
+        assert!(arr.to_global().iter().all(|&x| x == 9));
+    }
+
+    #[test]
+    fn single_element_section() {
+        let mut arr = DistArray::new(4, 8, 100, 0i64).unwrap();
+        let section = RegularSection::new(55, 55, 3).unwrap();
+        assign_scalar(&mut arr, &section, 5, Method::Lattice, CodeShape::TwoTableLoop).unwrap();
+        let g = arr.to_global();
+        assert_eq!(g[55], 5);
+        assert_eq!(g.iter().filter(|&&x| x == 5).count(), 1);
+    }
+
+    #[test]
+    fn apply_section_increments_only_section() {
+        let n = 300i64;
+        let section = RegularSection::new(0, 299, 13).unwrap();
+        let mut arr = DistArray::new(4, 8, n, 1i64).unwrap();
+        apply_section(&mut arr, &section, Method::Lattice, CodeShape::BranchLoop, |x| {
+            *x *= 2
+        })
+        .unwrap();
+        let g = arr.to_global();
+        for i in 0..n {
+            let expected = if section.contains(i) { 2 } else { 1 };
+            assert_eq!(g[i as usize], expected, "i={i}");
+        }
+    }
+}

@@ -1,0 +1,178 @@
+//! Distributed arrays over a simulated `cyclic(k)` memory layout.
+//!
+//! A [`DistArray`] materializes the paper's Figure 1: `p` per-processor
+//! local memories, each holding that processor's blocks contiguously.
+//! Global element `i` lives on processor `owner(i)` at local address
+//! `local_addr(i)` — exactly the layout the access-sequence algorithms
+//! enumerate.
+
+use bcag_core::error::{BcagError, Result};
+use bcag_core::layout::Layout;
+use bcag_core::params::Problem;
+
+/// A one-dimensional array of `n` elements distributed `cyclic(k)` over `p`
+/// simulated processors.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DistArray<T> {
+    p: i64,
+    k: i64,
+    n: i64,
+    layout: Layout,
+    locals: Vec<Vec<T>>,
+}
+
+impl<T: Clone> DistArray<T> {
+    /// Creates the array with every element set to `init`.
+    pub fn new(p: i64, k: i64, n: i64, init: T) -> Result<Self> {
+        // Validate (p, k) through the core constructor.
+        let _ = Problem::new(p, k, 0, 1)?;
+        if n < 0 {
+            return Err(BcagError::NegativeLowerBound { l: n });
+        }
+        let layout = Layout::from_raw(p, k);
+        let locals = (0..p)
+            .map(|m| vec![init.clone(); layout.local_len(n, m) as usize])
+            .collect();
+        Ok(DistArray { p, k, n, layout, locals })
+    }
+
+    /// Creates a zero-length array (no elements on any processor).
+    pub fn empty(p: i64, k: i64) -> Result<Self> {
+        let _ = Problem::new(p, k, 0, 1)?;
+        Ok(DistArray {
+            p,
+            k,
+            n: 0,
+            layout: Layout::from_raw(p, k),
+            locals: (0..p).map(|_| Vec::new()).collect(),
+        })
+    }
+
+    /// Scatters a global vector into the distributed layout.
+    pub fn from_global(p: i64, k: i64, data: &[T]) -> Result<Self> {
+        let mut arr = Self::new(p, k, data.len() as i64, data[0].clone())?;
+        for (i, v) in data.iter().enumerate() {
+            arr.set(i as i64, v.clone())?;
+        }
+        Ok(arr)
+    }
+
+    /// Gathers the distributed contents back into a global vector.
+    pub fn to_global(&self) -> Vec<T> {
+        (0..self.n)
+            .map(|i| self.get(i).expect("index in range").clone())
+            .collect()
+    }
+
+    /// Number of processors.
+    pub fn p(&self) -> i64 {
+        self.p
+    }
+
+    /// Block size.
+    pub fn k(&self) -> i64 {
+        self.k
+    }
+
+    /// Global extent.
+    pub fn len(&self) -> i64 {
+        self.n
+    }
+
+    /// True when the global extent is zero.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// The layout calculator for this array.
+    pub fn layout(&self) -> Layout {
+        self.layout
+    }
+
+    /// Immutable view of processor `m`'s local memory.
+    pub fn local(&self, m: i64) -> &[T] {
+        &self.locals[m as usize]
+    }
+
+    /// Mutable view of processor `m`'s local memory.
+    pub fn local_mut(&mut self, m: i64) -> &mut Vec<T> {
+        &mut self.locals[m as usize]
+    }
+
+    /// Splits into per-processor mutable views, for handing one view to each
+    /// simulated node thread.
+    pub fn locals_mut(&mut self) -> &mut [Vec<T>] {
+        &mut self.locals
+    }
+
+    /// Reads global element `i`.
+    pub fn get(&self, i: i64) -> Result<&T> {
+        self.check(i)?;
+        let m = self.layout.owner(i);
+        Ok(&self.locals[m as usize][self.layout.local_addr(i) as usize])
+    }
+
+    /// Writes global element `i`.
+    pub fn set(&mut self, i: i64, value: T) -> Result<()> {
+        self.check(i)?;
+        let m = self.layout.owner(i);
+        let a = self.layout.local_addr(i) as usize;
+        self.locals[m as usize][a] = value;
+        Ok(())
+    }
+
+    fn check(&self, i: i64) -> Result<()> {
+        if (0..self.n).contains(&i) {
+            Ok(())
+        } else {
+            Err(BcagError::Precondition("global index out of bounds"))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scatter_gather_roundtrip() {
+        let data: Vec<i64> = (0..100).map(|i| i * 10).collect();
+        let arr = DistArray::from_global(4, 8, &data).unwrap();
+        assert_eq!(arr.to_global(), data);
+    }
+
+    #[test]
+    fn local_sizes_match_layout() {
+        let arr = DistArray::new(4, 8, 100, 0.0f64).unwrap();
+        let lay = Layout::from_raw(4, 8);
+        for m in 0..4 {
+            assert_eq!(arr.local(m).len() as i64, lay.local_len(100, m));
+        }
+        // Total elements preserved.
+        let total: usize = (0..4).map(|m| arr.local(m).len()).sum();
+        assert_eq!(total, 100);
+    }
+
+    #[test]
+    fn element_placement_matches_figure1() {
+        let mut arr = DistArray::new(4, 8, 320, 0i64).unwrap();
+        arr.set(108, 42).unwrap();
+        // Element 108: offset 4 in block 3 of processor 1 -> local 28.
+        assert_eq!(arr.local(1)[28], 42);
+        assert_eq!(*arr.get(108).unwrap(), 42);
+    }
+
+    #[test]
+    fn bounds_checked() {
+        let arr = DistArray::new(2, 4, 10, 0u8).unwrap();
+        assert!(arr.get(10).is_err());
+        assert!(arr.get(-1).is_err());
+    }
+
+    #[test]
+    fn empty_array() {
+        let arr = DistArray::new(3, 2, 0, 0u8).unwrap();
+        assert!(arr.is_empty());
+        assert!(arr.to_global().is_empty());
+    }
+}

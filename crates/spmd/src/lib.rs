@@ -1,0 +1,69 @@
+//! # bcag-spmd — simulated SPMD distributed-memory machine
+//!
+//! The paper's experiments ran on a 32-node Intel iPSC/860 hypercube. This
+//! crate simulates that execution model so the end-to-end path — table
+//! construction, node-code traversal, communication — can run and be
+//! measured on a shared-memory host:
+//!
+//! * [`machine`] — SPMD launch: one OS thread per simulated node, each with
+//!   exclusive local memory, plus the per-node timing discipline
+//!   ("maximum over all processors") the paper reports;
+//! * [`darray`] — distributed arrays in the `cyclic(k)` layout of Figure 1;
+//! * [`codeshapes`] — the four node-code shapes of Figure 8 that Table 2
+//!   compares;
+//! * [`assign`] — owner-computes section statements
+//!   (`A(l:u:s) = expr`) compiled to plans + traversal loops;
+//! * [`comm`] — communication sets and message-passing execution for
+//!   two-sided assignments `A(secA) = B(secB)`, including redistribution
+//!   between different block sizes;
+//! * [`reduce`] — reductions over sections (`SUM`, `DOT_PRODUCT`, custom
+//!   folds) with the same traversal machinery;
+//! * [`dmatrix`] — 2-D distributed matrices over an HPF mapping, with SPMD
+//!   updates of rectangular, diagonal and trapezoidal regions;
+//! * [`statement`] — whole array statements `A(secA) = f(B(secB), ...)`
+//!   (gather + owner-computes) and block-size redistribution;
+//! * [`pack`] — message vectorization: pack/unpack a node's share of a
+//!   section into contiguous buffers.
+//!
+//! ```
+//! use bcag_spmd::{darray::DistArray, assign::assign_scalar, codeshapes::CodeShape};
+//! use bcag_core::{section::RegularSection, method::Method};
+//!
+//! // A(0:99:7) = 100.0 on a 4-processor cyclic(8) layout.
+//! let mut a = DistArray::new(4, 8, 100, 0.0f64).unwrap();
+//! let sec = RegularSection::new(0, 99, 7).unwrap();
+//! assign_scalar(&mut a, &sec, 100.0, Method::Lattice, CodeShape::TwoTableLoop).unwrap();
+//! assert_eq!(a.to_global()[14], 100.0);
+//! assert_eq!(a.to_global()[15], 0.0);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod assign;
+pub mod blas1;
+pub mod codeshapes;
+pub mod comm;
+pub mod comm2d;
+pub mod darray;
+pub mod dmatrix;
+pub mod machine;
+pub mod pack;
+pub mod reduce;
+pub mod shift;
+pub mod statement;
+pub mod stats;
+
+pub use assign::{apply_section, assign_scalar, plan_section, NodePlan};
+pub use codeshapes::CodeShape;
+pub use comm::{assign_array, CommSchedule, Transfer};
+pub use comm2d::assign_matrix;
+pub use darray::DistArray;
+pub use dmatrix::DistMatrix;
+pub use reduce::{dot_sections, reduce_section, sum_section};
+pub use statement::{assign_expr, redistribute};
+pub use pack::gather_section;
+pub use blas1::{asum, axpy, iamax, nrm2, scal};
+pub use shift::{cshift, eoshift};
+pub use stats::{block_size_tradeoff, comm_stats, load_stats, CommStats, LoadStats};
+pub use machine::Machine;

@@ -1,0 +1,131 @@
+//! The simulated SPMD machine.
+//!
+//! The paper's experiments ran the same node program on all 32 processors
+//! of an iPSC/860 and reported the maximum time over processors. Here each
+//! simulated processor is an OS thread executing the node program against
+//! its own local memory; [`Machine::run`] is the SPMD launch, and
+//! [`Machine::run_timed`] reproduces the "maximum over all processors"
+//! measurement discipline.
+
+use std::time::Duration;
+
+/// A simulated distributed-memory machine with `p` nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Machine {
+    p: i64,
+}
+
+impl Machine {
+    /// Creates a machine with `p >= 1` nodes.
+    pub fn new(p: i64) -> Self {
+        assert!(p >= 1, "machine needs at least one node");
+        Machine { p }
+    }
+
+    /// Number of nodes.
+    pub fn p(&self) -> i64 {
+        self.p
+    }
+
+    /// Runs `node(m, &mut locals[m])` on every node concurrently, one OS
+    /// thread per node, with exclusive access to that node's local memory.
+    pub fn run<T, F>(&self, locals: &mut [Vec<T>], node: F)
+    where
+        T: Send,
+        F: Fn(usize, &mut Vec<T>) + Sync,
+    {
+        assert_eq!(locals.len() as i64, self.p, "one local memory per node");
+        std::thread::scope(|scope| {
+            for (m, local) in locals.iter_mut().enumerate() {
+                let node = &node;
+                scope.spawn(move || node(m, local));
+            }
+        });
+    }
+
+    /// Like [`Machine::run`], but each node times its own execution;
+    /// returns the per-node durations (callers typically take the max, as
+    /// the paper does).
+    pub fn run_timed<T, F>(&self, locals: &mut [Vec<T>], node: F) -> Vec<Duration>
+    where
+        T: Send,
+        F: Fn(usize, &mut Vec<T>) + Sync,
+    {
+        assert_eq!(locals.len() as i64, self.p, "one local memory per node");
+        let mut times = vec![Duration::ZERO; locals.len()];
+        std::thread::scope(|scope| {
+            for ((m, local), slot) in locals.iter_mut().enumerate().zip(times.iter_mut()) {
+                let node = &node;
+                scope.spawn(move || {
+                    let t0 = std::time::Instant::now();
+                    node(m, local);
+                    *slot = t0.elapsed();
+                });
+            }
+        });
+        times
+    }
+
+    /// Runs a node program that needs no local memory (e.g. pure table
+    /// construction); returns each node's result.
+    pub fn run_collect<R, F>(&self, node: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        let mut out: Vec<Option<R>> = (0..self.p).map(|_| None).collect();
+        std::thread::scope(|scope| {
+            for (m, slot) in out.iter_mut().enumerate() {
+                let node = &node;
+                scope.spawn(move || {
+                    *slot = Some(node(m));
+                });
+            }
+        });
+        out.into_iter().map(|r| r.expect("node completed")).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_gives_each_node_its_memory() {
+        let machine = Machine::new(4);
+        let mut locals: Vec<Vec<i64>> = (0..4).map(|m| vec![m as i64; 8]).collect();
+        machine.run(&mut locals, |m, local| {
+            for x in local.iter_mut() {
+                *x += 100 * m as i64;
+            }
+        });
+        for (m, local) in locals.iter().enumerate() {
+            assert!(local.iter().all(|&x| x == m as i64 + 100 * m as i64));
+        }
+    }
+
+    #[test]
+    fn run_collect_gathers_results() {
+        let machine = Machine::new(8);
+        let results = machine.run_collect(|m| m * m);
+        assert_eq!(results, vec![0, 1, 4, 9, 16, 25, 36, 49]);
+    }
+
+    #[test]
+    fn run_timed_returns_per_node_durations() {
+        let machine = Machine::new(3);
+        let mut locals: Vec<Vec<u8>> = vec![vec![0; 4]; 3];
+        let times = machine.run_timed(&mut locals, |_, local| {
+            local.iter_mut().for_each(|x| *x = 1);
+        });
+        assert_eq!(times.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "one local memory per node")]
+    fn mismatched_locals_panics() {
+        let machine = Machine::new(4);
+        let mut locals: Vec<Vec<u8>> = vec![vec![]; 3];
+        machine.run(&mut locals, |_, _| {});
+    }
+}

@@ -1,0 +1,198 @@
+//! Section packing — message vectorization.
+//!
+//! Message-passing runtimes do not send strided elements one by one; they
+//! *pack* a processor's share of a section into a contiguous buffer, send
+//! it as one message, and *unpack* on the other side. The pack loop is the
+//! same gap-table traversal as the compute loop (the access sequence tells
+//! each node exactly which local addresses participate, in section-rank
+//! order), so packing is another direct client of the paper's algorithm.
+
+use bcag_core::error::Result;
+use bcag_core::method::Method;
+use bcag_core::section::RegularSection;
+
+use crate::assign::plan_section;
+use crate::darray::DistArray;
+
+/// Packs processor `m`'s share of `arr(section)` into a contiguous buffer,
+/// in increasing global-index order. Returns an empty buffer when the
+/// processor owns nothing.
+pub fn pack<T: Clone + Send + Sync>(
+    arr: &DistArray<T>,
+    section: &RegularSection,
+    m: i64,
+    method: Method,
+) -> Result<Vec<T>> {
+    let plans = plan_section(arr.p(), arr.k(), section, method)?;
+    let plan = &plans[m as usize];
+    let Some(start) = plan.start else { return Ok(vec![]) };
+    let local = arr.local(m);
+    let mut out = Vec::new();
+    let mut addr = start;
+    let mut i = 0usize;
+    while addr <= plan.last {
+        out.push(local[addr as usize].clone());
+        if plan.delta_m.is_empty() {
+            break;
+        }
+        addr += plan.delta_m[i];
+        i += 1;
+        if i == plan.delta_m.len() {
+            i = 0;
+        }
+    }
+    Ok(out)
+}
+
+/// Unpacks a buffer produced by [`pack`] back into processor `m`'s share of
+/// `arr(section)` (inverse traversal order). The buffer length must match
+/// the processor's owned count.
+pub fn unpack<T: Clone + Send + Sync>(
+    arr: &mut DistArray<T>,
+    section: &RegularSection,
+    m: i64,
+    method: Method,
+    buffer: &[T],
+) -> Result<()> {
+    use bcag_core::error::BcagError;
+    let plans = plan_section(arr.p(), arr.k(), section, method)?;
+    let plan = &plans[m as usize];
+    let Some(start) = plan.start else {
+        return if buffer.is_empty() {
+            Ok(())
+        } else {
+            Err(BcagError::Precondition("buffer for a processor that owns nothing"))
+        };
+    };
+    let local = arr.local_mut(m);
+    let mut addr = start;
+    let mut i = 0usize;
+    let mut cursor = 0usize;
+    while addr <= plan.last {
+        let Some(v) = buffer.get(cursor) else {
+            return Err(BcagError::Precondition("buffer too short for owned count"));
+        };
+        local[addr as usize] = v.clone();
+        cursor += 1;
+        if plan.delta_m.is_empty() {
+            break;
+        }
+        addr += plan.delta_m[i];
+        i += 1;
+        if i == plan.delta_m.len() {
+            i = 0;
+        }
+    }
+    if cursor != buffer.len() {
+        return Err(BcagError::Precondition("buffer longer than owned count"));
+    }
+    Ok(())
+}
+
+/// Gathers the whole section, in section order, by concatenating the
+/// per-processor packs in *rank-merged* order: the section's `t`-th element
+/// comes from whichever processor owns it, so a simple per-processor
+/// concatenation is wrong; this merges by global index, which the packs
+/// already provide sorted.
+pub fn gather_section<T: Clone + Send + Sync + Default>(
+    arr: &DistArray<T>,
+    section: &RegularSection,
+    method: Method,
+) -> Result<Vec<T>> {
+    let mut out = vec![T::default(); section.count() as usize];
+    for m in 0..arr.p() {
+        let packed = pack(arr, section, m, method)?;
+        // Recover each packed value's section rank from the plan walk.
+        let plans = plan_section(arr.p(), arr.k(), section, method)?;
+        let plan = &plans[m as usize];
+        let Some(start) = plan.start else { continue };
+        let norm = section.normalized();
+        let lay = arr.layout();
+        // Walk local addresses alongside the pack to compute ranks.
+        let mut addr = start;
+        let mut i = 0usize;
+        let mut cursor = 0usize;
+        while addr <= plan.last {
+            let g = lay.global_of(m, addr);
+            let rank = (g - norm.lo) / norm.step;
+            out[rank as usize] = packed[cursor].clone();
+            cursor += 1;
+            if plan.delta_m.is_empty() {
+                break;
+            }
+            addr += plan.delta_m[i];
+            i += 1;
+            if i == plan.delta_m.len() {
+                i = 0;
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_roundtrip() {
+        let n = 300i64;
+        let data: Vec<i64> = (0..n).map(|i| i * 3 + 1).collect();
+        let arr = DistArray::from_global(4, 8, &data).unwrap();
+        let sec = RegularSection::new(4, 292, 9).unwrap();
+        let mut rebuilt = DistArray::new(4, 8, n, 0i64).unwrap();
+        let mut total = 0usize;
+        for m in 0..4 {
+            let buf = pack(&arr, &sec, m, Method::Lattice).unwrap();
+            total += buf.len();
+            unpack(&mut rebuilt, &sec, m, Method::Lattice, &buf).unwrap();
+        }
+        assert_eq!(total as i64, sec.count());
+        let g = rebuilt.to_global();
+        for i in 0..n {
+            let expect = if sec.contains(i) { data[i as usize] } else { 0 };
+            assert_eq!(g[i as usize], expect, "i={i}");
+        }
+    }
+
+    #[test]
+    fn pack_order_is_global_order() {
+        let data: Vec<i64> = (0..320).collect();
+        let arr = DistArray::from_global(4, 8, &data).unwrap();
+        let sec = RegularSection::new(4, 301, 9).unwrap();
+        let buf = pack(&arr, &sec, 1, Method::Lattice).unwrap();
+        // Processor 1's owned elements in increasing order (Figure 6 walk).
+        assert_eq!(buf, vec![13, 40, 76, 139, 175, 202, 238, 265, 301]);
+    }
+
+    #[test]
+    fn gather_reconstructs_section() {
+        let data: Vec<i64> = (0..500).map(|i| 7 * i).collect();
+        let arr = DistArray::from_global(8, 4, &data).unwrap();
+        let sec = RegularSection::new(3, 495, 11).unwrap();
+        let gathered = gather_section(&arr, &sec, Method::Lattice).unwrap();
+        let expect: Vec<i64> = sec.iter().map(|i| data[i as usize]).collect();
+        assert_eq!(gathered, expect);
+    }
+
+    #[test]
+    fn buffer_length_validation() {
+        let mut arr = DistArray::new(2, 4, 40, 0i64).unwrap();
+        let sec = RegularSection::new(0, 39, 3).unwrap();
+        let buf = pack(&arr, &sec, 0, Method::Lattice).unwrap();
+        assert!(unpack(&mut arr, &sec, 0, Method::Lattice, &buf[..buf.len() - 1]).is_err());
+        let mut too_long = buf.clone();
+        too_long.push(0);
+        assert!(unpack(&mut arr, &sec, 0, Method::Lattice, &too_long).is_err());
+    }
+
+    #[test]
+    fn empty_processor_pack() {
+        let arr = DistArray::new(2, 1, 40, 5i64).unwrap();
+        let sec = RegularSection::new(0, 39, 2).unwrap(); // proc 1 owns none
+        assert!(pack(&arr, &sec, 1, Method::Lattice).unwrap().is_empty());
+        let mut arr2 = arr.clone();
+        assert!(unpack(&mut arr2, &sec, 1, Method::Lattice, &[]).is_ok());
+        assert!(unpack(&mut arr2, &sec, 1, Method::Lattice, &[1]).is_err());
+    }
+}

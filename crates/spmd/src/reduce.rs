@@ -1,0 +1,186 @@
+//! Reductions over regular sections.
+//!
+//! The other half of data-parallel node code generation: statements like
+//! `r = SUM(A(l:u:s))` reduce over a section instead of assigning to it.
+//! Each node folds its owned elements using the same gap-table traversal as
+//! the assignment path, then the per-node partials are combined — the
+//! owner-computes analogue of an HPF reduction intrinsic.
+
+use bcag_core::error::Result;
+use bcag_core::method::Method;
+use bcag_core::section::RegularSection;
+
+use crate::assign::plan_section;
+use crate::codeshapes::{traverse, CodeShape};
+use crate::darray::DistArray;
+use crate::machine::Machine;
+
+/// Folds `f` over every section element on every node (in parallel), then
+/// combines the per-node partial results with `combine`.
+///
+/// `init` seeds both levels, so `(init, combine)` must form a monoid over
+/// the accumulator type for the result to be well-defined.
+pub fn reduce_section<T, Acc, F, C>(
+    arr: &DistArray<T>,
+    section: &RegularSection,
+    method: Method,
+    shape: CodeShape,
+    init: Acc,
+    f: F,
+    combine: C,
+) -> Result<Acc>
+where
+    T: Clone + Send + Sync,
+    Acc: Clone + Send + Sync,
+    F: Fn(Acc, &T) -> Acc + Sync,
+    C: Fn(Acc, Acc) -> Acc,
+{
+    let plans = plan_section(arr.p(), arr.k(), section, method)?;
+    let machine = Machine::new(arr.p());
+    let partials = machine.run_collect(|m| {
+        let plan = &plans[m];
+        let Some(start) = plan.start else {
+            return init.clone();
+        };
+        let tables = plan.tables.as_ref().expect("non-empty plan has tables");
+        // The traversal API hands out &mut T; reductions only read, so work
+        // on a scratch clone of the node's local memory, which also mirrors
+        // how a node program would stream over its own storage.
+        let mut local: Vec<T> = arr.local(m as i64).to_vec();
+        let mut acc = init.clone();
+        traverse(shape, &mut local, start, plan.last, &plan.delta_m, tables, |x| {
+            acc = f(acc.clone(), x);
+        });
+        acc
+    });
+    Ok(partials.into_iter().fold(init, combine))
+}
+
+/// `SUM(A(section))` for float elements.
+pub fn sum_section(
+    arr: &DistArray<f64>,
+    section: &RegularSection,
+    method: Method,
+    shape: CodeShape,
+) -> Result<f64> {
+    reduce_section(arr, section, method, shape, 0.0, |a, &x| a + x, |a, b| a + b)
+}
+
+/// Dot product of two conforming sections of distributed arrays with the
+/// same layout: `DOT_PRODUCT(A(sec_a), B(sec_b))`.
+///
+/// Requires identical `(p, k)` for both arrays and elementwise-conforming
+/// sections whose t-th elements are co-located (true whenever
+/// `sec_a == sec_b` and the layouts match); the general misaligned case
+/// goes through [`crate::comm`] first.
+pub fn dot_sections(
+    a: &DistArray<f64>,
+    sec_a: &RegularSection,
+    b: &DistArray<f64>,
+    sec_b: &RegularSection,
+    method: Method,
+) -> Result<f64> {
+    use bcag_core::error::BcagError;
+    if a.p() != b.p() || a.k() != b.k() {
+        return Err(BcagError::Precondition(
+            "dot_sections requires identical layouts; redistribute first",
+        ));
+    }
+    if sec_a.count() != sec_b.count() {
+        return Err(BcagError::Precondition("sections must conform"));
+    }
+    if sec_a != sec_b {
+        return Err(BcagError::Precondition(
+            "dot_sections requires co-located sections; use comm for the general case",
+        ));
+    }
+    let plans = plan_section(a.p(), a.k(), sec_a, method)?;
+    let machine = Machine::new(a.p());
+    let partials = machine.run_collect(|m| {
+        let plan = &plans[m];
+        let Some(start) = plan.start else { return 0.0 };
+        let tables = plan.tables.as_ref().expect("tables");
+        let _ = tables; // two-operand loops walk the table directly (8(b) style)
+        let la = a.local(m as i64);
+        let lb = b.local(m as i64);
+        let mut acc = 0.0;
+        let mut addr = start;
+        let mut i = 0usize;
+        while addr <= plan.last {
+            acc += la[addr as usize] * lb[addr as usize];
+            addr += plan.delta_m[i];
+            i += 1;
+            if i == plan.delta_m.len() {
+                i = 0;
+            }
+        }
+        acc
+    });
+    Ok(partials.into_iter().sum())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sum_matches_sequential() {
+        let n = 500i64;
+        let data: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let arr = DistArray::from_global(4, 8, &data).unwrap();
+        let sec = RegularSection::new(3, 488, 7).unwrap();
+        let expect: f64 = sec.iter().map(|i| data[i as usize]).sum();
+        for shape in CodeShape::ALL {
+            let got = sum_section(&arr, &sec, Method::Lattice, shape).unwrap();
+            assert_eq!(got, expect, "shape {}", shape.label());
+        }
+    }
+
+    #[test]
+    fn reduce_with_max() {
+        let data: Vec<f64> = (0..300).map(|i| ((i * 37) % 101) as f64).collect();
+        let arr = DistArray::from_global(4, 8, &data).unwrap();
+        let sec = RegularSection::new(0, 299, 3).unwrap();
+        let expect = sec.iter().map(|i| data[i as usize]).fold(f64::MIN, f64::max);
+        let got = reduce_section(
+            &arr,
+            &sec,
+            Method::Lattice,
+            CodeShape::SplitLoop,
+            f64::MIN,
+            |a, &x| a.max(x),
+            f64::max,
+        )
+        .unwrap();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn empty_section_reduces_to_init() {
+        let arr = DistArray::new(2, 4, 50, 1.0f64).unwrap();
+        let sec = RegularSection::new(40, 10, 3).unwrap();
+        let got = sum_section(&arr, &sec, Method::Lattice, CodeShape::ModLoop).unwrap();
+        assert_eq!(got, 0.0);
+    }
+
+    #[test]
+    fn dot_product_matches_sequential() {
+        let n = 400i64;
+        let da: Vec<f64> = (0..n).map(|i| (i % 13) as f64).collect();
+        let db: Vec<f64> = (0..n).map(|i| (i % 7) as f64 + 1.0).collect();
+        let a = DistArray::from_global(4, 8, &da).unwrap();
+        let b = DistArray::from_global(4, 8, &db).unwrap();
+        let sec = RegularSection::new(5, 390, 11).unwrap();
+        let expect: f64 = sec.iter().map(|i| da[i as usize] * db[i as usize]).sum();
+        let got = dot_sections(&a, &sec, &b, &sec, Method::Lattice).unwrap();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn dot_rejects_mismatched_layouts() {
+        let a = DistArray::new(4, 8, 100, 0.0).unwrap();
+        let b = DistArray::new(4, 4, 100, 0.0).unwrap();
+        let sec = RegularSection::new(0, 99, 1).unwrap();
+        assert!(dot_sections(&a, &sec, &b, &sec, Method::Lattice).is_err());
+    }
+}

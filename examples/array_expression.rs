@@ -1,0 +1,66 @@
+//! Whole array statements with mixed layouts: the HPF statement
+//!
+//! ```text
+//! A(0:3*n-3:3) = alpha * B(2:2*n:2) + C(10:n+9:1)
+//! ```
+//!
+//! where `A`, `B`, `C` carry *different* block sizes — so the runtime must
+//! compute communication sets (gathering both operands to the LHS owners)
+//! before the owner-computes loop runs. Also demonstrates `REDISTRIBUTE`
+//! (block-size change) built from the same machinery.
+//!
+//! Run: `cargo run --release --example array_expression`
+
+use bcag::core::RegularSection;
+use bcag::spmd::{assign_expr, redistribute, sum_section, CodeShape, DistArray};
+use bcag::Method;
+
+fn main() {
+    let n = 2_000i64;
+    let alpha = 2.5f64;
+    let size = 3 * n; // big enough for every section below
+
+    let bg: Vec<f64> = (0..size).map(|i| (i % 1_000) as f64).collect();
+    let cg: Vec<f64> = (0..size).map(|i| ((i * i) % 777) as f64).collect();
+
+    // Three different layouts on the same 8-node machine.
+    let b = DistArray::from_global(8, 5, &bg).expect("B");
+    let c = DistArray::from_global(8, 16, &cg).expect("C");
+    let mut a = DistArray::new(8, 8, size, 0.0f64).expect("A");
+
+    let sec_a = RegularSection::new(0, 3 * n - 3, 3).expect("A section");
+    let sec_b = RegularSection::new(2, 2 * n, 2).expect("B section");
+    let sec_c = RegularSection::new(10, n + 9, 1).expect("C section");
+    assert_eq!(sec_a.count(), n);
+    assert_eq!(sec_b.count(), n);
+    assert_eq!(sec_c.count(), n);
+
+    assign_expr(&mut a, &sec_a, &[(&b, sec_b), (&c, sec_c)], |args| {
+        alpha * args[0] + args[1]
+    })
+    .expect("statement executes");
+
+    // Verify against sequential semantics.
+    let got = a.to_global();
+    for t in 0..n {
+        let expect = alpha * bg[(2 + 2 * t) as usize] + cg[(10 + t) as usize];
+        assert_eq!(got[(3 * t) as usize], expect, "t={t}");
+    }
+    println!("triad A(0:{}:3) = {alpha}*B(2:{}:2) + C(10:{}:1): ✓", 3 * n - 3, 2 * n, n + 9);
+
+    // A distributed reduction over the result.
+    let total = sum_section(&a, &sec_a, Method::Lattice, CodeShape::BranchLoop)
+        .expect("reduction");
+    let expect_total: f64 = (0..n)
+        .map(|t| alpha * bg[(2 + 2 * t) as usize] + cg[(10 + t) as usize])
+        .sum();
+    assert!((total - expect_total).abs() < 1e-6);
+    println!("SUM over the section = {total:.3} (matches sequential)");
+
+    // REDISTRIBUTE A from cyclic(8) to cyclic(25) and back; contents must
+    // survive both hops.
+    let a25 = redistribute(&a, 25).expect("redistribute to cyclic(25)");
+    let back = redistribute(&a25, 8).expect("redistribute back");
+    assert_eq!(back.to_global(), a.to_global());
+    println!("redistribute cyclic(8) -> cyclic(25) -> cyclic(8): contents preserved ✓");
+}

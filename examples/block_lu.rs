@@ -1,0 +1,115 @@
+//! Right-looking LU factorization (no pivoting) on a block-cyclically
+//! distributed matrix — the dense linear algebra workload that motivates
+//! `cyclic(k)` in the paper's introduction (Dongarra et al.'s
+//! block-scattered decomposition).
+//!
+//! Every step touches exactly the region shapes this library enumerates:
+//! a *column section* below the diagonal (scaling), and a *trailing
+//! submatrix* (rank-1 update) — both rectangular sections whose per-
+//! processor address sequences come from the lattice algorithm. The
+//! diagonal itself is read with the coupled-subscript machinery.
+//!
+//! Run: `cargo run --release --example block_lu`
+
+use bcag::core::RegularSection;
+use bcag::hpf::{ArrayMap, DimMap, Dist};
+use bcag::spmd::DistMatrix;
+
+const N: i64 = 24;
+
+#[allow(clippy::needless_range_loop)] // index symmetry mirrors the math
+fn sequential_lu(a: &mut [Vec<f64>]) {
+    let n = a.len();
+    for k in 0..n - 1 {
+        let pivot = a[k][k];
+        for i in k + 1..n {
+            a[i][k] /= pivot;
+        }
+        for i in k + 1..n {
+            let lik = a[i][k];
+            for j in k + 1..n {
+                a[i][j] -= lik * a[k][j];
+            }
+        }
+    }
+}
+
+fn main() {
+    let map = ArrayMap::new(vec![
+        DimMap::simple(N, 2, Dist::CyclicK(3)).expect("dim 0"),
+        DimMap::simple(N, 2, Dist::CyclicK(3)).expect("dim 1"),
+    ])
+    .expect("map");
+
+    // A diagonally dominant test matrix (LU without pivoting is stable).
+    let gen = |i: i64, j: i64| {
+        if i == j {
+            2.0 * N as f64
+        } else {
+            1.0 / ((i - j).abs() as f64 + 1.0)
+        }
+    };
+    let mut a = DistMatrix::from_fn(map, gen).expect("matrix");
+
+    // Sequential reference.
+    let mut reference: Vec<Vec<f64>> =
+        (0..N).map(|i| (0..N).map(|j| gen(i, j)).collect()).collect();
+    sequential_lu(&mut reference);
+
+    // Distributed right-looking LU.
+    for k in 0..N - 1 {
+        let pivot = *a.get(k, k).expect("diagonal element");
+
+        // Column scale: A(k+1 : N-1, k) /= pivot — a strided section in
+        // dimension 0 with a degenerate dimension-1 triplet.
+        let col = [
+            RegularSection::new(k + 1, N - 1, 1).expect("rows"),
+            RegularSection::new(k, k, 1).expect("col"),
+        ];
+        a.apply_section(&col, |_, _, x| *x /= pivot).expect("scale");
+
+        // Broadcast row k and column k (the multipliers just computed).
+        let row_k: Vec<f64> = (k + 1..N).map(|j| *a.get(k, j).expect("row")).collect();
+        let col_k: Vec<f64> = (k + 1..N).map(|i| *a.get(i, k).expect("col")).collect();
+
+        // Trailing update: A(k+1:, k+1:) -= col_k ⊗ row_k.
+        let trailing = [
+            RegularSection::new(k + 1, N - 1, 1).expect("rows"),
+            RegularSection::new(k + 1, N - 1, 1).expect("cols"),
+        ];
+        a.apply_section(&trailing, |i, j, x| {
+            *x -= col_k[(i - k - 1) as usize] * row_k[(j - k - 1) as usize];
+        })
+        .expect("update");
+    }
+
+    // Compare.
+    let dense = a.to_dense().expect("gather");
+    let mut max_err = 0.0f64;
+    for i in 0..N as usize {
+        for j in 0..N as usize {
+            max_err = max_err.max((dense[i][j] - reference[i][j]).abs());
+        }
+    }
+    println!("block-cyclic LU: N={N}, 2x2 grid, 3x3 blocks");
+    println!("max |distributed - sequential| = {max_err:.3e}");
+    assert!(max_err < 1e-12);
+
+    // Read the U diagonal with the coupled-subscript (diagonal) machinery
+    // and report the determinant it implies.
+    let mut det = 1.0;
+    let mut diag = vec![0.0f64; N as usize];
+    {
+        let d = &mut diag;
+        let probe = std::sync::Mutex::new(d);
+        a.apply_diagonal((0, 0), (1, 1), N, |t, _, _, x| {
+            probe.lock().unwrap()[t as usize] = *x;
+        })
+        .expect("diagonal");
+    }
+    for v in &diag {
+        det *= v;
+    }
+    println!("det(A) from U diagonal = {det:.6e}");
+    println!("matches sequential: ✓");
+}

@@ -1,0 +1,105 @@
+//! Block-scattered dense linear algebra: distributed matrix–vector product.
+//!
+//! The paper motivates `cyclic(k)` with Dongarra, van de Geijn and Walker's
+//! *block-scattered* decomposition for scalable dense linear algebra
+//! (Section 1). This example builds a 2-D block-cyclically distributed
+//! matrix with the HPF substrate, then computes `y = A·x` SPMD-style: each
+//! processor enumerates its owned matrix elements *per matrix row section*
+//! with the access-sequence machinery and accumulates partial sums, which
+//! are then reduced.
+//!
+//! Run: `cargo run --example block_scattered_gemv`
+
+use bcag::core::method::Method;
+use bcag::core::RegularSection;
+use bcag::hpf::{ArrayMap, DimMap, Dist};
+
+const N: i64 = 48; // matrix order
+const P_ROWS: i64 = 2; // processor grid
+const P_COLS: i64 = 2;
+const KB: i64 = 4; // block size in both dimensions (block-scattered)
+
+fn main() {
+    // A(N, N) distributed (cyclic(KB), cyclic(KB)) over a P_ROWS x P_COLS
+    // grid — the ScaLAPACK-style block-scattered decomposition.
+    let map = ArrayMap::new(vec![
+        DimMap::simple(N, P_ROWS, Dist::CyclicK(KB)).expect("dim 0"),
+        DimMap::simple(N, P_COLS, Dist::CyclicK(KB)).expect("dim 1"),
+    ])
+    .expect("map");
+
+    // Global data (the "truth" the distributed run must reproduce):
+    // A[i][j] = i + 2j, x[j] = j + 1.
+    let a = |i: i64, j: i64| (i + 2 * j) as f64;
+    let x: Vec<f64> = (0..N).map(|j| (j + 1) as f64).collect();
+
+    // Scatter A into per-processor local memories (column-major locally).
+    let mut locals: Vec<Vec<f64>> = map
+        .grid()
+        .iter_coords()
+        .map(|coords| vec![0.0; map.local_size(&coords).expect("size") as usize])
+        .collect();
+    for idx in map.iter_indices() {
+        let rank = map.owner_rank(&idx).expect("rank") as usize;
+        let addr = map.local_linear(&idx).expect("addr") as usize;
+        locals[rank][addr] = a(idx[0], idx[1]);
+    }
+
+    // SPMD compute: each processor walks, for each matrix row i, the row
+    // section A(i, 0:N-1:1) restricted to its ownership, accumulating
+    // partial y[i]. The per-row enumeration is one application of the
+    // access-sequence algorithm in the column dimension.
+    let mut partial = vec![vec![0.0f64; N as usize]; map.grid().size() as usize];
+    for coords in map.grid().iter_coords() {
+        let rank = map.grid().linearize(&coords).expect("rank") as usize;
+        let local = &locals[rank];
+        for i in 0..N {
+            // Row i: does this processor own row i in dimension 0?
+            if map.dims()[0].owner(i) != coords[0] {
+                continue;
+            }
+            let row_section = vec![
+                RegularSection::new(i, i, 1).expect("row"),
+                RegularSection::new(0, N - 1, 1).expect("cols"),
+            ];
+            let accesses = map
+                .section_accesses(&coords, &row_section, Method::Lattice)
+                .expect("accesses");
+            let mut sum = 0.0;
+            for (idx, addr) in accesses {
+                sum += local[addr as usize] * x[idx[1] as usize];
+            }
+            partial[rank][i as usize] += sum;
+        }
+    }
+
+    // Reduce the partials (the column-dimension all-reduce of a real GEMV).
+    let mut y = vec![0.0f64; N as usize];
+    for part in &partial {
+        for (yi, pi) in y.iter_mut().zip(part) {
+            *yi += pi;
+        }
+    }
+
+    // Sequential reference.
+    let y_ref: Vec<f64> = (0..N)
+        .map(|i| (0..N).map(|j| a(i, j) * x[j as usize]).sum())
+        .collect();
+    assert_eq!(y, y_ref, "distributed GEMV must match sequential");
+
+    println!("block-scattered GEMV: N={N}, grid {P_ROWS}x{P_COLS}, blocks {KB}x{KB}");
+    println!("y[0..8] = {:?}", &y[..8]);
+    println!("matches sequential reference: ✓");
+
+    // Show the data decomposition statistics.
+    for coords in map.grid().iter_coords() {
+        let rank = map.grid().linearize(&coords).expect("rank");
+        let size = map.local_size(&coords).expect("size");
+        println!(
+            "proc {rank} (grid {:?}): {size} local elements ({}x{})",
+            coords,
+            map.local_extents(&coords).expect("e")[0],
+            map.local_extents(&coords).expect("e")[1],
+        );
+    }
+}

@@ -1,0 +1,44 @@
+//! Reproduces the paper's layout figures as ASCII art.
+//!
+//! * Figure 1 — `cyclic(8)` over 4 processors with the section
+//!   `l = 0, s = 9` boxed;
+//! * Figures 2/3 — the lattice basis vectors for that configuration;
+//! * Figure 6 — the points processor 1 visits for `l = 4, s = 9`.
+//!
+//! Run: `cargo run --example layout_viz`
+
+use bcag::core::method::{build, Method};
+use bcag::core::viz;
+use bcag::Problem;
+
+fn main() {
+    // Figure 1: layout of 4 courses of a cyclic(8) x 4-processor array,
+    // with the section elements of l=0, s=9 boxed.
+    let fig1 = Problem::new(4, 8, 0, 9).expect("valid");
+    println!("== Figure 1: cyclic(8) over 4 processors, section 0::9 ==\n");
+    print!("{}", viz::render_section(&fig1, 10));
+
+    // Figures 2/3: the basis. The segment view of Figure 2 shows the
+    // generic Euclid basis; Figure 3's R and L are what the algorithm uses.
+    println!("\n== Figures 2/3: lattice basis for p=4, k=8, s=9 ==\n");
+    println!("{}", viz::describe_basis(&fig1));
+
+    // Figure 6: the walk of processor 1 for l=4, s=9 — every visited point
+    // highlighted with <angle brackets>.
+    let fig6 = Problem::new(4, 8, 4, 9).expect("valid");
+    let pat = build(&fig6, 1, Method::Lattice).expect("builds");
+    println!("\n== Figure 6: points visited by processor 1 (l=4, s=9) ==\n");
+    print!("{}", viz::render_visits(&pat, 10));
+    println!("\nlegend: (l)=lower bound  <i>=visited by proc 1  [i]=other section element");
+    println!("AM table: {:?}  (paper: [3, 12, 15, 12, 3, 12, 3, 12])", pat.gaps());
+
+    // Figure 2 proper: the lattice strip with O, R and the cycle maximum
+    // M marked.
+    println!("\n== Figure 2: the lattice strip (O=origin, R, M=max of cycle) ==\n");
+    print!("{}", viz::render_lattice(&fig1, 10));
+
+    // A degenerate configuration for contrast: pk | s.
+    let degenerate = Problem::new(4, 8, 0, 32).expect("valid");
+    println!("\n== Degenerate case: s = pk = 32 ==\n");
+    println!("{}", viz::describe_basis(&degenerate));
+}

@@ -1,0 +1,107 @@
+//! Red–black Gauss–Seidel relaxation on a block-cyclically distributed
+//! vector — the classic HPF-era stride-2 workload.
+//!
+//! Red–black ordering splits the unknowns into even ("red") and odd
+//! ("black") indices; each half-sweep updates one color from the other.
+//! The stride-2 sections are exactly the regular sections the paper's
+//! algorithm addresses, and a cyclic(k) distribution makes their local
+//! enumeration nontrivial. This example runs the relaxation SPMD-style,
+//! using gather/exchange for the neighbor reads and the gap-table traversal
+//! for the owned updates, and checks convergence against a sequential
+//! solver.
+//!
+//! Run: `cargo run --release --example redblack_relaxation`
+
+use bcag::core::method::Method;
+use bcag::core::RegularSection;
+use bcag::spmd::{reduce_section, CodeShape, DistArray};
+
+const N: i64 = 512; // unknowns
+const P: i64 = 8;
+const K: i64 = 16;
+const SWEEPS: usize = 400;
+
+/// One sequential red-black sweep of the 1-D Poisson relaxation
+/// `x[i] = (x[i-1] + x[i+1] + h²·f) / 2` with Dirichlet boundaries.
+fn seq_sweep(x: &mut [f64], f: f64, h2: f64, color: i64) {
+    let n = x.len();
+    let mut i = if color == 0 { 2 } else { 1 };
+    while i < n - 1 {
+        x[i] = 0.5 * (x[i - 1] + x[i + 1] + h2 * f);
+        i += 2;
+    }
+}
+
+/// One distributed red-black half-sweep: every processor updates the
+/// elements *it owns* of the color's stride-2 section, reading neighbors
+/// through a gathered global view (standing in for the shift communication
+/// an HPF compiler would emit).
+fn dist_sweep(arr: &mut DistArray<f64>, f: f64, h2: f64, color: i64) {
+    // Shift communication: neighbor values of the opposite color.
+    let snapshot = arr.to_global();
+    let lay = arr.layout();
+    let lo = if color == 0 { 2 } else { 1 };
+    let sec = RegularSection::new(lo, N - 2, 2).expect("color section");
+    // Owner-computes update of the color section, node by node, using the
+    // access machinery to find each node's share.
+    for m in 0..arr.p() {
+        let problem = bcag::Problem::new(arr.p(), arr.k(), sec.l, sec.s).expect("problem");
+        let pat = bcag::build(&problem, m, Method::Lattice).expect("pattern");
+        let local = arr.local_mut(m);
+        for acc in pat.iter_to(sec.u) {
+            let i = acc.global as usize;
+            debug_assert_eq!(lay.owner(acc.global), m);
+            local[acc.local as usize] = 0.5 * (snapshot[i - 1] + snapshot[i + 1] + h2 * f);
+        }
+    }
+}
+
+fn main() {
+    let f = 1.0;
+    let h = 1.0 / (N as f64 + 1.0);
+    let h2 = h * h;
+
+    // Sequential reference.
+    let mut x_seq = vec![0.0f64; N as usize];
+    for _ in 0..SWEEPS {
+        seq_sweep(&mut x_seq, f, h2, 0);
+        seq_sweep(&mut x_seq, f, h2, 1);
+    }
+
+    // Distributed run.
+    let mut x = DistArray::new(P, K, N, 0.0f64).expect("array");
+    for _ in 0..SWEEPS {
+        dist_sweep(&mut x, f, h2, 0);
+        dist_sweep(&mut x, f, h2, 1);
+    }
+
+    let got = x.to_global();
+    let max_err = got
+        .iter()
+        .zip(&x_seq)
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0f64, f64::max);
+    println!(
+        "red-black relaxation: N={N}, cyclic({K}) over {P} procs, {SWEEPS} sweeps"
+    );
+    println!("max |distributed - sequential| = {max_err:.3e}");
+    assert!(max_err < 1e-12, "distributed run must track sequential bitwise-ish");
+
+    // A section reduction as the convergence check an iterative solver
+    // would run: SUM over the interior.
+    let interior = RegularSection::new(1, N - 2, 1).expect("interior");
+    let total = reduce_section(
+        &x,
+        &interior,
+        Method::Lattice,
+        CodeShape::BranchLoop,
+        0.0f64,
+        |a, &v| a + v,
+        |a, b| a + b,
+    )
+    .expect("reduce");
+    let total_seq: f64 = x_seq[1..(N as usize - 1)].iter().sum();
+    println!("interior sum (distributed reduce) = {total:.6}");
+    assert!((total - total_seq).abs() < 1e-9);
+    println!("matches sequential: ✓");
+}

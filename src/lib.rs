@@ -1,0 +1,37 @@
+//! # bcag — Block-Cyclic Address Generation
+//!
+//! Umbrella crate re-exporting the whole workspace:
+//!
+//! * [`core`] (`bcag-core`) — the PPOPP'95 linear-time access-sequence
+//!   algorithm of Kennedy, Nedeljković and Sethi, with the sorting baseline
+//!   of Chatterjee et al. and the special-case method of Hiranandani et al.;
+//! * [`hpf`] (`bcag-hpf`) — an HPF-style mapping substrate: templates,
+//!   affine alignment, processor grids, block/cyclic/cyclic(k)
+//!   distributions, multidimensional sections;
+//! * [`spmd`] (`bcag-spmd`) — a simulated distributed-memory SPMD machine:
+//!   distributed arrays, the four node-code shapes of the paper's Figure 8,
+//!   and a communication substrate for two-sided array assignments;
+//! * [`rt`] (`bcag-rt`) — a mini HPF-like runtime interpreting directive +
+//!   statement scripts over the whole stack.
+//!
+//! See the repository README for a tour and `DESIGN.md` for the
+//! paper-to-module map.
+
+pub use bcag_core as core;
+pub use bcag_hpf as hpf;
+pub use bcag_rt as rt;
+pub use bcag_spmd as spmd;
+
+pub use bcag_core::{build, Access, AccessPattern, BcagError, Layout, Method, Problem, RegularSection};
+
+/// Convenience prelude: `use bcag::prelude::*;` pulls in the types most
+/// programs need.
+pub mod prelude {
+    pub use bcag_core::method::{build, Method};
+    pub use bcag_core::params::Problem;
+    pub use bcag_core::pattern::{Access, AccessPattern};
+    pub use bcag_core::section::RegularSection;
+    pub use bcag_core::{BcagError, Layout, Result};
+    pub use bcag_hpf::{ArrayMap, DimMap, Dist, ProcessorGrid};
+    pub use bcag_spmd::{CodeShape, CommSchedule, DistArray, DistMatrix, Machine};
+}

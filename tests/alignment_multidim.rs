@@ -1,0 +1,172 @@
+//! Integration tests of the HPF mapping substrate: affine alignment and
+//! multidimensional sections, validated against brute-force enumeration of
+//! the mapping chain.
+
+use bcag::core::aligned::{aligned_pattern, Alignment};
+use bcag::core::method::Method;
+use bcag::core::RegularSection;
+use bcag::hpf::{ArrayMap, DimMap, Dist};
+use bcag::Layout;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+#[test]
+fn randomized_alignments_match_brute_force() {
+    let mut rng = StdRng::seed_from_u64(77);
+    for _ in 0..80 {
+        let p = rng.random_range(1..=5);
+        let k = rng.random_range(1..=10);
+        let a = rng.random_range(1..=5);
+        let b = rng.random_range(0..=7);
+        let l = rng.random_range(0..=10);
+        let s = rng.random_range(1..=12);
+        let m = rng.random_range(0..p);
+        let align = Alignment::new(a, b).unwrap();
+        let alp = aligned_pattern(p, k, align, l, s, m, Method::Lattice).unwrap();
+
+        // Brute force over the template.
+        let lay = Layout::from_raw(p, k);
+        let horizon = align.cell(l + 40 * s * p * k);
+        let storage: Vec<i64> = (0..)
+            .map(|i| align.cell(i))
+            .take_while(|&c| c <= horizon)
+            .filter(|&c| lay.owner(c) == m)
+            .collect();
+        let accesses: Vec<i64> = (0..)
+            .map(|t| align.cell(l + t * s))
+            .take_while(|&c| c <= horizon)
+            .filter(|&c| lay.owner(c) == m)
+            .take(15)
+            .map(|c| storage.binary_search(&c).unwrap() as i64)
+            .collect();
+
+        match alp.start_packed {
+            None => assert!(accesses.is_empty(), "p={p} k={k} a={a} b={b} l={l} s={s} m={m}"),
+            Some(start) => {
+                let mut got = vec![start];
+                let mut r = start;
+                for t in 0..accesses.len().saturating_sub(1) {
+                    r += alp.packed_gaps[t % alp.packed_gaps.len()];
+                    got.push(r);
+                }
+                assert_eq!(got, accesses, "p={p} k={k} a={a} b={b} l={l} s={s} m={m}");
+            }
+        }
+    }
+}
+
+#[test]
+fn randomized_2d_sections_match_brute_force() {
+    let mut rng = StdRng::seed_from_u64(123);
+    for _ in 0..40 {
+        let n0 = rng.random_range(4..=30);
+        let n1 = rng.random_range(4..=30);
+        let p0 = rng.random_range(1..=3);
+        let p1 = rng.random_range(1..=3);
+        let k0 = rng.random_range(1..=5);
+        let k1 = rng.random_range(1..=5);
+        let map = ArrayMap::new(vec![
+            DimMap::simple(n0, p0, Dist::CyclicK(k0)).unwrap(),
+            DimMap::simple(n1, p1, Dist::CyclicK(k1)).unwrap(),
+        ])
+        .unwrap();
+
+        let l0 = rng.random_range(0..n0);
+        let l1 = rng.random_range(0..n1);
+        let s0 = rng.random_range(1..=6);
+        let s1 = rng.random_range(1..=6);
+        let sec = vec![
+            RegularSection::new(l0, n0 - 1, s0).unwrap(),
+            RegularSection::new(l1, n1 - 1, s1).unwrap(),
+        ];
+
+        for coords in map.grid().iter_coords() {
+            let got = map.section_accesses(&coords, &sec, Method::Lattice).unwrap();
+            let mut expect = Vec::new();
+            let mut j = l1;
+            while j < n1 {
+                let mut i = l0;
+                while i < n0 {
+                    let idx = vec![i, j];
+                    if map.owner_coords(&idx).unwrap() == coords {
+                        expect.push((idx.clone(), map.local_linear(&idx).unwrap()));
+                    }
+                    i += s0;
+                }
+                j += s1;
+            }
+            assert_eq!(got, expect, "n=({n0},{n1}) p=({p0},{p1}) k=({k0},{k1})");
+        }
+    }
+}
+
+#[test]
+fn mixed_distribution_3d() {
+    // (block, serial, cyclic) over a 2x1x2 grid — the typical dense linear
+    // algebra panel layout.
+    let map = ArrayMap::new(vec![
+        DimMap::simple(16, 2, Dist::Block).unwrap(),
+        DimMap::simple(5, 1, Dist::Serial).unwrap(),
+        DimMap::simple(12, 2, Dist::Cyclic).unwrap(),
+    ])
+    .unwrap();
+    // Every element is stored exactly once across the machine.
+    let mut count = 0i64;
+    for coords in map.grid().iter_coords() {
+        count += map.local_size(&coords).unwrap();
+    }
+    assert_eq!(count, 16 * 5 * 12);
+
+    // Full-array section covers all elements exactly once.
+    let sec = vec![
+        RegularSection::new(0, 15, 1).unwrap(),
+        RegularSection::new(0, 4, 1).unwrap(),
+        RegularSection::new(0, 11, 1).unwrap(),
+    ];
+    let mut seen = 0usize;
+    for coords in map.grid().iter_coords() {
+        seen += map.section_accesses(&coords, &sec, Method::Lattice).unwrap().len();
+    }
+    assert_eq!(seen, 16 * 5 * 12);
+}
+
+#[test]
+fn aligned_dimmap_consistency() {
+    // DimMap with non-identity alignment: local indices must be the packed
+    // rank of the aligned template section.
+    let align = Alignment::new(4, 3).unwrap();
+    let dm = DimMap::new(40, 3, Dist::CyclicK(5), align).unwrap();
+    let mut per_proc: Vec<Vec<i64>> = vec![vec![]; 3];
+    for i in 0..40 {
+        per_proc[dm.owner(i) as usize].push(dm.local_index(i).unwrap());
+    }
+    for (m, locals) in per_proc.iter().enumerate() {
+        // Packed: 0, 1, 2, ... with no holes.
+        let expect: Vec<i64> = (0..locals.len() as i64).collect();
+        assert_eq!(locals, &expect, "m={m}");
+        assert_eq!(dm.local_extent(m as i64).unwrap(), locals.len() as i64);
+    }
+}
+
+#[test]
+fn empty_intersections() {
+    // A section that misses a processor entirely in one dimension.
+    let map = ArrayMap::new(vec![
+        DimMap::simple(8, 4, Dist::CyclicK(2)).unwrap(),
+        DimMap::simple(8, 1, Dist::Serial).unwrap(),
+    ])
+    .unwrap();
+    // Section touches only index 0 in dim 0 => only grid row 0 has work.
+    let sec = vec![
+        RegularSection::new(0, 0, 1).unwrap(),
+        RegularSection::new(0, 7, 1).unwrap(),
+    ];
+    for coords in map.grid().iter_coords() {
+        let got = map.section_accesses(&coords, &sec, Method::Lattice).unwrap();
+        if coords[0] == 0 {
+            assert_eq!(got.len(), 8);
+        } else {
+            assert!(got.is_empty());
+        }
+    }
+}

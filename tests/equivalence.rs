@@ -1,0 +1,115 @@
+//! Cross-method equivalence over randomized parameter sweeps.
+//!
+//! The lattice algorithm, both sorting baselines, the Hiranandani
+//! special-case method (where applicable) and the brute-force oracle must
+//! produce byte-identical access patterns for every parameter combination.
+
+use bcag::core::hiranandani;
+use bcag::core::method::{build, Method};
+use bcag::Problem;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn assert_all_methods_agree(p: i64, k: i64, l: i64, s: i64) {
+    let pr = Problem::new(p, k, l, s).unwrap();
+    for m in 0..p {
+        let reference = build(&pr, m, Method::Oracle).unwrap();
+        reference.check_invariants();
+        for method in [Method::Lattice, Method::SortingComparison, Method::SortingRadix] {
+            let pat = build(&pr, m, method).unwrap();
+            assert_eq!(
+                pat,
+                reference,
+                "{} disagrees with oracle at p={p} k={k} l={l} s={s} m={m}",
+                method.name()
+            );
+        }
+        if hiranandani::applicable(&pr) {
+            let pat = build(&pr, m, Method::Hiranandani).unwrap();
+            assert_eq!(
+                pat, reference,
+                "hiranandani disagrees at p={p} k={k} l={l} s={s} m={m}"
+            );
+        }
+    }
+}
+
+#[test]
+fn exhaustive_small_parameters() {
+    for p in 1..=3i64 {
+        for k in 1..=4i64 {
+            for s in 1..=2 * p * k + 1 {
+                for l in [0i64, 1, 5] {
+                    assert_all_methods_agree(p, k, l, s);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn randomized_medium_parameters() {
+    let mut rng = StdRng::seed_from_u64(0xB10C_C7C1);
+    for _ in 0..300 {
+        let p = rng.random_range(1..=16);
+        let k = rng.random_range(1..=64);
+        let s = rng.random_range(1..=4 * p * k);
+        let l = rng.random_range(0..=3 * s);
+        assert_all_methods_agree(p, k, l, s);
+    }
+}
+
+#[test]
+fn randomized_large_strides() {
+    let mut rng = StdRng::seed_from_u64(0x5EED_CAFE);
+    for _ in 0..60 {
+        let p = rng.random_range(1..=32);
+        let k = rng.random_range(1..=128);
+        // Strides far beyond one period, plus exact multiples of pk.
+        let s = match rng.random_range(0..3) {
+            0 => rng.random_range(1..=1_000_000),
+            1 => p * k * rng.random_range(1..=50),
+            _ => p * k * rng.random_range(1..=50) + rng.random_range(-1..=1),
+        }
+        .max(1);
+        let l = rng.random_range(0..=10_000);
+        // Oracle is O(pk/d); keep it affordable.
+        let pr = Problem::new(p, k, l, s).unwrap();
+        if pr.period_elements() > 200_000 {
+            continue;
+        }
+        assert_all_methods_agree(p, k, l, s);
+    }
+}
+
+#[test]
+fn paper_grid_strides() {
+    // The exact stride families of Table 1, on a downsized machine so the
+    // oracle stays fast: p = 8, all paper block sizes.
+    let p = 8i64;
+    for k in [4i64, 8, 16, 32, 64, 128, 256, 512] {
+        for s in [7i64, 99, k + 1, p * k - 1, p * k + 1] {
+            assert_all_methods_agree(p, k, 0, s);
+        }
+    }
+}
+
+#[test]
+fn hiranandani_applicability_boundary() {
+    // Just inside and outside the s mod pk < k precondition.
+    for p in [2i64, 4] {
+        for k in [4i64, 8] {
+            let pk = p * k;
+            for s in [k - 1, k, k + 1, pk - 1, pk, pk + 1, pk + k - 1, pk + k] {
+                if s < 1 {
+                    continue;
+                }
+                let pr = Problem::new(p, k, 0, s).unwrap();
+                let applicable = hiranandani::applicable(&pr);
+                assert_eq!(applicable, s % pk < k);
+                let r = build(&pr, 0, Method::Hiranandani);
+                assert_eq!(r.is_ok(), applicable, "p={p} k={k} s={s}");
+            }
+        }
+    }
+}

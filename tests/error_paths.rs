@@ -1,0 +1,136 @@
+//! Failure-path coverage: every error variant is reachable, rendered, and
+//! the invariant checker actually rejects corrupted patterns.
+
+use bcag::core::aligned::{aligned_pattern, Alignment};
+use bcag::core::method::{build, Method};
+use bcag::core::pattern::{AccessPattern, CyclicPattern, Pattern};
+use bcag::{BcagError, Problem, RegularSection};
+
+#[test]
+fn every_constructor_error_is_reachable_and_displayed() {
+    let cases: Vec<(BcagError, &str)> = vec![
+        (Problem::new(0, 8, 0, 9).unwrap_err(), "processor count"),
+        (Problem::new(4, 0, 0, 9).unwrap_err(), "block size"),
+        (Problem::new(4, 8, 0, 0).unwrap_err(), "stride"),
+        (Problem::new(4, 8, -3, 9).unwrap_err(), "lower bound"),
+        (Problem::new(i64::MAX / 4, 4, 0, 9).unwrap_err(), "overflow"),
+        (
+            Problem::new(4, 8, 0, 9).unwrap().check_proc(7).unwrap_err(),
+            "out of range",
+        ),
+        (RegularSection::new(0, 5, 0).unwrap_err(), "stride"),
+        (Alignment::new(0, 0).unwrap_err(), "alignment"),
+        (
+            build(&Problem::new(4, 8, 0, 9).unwrap(), 0, Method::Hiranandani).unwrap_err(),
+            "precondition",
+        ),
+    ];
+    for (err, needle) in cases {
+        let msg = err.to_string().to_lowercase();
+        assert!(
+            msg.contains(needle),
+            "error display `{msg}` should mention `{needle}`"
+        );
+        // std::error::Error is implemented.
+        let _: &dyn std::error::Error = &err;
+    }
+}
+
+#[test]
+fn negative_stride_rejected_by_core_problem() {
+    let err = Problem::new(4, 8, 0, -9).unwrap_err();
+    assert!(matches!(err, BcagError::Precondition(_)));
+}
+
+#[test]
+fn build_rejects_bad_processor_for_all_methods() {
+    let pr = Problem::new(4, 8, 0, 9).unwrap();
+    for method in Method::GENERAL {
+        assert!(matches!(
+            build(&pr, 4, method),
+            Err(BcagError::ProcessorOutOfRange { m: 4, p: 4 })
+        ));
+        assert!(build(&pr, -1, method).is_err());
+    }
+}
+
+#[test]
+fn aligned_pattern_propagates_parameter_errors() {
+    let align = Alignment::new(2, 1).unwrap();
+    // Invalid p.
+    assert!(aligned_pattern(0, 8, align, 0, 9, 0, Method::Lattice).is_err());
+    // Invalid m.
+    assert!(aligned_pattern(4, 8, align, 0, 9, 9, Method::Lattice).is_err());
+}
+
+fn corrupted(base: &AccessPattern, f: impl FnOnce(&mut CyclicPattern)) -> AccessPattern {
+    let Pattern::Cyclic(c) = base.pattern() else { panic!("need cyclic") };
+    let mut c = c.clone();
+    f(&mut c);
+    AccessPattern::from_parts(*base.problem(), base.proc(), Pattern::Cyclic(c))
+}
+
+#[test]
+fn invariant_checker_rejects_corruptions() {
+    let pr = Problem::new(4, 8, 4, 9).unwrap();
+    let good = build(&pr, 1, Method::Lattice).unwrap();
+    good.check_invariants();
+
+    type Corruption = Box<dyn FnOnce(&mut CyclicPattern)>;
+    let corruptions: Vec<Corruption> = vec![
+        Box::new(|c| c.gaps[0] += 1),                   // breaks period sum
+        Box::new(|c| c.gaps[2] = -c.gaps[2]),           // negative gap
+        Box::new(|c| c.global_steps[1] += 9),           // breaks global period
+        Box::new(|c| c.start_global += 9),              // start on wrong processor? no — wrong local
+        Box::new(|c| c.start_local += 1),               // local address drift
+        Box::new(|c| {
+            c.gaps.swap(0, 1);                          // wrong order of gaps
+        }),
+    ];
+    for (i, f) in corruptions.into_iter().enumerate() {
+        let bad = corrupted(&good, f);
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            bad.check_invariants()
+        }));
+        assert!(outcome.is_err(), "corruption #{i} slipped through the checker");
+    }
+}
+
+#[test]
+fn overflow_guard_in_constructors() {
+    // s * p * k just over the MAX_INDEX bound must be rejected, just under
+    // must be accepted.
+    use bcag::core::params::MAX_INDEX;
+    let p = 1i64;
+    let k = 1i64;
+    assert!(Problem::new(p, k, 0, MAX_INDEX).is_ok());
+    assert!(Problem::new(p, k, 0, MAX_INDEX + 1).is_err());
+    // Large but valid parameters still enumerate correctly.
+    let pr = Problem::new(1024, 4096, 0, 1_000_003).unwrap();
+    let pat = build(&pr, 1023, Method::Lattice).unwrap();
+    pat.check_invariants();
+}
+
+#[test]
+fn section_accesses_error_paths() {
+    use bcag::hpf::{ArrayMap, DimMap, Dist};
+    let map = ArrayMap::new(vec![DimMap::simple(10, 2, Dist::Cyclic).unwrap()]).unwrap();
+    // Coordinate out of the grid.
+    assert!(map
+        .section_accesses(&[2], &[RegularSection::new(0, 9, 1).unwrap()], Method::Lattice)
+        .is_err());
+    // Bad index.
+    assert!(map.owner_coords(&[10]).is_err());
+    assert!(map.owner_coords(&[-1]).is_err());
+}
+
+#[test]
+fn comm_error_paths() {
+    use bcag::spmd::CommSchedule;
+    let sec_a = RegularSection::new(0, 9, 1).unwrap();
+    let sec_bad = RegularSection::new(0, 9, 2).unwrap();
+    assert!(CommSchedule::build(2, 4, &sec_a, 4, &sec_bad, Method::Lattice).is_err());
+    assert!(CommSchedule::build_lattice(2, 4, &sec_a, 4, &sec_bad).is_err());
+    let desc = RegularSection::new(9, 0, -1).unwrap();
+    assert!(CommSchedule::build(2, 4, &desc, 4, &desc, Method::Lattice).is_err());
+}

@@ -1,0 +1,56 @@
+//! Golden-file regression test: the AM tables for a fixed parameter grid,
+//! pinned as text. Guards against silent behavioral drift in any of the
+//! constructors (the equivalence tests would not notice if *all* methods
+//! drifted together; this file would).
+//!
+//! Regenerate after an intentional change with:
+//! `BLESS_GOLDEN=1 cargo test --test golden -- --nocapture`
+
+use bcag::core::method::{build, Method};
+use bcag::Problem;
+use std::fmt::Write as _;
+
+const GOLDEN_PATH: &str = "tests/golden_am_tables.txt";
+
+fn render_grid() -> String {
+    let mut out = String::new();
+    for (p, k) in [(2i64, 3i64), (4, 8), (3, 5), (8, 4)] {
+        for s in [1i64, 2, 7, 9, 15, 16, 31, 33] {
+            for l in [0i64, 4] {
+                let pr = Problem::new(p, k, l, s).unwrap();
+                for m in 0..p {
+                    let pat = build(&pr, m, Method::Lattice).unwrap();
+                    writeln!(
+                        out,
+                        "p={p} k={k} l={l} s={s} m={m} start={:?} AM={:?}",
+                        pat.start_global(),
+                        pat.gaps()
+                    )
+                    .unwrap();
+                }
+            }
+        }
+    }
+    out
+}
+
+#[test]
+fn am_tables_match_golden_file() {
+    let rendered = render_grid();
+    if std::env::var("BLESS_GOLDEN").is_ok() {
+        std::fs::write(GOLDEN_PATH, &rendered).expect("write golden file");
+        println!("blessed {GOLDEN_PATH} ({} lines)", rendered.lines().count());
+        return;
+    }
+    let golden = std::fs::read_to_string(GOLDEN_PATH)
+        .expect("golden file present (regenerate with BLESS_GOLDEN=1)");
+    // Line-by-line comparison for a readable failure.
+    for (no, (got, want)) in rendered.lines().zip(golden.lines()).enumerate() {
+        assert_eq!(got, want, "golden mismatch at line {}", no + 1);
+    }
+    assert_eq!(
+        rendered.lines().count(),
+        golden.lines().count(),
+        "golden file line count changed"
+    );
+}

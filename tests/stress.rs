@@ -1,0 +1,65 @@
+//! Heavyweight randomized stress tests, `#[ignore]`d by default.
+//! Run with: `cargo test --release --test stress -- --ignored`
+
+use bcag::core::hiranandani;
+use bcag::core::method::{build, Method};
+use bcag::core::walker::Walker;
+use bcag::Problem;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+#[test]
+#[ignore = "slow differential fuzzing; run explicitly"]
+fn heavy_differential_fuzz() {
+    let mut rng = StdRng::seed_from_u64(0xFE57);
+    for trial in 0..5_000 {
+        let p = rng.random_range(1..=64);
+        let k = rng.random_range(1..=512);
+        let s = rng.random_range(1..=8 * p * k);
+        let l = rng.random_range(0..=4 * s);
+        let pr = Problem::new(p, k, l, s).unwrap();
+        if pr.period_elements() > 500_000 {
+            continue;
+        }
+        let m = rng.random_range(0..p);
+        let reference = build(&pr, m, Method::Oracle).unwrap();
+        reference.check_invariants();
+        for method in [Method::Lattice, Method::SortingComparison, Method::SortingRadix] {
+            let pat = build(&pr, m, method).unwrap();
+            assert_eq!(pat, reference, "trial {trial}: {} p={p} k={k} l={l} s={s} m={m}", method.name());
+        }
+        if hiranandani::applicable(&pr) {
+            assert_eq!(build(&pr, m, Method::Hiranandani).unwrap(), reference);
+        }
+        // Walker spot check.
+        let via_walker: Vec<_> = Walker::new(&pr, m).unwrap().take(20).collect();
+        let via_table: Vec<_> = reference.iter().take(20).collect();
+        assert_eq!(via_walker, via_table);
+    }
+}
+
+#[test]
+#[ignore = "large-parameter torture; run explicitly"]
+fn extreme_parameters() {
+    // Near the representability limit: huge strides and many processors.
+    for (p, k, s) in [
+        (4096i64, 1024i64, 999_999_937i64),
+        (1i64, 65536i64, 3i64),
+        (65536i64, 1i64, 65537i64),
+        (512i64, 512i64, 262_143i64),
+    ] {
+        let pr = Problem::new(p, k, 0, s).unwrap();
+        for m in [0, p / 2, p - 1] {
+            let pat = build(&pr, m, Method::Lattice).unwrap();
+            // Structural sums only (the full invariant check scans skipped
+            // elements, which is too slow at this scale).
+            if !pat.is_empty() {
+                assert_eq!(pat.gaps().iter().sum::<i64>(), pr.period_local());
+                assert!(pat.gaps().iter().all(|&g| g > 0));
+                assert!(pat.len() as i64 <= k);
+            }
+            let srt = build(&pr, m, Method::SortingRadix).unwrap();
+            assert_eq!(pat, srt, "p={p} k={k} s={s} m={m}");
+        }
+    }
+}

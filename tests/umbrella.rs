@@ -1,0 +1,76 @@
+//! Smoke tests of the umbrella crate surface: the prelude and re-exports
+//! expose a coherent, usable API (what a downstream user first touches).
+
+use bcag::prelude::*;
+
+#[test]
+fn prelude_supports_the_basic_workflow() {
+    let problem = Problem::new(4, 8, 4, 9).unwrap();
+    let pattern = build(&problem, 1, Method::Lattice).unwrap();
+    assert_eq!(pattern.gaps(), &[3, 12, 15, 12, 3, 12, 3, 12]);
+
+    let lay = Layout::from_raw(4, 8);
+    assert_eq!(lay.owner(108), 1);
+
+    let sec = RegularSection::new(4, 301, 9).unwrap();
+    assert_eq!(sec.count(), 34);
+
+    let mut arr = DistArray::new(4, 8, 320, 0.0f64).unwrap();
+    bcag::spmd::assign_scalar(&mut arr, &sec, 1.0, Method::Lattice, CodeShape::SplitLoop)
+        .unwrap();
+    assert_eq!(arr.to_global().iter().filter(|&&x| x == 1.0).count(), 34);
+
+    let map = ArrayMap::new(vec![DimMap::simple(16, 2, Dist::CyclicK(2)).unwrap()]).unwrap();
+    assert_eq!(map.size(), 16);
+
+    let grid = ProcessorGrid::new(vec![2, 2]).unwrap();
+    assert_eq!(grid.size(), 4);
+
+    let machine = Machine::new(3);
+    assert_eq!(machine.run_collect(|m| m * 2), vec![0, 2, 4]);
+
+    let sched = CommSchedule::build_lattice(2, 4, &RegularSection::new(0, 9, 1).unwrap(), 2, &RegularSection::new(0, 9, 1).unwrap());
+    assert!(sched.is_ok());
+
+    let m2 = ArrayMap::new(vec![
+        DimMap::simple(8, 2, Dist::CyclicK(2)).unwrap(),
+        DimMap::simple(8, 2, Dist::CyclicK(2)).unwrap(),
+    ])
+    .unwrap();
+    let mat: DistMatrix<f64> = DistMatrix::new(m2, 0.0).unwrap();
+    assert_eq!(mat.extents(), (8, 8));
+}
+
+#[test]
+fn error_type_is_usable_with_question_mark() {
+    fn inner() -> Result<i64> {
+        let pr = Problem::new(4, 8, 0, 9)?;
+        let pat = build(&pr, 0, Method::Lattice)?;
+        Ok(pat.len() as i64)
+    }
+    assert_eq!(inner().unwrap(), 8);
+
+    fn failing() -> Result<()> {
+        Problem::new(0, 8, 0, 9)?;
+        Ok(())
+    }
+    assert!(matches!(failing(), Err(BcagError::InvalidProcessorCount { p: 0 })));
+}
+
+#[test]
+fn crate_aliases_resolve() {
+    // The namespaced paths work too.
+    let _ = bcag::core::numth::extended_euclid(9, 32);
+    let _ = bcag::hpf::Program::parse("PROCESSORS P(2)").unwrap();
+    let out = bcag::rt::Interp::run(
+        "PROCESSORS P(2)
+         TEMPLATE T(10)
+         REAL A(10)
+         ALIGN A(i) WITH T(i)
+         DISTRIBUTE T(BLOCK) ONTO P
+         INIT A CONST 3
+         PRINT SUM A(0:9:1)",
+    )
+    .unwrap();
+    assert_eq!(out[0], "SUM A(0:9:1) = 30");
+}
