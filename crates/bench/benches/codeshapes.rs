@@ -1,8 +1,8 @@
-//! Criterion confirmation of Table 2: per-processor traversal time for the
-//! four node-code shapes of Figure 8, on one processor's local memory
-//! (2,000 assigned elements per iteration so Criterion can sample densely).
+//! Confirmation of Table 2: per-processor traversal time for the four
+//! node-code shapes of Figure 8, on one processor's local memory (2,000
+//! assigned elements per iteration so the engine can sample densely).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bcag_harness::bench::Bench;
 
 use bcag_core::method::Method;
 use bcag_core::section::RegularSection;
@@ -10,7 +10,8 @@ use bcag_spmd::assign::plan_section;
 use bcag_spmd::codeshapes::{traverse, CodeShape};
 use bcag_spmd::darray::DistArray;
 
-fn bench_codeshapes(c: &mut Criterion) {
+fn main() {
+    let mut bench = Bench::from_env("codeshapes");
     let p = 32i64;
     let elems_per_proc = 2_000i64;
     for k in [4i64, 32, 256] {
@@ -26,24 +27,21 @@ fn bench_codeshapes(c: &mut Criterion) {
             let tables = plan.tables.clone().expect("tables");
             let local = arr.local_mut(m as i64);
 
-            let mut group = c.benchmark_group(format!("codeshapes_k{k}_s{s}"));
+            let mut group = bench.group(&format!("codeshapes_k{k}_s{s}"));
             for shape in CodeShape::ALL {
-                group.bench_with_input(
-                    BenchmarkId::new(shape.label(), elems_per_proc),
-                    &shape,
-                    |b, &shape| {
-                        b.iter(|| {
-                            traverse(shape, local, start, plan.last, &plan.delta_m, &tables, |x| {
-                                *x = 100.0
-                            })
-                        })
-                    },
-                );
+                group.bench(&format!("{}/{elems_per_proc}", shape.label()), || {
+                    traverse(
+                        shape,
+                        local,
+                        start,
+                        plan.last,
+                        &plan.delta_m,
+                        &tables,
+                        |x| *x = 100.0,
+                    )
+                });
             }
-            group.finish();
         }
     }
+    bench.finish();
 }
-
-criterion_group!(benches, bench_codeshapes);
-criterion_main!(benches);

@@ -6,35 +6,28 @@
 //! cycles. Sweep the section length at fixed layouts to expose the
 //! crossover.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
+
+use bcag_harness::bench::Bench;
 
 use bcag_core::method::Method;
 use bcag_core::section::RegularSection;
 use bcag_spmd::comm::CommSchedule;
 
-fn bench_schedules(c: &mut Criterion) {
+fn main() {
+    let mut bench = Bench::from_env("comm_schedule");
     let p = 8i64;
     let (k_a, k_b) = (8i64, 3i64);
-    let mut group = c.benchmark_group("comm_schedule");
+    let mut group = bench.group("comm_schedule");
     for count in [100i64, 1_000, 10_000] {
         let sec_a = RegularSection::new(2, 2 + (count - 1) * 4, 4).unwrap();
         let sec_b = RegularSection::new(1, 1 + (count - 1) * 4, 4).unwrap();
-        group.bench_with_input(BenchmarkId::new("enumerated", count), &count, |b, _| {
-            b.iter(|| {
-                black_box(
-                    CommSchedule::build(p, k_a, &sec_a, k_b, &sec_b, Method::Lattice).unwrap(),
-                )
-            })
+        group.bench(&format!("enumerated/{count}"), || {
+            black_box(CommSchedule::build(p, k_a, &sec_a, k_b, &sec_b, Method::Lattice).unwrap())
         });
-        group.bench_with_input(BenchmarkId::new("lattice-crt", count), &count, |b, _| {
-            b.iter(|| {
-                black_box(CommSchedule::build_lattice(p, k_a, &sec_a, k_b, &sec_b).unwrap())
-            })
+        group.bench(&format!("lattice-crt/{count}"), || {
+            black_box(CommSchedule::build_lattice(p, k_a, &sec_a, k_b, &sec_b).unwrap())
         });
     }
-    group.finish();
+    bench.finish();
 }
-
-criterion_group!(benches, bench_schedules);
-criterion_main!(benches);

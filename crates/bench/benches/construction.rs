@@ -1,35 +1,36 @@
-//! Criterion confirmation of Table 1: table-construction time vs `k` for
-//! the lattice method and the sorting baseline (`s = 7` and `s = 99`,
-//! `p = 32`, one processor's full construction per iteration).
+//! Confirmation of Table 1: table-construction time vs `k` for the lattice
+//! method and the sorting baseline (`s = 7` and `s = 99`, `p = 32`, one
+//! processor's full construction per iteration). Runs on the in-repo
+//! [`bcag_harness::bench`] engine; the JSON report is the source of the
+//! committed `BENCH_construction.json` perf-trajectory snapshot.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
+
+use bcag_harness::bench::Bench;
 
 use bcag_core::method::{build, Method};
 use bcag_core::params::Problem;
 
-fn bench_construction(c: &mut Criterion) {
+fn main() {
+    let mut bench = Bench::from_env("construction");
     let p = 32i64;
     for s_fixed in [7i64, 99] {
-        let mut group = c.benchmark_group(format!("construction_s{s_fixed}"));
+        let mut group = bench.group(&format!("construction_s{s_fixed}"));
         for k in [4i64, 16, 64, 256, 512] {
             let problem = Problem::new(p, k, 0, s_fixed).unwrap();
             let m = p - 1; // a representative processor, as in the paper's max
-            group.bench_with_input(BenchmarkId::new("lattice", k), &k, |b, _| {
-                b.iter(|| black_box(build(&problem, m, Method::Lattice).unwrap()))
+            group.bench(&format!("lattice/{k}"), || {
+                black_box(build(&problem, m, Method::Lattice).unwrap())
             });
-            group.bench_with_input(BenchmarkId::new("sorting", k), &k, |b, _| {
-                b.iter(|| black_box(build(&problem, m, Method::SortingAuto).unwrap()))
+            group.bench(&format!("sorting/{k}"), || {
+                black_box(build(&problem, m, Method::SortingAuto).unwrap())
             });
             if bcag_core::hiranandani::applicable(&problem) {
-                group.bench_with_input(BenchmarkId::new("hiranandani", k), &k, |b, _| {
-                    b.iter(|| black_box(build(&problem, m, Method::Hiranandani).unwrap()))
+                group.bench(&format!("hiranandani/{k}"), || {
+                    black_box(build(&problem, m, Method::Hiranandani).unwrap())
                 });
             }
         }
-        group.finish();
     }
+    bench.finish();
 }
-
-criterion_group!(benches, bench_construction);
-criterion_main!(benches);

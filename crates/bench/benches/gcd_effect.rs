@@ -5,33 +5,28 @@
 //! — but the lattice method's d-stepped loops benefit more than the
 //! baseline's sort. Sweep `d` at fixed `k = 256`, `p = 32`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
+
+use bcag_harness::bench::Bench;
 
 use bcag_core::method::{build, Method};
 use bcag_core::params::Problem;
 
-fn bench_gcd(c: &mut Criterion) {
+fn main() {
+    let mut bench = Bench::from_env("gcd_effect");
     let (p, k) = (32i64, 256i64);
-    let mut group = c.benchmark_group("gcd_effect_k256");
+    let mut group = bench.group("gcd_effect_k256");
     // Strides engineered for specific gcds with pk = 8192: gcd(3,8192)=1,
     // gcd(4,8192)=4, gcd(32,8192)=32, gcd(96,8192)=32, gcd(128,8192)=128.
     for s in [3i64, 4, 32, 96, 128] {
         let problem = Problem::new(p, k, 0, s).unwrap();
         let d = problem.d();
-        group.bench_with_input(
-            BenchmarkId::new("lattice", format!("s{s}_d{d}")),
-            &s,
-            |b, _| b.iter(|| black_box(build(&problem, 31, Method::Lattice).unwrap())),
-        );
-        group.bench_with_input(
-            BenchmarkId::new("sorting", format!("s{s}_d{d}")),
-            &s,
-            |b, _| b.iter(|| black_box(build(&problem, 31, Method::SortingAuto).unwrap())),
-        );
+        group.bench(&format!("lattice/s{s}_d{d}"), || {
+            black_box(build(&problem, 31, Method::Lattice).unwrap())
+        });
+        group.bench(&format!("sorting/s{s}_d{d}"), || {
+            black_box(build(&problem, 31, Method::SortingAuto).unwrap())
+        });
     }
-    group.finish();
+    bench.finish();
 }
-
-criterion_group!(benches, bench_gcd);
-criterion_main!(benches);

@@ -8,35 +8,34 @@
 //! sort reverse-sorted and already-sorted inputs (the paper's "perhaps
 //! unusual cases").
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
+
+use bcag_harness::bench::Bench;
 
 use bcag_core::method::{build, Method};
 use bcag_core::params::Problem;
 
-fn bench_sorts(c: &mut Criterion) {
+fn main() {
+    let mut bench = Bench::from_env("sorting_ablation");
     let p = 32i64;
     for (name, stride_of) in [
         ("s7", Box::new(|_k: i64| 7i64) as Box<dyn Fn(i64) -> i64>),
         ("pk-1", Box::new(move |k| p * k - 1)),
         ("pk+1", Box::new(move |k| p * k + 1)),
     ] {
-        let mut group = c.benchmark_group(format!("sorting_ablation_{name}"));
+        let mut group = bench.group(&format!("sorting_ablation_{name}"));
         for k in [64i64, 256, 512] {
             let problem = Problem::new(p, k, 0, stride_of(k)).unwrap();
-            group.bench_with_input(BenchmarkId::new("comparison", k), &k, |b, _| {
-                b.iter(|| black_box(build(&problem, 31, Method::SortingComparison).unwrap()))
+            group.bench(&format!("comparison/{k}"), || {
+                black_box(build(&problem, 31, Method::SortingComparison).unwrap())
             });
-            group.bench_with_input(BenchmarkId::new("radix", k), &k, |b, _| {
-                b.iter(|| black_box(build(&problem, 31, Method::SortingRadix).unwrap()))
+            group.bench(&format!("radix/{k}"), || {
+                black_box(build(&problem, 31, Method::SortingRadix).unwrap())
             });
-            group.bench_with_input(BenchmarkId::new("lattice", k), &k, |b, _| {
-                b.iter(|| black_box(build(&problem, 31, Method::Lattice).unwrap()))
+            group.bench(&format!("lattice/{k}"), || {
+                black_box(build(&problem, 31, Method::Lattice).unwrap())
             });
         }
-        group.finish();
     }
+    bench.finish();
 }
-
-criterion_group!(benches, bench_sorts);
-criterion_main!(benches);

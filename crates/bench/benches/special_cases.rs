@@ -2,34 +2,33 @@
 //! (paper §6.1: "several special cases ... can be handled more
 //! efficiently").
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
+
+use bcag_harness::bench::Bench;
 
 use bcag_core::method::{build, Method};
 use bcag_core::params::Problem;
 use bcag_core::special::{build_fast, classify};
 
-fn bench_special(c: &mut Criterion) {
+fn main() {
+    let mut bench = Bench::from_env("special_cases");
     let p = 32i64;
-    let mut group = c.benchmark_group("special_cases");
+    let mut group = bench.group("special_cases");
     // (k, s) pairs hitting each class.
     for (k, s) in [
-        (256i64, 1i64),  // Dense
-        (256, 4),        // IntraBlock (4 | 256)
-        (256, 8192),     // PeriodOnly (s = pk)
-        (256, 99),       // General (control)
+        (256i64, 1i64), // Dense
+        (256, 4),       // IntraBlock (4 | 256)
+        (256, 8192),    // PeriodOnly (s = pk)
+        (256, 99),      // General (control)
     ] {
         let problem = Problem::new(p, k, 0, s).unwrap();
         let label = format!("k{k}_s{s}_{:?}", classify(&problem));
-        group.bench_with_input(BenchmarkId::new("fast", &label), &(), |b, _| {
-            b.iter(|| black_box(build_fast(&problem, 31).unwrap()))
+        group.bench(&format!("fast/{label}"), || {
+            black_box(build_fast(&problem, 31).unwrap())
         });
-        group.bench_with_input(BenchmarkId::new("general", &label), &(), |b, _| {
-            b.iter(|| black_box(build(&problem, 31, Method::Lattice).unwrap()))
+        group.bench(&format!("general/{label}"), || {
+            black_box(build(&problem, 31, Method::Lattice).unwrap())
         });
     }
-    group.finish();
+    bench.finish();
 }
-
-criterion_group!(benches, bench_special);
-criterion_main!(benches);

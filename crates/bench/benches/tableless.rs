@@ -7,8 +7,9 @@
 //! access-ordered table loop (shape 8(b)) and the two-table loop (8(d)) on
 //! the same workload.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
+
+use bcag_harness::bench::Bench;
 
 use bcag_core::method::Method;
 use bcag_core::params::Problem;
@@ -18,7 +19,8 @@ use bcag_spmd::assign::plan_section;
 use bcag_spmd::codeshapes::{traverse_branch, traverse_two_table};
 use bcag_spmd::darray::DistArray;
 
-fn bench_tableless(c: &mut Criterion) {
+fn main() {
+    let mut bench = Bench::from_env("tableless");
     let p = 32i64;
     let elems_per_proc = 2_000i64;
     for (k, s) in [(32i64, 15i64), (256, 99)] {
@@ -34,33 +36,24 @@ fn bench_tableless(c: &mut Criterion) {
         let tables = plan.tables.clone().expect("tables");
         let local = arr.local_mut(m);
 
-        let mut group = c.benchmark_group(format!("tableless_k{k}_s{s}"));
-        group.bench_with_input(BenchmarkId::new("walker", "RL-only"), &(), |b, _| {
-            b.iter(|| {
-                // Generate and consume the local address stream with no
-                // stored tables (setup cost included, as a compiler would
-                // pay it once per loop nest).
-                let w = Walker::new(&problem, m).unwrap();
-                let mut acc = 0i64;
-                for a in w.up_to(u) {
-                    acc = acc.wrapping_add(black_box(a.local));
-                }
-                acc
-            })
+        let mut group = bench.group(&format!("tableless_k{k}_s{s}"));
+        group.bench("walker/RL-only", || {
+            // Generate and consume the local address stream with no
+            // stored tables (setup cost included, as a compiler would
+            // pay it once per loop nest).
+            let w = Walker::new(&problem, m).unwrap();
+            let mut acc = 0i64;
+            for a in w.up_to(u) {
+                acc = acc.wrapping_add(black_box(a.local));
+            }
+            acc
         });
-        group.bench_with_input(BenchmarkId::new("table", "8(b)"), &(), |b, _| {
-            b.iter(|| {
-                traverse_branch(local, start, plan.last, &plan.delta_m, |x| *x = 100.0)
-            })
+        group.bench("table/8(b)", || {
+            traverse_branch(local, start, plan.last, &plan.delta_m, |x| *x = 100.0)
         });
-        group.bench_with_input(BenchmarkId::new("two-table", "8(d)"), &(), |b, _| {
-            b.iter(|| {
-                traverse_two_table(local, start, plan.last, &tables, |x| *x = 100.0)
-            })
+        group.bench("two-table/8(d)", || {
+            traverse_two_table(local, start, plan.last, &tables, |x| *x = 100.0)
         });
-        group.finish();
     }
+    bench.finish();
 }
-
-criterion_group!(benches, bench_tableless);
-criterion_main!(benches);

@@ -34,7 +34,10 @@ fn main() {
     let p = 32i64;
 
     println!("== A1: sort choice inside the Chatterjee baseline (µs, proc 31) ==");
-    println!("{:>6} {:>10} | {:>10} {:>10} {:>10}", "k", "stride", "lattice", "cmp-sort", "radix");
+    println!(
+        "{:>6} {:>10} | {:>10} {:>10} {:>10}",
+        "k", "stride", "lattice", "cmp-sort", "radix"
+    );
     for k in [64i64, 256, 512] {
         for (label, s) in [("7", 7i64), ("pk-1", p * k - 1), ("pk+1", p * k + 1)] {
             let problem = Problem::new(p, k, 0, s).unwrap();
@@ -53,7 +56,10 @@ fn main() {
     }
 
     println!("\n== A2: table-free walker vs stored-table traversal (µs, 10k accesses) ==");
-    println!("{:>6} {:>6} | {:>12} {:>12}", "k", "s", "walker", "table-8(b)");
+    println!(
+        "{:>6} {:>6} | {:>12} {:>12}",
+        "k", "s", "walker", "table-8(b)"
+    );
     for (k, s) in [(32i64, 15i64), (256, 99)] {
         let accesses = 10_000i64;
         let u = s * accesses * p;
@@ -85,16 +91,29 @@ fn main() {
             }
             acc
         });
-        println!("{:>6} {:>6} | {:>12.1} {:>12.1}", k, s, as_micros(walker_t), as_micros(table_t));
+        println!(
+            "{:>6} {:>6} | {:>12.1} {:>12.1}",
+            k,
+            s,
+            as_micros(walker_t),
+            as_micros(table_t)
+        );
     }
 
     println!("\n== A3: effect of d = gcd(s, pk) at k=256 (µs, proc 31) ==");
-    println!("{:>8} {:>6} {:>8} | {:>10} {:>10}", "s", "d", "tbl len", "lattice", "sorting");
+    println!(
+        "{:>8} {:>6} {:>8} | {:>10} {:>10}",
+        "s", "d", "tbl len", "lattice", "sorting"
+    );
     for s in [3i64, 4, 32, 96, 128] {
         let problem = Problem::new(p, 256, 0, s).unwrap();
         let pat = build(&problem, 31, Method::Lattice).unwrap();
-        let lat = as_micros(best_of(reps, || build(&problem, 31, Method::Lattice).unwrap()));
-        let srt = as_micros(best_of(reps, || build(&problem, 31, Method::SortingAuto).unwrap()));
+        let lat = as_micros(best_of(reps, || {
+            build(&problem, 31, Method::Lattice).unwrap()
+        }));
+        let srt = as_micros(best_of(reps, || {
+            build(&problem, 31, Method::SortingAuto).unwrap()
+        }));
         println!(
             "{:>8} {:>6} {:>8} | {:>10.2} {:>10.2}",
             s,
@@ -109,14 +128,20 @@ fn main() {
     println!("{:>6} | {:>10} {:>10}", "p", "lattice", "sorting");
     for pp in [2i64, 8, 32, 128, 512] {
         let problem = Problem::new(pp, 64, 0, 7).unwrap();
-        let lat = as_micros(best_of(reps, || build(&problem, pp - 1, Method::Lattice).unwrap()));
-        let srt =
-            as_micros(best_of(reps, || build(&problem, pp - 1, Method::SortingAuto).unwrap()));
+        let lat = as_micros(best_of(reps, || {
+            build(&problem, pp - 1, Method::Lattice).unwrap()
+        }));
+        let srt = as_micros(best_of(reps, || {
+            build(&problem, pp - 1, Method::SortingAuto).unwrap()
+        }));
         println!("{:>6} | {:>10.2} {:>10.2}", pp, lat, srt);
     }
 
     println!("\n== A6: enumeration schemes (µs, 10k accesses; §7 related work) ==");
-    println!("{:>6} {:>6} | {:>12} {:>14} {:>13}", "k", "s", "lattice", "virt-cyclic", "virt-block");
+    println!(
+        "{:>6} {:>6} | {:>12} {:>14} {:>13}",
+        "k", "s", "lattice", "virt-cyclic", "virt-block"
+    );
     for (k, s) in [(32i64, 15i64), (256, 99)] {
         use bcag_core::virtual_views::{lattice_order, virtual_block, virtual_cyclic};
         let problem = Problem::new(p, k, 0, s).unwrap();
@@ -126,11 +151,17 @@ fn main() {
         let lat = as_micros(best_of(r, || lattice_order(&problem, m, u).unwrap()));
         let vc = as_micros(best_of(r, || virtual_cyclic(&problem, m, u).unwrap()));
         let vb = as_micros(best_of(r, || virtual_block(&problem, m, u).unwrap()));
-        println!("{:>6} {:>6} | {:>12.1} {:>14.1} {:>13.1}", k, s, lat, vc, vb);
+        println!(
+            "{:>6} {:>6} | {:>12.1} {:>14.1} {:>13.1}",
+            k, s, lat, vc, vb
+        );
     }
 
     println!("\n== A4: comm schedule, enumeration vs lattice/CRT (µs) ==");
-    println!("{:>10} | {:>12} {:>12}", "elements", "enumerated", "lattice-crt");
+    println!(
+        "{:>10} | {:>12} {:>12}",
+        "elements", "enumerated", "lattice-crt"
+    );
     for count in [100i64, 1_000, 10_000, 100_000] {
         let pp = 8i64;
         let sec_a = RegularSection::new(2, 2 + (count - 1) * 4, 4).unwrap();
@@ -139,8 +170,9 @@ fn main() {
         let enumerated: Duration = best_of(r, || {
             CommSchedule::build(pp, 8, &sec_a, 3, &sec_b, Method::Lattice).unwrap()
         });
-        let lattice: Duration =
-            best_of(r, || CommSchedule::build_lattice(pp, 8, &sec_a, 3, &sec_b).unwrap());
+        let lattice: Duration = best_of(r, || {
+            CommSchedule::build_lattice(pp, 8, &sec_a, 3, &sec_b).unwrap()
+        });
         println!(
             "{:>10} | {:>12.1} {:>12.1}",
             count,

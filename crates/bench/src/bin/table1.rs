@@ -52,7 +52,9 @@ fn main() {
         table1::print_table(p, &rows);
         println!();
         println!("Paper (iPSC/860) for comparison, s=7 column, k=4..512:");
-        println!("  Lattice: 48 58 60 83 122 183 332 614   Sorting: 56 82 138 286 775 1384 2708 5550");
+        println!(
+            "  Lattice: 48 58 60 83 122 183 332 614   Sorting: 56 82 138 286 775 1384 2708 5550"
+        );
     }
 }
 

@@ -99,8 +99,7 @@ pub fn run(p: i64, ks: &[i64], reps: usize) -> Vec<Row> {
                 .iter()
                 .map(|spec| {
                     let s = spec.stride(p, k);
-                    let lattice =
-                        as_micros(measure_construction(p, k, s, Method::Lattice, reps));
+                    let lattice = as_micros(measure_construction(p, k, s, Method::Lattice, reps));
                     let sorting =
                         as_micros(measure_construction(p, k, s, Method::SortingAuto, reps));
                     (lattice, sorting)

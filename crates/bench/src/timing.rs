@@ -68,7 +68,11 @@ mod tests {
 
     #[test]
     fn max_over_procs_picks_max() {
-        let times = [Duration::from_micros(3), Duration::from_micros(9), Duration::from_micros(1)];
+        let times = [
+            Duration::from_micros(3),
+            Duration::from_micros(9),
+            Duration::from_micros(1),
+        ];
         assert_eq!(max_over_procs(&times), Duration::from_micros(9));
         assert_eq!(max_over_procs(&[]), Duration::ZERO);
     }

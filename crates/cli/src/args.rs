@@ -18,7 +18,10 @@ impl Flags {
                 return Err(format!("expected a --flag, got `{arg}`"));
             };
             if !allowed.contains(&name) {
-                return Err(format!("unknown flag `--{name}` (allowed: {})", allowed.join(", ")));
+                return Err(format!(
+                    "unknown flag `--{name}` (allowed: {})",
+                    allowed.join(", ")
+                ));
             }
             let Some(value) = it.next() else {
                 return Err(format!("flag `--{name}` needs a value"));
@@ -41,7 +44,9 @@ impl Flags {
     pub fn opt_i64(&self, name: &str, default: i64) -> Result<i64, String> {
         match self.map.get(name) {
             None => Ok(default),
-            Some(v) => v.parse().map_err(|_| format!("flag `--{name}` must be an integer")),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("flag `--{name}` must be an integer")),
         }
     }
 

@@ -42,7 +42,11 @@ pub fn table(argv: &[String]) -> i32 {
             -1 => (0..p).collect(),
             m => vec![m],
         };
-        println!("p={p} k={k} l={l} s={s} d={}, method={}", problem.d(), method.name());
+        println!(
+            "p={p} k={k} l={l} s={s} d={}, method={}",
+            problem.d(),
+            method.name()
+        );
         for m in procs {
             let pat = build(&problem, m, method).map_err(|e| e.to_string())?;
             match pat.start_global() {
@@ -137,7 +141,9 @@ pub fn run_script(argv: &[String]) -> i32 {
         Err(e) => return fail(&e),
     };
     let run = || -> Result<(), String> {
-        let file = flags.opt_str("file").ok_or("missing required flag `--file`")?;
+        let file = flags
+            .opt_str("file")
+            .ok_or("missing required flag `--file`")?;
         let src = std::fs::read_to_string(file).map_err(|e| format!("{file}: {e}"))?;
         let out = bcag_rt::Interp::run(&src).map_err(|e| e.to_string())?;
         for line in out {
@@ -217,8 +223,11 @@ pub fn verify(argv: &[String]) -> i32 {
             }
             for m in 0..p {
                 let reference = build(&problem, m, Method::Oracle).map_err(|e| e.to_string())?;
-                for method in [Method::Lattice, Method::SortingComparison, Method::SortingRadix]
-                {
+                for method in [
+                    Method::Lattice,
+                    Method::SortingComparison,
+                    Method::SortingRadix,
+                ] {
                     let pat = build(&problem, m, method).map_err(|e| e.to_string())?;
                     if pat != reference {
                         return Err(format!(
@@ -246,7 +255,9 @@ pub fn hpf(argv: &[String]) -> i32 {
         Err(e) => return fail(&e),
     };
     let run = || -> Result<(), String> {
-        let file = flags.opt_str("file").ok_or("missing required flag `--file`")?;
+        let file = flags
+            .opt_str("file")
+            .ok_or("missing required flag `--file`")?;
         let section = flags
             .opt_str("section")
             .ok_or("missing required flag `--section` (e.g. \"A(4:301:9)\")")?;
@@ -262,7 +273,10 @@ pub fn hpf(argv: &[String]) -> i32 {
             "array {name}: rank {}, grid {:?}, block sizes {:?}",
             map.rank(),
             map.grid().extents(),
-            map.dims().iter().map(|d| d.block_size()).collect::<Vec<_>>()
+            map.dims()
+                .iter()
+                .map(|d| d.block_size())
+                .collect::<Vec<_>>()
         );
         for rank in procs {
             let coords = map.grid().delinearize(rank).map_err(|e| e.to_string())?;
@@ -300,7 +314,10 @@ pub fn plan(argv: &[String]) -> i32 {
         let s = flags.req_i64("s")?;
         let section = RegularSection::new(l, u, s).map_err(|e| e.to_string())?;
         let plans = plan_section(p, k, &section, Method::Lattice).map_err(|e| e.to_string())?;
-        println!("section {l}:{u}:{s} over p={p} k={k} ({} elements)", section.count());
+        println!(
+            "section {l}:{u}:{s} over p={p} k={k} ({} elements)",
+            section.count()
+        );
         for (m, plan) in plans.iter().enumerate() {
             match plan.start {
                 None => println!("proc {m}: idle"),

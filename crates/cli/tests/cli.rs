@@ -17,20 +17,35 @@ fn bcag(args: &[&str]) -> (String, String, i32) {
 
 #[test]
 fn table_reproduces_the_worked_example() {
-    let (stdout, _, code) = bcag(&["table", "--p", "4", "--k", "8", "--l", "4", "--s", "9", "--m", "1"]);
+    let (stdout, _, code) = bcag(&[
+        "table", "--p", "4", "--k", "8", "--l", "4", "--s", "9", "--m", "1",
+    ]);
     assert_eq!(code, 0);
     assert!(stdout.contains("start global=13 local=5"), "{stdout}");
-    assert!(stdout.contains("AM=[3, 12, 15, 12, 3, 12, 3, 12]"), "{stdout}");
+    assert!(
+        stdout.contains("AM=[3, 12, 15, 12, 3, 12, 3, 12]"),
+        "{stdout}"
+    );
 }
 
 #[test]
 fn table_all_processors_and_methods() {
-    for method in ["lattice", "sorting", "sorting-cmp", "sorting-radix", "oracle"] {
-        let (stdout, _, code) =
-            bcag(&["table", "--p", "4", "--k", "8", "--l", "4", "--s", "9", "--method", method]);
+    for method in [
+        "lattice",
+        "sorting",
+        "sorting-cmp",
+        "sorting-radix",
+        "oracle",
+    ] {
+        let (stdout, _, code) = bcag(&[
+            "table", "--p", "4", "--k", "8", "--l", "4", "--s", "9", "--method", method,
+        ]);
         assert_eq!(code, 0, "method {method}");
         assert_eq!(stdout.lines().filter(|l| l.starts_with("proc ")).count(), 4);
-        assert!(stdout.contains("proc 1: start global=13"), "{method}: {stdout}");
+        assert!(
+            stdout.contains("proc 1: start global=13"),
+            "{method}: {stdout}"
+        );
     }
 }
 
@@ -44,8 +59,9 @@ fn basis_prints_r_and_l() {
 
 #[test]
 fn layout_renders_section() {
-    let (stdout, _, code) =
-        bcag(&["layout", "--p", "4", "--k", "8", "--l", "0", "--s", "9", "--rows", "3"]);
+    let (stdout, _, code) = bcag(&[
+        "layout", "--p", "4", "--k", "8", "--l", "0", "--s", "9", "--rows", "3",
+    ]);
     assert_eq!(code, 0);
     assert!(stdout.contains("(0)"));
     assert!(stdout.contains("[9]"));
@@ -59,7 +75,10 @@ fn codegen_emits_c() {
     ]);
     assert_eq!(code, 0);
     assert!(stdout.contains("void node_m1(double *A)"), "{stdout}");
-    assert!(stdout.contains("deltaM[8] = { 3, 12, 15, 12, 3, 12, 3, 12 }"), "{stdout}");
+    assert!(
+        stdout.contains("deltaM[8] = { 3, 12, 15, 12, 3, 12, 3, 12 }"),
+        "{stdout}"
+    );
 }
 
 #[test]
@@ -88,7 +107,10 @@ fn run_executes_a_script() {
     let (stdout, _, code) = bcag(&["run", "--file", path.to_str().unwrap()]);
     assert_eq!(code, 0);
     assert!(stdout.contains("SUM A(0:9:1) = 45"), "{stdout}");
-    assert!(stdout.contains("AM=[3, 12, 15, 12, 3, 12, 3, 12]"), "{stdout}");
+    assert!(
+        stdout.contains("AM=[3, 12, 15, 12, 3, 12, 3, 12]"),
+        "{stdout}"
+    );
 }
 
 #[test]
@@ -110,7 +132,9 @@ fn bad_input_fails_with_diagnostics() {
 fn help_lists_subcommands() {
     let (stdout, _, code) = bcag(&["help"]);
     assert_eq!(code, 0);
-    for sub in ["table", "layout", "visits", "basis", "plan", "hpf", "codegen", "verify", "run"] {
+    for sub in [
+        "table", "layout", "visits", "basis", "plan", "hpf", "codegen", "verify", "run",
+    ] {
         assert!(stdout.contains(sub), "help missing `{sub}`");
     }
 }

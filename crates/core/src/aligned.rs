@@ -106,7 +106,11 @@ pub fn aligned_pattern(
 
     let c = match template.pattern() {
         Pattern::Empty => {
-            return Ok(AlignedPattern { template, start_packed: None, packed_gaps: vec![] })
+            return Ok(AlignedPattern {
+                template,
+                start_packed: None,
+                packed_gaps: vec![],
+            })
         }
         Pattern::Cyclic(c) => c.clone(),
     };
@@ -127,7 +131,11 @@ pub fn aligned_pattern(
         cell = next_cell;
         r = next_r;
     }
-    Ok(AlignedPattern { template, start_packed: Some(start_packed), packed_gaps })
+    Ok(AlignedPattern {
+        template,
+        start_packed: Some(start_packed),
+        packed_gaps,
+    })
 }
 
 #[cfg(test)]
@@ -155,7 +163,8 @@ mod tests {
             .take_while(|&c| c <= max_cell)
             .filter(|&c| lay.owner(c) == m)
             .collect();
-        let rank_of = |cell: i64| storage.binary_search(&cell).expect("access must be stored") as i64;
+        let rank_of =
+            |cell: i64| storage.binary_search(&cell).expect("access must be stored") as i64;
         (0..)
             .map(|t| align.cell(l + t * s))
             .take_while(|&c| c <= max_cell)
@@ -166,7 +175,9 @@ mod tests {
     }
 
     fn enumerate_packed(pat: &AlignedPattern, n: usize) -> Vec<i64> {
-        let Some(start) = pat.start_packed else { return vec![] };
+        let Some(start) = pat.start_packed else {
+            return vec![];
+        };
         let mut out = vec![start];
         let mut r = start;
         for t in 0..n.saturating_sub(1) {
@@ -181,8 +192,7 @@ mod tests {
         // With a = 1, b = 0 the packed address *is* the local address.
         let pr = Problem::new(4, 8, 4, 9).unwrap();
         let core = crate::lattice_alg::build(&pr, 1).unwrap();
-        let alp =
-            aligned_pattern(4, 8, Alignment::IDENTITY, 4, 9, 1, Method::Lattice).unwrap();
+        let alp = aligned_pattern(4, 8, Alignment::IDENTITY, 4, 9, 1, Method::Lattice).unwrap();
         assert_eq!(alp.start_packed, core.start_local());
         assert_eq!(alp.packed_gaps, core.gaps());
     }
@@ -194,8 +204,7 @@ mod tests {
             for (p, k) in [(2i64, 4i64), (4, 8), (3, 5)] {
                 for (l, s) in [(0i64, 1i64), (0, 3), (2, 7), (1, 9)] {
                     for m in 0..p {
-                        let alp = aligned_pattern(p, k, align, l, s, m, Method::Lattice)
-                            .unwrap();
+                        let alp = aligned_pattern(p, k, align, l, s, m, Method::Lattice).unwrap();
                         let n = 12usize;
                         let got = enumerate_packed(&alp, n);
                         let expect = brute_packed(p, k, align, l, s, m, n);

@@ -98,7 +98,11 @@ impl Basis {
         debug_assert!(min < i64::MAX);
         // Lines 28–30: coordinates. R from the minimum; L from the maximum
         // relative to the next cycle's first point (index pk/d at (0, s/d)).
-        let r = LatticePoint { b: mod_floor(min, pk), a: min / pk, i: min / s };
+        let r = LatticePoint {
+            b: mod_floor(min, pk),
+            a: min / pk,
+            i: min / s,
+        };
         let l = LatticePoint {
             b: mod_floor(max, pk),
             a: max / pk - s / d,
@@ -148,7 +152,10 @@ mod tests {
                             assert!(b.l.b > 0 && b.l.b < k);
                         }
                         Err(_) => {
-                            assert!(pr.d() >= k, "basis should exist when d < k (p={p} k={k} s={s})");
+                            assert!(
+                                pr.d() >= k,
+                                "basis should exist when d < k (p={p} k={k} s={s})"
+                            );
                         }
                     }
                 }

@@ -39,7 +39,10 @@ fn fmt_table(name: &str, values: &[i64]) -> String {
         .map(|v| v.to_string())
         .collect::<Vec<_>>()
         .join(", ");
-    format!("static const long {name}[{}] = {{ {body} }};\n", values.len())
+    format!(
+        "static const long {name}[{}] = {{ {body} }};\n",
+        values.len()
+    )
 }
 
 /// Emits a complete C function `void node_m<M>(double *A)` executing
@@ -60,7 +63,9 @@ pub fn emit_c(
         return Err(BcagError::Precondition("processor owns no section element"));
     };
     let Some(last_g) = last_location(problem, m, u)? else {
-        return Err(BcagError::Precondition("no owned element within the upper bound"));
+        return Err(BcagError::Precondition(
+            "no owned element within the upper bound",
+        ));
     };
     let last = lay.local_addr(last_g);
     let length = pattern.len();
@@ -141,8 +146,12 @@ pub fn interpret(
     shape: Shape,
 ) -> Result<Vec<i64>> {
     let lay = Layout::new(problem);
-    let Some(start) = pattern.start_local() else { return Ok(vec![]) };
-    let Some(last_g) = last_location(problem, m, u)? else { return Ok(vec![]) };
+    let Some(start) = pattern.start_local() else {
+        return Ok(vec![]);
+    };
+    let Some(last_g) = last_location(problem, m, u)? else {
+        return Ok(vec![]);
+    };
     let last = lay.local_addr(last_g);
     let gaps = pattern.gaps();
     let mut visited = Vec::new();
@@ -209,13 +218,20 @@ void node_m1(double *A) {
         let c = emit_c(&pr, 1, 301, &pat, Shape::TwoTableLoop, "100.0").unwrap();
         assert!(c.contains("static const long deltaM[8]"));
         assert!(c.contains("static const long nextoffset[8]"));
-        assert!(c.contains("int i = 5;"), "start offset = start mod k = 13 mod 8");
+        assert!(
+            c.contains("int i = 5;"),
+            "start offset = start mod k = 13 mod 8"
+        );
         assert!(c.contains("i = nextoffset[i];"));
     }
 
     #[test]
     fn all_shapes_emit_and_interpret_identically() {
-        for (p, k, l, s, u) in [(4i64, 8i64, 4i64, 9i64, 301i64), (3, 4, 0, 7, 150), (2, 16, 5, 3, 200)] {
+        for (p, k, l, s, u) in [
+            (4i64, 8i64, 4i64, 9i64, 301i64),
+            (3, 4, 0, 7, 150),
+            (2, 16, 5, 3, 200),
+        ] {
             let pr = Problem::new(p, k, l, s).unwrap();
             for m in 0..p {
                 let pat = lattice_alg::build(&pr, m).unwrap();
@@ -223,7 +239,12 @@ void node_m1(double *A) {
                     continue;
                 }
                 let expect = pat.locals_to(u);
-                for shape in [Shape::ModLoop, Shape::BranchLoop, Shape::SplitLoop, Shape::TwoTableLoop] {
+                for shape in [
+                    Shape::ModLoop,
+                    Shape::BranchLoop,
+                    Shape::SplitLoop,
+                    Shape::TwoTableLoop,
+                ] {
                     if expect.is_empty() {
                         assert!(emit_c(&pr, m, u, &pat, shape, "0.0").is_err());
                         continue;

@@ -46,7 +46,10 @@ impl DescendingWalker {
             gaps: vec![1],
             global_steps: vec![1],
             idx: 0,
-            pos: Access { global: 0, local: 0 },
+            pos: Access {
+                global: 0,
+                local: 0,
+            },
             remaining: 0,
         };
         let Some(ra) = RandomAccess::new(&pat) else {
@@ -56,7 +59,9 @@ impl DescendingWalker {
             return Ok(empty);
         };
         let count = count_owned(problem, m, u)?;
-        let rank = ra.rank_of_global(last_g).expect("last location is an access");
+        let rank = ra
+            .rank_of_global(last_g)
+            .expect("last location is an access");
         let last = ra.nth(rank);
         let len = pat.len();
         Ok(DescendingWalker {
@@ -102,7 +107,11 @@ impl Iterator for DescendingWalker {
         if self.remaining > 0 {
             self.pos.global -= self.global_steps[self.idx];
             self.pos.local -= self.gaps[self.idx];
-            self.idx = if self.idx == 0 { self.gaps.len() - 1 } else { self.idx - 1 };
+            self.idx = if self.idx == 0 {
+                self.gaps.len() - 1
+            } else {
+                self.idx - 1
+            };
         }
         Some(out)
     }
@@ -165,7 +174,10 @@ mod tests {
                 .unwrap()
                 .map(|a| a.global)
                 .collect();
-            assert!(globals.windows(2).all(|w| w[0] > w[1]), "m={m}: {globals:?}");
+            assert!(
+                globals.windows(2).all(|w| w[0] > w[1]),
+                "m={m}: {globals:?}"
+            );
         }
     }
 

@@ -52,7 +52,11 @@ impl Fsm {
         let mut states = Vec::with_capacity(n);
         let mut local = c.start_local;
         for (t, &gap) in c.gaps.iter().enumerate() {
-            states.push(State { offset: local % k, gap, next: (t + 1) % n });
+            states.push(State {
+                offset: local % k,
+                gap,
+                next: (t + 1) % n,
+            });
             local += gap;
         }
         Some(Fsm { states, start: 0 })

@@ -64,7 +64,10 @@ pub fn build(problem: &Problem, m: i64) -> Result<AccessPattern> {
     let k = problem.k();
     let s = problem.s();
     let sp = s % pk; // in-row advance per element; 1 <= sp < k here
-    debug_assert!(sp >= 1, "sp == 0 implies d = pk >= k, handled as length <= 1");
+    debug_assert!(
+        sp >= 1,
+        "sp == 0 implies d = pk >= k, handled as length <= 1"
+    );
     let km = k * m;
     let window_end = km + k;
 
@@ -96,7 +99,12 @@ pub fn build(problem: &Problem, m: i64) -> Result<AccessPattern> {
         o = o1;
     }
 
-    let c = CyclicPattern { start_global, start_local, gaps, global_steps };
+    let c = CyclicPattern {
+        start_global,
+        start_local,
+        gaps,
+        global_steps,
+    };
     Ok(AccessPattern::from_parts(*problem, m, Pattern::Cyclic(c)))
 }
 

@@ -47,12 +47,20 @@ impl LatticePoint {
     /// Componentwise addition; indices add as well (lattices are closed
     /// under addition of points).
     pub fn add(&self, other: &LatticePoint) -> LatticePoint {
-        LatticePoint { b: self.b + other.b, a: self.a + other.a, i: self.i + other.i }
+        LatticePoint {
+            b: self.b + other.b,
+            a: self.a + other.a,
+            i: self.i + other.i,
+        }
     }
 
     /// Componentwise subtraction.
     pub fn sub(&self, other: &LatticePoint) -> LatticePoint {
-        LatticePoint { b: self.b - other.b, a: self.a - other.a, i: self.i - other.i }
+        LatticePoint {
+            b: self.b - other.b,
+            a: self.a - other.a,
+            i: self.i - other.i,
+        }
     }
 
     /// True when no other lattice point lies strictly between the origin and
@@ -74,7 +82,10 @@ pub struct SectionLattice {
 impl SectionLattice {
     /// Builds the lattice for a validated problem.
     pub fn new(problem: &Problem) -> Self {
-        SectionLattice { pk: problem.row_len(), s: problem.s() }
+        SectionLattice {
+            pk: problem.row_len(),
+            s: problem.s(),
+        }
     }
 
     /// Row length `pk`.
@@ -107,7 +118,11 @@ impl SectionLattice {
     pub fn membership(&self, b: i64, a: i64) -> Option<LatticePoint> {
         let v = (self.pk as i128) * (a as i128) + b as i128;
         if v.rem_euclid(self.s as i128) == 0 {
-            Some(LatticePoint { b, a, i: (v / self.s as i128) as i64 })
+            Some(LatticePoint {
+                b,
+                a,
+                i: (v / self.s as i128) as i64,
+            })
         } else {
             None
         }
@@ -140,7 +155,11 @@ impl SectionLattice {
                 x.checked_sub(pa)
             })
             .ok_or(BcagError::Overflow)?;
-        let v2 = LatticePoint { b: b2, a: a2, i: i2 };
+        let v2 = LatticePoint {
+            b: b2,
+            a: a2,
+            i: i2,
+        };
         debug_assert!(self.is_basis(&v1, &v2));
         Ok((v1, v2))
     }

@@ -97,7 +97,12 @@ pub fn build(problem: &Problem, m: i64) -> Result<AccessPattern> {
         global_steps.push(step);
     }
 
-    let c = CyclicPattern { start_global, start_local, gaps, global_steps };
+    let c = CyclicPattern {
+        start_global,
+        start_local,
+        gaps,
+        global_steps,
+    };
     Ok(AccessPattern::from_parts(*problem, m, Pattern::Cyclic(c)))
 }
 

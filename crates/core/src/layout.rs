@@ -43,7 +43,10 @@ pub struct Layout {
 impl Layout {
     /// Builds a layout from validated problem parameters.
     pub fn new(problem: &Problem) -> Self {
-        Layout { p: problem.p(), k: problem.k() }
+        Layout {
+            p: problem.p(),
+            k: problem.k(),
+        }
     }
 
     /// Builds a layout directly from `(p, k)`; both must be positive

@@ -97,7 +97,12 @@ mod tests {
 
     #[test]
     fn nth_matches_iteration() {
-        for (p, k, l, s) in [(4i64, 8i64, 4i64, 9i64), (3, 5, 0, 7), (2, 16, 11, 37), (5, 2, 1, 6)] {
+        for (p, k, l, s) in [
+            (4i64, 8i64, 4i64, 9i64),
+            (3, 5, 0, 7),
+            (2, 16, 11, 37),
+            (5, 2, 1, 6),
+        ] {
             let pr = Problem::new(p, k, l, s).unwrap();
             for m in 0..p {
                 let pat = lattice_alg::build(&pr, m).unwrap();

@@ -44,9 +44,17 @@ pub fn extended_euclid(a: i64, b: i64) -> ExtendedGcd {
         (old_y, y) = (y, old_y - q * y);
     }
     if old_r < 0 {
-        ExtendedGcd { d: -old_r, x: -old_x, y: -old_y }
+        ExtendedGcd {
+            d: -old_r,
+            x: -old_x,
+            y: -old_y,
+        }
     } else {
-        ExtendedGcd { d: old_r, x: old_x, y: old_y }
+        ExtendedGcd {
+            d: old_r,
+            x: old_x,
+            y: old_y,
+        }
     }
 }
 

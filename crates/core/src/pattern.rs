@@ -50,7 +50,11 @@ impl AccessPattern {
     /// ([`crate::lattice_alg`], [`crate::sorting_alg`],
     /// [`crate::hiranandani`], [`crate::oracle`]).
     pub fn from_parts(problem: Problem, m: i64, pattern: Pattern) -> Self {
-        AccessPattern { problem, m, pattern }
+        AccessPattern {
+            problem,
+            m,
+            pattern,
+        }
     }
 
     /// The validated problem parameters this pattern answers.
@@ -111,7 +115,10 @@ impl AccessPattern {
     /// Iterates `(global_index, local_address)` pairs in access order,
     /// without an upper bound (infinite for non-empty patterns).
     pub fn iter(&self) -> PatternIter<'_> {
-        PatternIter { pattern: self, state: self.initial_state() }
+        PatternIter {
+            pattern: self,
+            state: self.initial_state(),
+        }
     }
 
     /// Iterates accesses whose global index is `<= u`.
@@ -140,7 +147,11 @@ impl AccessPattern {
     fn initial_state(&self) -> Option<IterState> {
         match &self.pattern {
             Pattern::Empty => None,
-            Pattern::Cyclic(c) => Some(IterState { global: c.start_global, local: c.start_local, idx: 0 }),
+            Pattern::Cyclic(c) => Some(IterState {
+                global: c.start_global,
+                local: c.start_local,
+                idx: 0,
+            }),
         }
     }
 
@@ -166,8 +177,15 @@ impl AccessPattern {
         assert!(!c.gaps.is_empty());
         assert!(c.gaps.len() as i64 <= pr.k(), "cycle length exceeds k");
         assert!(c.gaps.iter().all(|&g| g > 0), "non-positive gap");
-        assert!(c.global_steps.iter().all(|&g| g > 0), "non-positive global step");
-        assert_eq!(c.gaps.iter().sum::<i64>(), pr.period_local(), "gap cycle sum");
+        assert!(
+            c.global_steps.iter().all(|&g| g > 0),
+            "non-positive global step"
+        );
+        assert_eq!(
+            c.gaps.iter().sum::<i64>(),
+            pr.period_local(),
+            "gap cycle sum"
+        );
         assert_eq!(
             c.global_steps.iter().sum::<i64>(),
             pr.period_global(),
@@ -177,7 +195,11 @@ impl AccessPattern {
         assert_eq!(lay.owner(c.start_global), self.m);
         assert_eq!(lay.local_addr(c.start_global), c.start_local);
         assert!(c.start_global >= pr.l());
-        assert_eq!((c.start_global - pr.l()) % pr.s(), 0, "start not on section");
+        assert_eq!(
+            (c.start_global - pr.l()) % pr.s(),
+            0,
+            "start not on section"
+        );
         let mut prev = c.start_global;
         for acc in self.iter().take(2 * c.gaps.len() + 1).skip(1) {
             assert_eq!(lay.owner(acc.global), self.m, "access not owned");
@@ -222,7 +244,10 @@ impl Iterator for PatternIter<'_> {
 
     fn next(&mut self) -> Option<Access> {
         let st = self.state.as_mut()?;
-        let out = Access { global: st.global, local: st.local };
+        let out = Access {
+            global: st.global,
+            local: st.local,
+        };
         if let Pattern::Cyclic(c) = &self.pattern.pattern {
             st.local += c.gaps[st.idx];
             st.global += c.global_steps[st.idx];

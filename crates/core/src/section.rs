@@ -111,13 +111,31 @@ impl RegularSection {
     pub fn normalized(&self) -> NormalizedSection {
         let count = self.count();
         if count == 0 {
-            return NormalizedSection { lo: self.l, hi: self.l, step: self.s.abs(), count: 0, reversed: self.s < 0 };
+            return NormalizedSection {
+                lo: self.l,
+                hi: self.l,
+                step: self.s.abs(),
+                count: 0,
+                reversed: self.s < 0,
+            };
         }
         let last = self.l + (count - 1) * self.s;
         if self.s > 0 {
-            NormalizedSection { lo: self.l, hi: last, step: self.s, count, reversed: false }
+            NormalizedSection {
+                lo: self.l,
+                hi: last,
+                step: self.s,
+                count,
+                reversed: false,
+            }
         } else {
-            NormalizedSection { lo: last, hi: self.l, step: -self.s, count, reversed: true }
+            NormalizedSection {
+                lo: last,
+                hi: self.l,
+                step: -self.s,
+                count,
+                reversed: true,
+            }
         }
     }
 }
@@ -153,12 +171,22 @@ mod tests {
 
     #[test]
     fn contains_matches_iteration() {
-        for &(l, u, s) in &[(0i64, 100i64, 7i64), (3, 90, 9), (90, 3, -9), (50, 50, 1), (10, 9, 3)] {
+        for &(l, u, s) in &[
+            (0i64, 100i64, 7i64),
+            (3, 90, 9),
+            (90, 3, -9),
+            (50, 50, 1),
+            (10, 9, 3),
+        ] {
             let sec = RegularSection::new(l, u, s).unwrap();
             let elems: Vec<i64> = sec.iter().collect();
             assert_eq!(elems.len() as i64, sec.count());
             for i in 0..=120 {
-                assert_eq!(sec.contains(i), elems.contains(&i), "l={l} u={u} s={s} i={i}");
+                assert_eq!(
+                    sec.contains(i),
+                    elems.contains(&i),
+                    "l={l} u={u} s={s} i={i}"
+                );
             }
         }
     }

@@ -85,7 +85,12 @@ pub fn build(problem: &Problem, m: i64, sort: SortKind) -> Result<AccessPattern>
         global_steps.push(next_g - locs[t]);
     }
 
-    let c = CyclicPattern { start_global, start_local, gaps, global_steps };
+    let c = CyclicPattern {
+        start_global,
+        start_local,
+        gaps,
+        global_steps,
+    };
     Ok(AccessPattern::from_parts(*problem, m, Pattern::Cyclic(c)))
 }
 
@@ -142,7 +147,9 @@ mod tests {
         for s in [7i64, 99, 31, 33] {
             let pr = Problem::new(8, 4, 0, s).unwrap();
             for m in 0..8 {
-                build(&pr, m, SortKind::Comparison).unwrap().check_invariants();
+                build(&pr, m, SortKind::Comparison)
+                    .unwrap()
+                    .check_invariants();
             }
         }
     }

@@ -108,7 +108,7 @@ fn build_intra_block(problem: &Problem, m: i64) -> AccessPattern {
     let length = (k / s) as usize;
     let entry = lay.block_offset(g); // block offset of the start access
     let r = entry % s; // residue class of all accesses
-    // In-row successors of the start before the course hop:
+                       // In-row successors of the start before the course hop:
     let within = ((r + k - s) - entry) / s;
     let gaps = vec![s; length];
     let mut global_steps = vec![s; length];
@@ -150,7 +150,8 @@ mod tests {
                             let fast = build_fast(&pr, m).unwrap();
                             let slow = lattice_alg::build(&pr, m).unwrap();
                             assert_eq!(
-                                fast, slow,
+                                fast,
+                                slow,
                                 "p={p} k={k} s={s} l={l} m={m} case={:?}",
                                 classify(&pr)
                             );

@@ -46,7 +46,13 @@ impl ClassSolver {
     /// constants.
     pub fn new(problem: &Problem) -> Self {
         let g = numth::extended_euclid(problem.s(), problem.row_len());
-        ClassSolver { g, pk: problem.row_len(), s: problem.s(), l: problem.l(), k: problem.k() }
+        ClassSolver {
+            g,
+            pk: problem.row_len(),
+            s: problem.s(),
+            l: problem.l(),
+            k: problem.k(),
+        }
     }
 
     /// `d = gcd(s, pk)`.
@@ -104,7 +110,10 @@ pub fn start_info_with(solver: &ClassSolver, m: i64) -> StartInfo {
         start = start.min(loc);
         length += 1;
     }
-    StartInfo { start: (length > 0).then_some(start), length }
+    StartInfo {
+        start: (length > 0).then_some(start),
+        length,
+    }
 }
 
 /// Global index of the last section element `<= u` owned by processor `m`,
@@ -245,7 +254,8 @@ mod tests {
                                     .map(|j| l + s * j)
                                     .take_while(|&g| g <= u)
                                     .filter(|&g| lay.owner(g) == m)
-                                    .count() as i64;
+                                    .count()
+                                    as i64;
                                 assert_eq!(cnt, expect_cnt);
                             }
                         }

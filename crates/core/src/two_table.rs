@@ -116,7 +116,12 @@ impl TwoTable {
             let mut next_offset = vec![0i64; k as usize];
             delta_m[start_offset as usize] = problem.period_local();
             next_offset[start_offset as usize] = start_offset;
-            return Ok(Some(TwoTable { delta_m, next_offset, start_offset, length: 1 }));
+            return Ok(Some(TwoTable {
+                delta_m,
+                next_offset,
+                start_offset,
+                length: 1,
+            }));
         }
         let basis = Basis::compute_with(problem, &solver)?;
         let (b_r, gap_r) = (basis.r.b, basis.gap_r(k));
@@ -150,7 +155,12 @@ impl TwoTable {
             emitted += 1;
         }
         // Close the cycle: the final entry's successor is the start state.
-        Ok(Some(TwoTable { delta_m, next_offset, start_offset, length }))
+        Ok(Some(TwoTable {
+            delta_m,
+            next_offset,
+            start_offset,
+            length,
+        }))
     }
 
     /// Enumerates local addresses starting from `start_local` while they are
@@ -189,7 +199,12 @@ mod tests {
 
     #[test]
     fn traversal_equals_pattern_iteration() {
-        for (p, k, l, s) in [(4i64, 8i64, 4i64, 9i64), (3, 4, 0, 7), (2, 16, 5, 35), (5, 3, 1, 11)] {
+        for (p, k, l, s) in [
+            (4i64, 8i64, 4i64, 9i64),
+            (3, 4, 0, 7),
+            (2, 16, 5, 35),
+            (5, 3, 1, 11),
+        ] {
             let pr = Problem::new(p, k, l, s).unwrap();
             for m in 0..p {
                 let pat = lattice_alg::build(&pr, m).unwrap();
@@ -202,10 +217,7 @@ mod tests {
                 if expect.is_empty() {
                     continue;
                 }
-                let got = tt.locals_from(
-                    pat.start_local().unwrap(),
-                    *expect.last().unwrap(),
-                );
+                let got = tt.locals_from(pat.start_local().unwrap(), *expect.last().unwrap());
                 assert_eq!(got, expect, "p={p} k={k} l={l} s={s} m={m}");
             }
         }
@@ -267,7 +279,9 @@ mod tests {
         let pr = Problem::new(8, 16, 3, 37).unwrap();
         for m in 0..8 {
             let pat = lattice_alg::build(&pr, m).unwrap();
-            let Some(tt) = TwoTable::from_pattern(&pat) else { continue };
+            let Some(tt) = TwoTable::from_pattern(&pat) else {
+                continue;
+            };
             let mut seen = [false; 16];
             let mut off = tt.start_offset;
             for _ in 0..tt.length {

@@ -42,7 +42,10 @@ pub fn virtual_cyclic(problem: &Problem, m: i64, u: i64) -> Result<Vec<Access>> 
     for first in firsts {
         let mut g = first;
         while g <= u {
-            out.push(Access { global: g, local: lay.local_addr(g) });
+            out.push(Access {
+                global: g,
+                local: lay.local_addr(g),
+            });
             g += period;
         }
     }
@@ -79,7 +82,10 @@ pub fn virtual_block(problem: &Problem, m: i64, u: i64) -> Result<Vec<Access>> {
                 + i64::from((block_lo - l).max(0).rem_euclid(s) != 0);
             let mut g = l + s * j0;
             while g <= block_hi {
-                out.push(Access { global: g, local: lay.local_addr(g) });
+                out.push(Access {
+                    global: g,
+                    local: lay.local_addr(g),
+                });
                 g += s;
             }
         }
@@ -106,7 +112,12 @@ mod tests {
 
     #[test]
     fn all_views_agree_on_the_access_set() {
-        for (p, k, l, s) in [(4i64, 8i64, 4i64, 9i64), (3, 4, 0, 7), (2, 16, 3, 5), (4, 2, 1, 11)] {
+        for (p, k, l, s) in [
+            (4i64, 8i64, 4i64, 9i64),
+            (3, 4, 0, 7),
+            (2, 16, 3, 5),
+            (4, 2, 1, 11),
+        ] {
             let pr = setup(p, k, l, s);
             let u = l + 40 * s;
             for m in 0..p {
@@ -128,7 +139,10 @@ mod tests {
         let vc = virtual_cyclic(&pr, 1, u).unwrap();
         let vb = virtual_block(&pr, 1, u).unwrap();
         let is_sorted = |v: &[Access]| v.windows(2).all(|w| w[0].global < w[1].global);
-        assert!(is_sorted(&vb), "virtual-block visits in increasing index order");
+        assert!(
+            is_sorted(&vb),
+            "virtual-block visits in increasing index order"
+        );
         assert!(!is_sorted(&vc), "virtual-cyclic order is offset-major here");
         // Within each offset class, virtual-cyclic is increasing.
         let lay = crate::layout::Layout::new(&pr);

@@ -214,7 +214,10 @@ mod tests {
         assert!(pic.contains("(4)"), "lower bound");
         assert!(pic.contains("<13>"), "start visited");
         assert!(pic.contains("<40>"));
-        assert!(pic.contains("[22]"), "section element not on proc 1 stays boxed");
+        assert!(
+            pic.contains("[22]"),
+            "section element not on proc 1 stays boxed"
+        );
     }
 
     #[test]

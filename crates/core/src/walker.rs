@@ -76,7 +76,10 @@ impl Walker {
         let solver = ClassSolver::new(problem);
         let info = start_info_with(&solver, m);
         let Some(start) = info.start else {
-            return Ok(Walker { mode: Mode::Periodic { gap: 0, step: 0 }, pos: None });
+            return Ok(Walker {
+                mode: Mode::Periodic { gap: 0, step: 0 },
+                pos: None,
+            });
         };
         let lay = Layout::new(problem);
         let pos = Position {
@@ -122,13 +125,25 @@ impl Iterator for Walker {
 
     fn next(&mut self) -> Option<Access> {
         let pos = self.pos.as_mut()?;
-        let out = Access { global: pos.global, local: pos.local };
+        let out = Access {
+            global: pos.global,
+            local: pos.local,
+        };
         match self.mode {
             Mode::Periodic { gap, step } => {
                 pos.local += gap;
                 pos.global += step;
             }
-            Mode::Basis { b_r, gap_r, step_r, b_l, gap_l, step_l, km, window_end } => {
+            Mode::Basis {
+                b_r,
+                gap_r,
+                step_r,
+                b_l,
+                gap_l,
+                step_l,
+                km,
+                window_end,
+            } => {
                 // The test of Figure 5 line 35: does +R stay in the window?
                 if pos.offset + b_r < window_end {
                     pos.offset += b_r;
@@ -169,10 +184,7 @@ mod tests {
                             let from_table: Vec<Access> = pat.iter().take(40).collect();
                             let from_walker: Vec<Access> =
                                 Walker::new(&pr, m).unwrap().take(40).collect();
-                            assert_eq!(
-                                from_table, from_walker,
-                                "p={p} k={k} s={s} l={l} m={m}"
-                            );
+                            assert_eq!(from_table, from_walker, "p={p} k={k} s={s} l={l} m={m}");
                         }
                     }
                 }
@@ -200,8 +212,26 @@ mod tests {
         let pr = Problem::new(4, 8, 0, 32).unwrap();
         let w = Walker::new(&pr, 0).unwrap();
         let accesses: Vec<Access> = w.take(3).collect();
-        assert_eq!(accesses[0], Access { global: 0, local: 0 });
-        assert_eq!(accesses[1], Access { global: 32, local: 8 });
-        assert_eq!(accesses[2], Access { global: 64, local: 16 });
+        assert_eq!(
+            accesses[0],
+            Access {
+                global: 0,
+                local: 0
+            }
+        );
+        assert_eq!(
+            accesses[1],
+            Access {
+                global: 32,
+                local: 8
+            }
+        );
+        assert_eq!(
+            accesses[2],
+            Access {
+                global: 64,
+                local: 16
+            }
+        );
     }
 }

@@ -1,0 +1,419 @@
+//! Benchmark engine: warmup, calibrated iteration counts, median/MAD/min
+//! statistics, and machine-readable JSON reports.
+//!
+//! The measurement discipline, per benchmark:
+//!
+//! 1. **Warmup** — run the closure until the warmup budget elapses (warms
+//!    caches, branch predictors, and the allocator, and yields a first
+//!    per-iteration estimate);
+//! 2. **Calibration** — size the per-sample batch so one sample spans the
+//!    sample-time budget (timer quantization becomes negligible);
+//! 3. **Sampling** — collect N batch timings; each sample is the batch
+//!    time divided by the batch size;
+//! 4. **Statistics** — report median (location), MAD (spread) and min
+//!    (noise floor) via [`crate::stats::Summary`].
+//!
+//! Every result also lands in a JSON report (`--json <path>`, default
+//! `target/bcag-bench/<bench>.json`) — the `BENCH_*.json` files tracking
+//! the perf trajectory across PRs are snapshots of these reports.
+//!
+//! Accepted CLI flags (unknown flags are ignored with a warning, so the
+//! arguments `cargo bench` forwards never break a run): `--quick`,
+//! `--json <path>`, `--filter <substr>`, `--samples <n>`,
+//! `--warmup-ms <n>`, `--sample-ms <n>`.
+
+use std::hint::black_box;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+use crate::json::Json;
+use crate::stats::Summary;
+
+/// Engine configuration (usually parsed from the command line by
+/// [`Bench::from_env`]).
+#[derive(Debug, Clone)]
+pub struct Options {
+    /// Drastically shorter budgets for smoke runs (`--quick`).
+    pub quick: bool,
+    /// JSON report destination; `None` selects the default path.
+    pub json_path: Option<PathBuf>,
+    /// Only run benchmarks whose `group/name` contains this substring.
+    pub filter: Option<String>,
+    /// Samples per measurement.
+    pub samples: usize,
+    /// Warmup budget per measurement.
+    pub warmup: Duration,
+    /// Target duration of one sample batch.
+    pub sample_time: Duration,
+}
+
+impl Default for Options {
+    fn default() -> Options {
+        Options {
+            quick: false,
+            json_path: None,
+            filter: None,
+            samples: 30,
+            warmup: Duration::from_millis(60),
+            sample_time: Duration::from_millis(5),
+        }
+    }
+}
+
+impl Options {
+    /// The `--quick` profile: enough to smoke-test every target in CI,
+    /// not enough for publishable numbers.
+    pub fn quick() -> Options {
+        Options {
+            quick: true,
+            samples: 9,
+            warmup: Duration::from_millis(3),
+            sample_time: Duration::from_micros(500),
+            ..Options::default()
+        }
+    }
+}
+
+/// One finished measurement.
+#[derive(Debug, Clone)]
+pub struct Record {
+    /// Benchmark group (e.g. `construction_s7`).
+    pub group: String,
+    /// Benchmark id within the group (e.g. `lattice/4`).
+    pub name: String,
+    /// Batch size used per sample.
+    pub iters_per_sample: u64,
+    /// Per-iteration nanosecond statistics.
+    pub summary: Summary,
+}
+
+/// A benchmark run: a named collection of groups, printed as a table and
+/// written to JSON by [`Bench::finish`].
+pub struct Bench {
+    name: String,
+    opts: Options,
+    results: Vec<Record>,
+}
+
+impl Bench {
+    /// A run with explicit options (tests use this; binaries use
+    /// [`Bench::from_env`]).
+    pub fn new(name: &str, opts: Options) -> Bench {
+        Bench {
+            name: name.to_string(),
+            opts,
+            results: Vec::new(),
+        }
+    }
+
+    /// A run configured from `std::env::args`.
+    pub fn from_env(name: &str) -> Bench {
+        let mut args = std::env::args().skip(1);
+        let mut opts = Options::default();
+        let mut overrides: Vec<Box<dyn FnOnce(&mut Options)>> = Vec::new();
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--quick" => {
+                    let o = Options::quick();
+                    opts = Options {
+                        json_path: opts.json_path,
+                        filter: opts.filter,
+                        ..o
+                    };
+                }
+                "--json" => {
+                    opts.json_path = Some(PathBuf::from(value_for(args.next(), "--json")));
+                }
+                "--filter" => {
+                    opts.filter = Some(value_for(args.next(), "--filter"));
+                }
+                "--samples" => {
+                    let n = parse_num(args.next(), "--samples");
+                    overrides.push(Box::new(move |o| o.samples = n.max(1) as usize));
+                }
+                "--warmup-ms" => {
+                    let n = parse_num(args.next(), "--warmup-ms");
+                    overrides.push(Box::new(move |o| o.warmup = Duration::from_millis(n)));
+                }
+                "--sample-ms" => {
+                    let n = parse_num(args.next(), "--sample-ms");
+                    overrides.push(Box::new(move |o| o.sample_time = Duration::from_millis(n)));
+                }
+                other => {
+                    // `cargo bench` forwards flags like `--bench`; benign.
+                    if other != "--bench" {
+                        eprintln!("bcag-bench: ignoring unknown argument {other:?}");
+                    }
+                }
+            }
+        }
+        for f in overrides {
+            f(&mut opts);
+        }
+        eprintln!(
+            "bcag-bench '{name}': {} samples x ~{:?} per measurement{}",
+            opts.samples,
+            opts.sample_time,
+            if opts.quick { " (--quick)" } else { "" }
+        );
+        Bench::new(name, opts)
+    }
+
+    /// Opens a named group; benchmarks registered on it share the prefix.
+    pub fn group(&mut self, group: &str) -> Group<'_> {
+        Group {
+            bench: self,
+            group: group.to_string(),
+        }
+    }
+
+    /// Results accumulated so far (tests and custom reporters).
+    pub fn results(&self) -> &[Record] {
+        &self.results
+    }
+
+    fn measure<R>(&mut self, group: &str, id: &str, mut f: impl FnMut() -> R) {
+        let full = format!("{group}/{id}");
+        if let Some(filter) = &self.opts.filter {
+            if !full.contains(filter.as_str()) {
+                return;
+            }
+        }
+        // Warmup, counting iterations for the calibration estimate.
+        let warmup_start = Instant::now();
+        let mut warmup_iters: u64 = 0;
+        loop {
+            black_box(f());
+            warmup_iters += 1;
+            if warmup_start.elapsed() >= self.opts.warmup {
+                break;
+            }
+        }
+        let per_iter_estimate = warmup_start.elapsed().as_nanos() as f64 / warmup_iters as f64;
+        // Calibrated batch size: one sample spans ~sample_time.
+        let iters = ((self.opts.sample_time.as_nanos() as f64 / per_iter_estimate.max(1.0)).ceil()
+            as u64)
+            .max(1);
+        let mut samples = Vec::with_capacity(self.opts.samples);
+        for _ in 0..self.opts.samples {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            samples.push(t0.elapsed().as_nanos() as f64 / iters as f64);
+        }
+        let summary = Summary::from_samples(&samples);
+        println!(
+            "{full:<44} median {:>10}  (MAD {}, min {}) x{iters}",
+            fmt_ns(summary.median),
+            fmt_ns(summary.mad),
+            fmt_ns(summary.min),
+        );
+        self.results.push(Record {
+            group: group.to_string(),
+            name: id.to_string(),
+            iters_per_sample: iters,
+            summary,
+        });
+    }
+
+    /// Prints the closing line and writes the JSON report. Returns the
+    /// report path.
+    pub fn finish(self) -> PathBuf {
+        let path = self
+            .opts
+            .json_path
+            .clone()
+            .unwrap_or_else(|| default_report_dir().join(format!("{}.json", self.name)));
+        if let Some(dir) = path.parent() {
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                panic!("cannot create report directory {}: {e}", dir.display());
+            }
+        }
+        let report = self.to_json().to_pretty_string();
+        if let Err(e) = std::fs::write(&path, report) {
+            panic!("cannot write report {}: {e}", path.display());
+        }
+        println!(
+            "bcag-bench '{}': {} measurements -> {}",
+            self.name,
+            self.results.len(),
+            path.display()
+        );
+        path
+    }
+
+    /// The machine-readable report (schema `bcag-bench/v1`).
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("schema", Json::Str("bcag-bench/v1".into())),
+            ("bench", Json::Str(self.name.clone())),
+            ("quick", Json::Bool(self.opts.quick)),
+            (
+                "results",
+                Json::Arr(
+                    self.results
+                        .iter()
+                        .map(|r| {
+                            Json::obj(vec![
+                                ("group", Json::Str(r.group.clone())),
+                                ("name", Json::Str(r.name.clone())),
+                                ("iters_per_sample", Json::Int(r.iters_per_sample as i64)),
+                                ("samples", Json::Int(r.summary.n as i64)),
+                                ("min_ns", Json::Num(r.summary.min)),
+                                ("median_ns", Json::Num(r.summary.median)),
+                                ("mad_ns", Json::Num(r.summary.mad)),
+                                ("mean_ns", Json::Num(r.summary.mean)),
+                                ("max_ns", Json::Num(r.summary.max)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+/// Default report directory: `<cargo target dir>/bcag-bench`.
+///
+/// `cargo bench`/`cargo test` set the working directory to the *package*
+/// root, not the workspace root, so a cwd-relative `target/` would scatter
+/// reports across member crates. Resolve against `CARGO_TARGET_DIR` when
+/// set, else locate the shared target directory from the executable path
+/// (`<target>/<profile>/deps/<bin>`), else fall back to cwd-relative.
+fn default_report_dir() -> PathBuf {
+    if let Ok(dir) = std::env::var("CARGO_TARGET_DIR") {
+        return PathBuf::from(dir).join("bcag-bench");
+    }
+    if let Ok(exe) = std::env::current_exe() {
+        for dir in exe.ancestors().skip(1) {
+            if dir.file_name().is_some_and(|n| n == "target") {
+                return dir.join("bcag-bench");
+            }
+        }
+    }
+    PathBuf::from("target/bcag-bench")
+}
+
+/// A group handle; see [`Bench::group`].
+pub struct Group<'a> {
+    bench: &'a mut Bench,
+    group: String,
+}
+
+impl Group<'_> {
+    /// Measures `f` under this group as `id`. The closure's return value
+    /// is passed through [`black_box`] so the work cannot be optimized
+    /// away.
+    pub fn bench<R>(&mut self, id: &str, f: impl FnMut() -> R) -> &mut Self {
+        let group = self.group.clone();
+        self.bench.measure(&group, id, f);
+        self
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// A flag's value operand. Rejects a following `--…` token instead of
+/// consuming it: `cargo bench` appends `--bench` to the argument list, so
+/// a trailing valueless `--json` would otherwise silently swallow it and
+/// write the report to a file literally named `--bench`.
+fn value_for(arg: Option<String>, flag: &str) -> String {
+    match arg {
+        Some(v) if !v.starts_with("--") => v,
+        _ => fail(&format!("{flag} needs a value")),
+    }
+}
+
+fn parse_num(arg: Option<String>, flag: &str) -> u64 {
+    arg.and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| fail(&format!("{flag} needs a number")))
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("bcag-bench: {msg}");
+    std::process::exit(2);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_opts() -> Options {
+        Options {
+            quick: true,
+            samples: 5,
+            warmup: Duration::from_micros(200),
+            sample_time: Duration::from_micros(100),
+            ..Options::default()
+        }
+    }
+
+    #[test]
+    fn measures_and_records() {
+        let mut b = Bench::new("selftest", tiny_opts());
+        b.group("g").bench("sum", || (0..100).sum::<u64>());
+        assert_eq!(b.results().len(), 1);
+        let r = &b.results()[0];
+        assert_eq!((r.group.as_str(), r.name.as_str()), ("g", "sum"));
+        assert!(r.iters_per_sample >= 1);
+        assert_eq!(r.summary.n, 5);
+        assert!(r.summary.min > 0.0);
+        assert!(r.summary.min <= r.summary.median && r.summary.median <= r.summary.max);
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let mut opts = tiny_opts();
+        opts.filter = Some("wanted".into());
+        let mut b = Bench::new("selftest", opts);
+        b.group("g")
+            .bench("wanted_case", || 1 + 1)
+            .bench("other", || 2 + 2);
+        assert_eq!(b.results().len(), 1);
+        assert_eq!(b.results()[0].name, "wanted_case");
+    }
+
+    #[test]
+    fn json_report_shape() {
+        let mut b = Bench::new("selftest", tiny_opts());
+        b.group("g").bench("a", || 0u64);
+        let json = b.to_json().to_string();
+        for key in [
+            "\"schema\":\"bcag-bench/v1\"",
+            "\"bench\":\"selftest\"",
+            "\"group\":\"g\"",
+            "\"median_ns\":",
+            "\"mad_ns\":",
+            "\"min_ns\":",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+    }
+
+    #[test]
+    fn finish_writes_report_file() {
+        let mut b = Bench::new("selftest-finish", tiny_opts());
+        let path = std::env::temp_dir()
+            .join("bcag-harness-test")
+            .join("report.json");
+        let _ = std::fs::remove_file(&path);
+        b.opts.json_path = Some(path.clone());
+        b.group("g").bench("a", || 0u64);
+        let written = b.finish();
+        assert_eq!(written, path);
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(content.starts_with("{\n"));
+        assert!(content.contains("\"bench\": \"selftest-finish\""));
+    }
+}

@@ -1,0 +1,33 @@
+//! # bcag-harness — the hermetic dev/test/bench toolkit
+//!
+//! Every crate in this workspace builds, tests and benchmarks with **zero
+//! registry dependencies** (the build environment has no network access).
+//! This crate supplies the three pieces that previously came from
+//! `rand`, `proptest` and `criterion`:
+//!
+//! * [`rng`] — a deterministic, seedable PRNG (SplitMix64 seeding a
+//!   xoshiro256++ core) with range / bool / shuffle / choice helpers;
+//! * [`prop`] — a minimal property-testing framework: composable
+//!   generators, configurable case counts, failure-case shrinking by
+//!   halving, and failing-seed reporting (reproduce any failure with
+//!   `BCAG_PROPTEST_SEED=<seed>`);
+//! * [`bench`] — a measurement engine with warmup, calibrated iteration
+//!   counts, median/MAD/min statistics and machine-readable JSON reports
+//!   (the `BENCH_*.json` perf-trajectory files), built on [`stats`] and
+//!   [`json`].
+//!
+//! The modules are dependency-free and intentionally small; they implement
+//! the subset of the replaced crates this workspace actually uses, with
+//! reproducibility (fixed default seeds, no wall-clock in the JSON) as the
+//! design priority.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod bench;
+pub mod json;
+pub mod prop;
+pub mod rng;
+pub mod stats;
+
+pub use rng::Rng;

@@ -1,0 +1,621 @@
+//! Minimal property-based testing: composable generators, configurable
+//! case counts, failure shrinking by halving, and seed reporting.
+//!
+//! ## Model
+//!
+//! A property is a plain closure over a generated value that **panics on
+//! violation** (ordinary `assert!`/`assert_eq!`/`unwrap` work unchanged);
+//! [`assume`] discards a case that does not satisfy a precondition. A
+//! [`Gen`] couples generation with an optional *shrinker*: given a failing
+//! value, `shrink` proposes simpler candidates (integers halve toward
+//! their lower bound), and the runner greedily re-tests candidates until
+//! none fail, reporting the minimal failure it reached.
+//!
+//! ## Reproducibility
+//!
+//! Every case runs from its own 64-bit seed, derived by a SplitMix64 chain
+//! from the run seed. On failure the report names the failing case's seed;
+//! re-running with `BCAG_PROPTEST_SEED=<that seed>` makes it case 0 of the
+//! new run, so the identical input is regenerated immediately.
+//! `BCAG_PROPTEST_CASES` overrides the per-property case count.
+
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::Mutex;
+
+use crate::rng::{mix_seed, Rng};
+
+// ---------------------------------------------------------------------------
+// Generators
+// ---------------------------------------------------------------------------
+
+/// A value generator with an optional shrinker.
+pub trait Gen {
+    /// The generated type.
+    type Value: Clone + std::fmt::Debug;
+
+    /// Draws one value from `rng`.
+    fn generate(&self, rng: &mut Rng) -> Self::Value;
+
+    /// Proposes strictly simpler candidates for a failing `value`, most
+    /// aggressive first. Candidates must themselves be valid generator
+    /// outputs (the runner re-tests them blindly). Default: no shrinking.
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+        let _ = value;
+        Vec::new()
+    }
+}
+
+/// Halving shrink schedule for an integer: the full ladder from `target`
+/// back toward `v` (`target`, halfway, three-quarters, ..., one step away).
+/// The runner accepts the first candidate that still fails, so the ladder
+/// makes the descent a binary search on the boundary — O(log) accepted
+/// steps — and the final one-step candidate guarantees local minimality.
+pub fn shrink_toward(v: i64, target: i64) -> Vec<i64> {
+    if v == target {
+        return Vec::new();
+    }
+    let mut out = vec![target];
+    let mut delta = (v - target) / 2;
+    while delta != 0 {
+        let cand = v - delta;
+        if cand != *out.last().expect("nonempty") {
+            out.push(cand);
+        }
+        delta /= 2;
+    }
+    out
+}
+
+/// Uniform integer in `[lo, hi]`, shrinking toward `lo`.
+#[derive(Debug, Clone, Copy)]
+pub struct IntRange {
+    lo: i64,
+    hi: i64,
+}
+
+impl IntRange {
+    /// Inclusive range `[lo, hi]`.
+    pub fn new(lo: i64, hi: i64) -> IntRange {
+        assert!(lo <= hi, "IntRange: empty range {lo}..={hi}");
+        IntRange { lo, hi }
+    }
+}
+
+/// Shorthand for [`IntRange::new`]: `ints(0, 63)`.
+pub fn ints(lo: i64, hi: i64) -> IntRange {
+    IntRange::new(lo, hi)
+}
+
+impl Gen for IntRange {
+    type Value = i64;
+
+    fn generate(&self, rng: &mut Rng) -> i64 {
+        rng.random_range(self.lo..=self.hi)
+    }
+
+    fn shrink(&self, &value: &i64) -> Vec<i64> {
+        shrink_toward(value, self.lo)
+            .into_iter()
+            .filter(|&c| c >= self.lo && c <= self.hi)
+            .collect()
+    }
+}
+
+/// Generator from a closure (no shrinking; implement [`Gen`] directly when
+/// a dependent-range generator needs a custom shrinker).
+pub fn from_fn<T, F>(f: F) -> FromFn<F>
+where
+    T: Clone + std::fmt::Debug,
+    F: Fn(&mut Rng) -> T,
+{
+    FromFn(f)
+}
+
+/// See [`from_fn`].
+pub struct FromFn<F>(F);
+
+impl<T, F> Gen for FromFn<F>
+where
+    T: Clone + std::fmt::Debug,
+    F: Fn(&mut Rng) -> T,
+{
+    type Value = T;
+
+    fn generate(&self, rng: &mut Rng) -> T {
+        (self.0)(rng)
+    }
+}
+
+macro_rules! tuple_gen {
+    ($($G:ident / $idx:tt),+) => {
+        impl<$($G: Gen),+> Gen for ($($G,)+) {
+            type Value = ($($G::Value,)+);
+
+            fn generate(&self, rng: &mut Rng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+
+            // One component at a time, the others held fixed.
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                let mut out = Vec::new();
+                $(
+                    for cand in self.$idx.shrink(&value.$idx) {
+                        let mut v = value.clone();
+                        v.$idx = cand;
+                        out.push(v);
+                    }
+                )+
+                out
+            }
+        }
+    };
+}
+
+tuple_gen!(A / 0);
+tuple_gen!(A / 0, B / 1);
+tuple_gen!(A / 0, B / 1, C / 2);
+tuple_gen!(A / 0, B / 1, C / 2, D / 3);
+tuple_gen!(A / 0, B / 1, C / 2, D / 3, E / 4);
+
+/// `Vec<i64>` with a drawn length; shrinks by halving the length (prefix
+/// truncation), then element-wise.
+#[derive(Debug, Clone, Copy)]
+pub struct VecOfInts {
+    len: IntRange,
+    elem: IntRange,
+}
+
+impl VecOfInts {
+    /// Length in `[min_len, max_len]`, elements in `[lo, hi]`.
+    pub fn new(min_len: i64, max_len: i64, lo: i64, hi: i64) -> VecOfInts {
+        VecOfInts {
+            len: IntRange::new(min_len, max_len),
+            elem: IntRange::new(lo, hi),
+        }
+    }
+}
+
+impl Gen for VecOfInts {
+    type Value = Vec<i64>;
+
+    fn generate(&self, rng: &mut Rng) -> Vec<i64> {
+        let n = self.len.generate(rng);
+        (0..n).map(|_| self.elem.generate(rng)).collect()
+    }
+
+    fn shrink(&self, value: &Vec<i64>) -> Vec<Vec<i64>> {
+        let mut out = Vec::new();
+        // Aggressive first: halve the length (prefix truncation), then drop
+        // single elements (reaches counterexamples not at the front), then
+        // shrink individual values.
+        for cand_len in self.len.shrink(&(value.len() as i64)) {
+            out.push(value[..cand_len as usize].to_vec());
+        }
+        if value.len() as i64 > self.len.lo {
+            for i in 0..value.len() {
+                let mut v = value.clone();
+                v.remove(i);
+                out.push(v);
+            }
+        }
+        for (i, &x) in value.iter().enumerate() {
+            for cand in self.elem.shrink(&x) {
+                let mut v = value.clone();
+                v[i] = cand;
+                out.push(v);
+            }
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Runner
+// ---------------------------------------------------------------------------
+
+/// Runner configuration. [`Config::default`] reads `BCAG_PROPTEST_CASES`
+/// and `BCAG_PROPTEST_SEED` (decimal or `0x`-hex) from the environment.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Passing cases required for the property to succeed.
+    pub cases: u32,
+    /// Run seed: the first case's seed; later case seeds are chained from
+    /// it with SplitMix64.
+    pub seed: u64,
+    /// Upper bound on accepted shrink steps.
+    pub max_shrink_steps: u32,
+    /// Give up when discards exceed `cases * max_discard_ratio`.
+    pub max_discard_ratio: u32,
+}
+
+impl Default for Config {
+    fn default() -> Config {
+        Config {
+            cases: env_u64("BCAG_PROPTEST_CASES")
+                .map(|v| v as u32)
+                .unwrap_or(128),
+            seed: env_u64("BCAG_PROPTEST_SEED").unwrap_or(0xbca6_0000_0000_0001),
+            max_shrink_steps: 4096,
+            max_discard_ratio: 20,
+        }
+    }
+}
+
+fn env_u64(var: &str) -> Option<u64> {
+    let raw = std::env::var(var).ok()?;
+    let raw = raw.trim();
+    let parsed = if let Some(hex) = raw.strip_prefix("0x").or_else(|| raw.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16)
+    } else {
+        raw.parse()
+    };
+    match parsed {
+        Ok(v) => Some(v),
+        Err(_) => panic!("{var}={raw:?} is not a u64 (decimal or 0x-hex)"),
+    }
+}
+
+/// A minimized property failure (what [`check`] formats and panics with).
+#[derive(Debug, Clone)]
+pub struct Failure<V> {
+    /// Property name.
+    pub name: String,
+    /// Zero-based index of the failing case within the run.
+    pub case: u32,
+    /// The failing case's seed — `BCAG_PROPTEST_SEED=<seed>` reproduces it.
+    pub seed: u64,
+    /// The originally generated failing input.
+    pub original: V,
+    /// The input after shrinking (equals `original` if nothing shrank).
+    pub shrunk: V,
+    /// Number of accepted shrink steps.
+    pub shrink_steps: u32,
+    /// Panic message of the (shrunk) failing input.
+    pub message: String,
+}
+
+impl<V: std::fmt::Debug> Failure<V> {
+    /// The human-readable report [`check`] panics with.
+    pub fn report(&self) -> String {
+        format!(
+            "property '{}' failed at case {}\n  \
+             reproduce: BCAG_PROPTEST_SEED={:#x} (the failing case becomes case 0)\n  \
+             original input: {:?}\n  \
+             shrunk input ({} steps): {:?}\n  \
+             failure: {}",
+            self.name,
+            self.case,
+            self.seed,
+            self.original,
+            self.shrink_steps,
+            self.shrunk,
+            self.message
+        )
+    }
+}
+
+struct DiscardCase;
+
+/// Discards the current case unless `cond` holds (a precondition filter,
+/// usable from properties and from generators alike).
+pub fn assume(cond: bool) {
+    if !cond {
+        panic::panic_any(DiscardCase);
+    }
+}
+
+enum Outcome {
+    Pass,
+    Discard,
+    Fail(String),
+}
+
+fn eval<V>(prop: &impl Fn(&V), value: &V) -> Outcome {
+    match panic::catch_unwind(AssertUnwindSafe(|| prop(value))) {
+        Ok(()) => Outcome::Pass,
+        Err(payload) => {
+            if payload.is::<DiscardCase>() {
+                Outcome::Discard
+            } else if let Some(s) = payload.downcast_ref::<String>() {
+                Outcome::Fail(s.clone())
+            } else if let Some(s) = payload.downcast_ref::<&'static str>() {
+                Outcome::Fail((*s).to_string())
+            } else {
+                Outcome::Fail("panic with non-string payload".to_string())
+            }
+        }
+    }
+}
+
+// While a check runs, expected panics (failing candidates under shrinking,
+// discards) would spam stderr through the panic hook; silence it for the
+// duration, refcounted so concurrently running checks on other test threads
+// nest correctly, and restore the pre-existing hook (libtest installs its
+// own) when the last check finishes.
+type Hook = Box<dyn Fn(&panic::PanicHookInfo<'_>) + Send + Sync>;
+static HOOK_STATE: Mutex<(usize, Option<Hook>)> = Mutex::new((0, None));
+
+struct QuietPanics;
+
+impl QuietPanics {
+    fn engage() -> QuietPanics {
+        let mut state = HOOK_STATE.lock().unwrap();
+        if state.0 == 0 {
+            state.1 = Some(panic::take_hook());
+            panic::set_hook(Box::new(|_| {}));
+        }
+        state.0 += 1;
+        QuietPanics
+    }
+}
+
+impl Drop for QuietPanics {
+    fn drop(&mut self) {
+        let Ok(mut state) = HOOK_STATE.lock() else {
+            return;
+        };
+        state.0 -= 1;
+        if state.0 == 0 {
+            if let Some(saved) = state.1.take() {
+                // `set_hook` aborts the process if invoked mid-panic; if an
+                // unexpected panic is unwinding through the guard, leaving
+                // the quiet hook installed is the lesser evil.
+                if !std::thread::panicking() {
+                    panic::set_hook(saved);
+                }
+            }
+        }
+    }
+}
+
+enum RunOutcome<V> {
+    Done(Result<(), Failure<V>>),
+    GaveUp(String),
+    GenPanic(Box<dyn std::any::Any + Send>),
+}
+
+/// Runs `prop` against `cfg.cases` generated inputs; returns the minimized
+/// failure instead of panicking (the programmatic core behind [`check`]).
+pub fn run_check<G: Gen>(
+    cfg: &Config,
+    name: &str,
+    gen: &G,
+    prop: impl Fn(&G::Value),
+) -> Result<(), Failure<G::Value>> {
+    // All panics raised while the quiet guard is live are caught; the
+    // guard is dropped before any panic leaves this function (unwinding
+    // through the guard would try to reinstall the panic hook mid-panic).
+    let quiet = QuietPanics::engage();
+    let outcome = run_check_inner(cfg, name, gen, prop);
+    drop(quiet);
+    match outcome {
+        RunOutcome::Done(result) => result,
+        RunOutcome::GaveUp(msg) => panic!("{msg}"),
+        RunOutcome::GenPanic(payload) => panic::resume_unwind(payload),
+    }
+}
+
+fn run_check_inner<G: Gen>(
+    cfg: &Config,
+    name: &str,
+    gen: &G,
+    prop: impl Fn(&G::Value),
+) -> RunOutcome<G::Value> {
+    let mut case_seed = cfg.seed;
+    let mut discards: u64 = 0;
+    let mut case = 0u32;
+    while case < cfg.cases {
+        let value = {
+            // Generators may themselves call `assume`.
+            let mut rng = Rng::seed_from_u64(case_seed);
+            match panic::catch_unwind(AssertUnwindSafe(|| gen.generate(&mut rng))) {
+                Ok(v) => Some(v),
+                Err(payload) if payload.is::<DiscardCase>() => None,
+                Err(payload) => return RunOutcome::GenPanic(payload),
+            }
+        };
+        if let Some(value) = value {
+            match eval(&prop, &value) {
+                Outcome::Pass => {
+                    case += 1;
+                    case_seed = mix_seed(case_seed);
+                    continue;
+                }
+                Outcome::Discard => {}
+                Outcome::Fail(first_message) => {
+                    let (shrunk, shrink_steps, message) =
+                        shrink_failure(cfg, gen, &prop, value.clone(), first_message);
+                    return RunOutcome::Done(Err(Failure {
+                        name: name.to_string(),
+                        case,
+                        seed: case_seed,
+                        original: value,
+                        shrunk,
+                        shrink_steps,
+                        message,
+                    }));
+                }
+            }
+        }
+        discards += 1;
+        case_seed = mix_seed(case_seed);
+        if discards > cfg.cases as u64 * cfg.max_discard_ratio as u64 {
+            return RunOutcome::GaveUp(format!(
+                "property '{name}' gave up: {discards} discards before reaching \
+                 {} cases (weaken the assumptions or the generator)",
+                cfg.cases
+            ));
+        }
+    }
+    RunOutcome::Done(Ok(()))
+}
+
+fn shrink_failure<G: Gen>(
+    cfg: &Config,
+    gen: &G,
+    prop: &impl Fn(&G::Value),
+    mut current: G::Value,
+    mut message: String,
+) -> (G::Value, u32, String) {
+    let mut steps = 0u32;
+    'outer: while steps < cfg.max_shrink_steps {
+        for cand in gen.shrink(&current) {
+            if let Outcome::Fail(msg) = eval(prop, &cand) {
+                current = cand;
+                message = msg;
+                steps += 1;
+                continue 'outer;
+            }
+        }
+        break; // local minimum: every candidate passes or discards
+    }
+    (current, steps, message)
+}
+
+/// Checks a property under [`Config::default`], panicking with a full
+/// report (failing seed, original and shrunk inputs) on failure.
+pub fn check<G: Gen>(name: &str, gen: &G, prop: impl Fn(&G::Value)) {
+    check_with(&Config::default(), name, gen, prop);
+}
+
+/// [`check`] with an explicit configuration.
+pub fn check_with<G: Gen>(cfg: &Config, name: &str, gen: &G, prop: impl Fn(&G::Value)) {
+    if let Err(failure) = run_check(cfg, name, gen, prop) {
+        panic!("{}", failure.report());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(cases: u32, seed: u64) -> Config {
+        Config {
+            cases,
+            seed,
+            max_shrink_steps: 4096,
+            max_discard_ratio: 20,
+        }
+    }
+
+    #[test]
+    fn passing_property_passes() {
+        run_check(
+            &cfg(200, 1),
+            "sum_commutes",
+            &(ints(0, 1000), ints(0, 1000)),
+            |&(a, b)| {
+                assert_eq!(a + b, b + a);
+            },
+        )
+        .unwrap();
+    }
+
+    /// Shrinker convergence on a synthetic failing property: `x < 100`
+    /// fails for x in [100, 10000]; halving must land exactly on the
+    /// boundary value 100.
+    #[test]
+    fn shrinker_converges_to_boundary() {
+        let failure = run_check(&cfg(500, 7), "x_lt_100", &ints(0, 10_000), |&x| {
+            assert!(x < 100)
+        })
+        .expect_err("property must fail");
+        assert_eq!(
+            failure.shrunk, 100,
+            "halving shrink must reach the minimal failing value"
+        );
+        assert!(failure.original >= 100);
+        assert!(failure.shrink_steps > 0 || failure.original == 100);
+    }
+
+    /// Tuple shrinking minimizes every component independently.
+    #[test]
+    fn tuple_shrink_minimizes_components() {
+        let gen = (ints(0, 1000), ints(0, 1000), ints(0, 1000));
+        let failure = run_check(&cfg(500, 3), "sum_le_900", &gen, |&(a, b, c)| {
+            assert!(a + b + c <= 900, "sum {}", a + b + c);
+        })
+        .expect_err("property must fail");
+        let (a, b, c) = failure.shrunk;
+        // Minimal failing sums are exactly 901 — any smaller candidate
+        // passes, so the greedy shrinker must stop on the boundary.
+        assert_eq!(a + b + c, 901, "shrunk to {:?}", failure.shrunk);
+    }
+
+    #[test]
+    fn vec_shrink_reduces_length_and_values() {
+        let gen = VecOfInts::new(0, 50, 0, 1_000_000);
+        let failure = run_check(&cfg(500, 11), "no_big_elems", &gen, |v| {
+            assert!(v.iter().all(|&x| x < 500_000));
+        })
+        .expect_err("property must fail");
+        // Minimal counterexample: a single element equal to the boundary.
+        assert_eq!(failure.shrunk, vec![500_000]);
+    }
+
+    /// The reported seed reproduces the failing input as case 0.
+    #[test]
+    fn reported_seed_reproduces_failure() {
+        let gen = (ints(0, 100_000), ints(0, 63));
+        let prop = |&(x, _m): &(i64, i64)| assert!(x < 90_000);
+        let failure =
+            run_check(&cfg(300, 0xABCD), "seed_repro", &gen, prop).expect_err("must fail");
+        let rerun = run_check(&cfg(300, failure.seed), "seed_repro", &gen, prop)
+            .expect_err("re-run with the reported seed must fail");
+        assert_eq!(rerun.case, 0, "failure must reproduce as case 0");
+        assert_eq!(
+            rerun.original, failure.original,
+            "identical regenerated input"
+        );
+    }
+
+    #[test]
+    fn assume_discards_without_failing() {
+        run_check(&cfg(100, 5), "only_even", &ints(0, 1000), |&x| {
+            assume(x % 2 == 0);
+            assert_eq!(x % 2, 0);
+        })
+        .unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "gave up")]
+    fn impossible_assumption_gives_up() {
+        let _ = run_check(&cfg(50, 5), "impossible", &ints(0, 10), |_| assume(false));
+    }
+
+    #[test]
+    fn determinism_same_seed_same_failure() {
+        let gen = ints(0, 1_000_000);
+        let f1 = run_check(&cfg(100, 42), "d", &gen, |&x| assert!(x < 10)).unwrap_err();
+        let f2 = run_check(&cfg(100, 42), "d", &gen, |&x| assert!(x < 10)).unwrap_err();
+        assert_eq!(f1.original, f2.original);
+        assert_eq!(f1.seed, f2.seed);
+        assert_eq!(f1.shrunk, f2.shrunk);
+    }
+
+    #[test]
+    fn report_contains_seed_and_inputs() {
+        let failure =
+            run_check(&cfg(100, 9), "fmt", &ints(0, 1000), |&x| assert!(x < 5)).unwrap_err();
+        let report = failure.report();
+        assert!(report.contains("property 'fmt' failed"));
+        assert!(report.contains(&format!("{:#x}", failure.seed)));
+        assert!(report.contains("shrunk input"));
+    }
+
+    #[test]
+    fn shrink_toward_schedule() {
+        assert_eq!(shrink_toward(100, 0), vec![0, 50, 75, 88, 94, 97, 99]);
+        assert_eq!(shrink_toward(1, 0), vec![0]);
+        assert_eq!(shrink_toward(2, 0), vec![0, 1]);
+        assert!(shrink_toward(5, 5).is_empty());
+        // Upward direction (negative values toward 0): same ladder mirrored.
+        assert_eq!(
+            shrink_toward(-100, 0),
+            vec![0, -50, -75, -88, -94, -97, -99]
+        );
+        // Every ladder ends one step from the failing value.
+        assert_eq!(*shrink_toward(1_000_000, 17).last().unwrap(), 999_999);
+    }
+}

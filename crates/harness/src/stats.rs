@@ -1,0 +1,103 @@
+//! Robust summary statistics for benchmark samples.
+//!
+//! Deterministic code under a noisy OS produces a right-skewed timing
+//! distribution: the true cost plus occasional positive noise. The robust
+//! estimators — **median** for location, **MAD** (median absolute
+//! deviation) for spread, **min** as the low-noise floor — are therefore
+//! the primary statistics; mean/max are kept for context.
+
+/// Median of `xs` (averaging the two middle elements for even lengths).
+/// Panics on an empty slice.
+pub fn median(xs: &[f64]) -> f64 {
+    assert!(!xs.is_empty(), "median of empty sample set");
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("non-NaN samples"));
+    let n = v.len();
+    if n % 2 == 1 {
+        v[n / 2]
+    } else {
+        0.5 * (v[n / 2 - 1] + v[n / 2])
+    }
+}
+
+/// Median absolute deviation of `xs` about `center` (unscaled — this is a
+/// raw spread figure in the samples' own unit, not a σ estimate).
+pub fn mad(xs: &[f64], center: f64) -> f64 {
+    let devs: Vec<f64> = xs.iter().map(|&x| (x - center).abs()).collect();
+    median(&devs)
+}
+
+/// The full summary the bench engine reports per measurement.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Number of samples.
+    pub n: usize,
+    /// Smallest sample.
+    pub min: f64,
+    /// Largest sample.
+    pub max: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Median (primary location estimate).
+    pub median: f64,
+    /// Median absolute deviation about the median (primary spread).
+    pub mad: f64,
+}
+
+impl Summary {
+    /// Summarizes a nonempty set of samples.
+    pub fn from_samples(xs: &[f64]) -> Summary {
+        assert!(!xs.is_empty(), "summary of empty sample set");
+        let med = median(xs);
+        Summary {
+            n: xs.len(),
+            min: xs.iter().copied().fold(f64::INFINITY, f64::min),
+            max: xs.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+            mean: xs.iter().sum::<f64>() / xs.len() as f64,
+            median: med,
+            mad: mad(xs, med),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_odd_and_even() {
+        assert_eq!(median(&[3.0]), 3.0);
+        assert_eq!(median(&[5.0, 1.0, 3.0]), 3.0);
+        assert_eq!(median(&[4.0, 1.0, 3.0, 2.0]), 2.5);
+        // Order-independent.
+        assert_eq!(median(&[1.0, 2.0, 3.0, 4.0]), 2.5);
+    }
+
+    #[test]
+    fn mad_on_fixed_samples() {
+        // Samples 1..=5: median 3, |devs| = [2,1,0,1,2], MAD = 1.
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(mad(&xs, median(&xs)), 1.0);
+        // An outlier barely moves the MAD (robustness property).
+        let with_outlier = [1.0, 2.0, 3.0, 4.0, 1000.0];
+        assert_eq!(median(&with_outlier), 3.0);
+        assert_eq!(mad(&with_outlier, 3.0), 1.0);
+    }
+
+    #[test]
+    fn summary_fields() {
+        let s = Summary::from_samples(&[2.0, 4.0, 6.0, 8.0]);
+        assert_eq!(s.n, 4);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 8.0);
+        assert_eq!(s.mean, 5.0);
+        assert_eq!(s.median, 5.0);
+        assert_eq!(s.mad, 2.0);
+    }
+
+    #[test]
+    fn constant_samples_have_zero_spread() {
+        let s = Summary::from_samples(&[7.0; 9]);
+        assert_eq!((s.median, s.mad, s.min, s.max), (7.0, 0.0, 7.0, 7.0));
+    }
+}

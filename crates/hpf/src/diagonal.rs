@@ -54,7 +54,9 @@ pub fn diagonal_accesses(
         return Err(BcagError::Precondition("diagonal rank mismatch"));
     }
     if count < 0 {
-        return Err(BcagError::Precondition("diagonal count must be nonnegative"));
+        return Err(BcagError::Precondition(
+            "diagonal count must be nonnegative",
+        ));
     }
     for d in 0..rank {
         if strides[d] <= 0 {
@@ -116,8 +118,7 @@ pub fn diagonal_accesses(
     ts.dedup(); // distinct class pairs cannot collide, but stay defensive
     ts.into_iter()
         .map(|t| {
-            let index: Vec<i64> =
-                (0..rank).map(|d| starts[d] + t * strides[d]).collect();
+            let index: Vec<i64> = (0..rank).map(|d| starts[d] + t * strides[d]).collect();
             debug_assert_eq!(&map.owner_coords(&index)?, coords);
             let local = map.local_linear(&index)?;
             Ok(DiagonalAccess { t, index, local })
@@ -186,8 +187,7 @@ mod tests {
             ([0, 1], [3, 2], 20),
         ] {
             for coords in map.grid().iter_coords() {
-                let got =
-                    diagonal_accesses(&map, &coords, &starts, &strides, count).unwrap();
+                let got = diagonal_accesses(&map, &coords, &starts, &strides, count).unwrap();
                 let expect = brute(&map, &coords, &starts, &strides, count);
                 assert_eq!(got, expect, "coords {coords:?} starts {starts:?}");
             }
@@ -237,6 +237,9 @@ mod tests {
         // Nonpositive stride.
         assert!(diagonal_accesses(&map, &[0, 0], &[0, 0], &[1, 0], 5).is_err());
         // Empty.
-        assert_eq!(diagonal_accesses(&map, &[0, 0], &[0, 0], &[1, 1], 0).unwrap(), vec![]);
+        assert_eq!(
+            diagonal_accesses(&map, &[0, 0], &[0, 0], &[1, 1], 0).unwrap(),
+            vec![]
+        );
     }
 }

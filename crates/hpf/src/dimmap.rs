@@ -41,7 +41,13 @@ impl DimMap {
         let k = dist.block_size(template_extent, p_eff)?;
         // Validate the (p, k) pair through the core constructor.
         let _ = Problem::new(p_eff, k, 0, 1)?;
-        Ok(DimMap { n, p: p_eff, k, align, template_extent })
+        Ok(DimMap {
+            n,
+            p: p_eff,
+            k,
+            align,
+            template_extent,
+        })
     }
 
     /// Identity-aligned shorthand.
@@ -118,8 +124,7 @@ impl DimMap {
         s: i64,
         method: Method,
     ) -> Result<Vec<(i64, i64)>> {
-        let alp: AlignedPattern =
-            aligned_pattern(self.p, self.k, self.align, l, s, m, method)?;
+        let alp: AlignedPattern = aligned_pattern(self.p, self.k, self.align, l, s, m, method)?;
         let Some(start_packed) = alp.start_packed else {
             return Ok(vec![]);
         };

@@ -17,7 +17,9 @@ impl ProcessorGrid {
     /// Creates a grid; every extent must be `>= 1`.
     pub fn new(dims: Vec<i64>) -> Result<Self> {
         if dims.is_empty() {
-            return Err(BcagError::Precondition("processor grid needs >= 1 dimension"));
+            return Err(BcagError::Precondition(
+                "processor grid needs >= 1 dimension",
+            ));
         }
         for &d in &dims {
             if d < 1 {
@@ -80,7 +82,10 @@ impl ProcessorGrid {
     /// Inverse of [`ProcessorGrid::linearize`].
     pub fn delinearize(&self, rank: i64) -> Result<Vec<i64>> {
         if !(0..self.size()).contains(&rank) {
-            return Err(BcagError::ProcessorOutOfRange { m: rank, p: self.size() });
+            return Err(BcagError::ProcessorOutOfRange {
+                m: rank,
+                p: self.size(),
+            });
         }
         let mut coords = Vec::with_capacity(self.dims.len());
         let mut r = rank;

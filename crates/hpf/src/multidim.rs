@@ -61,7 +61,11 @@ impl ArrayMap {
     /// Grid coordinates of the processor owning `idx`.
     pub fn owner_coords(&self, idx: &[i64]) -> Result<Vec<i64>> {
         self.check_index(idx)?;
-        Ok(idx.iter().zip(&self.dims).map(|(&i, d)| d.owner(i)).collect())
+        Ok(idx
+            .iter()
+            .zip(&self.dims)
+            .map(|(&i, d)| d.owner(i))
+            .collect())
     }
 
     /// Linear rank of the owner of `idx`.
@@ -230,7 +234,10 @@ mod tests {
             let rank = map.grid().linearize(&coords).unwrap();
             let size = map.local_size(&coords).unwrap();
             for a in 0..size {
-                assert!(seen.contains_key(&(rank, a)), "hole at rank {rank} addr {a}");
+                assert!(
+                    seen.contains_key(&(rank, a)),
+                    "hole at rank {rank} addr {a}"
+                );
             }
         }
     }
@@ -277,7 +284,9 @@ mod tests {
         ];
         let mut total = 0usize;
         for coords in map.grid().iter_coords() {
-            let accesses = map.section_accesses(&coords, &section, Method::Lattice).unwrap();
+            let accesses = map
+                .section_accesses(&coords, &section, Method::Lattice)
+                .unwrap();
             for (idx, addr) in &accesses {
                 assert_eq!(&map.owner_coords(idx).unwrap(), &coords);
                 assert_eq!(map.local_linear(idx).unwrap(), *addr);
@@ -294,7 +303,11 @@ mod tests {
         assert!(map.owner_coords(&[1]).is_err());
         assert!(map.local_linear(&[1, 2, 3]).is_err());
         assert!(map
-            .section_accesses(&[0, 0], &[RegularSection::new(0, 5, 1).unwrap()], Method::Lattice)
+            .section_accesses(
+                &[0, 0],
+                &[RegularSection::new(0, 5, 1).unwrap()],
+                Method::Lattice
+            )
             .is_err());
     }
 
@@ -305,6 +318,8 @@ mod tests {
             RegularSection::new(11, 1, -3).unwrap(),
             RegularSection::new(0, 9, 2).unwrap(),
         ];
-        assert!(map.section_accesses(&[0, 0], &sec, Method::Lattice).is_err());
+        assert!(map
+            .section_accesses(&[0, 0], &sec, Method::Lattice)
+            .is_err());
     }
 }

@@ -71,12 +71,11 @@ pub fn multivar_accesses(
     if c < 0 {
         return Err(BcagError::Precondition("constant term must be nonnegative"));
     }
-    let max_subscript = c
-        + coefs
-            .iter()
-            .zip(extents)
-            .map(|(&cf, &e)| cf * (e - 1).max(0))
-            .sum::<i64>();
+    let max_subscript = c + coefs
+        .iter()
+        .zip(extents)
+        .map(|(&cf, &e)| cf * (e - 1).max(0))
+        .sum::<i64>();
     if extents.contains(&0) {
         return Ok(vec![]);
     }
@@ -93,8 +92,7 @@ pub fn multivar_accesses(
     // whole number of periods, with identical gaps and shifted start.
     let probe = Problem::new(dm.procs(), dm.block_size(), 0, inner_coef)?;
     let period = probe.period_global();
-    let mut cache: std::collections::HashMap<i64, AccessPattern> =
-        std::collections::HashMap::new();
+    let mut cache: std::collections::HashMap<i64, AccessPattern> = std::collections::HashMap::new();
 
     let mut out = Vec::new();
     let outer_rank = coefs.len() - 1;
@@ -125,7 +123,11 @@ pub fn multivar_accesses(
                 let mut ivars = prefix.clone();
                 ivars.push((acc.global - lo) / inner_coef);
                 debug_assert_eq!(lay.owner(acc.global), m);
-                out.push(MultivarAccess { ivars, global: acc.global, local: acc.local });
+                out.push(MultivarAccess {
+                    ivars,
+                    global: acc.global,
+                    local: acc.local,
+                });
             }
         }
         // Advance the prefix odometer (last prefix variable fastest).
@@ -150,11 +152,7 @@ pub fn multivar_accesses(
 
 /// Shifts a cached pattern by a whole number of periods (same residue):
 /// the gap cycle is reused verbatim; start positions translate linearly.
-fn translate(
-    cached: &AccessPattern,
-    problem: &Problem,
-    delta: i64,
-) -> Result<AccessPattern> {
+fn translate(cached: &AccessPattern, problem: &Problem, delta: i64) -> Result<AccessPattern> {
     use bcag_core::pattern::{CyclicPattern, Pattern};
     debug_assert_eq!(delta % problem.period_global().max(1), 0);
     let periods = delta / problem.period_global().max(1);
@@ -182,18 +180,16 @@ mod tests {
     use super::*;
     use crate::dist::Dist;
 
-    fn brute(
-        dm: &DimMap,
-        m: i64,
-        c: i64,
-        coefs: &[i64],
-        extents: &[i64],
-    ) -> Vec<MultivarAccess> {
+    fn brute(dm: &DimMap, m: i64, c: i64, coefs: &[i64], extents: &[i64]) -> Vec<MultivarAccess> {
         let mut out = Vec::new();
         let rank = coefs.len();
         let mut ivars = vec![0i64; rank];
         'outer: loop {
-            let g = c + coefs.iter().zip(&ivars).map(|(&cf, &i)| cf * i).sum::<i64>();
+            let g = c + coefs
+                .iter()
+                .zip(&ivars)
+                .map(|(&cf, &i)| cf * i)
+                .sum::<i64>();
             if dm.owner(g) == m {
                 out.push(MultivarAccess {
                     ivars: ivars.clone(),
@@ -261,7 +257,10 @@ mod tests {
         assert!(multivar_accesses(&dm, 0, 0, &[1, 2], &[3]).is_err());
         assert!(multivar_accesses(&dm, 0, 0, &[0], &[5]).is_err());
         assert!(multivar_accesses(&dm, 0, 0, &[50], &[3]).is_err()); // exits array
-        assert_eq!(multivar_accesses(&dm, 0, 0, &[1, 1], &[0, 5]).unwrap(), vec![]);
+        assert_eq!(
+            multivar_accesses(&dm, 0, 0, &[1, 1], &[0, 5]).unwrap(),
+            vec![]
+        );
     }
 
     #[test]

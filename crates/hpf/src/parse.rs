@@ -66,7 +66,10 @@ impl Program {
         let mut prog = Program::default();
         for (no, raw) in src.lines().enumerate() {
             let mut line = raw.trim();
-            if let Some(rest) = line.strip_prefix("!HPF$").or_else(|| line.strip_prefix("!hpf$")) {
+            if let Some(rest) = line
+                .strip_prefix("!HPF$")
+                .or_else(|| line.strip_prefix("!hpf$"))
+            {
                 line = rest.trim();
             } else if line.starts_with('!') || line.is_empty() {
                 continue;
@@ -156,7 +159,8 @@ impl Program {
             };
             dists.push(dist);
         }
-        self.dists.insert(template, (dists, grid.trim().to_string()));
+        self.dists
+            .insert(template, (dists, grid.trim().to_string()));
         Ok(())
     }
 
@@ -249,7 +253,10 @@ impl Program {
 /// Parses `NAME(INT, INT, ...)`.
 fn parse_name_and_ints(s: &str) -> Result<(String, Vec<i64>), ParseError> {
     let (name, parts) = parse_call(s.trim())?;
-    let ints = parts.iter().map(|p| parse_i64(p.trim())).collect::<Result<Vec<_>, _>>()?;
+    let ints = parts
+        .iter()
+        .map(|p| parse_i64(p.trim()))
+        .collect::<Result<Vec<_>, _>>()?;
     if ints.is_empty() {
         return err(format!("`{name}` needs at least one extent"));
     }
@@ -274,7 +281,8 @@ fn parse_call(s: &str) -> Result<(String, Vec<String>), ParseError> {
 }
 
 fn parse_i64(s: &str) -> Result<i64, ParseError> {
-    s.parse().map_err(|_| ParseError(format!("expected an integer, got `{s}`")))
+    s.parse()
+        .map_err(|_| ParseError(format!("expected an integer, got `{s}`")))
 }
 
 /// Parses an affine expression in `dummy`: `i`, `3*i`, `i+2`, `2*i-1`,

@@ -48,8 +48,7 @@ impl Desc {
     /// As the raw 9-integer array ScaLAPACK routines take.
     pub fn to_array(&self) -> [i64; 9] {
         [
-            self.dtype, self.ctxt, self.m, self.n, self.mb, self.nb, self.rsrc, self.csrc,
-            self.lld,
+            self.dtype, self.ctxt, self.m, self.n, self.mb, self.nb, self.rsrc, self.csrc, self.lld,
         ]
     }
 
@@ -107,10 +106,14 @@ pub fn desc_from_map(map: &ArrayMap, prow: i64, pcol: i64) -> Result<Desc> {
 /// Reconstructs an [`ArrayMap`] from a descriptor.
 pub fn map_from_desc(desc: &Desc) -> Result<ArrayMap> {
     if desc.dtype != DTYPE_DENSE {
-        return Err(BcagError::Precondition("only dtype=1 descriptors are supported"));
+        return Err(BcagError::Precondition(
+            "only dtype=1 descriptors are supported",
+        ));
     }
     if desc.rsrc != 0 || desc.csrc != 0 {
-        return Err(BcagError::Precondition("rsrc/csrc must be 0 in this bridge"));
+        return Err(BcagError::Precondition(
+            "rsrc/csrc must be 0 in this bridge",
+        ));
     }
     let (nprow, npcol) = desc.grid_shape();
     ArrayMap::new(vec![

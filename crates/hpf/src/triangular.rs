@@ -124,14 +124,21 @@ pub fn trapezoid_accesses(
     region: &Trapezoid,
 ) -> Result<Vec<((i64, i64), i64)>> {
     if map.rank() != 2 || coords.len() != 2 {
-        return Err(BcagError::Precondition("trapezoid_accesses requires a 2-D map"));
+        return Err(BcagError::Precondition(
+            "trapezoid_accesses requires a 2-D map",
+        ));
     }
     if region.si <= 0 || region.sj <= 0 {
-        return Err(BcagError::Precondition("trapezoid strides must be positive"));
+        return Err(BcagError::Precondition(
+            "trapezoid strides must be positive",
+        ));
     }
     let d0 = &map.dims()[0];
     let d1 = &map.dims()[1];
-    if d0.alignment().a != 1 || d0.alignment().b != 0 || d1.alignment().a != 1 || d1.alignment().b != 0
+    if d0.alignment().a != 1
+        || d0.alignment().b != 0
+        || d1.alignment().a != 1
+        || d1.alignment().b != 0
     {
         return Err(BcagError::Precondition(
             "trapezoid_accesses currently requires identity alignment",
@@ -154,8 +161,7 @@ pub fn trapezoid_accesses(
     // bound only picks the start state — so a production runtime could
     // build it once and per-row recompute only start/last; we rebuild for
     // clarity, which keeps the row cost at O(k₁) either way.)
-    let mut cache: std::collections::HashMap<i64, AccessPattern> =
-        std::collections::HashMap::new();
+    let mut cache: std::collections::HashMap<i64, AccessPattern> = std::collections::HashMap::new();
 
     let mut out = Vec::new();
     for acc0 in outer.iter_to(region.hi) {
@@ -282,7 +288,9 @@ mod tests {
             sj: 1,
         };
         for coords in map.grid().iter_coords() {
-            assert!(trapezoid_accesses(&map, &coords, &region).unwrap().is_empty());
+            assert!(trapezoid_accesses(&map, &coords, &region)
+                .unwrap()
+                .is_empty());
         }
     }
 

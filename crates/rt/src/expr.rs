@@ -160,7 +160,12 @@ fn tokenize(src: &str) -> Result<Vec<Tok>, ParseError> {
                 while i < chars.len() && (chars[i].is_ascii_alphanumeric() || chars[i] == '_') {
                     i += 1;
                 }
-                toks.push(Tok::Name(chars[start..i].iter().collect::<String>().to_ascii_uppercase()));
+                toks.push(Tok::Name(
+                    chars[start..i]
+                        .iter()
+                        .collect::<String>()
+                        .to_ascii_uppercase(),
+                ));
             }
             other => return err(format!("unexpected character `{other}`")),
         }
@@ -266,7 +271,10 @@ impl Parser {
                 let section =
                     RegularSection::new(l, u, s).map_err(|e| ParseError(e.to_string()))?;
                 let idx = self.refs.len();
-                self.refs.push(SectionRef { array: name, section });
+                self.refs.push(SectionRef {
+                    array: name,
+                    section,
+                });
                 Ok(Expr::Ref(idx))
             }
             got => err(format!("unexpected token {got:?} in expression")),
@@ -284,7 +292,11 @@ impl Parser {
 /// Parses an expression source string.
 pub fn parse_expr(src: &str) -> Result<ParsedExpr, ParseError> {
     let toks = tokenize(src)?;
-    let mut p = Parser { toks, pos: 0, refs: Vec::new() };
+    let mut p = Parser {
+        toks,
+        pos: 0,
+        refs: Vec::new(),
+    };
     let ast = p.expr()?;
     if p.pos != p.toks.len() {
         return err(format!("trailing tokens after expression in `{src}`"));
@@ -298,7 +310,10 @@ pub fn parse_lhs(src: &str) -> Result<SectionRef, ParseError> {
     if secs.len() != 1 {
         return err("the interpreter handles rank-1 arrays");
     }
-    Ok(SectionRef { array: name, section: secs[0] })
+    Ok(SectionRef {
+        array: name,
+        section: secs[0],
+    })
 }
 
 /// An array reference with an affine subscript `a·var + b` (FORALL bodies).
@@ -333,7 +348,11 @@ impl ParsedAffineExpr {
 pub fn parse_affine_expr(src: &str, var: &str) -> Result<ParsedAffineExpr, ParseError> {
     let toks = tokenize(src)?;
     let mut p = AffineParser {
-        inner: Parser { toks, pos: 0, refs: Vec::new() },
+        inner: Parser {
+            toks,
+            pos: 0,
+            refs: Vec::new(),
+        },
         var: var.to_ascii_uppercase(),
         refs: Vec::new(),
     };
@@ -349,7 +368,9 @@ pub fn parse_affine_lhs(src: &str, var: &str) -> Result<AffineRef, ParseError> {
     let e = parse_affine_expr(src, var)?;
     match (&e.ast, e.refs.len()) {
         (Expr::Ref(0), 1) => Ok(e.refs[0].clone()),
-        _ => err(format!("FORALL left-hand side must be a single reference, got `{src}`")),
+        _ => err(format!(
+            "FORALL left-hand side must be a single reference, got `{src}`"
+        )),
     }
 }
 
@@ -402,7 +423,9 @@ impl AffineParser {
             Some(Tok::Name(name)) if name == self.var => {
                 // A bare use of the variable as a value is not supported;
                 // the variable only appears inside subscripts.
-                err(format!("FORALL variable `{name}` may only appear inside subscripts"))
+                err(format!(
+                    "FORALL variable `{name}` may only appear inside subscripts"
+                ))
             }
             Some(Tok::Name(name)) => {
                 self.inner.expect(&Tok::LParen)?;
@@ -475,7 +498,14 @@ mod tests {
         let e = parse_expr("2.5 * B(2:200:2) + C(10:109)").unwrap();
         assert_eq!(e.refs.len(), 2);
         assert_eq!(e.refs[0].array, "B");
-        assert_eq!((e.refs[0].section.l, e.refs[0].section.u, e.refs[0].section.s), (2, 200, 2));
+        assert_eq!(
+            (
+                e.refs[0].section.l,
+                e.refs[0].section.u,
+                e.refs[0].section.s
+            ),
+            (2, 200, 2)
+        );
         assert_eq!(e.refs[1].section.s, 1);
         assert_eq!(e.eval(&[4.0, 7.0]), 2.5 * 4.0 + 7.0);
     }

@@ -42,7 +42,8 @@ fn err<T>(msg: impl Into<String>) -> Result<T, ParseError> {
 }
 
 fn parse_int(s: &str) -> Result<i64, ParseError> {
-    s.parse().map_err(|_| ParseError(format!("expected an integer, got `{s}`")))
+    s.parse()
+        .map_err(|_| ParseError(format!("expected an integer, got `{s}`")))
 }
 
 /// Interpreter state: named distributed arrays plus captured output.
@@ -58,18 +59,32 @@ impl Interp {
     /// Runs a whole script; returns the `PRINT` output lines.
     pub fn run(script: &str) -> Result<Vec<String>, ParseError> {
         // Phase 1: mapping directives.
-        let directive_keywords =
-            ["PROCESSORS", "TEMPLATE", "REAL", "INTEGER", "DIMENSION", "ALIGN", "DISTRIBUTE"];
+        let directive_keywords = [
+            "PROCESSORS",
+            "TEMPLATE",
+            "REAL",
+            "INTEGER",
+            "DIMENSION",
+            "ALIGN",
+            "DISTRIBUTE",
+        ];
         let mut directives = String::new();
         let mut statements: Vec<(usize, String)> = Vec::new();
         for (no, raw) in script.lines().enumerate() {
             let mut line = raw.trim().to_string();
-            if let Some(rest) = line.strip_prefix("!HPF$").or_else(|| line.strip_prefix("!hpf$")) {
+            if let Some(rest) = line
+                .strip_prefix("!HPF$")
+                .or_else(|| line.strip_prefix("!hpf$"))
+            {
                 line = rest.trim().to_string();
             } else if line.starts_with('!') || line.is_empty() {
                 continue;
             }
-            let first = line.split_whitespace().next().unwrap_or("").to_ascii_uppercase();
+            let first = line
+                .split_whitespace()
+                .next()
+                .unwrap_or("")
+                .to_ascii_uppercase();
             if directive_keywords.contains(&first.as_str()) {
                 directives.push_str(&line);
                 directives.push('\n');
@@ -169,18 +184,25 @@ impl Interp {
         let parts: Vec<&str> = rest.split_whitespace().collect();
         let (name, f): (String, Box<dyn Fn(i64, i64) -> f64>) = match parts.as_slice() {
             [name, "CONST", v] => {
-                let v: f64 =
-                    v.parse().map_err(|_| ParseError(format!("bad number `{v}`")))?;
+                let v: f64 = v
+                    .parse()
+                    .map_err(|_| ParseError(format!("bad number `{v}`")))?;
                 (name.to_string(), Box::new(move |_, _| v))
             }
             [name, "LINEAR2", a, b, c] => {
-                let a: f64 =
-                    a.parse().map_err(|_| ParseError(format!("bad number `{a}`")))?;
-                let b: f64 =
-                    b.parse().map_err(|_| ParseError(format!("bad number `{b}`")))?;
-                let c: f64 =
-                    c.parse().map_err(|_| ParseError(format!("bad number `{c}`")))?;
-                (name.to_string(), Box::new(move |i, j| a * i as f64 + b * j as f64 + c))
+                let a: f64 = a
+                    .parse()
+                    .map_err(|_| ParseError(format!("bad number `{a}`")))?;
+                let b: f64 = b
+                    .parse()
+                    .map_err(|_| ParseError(format!("bad number `{b}`")))?;
+                let c: f64 = c
+                    .parse()
+                    .map_err(|_| ParseError(format!("bad number `{c}`")))?;
+                (
+                    name.to_string(),
+                    Box::new(move |i, j| a * i as f64 + b * j as f64 + c),
+                )
             }
             _ => return err("INIT2 syntax: `INIT2 M CONST v` or `INIT2 M LINEAR2 a b c`"),
         };
@@ -191,7 +213,8 @@ impl Interp {
         let (rows, cols) = mat.extents();
         for i in 0..rows {
             for j in 0..cols {
-                mat.set(i, j, f(i, j)).map_err(|e| ParseError(e.to_string()))?;
+                mat.set(i, j, f(i, j))
+                    .map_err(|e| ParseError(e.to_string()))?;
             }
         }
         Ok(())
@@ -277,21 +300,21 @@ impl Interp {
         for (idx, r) in parsed.refs.iter().enumerate() {
             if r.a == 0 {
                 let arr = self.get(&r.array)?;
-                let v = *arr
-                    .get(r.b)
-                    .map_err(|e| ParseError(e.to_string()))?;
+                let v = *arr.get(r.b).map_err(|e| ParseError(e.to_string()))?;
                 const_values.push((idx, v));
             } else if r.a < 0 {
                 return err("descending FORALL subscripts are not supported");
             } else {
-                let section = RegularSection::new(
-                    r.a * lo + r.b,
-                    r.a * hi + r.b,
-                    r.a * st,
-                )
-                .map_err(|e| ParseError(e.to_string()))?;
+                let section = RegularSection::new(r.a * lo + r.b, r.a * hi + r.b, r.a * st)
+                    .map_err(|e| ParseError(e.to_string()))?;
                 debug_assert_eq!(section.count(), count);
-                sections.push((idx, crate::expr::SectionRef { array: r.array.clone(), section }));
+                sections.push((
+                    idx,
+                    crate::expr::SectionRef {
+                        array: r.array.clone(),
+                        section,
+                    },
+                ));
             }
         }
         // Substitute constants into the AST; remap Ref indices to the
@@ -323,9 +346,8 @@ impl Interp {
         }
         let ast = rewrite(&parsed.ast, &remap, &consts);
 
-        let lhs_section =
-            RegularSection::new(lhs.a * lo + lhs.b, lhs.a * hi + lhs.b, lhs.a * st)
-                .map_err(|e| ParseError(e.to_string()))?;
+        let lhs_section = RegularSection::new(lhs.a * lo + lhs.b, lhs.a * hi + lhs.b, lhs.a * st)
+            .map_err(|e| ParseError(e.to_string()))?;
         let operand_arrays: Vec<DistArray<f64>> = sections
             .iter()
             .map(|(_, r)| self.get(&r.array).cloned())
@@ -351,8 +373,9 @@ impl Interp {
         let [dst, src, amount] = parts.as_slice() else {
             return err("CSHIFT syntax: `CSHIFT A B n`");
         };
-        let amount: i64 =
-            amount.parse().map_err(|_| ParseError(format!("bad shift `{amount}`")))?;
+        let amount: i64 = amount
+            .parse()
+            .map_err(|_| ParseError(format!("bad shift `{amount}`")))?;
         let shifted = bcag_spmd::shift::cshift(self.get(src)?, amount)
             .map_err(|e| ParseError(e.to_string()))?;
         let target = self
@@ -381,12 +404,18 @@ impl Interp {
         let parts: Vec<&str> = rest.split_whitespace().collect();
         let (name, spec) = match parts.as_slice() {
             [name, "CONST", v] => {
-                let v: f64 = v.parse().map_err(|_| ParseError(format!("bad number `{v}`")))?;
+                let v: f64 = v
+                    .parse()
+                    .map_err(|_| ParseError(format!("bad number `{v}`")))?;
                 (name.to_string(), (0.0, v))
             }
             [name, "LINEAR", a, b] => {
-                let a: f64 = a.parse().map_err(|_| ParseError(format!("bad number `{a}`")))?;
-                let b: f64 = b.parse().map_err(|_| ParseError(format!("bad number `{b}`")))?;
+                let a: f64 = a
+                    .parse()
+                    .map_err(|_| ParseError(format!("bad number `{a}`")))?;
+                let b: f64 = b
+                    .parse()
+                    .map_err(|_| ParseError(format!("bad number `{b}`")))?;
                 (name.to_string(), (a, b))
             }
             _ => return err("INIT syntax: `INIT A CONST v` or `INIT A LINEAR a b`"),
@@ -482,7 +511,9 @@ impl Interp {
                 .next()
                 .and_then(|v| v.parse().ok())
                 .ok_or_else(|| ParseError("PRINT TABLE needs a processor number".into()))?;
-            let secref = parts.next().ok_or_else(|| ParseError("PRINT TABLE syntax".into()))?;
+            let secref = parts
+                .next()
+                .ok_or_else(|| ParseError("PRINT TABLE syntax".into()))?;
             let r = parse_lhs(secref.trim())?;
             let arr = self.get(&r.array)?;
             let norm = r.section.normalized();
@@ -521,8 +552,9 @@ impl Interp {
         let [name, format] = parts.as_slice() else {
             return err("REDISTRIBUTE syntax: `REDISTRIBUTE A CYCLIC(4)`");
         };
-        let new_k = if let Some(inner) =
-            format.strip_prefix("CYCLIC(").and_then(|x| x.strip_suffix(')'))
+        let new_k = if let Some(inner) = format
+            .strip_prefix("CYCLIC(")
+            .and_then(|x| x.strip_suffix(')'))
         {
             inner
                 .parse::<i64>()
@@ -700,7 +732,11 @@ mod tests {
              PRINT STATS A(4:301:9)",
         )
         .unwrap();
-        assert!(out[0].starts_with("STATS A(4:301:9) per_proc=["), "{}", out[0]);
+        assert!(
+            out[0].starts_with("STATS A(4:301:9) per_proc=["),
+            "{}",
+            out[0]
+        );
         assert!(out[0].contains("imbalance="), "{}", out[0]);
     }
 

@@ -42,7 +42,12 @@ pub fn plan_section(
     let norm = section.normalized();
     if norm.count == 0 {
         return Ok((0..p)
-            .map(|_| NodePlan { start: None, last: -1, delta_m: vec![], tables: None })
+            .map(|_| NodePlan {
+                start: None,
+                last: -1,
+                delta_m: vec![],
+                tables: None,
+            })
             .collect());
     }
     let problem = Problem::new(p, k, norm.lo, norm.step)?;
@@ -137,7 +142,14 @@ mod tests {
         let n = 200i64;
         let section = RegularSection::new(180, 5, -7).unwrap();
         let mut arr = DistArray::new(4, 8, n, 0i64).unwrap();
-        assign_scalar(&mut arr, &section, 1, Method::Lattice, CodeShape::BranchLoop).unwrap();
+        assign_scalar(
+            &mut arr,
+            &section,
+            1,
+            Method::Lattice,
+            CodeShape::BranchLoop,
+        )
+        .unwrap();
         let mut expect = vec![0i64; n as usize];
         apply_section_seq(&mut expect, &section, |x| *x = 1);
         assert_eq!(arr.to_global(), expect);
@@ -150,8 +162,10 @@ mod tests {
         let mut reference: Option<Vec<i64>> = None;
         for method in Method::GENERAL {
             let mut arr = DistArray::new(8, 4, n, 0i64).unwrap();
-            apply_section(&mut arr, &section, method, CodeShape::SplitLoop, |x| *x += 7)
-                .unwrap();
+            apply_section(&mut arr, &section, method, CodeShape::SplitLoop, |x| {
+                *x += 7
+            })
+            .unwrap();
             let g = arr.to_global();
             match &reference {
                 None => reference = Some(g),
@@ -172,7 +186,14 @@ mod tests {
     fn single_element_section() {
         let mut arr = DistArray::new(4, 8, 100, 0i64).unwrap();
         let section = RegularSection::new(55, 55, 3).unwrap();
-        assign_scalar(&mut arr, &section, 5, Method::Lattice, CodeShape::TwoTableLoop).unwrap();
+        assign_scalar(
+            &mut arr,
+            &section,
+            5,
+            Method::Lattice,
+            CodeShape::TwoTableLoop,
+        )
+        .unwrap();
         let g = arr.to_global();
         assert_eq!(g[55], 5);
         assert_eq!(g.iter().filter(|&&x| x == 5).count(), 1);
@@ -183,9 +204,13 @@ mod tests {
         let n = 300i64;
         let section = RegularSection::new(0, 299, 13).unwrap();
         let mut arr = DistArray::new(4, 8, n, 1i64).unwrap();
-        apply_section(&mut arr, &section, Method::Lattice, CodeShape::BranchLoop, |x| {
-            *x *= 2
-        })
+        apply_section(
+            &mut arr,
+            &section,
+            Method::Lattice,
+            CodeShape::BranchLoop,
+            |x| *x *= 2,
+        )
         .unwrap();
         let g = arr.to_global();
         for i in 0..n {

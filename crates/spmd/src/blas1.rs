@@ -18,12 +18,14 @@ use crate::machine::Machine;
 use crate::reduce::reduce_section;
 
 /// `x(section) *= alpha` (SCAL).
-pub fn scal(
-    x: &mut DistArray<f64>,
-    section: &RegularSection,
-    alpha: f64,
-) -> Result<()> {
-    apply_section(x, section, Method::Lattice, CodeShape::BranchLoop, move |v| *v *= alpha)
+pub fn scal(x: &mut DistArray<f64>, section: &RegularSection, alpha: f64) -> Result<()> {
+    apply_section(
+        x,
+        section,
+        Method::Lattice,
+        CodeShape::BranchLoop,
+        move |v| *v *= alpha,
+    )
 }
 
 /// `y(sec_y) += alpha * x(sec_x)` (AXPY). Sections must conform and both
@@ -40,7 +42,9 @@ pub fn axpy(
         return Err(BcagError::Precondition("axpy sections must conform"));
     }
     if x.p() != y.p() {
-        return Err(BcagError::Precondition("axpy arrays must share the machine"));
+        return Err(BcagError::Precondition(
+            "axpy arrays must share the machine",
+        ));
     }
     // Fast path: identical layout and identical sections — pure local work,
     // no staging copy.
@@ -68,14 +72,8 @@ pub fn axpy(
     // General path: gather x's section to y's owners, then combine. The
     // gathered temporary is y-shaped, with x values at y's addresses.
     let mut staged = y.clone();
-    let sched = crate::comm::CommSchedule::build(
-        y.p(),
-        y.k(),
-        sec_y,
-        x.k(),
-        sec_x,
-        Method::Lattice,
-    )?;
+    let sched =
+        crate::comm::CommSchedule::build(y.p(), y.k(), sec_y, x.k(), sec_x, Method::Lattice)?;
     sched.execute(&mut staged, x)?;
     let plans = plan_section(y.p(), y.k(), sec_y, Method::Lattice)?;
     let machine = Machine::new(y.p());
@@ -154,11 +152,14 @@ pub fn iamax(x: &DistArray<f64>, section: &RegularSection) -> Result<Option<(i64
         }
         best
     });
-    Ok(partials.into_iter().flatten().fold(None, |best, (r, v)| match best {
-        None => Some((r, v)),
-        Some((_, bv)) if v.abs() > bv.abs() => Some((r, v)),
-        keep => keep,
-    }))
+    Ok(partials
+        .into_iter()
+        .flatten()
+        .fold(None, |best, (r, v)| match best {
+            None => Some((r, v)),
+            Some((_, bv)) if v.abs() > bv.abs() => Some((r, v)),
+            keep => keep,
+        }))
 }
 
 #[cfg(test)]
@@ -178,7 +179,11 @@ mod tests {
         scal(&mut x, &sec, -2.0).unwrap();
         let g = x.to_global();
         for i in 0..200i64 {
-            let expect = if sec.contains(i) { -2.0 * data[i as usize] } else { data[i as usize] };
+            let expect = if sec.contains(i) {
+                -2.0 * data[i as usize]
+            } else {
+                data[i as usize]
+            };
             assert_eq!(g[i as usize], expect, "i={i}");
         }
     }
@@ -221,8 +226,11 @@ mod tests {
         let sec = RegularSection::new(1, 235, 6).unwrap();
         let expect_asum: f64 = sec.iter().map(|i| data[i as usize].abs()).sum();
         assert_eq!(asum(&x, &sec).unwrap(), expect_asum);
-        let expect_nrm2: f64 =
-            sec.iter().map(|i| data[i as usize].powi(2)).sum::<f64>().sqrt();
+        let expect_nrm2: f64 = sec
+            .iter()
+            .map(|i| data[i as usize].powi(2))
+            .sum::<f64>()
+            .sqrt();
         assert!((nrm2(&x, &sec).unwrap() - expect_nrm2).abs() < 1e-9);
     }
 

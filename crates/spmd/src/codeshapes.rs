@@ -185,7 +185,9 @@ mod tests {
                 if pat.is_empty() {
                     continue;
                 }
-                let Some(last_g) = last_location(&pr, m, u).unwrap() else { continue };
+                let Some(last_g) = last_location(&pr, m, u).unwrap() else {
+                    continue;
+                };
                 let start = pat.start_local().unwrap();
                 let last = lay.local_addr(last_g);
                 let expect = pat.locals_to(u);

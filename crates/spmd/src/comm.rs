@@ -8,15 +8,17 @@
 //! examples, built directly on the access-sequence machinery: each source
 //! processor enumerates the RHS elements it owns with the core algorithm,
 //! maps each element's section rank to its LHS home, and the exchange is
-//! executed with one message channel per destination node (crossbeam
-//! channels standing in for the iPSC/860's message passing).
+//! executed with one message channel per destination node
+//! (`std::sync::mpsc` channels standing in for the iPSC/860's message
+//! passing).
+
+use std::sync::mpsc;
 
 use bcag_core::error::{BcagError, Result};
 use bcag_core::method::{build, Method};
 use bcag_core::params::Problem;
 use bcag_core::section::RegularSection;
 use bcag_core::Layout;
-use crossbeam::channel;
 
 use crate::darray::DistArray;
 
@@ -220,8 +222,7 @@ impl CommSchedule {
                 let mut total = 0i64;
                 for &tb in &b_side[src] {
                     for &ta in &a_side[dst] {
-                        if let Some(common) =
-                            intersect(&Ap::new(tb, step_b), &Ap::new(ta, step_a))
+                        if let Some(common) = intersect(&Ap::new(tb, step_b), &Ap::new(ta, step_a))
                         {
                             total += common.count_to(t_max);
                         }
@@ -250,7 +251,9 @@ impl CommSchedule {
             .iter()
             .enumerate()
             .flat_map(|(s, row)| {
-                row.iter().enumerate().filter_map(move |(d, v)| (s != d).then_some(v.len()))
+                row.iter()
+                    .enumerate()
+                    .filter_map(move |(d, v)| (s != d).then_some(v.len()))
             })
             .sum()
     }
@@ -265,14 +268,15 @@ impl CommSchedule {
         assert_eq!(a.p(), self.p, "LHS machine size mismatch");
         assert_eq!(b.p(), self.p, "RHS machine size mismatch");
         let p = self.p as usize;
-        // One inbox per node.
+        // One inbox per node; each node thread gets its own clones of every
+        // outgoing endpoint (mpsc senders are Clone, receivers move in).
         let (senders, receivers): (Vec<_>, Vec<_>) =
-            (0..p).map(|_| channel::unbounded::<(i64, T)>()).unzip();
+            (0..p).map(|_| mpsc::channel::<(i64, T)>()).unzip();
         let sets = &self.sets;
         let locals_a = a.locals_mut();
         std::thread::scope(|scope| {
             for ((src, local_a), inbox) in locals_a.iter_mut().enumerate().zip(receivers) {
-                let senders = &senders;
+                let senders: Vec<mpsc::Sender<(i64, T)>> = senders.clone();
                 scope.spawn(move || {
                     // Send phase: pack from B's local memory.
                     let local_b = b.local(src as i64);
@@ -289,8 +293,7 @@ impl CommSchedule {
                     // (the schedule is global knowledge, as on a real SPMD
                     // machine), so a counted loop avoids a termination
                     // protocol.
-                    let expected: usize =
-                        sets.iter().map(|row| row[src].len()).sum();
+                    let expected: usize = sets.iter().map(|row| row[src].len()).sum();
                     for _ in 0..expected {
                         let (addr, v) = inbox.recv().expect("message for expected count");
                         local_a[addr as usize] = v;
@@ -422,10 +425,8 @@ mod tests {
         ] {
             let sec_a = RegularSection::new(la, la + (count - 1) * s_a, s_a).unwrap();
             let sec_b = RegularSection::new(lb, lb + (count - 1) * s_b, s_b).unwrap();
-            let sched =
-                CommSchedule::build(p, k_a, &sec_a, k_b, &sec_b, Method::Lattice).unwrap();
-            let matrix =
-                CommSchedule::message_matrix(p, k_a, &sec_a, k_b, &sec_b).unwrap();
+            let sched = CommSchedule::build(p, k_a, &sec_a, k_b, &sec_b, Method::Lattice).unwrap();
+            let matrix = CommSchedule::message_matrix(p, k_a, &sec_a, k_b, &sec_b).unwrap();
             for src in 0..p {
                 for dst in 0..p {
                     assert_eq!(
@@ -453,7 +454,10 @@ mod tests {
         assert_eq!(total, n);
         // Shift by 1 within blocks of 16: 15/16 of elements stay local.
         let local: i64 = (0..8).map(|i| m[i][i]).sum();
-        assert!(local * 16 > total * 14, "local fraction ~15/16, got {local}/{total}");
+        assert!(
+            local * 16 > total * 14,
+            "local fraction ~15/16, got {local}/{total}"
+        );
     }
 
     #[test]

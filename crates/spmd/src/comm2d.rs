@@ -27,7 +27,9 @@ fn dim_rank_owners(
     method: Method,
 ) -> Result<Vec<Vec<(i64, i64)>>> {
     if sec.s <= 0 {
-        return Err(BcagError::Precondition("2-D assignment requires ascending triplets"));
+        return Err(BcagError::Precondition(
+            "2-D assignment requires ascending triplets",
+        ));
     }
     let problem = Problem::new(p, k, sec.l, sec.s)?;
     let lay = bcag_core::Layout::from_raw(p, k);
@@ -62,7 +64,9 @@ where
 {
     for d in 0..2 {
         if sec_a[d].count() != sec_b[d].count() {
-            return Err(BcagError::Precondition("2-D sections must conform per dimension"));
+            return Err(BcagError::Precondition(
+                "2-D sections must conform per dimension",
+            ));
         }
     }
     let method = Method::Lattice;

@@ -33,7 +33,13 @@ impl<T: Clone> DistArray<T> {
         let locals = (0..p)
             .map(|m| vec![init.clone(); layout.local_len(n, m) as usize])
             .collect();
-        Ok(DistArray { p, k, n, layout, locals })
+        Ok(DistArray {
+            p,
+            k,
+            n,
+            layout,
+            locals,
+        })
     }
 
     /// Creates a zero-length array (no elements on any processor).

@@ -33,7 +33,8 @@ impl<T: Clone + Send + Sync> DistMatrix<T> {
             .grid()
             .iter_coords()
             .map(|coords| {
-                map.local_size(&coords).map(|n| vec![init.clone(); n as usize])
+                map.local_size(&coords)
+                    .map(|n| vec![init.clone(); n as usize])
             })
             .collect::<Result<Vec<_>>>()?;
         Ok(DistMatrix { map, locals })
@@ -170,7 +171,12 @@ impl<T: Clone + Send + Sync> DistMatrix<T> {
         let machine = Machine::new(map.grid().size());
         machine.run(&mut self.locals, |rank, local| {
             for acc in &work[rank] {
-                f(acc.t, acc.index[0], acc.index[1], &mut local[acc.local as usize]);
+                f(
+                    acc.t,
+                    acc.index[0],
+                    acc.index[1],
+                    &mut local[acc.local as usize],
+                );
             }
         });
         Ok(())
@@ -215,7 +221,8 @@ mod tests {
     fn lower_triangle_update() {
         let n = 20;
         let mut m = DistMatrix::from_fn(map_2d(n), |_, _| 0i64).unwrap();
-        m.apply_trapezoid(&Trapezoid::lower_triangle(n), |_, _, x| *x = 1).unwrap();
+        m.apply_trapezoid(&Trapezoid::lower_triangle(n), |_, _, x| *x = 1)
+            .unwrap();
         let dense = m.to_dense().unwrap();
         for i in 0..n as usize {
             for j in 0..n as usize {

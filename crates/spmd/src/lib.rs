@@ -55,15 +55,15 @@ pub mod statement;
 pub mod stats;
 
 pub use assign::{apply_section, assign_scalar, plan_section, NodePlan};
+pub use blas1::{asum, axpy, iamax, nrm2, scal};
 pub use codeshapes::CodeShape;
 pub use comm::{assign_array, CommSchedule, Transfer};
 pub use comm2d::assign_matrix;
 pub use darray::DistArray;
 pub use dmatrix::DistMatrix;
-pub use reduce::{dot_sections, reduce_section, sum_section};
-pub use statement::{assign_expr, redistribute};
-pub use pack::gather_section;
-pub use blas1::{asum, axpy, iamax, nrm2, scal};
-pub use shift::{cshift, eoshift};
-pub use stats::{block_size_tradeoff, comm_stats, load_stats, CommStats, LoadStats};
 pub use machine::Machine;
+pub use pack::gather_section;
+pub use reduce::{dot_sections, reduce_section, sum_section};
+pub use shift::{cshift, eoshift};
+pub use statement::{assign_expr, redistribute};
+pub use stats::{block_size_tradeoff, comm_stats, load_stats, CommStats, LoadStats};

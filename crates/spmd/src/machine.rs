@@ -82,7 +82,9 @@ impl Machine {
                 });
             }
         });
-        out.into_iter().map(|r| r.expect("node completed")).collect()
+        out.into_iter()
+            .map(|r| r.expect("node completed"))
+            .collect()
     }
 }
 

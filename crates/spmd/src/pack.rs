@@ -25,7 +25,9 @@ pub fn pack<T: Clone + Send + Sync>(
 ) -> Result<Vec<T>> {
     let plans = plan_section(arr.p(), arr.k(), section, method)?;
     let plan = &plans[m as usize];
-    let Some(start) = plan.start else { return Ok(vec![]) };
+    let Some(start) = plan.start else {
+        return Ok(vec![]);
+    };
     let local = arr.local(m);
     let mut out = Vec::new();
     let mut addr = start;
@@ -61,7 +63,9 @@ pub fn unpack<T: Clone + Send + Sync>(
         return if buffer.is_empty() {
             Ok(())
         } else {
-            Err(BcagError::Precondition("buffer for a processor that owns nothing"))
+            Err(BcagError::Precondition(
+                "buffer for a processor that owns nothing",
+            ))
         };
     };
     let local = arr.local_mut(m);

@@ -48,9 +48,17 @@ where
         // how a node program would stream over its own storage.
         let mut local: Vec<T> = arr.local(m as i64).to_vec();
         let mut acc = init.clone();
-        traverse(shape, &mut local, start, plan.last, &plan.delta_m, tables, |x| {
-            acc = f(acc.clone(), x);
-        });
+        traverse(
+            shape,
+            &mut local,
+            start,
+            plan.last,
+            &plan.delta_m,
+            tables,
+            |x| {
+                acc = f(acc.clone(), x);
+            },
+        );
         acc
     });
     Ok(partials.into_iter().fold(init, combine))
@@ -63,7 +71,15 @@ pub fn sum_section(
     method: Method,
     shape: CodeShape,
 ) -> Result<f64> {
-    reduce_section(arr, section, method, shape, 0.0, |a, &x| a + x, |a, b| a + b)
+    reduce_section(
+        arr,
+        section,
+        method,
+        shape,
+        0.0,
+        |a, &x| a + x,
+        |a, b| a + b,
+    )
 }
 
 /// Dot product of two conforming sections of distributed arrays with the
@@ -141,7 +157,10 @@ mod tests {
         let data: Vec<f64> = (0..300).map(|i| ((i * 37) % 101) as f64).collect();
         let arr = DistArray::from_global(4, 8, &data).unwrap();
         let sec = RegularSection::new(0, 299, 3).unwrap();
-        let expect = sec.iter().map(|i| data[i as usize]).fold(f64::MIN, f64::max);
+        let expect = sec
+            .iter()
+            .map(|i| data[i as usize])
+            .fold(f64::MIN, f64::max);
         let got = reduce_section(
             &arr,
             &sec,

@@ -93,7 +93,9 @@ mod tests {
 
     fn seq_cshift(v: &[i64], shift: i64) -> Vec<i64> {
         let n = v.len() as i64;
-        (0..n).map(|i| v[((i + shift).rem_euclid(n)) as usize]).collect()
+        (0..n)
+            .map(|i| v[((i + shift).rem_euclid(n)) as usize])
+            .collect()
     }
 
     #[test]

@@ -47,7 +47,13 @@ pub fn load_stats(p: i64, k: i64, section: &RegularSection) -> Result<LoadStats>
     let min = per_proc.iter().copied().min().unwrap_or(0);
     let ideal = total as f64 / p as f64;
     let imbalance = if total == 0 { 1.0 } else { max as f64 / ideal };
-    Ok(LoadStats { per_proc, total, max, min, imbalance })
+    Ok(LoadStats {
+        per_proc,
+        total,
+        max,
+        min,
+        imbalance,
+    })
 }
 
 /// Communication summary of an assignment `A(sec_a) = B(sec_b)`.
@@ -102,12 +108,7 @@ pub fn comm_stats(
 /// Sweeps block sizes and reports `(k, imbalance, nonlocal fraction)` for a
 /// same-layout copy shifted by `shift` — the classic "choose k" tradeoff
 /// table: small `k` balances load; large `k` keeps shifted neighbors local.
-pub fn block_size_tradeoff(
-    p: i64,
-    ks: &[i64],
-    n: i64,
-    shift: i64,
-) -> Result<Vec<(i64, f64, f64)>> {
+pub fn block_size_tradeoff(p: i64, ks: &[i64], n: i64, shift: i64) -> Result<Vec<(i64, f64, f64)>> {
     let mut out = Vec::with_capacity(ks.len());
     let sec_a = RegularSection::new(0, n - 1 - shift, 1)?;
     let sec_b = RegularSection::new(shift, n - 1, 1)?;

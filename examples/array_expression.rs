@@ -46,11 +46,15 @@ fn main() {
         let expect = alpha * bg[(2 + 2 * t) as usize] + cg[(10 + t) as usize];
         assert_eq!(got[(3 * t) as usize], expect, "t={t}");
     }
-    println!("triad A(0:{}:3) = {alpha}*B(2:{}:2) + C(10:{}:1): ✓", 3 * n - 3, 2 * n, n + 9);
+    println!(
+        "triad A(0:{}:3) = {alpha}*B(2:{}:2) + C(10:{}:1): ✓",
+        3 * n - 3,
+        2 * n,
+        n + 9
+    );
 
     // A distributed reduction over the result.
-    let total = sum_section(&a, &sec_a, Method::Lattice, CodeShape::BranchLoop)
-        .expect("reduction");
+    let total = sum_section(&a, &sec_a, Method::Lattice, CodeShape::BranchLoop).expect("reduction");
     let expect_total: f64 = (0..n)
         .map(|t| alpha * bg[(2 + 2 * t) as usize] + cg[(10 + t) as usize])
         .sum();

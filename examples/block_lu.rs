@@ -52,8 +52,9 @@ fn main() {
     let mut a = DistMatrix::from_fn(map, gen).expect("matrix");
 
     // Sequential reference.
-    let mut reference: Vec<Vec<f64>> =
-        (0..N).map(|i| (0..N).map(|j| gen(i, j)).collect()).collect();
+    let mut reference: Vec<Vec<f64>> = (0..N)
+        .map(|i| (0..N).map(|j| gen(i, j)).collect())
+        .collect();
     sequential_lu(&mut reference);
 
     // Distributed right-looking LU.

@@ -30,7 +30,10 @@ fn main() {
     println!("\n== Figure 6: points visited by processor 1 (l=4, s=9) ==\n");
     print!("{}", viz::render_visits(&pat, 10));
     println!("\nlegend: (l)=lower bound  <i>=visited by proc 1  [i]=other section element");
-    println!("AM table: {:?}  (paper: [3, 12, 15, 12, 3, 12, 3, 12])", pat.gaps());
+    println!(
+        "AM table: {:?}  (paper: [3, 12, 15, 12, 3, 12, 3, 12])",
+        pat.gaps()
+    );
 
     // Figure 2 proper: the lattice strip with O, R and the cycle maximum
     // M marked.

@@ -36,7 +36,11 @@ fn main() {
     println!("\n== Lattice method (Figure 5) on processor {m} ==");
     println!("start: global index {}", pattern.start_global().unwrap());
     println!("start: local address {}", pattern.start_local().unwrap());
-    println!("AM gap table ({} entries): {:?}", pattern.len(), pattern.gaps());
+    println!(
+        "AM gap table ({} entries): {:?}",
+        pattern.len(),
+        pattern.gaps()
+    );
 
     // The O(k log k) baseline produces the identical table.
     let baseline = build(&problem, m, Method::SortingAuto).expect("baseline succeeds");
@@ -55,5 +59,8 @@ fn main() {
     let from_walker: Vec<i64> = walker.up_to(section.u).map(|a| a.local).collect();
     let from_table: Vec<i64> = pattern.locals_to(section.u);
     assert_eq!(from_walker, from_table);
-    println!("\ntable-free walker (R/L only) agrees: ✓ ({} accesses)", from_walker.len());
+    println!(
+        "\ntable-free walker (R/L only) agrees: ✓ ({} accesses)",
+        from_walker.len()
+    );
 }

@@ -81,11 +81,12 @@ fn main() {
         .zip(&x_seq)
         .map(|(a, b)| (a - b).abs())
         .fold(0.0f64, f64::max);
-    println!(
-        "red-black relaxation: N={N}, cyclic({K}) over {P} procs, {SWEEPS} sweeps"
-    );
+    println!("red-black relaxation: N={N}, cyclic({K}) over {P} procs, {SWEEPS} sweeps");
     println!("max |distributed - sequential| = {max_err:.3e}");
-    assert!(max_err < 1e-12, "distributed run must track sequential bitwise-ish");
+    assert!(
+        max_err < 1e-12,
+        "distributed run must track sequential bitwise-ish"
+    );
 
     // A section reduction as the convergence check an iterative solver
     // would run: SUM over the interior.

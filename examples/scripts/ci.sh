@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Offline CI gate for the hermetic workspace.
+#
+# Everything runs with --offline: the workspace has no registry
+# dependencies (see DESIGN.md, "Zero-dependency policy"), so a network
+# or crates.io index must never be required. A step that tries to reach
+# the network is itself a regression.
+#
+# Usage: examples/scripts/ci.sh   (from anywhere; cd's to the repo root)
+
+set -euo pipefail
+
+cd "$(dirname "$0")/../.."
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo build --release --offline"
+cargo build --workspace --release --offline
+
+echo "==> cargo test --offline"
+cargo test -q --workspace --offline
+
+echo "==> bench smoke (--quick) for every target"
+for bench in construction sorting_ablation gcd_effect codeshapes \
+             tableless comm_schedule special_cases; do
+    echo "--> $bench"
+    cargo bench -q --offline -p bcag-bench --bench "$bench" -- --quick \
+        > /dev/null
+    report="target/bcag-bench/$bench.json"
+    [ -s "$report" ] || { echo "missing bench report: $report" >&2; exit 1; }
+done
+
+echo "ci: OK"

@@ -24,8 +24,7 @@ fn main() {
     let mut a = DistArray::new(p, k_a, n, 0i64).expect("A");
 
     let sec = RegularSection::new(0, n - 1, 1).expect("section");
-    let schedule =
-        CommSchedule::build(p, k_a, &sec, k_b, &sec, Method::Lattice).expect("schedule");
+    let schedule = CommSchedule::build(p, k_a, &sec, k_b, &sec, Method::Lattice).expect("schedule");
 
     println!("redistribution cyclic({k_b}) -> cyclic({k_a}), n = {n}, p = {p}");
     println!(

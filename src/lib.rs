@@ -22,7 +22,9 @@ pub use bcag_hpf as hpf;
 pub use bcag_rt as rt;
 pub use bcag_spmd as spmd;
 
-pub use bcag_core::{build, Access, AccessPattern, BcagError, Layout, Method, Problem, RegularSection};
+pub use bcag_core::{
+    build, Access, AccessPattern, BcagError, Layout, Method, Problem, RegularSection,
+};
 
 /// Convenience prelude: `use bcag::prelude::*;` pulls in the types most
 /// programs need.

@@ -7,12 +7,11 @@ use bcag::core::method::Method;
 use bcag::core::RegularSection;
 use bcag::hpf::{ArrayMap, DimMap, Dist};
 use bcag::Layout;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use bcag_harness::Rng;
 
 #[test]
 fn randomized_alignments_match_brute_force() {
-    let mut rng = StdRng::seed_from_u64(77);
+    let mut rng = Rng::seed_from_u64(77);
     for _ in 0..80 {
         let p = rng.random_range(1..=5);
         let k = rng.random_range(1..=10);
@@ -41,7 +40,10 @@ fn randomized_alignments_match_brute_force() {
             .collect();
 
         match alp.start_packed {
-            None => assert!(accesses.is_empty(), "p={p} k={k} a={a} b={b} l={l} s={s} m={m}"),
+            None => assert!(
+                accesses.is_empty(),
+                "p={p} k={k} a={a} b={b} l={l} s={s} m={m}"
+            ),
             Some(start) => {
                 let mut got = vec![start];
                 let mut r = start;
@@ -57,7 +59,7 @@ fn randomized_alignments_match_brute_force() {
 
 #[test]
 fn randomized_2d_sections_match_brute_force() {
-    let mut rng = StdRng::seed_from_u64(123);
+    let mut rng = Rng::seed_from_u64(123);
     for _ in 0..40 {
         let n0 = rng.random_range(4..=30);
         let n1 = rng.random_range(4..=30);
@@ -81,7 +83,9 @@ fn randomized_2d_sections_match_brute_force() {
         ];
 
         for coords in map.grid().iter_coords() {
-            let got = map.section_accesses(&coords, &sec, Method::Lattice).unwrap();
+            let got = map
+                .section_accesses(&coords, &sec, Method::Lattice)
+                .unwrap();
             let mut expect = Vec::new();
             let mut j = l1;
             while j < n1 {
@@ -125,7 +129,10 @@ fn mixed_distribution_3d() {
     ];
     let mut seen = 0usize;
     for coords in map.grid().iter_coords() {
-        seen += map.section_accesses(&coords, &sec, Method::Lattice).unwrap().len();
+        seen += map
+            .section_accesses(&coords, &sec, Method::Lattice)
+            .unwrap()
+            .len();
     }
     assert_eq!(seen, 16 * 5 * 12);
 }
@@ -162,7 +169,9 @@ fn empty_intersections() {
         RegularSection::new(0, 7, 1).unwrap(),
     ];
     for coords in map.grid().iter_coords() {
-        let got = map.section_accesses(&coords, &sec, Method::Lattice).unwrap();
+        let got = map
+            .section_accesses(&coords, &sec, Method::Lattice)
+            .unwrap();
         if coords[0] == 0 {
             assert_eq!(got.len(), 8);
         } else {

@@ -10,17 +10,17 @@ use bcag::core::start::last_location;
 use bcag::{Layout, Problem};
 
 fn have_cc() -> bool {
-    Command::new("cc").arg("--version").output().map(|o| o.status.success()).unwrap_or(false)
+    Command::new("cc")
+        .arg("--version")
+        .output()
+        .map(|o| o.status.success())
+        .unwrap_or(false)
 }
 
 /// Compiles `node_m<m>` plus a driver that prints every touched address,
 /// runs it, and returns the addresses.
 fn run_generated(c_code: &str, m: i64, mem_size: i64) -> Vec<i64> {
-    let dir = std::env::temp_dir().join(format!(
-        "bcag_codegen_{}_{}",
-        std::process::id(),
-        m
-    ));
+    let dir = std::env::temp_dir().join(format!("bcag_codegen_{}_{}", std::process::id(), m));
     std::fs::create_dir_all(&dir).expect("tmp dir");
     let src_path = dir.join("node.c");
     let bin_path = dir.join("node");
@@ -79,10 +79,17 @@ fn generated_c_touches_exactly_the_enumerated_addresses() {
             if pat.is_empty() {
                 continue;
             }
-            let Some(last_g) = last_location(&pr, m, u).unwrap() else { continue };
+            let Some(last_g) = last_location(&pr, m, u).unwrap() else {
+                continue;
+            };
             let mem_size = lay.local_addr(last_g) + 1;
             let expect = pat.locals_to(u);
-            for shape in [Shape::ModLoop, Shape::BranchLoop, Shape::SplitLoop, Shape::TwoTableLoop] {
+            for shape in [
+                Shape::ModLoop,
+                Shape::BranchLoop,
+                Shape::SplitLoop,
+                Shape::TwoTableLoop,
+            ] {
                 let code = emit_c(&pr, m, u, &pat, shape, "1.0").unwrap();
                 let touched = run_generated(&code, m, mem_size);
                 assert_eq!(

@@ -64,7 +64,9 @@ fn aligned_pattern_propagates_parameter_errors() {
 }
 
 fn corrupted(base: &AccessPattern, f: impl FnOnce(&mut CyclicPattern)) -> AccessPattern {
-    let Pattern::Cyclic(c) = base.pattern() else { panic!("need cyclic") };
+    let Pattern::Cyclic(c) = base.pattern() else {
+        panic!("need cyclic")
+    };
     let mut c = c.clone();
     f(&mut c);
     AccessPattern::from_parts(*base.problem(), base.proc(), Pattern::Cyclic(c))
@@ -78,21 +80,23 @@ fn invariant_checker_rejects_corruptions() {
 
     type Corruption = Box<dyn FnOnce(&mut CyclicPattern)>;
     let corruptions: Vec<Corruption> = vec![
-        Box::new(|c| c.gaps[0] += 1),                   // breaks period sum
-        Box::new(|c| c.gaps[2] = -c.gaps[2]),           // negative gap
-        Box::new(|c| c.global_steps[1] += 9),           // breaks global period
-        Box::new(|c| c.start_global += 9),              // start on wrong processor? no — wrong local
-        Box::new(|c| c.start_local += 1),               // local address drift
+        Box::new(|c| c.gaps[0] += 1),         // breaks period sum
+        Box::new(|c| c.gaps[2] = -c.gaps[2]), // negative gap
+        Box::new(|c| c.global_steps[1] += 9), // breaks global period
+        Box::new(|c| c.start_global += 9),    // start on wrong processor? no — wrong local
+        Box::new(|c| c.start_local += 1),     // local address drift
         Box::new(|c| {
-            c.gaps.swap(0, 1);                          // wrong order of gaps
+            c.gaps.swap(0, 1); // wrong order of gaps
         }),
     ];
     for (i, f) in corruptions.into_iter().enumerate() {
         let bad = corrupted(&good, f);
-        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            bad.check_invariants()
-        }));
-        assert!(outcome.is_err(), "corruption #{i} slipped through the checker");
+        let outcome =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| bad.check_invariants()));
+        assert!(
+            outcome.is_err(),
+            "corruption #{i} slipped through the checker"
+        );
     }
 }
 
@@ -117,7 +121,11 @@ fn section_accesses_error_paths() {
     let map = ArrayMap::new(vec![DimMap::simple(10, 2, Dist::Cyclic).unwrap()]).unwrap();
     // Coordinate out of the grid.
     assert!(map
-        .section_accesses(&[2], &[RegularSection::new(0, 9, 1).unwrap()], Method::Lattice)
+        .section_accesses(
+            &[2],
+            &[RegularSection::new(0, 9, 1).unwrap()],
+            Method::Lattice
+        )
         .is_err());
     // Bad index.
     assert!(map.owner_coords(&[10]).is_err());

@@ -1,8 +1,12 @@
-//! Property-based tests (proptest) of the core invariants.
+//! Property-based tests (via `bcag_harness::prop`) of the core invariants.
 //!
-//! Strategy: draw `(p, k, l, s, m)` from ranges that keep the brute-force
+//! Strategy: draw `(p, k, l, s)` from ranges that keep the brute-force
 //! oracle affordable, then assert structural invariants and cross-method
 //! agreement. Each property encodes a theorem or definition from the paper.
+//!
+//! On failure the harness reports the failing case's seed; re-run with
+//! `BCAG_PROPTEST_SEED=<seed>` to regenerate the identical input as case 0.
+//! `BCAG_PROPTEST_CASES` scales the per-property case count.
 
 use bcag::core::basis::Basis;
 use bcag::core::fsm;
@@ -13,288 +17,394 @@ use bcag::core::start::{count_owned, last_location};
 use bcag::core::two_table::TwoTable;
 use bcag::core::walker::Walker;
 use bcag::{Layout, Problem};
-use proptest::prelude::*;
+use bcag_harness::prop::{assume, check, ints, shrink_toward, Gen, VecOfInts};
+use bcag_harness::Rng;
 
-/// Parameter strategy: p in 1..=12, k in 1..=48, s in 1..=3pk, l in 0..=2s.
-fn params() -> impl Strategy<Value = (i64, i64, i64, i64)> {
-    (1i64..=12, 1i64..=48).prop_flat_map(|(p, k)| {
-        (Just(p), Just(k), 1i64..=3 * p * k).prop_flat_map(|(p, k, s)| {
-            (Just(p), Just(k), 0i64..=2 * s, Just(s))
-        })
-    })
+/// Parameter generator: p in 1..=12, k in 1..=48, s in 1..=3pk, l in 0..=2s
+/// (the dependent ranges of the paper's parameter space). Shrinks each
+/// component by halving toward its minimum; every candidate stays a valid
+/// `Problem` input, so shrunk counterexamples remain well-formed.
+#[derive(Clone, Copy)]
+struct Params;
+
+impl Gen for Params {
+    type Value = (i64, i64, i64, i64); // (p, k, l, s)
+
+    fn generate(&self, rng: &mut Rng) -> Self::Value {
+        let p = rng.random_range(1..=12);
+        let k = rng.random_range(1..=48);
+        let s = rng.random_range(1..=3 * p * k);
+        let l = rng.random_range(0..=2 * s);
+        (p, k, l, s)
+    }
+
+    fn shrink(&self, &(p, k, l, s): &Self::Value) -> Vec<Self::Value> {
+        let mut out = Vec::new();
+        out.extend(shrink_toward(p, 1).into_iter().map(|v| (v, k, l, s)));
+        out.extend(shrink_toward(k, 1).into_iter().map(|v| (p, v, l, s)));
+        out.extend(shrink_toward(l, 0).into_iter().map(|v| (p, k, v, s)));
+        out.extend(shrink_toward(s, 1).into_iter().map(|v| (p, k, l, v)));
+        out
+    }
 }
 
-proptest! {
-    /// The lattice method's output always satisfies the full invariant set
-    /// (positive gaps, period sums, ownership, no skipped elements).
-    #[test]
-    fn lattice_pattern_invariants((p, k, l, s) in params(), m_seed in 0i64..64) {
-        let pr = Problem::new(p, k, l, s).unwrap();
-        let m = m_seed % p;
-        let pat = build(&pr, m, Method::Lattice).unwrap();
-        pat.check_invariants();
-    }
+/// The lattice method's output always satisfies the full invariant set
+/// (positive gaps, period sums, ownership, no skipped elements).
+#[test]
+fn lattice_pattern_invariants() {
+    check(
+        "lattice_pattern_invariants",
+        &(Params, ints(0, 63)),
+        |&((p, k, l, s), m_seed)| {
+            let pr = Problem::new(p, k, l, s).unwrap();
+            let m = m_seed % p;
+            let pat = build(&pr, m, Method::Lattice).unwrap();
+            pat.check_invariants();
+        },
+    );
+}
 
-    /// Lattice == sorting == oracle for all drawn parameters (Theorem 3's
-    /// correctness, end to end).
-    #[test]
-    fn methods_agree((p, k, l, s) in params(), m_seed in 0i64..64) {
-        let pr = Problem::new(p, k, l, s).unwrap();
-        let m = m_seed % p;
-        let a = build(&pr, m, Method::Lattice).unwrap();
-        let b = build(&pr, m, Method::SortingComparison).unwrap();
-        let c = build(&pr, m, Method::Oracle).unwrap();
-        prop_assert_eq!(&a, &b);
-        prop_assert_eq!(&a, &c);
-    }
+/// Lattice == sorting == oracle for all drawn parameters (Theorem 3's
+/// correctness, end to end).
+#[test]
+fn methods_agree() {
+    check(
+        "methods_agree",
+        &(Params, ints(0, 63)),
+        |&((p, k, l, s), m_seed)| {
+            let pr = Problem::new(p, k, l, s).unwrap();
+            let m = m_seed % p;
+            let a = build(&pr, m, Method::Lattice).unwrap();
+            let b = build(&pr, m, Method::SortingComparison).unwrap();
+            let c = build(&pr, m, Method::Oracle).unwrap();
+            assert_eq!(&a, &b);
+            assert_eq!(&a, &c);
+        },
+    );
+}
 
-    /// Theorem 2: whenever the basis exists, R and L are lattice members
-    /// and |a_r·i_l − a_l·i_r| = 1.
-    #[test]
-    fn basis_is_a_lattice_basis((p, k, _l, s) in params()) {
+/// Theorem 2: whenever the basis exists, R and L are lattice members
+/// and |a_r·i_l − a_l·i_r| = 1.
+#[test]
+fn basis_is_a_lattice_basis() {
+    check("basis_is_a_lattice_basis", &Params, |&(p, k, _l, s)| {
         let pr = Problem::new(p, k, 0, s).unwrap();
         if let Ok(b) = Basis::compute(&pr) {
             let lat = SectionLattice::new(&pr);
-            prop_assert_eq!(lat.membership(b.r.b, b.r.a).map(|q| q.i), Some(b.r.i));
-            prop_assert_eq!(lat.membership(b.l.b, b.l.a).map(|q| q.i), Some(b.l.i));
-            prop_assert!(lat.is_basis(&b.r, &b.l));
+            assert_eq!(lat.membership(b.r.b, b.r.a).map(|q| q.i), Some(b.r.i));
+            assert_eq!(lat.membership(b.l.b, b.l.a).map(|q| q.i), Some(b.l.i));
+            assert!(lat.is_basis(&b.r, &b.l));
             // Offsets strictly inside (0, k); R forward, L backward.
-            prop_assert!(b.r.b > 0 && b.r.b < k && b.r.i > 0);
-            prop_assert!(b.l.b > 0 && b.l.b < k && b.l.i < 0);
+            assert!(b.r.b > 0 && b.r.b < k && b.r.i > 0);
+            assert!(b.l.b > 0 && b.l.b < k && b.l.i < 0);
         } else {
-            prop_assert!(pr.d() >= k);
+            assert!(pr.d() >= k);
         }
-    }
+    });
+}
 
-    /// The table-free walker reproduces the table-driven enumeration.
-    #[test]
-    fn walker_equals_table((p, k, l, s) in params(), m_seed in 0i64..64) {
-        let pr = Problem::new(p, k, l, s).unwrap();
-        let m = m_seed % p;
-        let pat = build(&pr, m, Method::Lattice).unwrap();
-        let via_table: Vec<_> = pat.iter().take(3 * pat.len().max(1)).collect();
-        let via_walker: Vec<_> = Walker::new(&pr, m).unwrap()
-            .take(3 * pat.len().max(1)).collect();
-        prop_assert_eq!(via_table, via_walker);
-    }
+/// The table-free walker reproduces the table-driven enumeration.
+#[test]
+fn walker_equals_table() {
+    check(
+        "walker_equals_table",
+        &(Params, ints(0, 63)),
+        |&((p, k, l, s), m_seed)| {
+            let pr = Problem::new(p, k, l, s).unwrap();
+            let m = m_seed % p;
+            let pat = build(&pr, m, Method::Lattice).unwrap();
+            let via_table: Vec<_> = pat.iter().take(3 * pat.len().max(1)).collect();
+            let via_walker: Vec<_> = Walker::new(&pr, m)
+                .unwrap()
+                .take(3 * pat.len().max(1))
+                .collect();
+            assert_eq!(via_table, via_walker);
+        },
+    );
+}
 
-    /// `last_location` and `count_owned` agree with bounded enumeration.
-    #[test]
-    fn closed_forms_match_enumeration(
-        (p, k, l, s) in params(),
-        m_seed in 0i64..64,
-        span in 0i64..400,
-    ) {
-        let pr = Problem::new(p, k, l, s).unwrap();
-        let m = m_seed % p;
-        let u = l + span;
-        let pat = build(&pr, m, Method::Lattice).unwrap();
-        let listed: Vec<_> = pat.iter_to(u).collect();
-        prop_assert_eq!(count_owned(&pr, m, u).unwrap(), listed.len() as i64);
-        let lay = Layout::new(&pr);
-        prop_assert_eq!(
-            last_location(&pr, m, u).unwrap().map(|g| lay.local_addr(g)),
-            listed.last().map(|a| a.local)
-        );
-    }
+/// `last_location` and `count_owned` agree with bounded enumeration.
+#[test]
+fn closed_forms_match_enumeration() {
+    check(
+        "closed_forms_match_enumeration",
+        &(Params, ints(0, 63), ints(0, 399)),
+        |&((p, k, l, s), m_seed, span)| {
+            let pr = Problem::new(p, k, l, s).unwrap();
+            let m = m_seed % p;
+            let u = l + span;
+            let pat = build(&pr, m, Method::Lattice).unwrap();
+            let listed: Vec<_> = pat.iter_to(u).collect();
+            assert_eq!(count_owned(&pr, m, u).unwrap(), listed.len() as i64);
+            let lay = Layout::new(&pr);
+            assert_eq!(
+                last_location(&pr, m, u).unwrap().map(|g| lay.local_addr(g)),
+                listed.last().map(|a| a.local)
+            );
+        },
+    );
+}
 
-    /// The two-table reindexing traverses the identical address sequence.
-    #[test]
-    fn two_table_equals_pattern((p, k, l, s) in params(), m_seed in 0i64..64) {
-        let pr = Problem::new(p, k, l, s).unwrap();
-        let m = m_seed % p;
-        let pat = build(&pr, m, Method::Lattice).unwrap();
-        let u = l + 20 * s;
-        let expect = pat.locals_to(u);
-        if let (Some(tt), Some(start), Some(&last)) =
-            (TwoTable::from_pattern(&pat), pat.start_local(), expect.last())
-        {
-            prop_assert_eq!(tt.locals_from(start, last), expect);
-        } else {
-            prop_assert!(expect.is_empty());
-        }
-    }
+/// The two-table reindexing traverses the identical address sequence.
+#[test]
+fn two_table_equals_pattern() {
+    check(
+        "two_table_equals_pattern",
+        &(Params, ints(0, 63)),
+        |&((p, k, l, s), m_seed)| {
+            let pr = Problem::new(p, k, l, s).unwrap();
+            let m = m_seed % p;
+            let pat = build(&pr, m, Method::Lattice).unwrap();
+            let u = l + 20 * s;
+            let expect = pat.locals_to(u);
+            if let (Some(tt), Some(start), Some(&last)) = (
+                TwoTable::from_pattern(&pat),
+                pat.start_local(),
+                expect.last(),
+            ) {
+                assert_eq!(tt.locals_from(start, last), expect);
+            } else {
+                assert!(expect.is_empty());
+            }
+        },
+    );
+}
 
-    /// Section 6.1: for gcd(s, pk) = 1, per-processor AM tables are cyclic
-    /// shifts of one another.
-    #[test]
-    fn coprime_tables_are_rotations((p, k, _l, s) in params()) {
+/// Section 6.1: for gcd(s, pk) = 1, per-processor AM tables are cyclic
+/// shifts of one another.
+#[test]
+fn coprime_tables_are_rotations() {
+    check("coprime_tables_are_rotations", &Params, |&(p, k, _l, s)| {
         let pr = Problem::new(p, k, 0, s).unwrap();
-        prop_assume!(pr.d() == 1);
+        assume(pr.d() == 1);
         let base = build(&pr, 0, Method::Lattice).unwrap();
         for m in 1..p {
             let pat = build(&pr, m, Method::Lattice).unwrap();
-            prop_assert!(fsm::is_cyclic_shift(base.gaps(), pat.gaps()));
+            assert!(fsm::is_cyclic_shift(base.gaps(), pat.gaps()));
         }
-    }
+    });
+}
 
-    /// Negative-stride sections normalize to the same element set.
-    #[test]
-    fn negative_stride_mirror(l in 0i64..500, count in 1i64..60, s in 1i64..40) {
-        let hi = l + (count - 1) * s;
-        let fwd = RegularSection::new(l, hi, s).unwrap();
-        let bwd = RegularSection::new(hi, l, -s).unwrap();
-        prop_assert_eq!(fwd.count(), bwd.count());
-        let mut rev: Vec<i64> = bwd.iter().collect();
-        rev.reverse();
-        let fwd_elems: Vec<i64> = fwd.iter().collect();
-        prop_assert_eq!(fwd_elems, rev);
-        let n = bwd.normalized();
-        prop_assert!(n.reversed);
-        prop_assert_eq!((n.lo, n.hi, n.step), (l, hi, s));
-    }
+/// Negative-stride sections normalize to the same element set.
+#[test]
+fn negative_stride_mirror() {
+    check(
+        "negative_stride_mirror",
+        &(ints(0, 499), ints(1, 59), ints(1, 39)),
+        |&(l, count, s)| {
+            let hi = l + (count - 1) * s;
+            let fwd = RegularSection::new(l, hi, s).unwrap();
+            let bwd = RegularSection::new(hi, l, -s).unwrap();
+            assert_eq!(fwd.count(), bwd.count());
+            let mut rev: Vec<i64> = bwd.iter().collect();
+            rev.reverse();
+            let fwd_elems: Vec<i64> = fwd.iter().collect();
+            assert_eq!(fwd_elems, rev);
+            let n = bwd.normalized();
+            assert!(n.reversed);
+            assert_eq!((n.lo, n.hi, n.step), (l, hi, s));
+        },
+    );
+}
 
-    /// The radix sort sorts.
-    #[test]
-    fn radix_sorts(mut v in proptest::collection::vec(0i64..1_000_000_000, 0..500)) {
-        let mut expect = v.clone();
-        expect.sort_unstable();
-        bcag::core::radix::sort_i64(&mut v);
-        prop_assert_eq!(v, expect);
-    }
+/// The radix sort sorts.
+#[test]
+fn radix_sorts() {
+    check(
+        "radix_sorts",
+        &VecOfInts::new(0, 499, 0, 999_999_999),
+        |v| {
+            let mut v = v.clone();
+            let mut expect = v.clone();
+            expect.sort_unstable();
+            bcag::core::radix::sort_i64(&mut v);
+            assert_eq!(v, expect);
+        },
+    );
+}
 
-    /// The special-case fast paths always equal the general algorithm.
-    #[test]
-    fn special_fast_path_agrees((p, k, l, s) in params(), m_seed in 0i64..64) {
-        let pr = Problem::new(p, k, l, s).unwrap();
-        let m = m_seed % p;
-        let fast = bcag::core::special::build_fast(&pr, m).unwrap();
-        let slow = build(&pr, m, Method::Lattice).unwrap();
-        prop_assert_eq!(fast, slow);
-    }
+/// The special-case fast paths always equal the general algorithm.
+#[test]
+fn special_fast_path_agrees() {
+    check(
+        "special_fast_path_agrees",
+        &(Params, ints(0, 63)),
+        |&((p, k, l, s), m_seed)| {
+            let pr = Problem::new(p, k, l, s).unwrap();
+            let m = m_seed % p;
+            let fast = bcag::core::special::build_fast(&pr, m).unwrap();
+            let slow = build(&pr, m, Method::Lattice).unwrap();
+            assert_eq!(fast, slow);
+        },
+    );
+}
 
-    /// O(1) random access agrees with sequential iteration.
-    #[test]
-    fn nth_matches_iteration((p, k, l, s) in params(), m_seed in 0i64..64) {
-        use bcag::core::nth::RandomAccess;
-        let pr = Problem::new(p, k, l, s).unwrap();
-        let m = m_seed % p;
-        let pat = build(&pr, m, Method::Lattice).unwrap();
-        if let Some(ra) = RandomAccess::new(&pat) {
-            for (t, acc) in pat.iter().take(30).enumerate() {
-                prop_assert_eq!(ra.nth(t as i64), acc);
-                prop_assert_eq!(ra.rank_of_global(acc.global), Some(t as i64));
+/// O(1) random access agrees with sequential iteration.
+#[test]
+fn nth_matches_iteration() {
+    check(
+        "nth_matches_iteration",
+        &(Params, ints(0, 63)),
+        |&((p, k, l, s), m_seed)| {
+            use bcag::core::nth::RandomAccess;
+            let pr = Problem::new(p, k, l, s).unwrap();
+            let m = m_seed % p;
+            let pat = build(&pr, m, Method::Lattice).unwrap();
+            if let Some(ra) = RandomAccess::new(&pat) {
+                for (t, acc) in pat.iter().take(30).enumerate() {
+                    assert_eq!(ra.nth(t as i64), acc);
+                    assert_eq!(ra.rank_of_global(acc.global), Some(t as i64));
+                }
+            } else {
+                assert!(pat.is_empty());
             }
-        } else {
-            prop_assert!(pat.is_empty());
-        }
-    }
+        },
+    );
+}
 
-    /// Descending traversal is the exact reverse of ascending.
-    #[test]
-    fn descending_reverses_ascending(
-        (p, k, l, s) in params(),
-        m_seed in 0i64..64,
-        span in 0i64..300,
-    ) {
-        use bcag::core::descending::DescendingWalker;
-        let pr = Problem::new(p, k, l, s).unwrap();
-        let m = m_seed % p;
-        let u = l + span;
-        let pat = build(&pr, m, Method::Lattice).unwrap();
-        let mut fwd: Vec<_> = pat.iter_to(u).collect();
-        fwd.reverse();
-        let bwd: Vec<_> = DescendingWalker::new(&pr, m, u).unwrap().collect();
-        prop_assert_eq!(bwd, fwd);
-    }
+/// Descending traversal is the exact reverse of ascending.
+#[test]
+fn descending_reverses_ascending() {
+    check(
+        "descending_reverses_ascending",
+        &(Params, ints(0, 63), ints(0, 299)),
+        |&((p, k, l, s), m_seed, span)| {
+            use bcag::core::descending::DescendingWalker;
+            let pr = Problem::new(p, k, l, s).unwrap();
+            let m = m_seed % p;
+            let u = l + span;
+            let pat = build(&pr, m, Method::Lattice).unwrap();
+            let mut fwd: Vec<_> = pat.iter_to(u).collect();
+            fwd.reverse();
+            let bwd: Vec<_> = DescendingWalker::new(&pr, m, u).unwrap().collect();
+            assert_eq!(bwd, fwd);
+        },
+    );
+}
 
-    /// AP intersection is exactly the set intersection.
-    #[test]
-    fn ap_intersection_correct(
-        f1 in 0i64..60, s1 in 1i64..30,
-        f2 in 0i64..60, s2 in 1i64..30,
-    ) {
-        use bcag::core::intersect::{intersect, Ap};
-        use std::collections::HashSet;
-        let a = Ap::new(f1, s1);
-        let b = Ap::new(f2, s2);
-        let hi = 2_000i64;
-        let bs: HashSet<i64> = b.iter_to(hi).collect();
-        let expect: Vec<i64> = a.iter_to(hi).filter(|v| bs.contains(v)).collect();
-        match intersect(&a, &b) {
-            None => prop_assert!(expect.is_empty()),
-            Some(c) => {
-                let got: Vec<i64> = c.iter_to(hi).collect();
-                prop_assert_eq!(got, expect);
-            }
-        }
-    }
-
-    /// The virtual-processor views cover the identical access set.
-    #[test]
-    fn virtual_views_same_set((p, k, l, s) in params(), m_seed in 0i64..64) {
-        use bcag::core::virtual_views::{lattice_order, virtual_block, virtual_cyclic};
-        use std::collections::HashSet;
-        let pr = Problem::new(p, k, l, s).unwrap();
-        let m = m_seed % p;
-        let u = l + 25 * s;
-        let a: HashSet<_> = lattice_order(&pr, m, u).unwrap().into_iter().collect();
-        let b: HashSet<_> = virtual_cyclic(&pr, m, u).unwrap().into_iter().collect();
-        let c: HashSet<_> = virtual_block(&pr, m, u).unwrap().into_iter().collect();
-        prop_assert_eq!(&a, &b);
-        prop_assert_eq!(&a, &c);
-    }
-
-    /// The direct two-table construction agrees with reindexing.
-    #[test]
-    fn direct_two_table_agrees((p, k, l, s) in params(), m_seed in 0i64..64) {
-        use bcag::core::two_table::TwoTable;
-        let pr = Problem::new(p, k, l, s).unwrap();
-        let m = m_seed % p;
-        let via = TwoTable::from_pattern(&build(&pr, m, Method::Lattice).unwrap());
-        let direct = TwoTable::build_direct(&pr, m).unwrap();
-        match (via, direct) {
-            (None, None) => {}
-            (Some(a), Some(b)) => {
-                prop_assert_eq!(a.start_offset, b.start_offset);
-                prop_assert_eq!(a.length, b.length);
-                let mut off = a.start_offset;
-                for _ in 0..a.length {
-                    prop_assert_eq!(a.delta_m[off as usize], b.delta_m[off as usize]);
-                    prop_assert_eq!(a.next_offset[off as usize], b.next_offset[off as usize]);
-                    off = a.next_offset[off as usize];
+/// AP intersection is exactly the set intersection.
+#[test]
+fn ap_intersection_correct() {
+    check(
+        "ap_intersection_correct",
+        &(ints(0, 59), ints(1, 29), ints(0, 59), ints(1, 29)),
+        |&(f1, s1, f2, s2)| {
+            use bcag::core::intersect::{intersect, Ap};
+            use std::collections::HashSet;
+            let a = Ap::new(f1, s1);
+            let b = Ap::new(f2, s2);
+            let hi = 2_000i64;
+            let bs: HashSet<i64> = b.iter_to(hi).collect();
+            let expect: Vec<i64> = a.iter_to(hi).filter(|v| bs.contains(v)).collect();
+            match intersect(&a, &b) {
+                None => assert!(expect.is_empty()),
+                Some(c) => {
+                    let got: Vec<i64> = c.iter_to(hi).collect();
+                    assert_eq!(got, expect);
                 }
             }
-            _ => prop_assert!(false, "presence mismatch"),
-        }
-    }
+        },
+    );
+}
 
-    /// Pack/unpack round-trips every processor's share.
-    #[test]
-    fn pack_roundtrips(
-        (p, k, l, s) in params(),
-        count in 1i64..80,
-    ) {
-        use bcag::spmd::pack::{pack, unpack};
-        use bcag::spmd::DistArray;
-        let u = l + (count - 1) * s;
-        let n = u + 1;
-        prop_assume!(n <= 20_000);
-        let sec = RegularSection::new(l, u, s).unwrap();
-        let data: Vec<i64> = (0..n).map(|i| i * 3 + 1).collect();
-        let arr = DistArray::from_global(p, k, &data).unwrap();
-        let mut rebuilt = DistArray::new(p, k, n, 0i64).unwrap();
-        for m in 0..p {
-            let buf = pack(&arr, &sec, m, Method::Lattice).unwrap();
-            unpack(&mut rebuilt, &sec, m, Method::Lattice, &buf).unwrap();
-        }
-        let g = rebuilt.to_global();
-        for i in 0..n {
-            let expect = if sec.contains(i) { data[i as usize] } else { 0 };
-            prop_assert_eq!(g[i as usize], expect);
-        }
-    }
+/// The virtual-processor views cover the identical access set.
+#[test]
+fn virtual_views_same_set() {
+    check(
+        "virtual_views_same_set",
+        &(Params, ints(0, 63)),
+        |&((p, k, l, s), m_seed)| {
+            use bcag::core::virtual_views::{lattice_order, virtual_block, virtual_cyclic};
+            use std::collections::HashSet;
+            let pr = Problem::new(p, k, l, s).unwrap();
+            let m = m_seed % p;
+            let u = l + 25 * s;
+            let a: HashSet<_> = lattice_order(&pr, m, u).unwrap().into_iter().collect();
+            let b: HashSet<_> = virtual_cyclic(&pr, m, u).unwrap().into_iter().collect();
+            let c: HashSet<_> = virtual_block(&pr, m, u).unwrap().into_iter().collect();
+            assert_eq!(&a, &b);
+            assert_eq!(&a, &c);
+        },
+    );
+}
 
-    /// Load statistics sum to the section size and bound the maximum.
-    #[test]
-    fn load_stats_consistent((p, k, l, s) in params(), count in 0i64..200) {
-        use bcag::spmd::load_stats;
-        let u = l + count * s;
-        let sec = RegularSection::new(l, u, s).unwrap();
-        let stats = load_stats(p, k, &sec).unwrap();
-        prop_assert_eq!(stats.total, sec.count());
-        prop_assert_eq!(stats.per_proc.iter().sum::<i64>(), stats.total);
-        prop_assert!(stats.max >= stats.min);
-        prop_assert!(stats.per_proc.iter().all(|&c| c <= stats.max && c >= stats.min));
-    }
+/// The direct two-table construction agrees with reindexing.
+#[test]
+fn direct_two_table_agrees() {
+    check(
+        "direct_two_table_agrees",
+        &(Params, ints(0, 63)),
+        |&((p, k, l, s), m_seed)| {
+            use bcag::core::two_table::TwoTable;
+            let pr = Problem::new(p, k, l, s).unwrap();
+            let m = m_seed % p;
+            let via = TwoTable::from_pattern(&build(&pr, m, Method::Lattice).unwrap());
+            let direct = TwoTable::build_direct(&pr, m).unwrap();
+            match (via, direct) {
+                (None, None) => {}
+                (Some(a), Some(b)) => {
+                    assert_eq!(a.start_offset, b.start_offset);
+                    assert_eq!(a.length, b.length);
+                    let mut off = a.start_offset;
+                    for _ in 0..a.length {
+                        assert_eq!(a.delta_m[off as usize], b.delta_m[off as usize]);
+                        assert_eq!(a.next_offset[off as usize], b.next_offset[off as usize]);
+                        off = a.next_offset[off as usize];
+                    }
+                }
+                _ => panic!("presence mismatch"),
+            }
+        },
+    );
+}
+
+/// Pack/unpack round-trips every processor's share.
+#[test]
+fn pack_roundtrips() {
+    check(
+        "pack_roundtrips",
+        &(Params, ints(1, 79)),
+        |&((p, k, l, s), count)| {
+            use bcag::spmd::pack::{pack, unpack};
+            use bcag::spmd::DistArray;
+            let u = l + (count - 1) * s;
+            let n = u + 1;
+            assume(n <= 20_000);
+            let sec = RegularSection::new(l, u, s).unwrap();
+            let data: Vec<i64> = (0..n).map(|i| i * 3 + 1).collect();
+            let arr = DistArray::from_global(p, k, &data).unwrap();
+            let mut rebuilt = DistArray::new(p, k, n, 0i64).unwrap();
+            for m in 0..p {
+                let buf = pack(&arr, &sec, m, Method::Lattice).unwrap();
+                unpack(&mut rebuilt, &sec, m, Method::Lattice, &buf).unwrap();
+            }
+            let g = rebuilt.to_global();
+            for i in 0..n {
+                let expect = if sec.contains(i) { data[i as usize] } else { 0 };
+                assert_eq!(g[i as usize], expect);
+            }
+        },
+    );
+}
+
+/// Load statistics sum to the section size and bound the maximum.
+#[test]
+fn load_stats_consistent() {
+    check(
+        "load_stats_consistent",
+        &(Params, ints(0, 199)),
+        |&((p, k, l, s), count)| {
+            use bcag::spmd::load_stats;
+            let u = l + count * s;
+            let sec = RegularSection::new(l, u, s).unwrap();
+            let stats = load_stats(p, k, &sec).unwrap();
+            assert_eq!(stats.total, sec.count());
+            assert_eq!(stats.per_proc.iter().sum::<i64>(), stats.total);
+            assert!(stats.max >= stats.min);
+            assert!(stats
+                .per_proc
+                .iter()
+                .all(|&c| c <= stats.max && c >= stats.min));
+        },
+    );
 }

@@ -82,7 +82,11 @@ fn stats_and_table_reporting() {
         .map(|x| x.trim().parse().unwrap())
         .collect();
     assert_eq!(counts.iter().sum::<i64>(), 34);
-    assert!(out[1].contains("AM=[3, 12, 15, 12, 3, 12, 3, 12]"), "{}", out[1]);
+    assert!(
+        out[1].contains("AM=[3, 12, 15, 12, 3, 12, 3, 12]"),
+        "{}",
+        out[1]
+    );
 }
 
 #[test]

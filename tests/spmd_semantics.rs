@@ -4,11 +4,8 @@
 
 use bcag::core::method::Method;
 use bcag::core::RegularSection;
-use bcag::spmd::{
-    apply_section, assign_array, assign_scalar, CodeShape, CommSchedule, DistArray,
-};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use bcag::spmd::{apply_section, assign_array, assign_scalar, CodeShape, CommSchedule, DistArray};
+use bcag_harness::Rng;
 
 fn seq_scalar(n: i64, sec: &RegularSection, value: f64) -> Vec<f64> {
     let mut v = vec![0.0; n as usize];
@@ -20,7 +17,7 @@ fn seq_scalar(n: i64, sec: &RegularSection, value: f64) -> Vec<f64> {
 
 #[test]
 fn randomized_scalar_assignments() {
-    let mut rng = StdRng::seed_from_u64(42);
+    let mut rng = Rng::seed_from_u64(42);
     for trial in 0..120 {
         let p = rng.random_range(1..=8);
         let k = rng.random_range(1..=16);
@@ -29,7 +26,9 @@ fn randomized_scalar_assignments() {
         let u = rng.random_range(0..n);
         let s: i64 = rng.random_range(1..=40);
         let s = if rng.random_bool(0.3) { -s } else { s };
-        let Ok(sec) = RegularSection::new(l, u, s) else { continue };
+        let Ok(sec) = RegularSection::new(l, u, s) else {
+            continue;
+        };
         let shape = CodeShape::ALL[trial % 4];
         let method = Method::GENERAL[trial % Method::GENERAL.len()];
 
@@ -50,8 +49,10 @@ fn apply_preserves_untouched_elements() {
     let n = 1_000i64;
     let sec = RegularSection::new(17, 983, 21).unwrap();
     let mut arr = DistArray::from_global(4, 8, &(0..n).collect::<Vec<i64>>()).unwrap();
-    apply_section(&mut arr, &sec, Method::Lattice, CodeShape::SplitLoop, |x| *x = -*x)
-        .unwrap();
+    apply_section(&mut arr, &sec, Method::Lattice, CodeShape::SplitLoop, |x| {
+        *x = -*x
+    })
+    .unwrap();
     let g = arr.to_global();
     for i in 0..n {
         let expect = if sec.contains(i) { -i } else { i };
@@ -61,7 +62,7 @@ fn apply_preserves_untouched_elements() {
 
 #[test]
 fn randomized_cross_layout_assignments() {
-    let mut rng = StdRng::seed_from_u64(0xD15C);
+    let mut rng = Rng::seed_from_u64(0xD15C);
     for _ in 0..60 {
         let p = rng.random_range(1..=6);
         let k_a = rng.random_range(1..=12);

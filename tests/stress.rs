@@ -5,13 +5,12 @@ use bcag::core::hiranandani;
 use bcag::core::method::{build, Method};
 use bcag::core::walker::Walker;
 use bcag::Problem;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use bcag_harness::Rng;
 
 #[test]
 #[ignore = "slow differential fuzzing; run explicitly"]
 fn heavy_differential_fuzz() {
-    let mut rng = StdRng::seed_from_u64(0xFE57);
+    let mut rng = Rng::seed_from_u64(0xFE57);
     for trial in 0..5_000 {
         let p = rng.random_range(1..=64);
         let k = rng.random_range(1..=512);
@@ -24,9 +23,18 @@ fn heavy_differential_fuzz() {
         let m = rng.random_range(0..p);
         let reference = build(&pr, m, Method::Oracle).unwrap();
         reference.check_invariants();
-        for method in [Method::Lattice, Method::SortingComparison, Method::SortingRadix] {
+        for method in [
+            Method::Lattice,
+            Method::SortingComparison,
+            Method::SortingRadix,
+        ] {
             let pat = build(&pr, m, method).unwrap();
-            assert_eq!(pat, reference, "trial {trial}: {} p={p} k={k} l={l} s={s} m={m}", method.name());
+            assert_eq!(
+                pat,
+                reference,
+                "trial {trial}: {} p={p} k={k} l={l} s={s} m={m}",
+                method.name()
+            );
         }
         if hiranandani::applicable(&pr) {
             assert_eq!(build(&pr, m, Method::Hiranandani).unwrap(), reference);

@@ -16,8 +16,7 @@ fn prelude_supports_the_basic_workflow() {
     assert_eq!(sec.count(), 34);
 
     let mut arr = DistArray::new(4, 8, 320, 0.0f64).unwrap();
-    bcag::spmd::assign_scalar(&mut arr, &sec, 1.0, Method::Lattice, CodeShape::SplitLoop)
-        .unwrap();
+    bcag::spmd::assign_scalar(&mut arr, &sec, 1.0, Method::Lattice, CodeShape::SplitLoop).unwrap();
     assert_eq!(arr.to_global().iter().filter(|&&x| x == 1.0).count(), 34);
 
     let map = ArrayMap::new(vec![DimMap::simple(16, 2, Dist::CyclicK(2)).unwrap()]).unwrap();
@@ -29,7 +28,13 @@ fn prelude_supports_the_basic_workflow() {
     let machine = Machine::new(3);
     assert_eq!(machine.run_collect(|m| m * 2), vec![0, 2, 4]);
 
-    let sched = CommSchedule::build_lattice(2, 4, &RegularSection::new(0, 9, 1).unwrap(), 2, &RegularSection::new(0, 9, 1).unwrap());
+    let sched = CommSchedule::build_lattice(
+        2,
+        4,
+        &RegularSection::new(0, 9, 1).unwrap(),
+        2,
+        &RegularSection::new(0, 9, 1).unwrap(),
+    );
     assert!(sched.is_ok());
 
     let m2 = ArrayMap::new(vec![
@@ -54,7 +59,10 @@ fn error_type_is_usable_with_question_mark() {
         Problem::new(0, 8, 0, 9)?;
         Ok(())
     }
-    assert!(matches!(failing(), Err(BcagError::InvalidProcessorCount { p: 0 })));
+    assert!(matches!(
+        failing(),
+        Err(BcagError::InvalidProcessorCount { p: 0 })
+    ));
 }
 
 #[test]
