@@ -1,0 +1,41 @@
+//! Tracing overhead: `build_all` with the session off, on, and uninstrumented
+//! per-primitive costs.
+//!
+//! The acceptance bar for the tracing layer is that instrumented code with
+//! tracing *disabled* is indistinguishable from uninstrumented code: the
+//! fast path is one relaxed atomic load per site. This bench quantifies all
+//! three regimes so a regression shows up as a ratio change in the report:
+//!
+//! * `build_all/off` — instrumented workload, tracing disabled (the shipping
+//!   configuration);
+//! * `build_all/on` — same workload inside an active session, paying span
+//!   recording and counter aggregation;
+//! * `primitive/*` — the raw disabled span/count fast paths.
+
+use std::hint::black_box;
+
+use bcag_harness::bench::Bench;
+
+use bcag_core::lattice_alg::build_all;
+use bcag_core::params::Problem;
+
+fn main() {
+    let mut bench = Bench::from_env("trace_overhead");
+
+    // The paper's machine scale (32 nodes) with a big block so the workload
+    // dwarfs timing noise.
+    let problem = Problem::new(32, 512, 4, 9).unwrap();
+
+    let mut group = bench.group("build_all_p32_k512");
+    group.bench("off", || black_box(build_all(&problem).unwrap()));
+    group.bench("on", || {
+        let (pats, _trace) = bcag_trace::capture(|| build_all(&problem).unwrap());
+        black_box(pats)
+    });
+
+    let mut group = bench.group("primitive_disabled");
+    group.bench("span", || black_box(bcag_trace::span("bench.probe")));
+    group.bench("count", || bcag_trace::count("bench_probe", 1));
+
+    bench.finish();
+}

@@ -56,6 +56,25 @@ impl Flags {
     }
 }
 
+/// Removes a global `--name value` pair from `argv` wherever it appears,
+/// returning its value. Global flags (like `--trace`) are extracted before
+/// subcommand flag parsing so every subcommand accepts them uniformly.
+pub fn extract_global(argv: &mut Vec<String>, name: &str) -> Result<Option<String>, String> {
+    let long = format!("--{name}");
+    let Some(pos) = argv.iter().position(|a| *a == long) else {
+        return Ok(None);
+    };
+    if pos + 1 >= argv.len() {
+        return Err(format!("flag `--{name}` needs a value"));
+    }
+    let value = argv.remove(pos + 1);
+    argv.remove(pos);
+    if argv.iter().any(|a| *a == long) {
+        return Err(format!("flag `--{name}` given more than once"));
+    }
+    Ok(Some(value))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -93,5 +112,33 @@ mod tests {
     fn negative_numbers_parse() {
         let f = Flags::parse(&argv(&["--s", "-9"]), &["s"]).unwrap();
         assert_eq!(f.req_i64("s").unwrap(), -9);
+    }
+
+    #[test]
+    fn extract_global_removes_pair_anywhere() {
+        let mut v = argv(&["table", "--p", "4", "--trace", "out.json", "--k", "8"]);
+        let got = extract_global(&mut v, "trace").unwrap();
+        assert_eq!(got.as_deref(), Some("out.json"));
+        assert_eq!(v, argv(&["table", "--p", "4", "--k", "8"]));
+
+        let mut v = argv(&["--trace", "t.json", "run", "--file", "x"]);
+        assert_eq!(
+            extract_global(&mut v, "trace").unwrap().as_deref(),
+            Some("t.json")
+        );
+        assert_eq!(v, argv(&["run", "--file", "x"]));
+    }
+
+    #[test]
+    fn extract_global_absent_and_malformed() {
+        let mut v = argv(&["table", "--p", "4"]);
+        assert_eq!(extract_global(&mut v, "trace").unwrap(), None);
+        assert_eq!(v, argv(&["table", "--p", "4"]));
+
+        let mut v = argv(&["run", "--trace"]);
+        assert!(extract_global(&mut v, "trace").is_err());
+
+        let mut v = argv(&["--trace", "a", "--trace", "b"]);
+        assert!(extract_global(&mut v, "trace").is_err());
     }
 }

@@ -300,6 +300,184 @@ pub fn hpf(argv: &[String]) -> i32 {
     }
 }
 
+/// `bcag trace`: run a workload with tracing enabled and write the
+/// `bcag-trace/v1` summary plus a chrome://tracing event file.
+pub fn trace(argv: &[String], global_out: Option<&str>) -> i32 {
+    // The script may be given positionally (before, between or after the
+    // flag pairs) or via `--file`; split argv into positional + flag words.
+    let mut positional: Option<String> = None;
+    let mut rest: Vec<String> = Vec::new();
+    let mut it = argv.iter();
+    while let Some(a) = it.next() {
+        if a.starts_with("--") {
+            rest.push(a.clone());
+            if let Some(v) = it.next() {
+                rest.push(v.clone());
+            }
+        } else if positional.is_none() {
+            positional = Some(a.clone());
+        } else {
+            return fail(&format!("unexpected extra argument `{a}`"));
+        }
+    }
+    let flags = match Flags::parse(&rest, &["file", "p", "k"]) {
+        Ok(f) => f,
+        Err(e) => return fail(&e),
+    };
+    let out = global_out.unwrap_or("TRACE.json").to_string();
+    let run = || -> Result<(), String> {
+        let p = flags.opt_i64("p", 0)?;
+        let k = flags.opt_i64("k", 0)?;
+        let script = match (&positional, flags.opt_str("file")) {
+            (Some(_), Some(_)) => {
+                return Err("give the script either positionally or via --file, not both".into())
+            }
+            (Some(a), None) => Some(a.clone()),
+            (None, Some(f)) => Some(f.to_string()),
+            (None, None) => None,
+        };
+        bcag_trace::start();
+        let result = match &script {
+            Some(path) => std::fs::read_to_string(path)
+                .map_err(|e| format!("{path}: {e}"))
+                .and_then(|src| {
+                    let src = override_directives(&src, p, k);
+                    bcag_rt::Interp::run(&src).map_err(|e| e.to_string())
+                })
+                .map(|lines| format!("script `{path}` ({} output lines)", lines.len())),
+            None => synthetic_workload(if p >= 1 { p } else { 4 }, if k >= 1 { k } else { 8 }),
+        };
+        let trace = bcag_trace::stop();
+        let desc = result?;
+        write_trace_artifacts(&trace, &out)?;
+        println!("traced {desc}");
+        println!(
+            "lanes={} spans={} messages_sent={} bytes_packed={} critical_path_ns={}",
+            trace.lanes.len(),
+            trace.lanes.iter().map(|l| l.events.len()).sum::<usize>(),
+            trace.counter_total("messages_sent"),
+            trace.counter_total("bytes_packed"),
+            trace.critical_path_ns()
+        );
+        println!("summary: {out}");
+        println!("chrome:  {}", chrome_path_for(&out));
+        Ok(())
+    };
+    match run() {
+        Ok(()) => 0,
+        Err(e) => fail(&e),
+    }
+}
+
+/// Writes the `bcag-trace/v1` summary to `out` and the Chrome Trace Event
+/// file next to it (`foo.json` → `foo.chrome.json`).
+pub fn write_trace_artifacts(trace: &bcag_trace::Trace, out: &str) -> Result<(), String> {
+    let summary = bcag_trace::export::summary(trace);
+    std::fs::write(out, summary.to_pretty_string()).map_err(|e| format!("{out}: {e}"))?;
+    let chrome_path = chrome_path_for(out);
+    let chrome = bcag_trace::export::chrome(trace);
+    std::fs::write(&chrome_path, chrome.to_string()).map_err(|e| format!("{chrome_path}: {e}"))?;
+    Ok(())
+}
+
+/// Derives the Chrome Trace Event file path from the summary path.
+fn chrome_path_for(out: &str) -> String {
+    match out.strip_suffix(".json") {
+        Some(stem) => format!("{stem}.chrome.json"),
+        None => format!("{out}.chrome.json"),
+    }
+}
+
+/// Rewrites `PROCESSORS NAME(n)` (1-D only) and `CYCLIC(n)` directive sizes
+/// so one script can be traced at several machine scales. `p`/`k` of 0 mean
+/// "leave the script as written".
+fn override_directives(src: &str, p: i64, k: i64) -> String {
+    let mut out = String::with_capacity(src.len());
+    for line in src.lines() {
+        let mut l = line.to_string();
+        if p >= 1
+            && l.trim_start()
+                .to_ascii_uppercase()
+                .starts_with("PROCESSORS")
+        {
+            l = replace_single_paren_number(&l, p);
+        }
+        if k >= 1 {
+            l = replace_cyclic_numbers(&l, k);
+        }
+        out.push_str(&l);
+        out.push('\n');
+    }
+    out
+}
+
+/// Replaces `(n)` with `(p)` when the parenthesized content is one integer
+/// (multidimensional grids are left untouched).
+fn replace_single_paren_number(line: &str, p: i64) -> String {
+    let (Some(open), Some(close)) = (line.find('('), line.rfind(')')) else {
+        return line.to_string();
+    };
+    if open >= close || line[open + 1..close].trim().parse::<i64>().is_err() {
+        return line.to_string();
+    }
+    format!("{}({}){}", &line[..open], p, &line[close + 1..])
+}
+
+/// Replaces the block size in every `CYCLIC(n)` occurrence with `k`.
+fn replace_cyclic_numbers(line: &str, k: i64) -> String {
+    let upper = line.to_ascii_uppercase();
+    let mut out = String::with_capacity(line.len());
+    let mut i = 0;
+    while let Some(rel) = upper[i..].find("CYCLIC(") {
+        let inner_start = i + rel + "CYCLIC(".len();
+        out.push_str(&line[i..inner_start]);
+        let Some(close_rel) = line[inner_start..].find(')') else {
+            out.push_str(&line[inner_start..]);
+            return out;
+        };
+        let inner = &line[inner_start..inner_start + close_rel];
+        if inner.trim().parse::<i64>().is_ok() {
+            out.push_str(&k.to_string());
+        } else {
+            out.push_str(inner);
+        }
+        i = inner_start + close_rel;
+    }
+    out.push_str(&line[i..]);
+    out
+}
+
+/// Built-in workload for `bcag trace` with no script: per-node table builds
+/// on the SPMD machine followed by a two-distribution remapping assignment
+/// through [`CommSchedule`], so every instrumented layer shows up.
+fn synthetic_workload(p: i64, k: i64) -> Result<String, String> {
+    use bcag_spmd::{CommSchedule, DistArray, Machine};
+    let machine = Machine::new(p);
+    let problem = Problem::new(p, k, 4, 9).map_err(|e| e.to_string())?;
+    let lens: Vec<usize> = machine.run_collect(|m| {
+        build(&problem, m as i64, Method::Lattice)
+            .map(|pat| pat.len())
+            .unwrap_or(0)
+    });
+    let table_total: usize = lens.iter().sum();
+    // A(0:3c-3:3) = B(1:2c-1:2) across two different blockings.
+    let n = (p * k * 8).max(64);
+    let c = n / 4;
+    let k_b = k + 1;
+    let sec_a = RegularSection::new(0, 3 * (c - 1), 3).map_err(|e| e.to_string())?;
+    let sec_b = RegularSection::new(1, 1 + 2 * (c - 1), 2).map_err(|e| e.to_string())?;
+    let sched =
+        CommSchedule::build_lattice(p, k, &sec_a, k_b, &sec_b).map_err(|e| e.to_string())?;
+    let mut a = DistArray::new(p, k, 3 * c, 0.0f64).map_err(|e| e.to_string())?;
+    let src: Vec<f64> = (0..2 * c).map(|i| i as f64).collect();
+    let b = DistArray::from_global(p, k_b, &src).map_err(|e| e.to_string())?;
+    sched.execute(&mut a, &b).map_err(|e| e.to_string())?;
+    Ok(format!(
+        "synthetic workload (p={p} k={k}): {table_total} table entries, {} elements remapped",
+        sched.total_elements()
+    ))
+}
+
 /// `bcag plan`: bounded-section node plans.
 pub fn plan(argv: &[String]) -> i32 {
     let flags = match Flags::parse(argv, &["p", "k", "l", "u", "s"]) {
@@ -333,5 +511,53 @@ pub fn plan(argv: &[String]) -> i32 {
     match run() {
         Ok(()) => 0,
         Err(e) => fail(&e),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chrome_path_derivation() {
+        assert_eq!(chrome_path_for("out.json"), "out.chrome.json");
+        assert_eq!(chrome_path_for("trace"), "trace.chrome.json");
+        assert_eq!(chrome_path_for("a/b/t.json"), "a/b/t.chrome.json");
+    }
+
+    #[test]
+    fn directive_overrides_rewrite_sizes() {
+        let src =
+            "PROCESSORS P(4)\n!HPF$ DISTRIBUTE TA(CYCLIC(8)) ONTO P\nREDISTRIBUTE A CYCLIC(4)\n";
+        let got = override_directives(src, 32, 5);
+        assert!(got.contains("PROCESSORS P(32)"));
+        assert!(got.contains("CYCLIC(5)) ONTO P"));
+        assert!(got.contains("REDISTRIBUTE A CYCLIC(5)"));
+        // 0 means leave alone.
+        assert_eq!(override_directives(src, 0, 0), src);
+    }
+
+    #[test]
+    fn directive_overrides_leave_grids_and_pure_cyclic() {
+        // 2-D processor grids are not rewritten by --p.
+        let grid = "PROCESSORS G(2, 2)\n";
+        assert_eq!(override_directives(grid, 32, 0), grid);
+        // CYCLIC without a block size is untouched.
+        let pure = "!HPF$ DISTRIBUTE T(CYCLIC) ONTO P\n";
+        assert_eq!(override_directives(pure, 0, 7), pure);
+        // Both sizes in a rank-2 distribution are rewritten.
+        let two = "!HPF$ DISTRIBUTE TM(CYCLIC(3), CYCLIC(4)) ONTO G\n";
+        let got = override_directives(two, 0, 6);
+        assert_eq!(got, "!HPF$ DISTRIBUTE TM(CYCLIC(6), CYCLIC(6)) ONTO G\n");
+    }
+
+    #[test]
+    fn synthetic_workload_runs_and_traces() {
+        let ((), tr) = bcag_trace::capture(|| {
+            synthetic_workload(3, 4).unwrap();
+        });
+        assert!(tr.counter_total("table_entries") > 0);
+        assert!(tr.counter_total("elements_moved") > 0);
+        assert!(tr.lane("node-0").is_some());
     }
 }

@@ -9,15 +9,33 @@
 //! * `basis`  — show the lattice basis vectors R and L (Figures 3/4)
 //! * `plan`   — show the full per-processor node plans for a bounded
 //!   section (starts, lasts, table lengths)
+//! * `trace`  — run a workload with tracing on and write `bcag-trace/v1`
+//!   summary + chrome://tracing artifacts
 //!
-//! Run `bcag help` for flags.
+//! Every subcommand additionally accepts the global `--trace OUT.json`
+//! flag, which records a trace of the whole command and writes the same
+//! two artifacts. Run `bcag help` for flags.
 
 mod args;
 mod cmds;
 
 fn main() {
-    let argv: Vec<String> = std::env::args().skip(1).collect();
-    let code = match argv.first().map(String::as_str) {
+    let mut argv: Vec<String> = std::env::args().skip(1).collect();
+    let trace_out = match args::extract_global(&mut argv, "trace") {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    let sub = argv.first().map(String::as_str);
+    // `bcag trace` manages the trace session itself; for every other
+    // subcommand the global `--trace OUT` flag wraps the whole dispatch.
+    let wrap = trace_out.is_some() && sub != Some("trace");
+    if wrap {
+        bcag_trace::start();
+    }
+    let code = match sub {
         Some("table") => cmds::table(&argv[1..]),
         Some("layout") => cmds::layout(&argv[1..]),
         Some("visits") => cmds::visits(&argv[1..]),
@@ -27,6 +45,7 @@ fn main() {
         Some("codegen") => cmds::codegen(&argv[1..]),
         Some("verify") => cmds::verify(&argv[1..]),
         Some("run") => cmds::run_script(&argv[1..]),
+        Some("trace") => cmds::trace(&argv[1..], trace_out.as_deref()),
         Some("help") | Some("--help") | Some("-h") | None => {
             print_help();
             0
@@ -37,6 +56,14 @@ fn main() {
             2
         }
     };
+    if wrap {
+        let trace = bcag_trace::stop();
+        let out = trace_out.as_deref().unwrap_or("TRACE.json");
+        if let Err(e) = cmds::write_trace_artifacts(&trace, out) {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    }
     std::process::exit(code);
 }
 
@@ -45,7 +72,7 @@ fn print_help() {
         "bcag — block-cyclic address generation (Kennedy, Nedeljkovic, Sethi; PPOPP'95)
 
 USAGE:
-    bcag <subcommand> [flags]
+    bcag <subcommand> [flags] [--trace OUT.json]
 
 SUBCOMMANDS:
     table   --p P --k K --l L --s S [--m M] [--method NAME]
@@ -69,8 +96,20 @@ SUBCOMMANDS:
     run     --file FILE
             Interpret an HPF-like script (directives + INIT/ASSIGN/PRINT/
             REDISTRIBUTE statements) on the simulated machine.
+    trace   [SCRIPT | --file SCRIPT] [--p P] [--k K] [--trace OUT.json]
+            Run SCRIPT (or a built-in synthetic workload) with tracing on
+            and write a bcag-trace/v1 summary to OUT.json (default
+            TRACE.json) plus a chrome://tracing event file next to it
+            (OUT.chrome.json). --p/--k override PROCESSORS/CYCLIC sizes
+            in the script's directives.
+
+GLOBAL FLAGS:
+    --trace OUT.json
+            Trace any subcommand: record spans and counters across the
+            run and write the same two artifacts.
 
 EXAMPLE (the paper's worked example):
-    bcag table --p 4 --k 8 --l 4 --s 9 --m 1"
+    bcag table --p 4 --k 8 --l 4 --s 9 --m 1
+    bcag trace --p 32 --k 8 examples/scripts/triad.hpf --trace out.json"
     );
 }

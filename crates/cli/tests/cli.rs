@@ -114,6 +114,154 @@ fn run_executes_a_script() {
 }
 
 #[test]
+fn unknown_flag_errors_name_the_flag() {
+    // Every subcommand rejects unknown flags and names the offender.
+    let (_, stderr, code) = bcag(&["table", "--bogus", "1"]);
+    assert_eq!(code, 2);
+    assert!(stderr.contains("--bogus"), "{stderr}");
+    assert!(stderr.contains("allowed:"), "{stderr}");
+
+    let (_, stderr, code) = bcag(&["trace", "--frob", "x"]);
+    assert_eq!(code, 2);
+    assert!(stderr.contains("--frob"), "{stderr}");
+
+    // The global --trace flag must come with a value.
+    let (_, stderr, code) = bcag(&["table", "--p", "4", "--trace"]);
+    assert_eq!(code, 2);
+    assert!(stderr.contains("--trace"), "{stderr}");
+}
+
+fn read_json(path: &std::path::Path) -> bcag_harness::json::Json {
+    let text =
+        std::fs::read_to_string(path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
+    bcag_harness::json::Json::parse(&text)
+        .unwrap_or_else(|e| panic!("parse {}: {e}", path.display()))
+}
+
+#[test]
+fn trace_subcommand_writes_both_artifacts() {
+    let dir = std::env::temp_dir();
+    let script = dir.join("bcag_cli_trace_script.hpf");
+    std::fs::write(
+        &script,
+        "PROCESSORS P(4)
+         TEMPLATE T(320)
+         REAL A(320)
+         ALIGN A(i) WITH T(i)
+         DISTRIBUTE T(CYCLIC(8)) ONTO P
+         TEMPLATE TB(640)
+         REAL B(640)
+         ALIGN B(i) WITH TB(i)
+         DISTRIBUTE TB(CYCLIC(5)) ONTO P
+         INIT B LINEAR 1 0
+         INIT A CONST 0
+         ASSIGN A(0:99:3) = B(2:68:2)
+         PRINT SUM A(0:99:3)",
+    )
+    .expect("write script");
+    let out = dir.join("bcag_cli_trace_out.json");
+    let chrome = dir.join("bcag_cli_trace_out.chrome.json");
+    let (stdout, stderr, code) = bcag(&[
+        "trace",
+        "--p",
+        "8",
+        "--k",
+        "4",
+        script.to_str().unwrap(),
+        "--trace",
+        out.to_str().unwrap(),
+    ]);
+    assert_eq!(code, 0, "stdout:\n{stdout}\nstderr:\n{stderr}");
+
+    let summary = read_json(&out);
+    assert_eq!(
+        summary.get("format").and_then(|f| f.as_str()),
+        Some("bcag-trace/v1"),
+        "{stdout}"
+    );
+    // --p 8 took effect: per-node lanes exist for all eight nodes.
+    let lanes = summary.get("lanes").and_then(|l| l.as_arr()).unwrap();
+    let labels: Vec<&str> = lanes
+        .iter()
+        .filter_map(|l| l.get("label").and_then(|s| s.as_str()))
+        .collect();
+    for m in 0..8 {
+        assert!(
+            labels.contains(&format!("node-{m}").as_str()),
+            "missing node-{m} lane in {labels:?}"
+        );
+    }
+    assert!(summary.get("counters").is_some());
+    assert!(summary.get("critical_path_ns").is_some());
+
+    let events = read_json(&chrome);
+    let evs = events.get("traceEvents").and_then(|e| e.as_arr()).unwrap();
+    assert!(!evs.is_empty());
+    // Metadata names the node lanes; complete events carry durations.
+    let phases: Vec<&str> = evs
+        .iter()
+        .filter_map(|e| e.get("ph").and_then(|p| p.as_str()))
+        .collect();
+    assert!(phases.contains(&"M"), "{phases:?}");
+    assert!(phases.contains(&"X"), "{phases:?}");
+
+    let _ = std::fs::remove_file(&script);
+    let _ = std::fs::remove_file(&out);
+    let _ = std::fs::remove_file(&chrome);
+}
+
+#[test]
+fn trace_synthetic_fallback_and_global_flag() {
+    let dir = std::env::temp_dir();
+
+    // No script: the built-in synthetic workload runs.
+    let out = dir.join("bcag_cli_trace_synth.json");
+    let (stdout, stderr, code) = bcag(&[
+        "trace",
+        "--p",
+        "3",
+        "--k",
+        "4",
+        "--trace",
+        out.to_str().unwrap(),
+    ]);
+    assert_eq!(code, 0, "stdout:\n{stdout}\nstderr:\n{stderr}");
+    assert!(stdout.contains("synthetic workload"), "{stdout}");
+    let summary = read_json(&out);
+    let counters = summary.get("counters").unwrap();
+    assert!(counters.get("table_entries").and_then(|c| c.as_i64()) > Some(0));
+    let _ = std::fs::remove_file(&out);
+    let _ = std::fs::remove_file(dir.join("bcag_cli_trace_synth.chrome.json"));
+
+    // Global flag on an ordinary subcommand traces the whole run.
+    let out = dir.join("bcag_cli_trace_global.json");
+    let (stdout, _, code) = bcag(&[
+        "table",
+        "--p",
+        "4",
+        "--k",
+        "8",
+        "--l",
+        "4",
+        "--s",
+        "9",
+        "--trace",
+        out.to_str().unwrap(),
+    ]);
+    assert_eq!(code, 0);
+    assert!(stdout.contains("start global=13"), "{stdout}");
+    let summary = read_json(&out);
+    assert_eq!(
+        summary.get("format").and_then(|f| f.as_str()),
+        Some("bcag-trace/v1")
+    );
+    let counters = summary.get("counters").unwrap();
+    assert!(counters.get("table_entries").and_then(|c| c.as_i64()) > Some(0));
+    let _ = std::fs::remove_file(&out);
+    let _ = std::fs::remove_file(dir.join("bcag_cli_trace_global.chrome.json"));
+}
+
+#[test]
 fn bad_input_fails_with_diagnostics() {
     let (_, stderr, code) = bcag(&["table", "--p", "0", "--k", "8", "--l", "0", "--s", "9"]);
     assert_eq!(code, 2);
@@ -133,7 +281,7 @@ fn help_lists_subcommands() {
     let (stdout, _, code) = bcag(&["help"]);
     assert_eq!(code, 0);
     for sub in [
-        "table", "layout", "visits", "basis", "plan", "hpf", "codegen", "verify", "run",
+        "table", "layout", "visits", "basis", "plan", "hpf", "codegen", "verify", "run", "trace",
     ] {
         assert!(stdout.contains(sub), "help missing `{sub}`");
     }

@@ -88,13 +88,16 @@ impl Basis {
         let mut min = i64::MAX;
         let mut max = 0i64;
         let mut i = d;
+        let mut steps = 0u64;
         while i < k {
             let j = numth::mulmod(i / d, solver.g.x, n_d);
             let loc = s * j;
             min = min.min(loc);
             max = max.max(loc);
             i += d;
+            steps += 1;
         }
+        bcag_trace::count("basis_steps", steps);
         debug_assert!(min < i64::MAX);
         // Lines 28–30: coordinates. R from the minimum; L from the maximum
         // relative to the next cycle's first point (index pk/d at (0, s/d)).

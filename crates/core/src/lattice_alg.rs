@@ -34,6 +34,7 @@ use crate::start::{start_info_with, ClassSolver};
 /// assert_eq!(pat.gaps(), &[3, 12, 15, 12, 3, 12, 3, 12]);
 /// ```
 pub fn build(problem: &Problem, m: i64) -> Result<AccessPattern> {
+    let _sp = bcag_trace::span("core.build");
     problem.check_proc(m)?;
     let solver = ClassSolver::new(problem);
     let info = start_info_with(&solver, m);
@@ -48,6 +49,7 @@ pub fn build(problem: &Problem, m: i64) -> Result<AccessPattern> {
     // Lines 15–17: one offset class; successive accesses are exactly one
     // period apart.
     if info.length == 1 {
+        bcag_trace::count("table_entries", 1);
         let c = CyclicPattern {
             start_global,
             start_local,
@@ -97,6 +99,7 @@ pub fn build(problem: &Problem, m: i64) -> Result<AccessPattern> {
         global_steps.push(step);
     }
 
+    bcag_trace::count("table_entries", gaps.len() as u64);
     let c = CyclicPattern {
         start_global,
         start_local,
@@ -109,6 +112,7 @@ pub fn build(problem: &Problem, m: i64) -> Result<AccessPattern> {
 /// Builds the patterns of all `p` processors, reusing the shared
 /// `m`-independent work where possible.
 pub fn build_all(problem: &Problem) -> Result<Vec<AccessPattern>> {
+    let _sp = bcag_trace::span("core.build_all");
     (0..problem.p()).map(|m| build(problem, m)).collect()
 }
 

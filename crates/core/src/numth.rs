@@ -37,12 +37,15 @@ pub fn extended_euclid(a: i64, b: i64) -> ExtendedGcd {
     let (mut old_r, mut r) = (a, b);
     let (mut old_x, mut x) = (1i64, 0i64);
     let (mut old_y, mut y) = (0i64, 1i64);
+    let mut iters = 0u64;
     while r != 0 {
         let q = old_r / r;
         (old_r, r) = (r, old_r - q * r);
         (old_x, x) = (x, old_x - q * x);
         (old_y, y) = (y, old_y - q * y);
+        iters += 1;
     }
+    bcag_trace::count("gcd_iters", iters);
     if old_r < 0 {
         ExtendedGcd {
             d: -old_r,

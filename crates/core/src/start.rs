@@ -110,6 +110,9 @@ pub fn start_info_with(solver: &ClassSolver, m: i64) -> StartInfo {
         start = start.min(loc);
         length += 1;
     }
+    // One congruence solved per owned offset class (the d-stepping skips
+    // the unsolvable targets entirely).
+    bcag_trace::count("solver_steps", length as u64);
     StartInfo {
         start: (length > 0).then_some(start),
         length,

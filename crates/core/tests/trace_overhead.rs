@@ -1,0 +1,78 @@
+//! Disabled-tracing overhead budget.
+//!
+//! The instrumentation in `bcag-core` must be free when tracing is off: the
+//! fast path is one relaxed atomic load per site. This test holds that to a
+//! budget instead of trusting it: it measures the per-call cost of the
+//! disabled primitives, multiplies by a generous upper bound on the number
+//! of instrumentation hits in one `build_all`, and asserts the product is
+//! under 2% of the measured `build_all` time itself.
+
+use std::time::Instant;
+
+use bcag_core::lattice_alg::build_all;
+use bcag_core::params::Problem;
+
+/// Median wall time of `f` over `reps` runs, in nanoseconds.
+fn median_ns(reps: usize, mut f: impl FnMut()) -> u64 {
+    let mut samples: Vec<u64> = (0..reps)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_nanos() as u64
+        })
+        .collect();
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+#[test]
+fn disabled_instrumentation_overhead_under_two_percent() {
+    // The paper's iPSC/860 scale with a large block: long enough tables
+    // that the timing is stable, small enough to keep the test fast.
+    let problem = Problem::new(32, 512, 4, 9).unwrap();
+
+    // Count span hits once with tracing on; counter sites are bounded
+    // analytically (every build touches a handful of `count` calls).
+    let (patterns, trace) = bcag_trace::capture(|| build_all(&problem).unwrap());
+    assert_eq!(patterns.len(), 32);
+    let span_hits: usize = trace.lanes.iter().map(|l| l.events.len()).sum();
+    assert!(span_hits >= 33, "expected per-proc spans, got {span_hits}");
+    // Generous bound: every span plus 20 counter calls per processor.
+    let hits = (span_hits + 20 * 33) as u64;
+
+    // Per-call cost of the disabled primitives (tracing is off again here:
+    // `capture` stopped the session above).
+    assert!(!bcag_trace::enabled());
+    let batch = 10_000u64;
+    let span_ns = median_ns(20, || {
+        for _ in 0..batch {
+            let _sp = bcag_trace::span("overhead.probe");
+        }
+    }) / batch;
+    let count_ns = median_ns(20, || {
+        for _ in 0..batch {
+            bcag_trace::count("overhead_probe", 1);
+        }
+    }) / batch;
+    let per_hit_ns = span_ns.max(count_ns).max(1);
+
+    // The workload itself, instrumented but with tracing disabled.
+    let build_ns = median_ns(30, || {
+        std::hint::black_box(build_all(&problem).unwrap());
+    });
+
+    let overhead_ns = per_hit_ns * hits;
+    let budget_ns = build_ns / 50; // 2%
+    assert!(
+        overhead_ns < budget_ns,
+        "disabled-tracing overhead {overhead_ns}ns ({hits} hits x {per_hit_ns}ns) \
+         exceeds 2% of build_all ({build_ns}ns median)"
+    );
+
+    // Absolute sanity: a disabled primitive is a few atomic loads, not a
+    // lock. Allow a loose 200ns ceiling for noisy CI machines.
+    assert!(
+        per_hit_ns < 200,
+        "disabled primitive costs {per_hit_ns}ns per call"
+    );
+}

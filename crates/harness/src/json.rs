@@ -1,9 +1,13 @@
-//! Minimal JSON value tree and serializer (the workspace carries no
-//! `serde`; the bench engine's machine-readable reports are built here).
+//! Minimal JSON value tree, serializer and reader (the workspace carries
+//! no `serde`; the bench engine's machine-readable reports and the
+//! `bcag-trace` artifacts are built and validated here).
 //!
 //! Only what the reports need: objects preserve insertion order, numbers
 //! serialize via Rust's shortest-roundtrip float formatting, and
-//! non-finite floats become `null` (JSON has no NaN/Infinity).
+//! non-finite floats become `null` (JSON has no NaN/Infinity). The reader
+//! ([`Json::parse`]) accepts standard JSON and keeps the writer's
+//! int/float distinction: a number without `.`, `e` or `E` parses as
+//! [`Json::Int`] when it fits an `i64`.
 
 use std::fmt::Write as _;
 
@@ -51,6 +55,63 @@ impl Json {
         self.write(&mut out, Some(0));
         out.push('\n');
         out
+    }
+
+    /// Parses a JSON document. Errors carry the byte offset and a short
+    /// description — enough for tests validating emitted artifacts.
+    pub fn parse(src: &str) -> Result<Json, String> {
+        let mut p = Parser {
+            bytes: src.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.err("trailing characters after the document"));
+        }
+        Ok(v)
+    }
+
+    /// Object field lookup (first match; `None` on non-objects).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The integer value of an `Int` node.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Json::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// The numeric value of an `Int` or `Num` node.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Int(i) => Some(*i as f64),
+            Json::Num(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The string value of a `Str` node.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The items of an `Arr` node.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
     }
 
     fn write(&self, out: &mut String, indent: Option<usize>) {
@@ -136,6 +197,190 @@ fn write_escaped(out: &mut String, s: &str) {
     out.push('"');
 }
 
+/// Recursive-descent JSON reader over the raw bytes.
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: &str) -> String {
+        format!("json parse error at byte {}: {msg}", self.pos)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{}`", b as char)))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.err(&format!("expected `{word}`")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => Err(self.err("expected a value")),
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected `,` or `]`")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.eat(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(b':')?;
+            self.skip_ws();
+            fields.push((key, self.value()?));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(self.err("expected `,` or `}`")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or_else(|| self.err("truncated \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.err("bad \\u escape"))?;
+                            // Surrogates only arise for astral-plane text,
+                            // which the writer never escapes; reject them
+                            // rather than guessing a pairing.
+                            let c = char::from_u32(code)
+                                .ok_or_else(|| self.err("\\u escape is not a scalar value"))?;
+                            out.push(c);
+                            self.pos += 4;
+                        }
+                        _ => return Err(self.err("bad escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Multi-byte UTF-8 passes through unchanged; advance
+                    // one whole character.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| self.err("invalid utf-8"))?;
+                    let c = rest.chars().next().expect("peeked nonempty");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(c) = self.peek() {
+            match c {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii digits");
+        if !is_float {
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Json::Int(i));
+            }
+        }
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| self.err(&format!("bad number `{text}`")))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -166,6 +411,97 @@ mod tests {
             ("empty", Json::Arr(vec![])),
         ]);
         assert_eq!(v.to_string(), r#"{"name":"x/1","vals":[1,0.5],"empty":[]}"#);
+    }
+
+    #[test]
+    fn parse_scalars() {
+        assert_eq!(Json::parse("null").unwrap(), Json::Null);
+        assert_eq!(Json::parse(" true ").unwrap(), Json::Bool(true));
+        assert_eq!(Json::parse("false").unwrap(), Json::Bool(false));
+        assert_eq!(Json::parse("-42").unwrap(), Json::Int(-42));
+        assert_eq!(Json::parse("2.5").unwrap(), Json::Num(2.5));
+        assert_eq!(Json::parse("1e3").unwrap(), Json::Num(1000.0));
+        assert_eq!(
+            Json::parse("9223372036854775807").unwrap(),
+            Json::Int(i64::MAX)
+        );
+        // Too big for i64: falls back to float.
+        assert_eq!(
+            Json::parse("18446744073709551616").unwrap(),
+            Json::Num(18446744073709551616.0)
+        );
+    }
+
+    #[test]
+    fn parse_strings_with_escapes() {
+        assert_eq!(
+            Json::parse(r#""a\"b\\c\ndAé""#).unwrap(),
+            Json::Str("a\"b\\c\ndAé".into())
+        );
+    }
+
+    #[test]
+    fn parse_rejects_malformed_documents() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "[1 2]",
+            "{\"a\":}",
+            "{\"a\" 1}",
+            "nul",
+            "1 2",
+            "\"x",
+            "{a:1}",
+            "[1],",
+            "--1",
+        ] {
+            assert!(Json::parse(bad).is_err(), "accepted `{bad}`");
+        }
+    }
+
+    #[test]
+    fn writer_reader_round_trip() {
+        let v = Json::obj(vec![
+            ("name", Json::Str("trace/1 \"quoted\"\n".into())),
+            (
+                "vals",
+                Json::Arr(vec![
+                    Json::Int(1),
+                    Json::Num(0.5),
+                    Json::Null,
+                    Json::Bool(false),
+                ]),
+            ),
+            ("empty_arr", Json::Arr(vec![])),
+            ("empty_obj", Json::Obj(vec![])),
+            (
+                "nested",
+                Json::obj(vec![(
+                    "k",
+                    Json::Arr(vec![Json::obj(vec![("deep", Json::Int(-7))])]),
+                )]),
+            ),
+        ]);
+        assert_eq!(Json::parse(&v.to_string()).unwrap(), v);
+        assert_eq!(Json::parse(&v.to_pretty_string()).unwrap(), v);
+    }
+
+    #[test]
+    fn accessors_navigate_parsed_documents() {
+        let v = Json::parse(r#"{"a": 1, "b": [2.5, "x"], "c": {"d": "y"}}"#).unwrap();
+        assert_eq!(v.get("a").and_then(Json::as_i64), Some(1));
+        assert_eq!(v.get("a").and_then(Json::as_f64), Some(1.0));
+        let arr = v.get("b").and_then(Json::as_arr).unwrap();
+        assert_eq!(arr[0].as_f64(), Some(2.5));
+        assert_eq!(arr[1].as_str(), Some("x"));
+        assert_eq!(
+            v.get("c").and_then(|c| c.get("d")).and_then(Json::as_str),
+            Some("y")
+        );
+        assert_eq!(v.get("missing"), None);
+        assert_eq!(Json::Null.get("a"), None);
+        assert_eq!(Json::Str("s".into()).as_i64(), None);
     }
 
     #[test]

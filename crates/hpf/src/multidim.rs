@@ -116,6 +116,7 @@ impl ArrayMap {
         section: &[RegularSection],
         method: Method,
     ) -> Result<Vec<(Vec<i64>, i64)>> {
+        let _sp = bcag_trace::span("hpf.section_accesses");
         if section.len() != self.dims.len() || coords.len() != self.dims.len() {
             return Err(BcagError::Precondition("section/coordinate rank mismatch"));
         }

@@ -63,6 +63,7 @@ impl Program {
     /// `!`-comments are ignored; keywords are case-insensitive. The
     /// optional HPF sigil `!HPF$` at the start of a line is accepted.
     pub fn parse(src: &str) -> Result<Program, ParseError> {
+        let _sp = bcag_trace::span("hpf.parse");
         let mut prog = Program::default();
         for (no, raw) in src.lines().enumerate() {
             let mut line = raw.trim();

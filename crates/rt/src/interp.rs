@@ -58,6 +58,7 @@ pub struct Interp {
 impl Interp {
     /// Runs a whole script; returns the `PRINT` output lines.
     pub fn run(script: &str) -> Result<Vec<String>, ParseError> {
+        let _sp = bcag_trace::span("rt.run");
         // Phase 1: mapping directives.
         let directive_keywords = [
             "PROCESSORS",
@@ -142,6 +143,9 @@ impl Interp {
 
     fn exec(&mut self, line: &str) -> Result<(), ParseError> {
         let upper = line.to_ascii_uppercase();
+        // One span per executed statement, named by statement kind, so a
+        // trace shows which script statements the run time went to.
+        let _sp = bcag_trace::span(statement_span_name(&upper));
         if let Some(rest) = upper.strip_prefix("INIT ") {
             self.exec_init(rest.trim())
         } else if let Some(rest) = upper.strip_prefix("ASSIGN ") {
@@ -572,6 +576,28 @@ impl Interp {
         self.arrays.insert(name.to_string(), new);
         Ok(())
     }
+}
+
+/// Maps an (uppercased) statement line to a static span name. Longer
+/// keywords are matched first (`INIT2` before `INIT`).
+fn statement_span_name(upper: &str) -> &'static str {
+    const KINDS: &[(&str, &str)] = &[
+        ("INIT2 ", "rt.INIT2"),
+        ("INIT ", "rt.INIT"),
+        ("ASSIGN2 ", "rt.ASSIGN2"),
+        ("ASSIGN ", "rt.ASSIGN"),
+        ("PRINT2 ", "rt.PRINT2"),
+        ("PRINT ", "rt.PRINT"),
+        ("REDISTRIBUTE ", "rt.REDISTRIBUTE"),
+        ("FORALL ", "rt.FORALL"),
+        ("CSHIFT ", "rt.CSHIFT"),
+    ];
+    for (prefix, name) in KINDS {
+        if upper.starts_with(prefix) {
+            return name;
+        }
+    }
+    "rt.statement"
 }
 
 #[cfg(test)]

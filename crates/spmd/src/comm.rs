@@ -54,6 +54,7 @@ impl CommSchedule {
         sec_b: &RegularSection,
         method: Method,
     ) -> Result<CommSchedule> {
+        let _sp = bcag_trace::span("comm.build");
         if sec_a.count() != sec_b.count() {
             return Err(BcagError::Precondition(
                 "assignment requires conforming sections (equal element counts)",
@@ -105,6 +106,7 @@ impl CommSchedule {
         use bcag_core::intersect::{intersect, Ap};
         use bcag_core::start::first_cycle_locs;
 
+        let _sp = bcag_trace::span("comm.build_lattice");
         if sec_a.count() != sec_b.count() {
             return Err(BcagError::Precondition(
                 "assignment requires conforming sections (equal element counts)",
@@ -185,6 +187,7 @@ impl CommSchedule {
         use bcag_core::intersect::{intersect, Ap};
         use bcag_core::start::first_cycle_locs;
 
+        let _sp = bcag_trace::span("comm.message_matrix");
         if sec_a.count() != sec_b.count() {
             return Err(BcagError::Precondition(
                 "assignment requires conforming sections (equal element counts)",
@@ -261,12 +264,20 @@ impl CommSchedule {
     /// Executes `A(sec_a) = B(sec_b)` by message passing: every node
     /// packs its outgoing transfers into per-destination messages, sends
     /// them over channels, then drains its inbox and applies the writes.
+    ///
+    /// When tracing is enabled, each node lane (`node-<src>`) records a
+    /// `comm.execute.node` span and the communication counters:
+    /// `elements_moved` (all outgoing transfers), `elements_nonlocal` and
+    /// `messages_sent` (src ≠ dst only), `bytes_packed` (payload bytes
+    /// packed out of B's local memory) and `recv_wait_ns` (time blocked on
+    /// the inbox during the receive phase).
     pub fn execute<T>(&self, a: &mut DistArray<T>, b: &DistArray<T>) -> Result<()>
     where
         T: Clone + Send + Sync,
     {
         assert_eq!(a.p(), self.p, "LHS machine size mismatch");
         assert_eq!(b.p(), self.p, "RHS machine size mismatch");
+        let _sp = bcag_trace::span("comm.execute");
         let p = self.p as usize;
         // One inbox per node; each node thread gets its own clones of every
         // outgoing endpoint (mpsc senders are Clone, receivers move in).
@@ -278,9 +289,22 @@ impl CommSchedule {
             for ((src, local_a), inbox) in locals_a.iter_mut().enumerate().zip(receivers) {
                 let senders: Vec<mpsc::Sender<(i64, T)>> = senders.clone();
                 scope.spawn(move || {
+                    if bcag_trace::enabled() {
+                        bcag_trace::set_lane_label(&format!("node-{src}"));
+                    }
+                    let _sp = bcag_trace::span("comm.execute.node");
                     // Send phase: pack from B's local memory.
                     let local_b = b.local(src as i64);
                     for (dst, transfers) in sets[src].iter().enumerate() {
+                        bcag_trace::count("elements_moved", transfers.len() as u64);
+                        bcag_trace::count(
+                            "bytes_packed",
+                            (transfers.len() * std::mem::size_of::<T>()) as u64,
+                        );
+                        if dst != src && !transfers.is_empty() {
+                            bcag_trace::count("messages_sent", 1);
+                            bcag_trace::count("elements_nonlocal", transfers.len() as u64);
+                        }
                         for tr in transfers {
                             let v = local_b[tr.src_local as usize].clone();
                             senders[dst]
@@ -294,10 +318,16 @@ impl CommSchedule {
                     // machine), so a counted loop avoids a termination
                     // protocol.
                     let expected: usize = sets.iter().map(|row| row[src].len()).sum();
+                    let mut wait_ns = 0u64;
                     for _ in 0..expected {
+                        let t0 = bcag_trace::enabled().then(std::time::Instant::now);
                         let (addr, v) = inbox.recv().expect("message for expected count");
+                        if let Some(t0) = t0 {
+                            wait_ns += t0.elapsed().as_nanos() as u64;
+                        }
                         local_a[addr as usize] = v;
                     }
+                    bcag_trace::count("recv_wait_ns", wait_ns);
                 });
             }
         });

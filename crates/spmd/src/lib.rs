@@ -66,4 +66,6 @@ pub use pack::gather_section;
 pub use reduce::{dot_sections, reduce_section, sum_section};
 pub use shift::{cshift, eoshift};
 pub use statement::{assign_expr, redistribute};
-pub use stats::{block_size_tradeoff, comm_stats, load_stats, CommStats, LoadStats};
+pub use stats::{
+    block_size_tradeoff, comm_stats, load_stats, per_node_packed_from_trace, CommStats, LoadStats,
+};

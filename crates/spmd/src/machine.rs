@@ -29,11 +29,22 @@ impl Machine {
 
     /// Runs `node(m, &mut locals[m])` on every node concurrently, one OS
     /// thread per node, with exclusive access to that node's local memory.
+    ///
+    /// When tracing is enabled, each node's lane is labeled `node-<m>` and
+    /// carries one `spmd.node` span per launch, plus a `barrier_wait_ns`
+    /// counter: the time the node idled at the implicit join barrier while
+    /// the slowest node finished.
     pub fn run<T, F>(&self, locals: &mut [Vec<T>], node: F)
     where
         T: Send,
         F: Fn(usize, &mut Vec<T>) + Sync,
     {
+        if bcag_trace::enabled() {
+            // The timed path produces the per-node spans and barrier
+            // accounting; the durations are discarded.
+            let _ = self.run_timed(locals, node);
+            return;
+        }
         assert_eq!(locals.len() as i64, self.p, "one local memory per node");
         std::thread::scope(|scope| {
             for (m, local) in locals.iter_mut().enumerate() {
@@ -57,12 +68,17 @@ impl Machine {
             for ((m, local), slot) in locals.iter_mut().enumerate().zip(times.iter_mut()) {
                 let node = &node;
                 scope.spawn(move || {
+                    if bcag_trace::enabled() {
+                        bcag_trace::set_lane_label(&format!("node-{m}"));
+                    }
+                    let _sp = bcag_trace::span("spmd.node");
                     let t0 = std::time::Instant::now();
                     node(m, local);
                     *slot = t0.elapsed();
                 });
             }
         });
+        record_barrier_waits(&times);
         times
     }
 
@@ -74,17 +90,47 @@ impl Machine {
         F: Fn(usize) -> R + Sync,
     {
         let mut out: Vec<Option<R>> = (0..self.p).map(|_| None).collect();
+        let tracing = bcag_trace::enabled();
+        let mut times = vec![Duration::ZERO; self.p as usize];
         std::thread::scope(|scope| {
-            for (m, slot) in out.iter_mut().enumerate() {
+            for ((m, slot), time) in out.iter_mut().enumerate().zip(times.iter_mut()) {
                 let node = &node;
                 scope.spawn(move || {
+                    if bcag_trace::enabled() {
+                        bcag_trace::set_lane_label(&format!("node-{m}"));
+                    }
+                    let _sp = bcag_trace::span("spmd.node");
+                    let t0 = std::time::Instant::now();
                     *slot = Some(node(m));
+                    *time = t0.elapsed();
                 });
             }
         });
+        if tracing {
+            record_barrier_waits(&times);
+        }
         out.into_iter()
             .map(|r| r.expect("node completed"))
             .collect()
+    }
+}
+
+/// Credits each node lane with the time it idled at the join barrier:
+/// `max(times) - times[m]`. Only the launcher knows the maximum, so this
+/// runs after the join, on the launching thread.
+fn record_barrier_waits(times: &[Duration]) {
+    if !bcag_trace::enabled() {
+        return;
+    }
+    let Some(max) = times.iter().max().copied() else {
+        return;
+    };
+    for (m, &t) in times.iter().enumerate() {
+        bcag_trace::count_on_lane(
+            &format!("node-{m}"),
+            "barrier_wait_ns",
+            (max - t).as_nanos() as u64,
+        );
     }
 }
 

@@ -23,9 +23,11 @@ pub fn pack<T: Clone + Send + Sync>(
     m: i64,
     method: Method,
 ) -> Result<Vec<T>> {
+    let _sp = bcag_trace::span("spmd.pack");
     let plans = plan_section(arr.p(), arr.k(), section, method)?;
     let plan = &plans[m as usize];
     let Some(start) = plan.start else {
+        bcag_trace::count("elements_packed", 0);
         return Ok(vec![]);
     };
     let local = arr.local(m);
@@ -43,6 +45,11 @@ pub fn pack<T: Clone + Send + Sync>(
             i = 0;
         }
     }
+    bcag_trace::count("elements_packed", out.len() as u64);
+    bcag_trace::count(
+        "bytes_packed",
+        (out.len() * std::mem::size_of::<T>()) as u64,
+    );
     Ok(out)
 }
 

@@ -105,6 +105,23 @@ pub fn comm_stats(
     })
 }
 
+/// Per-node owned-element counts observed in a collected trace: the
+/// `elements_packed` totals of the `node-<m>` lanes, padded with zeros to
+/// `p` entries (a node that owned nothing may never have registered a
+/// lane). Running an instrumented per-node [`crate::pack::pack`] under
+/// [`bcag_trace::capture`] and passing the trace here cross-checks the
+/// closed-form [`LoadStats::per_proc`] against what the node programs
+/// actually enumerated.
+pub fn per_node_packed_from_trace(trace: &bcag_trace::Trace, p: i64) -> Vec<i64> {
+    let mut out: Vec<i64> = trace
+        .per_node_counter("elements_packed")
+        .into_iter()
+        .map(|v| v as i64)
+        .collect();
+    out.resize(p as usize, 0);
+    out
+}
+
 /// Sweeps block sizes and reports `(k, imbalance, nonlocal fraction)` for a
 /// same-layout copy shifted by `shift` — the classic "choose k" tradeoff
 /// table: small `k` balances load; large `k` keeps shifted neighbors local.

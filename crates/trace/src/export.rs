@@ -1,0 +1,155 @@
+//! Serialization of a collected [`Trace`]: a machine-readable
+//! `bcag-trace/v1` summary and the Chrome Trace Event format.
+//!
+//! The summary carries counter totals, per-lane aggregates and the
+//! max-over-nodes critical path (the paper reports "the maximum time over
+//! the 32 processors"; [`Trace::critical_path_ns`] is the same statistic
+//! over node lanes). The Chrome file loads directly into
+//! `chrome://tracing` or <https://ui.perfetto.dev>: one row (`tid`) per
+//! lane, named via `thread_name` metadata events, all spans as complete
+//! (`"ph": "X"`) events with microsecond timestamps.
+
+use bcag_harness::json::Json;
+
+use crate::{Lane, Trace};
+
+/// Builds the `bcag-trace/v1` summary document.
+pub fn summary(trace: &Trace) -> Json {
+    let mut totals: Vec<(&str, Json)> = Vec::new();
+    {
+        let mut names: Vec<&'static str> = trace
+            .lanes
+            .iter()
+            .flat_map(|l| l.counters.keys().copied())
+            .collect();
+        names.sort_unstable();
+        names.dedup();
+        for name in names {
+            totals.push((name, Json::Int(trace.counter_total(name) as i64)));
+        }
+    }
+    let lanes: Vec<Json> = trace.lanes.iter().map(lane_summary).collect();
+    Json::obj(vec![
+        ("format", Json::Str("bcag-trace/v1".into())),
+        ("counters", Json::Obj(own(totals))),
+        (
+            "critical_path_ns",
+            Json::Int(trace.critical_path_ns() as i64),
+        ),
+        ("lanes", Json::Arr(lanes)),
+    ])
+}
+
+fn lane_summary(lane: &Lane) -> Json {
+    let counters: Vec<(String, Json)> = lane
+        .counters
+        .iter()
+        .map(|(k, v)| (k.to_string(), Json::Int(*v as i64)))
+        .collect();
+    Json::obj(vec![
+        ("label", Json::Str(lane.label.clone())),
+        ("spans", Json::Int(lane.events.len() as i64)),
+        ("busy_ns", Json::Int(lane.busy_ns() as i64)),
+        ("counters", Json::Obj(counters)),
+    ])
+}
+
+fn own(fields: Vec<(&str, Json)>) -> Vec<(String, Json)> {
+    fields
+        .into_iter()
+        .map(|(k, v)| (k.to_string(), v))
+        .collect()
+}
+
+/// Builds a Chrome Trace Event document (`{"traceEvents": [...]}`).
+/// Timestamps are rebased so the earliest span starts at 0 and expressed
+/// in microseconds (the format's unit), keeping nanosecond resolution via
+/// fractional values.
+pub fn chrome(trace: &Trace) -> Json {
+    let t0 = trace
+        .lanes
+        .iter()
+        .flat_map(|l| &l.events)
+        .map(|e| e.start_ns)
+        .min()
+        .unwrap_or(0);
+    let mut events: Vec<Json> = Vec::new();
+    for (tid, lane) in trace.lanes.iter().enumerate() {
+        events.push(Json::obj(vec![
+            ("name", Json::Str("thread_name".into())),
+            ("ph", Json::Str("M".into())),
+            ("pid", Json::Int(0)),
+            ("tid", Json::Int(tid as i64)),
+            (
+                "args",
+                Json::obj(vec![("name", Json::Str(lane.label.clone()))]),
+            ),
+        ]));
+        for e in &lane.events {
+            events.push(Json::obj(vec![
+                ("name", Json::Str(e.name.into())),
+                ("ph", Json::Str("X".into())),
+                ("pid", Json::Int(0)),
+                ("tid", Json::Int(tid as i64)),
+                ("ts", Json::Num((e.start_ns - t0) as f64 / 1_000.0)),
+                ("dur", Json::Num(e.dur_ns as f64 / 1_000.0)),
+            ]));
+        }
+    }
+    Json::obj(vec![
+        ("traceEvents", Json::Arr(events)),
+        ("displayTimeUnit", Json::Str("ns".into())),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{capture, count, set_lane_label, span};
+
+    fn sample_trace() -> Trace {
+        let ((), trace) = capture(|| {
+            std::thread::scope(|scope| {
+                for m in 0..2 {
+                    scope.spawn(move || {
+                        set_lane_label(&format!("node-{m}"));
+                        let _sp = span("work");
+                        count("elements_moved", 10 * (m + 1) as u64);
+                    });
+                }
+            });
+        });
+        trace
+    }
+
+    #[test]
+    fn summary_has_format_totals_and_lanes() {
+        let trace = sample_trace();
+        let doc = summary(&trace);
+        let text = doc.to_string();
+        assert!(text.contains(r#""format":"bcag-trace/v1""#), "{text}");
+        assert!(text.contains(r#""elements_moved":30"#), "{text}");
+        assert!(text.contains(r#""label":"node-0""#), "{text}");
+        assert!(text.contains(r#""critical_path_ns":"#), "{text}");
+    }
+
+    #[test]
+    fn chrome_names_lanes_and_emits_complete_events() {
+        let trace = sample_trace();
+        let doc = chrome(&trace);
+        let text = doc.to_string();
+        assert!(text.contains(r#""traceEvents":"#), "{text}");
+        assert!(text.contains(r#""ph":"M""#), "{text}");
+        assert!(text.contains(r#""ph":"X""#), "{text}");
+        assert!(text.contains(r#""name":"node-1""#), "{text}");
+        // Rebased: some event starts at ts 0.
+        assert!(text.contains(r#""ts":0"#), "{text}");
+    }
+
+    #[test]
+    fn empty_trace_exports_cleanly() {
+        let trace = Trace { lanes: vec![] };
+        assert!(summary(&trace).to_string().contains("bcag-trace/v1"));
+        assert!(chrome(&trace).to_string().contains("traceEvents"));
+    }
+}

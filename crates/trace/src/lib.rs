@@ -1,0 +1,492 @@
+//! # bcag-trace — zero-dependency tracing and metrics
+//!
+//! The paper's contribution is a *cost* claim — `O(k + min(log s, log p))`
+//! table construction, and node programs whose communication volume and
+//! load balance drive the `cyclic(k)` trade-off. This crate records where
+//! that time and traffic actually go inside a run, so perf work has a
+//! shared measurement vocabulary instead of end-to-end wall clocks only.
+//!
+//! Model:
+//!
+//! * **Spans** — [`span`] returns an RAII guard; the enclosed region is
+//!   timed with a monotonic [`Instant`] and recorded as a complete event
+//!   (name, start, duration, nesting depth) on the current thread's lane.
+//! * **Counters** — [`count`] adds to a named per-lane counter. The
+//!   instrumented stack uses a fixed vocabulary (`basis_steps`,
+//!   `table_entries`, `gcd_iters`, `solver_steps`, `messages_sent`,
+//!   `elements_moved`, `elements_nonlocal`, `bytes_packed`,
+//!   `elements_packed`, `recv_wait_ns`, `barrier_wait_ns`); see
+//!   `docs/ALGORITHM.md` for what each one measures.
+//! * **Lanes** — events and counters are collected per thread. The SPMD
+//!   machine runs one thread per simulated node and labels each lane
+//!   `node-<m>`, so a collected [`Trace`] contains per-node timelines,
+//!   mirroring the paper's per-processor timing discipline.
+//! * **On/off switch** — tracing is globally disabled by default. Every
+//!   recording primitive first reads one relaxed [`AtomicBool`]; when
+//!   disabled nothing else runs, so instrumented hot paths stay within
+//!   noise of uninstrumented builds (asserted by
+//!   `bcag-core/tests/trace_overhead.rs`).
+//!
+//! Collection is generation-checked: [`start`] clears the sink and bumps a
+//! generation counter; guards that straddle a [`stop`] are discarded
+//! rather than polluting the next session. [`capture`] wraps the whole
+//! cycle and also serializes concurrent sessions in one process (the
+//! switch and sink are process-global).
+//!
+//! Export lives in [`export`]: a `bcag-trace/v1` summary (counter totals,
+//! per-lane aggregates, max-over-nodes critical path) and the Chrome Trace
+//! Event format loadable by `chrome://tracing` / Perfetto.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod export;
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+use std::time::Instant;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static GENERATION: AtomicU64 = AtomicU64::new(0);
+static REGISTRY: Mutex<Vec<Arc<Mutex<LaneData>>>> = Mutex::new(Vec::new());
+static ANON_LANES: AtomicU64 = AtomicU64::new(0);
+
+/// Nanoseconds since the process-wide trace epoch (first use).
+fn now_ns() -> u64 {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    EPOCH.get_or_init(Instant::now).elapsed().as_nanos() as u64
+}
+
+/// One completed span on a lane.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event {
+    /// Span name (static so the record path never allocates for names).
+    pub name: &'static str,
+    /// Start time, nanoseconds since the trace epoch.
+    pub start_ns: u64,
+    /// Duration in nanoseconds.
+    pub dur_ns: u64,
+    /// Nesting depth at open time (0 = top-level on its lane).
+    pub depth: u32,
+}
+
+/// Mutable per-thread collection state.
+struct LaneData {
+    label: String,
+    depth: u32,
+    events: Vec<Event>,
+    counters: BTreeMap<&'static str, u64>,
+}
+
+thread_local! {
+    /// This thread's lane for the current generation, if registered.
+    static LANE: RefCell<Option<(u64, Arc<Mutex<LaneData>>)>> = const { RefCell::new(None) };
+}
+
+/// Runs `f` on this thread's lane for the current generation, registering
+/// a fresh lane with the global sink on first use. Only called from paths
+/// already gated on [`enabled`], so disabled runs never touch the TLS.
+fn with_lane<R>(f: impl FnOnce(&mut LaneData) -> R) -> R {
+    let gen = GENERATION.load(Ordering::Acquire);
+    LANE.with(|slot| {
+        let mut slot = slot.borrow_mut();
+        let stale = !matches!(&*slot, Some((g, _)) if *g == gen);
+        if stale {
+            let label = std::thread::current()
+                .name()
+                .map(str::to_string)
+                .unwrap_or_else(|| {
+                    format!("thread-{}", ANON_LANES.fetch_add(1, Ordering::Relaxed))
+                });
+            let lane = Arc::new(Mutex::new(LaneData {
+                label,
+                depth: 0,
+                events: Vec::new(),
+                counters: BTreeMap::new(),
+            }));
+            lock_clean(&REGISTRY).push(lane.clone());
+            *slot = Some((gen, lane));
+        }
+        let (_, lane) = slot.as_ref().expect("lane registered above");
+        let result = f(&mut lock_clean(lane));
+        result
+    })
+}
+
+/// Locks ignoring poisoning: a panicking instrumented test must not take
+/// down every later tracing session in the process.
+fn lock_clean<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Whether tracing is currently recording. The recording primitives check
+/// this themselves; instrumentation only needs it to skip *setup* work
+/// (formatting a lane label, timing a wait) that would otherwise run on
+/// the disabled path.
+#[inline(always)]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Starts a recording session: clears the sink and enables tracing.
+pub fn start() {
+    let mut reg = lock_clean(&REGISTRY);
+    reg.clear();
+    GENERATION.fetch_add(1, Ordering::Release);
+    ENABLED.store(true, Ordering::SeqCst);
+}
+
+/// Stops recording and returns everything collected since [`start`].
+/// Lanes are sorted by label (numeric-aware, so `node-2` < `node-10`).
+pub fn stop() -> Trace {
+    ENABLED.store(false, Ordering::SeqCst);
+    GENERATION.fetch_add(1, Ordering::Release);
+    let handles = std::mem::take(&mut *lock_clean(&REGISTRY));
+    let mut lanes: Vec<Lane> = handles
+        .into_iter()
+        .map(|h| {
+            let mut d = lock_clean(&h);
+            Lane {
+                label: std::mem::take(&mut d.label),
+                events: std::mem::take(&mut d.events),
+                counters: std::mem::take(&mut d.counters),
+            }
+        })
+        .collect();
+    lanes.sort_by(|a, b| natural_key(&a.label).cmp(&natural_key(&b.label)));
+    Trace { lanes }
+}
+
+/// Splits a label into (text, number) runs so lane sorting treats embedded
+/// integers numerically.
+fn natural_key(s: &str) -> Vec<(String, u64)> {
+    let mut out = Vec::new();
+    let mut text = String::new();
+    let mut rest = s;
+    while !rest.is_empty() {
+        let digits: String = rest.chars().take_while(|c| c.is_ascii_digit()).collect();
+        if digits.is_empty() {
+            let c = rest.chars().next().expect("nonempty");
+            text.push(c);
+            rest = &rest[c.len_utf8()..];
+        } else {
+            out.push((
+                std::mem::take(&mut text),
+                digits.parse().unwrap_or(u64::MAX),
+            ));
+            rest = &rest[digits.len()..];
+        }
+    }
+    if !text.is_empty() {
+        out.push((text, 0));
+    }
+    out
+}
+
+/// Serialization for whole sessions: [`capture`] holds this so two
+/// concurrent captures (e.g. parallel tests in one binary) cannot
+/// interleave on the process-global switch.
+fn session_lock() -> MutexGuard<'static, ()> {
+    static SESSION: Mutex<()> = Mutex::new(());
+    lock_clean(&SESSION)
+}
+
+/// Runs `f` with tracing enabled and returns what it recorded, serializing
+/// against other concurrent captures in this process.
+pub fn capture<R>(f: impl FnOnce() -> R) -> (R, Trace) {
+    let _guard = session_lock();
+    start();
+    let result = f();
+    (result, stop())
+}
+
+/// Relabels the current thread's lane (the SPMD machine labels node
+/// threads `node-<m>`). No-op while tracing is disabled.
+pub fn set_lane_label(label: &str) {
+    if !enabled() {
+        return;
+    }
+    with_lane(|l| l.label = label.to_string());
+}
+
+/// Adds `delta` to the named counter on the current thread's lane.
+/// A disabled call is one relaxed atomic load.
+#[inline]
+pub fn count(name: &'static str, delta: u64) {
+    if !enabled() {
+        return;
+    }
+    with_lane(|l| *l.counters.entry(name).or_insert(0) += delta);
+}
+
+/// Adds `delta` to a counter on the lane currently labeled `label` (used
+/// by the machine to credit each node's `barrier_wait_ns` after the join,
+/// when only the launcher knows the maximum). Unknown labels are ignored.
+pub fn count_on_lane(label: &str, name: &'static str, delta: u64) {
+    if !enabled() {
+        return;
+    }
+    for lane in lock_clean(&REGISTRY).iter() {
+        let mut d = lock_clean(lane);
+        if d.label == label {
+            *d.counters.entry(name).or_insert(0) += delta;
+            return;
+        }
+    }
+}
+
+/// RAII span guard returned by [`span`]; records a complete event on drop.
+#[must_use = "a span measures the scope holding the guard"]
+pub struct Span {
+    open: Option<OpenSpan>,
+}
+
+struct OpenSpan {
+    name: &'static str,
+    gen: u64,
+    start_ns: u64,
+    depth: u32,
+}
+
+/// Opens a span on the current thread's lane. When tracing is disabled
+/// this is one relaxed atomic load and a `None` guard.
+#[inline]
+pub fn span(name: &'static str) -> Span {
+    if !enabled() {
+        return Span { open: None };
+    }
+    let gen = GENERATION.load(Ordering::Acquire);
+    let depth = with_lane(|l| {
+        let d = l.depth;
+        l.depth += 1;
+        d
+    });
+    Span {
+        open: Some(OpenSpan {
+            name,
+            gen,
+            start_ns: now_ns(),
+            depth,
+        }),
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(open) = self.open.take() else { return };
+        // A stop()/start() while the guard was live: the lane this span
+        // opened on is gone; recording now would resurrect stale state.
+        if GENERATION.load(Ordering::Acquire) != open.gen || !enabled() {
+            return;
+        }
+        let dur_ns = now_ns().saturating_sub(open.start_ns);
+        with_lane(|l| {
+            l.depth = l.depth.saturating_sub(1);
+            l.events.push(Event {
+                name: open.name,
+                start_ns: open.start_ns,
+                dur_ns,
+                depth: open.depth,
+            });
+        });
+    }
+}
+
+/// One thread's collected timeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Lane {
+    /// Lane label (`main`, `node-3`, ...).
+    pub label: String,
+    /// Completed spans, in completion order.
+    pub events: Vec<Event>,
+    /// Counter totals accumulated on this lane.
+    pub counters: BTreeMap<&'static str, u64>,
+}
+
+impl Lane {
+    /// Total busy time: the sum of top-level (depth 0) span durations.
+    /// Nested spans are contained in their parents, so this never double
+    /// counts.
+    pub fn busy_ns(&self) -> u64 {
+        self.events
+            .iter()
+            .filter(|e| e.depth == 0)
+            .map(|e| e.dur_ns)
+            .sum()
+    }
+
+    /// This lane's total for a counter (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// The node number for lanes labeled `node-<m>`.
+    pub fn node_id(&self) -> Option<usize> {
+        self.label.strip_prefix("node-")?.parse().ok()
+    }
+}
+
+/// A completed recording session: one [`Lane`] per participating thread.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Trace {
+    /// Lanes, sorted by label (numeric-aware).
+    pub lanes: Vec<Lane>,
+}
+
+impl Trace {
+    /// Sum of a counter over all lanes.
+    pub fn counter_total(&self, name: &str) -> u64 {
+        self.lanes.iter().map(|l| l.counter(name)).sum()
+    }
+
+    /// The lane with the given label, if any.
+    pub fn lane(&self, label: &str) -> Option<&Lane> {
+        self.lanes.iter().find(|l| l.label == label)
+    }
+
+    /// Per-node totals of a counter: index `m` holds the `node-<m>` lane's
+    /// total. The length covers the highest node lane present; nodes
+    /// without a lane (never scheduled work) read as 0.
+    pub fn per_node_counter(&self, name: &str) -> Vec<u64> {
+        let nodes: Vec<(usize, u64)> = self
+            .lanes
+            .iter()
+            .filter_map(|l| Some((l.node_id()?, l.counter(name))))
+            .collect();
+        let len = nodes.iter().map(|(m, _)| m + 1).max().unwrap_or(0);
+        let mut out = vec![0u64; len];
+        for (m, v) in nodes {
+            out[m] += v;
+        }
+        out
+    }
+
+    /// Number of completed spans with the given name, across lanes.
+    pub fn span_count(&self, name: &str) -> usize {
+        self.lanes
+            .iter()
+            .flat_map(|l| &l.events)
+            .filter(|e| e.name == name)
+            .count()
+    }
+
+    /// The paper's timing discipline: the maximum busy time over node
+    /// lanes (falling back to all lanes when no `node-<m>` lane exists).
+    pub fn critical_path_ns(&self) -> u64 {
+        let nodes = self
+            .lanes
+            .iter()
+            .filter(|l| l.node_id().is_some())
+            .map(Lane::busy_ns)
+            .max();
+        nodes.unwrap_or_else(|| self.lanes.iter().map(Lane::busy_ns).max().unwrap_or(0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_records_nothing_and_returns_inert_guards() {
+        let _guard = session_lock();
+        assert!(!enabled());
+        let sp = span("never");
+        count("never", 7);
+        set_lane_label("ghost");
+        drop(sp);
+        start();
+        let trace = stop();
+        assert!(trace.lanes.is_empty(), "{trace:?}");
+    }
+
+    #[test]
+    fn spans_nest_and_counters_accumulate() {
+        let ((), trace) = capture(|| {
+            set_lane_label("node-0");
+            let _outer = span("outer");
+            count("widgets", 2);
+            {
+                let _inner = span("inner");
+                count("widgets", 3);
+            }
+        });
+        let lane = trace.lane("node-0").expect("lane exists");
+        assert_eq!(lane.counter("widgets"), 5);
+        let inner = lane.events.iter().find(|e| e.name == "inner").unwrap();
+        let outer = lane.events.iter().find(|e| e.name == "outer").unwrap();
+        assert_eq!((inner.depth, outer.depth), (1, 0));
+        assert!(inner.dur_ns <= outer.dur_ns);
+        assert!(inner.start_ns >= outer.start_ns);
+        assert_eq!(lane.busy_ns(), outer.dur_ns);
+        assert_eq!(trace.counter_total("widgets"), 5);
+    }
+
+    #[test]
+    fn threads_get_their_own_lanes() {
+        let ((), trace) = capture(|| {
+            std::thread::scope(|scope| {
+                for m in 0..3 {
+                    scope.spawn(move || {
+                        set_lane_label(&format!("node-{m}"));
+                        let _sp = span("work");
+                        count("items", (m + 1) as u64);
+                    });
+                }
+            });
+        });
+        assert_eq!(trace.per_node_counter("items"), vec![1, 2, 3]);
+        assert_eq!(trace.span_count("work"), 3);
+        assert!(trace.critical_path_ns() > 0);
+    }
+
+    #[test]
+    fn lane_sorting_is_numeric_aware() {
+        let ((), trace) = capture(|| {
+            std::thread::scope(|scope| {
+                for m in [10usize, 2, 0] {
+                    scope.spawn(move || {
+                        set_lane_label(&format!("node-{m}"));
+                        count("x", 1);
+                    });
+                }
+            });
+        });
+        let labels: Vec<&str> = trace.lanes.iter().map(|l| l.label.as_str()).collect();
+        assert_eq!(labels, vec!["node-0", "node-2", "node-10"]);
+    }
+
+    #[test]
+    fn count_on_lane_credits_by_label() {
+        let ((), trace) = capture(|| {
+            std::thread::scope(|scope| {
+                scope.spawn(|| {
+                    set_lane_label("node-0");
+                    count("marker", 1);
+                });
+            });
+            count_on_lane("node-0", "barrier_wait_ns", 123);
+            count_on_lane("no-such-lane", "barrier_wait_ns", 999);
+        });
+        assert_eq!(
+            trace.lane("node-0").unwrap().counter("barrier_wait_ns"),
+            123
+        );
+        assert_eq!(trace.counter_total("barrier_wait_ns"), 123);
+    }
+
+    #[test]
+    fn span_straddling_stop_is_discarded() {
+        let _guard = session_lock();
+        start();
+        let sp = span("straddler");
+        let first = stop();
+        start();
+        drop(sp);
+        let second = stop();
+        assert_eq!(first.span_count("straddler"), 0);
+        assert_eq!(second.span_count("straddler"), 0);
+    }
+}

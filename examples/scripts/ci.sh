@@ -23,12 +23,25 @@ cargo test -q --workspace --offline
 
 echo "==> bench smoke (--quick) for every target"
 for bench in construction sorting_ablation gcd_effect codeshapes \
-             tableless comm_schedule special_cases; do
+             tableless comm_schedule special_cases trace_overhead; do
     echo "--> $bench"
     cargo bench -q --offline -p bcag-bench --bench "$bench" -- --quick \
         > /dev/null
     report="target/bcag-bench/$bench.json"
     [ -s "$report" ] || { echo "missing bench report: $report" >&2; exit 1; }
 done
+
+echo "==> trace smoke: bcag trace on examples/scripts/triad.hpf"
+trace_out="target/ci-trace.json"
+trace_chrome="target/ci-trace.chrome.json"
+rm -f "$trace_out" "$trace_chrome"
+target/release/bcag trace --file examples/scripts/triad.hpf \
+    --trace "$trace_out" > /dev/null
+[ -s "$trace_out" ] || { echo "missing trace summary: $trace_out" >&2; exit 1; }
+[ -s "$trace_chrome" ] || { echo "missing chrome trace: $trace_chrome" >&2; exit 1; }
+grep -q '"format": "bcag-trace/v1"' "$trace_out" \
+    || { echo "summary is not bcag-trace/v1: $trace_out" >&2; exit 1; }
+grep -q '"traceEvents"' "$trace_chrome" \
+    || { echo "chrome file has no traceEvents: $trace_chrome" >&2; exit 1; }
 
 echo "ci: OK"

@@ -12,7 +12,10 @@
 //!   distributed arrays, the four node-code shapes of the paper's Figure 8,
 //!   and a communication substrate for two-sided array assignments;
 //! * [`rt`] (`bcag-rt`) — a mini HPF-like runtime interpreting directive +
-//!   statement scripts over the whole stack.
+//!   statement scripts over the whole stack;
+//! * [`trace`] (`bcag-trace`) — zero-dependency tracing and metrics: spans,
+//!   named counters, per-node lanes, `bcag-trace/v1` summaries and
+//!   chrome://tracing export (the whole stack is instrumented with it).
 //!
 //! See the repository README for a tour and `DESIGN.md` for the
 //! paper-to-module map.
@@ -21,6 +24,7 @@ pub use bcag_core as core;
 pub use bcag_hpf as hpf;
 pub use bcag_rt as rt;
 pub use bcag_spmd as spmd;
+pub use bcag_trace as trace;
 
 pub use bcag_core::{
     build, Access, AccessPattern, BcagError, Layout, Method, Problem, RegularSection,
