@@ -1,0 +1,272 @@
+//! Process-wide schedule/plan cache.
+//!
+//! An interpreter (or any driver) that executes the same statement shape
+//! repeatedly — a loop over identical sections — pays the full
+//! `CommSchedule::build` / [`plan_section`] cost every iteration even
+//! though the result depends only on `(p, k, section)` parameters, never
+//! on array contents. This module memoizes both products behind a
+//! capacity-bounded, LRU-evicting store: plain `Vec`-backed (zero
+//! dependencies, linear scan — [`CAPACITY`] is small enough that a scan
+//! beats a hash map's constant factors here), keyed by the exact build
+//! parameters, returning shared [`Arc`] handles.
+//!
+//! Every lookup records a `schedule_cache_hits` or `schedule_cache_misses`
+//! counter via [`bcag_trace`], so a `--trace` run shows exactly how much
+//! rebuild work the cache absorbed.
+
+use std::sync::{Arc, Mutex, OnceLock};
+
+use bcag_core::error::Result;
+use bcag_core::method::Method;
+use bcag_core::section::RegularSection;
+
+use crate::assign::{plan_section, NodePlan};
+use crate::comm::CommSchedule;
+
+/// Maximum number of cached entries; least-recently-used entries are
+/// evicted beyond this.
+pub const CAPACITY: usize = 128;
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Key {
+    /// A communication schedule. `method` is the pattern method of
+    /// [`CommSchedule::build`], or `None` for the closed-form
+    /// [`CommSchedule::build_lattice`] (a different algorithm, cached
+    /// under a different key even though the results agree).
+    Schedule {
+        p: i64,
+        k_a: i64,
+        sec_a: (i64, i64, i64),
+        k_b: i64,
+        sec_b: (i64, i64, i64),
+        method: Option<Method>,
+    },
+    /// A per-node owner-computes plan set from [`plan_section`].
+    Plans {
+        p: i64,
+        k: i64,
+        sec: (i64, i64, i64),
+        method: Method,
+    },
+}
+
+#[derive(Clone)]
+enum Value {
+    Schedule(Arc<CommSchedule>),
+    Plans(Arc<Vec<NodePlan>>),
+}
+
+struct Entry {
+    key: Key,
+    value: Value,
+    stamp: u64,
+}
+
+#[derive(Default)]
+struct Store {
+    entries: Vec<Entry>,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+}
+
+fn store() -> &'static Mutex<Store> {
+    static STORE: OnceLock<Mutex<Store>> = OnceLock::new();
+    STORE.get_or_init(|| Mutex::new(Store::default()))
+}
+
+/// Cache effectiveness counters (process lifetime totals).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to build.
+    pub misses: u64,
+    /// Entries currently resident.
+    pub entries: usize,
+}
+
+/// Returns the lifetime hit/miss totals and current occupancy.
+pub fn stats() -> CacheStats {
+    let s = store().lock().unwrap();
+    CacheStats {
+        hits: s.hits,
+        misses: s.misses,
+        entries: s.entries.len(),
+    }
+}
+
+/// Empties the cache (stats totals are kept). Intended for tests and
+/// memory-sensitive embedders.
+pub fn clear() {
+    store().lock().unwrap().entries.clear();
+}
+
+fn sec_key(sec: &RegularSection) -> (i64, i64, i64) {
+    (sec.l, sec.u, sec.s)
+}
+
+/// Looks up `key`, building (outside the lock) and inserting on a miss.
+/// Two threads missing the same key concurrently may both build; the
+/// second insert defers to the first, so callers always share one value.
+fn get_or_build(key: Key, build_value: impl FnOnce() -> Result<Value>) -> Result<Value> {
+    {
+        let mut s = store().lock().unwrap();
+        s.tick += 1;
+        let tick = s.tick;
+        if let Some(pos) = s.entries.iter().position(|e| e.key == key) {
+            s.entries[pos].stamp = tick;
+            s.hits += 1;
+            let v = s.entries[pos].value.clone();
+            drop(s);
+            bcag_trace::count("schedule_cache_hits", 1);
+            return Ok(v);
+        }
+        s.misses += 1;
+    }
+    bcag_trace::count("schedule_cache_misses", 1);
+    let value = build_value()?;
+    let mut s = store().lock().unwrap();
+    s.tick += 1;
+    let tick = s.tick;
+    if let Some(pos) = s.entries.iter().position(|e| e.key == key) {
+        s.entries[pos].stamp = tick;
+        return Ok(s.entries[pos].value.clone());
+    }
+    if s.entries.len() >= CAPACITY {
+        let oldest = s
+            .entries
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, e)| e.stamp)
+            .map(|(i, _)| i)
+            .expect("non-empty at capacity");
+        s.entries.swap_remove(oldest);
+    }
+    s.entries.push(Entry {
+        key,
+        value: value.clone(),
+        stamp: tick,
+    });
+    Ok(value)
+}
+
+/// Cached [`CommSchedule::build`].
+pub fn schedule(
+    p: i64,
+    k_a: i64,
+    sec_a: &RegularSection,
+    k_b: i64,
+    sec_b: &RegularSection,
+    method: Method,
+) -> Result<Arc<CommSchedule>> {
+    let key = Key::Schedule {
+        p,
+        k_a,
+        sec_a: sec_key(sec_a),
+        k_b,
+        sec_b: sec_key(sec_b),
+        method: Some(method),
+    };
+    let v = get_or_build(key, || {
+        CommSchedule::build(p, k_a, sec_a, k_b, sec_b, method).map(|s| Value::Schedule(Arc::new(s)))
+    })?;
+    match v {
+        Value::Schedule(s) => Ok(s),
+        Value::Plans(_) => unreachable!("schedule key maps to schedule value"),
+    }
+}
+
+/// Cached [`CommSchedule::build_lattice`].
+pub fn schedule_lattice(
+    p: i64,
+    k_a: i64,
+    sec_a: &RegularSection,
+    k_b: i64,
+    sec_b: &RegularSection,
+) -> Result<Arc<CommSchedule>> {
+    let key = Key::Schedule {
+        p,
+        k_a,
+        sec_a: sec_key(sec_a),
+        k_b,
+        sec_b: sec_key(sec_b),
+        method: None,
+    };
+    let v = get_or_build(key, || {
+        CommSchedule::build_lattice(p, k_a, sec_a, k_b, sec_b).map(|s| Value::Schedule(Arc::new(s)))
+    })?;
+    match v {
+        Value::Schedule(s) => Ok(s),
+        Value::Plans(_) => unreachable!("schedule key maps to schedule value"),
+    }
+}
+
+/// Cached [`plan_section`].
+pub fn plans(p: i64, k: i64, sec: &RegularSection, method: Method) -> Result<Arc<Vec<NodePlan>>> {
+    let key = Key::Plans {
+        p,
+        k,
+        sec: sec_key(sec),
+        method,
+    };
+    let v = get_or_build(key, || {
+        plan_section(p, k, sec, method).map(|p| Value::Plans(Arc::new(p)))
+    })?;
+    match v {
+        Value::Plans(p) => Ok(p),
+        Value::Schedule(_) => unreachable!("plans key maps to plans value"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_hits_share_one_arc() {
+        // A key shape deliberately unlike anything else in the test suite.
+        let sec_a = RegularSection::new(3, 1203, 25).unwrap();
+        let sec_b = RegularSection::new(7, 1207, 25).unwrap();
+        let first = schedule(5, 11, &sec_a, 13, &sec_b, Method::Lattice).unwrap();
+        let second = schedule(5, 11, &sec_a, 13, &sec_b, Method::Lattice).unwrap();
+        assert!(Arc::ptr_eq(&first, &second));
+        // The lattice builder is a distinct key even for identical params.
+        let lattice = schedule_lattice(5, 11, &sec_a, 13, &sec_b).unwrap();
+        assert!(!Arc::ptr_eq(&first, &lattice));
+        for src in 0..5 {
+            for dst in 0..5 {
+                assert_eq!(first.transfers(src, dst), lattice.transfers(src, dst));
+            }
+        }
+    }
+
+    #[test]
+    fn plans_hit_after_miss() {
+        let sec = RegularSection::new(1, 961, 17).unwrap();
+        let before = stats();
+        let first = plans(6, 9, &sec, Method::Lattice).unwrap();
+        let second = plans(6, 9, &sec, Method::Lattice).unwrap();
+        let after = stats();
+        assert!(Arc::ptr_eq(&first, &second));
+        assert!(after.hits > before.hits);
+        assert!(after.misses > before.misses);
+    }
+
+    #[test]
+    fn occupancy_stays_bounded() {
+        for i in 0..(CAPACITY as i64 + 16) {
+            let sec = RegularSection::new(i, i + 400, 401).unwrap();
+            let _ = plans(2, 3, &sec, Method::Lattice).unwrap();
+        }
+        assert!(stats().entries <= CAPACITY);
+    }
+
+    #[test]
+    fn build_errors_are_not_cached() {
+        let good = RegularSection::new(0, 9, 1).unwrap();
+        let bad = RegularSection::new(0, 9, 2).unwrap(); // nonconforming
+        assert!(schedule(2, 4, &good, 4, &bad, Method::Lattice).is_err());
+        assert!(schedule(2, 4, &good, 4, &bad, Method::Lattice).is_err());
+    }
+}

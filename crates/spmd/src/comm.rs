@@ -8,9 +8,17 @@
 //! examples, built directly on the access-sequence machinery: each source
 //! processor enumerates the RHS elements it owns with the core algorithm,
 //! maps each element's section rank to its LHS home, and the exchange is
-//! executed with one message channel per destination node
-//! (`std::sync::mpsc` channels standing in for the iPSC/860's message
-//! passing).
+//! executed by message passing (`std::sync::mpsc` channels standing in for
+//! the iPSC/860's message passing).
+//!
+//! The schedule itself is stored flat: one CSR buffer of [`Transfer`]s with
+//! a `p² + 1` offset table ([`crate::csr::Csr`]), so building allocates
+//! O(1) vectors instead of the O(p²) of a `Vec<Vec<Vec<_>>>` encoding and
+//! a per-pair transfer list is a free slice. Execution batches: each node
+//! packs its outgoing transfers for one destination into a single message
+//! (see [`PackValue`]) and `src == dst` transfers never touch a channel.
+//! The historical one-message-per-element path survives behind
+//! [`ExecMode::PerElement`] for ablation.
 
 use std::sync::mpsc;
 
@@ -20,6 +28,7 @@ use bcag_core::params::Problem;
 use bcag_core::section::RegularSection;
 use bcag_core::Layout;
 
+use crate::csr::Csr;
 use crate::darray::DistArray;
 
 /// One element transfer: local address on the source, local address on the
@@ -32,14 +41,147 @@ pub struct Transfer {
     pub dst_local: i64,
 }
 
+/// Payload types the communication engine can move.
+///
+/// The two hooks cover the engine's inner loops: packing outgoing
+/// transfers into a message buffer and applying same-node transfers in
+/// place. The default bodies clone element by element — correct for any
+/// `Clone` payload. The macro below overrides both for the primitive
+/// numeric types with straight copies, so `i64`/`f64` payloads (the common
+/// case) never run a `clone()` call per element. (Rust's coherence rules
+/// forbid a blanket `impl<T: Copy>` next to the `String`/`Vec` impls, so
+/// the fast path is spelled out per primitive.)
+pub trait PackValue: Clone + Send + Sync {
+    /// Appends `(dst_local, value)` records for `transfers` onto `out`,
+    /// reading payloads from the source node's local memory `src`.
+    fn pack_into(src: &[Self], transfers: &[Transfer], out: &mut Vec<(i64, Self)>) {
+        out.reserve(transfers.len());
+        for tr in transfers {
+            out.push((tr.dst_local, src[tr.src_local as usize].clone()));
+        }
+    }
+
+    /// Applies same-node transfers straight from `src` into `dst`, without
+    /// staging through a message.
+    fn apply_local(dst: &mut [Self], src: &[Self], transfers: &[Transfer]) {
+        for tr in transfers {
+            dst[tr.dst_local as usize] = src[tr.src_local as usize].clone();
+        }
+    }
+}
+
+macro_rules! pack_value_by_copy {
+    ($($t:ty),* $(,)?) => {$(
+        impl PackValue for $t {
+            fn pack_into(src: &[Self], transfers: &[Transfer], out: &mut Vec<(i64, Self)>) {
+                out.reserve(transfers.len());
+                for tr in transfers {
+                    out.push((tr.dst_local, src[tr.src_local as usize]));
+                }
+            }
+
+            fn apply_local(dst: &mut [Self], src: &[Self], transfers: &[Transfer]) {
+                for tr in transfers {
+                    dst[tr.dst_local as usize] = src[tr.src_local as usize];
+                }
+            }
+        }
+    )*};
+}
+
+pack_value_by_copy!(
+    i8, i16, i32, i64, i128, isize, u8, u16, u32, u64, u128, usize, f32, f64, bool, char
+);
+
+impl<U: Copy + Send + Sync, const N: usize> PackValue for [U; N] {
+    fn pack_into(src: &[Self], transfers: &[Transfer], out: &mut Vec<(i64, Self)>) {
+        out.reserve(transfers.len());
+        for tr in transfers {
+            out.push((tr.dst_local, src[tr.src_local as usize]));
+        }
+    }
+
+    fn apply_local(dst: &mut [Self], src: &[Self], transfers: &[Transfer]) {
+        for tr in transfers {
+            dst[tr.dst_local as usize] = src[tr.src_local as usize];
+        }
+    }
+}
+
+impl PackValue for String {}
+impl<U: Clone + Send + Sync> PackValue for Vec<U> {}
+impl<U: Clone + Send + Sync> PackValue for Option<U> {}
+
+/// Selects the data-movement strategy of [`CommSchedule::execute_with`] —
+/// an ablation switch in the spirit of [`Method`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ExecMode {
+    /// One message per non-empty (src, dst ≠ src) pair; same-node transfers
+    /// apply directly into the LHS local memory. The default.
+    Batched,
+    /// One message per element, self-transfers included — the historical
+    /// baseline, kept for ablation benchmarks.
+    PerElement,
+}
+
+impl ExecMode {
+    /// Short human-readable name (used by benches).
+    pub fn name(&self) -> &'static str {
+        match self {
+            ExecMode::Batched => "batched",
+            ExecMode::PerElement => "per-element",
+        }
+    }
+}
+
 /// The full communication schedule for one array assignment: for each
-/// (source, destination) pair, the ordered element transfers.
+/// (source, destination) pair, the ordered element transfers, stored as
+/// one flat CSR buffer with rows indexed `src * p + dst`.
 #[derive(Debug, Clone)]
 pub struct CommSchedule {
     p: i64,
-    /// `sets[src][dst]` lists transfers from node `src` to node `dst`
+    /// Row `src * p + dst` lists transfers from node `src` to node `dst`
     /// in increasing section-rank order.
-    sets: Vec<Vec<Vec<Transfer>>>,
+    pairs: Csr<Transfer>,
+}
+
+/// Closed-form `p × p` message matrix: `get(src, dst)` is the number of
+/// elements moving from `src` to `dst`, stored flat (row-major).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MessageMatrix {
+    p: i64,
+    counts: Vec<i64>,
+}
+
+impl MessageMatrix {
+    /// Machine size.
+    pub fn p(&self) -> i64 {
+        self.p
+    }
+
+    /// Elements moving from `src` to `dst`.
+    pub fn get(&self, src: i64, dst: i64) -> i64 {
+        self.counts[(src * self.p + dst) as usize]
+    }
+
+    /// Row `src`: per-destination counts as a slice.
+    pub fn row(&self, src: i64) -> &[i64] {
+        let base = (src * self.p) as usize;
+        &self.counts[base..base + self.p as usize]
+    }
+
+    /// All `(src, dst, count)` entries in row-major order.
+    pub fn entries(&self) -> impl Iterator<Item = (i64, i64, i64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| (i as i64 / self.p, i as i64 % self.p, n))
+    }
+
+    /// Total element count (equals the section size).
+    pub fn total(&self) -> i64 {
+        self.counts.iter().sum()
+    }
 }
 
 impl CommSchedule {
@@ -55,37 +197,73 @@ impl CommSchedule {
         method: Method,
     ) -> Result<CommSchedule> {
         let _sp = bcag_trace::span("comm.build");
-        if sec_a.count() != sec_b.count() {
-            return Err(BcagError::Precondition(
-                "assignment requires conforming sections (equal element counts)",
-            ));
-        }
-        if sec_a.s <= 0 || sec_b.s <= 0 {
-            return Err(BcagError::Precondition(
-                "communication schedule requires ascending sections; normalize first",
-            ));
-        }
-        let mut sets = vec![vec![Vec::new(); p as usize]; p as usize];
+        check_sections(sec_a, sec_b)?;
         if sec_b.count() == 0 {
-            return Ok(CommSchedule { p, sets });
+            return Ok(CommSchedule {
+                p,
+                pairs: Csr::empty((p * p) as usize),
+            });
         }
+        let pn = p as usize;
         let lay_a = Layout::from_raw(p, k_a);
         let problem_b = Problem::new(p, k_b, sec_b.l, sec_b.s)?;
+        let mut pairs = Csr::builder();
+        // Scratch reused across sources: transfers tagged with their
+        // destination, then scattered into destination order by a stable
+        // counting sort — no per-pair vectors anywhere.
+        let mut tagged: Vec<(usize, Transfer)> = Vec::new();
+        let mut slots: Vec<Transfer> = Vec::new();
+        let mut cursor: Vec<usize> = vec![0; pn];
         for src in 0..p {
             // Enumerate the RHS elements owned by `src` with the core
             // algorithm, bounded by the section's upper bound.
             let pat = build(&problem_b, src, method)?;
+            tagged.clear();
+            cursor.fill(0);
             for acc in pat.iter_to(sec_b.u) {
                 let t = (acc.global - sec_b.l) / sec_b.s; // section rank
                 let a_elem = sec_a.l + t * sec_a.s;
-                let dst = lay_a.owner(a_elem);
-                sets[src as usize][dst as usize].push(Transfer {
-                    src_local: acc.local,
-                    dst_local: lay_a.local_addr(a_elem),
-                });
+                let dst = lay_a.owner(a_elem) as usize;
+                tagged.push((
+                    dst,
+                    Transfer {
+                        src_local: acc.local,
+                        dst_local: lay_a.local_addr(a_elem),
+                    },
+                ));
+                cursor[dst] += 1;
+            }
+            // Exclusive prefix sum: cursor[d] becomes row d's write position.
+            let mut next = 0usize;
+            for c in cursor.iter_mut() {
+                let n = *c;
+                *c = next;
+                next += n;
+            }
+            slots.clear();
+            slots.resize(
+                tagged.len(),
+                Transfer {
+                    src_local: 0,
+                    dst_local: 0,
+                },
+            );
+            for &(dst, tr) in &tagged {
+                slots[cursor[dst]] = tr;
+                cursor[dst] += 1;
+            }
+            // cursor[d] now holds row d's end offset.
+            let mut begin = 0usize;
+            for &end in cursor.iter() {
+                pairs.extend_row(&slots[begin..end]);
+                pairs.finish_row();
+                begin = end;
             }
         }
-        Ok(CommSchedule { p, sets })
+        Ok(CommSchedule {
+            p,
+            pairs: pairs.finish(pn * pn),
+        })
     }
 
     /// Builds the same schedule in closed form, without enumerating the
@@ -107,20 +285,13 @@ impl CommSchedule {
         use bcag_core::start::first_cycle_locs;
 
         let _sp = bcag_trace::span("comm.build_lattice");
-        if sec_a.count() != sec_b.count() {
-            return Err(BcagError::Precondition(
-                "assignment requires conforming sections (equal element counts)",
-            ));
-        }
-        if sec_a.s <= 0 || sec_b.s <= 0 {
-            return Err(BcagError::Precondition(
-                "communication schedule requires ascending sections; normalize first",
-            ));
-        }
-        let mut sets = vec![vec![Vec::new(); p as usize]; p as usize];
+        check_sections(sec_a, sec_b)?;
         let t_max = sec_b.count() - 1;
         if t_max < 0 {
-            return Ok(CommSchedule { p, sets });
+            return Ok(CommSchedule {
+                p,
+                pairs: Csr::empty((p * p) as usize),
+            });
         }
         let lay_a = Layout::from_raw(p, k_a);
         let lay_b = Layout::from_raw(p, k_b);
@@ -137,71 +308,71 @@ impl CommSchedule {
                 .collect())
         };
 
+        // The A-side classes depend only on the destination — compute them
+        // once instead of once per (src, dst) pair.
+        let a_classes_by_dst: Vec<Vec<i64>> = (0..p)
+            .map(|dst| rank_aps(&problem_a, sec_a, dst))
+            .collect::<Result<_>>()?;
+
+        let mut pairs = Csr::builder();
+        let mut ts: Vec<i64> = Vec::new(); // scratch reused across pairs
         for src in 0..p {
             let b_classes = rank_aps(&problem_b, sec_b, src)?;
-            for dst in 0..p {
-                let a_classes = rank_aps(&problem_a, sec_a, dst)?;
-                let mut ts: Vec<i64> = Vec::new();
+            for (dst, a_classes) in a_classes_by_dst.iter().enumerate() {
+                ts.clear();
                 for &tb in &b_classes {
                     let ap_b = Ap::new(tb, step_b);
-                    for &ta in &a_classes {
+                    for &ta in a_classes {
                         let ap_a = Ap::new(ta, step_a);
                         if let Some(common) = intersect(&ap_b, &ap_a) {
+                            ts.reserve(common.count_to(t_max) as usize);
                             ts.extend(common.iter_to(t_max));
                         }
                     }
                 }
                 ts.sort_unstable();
-                sets[src as usize][dst as usize] = ts
-                    .into_iter()
-                    .map(|t| {
-                        let b_elem = sec_b.l + t * sec_b.s;
-                        let a_elem = sec_a.l + t * sec_a.s;
-                        debug_assert_eq!(lay_b.owner(b_elem), src);
-                        debug_assert_eq!(lay_a.owner(a_elem), dst);
-                        Transfer {
-                            src_local: lay_b.local_addr(b_elem),
-                            dst_local: lay_a.local_addr(a_elem),
-                        }
-                    })
-                    .collect();
+                for &t in &ts {
+                    let b_elem = sec_b.l + t * sec_b.s;
+                    let a_elem = sec_a.l + t * sec_a.s;
+                    debug_assert_eq!(lay_b.owner(b_elem), src);
+                    debug_assert_eq!(lay_a.owner(a_elem), dst as i64);
+                    pairs.push(Transfer {
+                        src_local: lay_b.local_addr(b_elem),
+                        dst_local: lay_a.local_addr(a_elem),
+                    });
+                }
+                pairs.finish_row();
             }
         }
-        Ok(CommSchedule { p, sets })
+        Ok(CommSchedule {
+            p,
+            pairs: pairs.finish((p * p) as usize),
+        })
     }
 
-    /// Computes only the **message matrix** — `counts[src][dst]` = number
-    /// of elements moving from `src` to `dst` — entirely in closed form:
-    /// each (B-class, A-class) pair contributes `|AP ∩ AP ∩ [0, count)|`,
-    /// one CRT plus one division per pair. `O(p² · k_a·k_b)` total,
-    /// independent of the section length — the planning query a compiler
-    /// asks when choosing between communication strategies, without
-    /// materializing a single transfer.
+    /// Computes only the **message matrix** — `get(src, dst)` = number of
+    /// elements moving from `src` to `dst` — entirely in closed form: each
+    /// (B-class, A-class) pair contributes `|AP ∩ AP ∩ [0, count)|`, one
+    /// CRT plus one division per pair. `O(p² · k_a·k_b)` total, independent
+    /// of the section length — the planning query a compiler asks when
+    /// choosing between communication strategies, without materializing a
+    /// single transfer.
     pub fn message_matrix(
         p: i64,
         k_a: i64,
         sec_a: &RegularSection,
         k_b: i64,
         sec_b: &RegularSection,
-    ) -> Result<Vec<Vec<i64>>> {
+    ) -> Result<MessageMatrix> {
         use bcag_core::intersect::{intersect, Ap};
         use bcag_core::start::first_cycle_locs;
 
         let _sp = bcag_trace::span("comm.message_matrix");
-        if sec_a.count() != sec_b.count() {
-            return Err(BcagError::Precondition(
-                "assignment requires conforming sections (equal element counts)",
-            ));
-        }
-        if sec_a.s <= 0 || sec_b.s <= 0 {
-            return Err(BcagError::Precondition(
-                "communication schedule requires ascending sections; normalize first",
-            ));
-        }
-        let mut counts = vec![vec![0i64; p as usize]; p as usize];
+        check_sections(sec_a, sec_b)?;
+        let mut counts = vec![0i64; (p * p) as usize];
         let t_max = sec_b.count() - 1;
         if t_max < 0 {
-            return Ok(counts);
+            return Ok(MessageMatrix { p, counts });
         }
         let problem_a = Problem::new(p, k_a, sec_a.l, sec_a.s)?;
         let problem_b = Problem::new(p, k_b, sec_b.l, sec_b.s)?;
@@ -231,77 +402,172 @@ impl CommSchedule {
                         }
                     }
                 }
-                counts[src][dst] = total;
+                counts[src * p as usize + dst] = total;
             }
         }
-        Ok(counts)
+        Ok(MessageMatrix { p, counts })
     }
 
-    /// Transfers from `src` to `dst`.
+    /// Transfers from `src` to `dst` — a free slice into the CSR buffer.
     pub fn transfers(&self, src: i64, dst: i64) -> &[Transfer] {
-        &self.sets[src as usize][dst as usize]
+        self.pair(src as usize, dst as usize)
+    }
+
+    fn pair(&self, src: usize, dst: usize) -> &[Transfer] {
+        self.pairs.row(src * self.p as usize + dst)
     }
 
     /// Total number of elements moved (equals the section size).
     pub fn total_elements(&self) -> usize {
-        self.sets.iter().flatten().map(|v| v.len()).sum()
+        self.pairs.len()
     }
 
     /// Number of nonlocal element transfers (src != dst): the communication
     /// volume a real machine would put on the network.
     pub fn nonlocal_elements(&self) -> usize {
-        self.sets
-            .iter()
-            .enumerate()
-            .flat_map(|(s, row)| {
-                row.iter()
-                    .enumerate()
-                    .filter_map(move |(d, v)| (s != d).then_some(v.len()))
-            })
+        let p = self.p as usize;
+        (0..p)
+            .flat_map(|s| (0..p).filter_map(move |d| (s != d).then_some((s, d))))
+            .map(|(s, d)| self.pair(s, d).len())
             .sum()
     }
 
-    /// Executes `A(sec_a) = B(sec_b)` by message passing: every node
-    /// packs its outgoing transfers into per-destination messages, sends
-    /// them over channels, then drains its inbox and applies the writes.
+    /// Number of non-empty (src, dst ≠ src) pairs — exactly the number of
+    /// messages the batched executor sends, and the schedule-side twin of
+    /// the traced `messages_sent` counter.
+    pub fn nonempty_nonlocal_pairs(&self) -> usize {
+        let p = self.p as usize;
+        (0..p)
+            .flat_map(|s| (0..p).map(move |d| (s, d)))
+            .filter(|&(s, d)| s != d && !self.pair(s, d).is_empty())
+            .count()
+    }
+
+    /// Executes `A(sec_a) = B(sec_b)` by message passing with the default
+    /// [`ExecMode::Batched`] strategy: every node packs its outgoing
+    /// transfers for one destination into a single message, sends one
+    /// message per non-empty (src, dst ≠ src) pair, applies same-node
+    /// transfers directly into its own memory, then drains its inbox.
     ///
     /// When tracing is enabled, each node lane (`node-<src>`) records a
     /// `comm.execute.node` span and the communication counters:
     /// `elements_moved` (all outgoing transfers), `elements_nonlocal` and
     /// `messages_sent` (src ≠ dst only), `bytes_packed` (payload bytes
     /// packed out of B's local memory) and `recv_wait_ns` (time blocked on
-    /// the inbox during the receive phase).
-    pub fn execute<T>(&self, a: &mut DistArray<T>, b: &DistArray<T>) -> Result<()>
-    where
-        T: Clone + Send + Sync,
-    {
+    /// the inbox during the receive phase). Counter totals are identical
+    /// across both execution modes.
+    pub fn execute<T: PackValue>(&self, a: &mut DistArray<T>, b: &DistArray<T>) -> Result<()> {
+        self.execute_with(a, b, ExecMode::Batched)
+    }
+
+    /// [`CommSchedule::execute`] with an explicit strategy — the ablation
+    /// entry point for comparing batched against per-element movement.
+    pub fn execute_with<T: PackValue>(
+        &self,
+        a: &mut DistArray<T>,
+        b: &DistArray<T>,
+        mode: ExecMode,
+    ) -> Result<()> {
         assert_eq!(a.p(), self.p, "LHS machine size mismatch");
         assert_eq!(b.p(), self.p, "RHS machine size mismatch");
         let _sp = bcag_trace::span("comm.execute");
+        match mode {
+            ExecMode::Batched => self.execute_batched(a, b),
+            ExecMode::PerElement => self.execute_per_element(a, b),
+        }
+        Ok(())
+    }
+
+    fn execute_batched<T: PackValue>(&self, a: &mut DistArray<T>, b: &DistArray<T>) {
         let p = self.p as usize;
-        // One inbox per node; each node thread gets its own clones of every
-        // outgoing endpoint (mpsc senders are Clone, receivers move in).
+        // One inbox per node, carrying whole packed messages. Senders are
+        // `Sync`, so every node thread borrows the one endpoint vector —
+        // spawn cost stays O(1) per node.
         let (senders, receivers): (Vec<_>, Vec<_>) =
-            (0..p).map(|_| mpsc::channel::<(i64, T)>()).unzip();
-        let sets = &self.sets;
+            (0..p).map(|_| mpsc::channel::<Vec<(i64, T)>>()).unzip();
+        let senders = &senders;
         let locals_a = a.locals_mut();
         std::thread::scope(|scope| {
-            for ((src, local_a), inbox) in locals_a.iter_mut().enumerate().zip(receivers) {
-                let senders: Vec<mpsc::Sender<(i64, T)>> = senders.clone();
+            for ((me, local_a), inbox) in locals_a.iter_mut().enumerate().zip(receivers) {
                 scope.spawn(move || {
                     if bcag_trace::enabled() {
-                        bcag_trace::set_lane_label(&format!("node-{src}"));
+                        bcag_trace::set_lane_label(&format!("node-{me}"));
                     }
                     let _sp = bcag_trace::span("comm.execute.node");
-                    // Send phase: pack from B's local memory.
-                    let local_b = b.local(src as i64);
-                    for (dst, transfers) in sets[src].iter().enumerate() {
+                    // Send phase: pack from B's local memory, one message
+                    // per non-empty destination; the self-row goes straight
+                    // into A's local memory.
+                    let local_b = b.local(me as i64);
+                    for dst in 0..p {
+                        let transfers = self.pair(me, dst);
                         bcag_trace::count("elements_moved", transfers.len() as u64);
                         bcag_trace::count(
                             "bytes_packed",
                             (transfers.len() * std::mem::size_of::<T>()) as u64,
                         );
-                        if dst != src && !transfers.is_empty() {
+                        if dst == me {
+                            T::apply_local(local_a, local_b, transfers);
+                            continue;
+                        }
+                        if transfers.is_empty() {
+                            continue;
+                        }
+                        bcag_trace::count("messages_sent", 1);
+                        bcag_trace::count("elements_nonlocal", transfers.len() as u64);
+                        let mut msg = Vec::new();
+                        T::pack_into(local_b, transfers, &mut msg);
+                        senders[dst]
+                            .send(msg)
+                            .expect("receiver alive during send phase");
+                    }
+                    // Receive phase: the schedule is global knowledge (as on
+                    // a real SPMD machine), so each node knows exactly how
+                    // many messages are inbound and a counted loop avoids a
+                    // termination protocol.
+                    let expected = (0..p)
+                        .filter(|&s| s != me && !self.pair(s, me).is_empty())
+                        .count();
+                    let mut wait_ns = 0u64;
+                    for _ in 0..expected {
+                        let t0 = bcag_trace::enabled().then(std::time::Instant::now);
+                        let msg = inbox.recv().expect("message for expected count");
+                        if let Some(t0) = t0 {
+                            wait_ns += t0.elapsed().as_nanos() as u64;
+                        }
+                        for (addr, v) in msg {
+                            local_a[addr as usize] = v;
+                        }
+                    }
+                    bcag_trace::count("recv_wait_ns", wait_ns);
+                });
+            }
+        });
+    }
+
+    fn execute_per_element<T: PackValue>(&self, a: &mut DistArray<T>, b: &DistArray<T>) {
+        let p = self.p as usize;
+        // One inbox per node, one message per element (self-transfers
+        // included) — the pre-batching behavior, preserved for ablation.
+        let (senders, receivers): (Vec<_>, Vec<_>) =
+            (0..p).map(|_| mpsc::channel::<(i64, T)>()).unzip();
+        let senders = &senders;
+        let locals_a = a.locals_mut();
+        std::thread::scope(|scope| {
+            for ((me, local_a), inbox) in locals_a.iter_mut().enumerate().zip(receivers) {
+                scope.spawn(move || {
+                    if bcag_trace::enabled() {
+                        bcag_trace::set_lane_label(&format!("node-{me}"));
+                    }
+                    let _sp = bcag_trace::span("comm.execute.node");
+                    let local_b = b.local(me as i64);
+                    for dst in 0..p {
+                        let transfers = self.pair(me, dst);
+                        bcag_trace::count("elements_moved", transfers.len() as u64);
+                        bcag_trace::count(
+                            "bytes_packed",
+                            (transfers.len() * std::mem::size_of::<T>()) as u64,
+                        );
+                        if dst != me && !transfers.is_empty() {
                             bcag_trace::count("messages_sent", 1);
                             bcag_trace::count("elements_nonlocal", transfers.len() as u64);
                         }
@@ -312,12 +578,7 @@ impl CommSchedule {
                                 .expect("receiver alive during send phase");
                         }
                     }
-                    // Receive phase: apply writes to A's local memory. Each
-                    // node knows exactly how many elements it will receive
-                    // (the schedule is global knowledge, as on a real SPMD
-                    // machine), so a counted loop avoids a termination
-                    // protocol.
-                    let expected: usize = sets.iter().map(|row| row[src].len()).sum();
+                    let expected: usize = (0..p).map(|s| self.pair(s, me).len()).sum();
                     let mut wait_ns = 0u64;
                     for _ in 0..expected {
                         let t0 = bcag_trace::enabled().then(std::time::Instant::now);
@@ -331,22 +592,31 @@ impl CommSchedule {
                 });
             }
         });
-        drop(senders);
-        Ok(())
     }
 }
 
+fn check_sections(sec_a: &RegularSection, sec_b: &RegularSection) -> Result<()> {
+    if sec_a.count() != sec_b.count() {
+        return Err(BcagError::Precondition(
+            "assignment requires conforming sections (equal element counts)",
+        ));
+    }
+    if sec_a.s <= 0 || sec_b.s <= 0 {
+        return Err(BcagError::Precondition(
+            "communication schedule requires ascending sections; normalize first",
+        ));
+    }
+    Ok(())
+}
+
 /// Convenience wrapper: build the schedule and execute it.
-pub fn assign_array<T>(
+pub fn assign_array<T: PackValue>(
     a: &mut DistArray<T>,
     sec_a: &RegularSection,
     b: &DistArray<T>,
     sec_b: &RegularSection,
     method: Method,
-) -> Result<()>
-where
-    T: Clone + Send + Sync,
-{
+) -> Result<()> {
     assert_eq!(a.p(), b.p(), "arrays must live on the same machine");
     let schedule = CommSchedule::build(a.p(), a.k(), sec_a, b.k(), sec_b, method)?;
     schedule.execute(a, b)
@@ -397,6 +667,25 @@ mod tests {
     }
 
     #[test]
+    fn per_element_mode_matches_batched() {
+        let n = 240i64;
+        let bg: Vec<i64> = (0..n).map(|i| 3 * i + 1).collect();
+        let b = DistArray::from_global(4, 3, &bg).unwrap();
+        let sec_a = RegularSection::new(2, 230, 4).unwrap();
+        let sec_b = RegularSection::new(1, 229, 4).unwrap();
+        let sched = CommSchedule::build_lattice(4, 8, &sec_a, 3, &sec_b).unwrap();
+        let mut batched = DistArray::new(4, 8, n, -1i64).unwrap();
+        sched
+            .execute_with(&mut batched, &b, ExecMode::Batched)
+            .unwrap();
+        let mut per_elem = DistArray::new(4, 8, n, -1i64).unwrap();
+        sched
+            .execute_with(&mut per_elem, &b, ExecMode::PerElement)
+            .unwrap();
+        assert_eq!(batched.to_global(), per_elem.to_global());
+    }
+
+    #[test]
     fn schedule_accounting() {
         let sec_a = RegularSection::new(0, 99, 1).unwrap();
         let sec_b = RegularSection::new(0, 99, 1).unwrap();
@@ -404,12 +693,14 @@ mod tests {
         assert_eq!(sched.total_elements(), 100);
         // Identical layouts and sections: everything is local.
         assert_eq!(sched.nonlocal_elements(), 0);
+        assert_eq!(sched.nonempty_nonlocal_pairs(), 0);
 
         // Shifted section: most transfers cross processors.
         let sec_b2 = RegularSection::new(8, 107, 1).unwrap();
         let sched2 = CommSchedule::build(4, 8, &sec_a, 8, &sec_b2, Method::Lattice).unwrap();
         assert_eq!(sched2.total_elements(), 100);
         assert!(sched2.nonlocal_elements() > 0);
+        assert!(sched2.nonempty_nonlocal_pairs() > 0);
     }
 
     #[test]
@@ -460,15 +751,14 @@ mod tests {
             for src in 0..p {
                 for dst in 0..p {
                     assert_eq!(
-                        matrix[src as usize][dst as usize],
+                        matrix.get(src, dst),
                         sched.transfers(src, dst).len() as i64,
                         "p={p} kA={k_a} kB={k_b} src={src} dst={dst}"
                     );
                 }
             }
             // Conservation: the matrix sums to the section size.
-            let total: i64 = matrix.iter().flatten().sum();
-            assert_eq!(total, count);
+            assert_eq!(matrix.total(), count);
         }
     }
 
@@ -480,13 +770,13 @@ mod tests {
         let sec = RegularSection::new(0, n - 1, 1).unwrap();
         let shifted = RegularSection::new(1, n, 1).unwrap();
         let m = CommSchedule::message_matrix(8, 16, &sec, 16, &shifted).unwrap();
-        let total: i64 = m.iter().flatten().sum();
-        assert_eq!(total, n);
+        assert_eq!(m.total(), n);
         // Shift by 1 within blocks of 16: 15/16 of elements stay local.
-        let local: i64 = (0..8).map(|i| m[i][i]).sum();
+        let local: i64 = (0..8).map(|i| m.get(i, i)).sum();
         assert!(
-            local * 16 > total * 14,
-            "local fraction ~15/16, got {local}/{total}"
+            local * 16 > m.total() * 14,
+            "local fraction ~15/16, got {local}/{}",
+            m.total()
         );
     }
 
@@ -514,5 +804,17 @@ mod tests {
         let mut a = DistArray::new(2, 4, 20, 7i64).unwrap();
         sched.execute(&mut a, &b).unwrap();
         assert!(a.to_global().iter().all(|&x| x == 7));
+    }
+
+    #[test]
+    fn clone_payloads_move_correctly() {
+        // Strings take the clone-based default PackValue path.
+        let n = 60i64;
+        let bg: Vec<String> = (0..n).map(|i| format!("v{i}")).collect();
+        let b = DistArray::from_global(3, 4, &bg).unwrap();
+        let mut a = DistArray::new(3, 7, n, String::new()).unwrap();
+        let sec = RegularSection::new(0, n - 1, 1).unwrap();
+        assign_array(&mut a, &sec, &b, &sec, Method::Lattice).unwrap();
+        assert_eq!(a.to_global(), bg);
     }
 }

@@ -15,17 +15,19 @@ use bcag_core::method::Method;
 use bcag_core::params::Problem;
 use bcag_core::section::RegularSection;
 
+use crate::csr::Csr;
 use crate::dmatrix::DistMatrix;
 
-/// Per-dimension rank decomposition: for each grid coordinate along one
-/// dimension, the sorted list of section ranks `t` whose element that
-/// coordinate owns, together with the per-rank local index.
+/// Per-dimension rank decomposition: row `m` lists, in increasing rank
+/// order, the section ranks `t` whose element grid coordinate `m` owns,
+/// together with the per-rank local index — one flat CSR buffer instead of
+/// a vector per coordinate.
 fn dim_rank_owners(
     p: i64,
     k: i64,
     sec: &RegularSection,
     method: Method,
-) -> Result<Vec<Vec<(i64, i64)>>> {
+) -> Result<Csr<(i64, i64)>> {
     if sec.s <= 0 {
         return Err(BcagError::Precondition(
             "2-D assignment requires ascending triplets",
@@ -33,16 +35,15 @@ fn dim_rank_owners(
     }
     let problem = Problem::new(p, k, sec.l, sec.s)?;
     let lay = bcag_core::Layout::from_raw(p, k);
-    let mut out = Vec::with_capacity(p as usize);
+    let mut out = Csr::builder();
     for m in 0..p {
         let pat = bcag_core::method::build(&problem, m, method)?;
-        let list: Vec<(i64, i64)> = pat
-            .iter_to(sec.u)
-            .map(|acc| ((acc.global - sec.l) / sec.s, lay.local_addr(acc.global)))
-            .collect();
-        out.push(list);
+        for acc in pat.iter_to(sec.u) {
+            out.push(((acc.global - sec.l) / sec.s, lay.local_addr(acc.global)));
+        }
+        out.finish_row();
     }
-    Ok(out)
+    Ok(out.finish(p as usize))
 }
 
 /// Executes `A(sec_a[0], sec_a[1]) = B(sec_b[0], sec_b[1])`.
@@ -85,8 +86,8 @@ where
             let rank = bmap.grid().linearize(&coords)? as usize;
             let local = b.local(rank as i64);
             let extents = bmap.local_extents(&coords)?;
-            for &(t1, li1) in &d1[coords[1] as usize] {
-                for &(t0, li0) in &d0[coords[0] as usize] {
+            for &(t1, li1) in d1.row(coords[1] as usize) {
+                for &(t0, li0) in d0.row(coords[0] as usize) {
                     let addr = li0 + li1 * extents[0];
                     staged[(t0 + t1 * n0) as usize] = local[addr as usize].clone();
                 }
@@ -103,8 +104,8 @@ where
         let rank = amap.grid().linearize(&coords)?;
         let extents = amap.local_extents(&coords)?;
         let local = a.local_mut(rank);
-        for &(t1, li1) in &d1[coords[1] as usize] {
-            for &(t0, li0) in &d0[coords[0] as usize] {
+        for &(t1, li1) in d1.row(coords[1] as usize) {
+            for &(t0, li0) in d0.row(coords[0] as usize) {
                 let addr = li0 + li1 * extents[0];
                 local[addr as usize] = staged[(t0 + t1 * n0) as usize].clone();
             }

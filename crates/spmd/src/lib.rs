@@ -13,9 +13,14 @@
 //!   compares;
 //! * [`assign`] — owner-computes section statements
 //!   (`A(l:u:s) = expr`) compiled to plans + traversal loops;
-//! * [`comm`] — communication sets and message-passing execution for
-//!   two-sided assignments `A(secA) = B(secB)`, including redistribution
-//!   between different block sizes;
+//! * [`comm`] — communication sets and batched message-passing execution
+//!   for two-sided assignments `A(secA) = B(secB)` (one message per
+//!   non-empty (src, dst) pair), including redistribution between
+//!   different block sizes;
+//! * [`csr`] — the flat compressed-sparse-row storage the schedules and
+//!   2-D rank decompositions are built on;
+//! * [`cache`] — a process-wide, capacity-bounded cache of communication
+//!   schedules and section plans keyed by their build parameters;
 //! * [`reduce`] — reductions over sections (`SUM`, `DOT_PRODUCT`, custom
 //!   folds) with the same traversal machinery;
 //! * [`dmatrix`] — 2-D distributed matrices over an HPF mapping, with SPMD
@@ -42,9 +47,11 @@
 
 pub mod assign;
 pub mod blas1;
+pub mod cache;
 pub mod codeshapes;
 pub mod comm;
 pub mod comm2d;
+pub mod csr;
 pub mod darray;
 pub mod dmatrix;
 pub mod machine;
@@ -57,8 +64,9 @@ pub mod stats;
 pub use assign::{apply_section, assign_scalar, plan_section, NodePlan};
 pub use blas1::{asum, axpy, iamax, nrm2, scal};
 pub use codeshapes::CodeShape;
-pub use comm::{assign_array, CommSchedule, Transfer};
+pub use comm::{assign_array, CommSchedule, ExecMode, MessageMatrix, PackValue, Transfer};
 pub use comm2d::assign_matrix;
+pub use csr::Csr;
 pub use darray::DistArray;
 pub use dmatrix::DistMatrix;
 pub use machine::Machine;

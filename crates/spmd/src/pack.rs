@@ -9,7 +9,9 @@
 
 use bcag_core::error::Result;
 use bcag_core::method::Method;
+use bcag_core::params::Problem;
 use bcag_core::section::RegularSection;
+use bcag_core::start::count_owned;
 
 use crate::assign::plan_section;
 use crate::darray::DistArray;
@@ -31,7 +33,15 @@ pub fn pack<T: Clone + Send + Sync>(
         return Ok(vec![]);
     };
     let local = arr.local(m);
-    let mut out = Vec::new();
+    // The owned count is known in closed form: size the buffer once.
+    let norm = section.normalized();
+    let cap = if norm.count == 0 {
+        0
+    } else {
+        let problem = Problem::new(arr.p(), arr.k(), norm.lo, norm.step)?;
+        count_owned(&problem, m, norm.hi)? as usize
+    };
+    let mut out = Vec::with_capacity(cap);
     let mut addr = start;
     let mut i = 0usize;
     while addr <= plan.last {

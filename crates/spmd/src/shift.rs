@@ -10,15 +10,12 @@ use bcag_core::error::{BcagError, Result};
 use bcag_core::method::Method;
 use bcag_core::section::RegularSection;
 
-use crate::comm::assign_array;
+use crate::comm::{assign_array, PackValue};
 use crate::darray::DistArray;
 
 /// Circular shift: returns `A` with `A(i) = B((i + shift) mod n)`.
 /// Positive `shift` moves elements toward lower indices (HPF convention).
-pub fn cshift<T>(b: &DistArray<T>, shift: i64) -> Result<DistArray<T>>
-where
-    T: Clone + Send + Sync,
-{
+pub fn cshift<T: PackValue>(b: &DistArray<T>, shift: i64) -> Result<DistArray<T>> {
     let n = b.len();
     if n == 0 {
         return Ok(b.clone());
@@ -40,10 +37,7 @@ where
 }
 
 /// End-off shift: like [`cshift`] but vacated positions take `boundary`.
-pub fn eoshift<T>(b: &DistArray<T>, shift: i64, boundary: T) -> Result<DistArray<T>>
-where
-    T: Clone + Send + Sync,
-{
+pub fn eoshift<T: PackValue>(b: &DistArray<T>, shift: i64, boundary: T) -> Result<DistArray<T>> {
     let n = b.len();
     if n == 0 {
         return Ok(b.clone());

@@ -12,8 +12,8 @@ use bcag_core::error::{BcagError, Result};
 use bcag_core::method::Method;
 use bcag_core::section::RegularSection;
 
-use crate::assign::plan_section;
-use crate::comm::CommSchedule;
+use crate::cache;
+use crate::comm::PackValue;
 use crate::darray::DistArray;
 use crate::machine::Machine;
 
@@ -31,7 +31,7 @@ pub fn assign_expr<T, F>(
     f: F,
 ) -> Result<()>
 where
-    T: Clone + Send + Sync,
+    T: PackValue,
     F: Fn(&[T]) -> T + Sync,
 {
     if sec_a.s <= 0 {
@@ -50,16 +50,19 @@ where
 
     // Gather phase: each operand's section values land in an A-shaped
     // temporary at the local addresses of the corresponding LHS elements.
+    // Schedules and plans come from the process-wide cache, so a loop
+    // executing the same statement shape rebuilds nothing after its first
+    // iteration.
     let mut staged: Vec<DistArray<T>> = Vec::with_capacity(operands.len());
     for (b, sec_b) in operands {
         let mut tmp = a.clone();
-        let schedule = CommSchedule::build(a.p(), a.k(), sec_a, b.k(), sec_b, Method::Lattice)?;
+        let schedule = cache::schedule(a.p(), a.k(), sec_a, b.k(), sec_b, Method::Lattice)?;
         schedule.execute(&mut tmp, b)?;
         staged.push(tmp);
     }
 
     // Compute phase: owner-computes over the LHS access sequence.
-    let plans = plan_section(a.p(), a.k(), sec_a, Method::Lattice)?;
+    let plans = cache::plans(a.p(), a.k(), sec_a, Method::Lattice)?;
     let machine = Machine::new(a.p());
     let staged_refs: Vec<&DistArray<T>> = staged.iter().collect();
     machine.run(a.locals_mut(), |m, local| {
@@ -91,10 +94,7 @@ where
 /// copy with identical contents (`A' = A` elementwise). The workhorse of
 /// `REDISTRIBUTE` directives and of interfacing libraries that demand a
 /// specific blocking.
-pub fn redistribute<T>(arr: &DistArray<T>, new_k: i64) -> Result<DistArray<T>>
-where
-    T: Clone + Send + Sync,
-{
+pub fn redistribute<T: PackValue>(arr: &DistArray<T>, new_k: i64) -> Result<DistArray<T>> {
     let n = arr.len();
     if n == 0 {
         return DistArray::empty(arr.p(), new_k);
@@ -102,7 +102,7 @@ where
     let proto = arr.get(0)?.clone();
     let mut out = DistArray::new(arr.p(), new_k, n, proto)?;
     let sec = RegularSection::new(0, n - 1, 1)?;
-    let schedule = CommSchedule::build_lattice(arr.p(), new_k, &sec, arr.k(), &sec)?;
+    let schedule = cache::schedule_lattice(arr.p(), new_k, &sec, arr.k(), &sec)?;
     schedule.execute(&mut out, arr)?;
     Ok(out)
 }

@@ -84,16 +84,14 @@ pub fn comm_stats(
     let mut nonlocal = 0i64;
     let mut messages = 0usize;
     let mut max_message = 0i64;
-    for (src, row) in matrix.iter().enumerate() {
-        for (dst, &n) in row.iter().enumerate() {
-            if src == dst {
-                local += n;
-            } else {
-                nonlocal += n;
-                if n > 0 {
-                    messages += 1;
-                    max_message = max_message.max(n);
-                }
+    for (src, dst, n) in matrix.entries() {
+        if src == dst {
+            local += n;
+        } else {
+            nonlocal += n;
+            if n > 0 {
+                messages += 1;
+                max_message = max_message.max(n);
             }
         }
     }

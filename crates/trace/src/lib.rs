@@ -15,7 +15,8 @@
 //!   instrumented stack uses a fixed vocabulary (`basis_steps`,
 //!   `table_entries`, `gcd_iters`, `solver_steps`, `messages_sent`,
 //!   `elements_moved`, `elements_nonlocal`, `bytes_packed`,
-//!   `elements_packed`, `recv_wait_ns`, `barrier_wait_ns`); see
+//!   `elements_packed`, `recv_wait_ns`, `barrier_wait_ns`,
+//!   `schedule_cache_hits`, `schedule_cache_misses`); see
 //!   `docs/ALGORITHM.md` for what each one measures.
 //! * **Lanes** — events and counters are collected per thread. The SPMD
 //!   machine runs one thread per simulated node and labels each lane

@@ -23,7 +23,8 @@ cargo test -q --workspace --offline
 
 echo "==> bench smoke (--quick) for every target"
 for bench in construction sorting_ablation gcd_effect codeshapes \
-             tableless comm_schedule special_cases trace_overhead; do
+             tableless comm_schedule comm_throughput special_cases \
+             trace_overhead; do
     echo "--> $bench"
     cargo bench -q --offline -p bcag-bench --bench "$bench" -- --quick \
         > /dev/null
@@ -43,5 +44,13 @@ grep -q '"format": "bcag-trace/v1"' "$trace_out" \
     || { echo "summary is not bcag-trace/v1: $trace_out" >&2; exit 1; }
 grep -q '"traceEvents"' "$trace_chrome" \
     || { echo "chrome file has no traceEvents: $trace_chrome" >&2; exit 1; }
+
+echo "==> cache smoke: bcag trace on examples/scripts/cache_loop.hpf"
+cache_out="target/ci-cache.json"
+rm -f "$cache_out" "target/ci-cache.chrome.json"
+target/release/bcag trace --file examples/scripts/cache_loop.hpf \
+    --trace "$cache_out" > /dev/null
+grep -q '"schedule_cache_hits"' "$cache_out" \
+    || { echo "no schedule_cache_hits in summary: $cache_out" >&2; exit 1; }
 
 echo "ci: OK"
