@@ -451,15 +451,11 @@ fn replace_cyclic_numbers(line: &str, k: i64) -> String {
 /// on the SPMD machine followed by a two-distribution remapping assignment
 /// through [`CommSchedule`], so every instrumented layer shows up.
 fn synthetic_workload(p: i64, k: i64) -> Result<String, String> {
-    use bcag_spmd::{CommSchedule, DistArray, Machine};
-    let machine = Machine::new(p);
+    use bcag_spmd::{CommSchedule, DistArray};
     let problem = Problem::new(p, k, 4, 9).map_err(|e| e.to_string())?;
-    let lens: Vec<usize> = machine.run_collect(|m| {
-        build(&problem, m as i64, Method::Lattice)
-            .map(|pat| pat.len())
-            .unwrap_or(0)
-    });
-    let table_total: usize = lens.iter().sum();
+    let patterns =
+        bcag_spmd::pool::build_all(&problem, Method::Lattice).map_err(|e| e.to_string())?;
+    let table_total: usize = patterns.iter().map(|pat| pat.len()).sum();
     // A(0:3c-3:3) = B(1:2c-1:2) across two different blockings.
     let n = (p * k * 8).max(64);
     let c = n / 4;

@@ -127,6 +127,17 @@ impl Interp {
             }
         }
 
+        // Boot the resident worker pool for every machine size the
+        // script's rank-1 arrays use, so the statement loop below runs
+        // on warm node threads from its first statement (scripts
+        // typically stream many statements through one machine).
+        let mut sizes: Vec<i64> = interp.arrays.values().map(|a| a.p()).collect();
+        sizes.sort_unstable();
+        sizes.dedup();
+        for p in sizes {
+            bcag_spmd::pool::warm(p);
+        }
+
         // Phase 3: execute statements in order.
         for (no, line) in statements {
             interp

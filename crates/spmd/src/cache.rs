@@ -6,9 +6,12 @@
 //! though the result depends only on `(p, k, section)` parameters, never
 //! on array contents. This module memoizes both products behind a
 //! capacity-bounded, LRU-evicting store: plain `Vec`-backed (zero
-//! dependencies, linear scan — [`CAPACITY`] is small enough that a scan
+//! dependencies, linear scan — the capacity is small enough that a scan
 //! beats a hash map's constant factors here), keyed by the exact build
-//! parameters, returning shared [`Arc`] handles.
+//! parameters, returning shared [`Arc`] handles. Capacity defaults to
+//! [`DEFAULT_CAPACITY`] and can be overridden with the
+//! `BCAG_SCHED_CACHE_CAP` env var (`0` disables caching entirely; every
+//! lookup builds).
 //!
 //! Every lookup records a `schedule_cache_hits` or `schedule_cache_misses`
 //! counter via [`bcag_trace`], so a `--trace` run shows exactly how much
@@ -23,9 +26,9 @@ use bcag_core::section::RegularSection;
 use crate::assign::{plan_section, NodePlan};
 use crate::comm::CommSchedule;
 
-/// Maximum number of cached entries; least-recently-used entries are
-/// evicted beyond this.
-pub const CAPACITY: usize = 128;
+/// Default maximum number of cached entries; least-recently-used entries
+/// are evicted beyond this. Override with `BCAG_SCHED_CACHE_CAP`.
+pub const DEFAULT_CAPACITY: usize = 128;
 
 #[derive(Debug, Clone, PartialEq, Eq)]
 enum Key {
@@ -62,17 +65,46 @@ struct Entry {
     stamp: u64,
 }
 
-#[derive(Default)]
 struct Store {
     entries: Vec<Entry>,
+    capacity: usize,
     tick: u64,
     hits: u64,
     misses: u64,
 }
 
+impl Store {
+    fn with_capacity(capacity: usize) -> Store {
+        Store {
+            entries: Vec::new(),
+            capacity,
+            tick: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+}
+
 fn store() -> &'static Mutex<Store> {
     static STORE: OnceLock<Mutex<Store>> = OnceLock::new();
-    STORE.get_or_init(|| Mutex::new(Store::default()))
+    STORE.get_or_init(|| {
+        let cap = parse_cap(std::env::var("BCAG_SCHED_CACHE_CAP").ok().as_deref());
+        Mutex::new(Store::with_capacity(cap))
+    })
+}
+
+/// Resolves a `BCAG_SCHED_CACHE_CAP` value: unset or unparsable falls
+/// back to [`DEFAULT_CAPACITY`]; `0` disables caching.
+fn parse_cap(var: Option<&str>) -> usize {
+    match var {
+        Some(s) => s.trim().parse().unwrap_or(DEFAULT_CAPACITY),
+        None => DEFAULT_CAPACITY,
+    }
+}
+
+/// The store's effective capacity (after the env override).
+pub fn capacity() -> usize {
+    store().lock().unwrap().capacity
 }
 
 /// Cache effectiveness counters (process lifetime totals).
@@ -110,8 +142,18 @@ fn sec_key(sec: &RegularSection) -> (i64, i64, i64) {
 /// Two threads missing the same key concurrently may both build; the
 /// second insert defers to the first, so callers always share one value.
 fn get_or_build(key: Key, build_value: impl FnOnce() -> Result<Value>) -> Result<Value> {
+    get_or_build_in(store(), key, build_value)
+}
+
+/// [`get_or_build`] against an explicit store — testable without the
+/// process-global singleton (env-var capacity tests would race).
+fn get_or_build_in(
+    store: &Mutex<Store>,
+    key: Key,
+    build_value: impl FnOnce() -> Result<Value>,
+) -> Result<Value> {
     {
-        let mut s = store().lock().unwrap();
+        let mut s = store.lock().unwrap();
         s.tick += 1;
         let tick = s.tick;
         if let Some(pos) = s.entries.iter().position(|e| e.key == key) {
@@ -126,14 +168,18 @@ fn get_or_build(key: Key, build_value: impl FnOnce() -> Result<Value>) -> Result
     }
     bcag_trace::count("schedule_cache_misses", 1);
     let value = build_value()?;
-    let mut s = store().lock().unwrap();
+    let mut s = store.lock().unwrap();
+    if s.capacity == 0 {
+        // Caching disabled: every lookup builds, nothing is retained.
+        return Ok(value);
+    }
     s.tick += 1;
     let tick = s.tick;
     if let Some(pos) = s.entries.iter().position(|e| e.key == key) {
         s.entries[pos].stamp = tick;
         return Ok(s.entries[pos].value.clone());
     }
-    if s.entries.len() >= CAPACITY {
+    if s.entries.len() >= s.capacity {
         let oldest = s
             .entries
             .iter()
@@ -255,11 +301,78 @@ mod tests {
 
     #[test]
     fn occupancy_stays_bounded() {
-        for i in 0..(CAPACITY as i64 + 16) {
+        let cap = capacity();
+        for i in 0..(cap as i64 + 16) {
             let sec = RegularSection::new(i, i + 400, 401).unwrap();
             let _ = plans(2, 3, &sec, Method::Lattice).unwrap();
         }
-        assert!(stats().entries <= CAPACITY);
+        assert!(stats().entries <= cap);
+    }
+
+    #[test]
+    fn parse_cap_resolves_env_values() {
+        assert_eq!(parse_cap(None), DEFAULT_CAPACITY);
+        assert_eq!(parse_cap(Some("17")), 17);
+        assert_eq!(parse_cap(Some(" 64 ")), 64);
+        assert_eq!(parse_cap(Some("0")), 0);
+        assert_eq!(parse_cap(Some("banana")), DEFAULT_CAPACITY);
+        assert_eq!(parse_cap(Some("-3")), DEFAULT_CAPACITY);
+        assert_eq!(parse_cap(Some("")), DEFAULT_CAPACITY);
+    }
+
+    fn probe_plans(store: &Mutex<Store>, sec: &RegularSection) -> Arc<Vec<NodePlan>> {
+        let key = Key::Plans {
+            p: 2,
+            k: 3,
+            sec: sec_key(sec),
+            method: Method::Lattice,
+        };
+        match get_or_build_in(store, key, || {
+            plan_section(2, 3, sec, Method::Lattice).map(|p| Value::Plans(Arc::new(p)))
+        })
+        .unwrap()
+        {
+            Value::Plans(p) => p,
+            Value::Schedule(_) => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let store = Mutex::new(Store::with_capacity(0));
+        let sec = RegularSection::new(0, 90, 9).unwrap();
+        let first = probe_plans(&store, &sec);
+        let second = probe_plans(&store, &sec);
+        // Every lookup builds: distinct allocations, nothing retained.
+        assert!(!Arc::ptr_eq(&first, &second));
+        let s = store.lock().unwrap();
+        assert_eq!(s.entries.len(), 0);
+        assert_eq!(s.hits, 0);
+        assert_eq!(s.misses, 2);
+    }
+
+    #[test]
+    fn small_capacity_evicts_lru() {
+        let store = Mutex::new(Store::with_capacity(2));
+        let secs: Vec<RegularSection> = (0..3)
+            .map(|i| RegularSection::new(i, i + 90, 9).unwrap())
+            .collect();
+        let first = probe_plans(&store, &secs[0]);
+        let _ = probe_plans(&store, &secs[1]);
+        // Touch sec 0 so sec 1 is the LRU victim when sec 2 arrives.
+        let again = probe_plans(&store, &secs[0]);
+        assert!(Arc::ptr_eq(&first, &again));
+        let _ = probe_plans(&store, &secs[2]);
+        let s = store.lock().unwrap();
+        assert_eq!(s.entries.len(), 2);
+        assert!(s.entries.iter().any(|e| matches!(
+            &e.key,
+            Key::Plans { sec, .. } if *sec == sec_key(&secs[0])
+        )));
+        assert!(s.entries.iter().any(|e| matches!(
+            &e.key,
+            Key::Plans { sec, .. } if *sec == sec_key(&secs[2])
+        )));
     }
 
     #[test]

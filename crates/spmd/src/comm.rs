@@ -9,7 +9,11 @@
 //! processor enumerates the RHS elements it owns with the core algorithm,
 //! maps each element's section rank to its LHS home, and the exchange is
 //! executed by message passing (`std::sync::mpsc` channels standing in for
-//! the iPSC/860's message passing).
+//! the iPSC/860's message passing). Node bodies launch through
+//! [`crate::pool`]: pooled mode reuses the resident fabric and recycles
+//! message buffers through each node's arena; scoped mode reproduces the
+//! historical per-call spawn. Both modes run the identical body, so all
+//! deterministic counter totals are bit-identical across modes.
 //!
 //! The schedule itself is stored flat: one CSR buffer of [`Transfer`]s with
 //! a `p² + 1` offset table ([`crate::csr::Csr`]), so building allocates
@@ -30,6 +34,7 @@ use bcag_core::Layout;
 
 use crate::csr::Csr;
 use crate::darray::DistArray;
+use crate::pool::{self, lock_clean, LaunchMode, NodeCtx};
 
 /// One element transfer: local address on the source, local address on the
 /// destination.
@@ -51,7 +56,11 @@ pub struct Transfer {
 /// case) never run a `clone()` call per element. (Rust's coherence rules
 /// forbid a blanket `impl<T: Copy>` next to the `String`/`Vec` impls, so
 /// the fast path is spelled out per primitive.)
-pub trait PackValue: Clone + Send + Sync {
+///
+/// The `'static` bound lets packed messages travel the type-erased pool
+/// fabric (`Box<dyn Any + Send>`) and rest in buffer arenas between
+/// statements.
+pub trait PackValue: Clone + Send + Sync + 'static {
     /// Appends `(dst_local, value)` records for `transfers` onto `out`,
     /// reading payloads from the source node's local memory `src`.
     fn pack_into(src: &[Self], transfers: &[Transfer], out: &mut Vec<(i64, Self)>) {
@@ -93,7 +102,7 @@ pack_value_by_copy!(
     i8, i16, i32, i64, i128, isize, u8, u16, u32, u64, u128, usize, f32, f64, bool, char
 );
 
-impl<U: Copy + Send + Sync, const N: usize> PackValue for [U; N] {
+impl<U: Copy + Send + Sync + 'static, const N: usize> PackValue for [U; N] {
     fn pack_into(src: &[Self], transfers: &[Transfer], out: &mut Vec<(i64, Self)>) {
         out.reserve(transfers.len());
         for tr in transfers {
@@ -109,8 +118,8 @@ impl<U: Copy + Send + Sync, const N: usize> PackValue for [U; N] {
 }
 
 impl PackValue for String {}
-impl<U: Clone + Send + Sync> PackValue for Vec<U> {}
-impl<U: Clone + Send + Sync> PackValue for Option<U> {}
+impl<U: Clone + Send + Sync + 'static> PackValue for Vec<U> {}
+impl<U: Clone + Send + Sync + 'static> PackValue for Option<U> {}
 
 /// Selects the data-movement strategy of [`CommSchedule::execute_with`] —
 /// an ablation switch in the spirit of [`Method`].
@@ -462,136 +471,193 @@ impl CommSchedule {
 
     /// [`CommSchedule::execute`] with an explicit strategy — the ablation
     /// entry point for comparing batched against per-element movement.
+    /// Launches with the process-default [`LaunchMode`].
     pub fn execute_with<T: PackValue>(
         &self,
         a: &mut DistArray<T>,
         b: &DistArray<T>,
         mode: ExecMode,
     ) -> Result<()> {
+        self.execute_launched(a, b, mode, pool::default_launch())
+    }
+
+    /// [`CommSchedule::execute_with`] with an explicit [`LaunchMode`] —
+    /// the A/B entry point the pooled-vs-scoped benchmarks and oracle
+    /// tests use. Both modes run the identical node body, so every
+    /// deterministic counter total is mode-independent by construction.
+    pub fn execute_launched<T: PackValue>(
+        &self,
+        a: &mut DistArray<T>,
+        b: &DistArray<T>,
+        mode: ExecMode,
+        launch: LaunchMode,
+    ) -> Result<()> {
         assert_eq!(a.p(), self.p, "LHS machine size mismatch");
         assert_eq!(b.p(), self.p, "RHS machine size mismatch");
         let _sp = bcag_trace::span("comm.execute");
         match mode {
-            ExecMode::Batched => self.execute_batched(a, b),
-            ExecMode::PerElement => self.execute_per_element(a, b),
+            ExecMode::Batched => self.execute_batched(a, b, launch),
+            ExecMode::PerElement => self.execute_per_element(a, b, launch),
         }
         Ok(())
     }
 
-    fn execute_batched<T: PackValue>(&self, a: &mut DistArray<T>, b: &DistArray<T>) {
+    fn execute_batched<T: PackValue>(
+        &self,
+        a: &mut DistArray<T>,
+        b: &DistArray<T>,
+        launch: LaunchMode,
+    ) {
         let p = self.p as usize;
-        // One inbox per node, carrying whole packed messages. Senders are
-        // `Sync`, so every node thread borrows the one endpoint vector —
-        // spawn cost stays O(1) per node.
-        let (senders, receivers): (Vec<_>, Vec<_>) =
-            (0..p).map(|_| mpsc::channel::<Vec<(i64, T)>>()).unzip();
-        let senders = &senders;
-        let locals_a = a.locals_mut();
-        std::thread::scope(|scope| {
-            for ((me, local_a), inbox) in locals_a.iter_mut().enumerate().zip(receivers) {
-                scope.spawn(move || {
-                    if bcag_trace::enabled() {
-                        bcag_trace::set_lane_label(&format!("node-{me}"));
-                    }
-                    let _sp = bcag_trace::span("comm.execute.node");
-                    // Send phase: pack from B's local memory, one message
-                    // per non-empty destination; the self-row goes straight
-                    // into A's local memory.
-                    let local_b = b.local(me as i64);
-                    for dst in 0..p {
-                        let transfers = self.pair(me, dst);
-                        bcag_trace::count("elements_moved", transfers.len() as u64);
-                        bcag_trace::count(
-                            "bytes_packed",
-                            (transfers.len() * std::mem::size_of::<T>()) as u64,
-                        );
-                        if dst == me {
-                            T::apply_local(local_a, local_b, transfers);
-                            continue;
-                        }
-                        if transfers.is_empty() {
-                            continue;
-                        }
-                        bcag_trace::count("messages_sent", 1);
-                        bcag_trace::count("elements_nonlocal", transfers.len() as u64);
-                        let mut msg = Vec::new();
-                        T::pack_into(local_b, transfers, &mut msg);
-                        senders[dst]
-                            .send(msg)
-                            .expect("receiver alive during send phase");
-                    }
-                    // Receive phase: the schedule is global knowledge (as on
-                    // a real SPMD machine), so each node knows exactly how
-                    // many messages are inbound and a counted loop avoids a
-                    // termination protocol.
-                    let expected = (0..p)
-                        .filter(|&s| s != me && !self.pair(s, me).is_empty())
-                        .count();
-                    let mut wait_ns = 0u64;
-                    for _ in 0..expected {
-                        let t0 = bcag_trace::enabled().then(std::time::Instant::now);
-                        let msg = inbox.recv().expect("message for expected count");
-                        if let Some(t0) = t0 {
-                            wait_ns += t0.elapsed().as_nanos() as u64;
-                        }
-                        for (addr, v) in msg {
-                            local_a[addr as usize] = v;
-                        }
-                    }
-                    bcag_trace::count("recv_wait_ns", wait_ns);
-                });
+        // Packed messages travel the pool fabric as type-erased
+        // envelopes; their `Vec` buffers come from (and return to) each
+        // node's arena, so steady-state statements allocate nothing.
+        let slots: Vec<std::sync::Mutex<&mut Vec<T>>> = a
+            .locals_mut()
+            .iter_mut()
+            .map(std::sync::Mutex::new)
+            .collect();
+        pool::launch(self.p, launch, |me, ctx| {
+            let _sp = bcag_trace::span("comm.execute.node");
+            let mut slot = lock_clean(&slots[me]);
+            let local_a: &mut Vec<T> = &mut slot;
+            // Send phase: pack from B's local memory, one message per
+            // non-empty destination; the self-row goes straight into A's
+            // local memory.
+            let local_b = b.local(me as i64);
+            for dst in 0..p {
+                let transfers = self.pair(me, dst);
+                bcag_trace::count("elements_moved", transfers.len() as u64);
+                bcag_trace::count(
+                    "bytes_packed",
+                    (transfers.len() * std::mem::size_of::<T>()) as u64,
+                );
+                if dst == me {
+                    T::apply_local(local_a, local_b, transfers);
+                    continue;
+                }
+                if transfers.is_empty() {
+                    continue;
+                }
+                bcag_trace::count("messages_sent", 1);
+                bcag_trace::count("elements_nonlocal", transfers.len() as u64);
+                let mut msg: Vec<(i64, T)> = ctx.take_buf();
+                T::pack_into(local_b, transfers, &mut msg);
+                ctx.send(dst, Box::new(msg));
             }
+            // Receive phase: the schedule is global knowledge (as on a
+            // real SPMD machine), so each node knows exactly how many
+            // messages are inbound and a counted loop avoids a
+            // termination protocol.
+            let expected = (0..p)
+                .filter(|&s| s != me && !self.pair(s, me).is_empty())
+                .count();
+            let mut wait_ns = 0u64;
+            for _ in 0..expected {
+                let t0 = bcag_trace::enabled().then(std::time::Instant::now);
+                let env = ctx.recv();
+                if let Some(t0) = t0 {
+                    wait_ns += t0.elapsed().as_nanos() as u64;
+                }
+                let mut msg = *env
+                    .downcast::<Vec<(i64, T)>>()
+                    .expect("batched message payload type");
+                for (addr, v) in msg.drain(..) {
+                    local_a[addr as usize] = v;
+                }
+                ctx.put_buf(msg);
+            }
+            bcag_trace::count("recv_wait_ns", wait_ns);
         });
     }
 
-    fn execute_per_element<T: PackValue>(&self, a: &mut DistArray<T>, b: &DistArray<T>) {
+    fn execute_per_element<T: PackValue>(
+        &self,
+        a: &mut DistArray<T>,
+        b: &DistArray<T>,
+        launch: LaunchMode,
+    ) {
         let p = self.p as usize;
-        // One inbox per node, one message per element (self-transfers
-        // included) — the pre-batching behavior, preserved for ablation.
+        // One typed inbox per node, one message per element
+        // (self-transfers included) — the pre-batching behavior,
+        // preserved for ablation. The channels are per-call: this path
+        // measures exactly the historical protocol; only the launch
+        // (pooled vs scoped) varies.
         let (senders, receivers): (Vec<_>, Vec<_>) =
             (0..p).map(|_| mpsc::channel::<(i64, T)>()).unzip();
         let senders = &senders;
-        let locals_a = a.locals_mut();
-        std::thread::scope(|scope| {
-            for ((me, local_a), inbox) in locals_a.iter_mut().enumerate().zip(receivers) {
-                scope.spawn(move || {
-                    if bcag_trace::enabled() {
-                        bcag_trace::set_lane_label(&format!("node-{me}"));
-                    }
-                    let _sp = bcag_trace::span("comm.execute.node");
-                    let local_b = b.local(me as i64);
-                    for dst in 0..p {
-                        let transfers = self.pair(me, dst);
-                        bcag_trace::count("elements_moved", transfers.len() as u64);
-                        bcag_trace::count(
-                            "bytes_packed",
-                            (transfers.len() * std::mem::size_of::<T>()) as u64,
-                        );
-                        if dst != me && !transfers.is_empty() {
-                            bcag_trace::count("messages_sent", 1);
-                            bcag_trace::count("elements_nonlocal", transfers.len() as u64);
-                        }
-                        for tr in transfers {
-                            let v = local_b[tr.src_local as usize].clone();
-                            senders[dst]
-                                .send((tr.dst_local, v))
-                                .expect("receiver alive during send phase");
-                        }
-                    }
-                    let expected: usize = (0..p).map(|s| self.pair(s, me).len()).sum();
-                    let mut wait_ns = 0u64;
-                    for _ in 0..expected {
-                        let t0 = bcag_trace::enabled().then(std::time::Instant::now);
-                        let (addr, v) = inbox.recv().expect("message for expected count");
-                        if let Some(t0) = t0 {
-                            wait_ns += t0.elapsed().as_nanos() as u64;
-                        }
-                        local_a[addr as usize] = v;
-                    }
-                    bcag_trace::count("recv_wait_ns", wait_ns);
-                });
+        let inboxes: Vec<std::sync::Mutex<Option<mpsc::Receiver<(i64, T)>>>> = receivers
+            .into_iter()
+            .map(|r| std::sync::Mutex::new(Some(r)))
+            .collect();
+        let slots: Vec<std::sync::Mutex<&mut Vec<T>>> = a
+            .locals_mut()
+            .iter_mut()
+            .map(std::sync::Mutex::new)
+            .collect();
+        pool::launch(self.p, launch, |me, ctx| {
+            let _sp = bcag_trace::span("comm.execute.node");
+            let inbox = lock_clean(&inboxes[me]).take().expect("one job per node");
+            let mut slot = lock_clean(&slots[me]);
+            let local_a: &mut Vec<T> = &mut slot;
+            let local_b = b.local(me as i64);
+            for dst in 0..p {
+                let transfers = self.pair(me, dst);
+                bcag_trace::count("elements_moved", transfers.len() as u64);
+                bcag_trace::count(
+                    "bytes_packed",
+                    (transfers.len() * std::mem::size_of::<T>()) as u64,
+                );
+                if dst != me && !transfers.is_empty() {
+                    bcag_trace::count("messages_sent", 1);
+                    bcag_trace::count("elements_nonlocal", transfers.len() as u64);
+                }
+                for tr in transfers {
+                    let v = local_b[tr.src_local as usize].clone();
+                    senders[dst]
+                        .send((tr.dst_local, v))
+                        .expect("receiver alive during send phase");
+                }
             }
+            let expected: usize = (0..p).map(|s| self.pair(s, me).len()).sum();
+            let mut wait_ns = 0u64;
+            for _ in 0..expected {
+                let t0 = bcag_trace::enabled().then(std::time::Instant::now);
+                let (addr, v) = recv_typed(&inbox, ctx);
+                if let Some(t0) = t0 {
+                    wait_ns += t0.elapsed().as_nanos() as u64;
+                }
+                local_a[addr as usize] = v;
+            }
+            bcag_trace::count("recv_wait_ns", wait_ns);
         });
+    }
+}
+
+/// Blocks for one typed message while watching the pool fabric for a
+/// peer's poison, so a panicking node job cannot strand the counted
+/// receive loop of [`ExecMode::PerElement`].
+///
+/// The `try_recv` fast path keeps the steady flow at plain-`recv` cost
+/// (no deadline computation per message); the timeout machinery only
+/// engages when the queue is momentarily empty.
+fn recv_typed<M>(inbox: &mpsc::Receiver<M>, ctx: &NodeCtx) -> M {
+    // Brief spin bridges the gap when the receiver momentarily outruns
+    // its senders, avoiding a park/unpark round-trip per message.
+    for _ in 0..128 {
+        if let Ok(msg) = inbox.try_recv() {
+            return msg;
+        }
+        std::hint::spin_loop();
+    }
+    loop {
+        match inbox.recv_timeout(std::time::Duration::from_millis(25)) {
+            Ok(msg) => return msg,
+            Err(mpsc::RecvTimeoutError::Timeout) => ctx.check_poison(),
+            Err(mpsc::RecvTimeoutError::Disconnected) => {
+                panic!("typed channel closed before the counted receive finished")
+            }
+        }
     }
 }
 

@@ -5,9 +5,13 @@
 //! construction, node-code traversal, communication — can run and be
 //! measured on a shared-memory host:
 //!
-//! * [`machine`] — SPMD launch: one OS thread per simulated node, each with
+//! * [`machine`] — SPMD launch: one thread per simulated node, each with
 //!   exclusive local memory, plus the per-node timing discipline
 //!   ("maximum over all processors") the paper reports;
+//! * [`pool`] — the resident worker pool behind every launch: `p`
+//!   persistent node threads, a reusable channel fabric, and per-node
+//!   buffer arenas, with the historical per-call `thread::scope` path
+//!   selectable as [`pool::LaunchMode::Scoped`];
 //! * [`darray`] — distributed arrays in the `cyclic(k)` layout of Figure 1;
 //! * [`codeshapes`] — the four node-code shapes of Figure 8 that Table 2
 //!   compares;
@@ -43,7 +47,11 @@
 //! ```
 
 #![warn(missing_docs)]
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the worker pool's job channel needs two
+// audited `#[allow(unsafe_code)]` sites in [`pool`] (lifetime erasure of
+// the dispatched body, guarded by the epoch barrier). Everything else in
+// the crate remains safe code.
+#![deny(unsafe_code)]
 
 pub mod assign;
 pub mod blas1;
@@ -56,6 +64,7 @@ pub mod darray;
 pub mod dmatrix;
 pub mod machine;
 pub mod pack;
+pub mod pool;
 pub mod reduce;
 pub mod shift;
 pub mod statement;
@@ -71,6 +80,7 @@ pub use darray::DistArray;
 pub use dmatrix::DistMatrix;
 pub use machine::Machine;
 pub use pack::gather_section;
+pub use pool::{LaunchMode, NodeCtx};
 pub use reduce::{dot_sections, reduce_section, sum_section};
 pub use shift::{cshift, eoshift};
 pub use statement::{assign_expr, redistribute};

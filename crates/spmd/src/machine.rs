@@ -2,24 +2,56 @@
 //!
 //! The paper's experiments ran the same node program on all 32 processors
 //! of an iPSC/860 and reported the maximum time over processors. Here each
-//! simulated processor is an OS thread executing the node program against
+//! simulated processor is a thread executing the node program against
 //! its own local memory; [`Machine::run`] is the SPMD launch, and
 //! [`Machine::run_timed`] reproduces the "maximum over all processors"
 //! measurement discipline.
+//!
+//! By default node programs run on the resident worker pool
+//! ([`crate::pool`]): the `p` node threads boot once per process and
+//! every subsequent launch is a dispatch, not a spawn. The historical
+//! per-call `thread::scope` path remains selectable via
+//! [`Machine::scoped`] / [`LaunchMode::Scoped`] for A/B measurement;
+//! both paths run the identical node body, so all deterministic trace
+//! counters are bit-identical across modes.
 
+use std::sync::Mutex;
 use std::time::Duration;
+
+use crate::pool::{self, into_clean, lock_clean, LaunchMode};
 
 /// A simulated distributed-memory machine with `p` nodes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Machine {
     p: i64,
+    mode: LaunchMode,
 }
 
 impl Machine {
-    /// Creates a machine with `p >= 1` nodes.
+    /// Creates a machine with `p >= 1` nodes, using the process-default
+    /// launch mode (see [`pool::default_launch`]).
     pub fn new(p: i64) -> Self {
+        Machine::with_mode(p, pool::default_launch())
+    }
+
+    /// Creates a machine with an explicit launch mode.
+    pub fn with_mode(p: i64, mode: LaunchMode) -> Self {
         assert!(p >= 1, "machine needs at least one node");
-        Machine { p }
+        Machine { p, mode }
+    }
+
+    /// Creates a pooled machine and eagerly boots its worker pool, so
+    /// the first statement doesn't pay the one-time thread spawn.
+    pub fn with_pool(p: i64) -> Self {
+        let machine = Machine::with_mode(p, LaunchMode::Pooled);
+        pool::warm(p);
+        machine
+    }
+
+    /// Creates a machine on the historical per-call `thread::scope`
+    /// path (fresh threads every launch).
+    pub fn scoped(p: i64) -> Self {
+        Machine::with_mode(p, LaunchMode::Scoped)
     }
 
     /// Number of nodes.
@@ -27,8 +59,33 @@ impl Machine {
         self.p
     }
 
-    /// Runs `node(m, &mut locals[m])` on every node concurrently, one OS
-    /// thread per node, with exclusive access to that node's local memory.
+    /// This machine's launch mode.
+    pub fn mode(&self) -> LaunchMode {
+        self.mode
+    }
+
+    /// The one launch loop behind [`Machine::run`], [`Machine::run_timed`]
+    /// and [`Machine::run_collect`]: runs `node(m)` on every node through
+    /// [`pool::launch`], times each node, and credits `barrier_wait_ns`
+    /// after the join.
+    fn launch_timed<F>(&self, node: F) -> Vec<Duration>
+    where
+        F: Fn(usize) + Sync,
+    {
+        let times: Vec<Mutex<Duration>> = (0..self.p).map(|_| Mutex::new(Duration::ZERO)).collect();
+        pool::launch(self.p, self.mode, |m, _ctx| {
+            let _sp = bcag_trace::span("spmd.node");
+            let t0 = std::time::Instant::now();
+            node(m);
+            *lock_clean(&times[m]) = t0.elapsed();
+        });
+        let times: Vec<Duration> = times.into_iter().map(into_clean).collect();
+        record_barrier_waits(&times);
+        times
+    }
+
+    /// Runs `node(m, &mut locals[m])` on every node concurrently, each
+    /// with exclusive access to that node's local memory.
     ///
     /// When tracing is enabled, each node's lane is labeled `node-<m>` and
     /// carries one `spmd.node` span per launch, plus a `barrier_wait_ns`
@@ -39,19 +96,7 @@ impl Machine {
         T: Send,
         F: Fn(usize, &mut Vec<T>) + Sync,
     {
-        if bcag_trace::enabled() {
-            // The timed path produces the per-node spans and barrier
-            // accounting; the durations are discarded.
-            let _ = self.run_timed(locals, node);
-            return;
-        }
-        assert_eq!(locals.len() as i64, self.p, "one local memory per node");
-        std::thread::scope(|scope| {
-            for (m, local) in locals.iter_mut().enumerate() {
-                let node = &node;
-                scope.spawn(move || node(m, local));
-            }
-        });
+        let _ = self.run_timed(locals, node);
     }
 
     /// Like [`Machine::run`], but each node times its own execution;
@@ -63,23 +108,11 @@ impl Machine {
         F: Fn(usize, &mut Vec<T>) + Sync,
     {
         assert_eq!(locals.len() as i64, self.p, "one local memory per node");
-        let mut times = vec![Duration::ZERO; locals.len()];
-        std::thread::scope(|scope| {
-            for ((m, local), slot) in locals.iter_mut().enumerate().zip(times.iter_mut()) {
-                let node = &node;
-                scope.spawn(move || {
-                    if bcag_trace::enabled() {
-                        bcag_trace::set_lane_label(&format!("node-{m}"));
-                    }
-                    let _sp = bcag_trace::span("spmd.node");
-                    let t0 = std::time::Instant::now();
-                    node(m, local);
-                    *slot = t0.elapsed();
-                });
-            }
-        });
-        record_barrier_waits(&times);
-        times
+        let slots: Vec<Mutex<&mut Vec<T>>> = locals.iter_mut().map(Mutex::new).collect();
+        self.launch_timed(|m| {
+            let mut slot = lock_clean(&slots[m]);
+            node(m, &mut **slot)
+        })
     }
 
     /// Runs a node program that needs no local memory (e.g. pure table
@@ -89,28 +122,13 @@ impl Machine {
         R: Send,
         F: Fn(usize) -> R + Sync,
     {
-        let mut out: Vec<Option<R>> = (0..self.p).map(|_| None).collect();
-        let tracing = bcag_trace::enabled();
-        let mut times = vec![Duration::ZERO; self.p as usize];
-        std::thread::scope(|scope| {
-            for ((m, slot), time) in out.iter_mut().enumerate().zip(times.iter_mut()) {
-                let node = &node;
-                scope.spawn(move || {
-                    if bcag_trace::enabled() {
-                        bcag_trace::set_lane_label(&format!("node-{m}"));
-                    }
-                    let _sp = bcag_trace::span("spmd.node");
-                    let t0 = std::time::Instant::now();
-                    *slot = Some(node(m));
-                    *time = t0.elapsed();
-                });
-            }
+        let slots: Vec<Mutex<Option<R>>> = (0..self.p).map(|_| Mutex::new(None)).collect();
+        self.launch_timed(|m| {
+            *lock_clean(&slots[m]) = Some(node(m));
         });
-        if tracing {
-            record_barrier_waits(&times);
-        }
-        out.into_iter()
-            .map(|r| r.expect("node completed"))
+        slots
+            .into_iter()
+            .map(|slot| into_clean(slot).expect("node completed"))
             .collect()
     }
 }
@@ -175,5 +193,21 @@ mod tests {
         let machine = Machine::new(4);
         let mut locals: Vec<Vec<u8>> = vec![vec![]; 3];
         machine.run(&mut locals, |_, _| {});
+    }
+
+    #[test]
+    fn pooled_and_scoped_agree() {
+        for machine in [Machine::with_pool(5), Machine::scoped(5)] {
+            let mut locals: Vec<Vec<i64>> = (0..5).map(|m| vec![m as i64; 6]).collect();
+            machine.run(&mut locals, |m, local| {
+                for (i, x) in local.iter_mut().enumerate() {
+                    *x = (m * 10 + i) as i64;
+                }
+            });
+            for (m, local) in locals.iter().enumerate() {
+                let want: Vec<i64> = (0..6).map(|i| (m * 10 + i) as i64).collect();
+                assert_eq!(local, &want, "mode {:?}", machine.mode());
+            }
+        }
     }
 }

@@ -25,12 +25,28 @@ pub fn pack<T: Clone + Send + Sync>(
     m: i64,
     method: Method,
 ) -> Result<Vec<T>> {
+    let mut out = Vec::new();
+    pack_with_buf(arr, section, m, method, &mut out)?;
+    Ok(out)
+}
+
+/// Like [`pack`], but fills a caller-provided buffer (cleared first), so
+/// steady-state loops can reuse one allocation grown to its high-water
+/// mark instead of allocating per call. Returns the packed count.
+pub fn pack_with_buf<T: Clone + Send + Sync>(
+    arr: &DistArray<T>,
+    section: &RegularSection,
+    m: i64,
+    method: Method,
+    out: &mut Vec<T>,
+) -> Result<usize> {
     let _sp = bcag_trace::span("spmd.pack");
+    out.clear();
     let plans = plan_section(arr.p(), arr.k(), section, method)?;
     let plan = &plans[m as usize];
     let Some(start) = plan.start else {
         bcag_trace::count("elements_packed", 0);
-        return Ok(vec![]);
+        return Ok(0);
     };
     let local = arr.local(m);
     // The owned count is known in closed form: size the buffer once.
@@ -41,7 +57,7 @@ pub fn pack<T: Clone + Send + Sync>(
         let problem = Problem::new(arr.p(), arr.k(), norm.lo, norm.step)?;
         count_owned(&problem, m, norm.hi)? as usize
     };
-    let mut out = Vec::with_capacity(cap);
+    out.reserve(cap);
     let mut addr = start;
     let mut i = 0usize;
     while addr <= plan.last {
@@ -60,7 +76,7 @@ pub fn pack<T: Clone + Send + Sync>(
         "bytes_packed",
         (out.len() * std::mem::size_of::<T>()) as u64,
     );
-    Ok(out)
+    Ok(out.len())
 }
 
 /// Unpacks a buffer produced by [`pack`] back into processor `m`'s share of
@@ -121,10 +137,13 @@ pub fn gather_section<T: Clone + Send + Sync + Default>(
     method: Method,
 ) -> Result<Vec<T>> {
     let mut out = vec![T::default(); section.count() as usize];
+    // Plans are m-independent to build; hoist them out of the node loop,
+    // and reuse one pack buffer (grown to the largest share) across m.
+    let plans = plan_section(arr.p(), arr.k(), section, method)?;
+    let mut packed: Vec<T> = Vec::new();
     for m in 0..arr.p() {
-        let packed = pack(arr, section, m, method)?;
+        pack_with_buf(arr, section, m, method, &mut packed)?;
         // Recover each packed value's section rank from the plan walk.
-        let plans = plan_section(arr.p(), arr.k(), section, method)?;
         let plan = &plans[m as usize];
         let Some(start) = plan.start else { continue };
         let norm = section.normalized();

@@ -1,0 +1,633 @@
+//! Resident SPMD worker pool: persistent node threads, a reusable
+//! channel fabric, and per-node buffer arenas.
+//!
+//! The simulated machine historically paid a full `thread::scope`
+//! spawn/join of `p` OS threads on every [`crate::Machine::run`] and
+//! [`crate::CommSchedule::execute`] call. For the small-`k`,
+//! many-statement workloads whose *planning* cost the schedule cache
+//! already removed, that per-statement *launch* cost dominates. The pool
+//! makes the runtime behave like the paper's iPSC/860: nodes boot once,
+//! statements stream through them.
+//!
+//! Architecture:
+//!
+//! - **Workers** — `p` detached threads named `node-<m>`, created once per
+//!   machine size by [`global`] (or eagerly by [`warm`]) and resident for
+//!   the process lifetime. The thread name doubles as the trace-lane
+//!   label, so counters recorded on a worker aggregate on one persistent
+//!   `node-<m>` lane exactly as scoped threads' per-launch lanes would
+//!   sum.
+//! - **Fabric** — one `mpsc` inbox per node plus a shared vector of
+//!   senders; node jobs exchange [`Envelope`]s (type-erased boxed
+//!   payloads) without creating channels per call.
+//! - **Arena** — each node owns a [`BufferArena`] recycling pack/unpack
+//!   `Vec` allocations across statements; steady-state batched execution
+//!   allocates nothing once buffers reach their high-water mark.
+//! - **Dispatch / epoch barrier** — [`Pool::dispatch`] ships a borrowed
+//!   `&dyn Fn(usize, &mut NodeCtx)` to every worker as a raw-pointer job
+//!   and blocks on an ack channel until all `p` jobs complete (one
+//!   *epoch*). The barrier is also an unwind guard: the borrow cannot
+//!   escape the dispatching frame while any job might still use it.
+//! - **Poison protocol** — a panicking node job broadcasts a [`Poison`]
+//!   envelope to its peers before acknowledging, so nodes blocked in
+//!   [`NodeCtx::recv`] fail fast with a clear message instead of hanging
+//!   a counted receive loop. After the epoch completes the dispatcher
+//!   drains every inbox and re-raises the original panic; the pool
+//!   itself stays usable.
+//!
+//! [`launch`] is the single entry point: `LaunchMode::Pooled` routes
+//! through the resident pool, `LaunchMode::Scoped` reproduces the
+//! historical per-call `thread::scope` path (kept for A/B benchmarking).
+//! Both modes run the *same* node body, so deterministic counter totals
+//! (`messages_sent`, `bytes_packed`, …) are bit-identical by
+//! construction.
+
+use std::any::Any;
+use std::collections::HashMap;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+
+use bcag_core::error::Result;
+use bcag_core::method::Method;
+use bcag_core::params::Problem;
+use bcag_core::pattern::AccessPattern;
+
+/// How SPMD node bodies are launched.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LaunchMode {
+    /// Dispatch to the resident worker pool (default): zero thread
+    /// spawns and recycled buffers on the steady-state path.
+    Pooled,
+    /// Spawn a fresh `thread::scope` per call — the historical launch
+    /// path, kept selectable for A/B benchmarking.
+    Scoped,
+}
+
+impl LaunchMode {
+    /// Stable lowercase name, used in bench labels.
+    pub fn name(&self) -> &'static str {
+        match self {
+            LaunchMode::Pooled => "pooled",
+            LaunchMode::Scoped => "scoped",
+        }
+    }
+}
+
+/// Process-default launch mode: 0 = unset, 1 = pooled, 2 = scoped.
+static DEFAULT_LAUNCH: AtomicU8 = AtomicU8::new(0);
+
+/// The process-wide default [`LaunchMode`], used by `Machine::new` and
+/// `CommSchedule::execute_with`. Initialized lazily from the
+/// `BCAG_LAUNCH` env var (`scoped` selects the per-call thread path;
+/// anything else, or unset, selects the pool).
+pub fn default_launch() -> LaunchMode {
+    match DEFAULT_LAUNCH.load(Ordering::Relaxed) {
+        1 => LaunchMode::Pooled,
+        2 => LaunchMode::Scoped,
+        _ => {
+            let mode = match std::env::var("BCAG_LAUNCH").as_deref() {
+                Ok("scoped") => LaunchMode::Scoped,
+                _ => LaunchMode::Pooled,
+            };
+            set_default_launch(mode);
+            mode
+        }
+    }
+}
+
+/// Overrides the process-wide default [`LaunchMode`] (benchmarks use
+/// this to A/B the two paths within one process).
+pub fn set_default_launch(mode: LaunchMode) {
+    let v = match mode {
+        LaunchMode::Pooled => 1,
+        LaunchMode::Scoped => 2,
+    };
+    DEFAULT_LAUNCH.store(v, Ordering::Relaxed);
+}
+
+/// A type-erased fabric message. Batched execution ships whole
+/// `Vec<(addr, T)>` buffers as one envelope per (src, dst) pair.
+pub type Envelope = Box<dyn Any + Send>;
+
+/// Marker envelope broadcast by a panicking node job so peers blocked in
+/// [`NodeCtx::recv`] fail fast instead of hanging.
+struct Poison;
+
+/// Arena shelves hold at most this many idle buffers per payload type;
+/// beyond the high-water working set, extra buffers are dropped rather
+/// than hoarded.
+const ARENA_SHELF_CAP: usize = 64;
+
+/// Per-node recycling store for pack/unpack buffers, keyed by payload
+/// type. `take` pops an idle buffer (counting a `pool_buffer_reuses`
+/// trace event) or allocates a fresh one; `put` returns a buffer to its
+/// shelf. Buffers keep their capacity across statements, so steady-state
+/// loops stop allocating once every shelf reaches its high-water mark.
+#[derive(Default)]
+pub struct BufferArena {
+    shelves: HashMap<std::any::TypeId, Vec<Envelope>>,
+}
+
+impl BufferArena {
+    /// Takes a cleared `Vec<T>` from the shelf, or allocates one.
+    pub fn take<T: Send + 'static>(&mut self) -> Vec<T> {
+        let shelf = self.shelves.entry(std::any::TypeId::of::<Vec<T>>());
+        if let std::collections::hash_map::Entry::Occupied(mut e) = shelf {
+            if let Some(env) = e.get_mut().pop() {
+                let mut buf = *env.downcast::<Vec<T>>().expect("shelf keyed by TypeId");
+                buf.clear();
+                bcag_trace::count("pool_buffer_reuses", 1);
+                return buf;
+            }
+        }
+        Vec::new()
+    }
+
+    /// Shelves a buffer for reuse. Zero-capacity buffers and overflow
+    /// beyond [`ARENA_SHELF_CAP`] are dropped.
+    pub fn put<T: Send + 'static>(&mut self, buf: Vec<T>) {
+        if buf.capacity() == 0 {
+            return;
+        }
+        let shelf = self
+            .shelves
+            .entry(std::any::TypeId::of::<Vec<T>>())
+            .or_default();
+        if shelf.len() < ARENA_SHELF_CAP {
+            shelf.push(Box::new(buf));
+        }
+    }
+}
+
+/// Per-node execution context handed to every launched body: the node's
+/// fabric inbox, senders to all peers, and its buffer arena.
+pub struct NodeCtx {
+    m: usize,
+    inbox: Receiver<Envelope>,
+    peers: Arc<Vec<Sender<Envelope>>>,
+    arena: BufferArena,
+}
+
+impl NodeCtx {
+    /// This node's index in `0..p`.
+    pub fn node(&self) -> usize {
+        self.m
+    }
+
+    /// The machine size.
+    pub fn p(&self) -> usize {
+        self.peers.len()
+    }
+
+    /// Sends an envelope to node `dst`'s inbox.
+    pub fn send(&self, dst: usize, env: Envelope) {
+        self.peers[dst]
+            .send(env)
+            .expect("fabric receivers live for the pool lifetime");
+    }
+
+    /// Blocks for the next envelope. Panics with a clear message if a
+    /// peer's poison arrives instead — a node job panicked mid-exchange
+    /// and this node's expected data will never come.
+    pub fn recv(&self) -> Envelope {
+        let env = self
+            .inbox
+            .recv()
+            .expect("fabric senders live for the pool lifetime");
+        if env.is::<Poison>() {
+            panic!(
+                "spmd node {}: a peer node job panicked mid-exchange",
+                self.m
+            );
+        }
+        env
+    }
+
+    /// Takes a recycled buffer from this node's arena.
+    pub fn take_buf<T: Send + 'static>(&mut self) -> Vec<T> {
+        self.arena.take()
+    }
+
+    /// Returns a buffer to this node's arena for reuse.
+    pub fn put_buf<T: Send + 'static>(&mut self, buf: Vec<T>) {
+        self.arena.put(buf)
+    }
+
+    /// Non-blocking poison check for bodies that receive on their own
+    /// typed channels (the per-element executor): panics if a peer's
+    /// poison is queued on the fabric.
+    pub(crate) fn check_poison(&self) {
+        if let Ok(env) = self.inbox.try_recv() {
+            if env.is::<Poison>() {
+                panic!(
+                    "spmd node {}: a peer node job panicked mid-exchange",
+                    self.m
+                );
+            }
+            panic!(
+                "spmd node {}: unexpected fabric message during typed exchange",
+                self.m
+            );
+        }
+    }
+
+    /// Discards everything queued on the inbox (post-panic cleanup).
+    fn drain_inbox(&mut self) {
+        while self.inbox.try_recv().is_ok() {}
+    }
+
+    /// Broadcasts poison to every other node.
+    fn poison_peers(&self) {
+        for dst in 0..self.p() {
+            if dst != self.m {
+                // A disconnected peer (scoped-mode teardown) is fine.
+                let _ = self.peers[dst].send(Box::new(Poison));
+            }
+        }
+    }
+}
+
+/// A unit of work shipped to one worker.
+type Job = Box<dyn FnOnce(&mut NodeCtx) + Send>;
+
+/// A resident pool of `p` node workers. Obtain one via [`global`]; all
+/// launches for a given machine size share it.
+pub struct Pool {
+    p: usize,
+    workers: Vec<Sender<Job>>,
+    /// Serializes dispatches: interleaving jobs from two epochs on
+    /// shared workers could deadlock nodes that exchange data.
+    gate: Mutex<()>,
+}
+
+thread_local! {
+    static IN_WORKER: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// True on pool worker threads. Nested launches from inside a node body
+/// fall back to the scoped path — dispatching to the (busy) pool from
+/// one of its own workers would deadlock on the gate.
+pub fn in_worker() -> bool {
+    IN_WORKER.with(|f| f.get())
+}
+
+/// Borrowed node body, erased to a raw pointer so the `'static` [`Job`]
+/// channel can carry it. Soundness: the dispatching frame blocks in
+/// [`EpochBarrier`] until every job holding a copy has acknowledged, so
+/// the pointee strictly outlives every dereference.
+#[derive(Clone, Copy)]
+struct BodyPtr(*const (dyn Fn(usize, &mut NodeCtx) + Sync));
+
+// SAFETY: the pointee is `Sync` (shared calls from many threads are
+// fine) and the epoch barrier keeps it alive for the job's lifetime.
+#[allow(unsafe_code)]
+unsafe impl Send for BodyPtr {}
+
+/// Completion barrier for one dispatch epoch; doubles as an unwind
+/// guard — its `Drop` blocks until every shipped job has acknowledged,
+/// so a borrowed body can never dangle while a worker might call it.
+struct EpochBarrier {
+    ack_rx: Receiver<Option<Box<dyn Any + Send>>>,
+    outstanding: usize,
+}
+
+impl EpochBarrier {
+    /// Blocks until every outstanding job acknowledges; returns the
+    /// first panic payload observed, if any.
+    fn wait(&mut self) -> Option<Box<dyn Any + Send>> {
+        let mut first = None;
+        while self.outstanding > 0 {
+            match self.ack_rx.recv() {
+                Ok(payload) => {
+                    self.outstanding -= 1;
+                    if first.is_none() {
+                        first = payload;
+                    }
+                }
+                // All ack senders dropped: no job can still reference
+                // the dispatched body.
+                Err(_) => self.outstanding = 0,
+            }
+        }
+        first
+    }
+}
+
+impl Drop for EpochBarrier {
+    fn drop(&mut self) {
+        let _ = self.wait();
+    }
+}
+
+impl Pool {
+    /// Boots `p` resident workers with a fresh fabric.
+    fn new(p: usize) -> Pool {
+        assert!(p >= 1, "machine needs at least one node");
+        let (senders, inboxes): (Vec<_>, Vec<_>) = (0..p).map(|_| channel::<Envelope>()).unzip();
+        let peers = Arc::new(senders);
+        let mut workers = Vec::with_capacity(p);
+        for (m, inbox) in inboxes.into_iter().enumerate() {
+            let (jtx, jrx) = channel::<Job>();
+            workers.push(jtx);
+            let mut ctx = NodeCtx {
+                m,
+                inbox,
+                peers: Arc::clone(&peers),
+                arena: BufferArena::default(),
+            };
+            std::thread::Builder::new()
+                // The thread name is the default trace-lane label, so
+                // pooled counters land on `node-<m>` lanes exactly like
+                // scoped ones.
+                .name(format!("node-{m}"))
+                .spawn(move || {
+                    IN_WORKER.with(|f| f.set(true));
+                    while let Ok(job) = jrx.recv() {
+                        job(&mut ctx);
+                    }
+                })
+                .expect("spawn pool worker");
+        }
+        Pool {
+            p,
+            workers,
+            gate: Mutex::new(()),
+        }
+    }
+
+    /// The machine size this pool serves.
+    pub fn p(&self) -> usize {
+        self.p
+    }
+
+    /// Runs `body(m, ctx)` once on every node and blocks until all have
+    /// finished (one epoch). If any node job panicked, drains the fabric
+    /// and re-raises the first panic; the pool remains usable.
+    pub fn dispatch(&self, body: &(dyn Fn(usize, &mut NodeCtx) + Sync)) {
+        let _sp = bcag_trace::span("pool.dispatch");
+        let _gate = lock_clean(&self.gate);
+        if let Some(payload) = self.run_epoch(body) {
+            // Jobs stopped mid-protocol: stray data and poison envelopes
+            // may still sit in inboxes. Scrub before releasing the gate
+            // so the next dispatch starts clean.
+            let _ = self.run_epoch(&|_, ctx| ctx.drain_inbox());
+            resume_unwind(payload);
+        }
+    }
+
+    /// Ships one job per worker and waits out the epoch, returning the
+    /// first panic payload if any job panicked.
+    fn run_epoch(
+        &self,
+        body: &(dyn Fn(usize, &mut NodeCtx) + Sync),
+    ) -> Option<Box<dyn Any + Send>> {
+        // SAFETY (lifetime erasure): a plain `as` cast cannot widen the
+        // trait-object lifetime to the pointer's `'static` default, so
+        // the fat pointer is transmuted instead. The pointer is only
+        // dereferenced inside a job, strictly before that job's ack.
+        #[allow(unsafe_code)]
+        let ptr = BodyPtr(unsafe {
+            std::mem::transmute::<
+                &(dyn Fn(usize, &mut NodeCtx) + Sync),
+                *const (dyn Fn(usize, &mut NodeCtx) + Sync),
+            >(body)
+        });
+        let (ack_tx, ack_rx) = channel();
+        let mut barrier = EpochBarrier {
+            ack_rx,
+            outstanding: 0,
+        };
+        for (m, worker) in self.workers.iter().enumerate() {
+            let ack = ack_tx.clone();
+            let job: Job = Box::new(move |ctx| {
+                // Capture the whole `BodyPtr` (which is `Send`), not the
+                // disjoint raw-pointer field (which is not).
+                let ptr = ptr;
+                let outcome = catch_unwind(AssertUnwindSafe(|| {
+                    // SAFETY: the dispatching frame is blocked in the
+                    // epoch barrier until this job's ack below, so the
+                    // pointee outlives this call.
+                    #[allow(unsafe_code)]
+                    let body = unsafe { &*ptr.0 };
+                    body(m, ctx)
+                }));
+                let payload = match outcome {
+                    Ok(()) => None,
+                    Err(payload) => {
+                        ctx.poison_peers();
+                        Some(payload)
+                    }
+                };
+                let _ = ack.send(payload);
+            });
+            worker.send(job).expect("pool worker thread alive");
+            barrier.outstanding += 1;
+        }
+        drop(ack_tx);
+        barrier.wait()
+    }
+}
+
+/// Registry of resident pools, one per machine size ever requested.
+fn registry() -> &'static Mutex<Vec<Arc<Pool>>> {
+    static REGISTRY: OnceLock<Mutex<Vec<Arc<Pool>>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// The resident pool for machine size `p`, booting it on first use.
+pub fn global(p: i64) -> Arc<Pool> {
+    assert!(p >= 1, "machine needs at least one node");
+    let p = p as usize;
+    let mut pools = lock_clean(registry());
+    if let Some(pool) = pools.iter().find(|pool| pool.p == p) {
+        return Arc::clone(pool);
+    }
+    let pool = Arc::new(Pool::new(p));
+    pools.push(Arc::clone(&pool));
+    pool
+}
+
+/// Eagerly boots the pool for machine size `p`, so the first statement
+/// of a script doesn't pay the one-time worker spawn.
+pub fn warm(p: i64) {
+    let _ = global(p);
+}
+
+/// Runs `body(m, ctx)` on every node of a `p`-node machine and blocks
+/// until all finish. `Pooled` dispatches to the resident pool; `Scoped`
+/// (or any launch from inside a pool worker) spawns a per-call
+/// `thread::scope` with a fresh fabric and arenas.
+pub fn launch<F>(p: i64, mode: LaunchMode, body: F)
+where
+    F: Fn(usize, &mut NodeCtx) + Sync,
+{
+    assert!(p >= 1, "machine needs at least one node");
+    match mode {
+        LaunchMode::Pooled if !in_worker() => global(p).dispatch(&body),
+        _ => launch_scoped(p as usize, &body),
+    }
+}
+
+/// The historical launch path: fresh threads, fresh fabric, fresh
+/// arenas, one `thread::scope` per call.
+fn launch_scoped(p: usize, body: &(dyn Fn(usize, &mut NodeCtx) + Sync)) {
+    let (senders, inboxes): (Vec<_>, Vec<_>) = (0..p).map(|_| channel::<Envelope>()).unzip();
+    let peers = Arc::new(senders);
+    let mut ctxs: Vec<NodeCtx> = inboxes
+        .into_iter()
+        .enumerate()
+        .map(|(m, inbox)| NodeCtx {
+            m,
+            inbox,
+            peers: Arc::clone(&peers),
+            arena: BufferArena::default(),
+        })
+        .collect();
+    std::thread::scope(|scope| {
+        for ctx in ctxs.iter_mut() {
+            scope.spawn(move || {
+                let _lane = bcag_trace::enabled()
+                    .then(|| bcag_trace::set_lane_label(&format!("node-{}", ctx.m)));
+                body(ctx.m, ctx);
+            });
+        }
+    });
+}
+
+/// Builds the access patterns of all `p` processors with per-processor
+/// construction fanned out over the SPMD workers (pool-parallel
+/// counterpart of `bcag_core::method::build` in a loop).
+pub fn build_all(problem: &Problem, method: Method) -> Result<Vec<AccessPattern>> {
+    let _sp = bcag_trace::span("pool.build_all");
+    let slots: Vec<Mutex<Option<Result<AccessPattern>>>> =
+        (0..problem.p()).map(|_| Mutex::new(None)).collect();
+    launch(problem.p(), default_launch(), |m, _ctx| {
+        let result = bcag_core::method::build(problem, m as i64, method);
+        *lock_clean(&slots[m]) = Some(result);
+    });
+    slots
+        .into_iter()
+        .map(|slot| into_clean(slot).expect("node completed"))
+        .collect()
+}
+
+/// Locks a mutex, ignoring poisoning: node bodies are panic-isolated by
+/// the epoch barrier, so a poisoned flag carries no extra information.
+pub(crate) fn lock_clean<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Unwraps a mutex into its value, ignoring poisoning (see
+/// [`lock_clean`]).
+pub(crate) fn into_clean<T>(m: Mutex<T>) -> T {
+    m.into_inner().unwrap_or_else(|e| e.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dispatch_runs_every_node_once() {
+        let pool = global(6);
+        let hits: Vec<Mutex<u32>> = (0..6).map(|_| Mutex::new(0)).collect();
+        pool.dispatch(&|m, _ctx| {
+            *lock_clean(&hits[m]) += 1;
+        });
+        pool.dispatch(&|m, _ctx| {
+            *lock_clean(&hits[m]) += 10;
+        });
+        for h in &hits {
+            assert_eq!(*lock_clean(h), 11);
+        }
+    }
+
+    #[test]
+    fn fabric_ring_pass() {
+        for mode in [LaunchMode::Pooled, LaunchMode::Scoped] {
+            let p = 5usize;
+            let got: Vec<Mutex<i64>> = (0..p).map(|_| Mutex::new(-1)).collect();
+            launch(p as i64, mode, |m, ctx| {
+                ctx.send((m + 1) % p, Box::new(m as i64));
+                let env = ctx.recv();
+                *lock_clean(&got[m]) = *env.downcast::<i64>().expect("ring payload");
+            });
+            for (m, slot) in got.iter().enumerate() {
+                let want = ((m + p - 1) % p) as i64;
+                assert_eq!(*lock_clean(slot), want, "mode {mode:?} node {m}");
+            }
+        }
+    }
+
+    #[test]
+    fn arena_recycles_buffers() {
+        let mut arena = BufferArena::default();
+        let mut buf: Vec<i64> = arena.take();
+        assert_eq!(buf.capacity(), 0);
+        buf.extend(0..100);
+        let cap = buf.capacity();
+        arena.put(buf);
+        let again: Vec<i64> = arena.take();
+        assert!(again.is_empty());
+        assert_eq!(again.capacity(), cap, "capacity survives recycling");
+        // Different payload types use different shelves.
+        let other: Vec<u8> = arena.take();
+        assert_eq!(other.capacity(), 0);
+    }
+
+    #[test]
+    fn nested_launch_falls_back_to_scoped() {
+        let outer: Vec<Mutex<usize>> = (0..3).map(|_| Mutex::new(0)).collect();
+        launch(3, LaunchMode::Pooled, |m, _ctx| {
+            // A body that itself launches a machine must not dead-lock
+            // on the pool gate.
+            let inner: Vec<Mutex<usize>> = (0..2).map(|_| Mutex::new(0)).collect();
+            launch(2, LaunchMode::Pooled, |j, _ctx| {
+                *lock_clean(&inner[j]) += 1;
+            });
+            let total: usize = inner.iter().map(|s| *lock_clean(s)).sum();
+            *lock_clean(&outer[m]) = total;
+        });
+        for slot in &outer {
+            assert_eq!(*lock_clean(slot), 2);
+        }
+    }
+
+    #[test]
+    fn panic_poisons_and_pool_survives() {
+        let pool = global(4);
+        let err = catch_unwind(AssertUnwindSafe(|| {
+            pool.dispatch(&|m, ctx| {
+                if m == 1 {
+                    panic!("node job exploded");
+                }
+                if m == 2 {
+                    // Blocked on data that will never come: must be
+                    // released by node 1's poison, not hang.
+                    let _ = ctx.recv();
+                }
+            });
+        }));
+        assert!(err.is_err(), "dispatch re-raises the node panic");
+        // The pool stays usable and the fabric is clean.
+        let clean: Vec<Mutex<bool>> = (0..4).map(|_| Mutex::new(false)).collect();
+        pool.dispatch(&|m, ctx| {
+            *lock_clean(&clean[m]) = ctx.inbox.try_recv().is_err();
+        });
+        for (m, slot) in clean.iter().enumerate() {
+            assert!(*lock_clean(slot), "node {m} inbox drained after panic");
+        }
+    }
+
+    #[test]
+    fn build_all_matches_sequential() {
+        let problem = Problem::new(7, 5, 3, 4).unwrap();
+        let pooled = build_all(&problem, Method::Lattice).unwrap();
+        let seq: Vec<AccessPattern> = (0..7)
+            .map(|m| bcag_core::method::build(&problem, m, Method::Lattice).unwrap())
+            .collect();
+        assert_eq!(pooled, seq);
+    }
+}

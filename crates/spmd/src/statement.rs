@@ -7,6 +7,13 @@
 //! elementwise loop over the LHS access sequence. This module is that
 //! wrapper, plus block-size redistribution as the special case
 //! `A(0:n-1) = B(0:n-1)`.
+//!
+//! On the steady-state path — a loop re-executing one statement shape —
+//! every launch here dispatches to the resident worker pool
+//! ([`crate::pool`]), the schedule cache answers the planning queries,
+//! and message buffers come from the per-node arenas: after the first
+//! iteration a statement spawns no threads and allocates no fresh
+//! message buffers.
 
 use bcag_core::error::{BcagError, Result};
 use bcag_core::method::Method;

@@ -5,7 +5,10 @@
 //! advocacy in the paper's introduction). All the figures here come from
 //! the closed forms the access machinery provides — no element scanning:
 //! per-processor section counts from [`bcag_core::start::count_owned`],
-//! message volumes from [`crate::comm::CommSchedule`].
+//! message volumes from [`crate::comm::CommSchedule`]. The trace-derived
+//! cross-checks below work in both launch modes: resident pool workers
+//! carry persistent `node-<m>` lanes whose counters sum exactly like the
+//! per-launch lanes of scoped threads.
 
 use bcag_core::error::Result;
 use bcag_core::params::Problem;

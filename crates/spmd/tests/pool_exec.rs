@@ -1,0 +1,218 @@
+//! Pooled vs scoped launch: the resident worker pool must be invisible.
+//!
+//! [`LaunchMode::Pooled`] changes *where* node programs run (resident
+//! worker threads fed through a dispatch/epoch barrier) but must not
+//! change anything observable: array contents and every deterministic
+//! trace counter total have to match the per-call `thread::scope` path
+//! exactly. These tests pin that over randomized layouts and a rotating
+//! set of payload types, and check that a panicking node program poisons
+//! the epoch cleanly — re-raised on the dispatcher, pool still usable —
+//! instead of hanging the fabric.
+//!
+//! Timing counters (`*_ns`) and `pool_buffer_reuses` are deliberately
+//! excluded from the comparison: wall-clock differs per run, and arena
+//! recycling is the one counter that *should* differ between modes.
+
+use std::fmt::Debug;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use bcag_core::section::RegularSection;
+use bcag_harness::prop;
+use bcag_spmd::{CommSchedule, DistArray, ExecMode, LaunchMode, Machine, PackValue};
+
+/// `(p, k_a, k_b, count, l_a, s_a, l_b, s_b, type_sel)`.
+type Case = (i64, i64, i64, i64, i64, i64, i64, i64, i64);
+
+fn random_case(rng: &mut bcag_harness::rng::Rng) -> Case {
+    let p = rng.random_range(1..=6);
+    let k_a = rng.random_range(1..=10);
+    let k_b = rng.random_range(1..=10);
+    let c = rng.random_range(1..=40);
+    let l_a = rng.random_range(0..=25);
+    let s_a = rng.random_range(1..=9);
+    let l_b = rng.random_range(0..=25);
+    let s_b = rng.random_range(1..=9);
+    let type_sel = rng.random_range(0..=4);
+    (p, k_a, k_b, c, l_a, s_a, l_b, s_b, type_sel)
+}
+
+/// The deterministic counter totals of one execution: `(elements_moved,
+/// elements_nonlocal, messages_sent, bytes_packed)`.
+type Totals = (u64, u64, u64, u64);
+
+/// Runs `A(sec_a) = B(sec_b)` once under `launch` and returns the final
+/// global contents plus the deterministic counter totals.
+fn run_once<T, F>(
+    sched: &CommSchedule,
+    p: i64,
+    k_a: i64,
+    k_b: i64,
+    sec_a: &RegularSection,
+    sec_b: &RegularSection,
+    mode: ExecMode,
+    launch: LaunchMode,
+    make: &F,
+) -> (Vec<T>, Totals)
+where
+    T: PackValue + Debug + PartialEq,
+    F: Fn(i64) -> T,
+{
+    let n_a = sec_a.normalized().hi + 1;
+    let n_b = sec_b.normalized().hi + 1;
+    let bg: Vec<T> = (0..n_b).map(make).collect();
+    let b = DistArray::from_global(p, k_b, &bg).unwrap();
+    let mut a = DistArray::new(p, k_a, n_a, make(-1)).unwrap();
+    let (result, trace) = bcag_trace::capture(|| sched.execute_launched(&mut a, &b, mode, launch));
+    result.unwrap();
+    (
+        a.to_global(),
+        (
+            trace.counter_total("elements_moved"),
+            trace.counter_total("elements_nonlocal"),
+            trace.counter_total("messages_sent"),
+            trace.counter_total("bytes_packed"),
+        ),
+    )
+}
+
+/// Scoped execution is the oracle; pooled must match it bit for bit in
+/// contents and in every deterministic counter, for both exec modes.
+fn check_case<T, F>(case: &Case, make: F)
+where
+    T: PackValue + Debug + PartialEq,
+    F: Fn(i64) -> T,
+{
+    let &(p, k_a, k_b, c, l_a, s_a, l_b, s_b, _) = case;
+    let sec_a = RegularSection::new(l_a, l_a + s_a * (c - 1), s_a).unwrap();
+    let sec_b = RegularSection::new(l_b, l_b + s_b * (c - 1), s_b).unwrap();
+    let sched = CommSchedule::build_lattice(p, k_a, &sec_a, k_b, &sec_b).unwrap();
+    for mode in [ExecMode::Batched, ExecMode::PerElement] {
+        let (scoped_g, scoped_totals) = run_once(
+            &sched,
+            p,
+            k_a,
+            k_b,
+            &sec_a,
+            &sec_b,
+            mode,
+            LaunchMode::Scoped,
+            &make,
+        );
+        let (pooled_g, pooled_totals) = run_once(
+            &sched,
+            p,
+            k_a,
+            k_b,
+            &sec_a,
+            &sec_b,
+            mode,
+            LaunchMode::Pooled,
+            &make,
+        );
+        let ctx = format!(
+            "mode={} p={p} k_a={k_a} k_b={k_b} sec_a={l_a}:{}:{s_a} sec_b={l_b}:{}:{s_b}",
+            mode.name(),
+            sec_a.u,
+            sec_b.u,
+        );
+        assert_eq!(pooled_g, scoped_g, "contents diverged: {ctx}");
+        assert_eq!(pooled_totals, scoped_totals, "counters diverged: {ctx}");
+    }
+}
+
+#[test]
+fn pooled_matches_scoped_oracle_randomized() {
+    let gen = prop::from_fn(random_case);
+    let cfg = prop::Config {
+        cases: 60,
+        ..Default::default()
+    };
+    prop::check_with(
+        &cfg,
+        "pooled == scoped (contents + counter totals)",
+        &gen,
+        |case| match case.8 {
+            0 => check_case(case, |i| 10_000 + 3 * i),
+            1 => check_case(case, |i| i as f64 * 0.5 - 7.0),
+            2 => check_case(case, |i| (i & 0xff) as u8),
+            3 => check_case(case, |i| [i as f64, -i as f64, 0.25 * i as f64, 1.0]),
+            _ => check_case(case, |i| format!("v{i}")),
+        },
+    );
+}
+
+#[test]
+fn pooled_matches_scoped_on_degenerate_layouts() {
+    // Edge shapes the generator rarely hits: single node, k = 1 fine
+    // cyclic, one giant block, single-element sections.
+    for case in [
+        (1i64, 1i64, 1i64, 5i64, 0i64, 1i64, 0i64, 1i64, 0i64),
+        (6, 1, 1, 30, 0, 1, 3, 2, 0),
+        (4, 100, 1, 20, 0, 1, 0, 5, 0),
+        (3, 2, 9, 1, 7, 3, 11, 4, 0),
+    ] {
+        check_case(&case, |i| 100 + i);
+    }
+}
+
+#[test]
+fn panic_in_pooled_node_is_reraised_and_pool_survives() {
+    let machine = Machine::with_pool(3);
+    let unwound = catch_unwind(AssertUnwindSafe(|| {
+        machine.run_collect(|m| {
+            if m == 1 {
+                panic!("node boom");
+            }
+            m
+        })
+    }));
+    let payload = unwound.expect_err("node panic must re-raise on the dispatcher");
+    let msg = payload.downcast_ref::<&str>().copied().unwrap_or_default();
+    assert_eq!(msg, "node boom");
+
+    // The epoch was poisoned and drained; the same resident pool keeps
+    // serving later launches with no hang and no stale envelopes.
+    assert_eq!(machine.run_collect(|m| m * 2), vec![0, 2, 4]);
+    let mut locals: Vec<Vec<i64>> = vec![vec![0; 4]; 3];
+    machine.run(&mut locals, |m, local| local[0] = m as i64 + 10);
+    assert_eq!(
+        locals.iter().map(|l| l[0]).collect::<Vec<_>>(),
+        vec![10, 11, 12]
+    );
+}
+
+#[test]
+fn panic_mid_exchange_does_not_hang_per_element_receives() {
+    // A node program that dies before sending what a peer is counting on:
+    // the peer's typed receive must abort via the poison check instead of
+    // blocking forever. Machine-level statement: node 0 panics while node
+    // 1 waits on it through a comm schedule executed inside the pool.
+    let sec = RegularSection::new(0, 59, 1).unwrap();
+    let sched = CommSchedule::build_lattice(2, 3, &sec, 7, &sec).unwrap();
+    let bg: Vec<i64> = (0..60).collect();
+    let b = DistArray::from_global(2, 7, &bg).unwrap();
+    let mut a = DistArray::new(2, 3, 60, 0i64).unwrap();
+    // Sanity: the schedule itself executes fine pooled, per-element.
+    sched
+        .execute_launched(&mut a, &b, ExecMode::PerElement, LaunchMode::Pooled)
+        .unwrap();
+    assert_eq!(a.to_global(), bg);
+
+    // Now poison an epoch on the same pool and re-run: the pool must have
+    // recovered fully for the per-element protocol to complete again.
+    let machine = Machine::with_pool(2);
+    let unwound = catch_unwind(AssertUnwindSafe(|| {
+        machine.run_collect(|m| {
+            if m == 0 {
+                panic!("early exit");
+            }
+            m
+        })
+    }));
+    assert!(unwound.is_err());
+    let mut a2 = DistArray::new(2, 3, 60, 0i64).unwrap();
+    sched
+        .execute_launched(&mut a2, &b, ExecMode::PerElement, LaunchMode::Pooled)
+        .unwrap();
+    assert_eq!(a2.to_global(), bg);
+}

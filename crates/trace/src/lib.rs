@@ -16,7 +16,8 @@
 //!   `table_entries`, `gcd_iters`, `solver_steps`, `messages_sent`,
 //!   `elements_moved`, `elements_nonlocal`, `bytes_packed`,
 //!   `elements_packed`, `recv_wait_ns`, `barrier_wait_ns`,
-//!   `schedule_cache_hits`, `schedule_cache_misses`); see
+//!   `schedule_cache_hits`, `schedule_cache_misses`,
+//!   `pool_buffer_reuses`); see
 //!   `docs/ALGORITHM.md` for what each one measures.
 //! * **Lanes** — events and counters are collected per thread. The SPMD
 //!   machine runs one thread per simulated node and labels each lane

@@ -23,8 +23,8 @@ cargo test -q --workspace --offline
 
 echo "==> bench smoke (--quick) for every target"
 for bench in construction sorting_ablation gcd_effect codeshapes \
-             tableless comm_schedule comm_throughput special_cases \
-             trace_overhead; do
+             tableless comm_schedule comm_throughput exec_latency \
+             special_cases trace_overhead; do
     echo "--> $bench"
     cargo bench -q --offline -p bcag-bench --bench "$bench" -- --quick \
         > /dev/null
@@ -45,12 +45,19 @@ grep -q '"format": "bcag-trace/v1"' "$trace_out" \
 grep -q '"traceEvents"' "$trace_chrome" \
     || { echo "chrome file has no traceEvents: $trace_chrome" >&2; exit 1; }
 
-echo "==> cache smoke: bcag trace on examples/scripts/cache_loop.hpf"
+echo "==> cache + pool smoke: bcag trace on examples/scripts/cache_loop.hpf"
 cache_out="target/ci-cache.json"
-rm -f "$cache_out" "target/ci-cache.chrome.json"
+cache_chrome="target/ci-cache.chrome.json"
+rm -f "$cache_out" "$cache_chrome"
 target/release/bcag trace --file examples/scripts/cache_loop.hpf \
     --trace "$cache_out" > /dev/null
 grep -q '"schedule_cache_hits"' "$cache_out" \
     || { echo "no schedule_cache_hits in summary: $cache_out" >&2; exit 1; }
+# The statement loop must run on the resident pool: dispatch spans in the
+# chrome export, arena recycling in the counter totals.
+grep -q '"pool.dispatch"' "$cache_chrome" \
+    || { echo "no pool.dispatch spans in chrome trace: $cache_chrome" >&2; exit 1; }
+grep -q '"pool_buffer_reuses"' "$cache_out" \
+    || { echo "no pool_buffer_reuses in summary: $cache_out" >&2; exit 1; }
 
 echo "ci: OK"
