@@ -1,6 +1,7 @@
 //! Confirmation of Table 2: per-processor traversal time for the four
-//! node-code shapes of Figure 8, on one processor's local memory (2,000
-//! assigned elements per iteration so the engine can sample densely).
+//! node-code shapes of Figure 8 — plus the run-coalesced fifth shape this
+//! codebase adds — on one processor's local memory (2,000 assigned
+//! elements per iteration so the engine can sample densely).
 
 use bcag_harness::bench::Bench;
 
@@ -28,7 +29,7 @@ fn main() {
             let local = arr.local_mut(m as i64);
 
             let mut group = bench.group(&format!("codeshapes_k{k}_s{s}"));
-            for shape in CodeShape::ALL {
+            for shape in CodeShape::WITH_RUNS {
                 group.bench(&format!("{}/{elems_per_proc}", shape.label()), || {
                     traverse(
                         shape,
@@ -37,6 +38,7 @@ fn main() {
                         plan.last,
                         &plan.delta_m,
                         &tables,
+                        &plan.runs,
                         |x| *x = 100.0,
                     )
                 });

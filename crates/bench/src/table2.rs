@@ -68,9 +68,16 @@ pub fn measure_cell(p: i64, k: i64, s: i64, elems_per_proc: i64, reps: usize) ->
             let local = arr.local_mut(m as i64);
             for _ in 0..reps {
                 let t0 = std::time::Instant::now();
-                traverse(shape, local, start, plan.last, &plan.delta_m, tables, |x| {
-                    *x = 100.0
-                });
+                traverse(
+                    shape,
+                    local,
+                    start,
+                    plan.last,
+                    &plan.delta_m,
+                    tables,
+                    &plan.runs,
+                    |x| *x = 100.0,
+                );
                 *best = (*best).min(t0.elapsed());
             }
         }

@@ -23,6 +23,9 @@
 //!   vectors `R` and `L` (the extension sketched at the end of Section 6.2);
 //! * [`two_table`] — the offset-indexed `deltaM`/`NextOffset` tables that
 //!   drive the fastest node-code shape of Figure 8(d);
+//! * [`runs`] — run-length compilation of gap tables: contiguity analysis
+//!   that folds `AM` into constant-gap runs so traversals become slice
+//!   copies (`memcpy` when `s == 1`) instead of per-element walks;
 //! * [`fsm`] — the finite-state-machine view of the gap sequence used by
 //!   Chatterjee et al. to describe the problem;
 //! * [`aligned`] — affine alignments (`A(i)` at template cell `a·i + b`) by
@@ -66,6 +69,7 @@ pub mod oracle;
 pub mod params;
 pub mod pattern;
 pub mod radix;
+pub mod runs;
 pub mod section;
 pub mod sorting_alg;
 pub mod special;
@@ -80,4 +84,5 @@ pub use layout::Layout;
 pub use method::{build, Method};
 pub use params::Problem;
 pub use pattern::{Access, AccessPattern, CyclicPattern, Pattern};
+pub use runs::{Run, RunPlan, RunShape, Segment};
 pub use section::RegularSection;

@@ -9,6 +9,7 @@
 use bcag_core::error::Result;
 use bcag_core::method::{build, Method};
 use bcag_core::params::Problem;
+use bcag_core::runs::RunPlan;
 use bcag_core::section::RegularSection;
 use bcag_core::start::last_location;
 use bcag_core::two_table::TwoTable;
@@ -30,6 +31,9 @@ pub struct NodePlan {
     pub delta_m: Vec<i64>,
     /// Offset-indexed tables for shape 8(d).
     pub tables: Option<TwoTable>,
+    /// Run-coalesced form of `(start, last, delta_m)` — the contiguity
+    /// analysis every slice-copy fast path is built on.
+    pub runs: RunPlan,
 }
 
 /// Builds the plans of all nodes for `A(l : u : s)` on a `(p, k)` layout.
@@ -47,6 +51,7 @@ pub fn plan_section(
                 last: -1,
                 delta_m: vec![],
                 tables: None,
+                runs: RunPlan::empty(),
             })
             .collect());
     }
@@ -60,9 +65,11 @@ pub fn plan_section(
                 (Some(s), Some(lg)) if s <= lay.local_addr(lg) => Some(s),
                 _ => None,
             };
+            let last = last_g.map_or(-1, |g| lay.local_addr(g));
             Ok(NodePlan {
                 start,
-                last: last_g.map_or(-1, |g| lay.local_addr(g)),
+                last,
+                runs: RunPlan::compile(start, last, pat.gaps()),
                 delta_m: pat.gaps().to_vec(),
                 tables: TwoTable::from_pattern(&pat),
             })
@@ -98,13 +105,22 @@ where
     T: Clone + Send,
     F: Fn(&mut T) + Sync,
 {
-    let plans = plan_section(arr.p(), arr.k(), section, method)?;
+    let plans = crate::cache::plans(arr.p(), arr.k(), section, method)?;
     let machine = Machine::new(arr.p());
     machine.run(arr.locals_mut(), |m, local| {
         let plan = &plans[m];
         let Some(start) = plan.start else { return };
         let tables = plan.tables.as_ref().expect("non-empty plan has tables");
-        traverse(shape, local, start, plan.last, &plan.delta_m, tables, &f);
+        traverse(
+            shape,
+            local,
+            start,
+            plan.last,
+            &plan.delta_m,
+            tables,
+            &plan.runs,
+            &f,
+        );
     });
     Ok(())
 }

@@ -9,9 +9,10 @@
 
 use bcag_core::error::{BcagError, Result};
 use bcag_core::method::Method;
+use bcag_core::runs::RunPlan;
 use bcag_core::section::RegularSection;
 
-use crate::assign::{apply_section, plan_section};
+use crate::assign::apply_section;
 use crate::codeshapes::CodeShape;
 use crate::darray::DistArray;
 use crate::machine::Machine;
@@ -19,13 +20,32 @@ use crate::reduce::reduce_section;
 
 /// `x(section) *= alpha` (SCAL).
 pub fn scal(x: &mut DistArray<f64>, section: &RegularSection, alpha: f64) -> Result<()> {
-    apply_section(
-        x,
-        section,
-        Method::Lattice,
-        CodeShape::BranchLoop,
-        move |v| *v *= alpha,
-    )
+    apply_section(x, section, Method::Lattice, CodeShape::RunLoop, move |v| {
+        *v *= alpha
+    })
+}
+
+/// `local[addr] += alpha * xv[addr]` over the run-coalesced traversal:
+/// unit-gap segments become slice zips (vectorizable FMA loops), wide-gap
+/// segments tight strided loops. Both axpy paths share this kernel.
+fn axpy_runs(local: &mut [f64], xv: &[f64], alpha: f64, runs: &RunPlan) {
+    runs.for_each_segment(|seg| {
+        let a0 = seg.addr as usize;
+        let len = seg.len as usize;
+        if seg.gap == 1 {
+            for (y, x) in local[a0..a0 + len].iter_mut().zip(&xv[a0..a0 + len]) {
+                *y += alpha * x;
+            }
+        } else {
+            let gap = seg.gap as usize;
+            let span = (len - 1) * gap + 1;
+            let ys = local[a0..a0 + span].iter_mut().step_by(gap);
+            let xs = xv[a0..a0 + span].iter().step_by(gap);
+            for (y, x) in ys.zip(xs) {
+                *y += alpha * x;
+            }
+        }
+    });
 }
 
 /// `y(sec_y) += alpha * x(sec_x)` (AXPY). Sections must conform and both
@@ -49,23 +69,15 @@ pub fn axpy(
     // Fast path: identical layout and identical sections — pure local work,
     // no staging copy.
     if x.k() == y.k() && sec_x == sec_y {
-        let plans = plan_section(y.p(), y.k(), sec_y, Method::Lattice)?;
+        let plans = crate::cache::plans(y.p(), y.k(), sec_y, Method::Lattice)?;
         let machine = Machine::new(y.p());
         let x_ref = x;
         machine.run(y.locals_mut(), |m, local| {
             let plan = &plans[m];
-            let Some(start) = plan.start else { return };
-            let xv = x_ref.local(m as i64);
-            let mut addr = start;
-            let mut i = 0usize;
-            while addr <= plan.last {
-                local[addr as usize] += alpha * xv[addr as usize];
-                addr += plan.delta_m[i];
-                i += 1;
-                if i == plan.delta_m.len() {
-                    i = 0;
-                }
+            if plan.start.is_none() {
+                return;
             }
+            axpy_runs(local, x_ref.local(m as i64), alpha, &plan.runs);
         });
         return Ok(());
     }
@@ -75,23 +87,15 @@ pub fn axpy(
     let sched =
         crate::comm::CommSchedule::build(y.p(), y.k(), sec_y, x.k(), sec_x, Method::Lattice)?;
     sched.execute(&mut staged, x)?;
-    let plans = plan_section(y.p(), y.k(), sec_y, Method::Lattice)?;
+    let plans = crate::cache::plans(y.p(), y.k(), sec_y, Method::Lattice)?;
     let machine = Machine::new(y.p());
     let staged_ref = &staged;
     machine.run(y.locals_mut(), |m, local| {
         let plan = &plans[m];
-        let Some(start) = plan.start else { return };
-        let xv = staged_ref.local(m as i64);
-        let mut addr = start;
-        let mut i = 0usize;
-        while addr <= plan.last {
-            local[addr as usize] += alpha * xv[addr as usize];
-            addr += plan.delta_m[i];
-            i += 1;
-            if i == plan.delta_m.len() {
-                i = 0;
-            }
+        if plan.start.is_none() {
+            return;
         }
+        axpy_runs(local, staged_ref.local(m as i64), alpha, &plan.runs);
     });
     Ok(())
 }

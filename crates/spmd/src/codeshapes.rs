@@ -18,10 +18,16 @@
 //! Every function applies `f` to exactly the local elements
 //! `start, start+gaps…` while the address is `<= last` — the contract the
 //! traversal equivalence tests pin down.
+//!
+//! Beyond the paper's four, [`CodeShape::RunLoop`] traverses the
+//! run-coalesced form of the same plan ([`bcag_core::runs::RunPlan`]):
+//! instead of a table load per element, one tight slice (or strided) loop
+//! per constant-gap run — the shape the pack/comm fast paths share.
 
+use bcag_core::runs::RunPlan;
 use bcag_core::two_table::TwoTable;
 
-/// Selector for the four code shapes.
+/// Selector for the node-code shapes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CodeShape {
     /// Figure 8(a): modulo-wrapped table index.
@@ -32,15 +38,29 @@ pub enum CodeShape {
     SplitLoop,
     /// Figure 8(d): two-table, offset-indexed.
     TwoTableLoop,
+    /// Run-coalesced traversal over the compiled [`RunPlan`] — not one of
+    /// the paper's Figure 8 shapes, but the same contract.
+    RunLoop,
 }
 
 impl CodeShape {
-    /// All four shapes, in the paper's order.
+    /// The paper's four shapes, in Figure 8 order (Table 2 reproduces
+    /// exactly these).
     pub const ALL: [CodeShape; 4] = [
         CodeShape::ModLoop,
         CodeShape::BranchLoop,
         CodeShape::SplitLoop,
         CodeShape::TwoTableLoop,
+    ];
+
+    /// The paper's four shapes plus the run-coalesced traversal — the set
+    /// the equivalence tests and shape benchmarks sweep.
+    pub const WITH_RUNS: [CodeShape; 5] = [
+        CodeShape::ModLoop,
+        CodeShape::BranchLoop,
+        CodeShape::SplitLoop,
+        CodeShape::TwoTableLoop,
+        CodeShape::RunLoop,
     ];
 
     /// Figure label used in tables and bench names.
@@ -50,6 +70,7 @@ impl CodeShape {
             CodeShape::BranchLoop => "8(b)",
             CodeShape::SplitLoop => "8(c)",
             CodeShape::TwoTableLoop => "8(d)",
+            CodeShape::RunLoop => "runs",
         }
     }
 }
@@ -138,9 +159,41 @@ pub fn traverse_two_table<T>(
     }
 }
 
-/// Dispatches on the shape. `delta_m` must be the access-ordered `AM` table
-/// and `tables` the offset-indexed pair; callers obtain both from the same
-/// access pattern.
+/// Run-coalesced traversal: one slice loop per unit-gap segment, one
+/// strided loop per wide-gap segment — no table load per element. Emits
+/// the `runs_coalesced`/`run_len_total` counters for multi-element
+/// segments (their ratio is the average coalesced run length).
+pub fn traverse_runs<T>(local: &mut [T], runs: &RunPlan, mut f: impl FnMut(&mut T)) {
+    let mut segments = 0u64;
+    let mut elements = 0u64;
+    runs.for_each_segment(|seg| {
+        let a = seg.addr as usize;
+        let len = seg.len as usize;
+        if seg.gap == 1 {
+            for x in &mut local[a..a + len] {
+                f(x);
+            }
+        } else {
+            let gap = seg.gap as usize;
+            let span = (len - 1) * gap + 1;
+            for x in local[a..a + span].iter_mut().step_by(gap) {
+                f(x);
+            }
+        }
+        if len >= 2 {
+            segments += 1;
+            elements += len as u64;
+        }
+    });
+    bcag_core::runs::count_coalesced(segments, elements);
+}
+
+/// Dispatches on the shape. `delta_m` must be the access-ordered `AM` table,
+/// `tables` the offset-indexed pair and `runs` the compiled run plan;
+/// callers obtain all three from the same access pattern (a [`NodePlan`]
+/// carries them together).
+///
+/// [`NodePlan`]: crate::assign::NodePlan
 #[allow(clippy::too_many_arguments)]
 pub fn traverse<T>(
     shape: CodeShape,
@@ -149,6 +202,7 @@ pub fn traverse<T>(
     last: i64,
     delta_m: &[i64],
     tables: &TwoTable,
+    runs: &RunPlan,
     f: impl FnMut(&mut T),
 ) {
     match shape {
@@ -156,6 +210,7 @@ pub fn traverse<T>(
         CodeShape::BranchLoop => traverse_branch(local, start, last, delta_m, f),
         CodeShape::SplitLoop => traverse_split(local, start, last, delta_m, f),
         CodeShape::TwoTableLoop => traverse_two_table(local, start, last, tables, f),
+        CodeShape::RunLoop => traverse_runs(local, runs, f),
     }
 }
 
@@ -167,8 +222,9 @@ mod tests {
     use bcag_core::start::last_location;
     use bcag_core::Layout;
 
-    /// All four shapes must touch exactly the same elements, in the same
-    /// order, as the pattern iterator.
+    /// All shapes (the paper's four plus the run-coalesced loop) must
+    /// touch exactly the same elements, in the same order, as the pattern
+    /// iterator.
     #[test]
     fn shapes_agree_with_pattern_iteration() {
         for (p, k, l, s, u) in [
@@ -192,15 +248,25 @@ mod tests {
                 let last = lay.local_addr(last_g);
                 let expect = pat.locals_to(u);
                 let tables = bcag_core::two_table::TwoTable::from_pattern(&pat).unwrap();
+                let runs = RunPlan::compile(Some(start), last, pat.gaps());
                 let local_size = (last + 1).max(start + 1) as usize;
-                for shape in CodeShape::ALL {
+                for shape in CodeShape::WITH_RUNS {
                     let mut order: Vec<i64> = Vec::new();
                     let mut mem = vec![0u32; local_size];
                     // Record visit order via an address-capturing trick: we
                     // cannot see the index inside f, so mark and collect.
-                    traverse(shape, &mut mem, start, last, pat.gaps(), &tables, |x| {
-                        *x += 1;
-                    });
+                    traverse(
+                        shape,
+                        &mut mem,
+                        start,
+                        last,
+                        pat.gaps(),
+                        &tables,
+                        &runs,
+                        |x| {
+                            *x += 1;
+                        },
+                    );
                     // Recompute visited addresses from marks.
                     for (addr, &v) in mem.iter().enumerate() {
                         if v > 0 {
@@ -224,10 +290,13 @@ mod tests {
         let pr = Problem::new(4, 8, 4, 9).unwrap();
         let pat = lattice_alg::build(&pr, 1).unwrap();
         let tables = bcag_core::two_table::TwoTable::from_pattern(&pat).unwrap();
+        let runs = RunPlan::compile(Some(5), 4, pat.gaps());
         let mut mem = vec![0u32; 16];
-        for shape in CodeShape::ALL {
+        for shape in CodeShape::WITH_RUNS {
             // last < start: the loop body must not run.
-            traverse(shape, &mut mem, 5, 4, pat.gaps(), &tables, |x| *x += 1);
+            traverse(shape, &mut mem, 5, 4, pat.gaps(), &tables, &runs, |x| {
+                *x += 1
+            });
         }
         assert!(mem.iter().all(|&v| v == 0));
     }
@@ -236,5 +305,6 @@ mod tests {
     fn labels() {
         assert_eq!(CodeShape::ModLoop.label(), "8(a)");
         assert_eq!(CodeShape::TwoTableLoop.label(), "8(d)");
+        assert_eq!(CodeShape::RunLoop.label(), "runs");
     }
 }

@@ -46,16 +46,50 @@ pub struct Transfer {
     pub dst_local: i64,
 }
 
+/// A maximal group of consecutive transfers whose source and destination
+/// addresses both advance by constant gaps — the communication-set twin of
+/// [`bcag_core::runs::Run`]. Transfer `j` of the run moves
+/// `src_local + j·sgap` → `dst_local + j·dgap`; `(1, 1)` runs are straight
+/// `memcpy`s on both sides.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TransferRun {
+    /// First source local address.
+    pub src_local: i64,
+    /// First destination local address.
+    pub dst_local: i64,
+    /// Number of transfers in the run (`>= 1`).
+    pub len: i64,
+    /// Source-side address step (`1` = contiguous read).
+    pub sgap: i64,
+    /// Destination-side address step (`1` = contiguous write).
+    pub dgap: i64,
+}
+
+/// On-the-wire run header of the batched executor's run-encoded messages:
+/// the next `len` payload values land at `dst_local, dst_local + gap, …`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunSpan {
+    /// First destination local address.
+    pub dst_local: i64,
+    /// Destination address step.
+    pub gap: i64,
+    /// Number of payload values belonging to this span.
+    pub len: i64,
+}
+
 /// Payload types the communication engine can move.
 ///
-/// The two hooks cover the engine's inner loops: packing outgoing
-/// transfers into a message buffer and applying same-node transfers in
-/// place. The default bodies clone element by element — correct for any
-/// `Clone` payload. The macro below overrides both for the primitive
-/// numeric types with straight copies, so `i64`/`f64` payloads (the common
-/// case) never run a `clone()` call per element. (Rust's coherence rules
-/// forbid a blanket `impl<T: Copy>` next to the `String`/`Vec` impls, so
-/// the fast path is spelled out per primitive.)
+/// The hooks cover the engine's inner loops: packing outgoing transfers
+/// into a message buffer, applying same-node transfers in place, and the
+/// run-coalesced variants (`extend_run`/`write_run`/`apply_runs`) the
+/// batched executor and [`crate::pack`] are built on. The default bodies
+/// clone element by element — correct for any `Clone` payload. The macro
+/// below overrides them for the primitive numeric types with straight
+/// copies — `extend_from_slice`/`copy_from_slice` for unit-gap runs — so
+/// `i64`/`f64` payloads (the common case) never run a `clone()` call per
+/// element. (Rust's coherence rules forbid a blanket `impl<T: Copy>` next
+/// to the `String`/`Vec` impls, so the fast path is spelled out per
+/// primitive.)
 ///
 /// The `'static` bound lets packed messages travel the type-erased pool
 /// fabric (`Box<dyn Any + Send>`) and rest in buffer arenas between
@@ -77,22 +111,160 @@ pub trait PackValue: Clone + Send + Sync + 'static {
             dst[tr.dst_local as usize] = src[tr.src_local as usize].clone();
         }
     }
+
+    /// Appends the `len` elements `src[addr], src[addr + gap], …` onto
+    /// `out` — one traversal segment of a pack.
+    fn extend_run(out: &mut Vec<Self>, src: &[Self], addr: usize, gap: usize, len: usize) {
+        if gap == 1 {
+            out.extend(src[addr..addr + len].iter().cloned());
+        } else {
+            let span = (len - 1) * gap + 1;
+            out.extend(src[addr..addr + span].iter().step_by(gap).cloned());
+        }
+    }
+
+    /// Writes `vals` into `dst[addr], dst[addr + gap], …` — one traversal
+    /// segment of an unpack.
+    fn write_run(dst: &mut [Self], addr: usize, gap: usize, vals: &[Self]) {
+        if vals.is_empty() {
+            return;
+        }
+        if gap == 1 {
+            dst[addr..addr + vals.len()].clone_from_slice(vals);
+        } else {
+            let span = (vals.len() - 1) * gap + 1;
+            for (d, v) in dst[addr..addr + span].iter_mut().step_by(gap).zip(vals) {
+                *d = v.clone();
+            }
+        }
+    }
+
+    /// Applies same-node transfer runs straight from `src` into `dst` —
+    /// the run-coalesced form of [`PackValue::apply_local`].
+    fn apply_runs(dst: &mut [Self], src: &[Self], runs: &[TransferRun]) {
+        for r in runs {
+            for j in 0..r.len {
+                dst[(r.dst_local + j * r.dgap) as usize] =
+                    src[(r.src_local + j * r.sgap) as usize].clone();
+            }
+        }
+    }
+}
+
+/// Shared `Copy` fast paths: the macro'd primitive impls and the `[U; N]`
+/// impl all delegate here, so the memcpy bodies exist once.
+mod copy_fast {
+    use super::{Transfer, TransferRun};
+
+    pub fn pack_into<T: Copy>(src: &[T], transfers: &[Transfer], out: &mut Vec<(i64, T)>) {
+        out.reserve(transfers.len());
+        for tr in transfers {
+            out.push((tr.dst_local, src[tr.src_local as usize]));
+        }
+    }
+
+    pub fn apply_local<T: Copy>(dst: &mut [T], src: &[T], transfers: &[Transfer]) {
+        for tr in transfers {
+            dst[tr.dst_local as usize] = src[tr.src_local as usize];
+        }
+    }
+
+    pub fn extend_run<T: Copy>(out: &mut Vec<T>, src: &[T], addr: usize, gap: usize, len: usize) {
+        if gap == 1 {
+            out.extend_from_slice(&src[addr..addr + len]);
+            return;
+        }
+        // Wide-gap gather. Driving the source through `chunks_exact` (one
+        // chunk per stride period, keep the head) gives the optimizer a
+        // shufflable strided-load shape with an exact length; the plain
+        // `step_by` extend does not vectorize. Small gaps are dispatched
+        // to compile-time-constant chunk widths so the loop unrolls into
+        // shuffles instead of scalar strided loads. The last element has
+        // no full trailing chunk, so it is pushed separately.
+        let span = (len - 1) * gap + 1;
+        let src = &src[addr..addr + span];
+        out.reserve(len);
+        match gap {
+            2 => gather_const::<T, 2>(out, src),
+            3 => gather_const::<T, 3>(out, src),
+            4 => gather_const::<T, 4>(out, src),
+            _ => out.extend(src.chunks_exact(gap).map(|c| c[0])),
+        }
+        out.push(src[span - 1]);
+    }
+
+    fn gather_const<T: Copy, const G: usize>(out: &mut Vec<T>, src: &[T]) {
+        out.extend(src.chunks_exact(G).map(|c| c[0]));
+    }
+
+    pub fn write_run<T: Copy>(dst: &mut [T], addr: usize, gap: usize, vals: &[T]) {
+        if vals.is_empty() {
+            return;
+        }
+        if gap == 1 {
+            dst[addr..addr + vals.len()].copy_from_slice(vals);
+            return;
+        }
+        // Scatter mirror of `extend_run`: one chunk per stride period,
+        // write the head, leave the gap bytes untouched; small gaps get
+        // compile-time-constant chunk widths.
+        let span = (vals.len() - 1) * gap + 1;
+        let dst = &mut dst[addr..addr + span];
+        dst[span - 1] = vals[vals.len() - 1];
+        match gap {
+            2 => scatter_const::<T, 2>(dst, vals),
+            3 => scatter_const::<T, 3>(dst, vals),
+            4 => scatter_const::<T, 4>(dst, vals),
+            _ => {
+                for (c, v) in dst.chunks_exact_mut(gap).zip(vals) {
+                    c[0] = *v;
+                }
+            }
+        }
+    }
+
+    fn scatter_const<T: Copy, const G: usize>(dst: &mut [T], vals: &[T]) {
+        for (c, v) in dst.chunks_exact_mut(G).zip(vals) {
+            c[0] = *v;
+        }
+    }
+
+    pub fn apply_runs<T: Copy>(dst: &mut [T], src: &[T], runs: &[TransferRun]) {
+        for r in runs {
+            if r.sgap == 1 && r.dgap == 1 {
+                let (s, d, n) = (r.src_local as usize, r.dst_local as usize, r.len as usize);
+                dst[d..d + n].copy_from_slice(&src[s..s + n]);
+            } else {
+                for j in 0..r.len {
+                    dst[(r.dst_local + j * r.dgap) as usize] =
+                        src[(r.src_local + j * r.sgap) as usize];
+                }
+            }
+        }
+    }
 }
 
 macro_rules! pack_value_by_copy {
     ($($t:ty),* $(,)?) => {$(
         impl PackValue for $t {
             fn pack_into(src: &[Self], transfers: &[Transfer], out: &mut Vec<(i64, Self)>) {
-                out.reserve(transfers.len());
-                for tr in transfers {
-                    out.push((tr.dst_local, src[tr.src_local as usize]));
-                }
+                copy_fast::pack_into(src, transfers, out)
             }
 
             fn apply_local(dst: &mut [Self], src: &[Self], transfers: &[Transfer]) {
-                for tr in transfers {
-                    dst[tr.dst_local as usize] = src[tr.src_local as usize];
-                }
+                copy_fast::apply_local(dst, src, transfers)
+            }
+
+            fn extend_run(out: &mut Vec<Self>, src: &[Self], addr: usize, gap: usize, len: usize) {
+                copy_fast::extend_run(out, src, addr, gap, len)
+            }
+
+            fn write_run(dst: &mut [Self], addr: usize, gap: usize, vals: &[Self]) {
+                copy_fast::write_run(dst, addr, gap, vals)
+            }
+
+            fn apply_runs(dst: &mut [Self], src: &[Self], runs: &[TransferRun]) {
+                copy_fast::apply_runs(dst, src, runs)
             }
         }
     )*};
@@ -104,16 +276,23 @@ pack_value_by_copy!(
 
 impl<U: Copy + Send + Sync + 'static, const N: usize> PackValue for [U; N] {
     fn pack_into(src: &[Self], transfers: &[Transfer], out: &mut Vec<(i64, Self)>) {
-        out.reserve(transfers.len());
-        for tr in transfers {
-            out.push((tr.dst_local, src[tr.src_local as usize]));
-        }
+        copy_fast::pack_into(src, transfers, out)
     }
 
     fn apply_local(dst: &mut [Self], src: &[Self], transfers: &[Transfer]) {
-        for tr in transfers {
-            dst[tr.dst_local as usize] = src[tr.src_local as usize];
-        }
+        copy_fast::apply_local(dst, src, transfers)
+    }
+
+    fn extend_run(out: &mut Vec<Self>, src: &[Self], addr: usize, gap: usize, len: usize) {
+        copy_fast::extend_run(out, src, addr, gap, len)
+    }
+
+    fn write_run(dst: &mut [Self], addr: usize, gap: usize, vals: &[Self]) {
+        copy_fast::write_run(dst, addr, gap, vals)
+    }
+
+    fn apply_runs(dst: &mut [Self], src: &[Self], runs: &[TransferRun]) {
+        copy_fast::apply_runs(dst, src, runs)
     }
 }
 
@@ -145,13 +324,62 @@ impl ExecMode {
 
 /// The full communication schedule for one array assignment: for each
 /// (source, destination) pair, the ordered element transfers, stored as
-/// one flat CSR buffer with rows indexed `src * p + dst`.
+/// one flat CSR buffer with rows indexed `src * p + dst`, plus the
+/// run-coalesced form of every row (computed once at build time, cached
+/// with the schedule by [`crate::cache`]).
 #[derive(Debug, Clone)]
 pub struct CommSchedule {
     p: i64,
     /// Row `src * p + dst` lists transfers from node `src` to node `dst`
     /// in increasing section-rank order.
     pairs: Csr<Transfer>,
+    /// Run-coalesced rows: same indexing, each row the constant-gap run
+    /// decomposition of the corresponding `pairs` row.
+    runs: Csr<TransferRun>,
+}
+
+/// Greedy maximal constant-gap grouping of one transfer row (the
+/// communication-set analogue of `bcag_core::runs`). A run absorbs the
+/// next transfer while both address gaps stay constant; a non-unit run
+/// never steals the head of a following `(1, 1)` run, so the memcpy runs
+/// stay maximal.
+fn compile_transfer_runs(trs: &[Transfer], out: &mut crate::csr::CsrBuilder<TransferRun>) {
+    let gaps = |a: &Transfer, b: &Transfer| (b.src_local - a.src_local, b.dst_local - a.dst_local);
+    let n = trs.len();
+    let mut i = 0usize;
+    while i < n {
+        let mut len = 1i64;
+        let mut sgap = 1i64;
+        let mut dgap = 1i64;
+        if i + 1 < n {
+            let g = gaps(&trs[i], &trs[i + 1]);
+            // Start a multi-transfer run only if the gaps are positive and
+            // either unit-unit (always worth a memcpy) or confirmed by a
+            // second matching pair (don't steal a lone element).
+            let viable = g.0 > 0
+                && g.1 > 0
+                && (g == (1, 1) || (i + 2 < n && gaps(&trs[i + 1], &trs[i + 2]) == g));
+            if viable {
+                (sgap, dgap) = g;
+                let mut j = i + 1;
+                while j + 1 < n
+                    && gaps(&trs[j], &trs[j + 1]) == g
+                    && (g == (1, 1) || j + 2 >= n || gaps(&trs[j + 1], &trs[j + 2]) != (1, 1))
+                {
+                    j += 1;
+                }
+                len = (j - i + 1) as i64;
+            }
+        }
+        out.push(TransferRun {
+            src_local: trs[i].src_local,
+            dst_local: trs[i].dst_local,
+            len,
+            sgap,
+            dgap,
+        });
+        i += len as usize;
+    }
 }
 
 /// Closed-form `p × p` message matrix: `get(src, dst)` is the number of
@@ -194,6 +422,23 @@ impl MessageMatrix {
 }
 
 impl CommSchedule {
+    /// Wraps a completed transfer CSR into a schedule, compiling the
+    /// run-coalesced form of every row up front. All construction funnels
+    /// through here, so any cached schedule carries its runs for free.
+    fn from_pairs(p: i64, pairs: Csr<Transfer>) -> CommSchedule {
+        let rows = pairs.rows();
+        let mut runs = Csr::builder();
+        for r in 0..rows {
+            compile_transfer_runs(pairs.row(r), &mut runs);
+            runs.finish_row();
+        }
+        CommSchedule {
+            p,
+            pairs,
+            runs: runs.finish(rows),
+        }
+    }
+
     /// Builds the schedule for `A(sec_a) = B(sec_b)` where `A` is laid out
     /// `(p, k_a)` and `B` is `(p, k_b)`. Both sections must have the same
     /// element count and ascending strides.
@@ -208,10 +453,7 @@ impl CommSchedule {
         let _sp = bcag_trace::span("comm.build");
         check_sections(sec_a, sec_b)?;
         if sec_b.count() == 0 {
-            return Ok(CommSchedule {
-                p,
-                pairs: Csr::empty((p * p) as usize),
-            });
+            return Ok(CommSchedule::from_pairs(p, Csr::empty((p * p) as usize)));
         }
         let pn = p as usize;
         let lay_a = Layout::from_raw(p, k_a);
@@ -269,10 +511,7 @@ impl CommSchedule {
                 begin = end;
             }
         }
-        Ok(CommSchedule {
-            p,
-            pairs: pairs.finish(pn * pn),
-        })
+        Ok(CommSchedule::from_pairs(p, pairs.finish(pn * pn)))
     }
 
     /// Builds the same schedule in closed form, without enumerating the
@@ -297,10 +536,7 @@ impl CommSchedule {
         check_sections(sec_a, sec_b)?;
         let t_max = sec_b.count() - 1;
         if t_max < 0 {
-            return Ok(CommSchedule {
-                p,
-                pairs: Csr::empty((p * p) as usize),
-            });
+            return Ok(CommSchedule::from_pairs(p, Csr::empty((p * p) as usize)));
         }
         let lay_a = Layout::from_raw(p, k_a);
         let lay_b = Layout::from_raw(p, k_b);
@@ -353,10 +589,7 @@ impl CommSchedule {
                 pairs.finish_row();
             }
         }
-        Ok(CommSchedule {
-            p,
-            pairs: pairs.finish((p * p) as usize),
-        })
+        Ok(CommSchedule::from_pairs(p, pairs.finish((p * p) as usize)))
     }
 
     /// Computes only the **message matrix** — `get(src, dst)` = number of
@@ -422,8 +655,19 @@ impl CommSchedule {
         self.pair(src as usize, dst as usize)
     }
 
+    /// Run-coalesced form of the same row [`CommSchedule::transfers`]
+    /// returns: the greedy maximal constant-gap run decomposition computed
+    /// once at build time.
+    pub fn transfer_runs(&self, src: i64, dst: i64) -> &[TransferRun] {
+        self.pair_runs(src as usize, dst as usize)
+    }
+
     fn pair(&self, src: usize, dst: usize) -> &[Transfer] {
         self.pairs.row(src * self.p as usize + dst)
+    }
+
+    fn pair_runs(&self, src: usize, dst: usize) -> &[TransferRun] {
+        self.runs.row(src * self.p as usize + dst)
     }
 
     /// Total number of elements moved (equals the section size).
@@ -454,9 +698,11 @@ impl CommSchedule {
 
     /// Executes `A(sec_a) = B(sec_b)` by message passing with the default
     /// [`ExecMode::Batched`] strategy: every node packs its outgoing
-    /// transfers for one destination into a single message, sends one
-    /// message per non-empty (src, dst ≠ src) pair, applies same-node
-    /// transfers directly into its own memory, then drains its inbox.
+    /// transfers for one destination into a single run-encoded message
+    /// (`(Vec<RunSpan>, Vec<T>)` — contiguous and constant-gap stretches
+    /// pack and apply as slice copies), sends one message per non-empty
+    /// (src, dst ≠ src) pair, applies same-node transfers directly into
+    /// its own memory run-by-run, then drains its inbox.
     ///
     /// When tracing is enabled, each node lane (`node-<src>`) records a
     /// `comm.execute.node` span and the communication counters:
@@ -521,10 +767,14 @@ impl CommSchedule {
             let _sp = bcag_trace::span("comm.execute.node");
             let mut slot = lock_clean(&slots[me]);
             let local_a: &mut Vec<T> = &mut slot;
-            // Send phase: pack from B's local memory, one message per
-            // non-empty destination; the self-row goes straight into A's
-            // local memory.
+            // Send phase: pack from B's local memory run-by-run, one
+            // message per non-empty destination; the self-row is applied
+            // straight into A's local memory, run-by-run. A message is the
+            // pair (run spans, packed values): destination addresses cost
+            // one span per run instead of one `i64` per element.
             let local_b = b.local(me as i64);
+            let mut seg_count = 0u64;
+            let mut seg_elems = 0u64;
             for dst in 0..p {
                 let transfers = self.pair(me, dst);
                 bcag_trace::count("elements_moved", transfers.len() as u64);
@@ -532,8 +782,15 @@ impl CommSchedule {
                     "bytes_packed",
                     (transfers.len() * std::mem::size_of::<T>()) as u64,
                 );
+                let runs = self.pair_runs(me, dst);
+                for r in runs {
+                    if r.len >= 2 {
+                        seg_count += 1;
+                        seg_elems += r.len as u64;
+                    }
+                }
                 if dst == me {
-                    T::apply_local(local_a, local_b, transfers);
+                    T::apply_runs(local_a, local_b, runs);
                     continue;
                 }
                 if transfers.is_empty() {
@@ -541,10 +798,27 @@ impl CommSchedule {
                 }
                 bcag_trace::count("messages_sent", 1);
                 bcag_trace::count("elements_nonlocal", transfers.len() as u64);
-                let mut msg: Vec<(i64, T)> = ctx.take_buf();
-                T::pack_into(local_b, transfers, &mut msg);
-                ctx.send(dst, Box::new(msg));
+                let mut spans: Vec<RunSpan> = ctx.take_buf();
+                let mut vals: Vec<T> = ctx.take_buf();
+                spans.reserve(runs.len());
+                vals.reserve(transfers.len());
+                for r in runs {
+                    spans.push(RunSpan {
+                        dst_local: r.dst_local,
+                        gap: r.dgap,
+                        len: r.len,
+                    });
+                    T::extend_run(
+                        &mut vals,
+                        local_b,
+                        r.src_local as usize,
+                        r.sgap as usize,
+                        r.len as usize,
+                    );
+                }
+                ctx.send(dst, Box::new((spans, vals)));
             }
+            bcag_core::runs::count_coalesced(seg_count, seg_elems);
             // Receive phase: the schedule is global knowledge (as on a
             // real SPMD machine), so each node knows exactly how many
             // messages are inbound and a counted loop avoids a
@@ -559,13 +833,22 @@ impl CommSchedule {
                 if let Some(t0) = t0 {
                     wait_ns += t0.elapsed().as_nanos() as u64;
                 }
-                let mut msg = *env
-                    .downcast::<Vec<(i64, T)>>()
+                let (spans, vals) = *env
+                    .downcast::<(Vec<RunSpan>, Vec<T>)>()
                     .expect("batched message payload type");
-                for (addr, v) in msg.drain(..) {
-                    local_a[addr as usize] = v;
+                let mut off = 0usize;
+                for sp in &spans {
+                    let len = sp.len as usize;
+                    T::write_run(
+                        local_a,
+                        sp.dst_local as usize,
+                        sp.gap as usize,
+                        &vals[off..off + len],
+                    );
+                    off += len;
                 }
-                ctx.put_buf(msg);
+                ctx.put_buf(spans);
+                ctx.put_buf(vals);
             }
             bcag_trace::count("recv_wait_ns", wait_ns);
         });

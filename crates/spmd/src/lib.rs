@@ -32,7 +32,8 @@
 //! * [`statement`] — whole array statements `A(secA) = f(B(secB), ...)`
 //!   (gather + owner-computes) and block-size redistribution;
 //! * [`pack`] — message vectorization: pack/unpack a node's share of a
-//!   section into contiguous buffers.
+//!   section into contiguous buffers, run-coalesced into slice copies by
+//!   the [`bcag_core::runs`] contiguity analysis of the gap table.
 //!
 //! ```
 //! use bcag_spmd::{darray::DistArray, assign::assign_scalar, codeshapes::CodeShape};
@@ -73,13 +74,15 @@ pub mod stats;
 pub use assign::{apply_section, assign_scalar, plan_section, NodePlan};
 pub use blas1::{asum, axpy, iamax, nrm2, scal};
 pub use codeshapes::CodeShape;
-pub use comm::{assign_array, CommSchedule, ExecMode, MessageMatrix, PackValue, Transfer};
+pub use comm::{
+    assign_array, CommSchedule, ExecMode, MessageMatrix, PackValue, RunSpan, Transfer, TransferRun,
+};
 pub use comm2d::assign_matrix;
 pub use csr::Csr;
 pub use darray::DistArray;
 pub use dmatrix::DistMatrix;
 pub use machine::Machine;
-pub use pack::gather_section;
+pub use pack::{gather_section, PackMode};
 pub use pool::{LaunchMode, NodeCtx};
 pub use reduce::{dot_sections, reduce_section, sum_section};
 pub use shift::{cshift, eoshift};

@@ -5,21 +5,48 @@
 //! it as one message, and *unpack* on the other side. The pack loop is the
 //! same gap-table traversal as the compute loop (the access sequence tells
 //! each node exactly which local addresses participate, in section-rank
-//! order), so packing is another direct client of the paper's algorithm.
+//! order), so packing is another direct client of the paper's algorithm —
+//! and, through the [`bcag_core::runs`] contiguity analysis, it collapses
+//! to `memcpy`-grade slice copies wherever the gap table is constant:
+//! unit-gap runs become `extend_from_slice`/`copy_from_slice`, constant
+//! wide-gap runs become tight strided loops. [`PackMode`] keeps the
+//! historical element-by-element walk alive for ablation; both modes
+//! produce bit-identical buffers and counter totals.
 
-use bcag_core::error::Result;
+use bcag_core::error::{BcagError, Result};
 use bcag_core::method::Method;
-use bcag_core::params::Problem;
 use bcag_core::section::RegularSection;
-use bcag_core::start::count_owned;
 
-use crate::assign::plan_section;
+use crate::cache;
+use crate::comm::PackValue;
 use crate::darray::DistArray;
+
+/// Pack/unpack strategy — the ablation axis of the run-coalescing
+/// optimization, mirroring [`crate::comm::ExecMode`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PackMode {
+    /// Run-coalesced (default): one slice copy per constant-gap run of the
+    /// access sequence.
+    Runs,
+    /// Historical element-by-element gap-table walk, kept for A/B
+    /// comparison; produces bit-identical buffers.
+    PerElement,
+}
+
+impl PackMode {
+    /// Stable label for reports and bench output.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PackMode::Runs => "runs",
+            PackMode::PerElement => "per-element",
+        }
+    }
+}
 
 /// Packs processor `m`'s share of `arr(section)` into a contiguous buffer,
 /// in increasing global-index order. Returns an empty buffer when the
 /// processor owns nothing.
-pub fn pack<T: Clone + Send + Sync>(
+pub fn pack<T: PackValue>(
     arr: &DistArray<T>,
     section: &RegularSection,
     m: i64,
@@ -33,42 +60,72 @@ pub fn pack<T: Clone + Send + Sync>(
 /// Like [`pack`], but fills a caller-provided buffer (cleared first), so
 /// steady-state loops can reuse one allocation grown to its high-water
 /// mark instead of allocating per call. Returns the packed count.
-pub fn pack_with_buf<T: Clone + Send + Sync>(
+pub fn pack_with_buf<T: PackValue>(
     arr: &DistArray<T>,
     section: &RegularSection,
     m: i64,
     method: Method,
     out: &mut Vec<T>,
 ) -> Result<usize> {
+    pack_with_buf_mode(arr, section, m, method, PackMode::Runs, out)
+}
+
+/// [`pack_with_buf`] with an explicit [`PackMode`] — the ablation entry
+/// point for comparing run-coalesced against per-element packing.
+pub fn pack_with_buf_mode<T: PackValue>(
+    arr: &DistArray<T>,
+    section: &RegularSection,
+    m: i64,
+    method: Method,
+    mode: PackMode,
+    out: &mut Vec<T>,
+) -> Result<usize> {
     let _sp = bcag_trace::span("spmd.pack");
     out.clear();
-    let plans = plan_section(arr.p(), arr.k(), section, method)?;
+    let plans = cache::plans(arr.p(), arr.k(), section, method)?;
     let plan = &plans[m as usize];
-    let Some(start) = plan.start else {
+    if plan.start.is_none() {
         bcag_trace::count("elements_packed", 0);
         return Ok(0);
-    };
+    }
     let local = arr.local(m);
-    // The owned count is known in closed form: size the buffer once.
-    let norm = section.normalized();
-    let cap = if norm.count == 0 {
-        0
-    } else {
-        let problem = Problem::new(arr.p(), arr.k(), norm.lo, norm.step)?;
-        count_owned(&problem, m, norm.hi)? as usize
-    };
-    out.reserve(cap);
-    let mut addr = start;
-    let mut i = 0usize;
-    while addr <= plan.last {
-        out.push(local[addr as usize].clone());
-        if plan.delta_m.is_empty() {
-            break;
+    // The owned count falls out of the run plan in closed form: size the
+    // buffer once, no reallocation during the walk.
+    out.reserve(plan.runs.count() as usize);
+    match mode {
+        PackMode::Runs => {
+            let mut seg_count = 0u64;
+            let mut seg_elems = 0u64;
+            plan.runs.for_each_segment(|seg| {
+                T::extend_run(
+                    out,
+                    local,
+                    seg.addr as usize,
+                    seg.gap as usize,
+                    seg.len as usize,
+                );
+                if seg.len >= 2 {
+                    seg_count += 1;
+                    seg_elems += seg.len as u64;
+                }
+            });
+            bcag_core::runs::count_coalesced(seg_count, seg_elems);
         }
-        addr += plan.delta_m[i];
-        i += 1;
-        if i == plan.delta_m.len() {
-            i = 0;
+        PackMode::PerElement => {
+            let start = plan.start.expect("checked non-empty above");
+            let mut addr = start;
+            let mut i = 0usize;
+            while addr <= plan.last {
+                out.push(local[addr as usize].clone());
+                if plan.delta_m.is_empty() {
+                    break;
+                }
+                addr += plan.delta_m[i];
+                i += 1;
+                if i == plan.delta_m.len() {
+                    i = 0;
+                }
+            }
         }
     }
     bcag_trace::count("elements_packed", out.len() as u64);
@@ -82,47 +139,105 @@ pub fn pack_with_buf<T: Clone + Send + Sync>(
 /// Unpacks a buffer produced by [`pack`] back into processor `m`'s share of
 /// `arr(section)` (inverse traversal order). The buffer length must match
 /// the processor's owned count.
-pub fn unpack<T: Clone + Send + Sync>(
+pub fn unpack<T: PackValue>(
     arr: &mut DistArray<T>,
     section: &RegularSection,
     m: i64,
     method: Method,
     buffer: &[T],
 ) -> Result<()> {
-    use bcag_core::error::BcagError;
-    let plans = plan_section(arr.p(), arr.k(), section, method)?;
+    unpack_mode(arr, section, m, method, PackMode::Runs, buffer)
+}
+
+/// [`unpack`] with an explicit [`PackMode`].
+pub fn unpack_mode<T: PackValue>(
+    arr: &mut DistArray<T>,
+    section: &RegularSection,
+    m: i64,
+    method: Method,
+    mode: PackMode,
+    buffer: &[T],
+) -> Result<()> {
+    let _sp = bcag_trace::span("spmd.unpack");
+    let plans = cache::plans(arr.p(), arr.k(), section, method)?;
     let plan = &plans[m as usize];
-    let Some(start) = plan.start else {
+    if plan.start.is_none() {
         return if buffer.is_empty() {
+            bcag_trace::count("elements_unpacked", 0);
             Ok(())
         } else {
             Err(BcagError::Precondition(
                 "buffer for a processor that owns nothing",
             ))
         };
-    };
-    let local = arr.local_mut(m);
-    let mut addr = start;
-    let mut i = 0usize;
-    let mut cursor = 0usize;
-    while addr <= plan.last {
-        let Some(v) = buffer.get(cursor) else {
-            return Err(BcagError::Precondition("buffer too short for owned count"));
-        };
-        local[addr as usize] = v.clone();
-        cursor += 1;
-        if plan.delta_m.is_empty() {
-            break;
-        }
-        addr += plan.delta_m[i];
-        i += 1;
-        if i == plan.delta_m.len() {
-            i = 0;
-        }
     }
-    if cursor != buffer.len() {
+    // The owned count is closed-form; validate the buffer up front so the
+    // write loop below never has to bounds-check mid-run.
+    let owned = plan.runs.count() as usize;
+    if buffer.len() < owned {
+        return Err(BcagError::Precondition("buffer too short for owned count"));
+    }
+    if buffer.len() > owned {
         return Err(BcagError::Precondition("buffer longer than owned count"));
     }
+    let local = arr.local_mut(m);
+    // Mostly-singleton plans (average run length below 2 per period)
+    // offer almost no slice copies; the scalar walk is cheaper than
+    // per-segment dispatch there. The closed-form shapes always win —
+    // they emit one segment for the whole traversal.
+    let worthwhile = match plan.runs.shape() {
+        bcag_core::runs::RunShape::Cyclic(_) => {
+            plan.runs.runs_per_period() * 2 <= plan.delta_m.len()
+        }
+        _ => plan.runs.coalesces(),
+    };
+    let mode = if mode == PackMode::Runs && !worthwhile {
+        PackMode::PerElement
+    } else {
+        mode
+    };
+    match mode {
+        PackMode::Runs => {
+            let mut cursor = 0usize;
+            let mut seg_count = 0u64;
+            let mut seg_elems = 0u64;
+            plan.runs.for_each_segment(|seg| {
+                let len = seg.len as usize;
+                T::write_run(
+                    local,
+                    seg.addr as usize,
+                    seg.gap as usize,
+                    &buffer[cursor..cursor + len],
+                );
+                cursor += len;
+                if seg.len >= 2 {
+                    seg_count += 1;
+                    seg_elems += seg.len as u64;
+                }
+            });
+            bcag_core::runs::count_coalesced(seg_count, seg_elems);
+        }
+        PackMode::PerElement => {
+            let start = plan.start.expect("checked non-empty above");
+            let mut addr = start;
+            let mut i = 0usize;
+            let mut cursor = 0usize;
+            while addr <= plan.last {
+                local[addr as usize] = buffer[cursor].clone();
+                cursor += 1;
+                if plan.delta_m.is_empty() {
+                    break;
+                }
+                addr += plan.delta_m[i];
+                i += 1;
+                if i == plan.delta_m.len() {
+                    i = 0;
+                }
+            }
+        }
+    }
+    bcag_trace::count("elements_unpacked", owned as u64);
+    bcag_trace::count("bytes_unpacked", (owned * std::mem::size_of::<T>()) as u64);
     Ok(())
 }
 
@@ -131,41 +246,35 @@ pub fn unpack<T: Clone + Send + Sync>(
 /// comes from whichever processor owns it, so a simple per-processor
 /// concatenation is wrong; this merges by global index, which the packs
 /// already provide sorted.
-pub fn gather_section<T: Clone + Send + Sync + Default>(
+pub fn gather_section<T: PackValue + Default>(
     arr: &DistArray<T>,
     section: &RegularSection,
     method: Method,
 ) -> Result<Vec<T>> {
     let mut out = vec![T::default(); section.count() as usize];
-    // Plans are m-independent to build; hoist them out of the node loop,
-    // and reuse one pack buffer (grown to the largest share) across m.
-    let plans = plan_section(arr.p(), arr.k(), section, method)?;
+    // Plans come from the process-wide cache; reuse one pack buffer (grown
+    // to the largest share) across m.
+    let plans = cache::plans(arr.p(), arr.k(), section, method)?;
     let mut packed: Vec<T> = Vec::new();
     for m in 0..arr.p() {
         pack_with_buf(arr, section, m, method, &mut packed)?;
-        // Recover each packed value's section rank from the plan walk.
+        // Recover each packed value's section rank by walking the run plan
+        // alongside the pack: ranks follow local addresses in lockstep.
         let plan = &plans[m as usize];
-        let Some(start) = plan.start else { continue };
+        if plan.start.is_none() {
+            continue;
+        }
         let norm = section.normalized();
         let lay = arr.layout();
-        // Walk local addresses alongside the pack to compute ranks.
-        let mut addr = start;
-        let mut i = 0usize;
         let mut cursor = 0usize;
-        while addr <= plan.last {
-            let g = lay.global_of(m, addr);
-            let rank = (g - norm.lo) / norm.step;
-            out[rank as usize] = packed[cursor].clone();
-            cursor += 1;
-            if plan.delta_m.is_empty() {
-                break;
+        plan.runs.for_each_segment(|seg| {
+            for j in 0..seg.len {
+                let g = lay.global_of(m, seg.addr + j * seg.gap);
+                let rank = (g - norm.lo) / norm.step;
+                out[rank as usize] = packed[cursor].clone();
+                cursor += 1;
             }
-            addr += plan.delta_m[i];
-            i += 1;
-            if i == plan.delta_m.len() {
-                i = 0;
-            }
-        }
+        });
     }
     Ok(out)
 }
@@ -203,6 +312,31 @@ mod tests {
         let buf = pack(&arr, &sec, 1, Method::Lattice).unwrap();
         // Processor 1's owned elements in increasing order (Figure 6 walk).
         assert_eq!(buf, vec![13, 40, 76, 139, 175, 202, 238, 265, 301]);
+    }
+
+    #[test]
+    fn pack_modes_bit_identical() {
+        let data: Vec<i64> = (0..640).map(|i| i * 11 + 3).collect();
+        let arr = DistArray::from_global(4, 16, &data).unwrap();
+        for (l, u, s) in [(0, 639, 1), (2, 600, 2), (5, 637, 7), (0, 639, 17)] {
+            let sec = RegularSection::new(l, u, s).unwrap();
+            for m in 0..4 {
+                let mut runs = Vec::new();
+                let mut per = Vec::new();
+                pack_with_buf_mode(&arr, &sec, m, Method::Lattice, PackMode::Runs, &mut runs)
+                    .unwrap();
+                pack_with_buf_mode(
+                    &arr,
+                    &sec,
+                    m,
+                    Method::Lattice,
+                    PackMode::PerElement,
+                    &mut per,
+                )
+                .unwrap();
+                assert_eq!(runs, per, "m={m} sec=({l}:{u}:{s})");
+            }
+        }
     }
 
     #[test]

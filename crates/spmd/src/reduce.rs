@@ -10,7 +10,6 @@ use bcag_core::error::Result;
 use bcag_core::method::Method;
 use bcag_core::section::RegularSection;
 
-use crate::assign::plan_section;
 use crate::codeshapes::{traverse, CodeShape};
 use crate::darray::DistArray;
 use crate::machine::Machine;
@@ -35,7 +34,7 @@ where
     F: Fn(Acc, &T) -> Acc + Sync,
     C: Fn(Acc, Acc) -> Acc,
 {
-    let plans = plan_section(arr.p(), arr.k(), section, method)?;
+    let plans = crate::cache::plans(arr.p(), arr.k(), section, method)?;
     let machine = Machine::new(arr.p());
     let partials = machine.run_collect(|m| {
         let plan = &plans[m];
@@ -55,6 +54,7 @@ where
             plan.last,
             &plan.delta_m,
             tables,
+            &plan.runs,
             |x| {
                 acc = f(acc.clone(), x);
             },
@@ -110,26 +110,35 @@ pub fn dot_sections(
             "dot_sections requires co-located sections; use comm for the general case",
         ));
     }
-    let plans = plan_section(a.p(), a.k(), sec_a, method)?;
+    let plans = crate::cache::plans(a.p(), a.k(), sec_a, method)?;
     let machine = Machine::new(a.p());
     let partials = machine.run_collect(|m| {
         let plan = &plans[m];
-        let Some(start) = plan.start else { return 0.0 };
-        let tables = plan.tables.as_ref().expect("tables");
-        let _ = tables; // two-operand loops walk the table directly (8(b) style)
+        if plan.start.is_none() {
+            return 0.0;
+        }
         let la = a.local(m as i64);
         let lb = b.local(m as i64);
+        // Two-operand loop over the run-coalesced plan: unit-gap segments
+        // are plain slice zips the compiler can vectorize.
         let mut acc = 0.0;
-        let mut addr = start;
-        let mut i = 0usize;
-        while addr <= plan.last {
-            acc += la[addr as usize] * lb[addr as usize];
-            addr += plan.delta_m[i];
-            i += 1;
-            if i == plan.delta_m.len() {
-                i = 0;
+        plan.runs.for_each_segment(|seg| {
+            let a0 = seg.addr as usize;
+            let len = seg.len as usize;
+            if seg.gap == 1 {
+                for (x, y) in la[a0..a0 + len].iter().zip(&lb[a0..a0 + len]) {
+                    acc += x * y;
+                }
+            } else {
+                let gap = seg.gap as usize;
+                let span = (len - 1) * gap + 1;
+                let xs = la[a0..a0 + span].iter().step_by(gap);
+                let ys = lb[a0..a0 + span].iter().step_by(gap);
+                for (x, y) in xs.zip(ys) {
+                    acc += x * y;
+                }
             }
-        }
+        });
         acc
     });
     Ok(partials.into_iter().sum())

@@ -74,25 +74,23 @@ where
     let staged_refs: Vec<&DistArray<T>> = staged.iter().collect();
     machine.run(a.locals_mut(), |m, local| {
         let plan = &plans[m];
-        let Some(start) = plan.start else { return };
-        let mut args: Vec<T> = Vec::with_capacity(staged_refs.len());
-        let mut addr = start;
-        let mut i = 0usize;
-        while addr <= plan.last {
-            args.clear();
-            for tmp in &staged_refs {
-                args.push(tmp.local(m as i64)[addr as usize].clone());
-            }
-            local[addr as usize] = f(&args);
-            if plan.delta_m.is_empty() {
-                break;
-            }
-            addr += plan.delta_m[i];
-            i += 1;
-            if i == plan.delta_m.len() {
-                i = 0;
-            }
+        if plan.start.is_none() {
+            return;
         }
+        let locs: Vec<&[T]> = staged_refs.iter().map(|t| t.local(m as i64)).collect();
+        let mut args: Vec<T> = Vec::with_capacity(locs.len());
+        // Run-coalesced traversal: direct indexing per segment instead of
+        // a gap-table load per element.
+        plan.runs.for_each_segment(|seg| {
+            for j in 0..seg.len {
+                let addr = (seg.addr + j * seg.gap) as usize;
+                args.clear();
+                for lv in &locs {
+                    args.push(lv[addr].clone());
+                }
+                local[addr] = f(&args);
+            }
+        });
     });
     Ok(())
 }

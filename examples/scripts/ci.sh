@@ -24,7 +24,7 @@ cargo test -q --workspace --offline
 echo "==> bench smoke (--quick) for every target"
 for bench in construction sorting_ablation gcd_effect codeshapes \
              tableless comm_schedule comm_throughput exec_latency \
-             special_cases trace_overhead; do
+             special_cases trace_overhead pack_throughput; do
     echo "--> $bench"
     cargo bench -q --offline -p bcag-bench --bench "$bench" -- --quick \
         > /dev/null
@@ -59,5 +59,8 @@ grep -q '"pool.dispatch"' "$cache_chrome" \
     || { echo "no pool.dispatch spans in chrome trace: $cache_chrome" >&2; exit 1; }
 grep -q '"pool_buffer_reuses"' "$cache_out" \
     || { echo "no pool_buffer_reuses in summary: $cache_out" >&2; exit 1; }
+# Run coalescing must be active on the statement loop's data movement.
+grep -q '"runs_coalesced"' "$cache_out" \
+    || { echo "no runs_coalesced in summary: $cache_out" >&2; exit 1; }
 
 echo "ci: OK"
