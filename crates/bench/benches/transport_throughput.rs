@@ -1,0 +1,98 @@
+//! Transport fabric throughput: mpsc vs shm vs proc backends.
+//!
+//! The schedule is built once outside the timed region; each measurement
+//! times `CommSchedule::execute_transport` alone with the batched
+//! strategy on the resident pool, so the numbers isolate the *fabric*:
+//! the unbounded `std::sync::mpsc` reference, the lock-free SPSC
+//! ring-buffer shared-memory fabric, and the ring fabric carrying the
+//! serialized wire format (the in-process twin of what `bcag spmd`
+//! ships between OS processes — the serialization cost without the
+//! pipe cost). Sweeps machine size, stride and element size;
+//! elements/sec is `count / median_ns * 1e9` from the report.
+
+use std::hint::black_box;
+
+use bcag_harness::bench::Bench;
+
+use bcag_core::section::RegularSection;
+use bcag_spmd::{CommSchedule, DistArray, ExecMode, LaunchMode, PackValue, TransportKind};
+
+/// One measurement triple (all fabrics) for a `cyclic(8) = cyclic(3)`
+/// redistribution of `count` elements with the given strides.
+fn bench_triple<T: PackValue + Default>(
+    bench: &mut Bench,
+    group: &str,
+    label: &str,
+    p: i64,
+    count: i64,
+    s_a: i64,
+    s_b: i64,
+    make: impl Fn(i64) -> T,
+) {
+    let (k_a, k_b) = (8i64, 3i64);
+    let sec_a = RegularSection::new(2, 2 + (count - 1) * s_a, s_a).unwrap();
+    let sec_b = RegularSection::new(1, 1 + (count - 1) * s_b, s_b).unwrap();
+    let n_a = sec_a.normalized().hi + 1;
+    let n_b = sec_b.normalized().hi + 1;
+    let bg: Vec<T> = (0..n_b).map(make).collect();
+    let b = DistArray::from_global(p, k_b, &bg).unwrap();
+    let sched = CommSchedule::build_lattice(p, k_a, &sec_a, k_b, &sec_b).unwrap();
+    let mut group = bench.group(group);
+    for kind in TransportKind::ALL {
+        let mut a = DistArray::new(p, k_a, n_a, T::default()).unwrap();
+        group.bench(&format!("{}/{label}", kind.name()), || {
+            sched
+                .execute_transport(&mut a, &b, ExecMode::Batched, LaunchMode::Pooled, kind)
+                .unwrap();
+            black_box(a.local(0).len())
+        });
+    }
+}
+
+fn main() {
+    let mut bench = Bench::from_env("transport_throughput");
+    for p in [4i64, 32] {
+        let group = format!("p{p}");
+        bench_triple::<i64>(
+            &mut bench,
+            &group,
+            "i64/dense/n100000",
+            p,
+            100_000,
+            1,
+            1,
+            |i| i,
+        );
+        bench_triple::<i64>(
+            &mut bench,
+            &group,
+            "i64/strided/n50000",
+            p,
+            50_000,
+            3,
+            2,
+            |i| i,
+        );
+        bench_triple::<u8>(
+            &mut bench,
+            &group,
+            "u8/dense/n100000",
+            p,
+            100_000,
+            1,
+            1,
+            |i| i as u8,
+        );
+        bench_triple::<[f64; 4]>(
+            &mut bench,
+            &group,
+            "f64x4/dense/n25000",
+            p,
+            25_000,
+            1,
+            1,
+            |i| [i as f64; 4],
+        );
+    }
+    bench.finish();
+}

@@ -474,6 +474,85 @@ fn synthetic_workload(p: i64, k: i64) -> Result<String, String> {
     ))
 }
 
+/// `bcag spmd`: run a script across real OS processes, one per node.
+/// The parent routes serialized frames between the children (star
+/// topology); with the global `--trace OUT.json` flag each child records
+/// its own lane and the parent merges them into one timeline.
+pub fn spmd(argv: &[String], trace_out: Option<&str>) -> i32 {
+    let flags = match Flags::parse(argv, &["file", "procs"]) {
+        Ok(f) => f,
+        Err(e) => return fail(&e),
+    };
+    let run = || -> Result<(), String> {
+        let file = flags
+            .opt_str("file")
+            .ok_or("missing required flag `--file`")?;
+        let procs = flags.req_i64("procs")?;
+        if procs < 1 {
+            return Err("--procs must be at least 1".into());
+        }
+        let src = std::fs::read_to_string(file).map_err(|e| format!("{file}: {e}"))?;
+        let declared = bcag_rt::spmd::script_processors(&src)?;
+        if declared != procs as usize {
+            return Err(format!(
+                "script declares PROCESSORS({declared}) but --procs is {procs}; \
+                 every node process interprets the directives itself, so the \
+                 sizes must agree"
+            ));
+        }
+        let exe = std::env::current_exe().map_err(|e| format!("locating bcag binary: {e}"))?;
+        let outcome = bcag_rt::spmd::launch(&exe, file, procs as usize, trace_out.is_some())?;
+        for line in &outcome.output {
+            println!("{line}");
+        }
+        if let Some(out) = trace_out {
+            let mut traces = Vec::new();
+            for (node, json) in &outcome.node_traces {
+                let doc = bcag_harness::json::Json::parse(json)
+                    .map_err(|e| format!("node {node} trace: {e}"))?;
+                traces.push(
+                    bcag_trace::export::from_json(&doc)
+                        .map_err(|e| format!("node {node} trace: {e}"))?,
+                );
+            }
+            let merged = bcag_trace::Trace::merged(traces);
+            write_trace_artifacts(&merged, out)?;
+        }
+        Ok(())
+    };
+    match run() {
+        Ok(()) => 0,
+        Err(e) => fail(&e),
+    }
+}
+
+/// `bcag spmd-node`: the hidden child subcommand `bcag spmd` forks. Not
+/// for interactive use — stdin/stdout are the frame pipe to the parent
+/// router, so anything else on them would corrupt the stream.
+pub fn spmd_node(argv: &[String]) -> i32 {
+    let flags = match Flags::parse(argv, &["me", "procs", "file", "traced"]) {
+        Ok(f) => f,
+        Err(e) => return fail(&e),
+    };
+    let run = || -> Result<(), String> {
+        let me = flags.req_i64("me")?;
+        let procs = flags.req_i64("procs")?;
+        let file = flags
+            .opt_str("file")
+            .ok_or("missing required flag `--file`")?;
+        let traced = flags.opt_i64("traced", 0)? != 0;
+        if me < 0 || procs < 1 {
+            return Err("--me must be >= 0 and --procs >= 1".into());
+        }
+        let src = std::fs::read_to_string(file).map_err(|e| format!("{file}: {e}"))?;
+        bcag_rt::spmd::run_node(me as usize, procs as usize, &src, traced)
+    };
+    match run() {
+        Ok(()) => 0,
+        Err(e) => fail(&e),
+    }
+}
+
 /// `bcag plan`: bounded-section node plans.
 pub fn plan(argv: &[String]) -> i32 {
     let flags = match Flags::parse(argv, &["p", "k", "l", "u", "s"]) {

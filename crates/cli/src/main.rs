@@ -29,9 +29,11 @@ fn main() {
         }
     };
     let sub = argv.first().map(String::as_str);
-    // `bcag trace` manages the trace session itself; for every other
-    // subcommand the global `--trace OUT` flag wraps the whole dispatch.
-    let wrap = trace_out.is_some() && sub != Some("trace");
+    // `bcag trace` manages the trace session itself, and `bcag spmd`
+    // merges its children's traces; for every other subcommand the
+    // global `--trace OUT` flag wraps the whole dispatch.
+    let wrap =
+        trace_out.is_some() && !matches!(sub, Some("trace") | Some("spmd") | Some("spmd-node"));
     if wrap {
         bcag_trace::start();
     }
@@ -45,6 +47,8 @@ fn main() {
         Some("codegen") => cmds::codegen(&argv[1..]),
         Some("verify") => cmds::verify(&argv[1..]),
         Some("run") => cmds::run_script(&argv[1..]),
+        Some("spmd") => cmds::spmd(&argv[1..], trace_out.as_deref()),
+        Some("spmd-node") => cmds::spmd_node(&argv[1..]),
         Some("trace") => cmds::trace(&argv[1..], trace_out.as_deref()),
         Some("help") | Some("--help") | Some("-h") | None => {
             print_help();
@@ -96,6 +100,11 @@ SUBCOMMANDS:
     run     --file FILE
             Interpret an HPF-like script (directives + INIT/ASSIGN/PRINT/
             REDISTRIBUTE statements) on the simulated machine.
+    spmd    --file FILE --procs P [--trace OUT.json]
+            Interpret the script across P real OS processes, one per node,
+            exchanging the serialized wire format over pipes. P must match
+            the script's PROCESSORS size. With --trace, each node records
+            its own lane and the merged timeline is written to OUT.json.
     trace   [SCRIPT | --file SCRIPT] [--p P] [--k K] [--trace OUT.json]
             Run SCRIPT (or a built-in synthetic workload) with tracing on
             and write a bcag-trace/v1 summary to OUT.json (default

@@ -1,0 +1,95 @@
+//! End-to-end tests of `bcag spmd`: real OS processes, real pipes.
+//!
+//! These spawn the actual binary as the launcher, which itself re-spawns
+//! it `p` more times as node children, so the whole star — frame
+//! routing, wire-encoded exchanges, output funneling, trace merging and
+//! poison broadcast — is exercised exactly as a user runs it.
+
+use std::process::Command;
+
+fn bcag(args: &[&str], envs: &[(&str, &str)]) -> (String, String, i32) {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_bcag"));
+    cmd.args(args);
+    for (k, v) in envs {
+        cmd.env(k, v);
+    }
+    let out = cmd.output().expect("binary runs");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.code().unwrap_or(-1),
+    )
+}
+
+fn script_path(name: &str) -> String {
+    format!(
+        "{}/../../examples/scripts/{name}",
+        env!("CARGO_MANIFEST_DIR")
+    )
+}
+
+#[test]
+fn spmd_matches_in_process_run() {
+    let script = script_path("triad.hpf");
+    let (in_process, _, code) = bcag(&["run", "--file", &script], &[]);
+    assert_eq!(code, 0);
+    let (multi_process, stderr, code) = bcag(&["spmd", "--file", &script, "--procs", "4"], &[]);
+    assert_eq!(code, 0, "{stderr}");
+    assert_eq!(multi_process, in_process, "output must be bit-identical");
+    assert!(
+        multi_process.contains("SUM A(0:99:3) = 3009"),
+        "{multi_process}"
+    );
+}
+
+#[test]
+fn spmd_trace_merges_per_node_lanes() {
+    let script = script_path("cache_loop.hpf");
+    let dir = std::env::temp_dir().join(format!("bcag-spmd-trace-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let out = dir.join("spmd.json");
+    let out_str = out.to_str().unwrap();
+    let (stdout, stderr, code) = bcag(
+        &[
+            "spmd", "--file", &script, "--procs", "4", "--trace", out_str,
+        ],
+        &[],
+    );
+    assert_eq!(code, 0, "{stderr}");
+    assert!(stdout.contains("SUM A(0:99:3) = 3009"), "{stdout}");
+    let summary = std::fs::read_to_string(&out).unwrap();
+    assert!(
+        summary.contains("\"format\": \"bcag-trace/v1\""),
+        "{summary}"
+    );
+    // One lane per node process survives the merge.
+    for m in 0..4 {
+        assert!(summary.contains(&format!("\"node-{m}\"")), "{summary}");
+    }
+    // The per-backend tag and the transport byte counters made it across.
+    assert!(summary.contains("\"transport\": \"proc\""), "{summary}");
+    assert!(summary.contains("\"transport_bytes_tx\""), "{summary}");
+    let chrome = dir.join("spmd.chrome.json");
+    assert!(chrome.exists(), "chrome twin written next to the summary");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn spmd_rejects_mismatched_procs() {
+    let script = script_path("triad.hpf");
+    let (_, stderr, code) = bcag(&["spmd", "--file", &script, "--procs", "3"], &[]);
+    assert_eq!(code, 2);
+    assert!(stderr.contains("PROCESSORS(4)"), "{stderr}");
+}
+
+#[test]
+fn spmd_node_failure_poisons_the_launch() {
+    let script = script_path("cache_loop.hpf");
+    let (_, stderr, code) = bcag(
+        &["spmd", "--file", &script, "--procs", "4"],
+        &[("BCAG_SPMD_PANIC_NODE", "2")],
+    );
+    assert_ne!(code, 0, "a dead node must fail the launch");
+    assert!(stderr.contains("injected failure"), "{stderr}");
+    assert!(stderr.contains("failed"), "{stderr}");
+}

@@ -29,6 +29,7 @@
 
 pub mod expr;
 pub mod interp;
+pub mod spmd;
 
 pub use expr::{parse_expr, parse_lhs, Expr, Op, ParsedExpr, SectionRef};
 pub use interp::Interp;

@@ -24,7 +24,8 @@ use bcag_core::method::Method;
 use bcag_core::section::RegularSection;
 
 use crate::assign::{plan_section, NodePlan};
-use crate::comm::CommSchedule;
+use crate::comm::{CommSchedule, ExecMode};
+use crate::transport::TransportKind;
 
 /// Default maximum number of cached entries; least-recently-used entries
 /// are evicted beyond this. Override with `BCAG_SCHED_CACHE_CAP`.
@@ -43,6 +44,12 @@ enum Key {
         k_b: i64,
         sec_b: (i64, i64, i64),
         method: Option<Method>,
+        /// The execution context the schedule will run under. The
+        /// schedule *data* is context-independent, but keying on the
+        /// (exec mode, transport) pair guarantees an A/B run switching
+        /// executors mid-process can never observe a plan warmed for —
+        /// and potentially specialized to — the other configuration.
+        exec: (ExecMode, TransportKind),
     },
     /// A per-node owner-computes plan set from [`plan_section`].
     Plans {
@@ -197,7 +204,8 @@ fn get_or_build_in(
     Ok(value)
 }
 
-/// Cached [`CommSchedule::build`].
+/// Cached [`CommSchedule::build`], keyed additionally by the execution
+/// context (`mode`, `kind`) the caller will run the schedule under.
 pub fn schedule(
     p: i64,
     k_a: i64,
@@ -205,6 +213,8 @@ pub fn schedule(
     k_b: i64,
     sec_b: &RegularSection,
     method: Method,
+    mode: ExecMode,
+    kind: TransportKind,
 ) -> Result<Arc<CommSchedule>> {
     let key = Key::Schedule {
         p,
@@ -213,6 +223,7 @@ pub fn schedule(
         k_b,
         sec_b: sec_key(sec_b),
         method: Some(method),
+        exec: (mode, kind),
     };
     let v = get_or_build(key, || {
         CommSchedule::build(p, k_a, sec_a, k_b, sec_b, method).map(|s| Value::Schedule(Arc::new(s)))
@@ -223,13 +234,17 @@ pub fn schedule(
     }
 }
 
-/// Cached [`CommSchedule::build_lattice`].
+/// Cached [`CommSchedule::build_lattice`], keyed additionally by the
+/// execution context (`mode`, `kind`) the caller will run the schedule
+/// under.
 pub fn schedule_lattice(
     p: i64,
     k_a: i64,
     sec_a: &RegularSection,
     k_b: i64,
     sec_b: &RegularSection,
+    mode: ExecMode,
+    kind: TransportKind,
 ) -> Result<Arc<CommSchedule>> {
     let key = Key::Schedule {
         p,
@@ -238,6 +253,7 @@ pub fn schedule_lattice(
         k_b,
         sec_b: sec_key(sec_b),
         method: None,
+        exec: (mode, kind),
     };
     let v = get_or_build(key, || {
         CommSchedule::build_lattice(p, k_a, sec_a, k_b, sec_b).map(|s| Value::Schedule(Arc::new(s)))
@@ -269,20 +285,64 @@ pub fn plans(p: i64, k: i64, sec: &RegularSection, method: Method) -> Result<Arc
 mod tests {
     use super::*;
 
+    const CTX: (ExecMode, TransportKind) = (ExecMode::Batched, TransportKind::Mpsc);
+
     #[test]
     fn schedule_hits_share_one_arc() {
         // A key shape deliberately unlike anything else in the test suite.
         let sec_a = RegularSection::new(3, 1203, 25).unwrap();
         let sec_b = RegularSection::new(7, 1207, 25).unwrap();
-        let first = schedule(5, 11, &sec_a, 13, &sec_b, Method::Lattice).unwrap();
-        let second = schedule(5, 11, &sec_a, 13, &sec_b, Method::Lattice).unwrap();
+        let first = schedule(5, 11, &sec_a, 13, &sec_b, Method::Lattice, CTX.0, CTX.1).unwrap();
+        let second = schedule(5, 11, &sec_a, 13, &sec_b, Method::Lattice, CTX.0, CTX.1).unwrap();
         assert!(Arc::ptr_eq(&first, &second));
         // The lattice builder is a distinct key even for identical params.
-        let lattice = schedule_lattice(5, 11, &sec_a, 13, &sec_b).unwrap();
+        let lattice = schedule_lattice(5, 11, &sec_a, 13, &sec_b, CTX.0, CTX.1).unwrap();
         assert!(!Arc::ptr_eq(&first, &lattice));
         for src in 0..5 {
             for dst in 0..5 {
                 assert_eq!(first.transfers(src, dst), lattice.transfers(src, dst));
+            }
+        }
+    }
+
+    #[test]
+    fn execution_context_is_part_of_the_key() {
+        // Same build parameters under different (mode, transport)
+        // contexts must be distinct entries: an A/B run switching
+        // executors can never be served a plan warmed for the other
+        // configuration.
+        let sec_a = RegularSection::new(9, 1209, 24).unwrap();
+        let sec_b = RegularSection::new(1, 1201, 24).unwrap();
+        let base = schedule(3, 7, &sec_a, 9, &sec_b, Method::Lattice, CTX.0, CTX.1).unwrap();
+        let other_kind = schedule(
+            3,
+            7,
+            &sec_a,
+            9,
+            &sec_b,
+            Method::Lattice,
+            ExecMode::Batched,
+            TransportKind::Shm,
+        )
+        .unwrap();
+        let other_mode = schedule(
+            3,
+            7,
+            &sec_a,
+            9,
+            &sec_b,
+            Method::Lattice,
+            ExecMode::PerElement,
+            TransportKind::Mpsc,
+        )
+        .unwrap();
+        assert!(!Arc::ptr_eq(&base, &other_kind));
+        assert!(!Arc::ptr_eq(&base, &other_mode));
+        // The schedule *data* is context-independent.
+        for src in 0..3 {
+            for dst in 0..3 {
+                assert_eq!(base.transfers(src, dst), other_kind.transfers(src, dst));
+                assert_eq!(base.transfers(src, dst), other_mode.transfers(src, dst));
             }
         }
     }
@@ -379,7 +439,7 @@ mod tests {
     fn build_errors_are_not_cached() {
         let good = RegularSection::new(0, 9, 1).unwrap();
         let bad = RegularSection::new(0, 9, 2).unwrap(); // nonconforming
-        assert!(schedule(2, 4, &good, 4, &bad, Method::Lattice).is_err());
-        assert!(schedule(2, 4, &good, 4, &bad, Method::Lattice).is_err());
+        assert!(schedule(2, 4, &good, 4, &bad, Method::Lattice, CTX.0, CTX.1).is_err());
+        assert!(schedule(2, 4, &good, 4, &bad, Method::Lattice, CTX.0, CTX.1).is_err());
     }
 }

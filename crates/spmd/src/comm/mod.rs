@@ -1,0 +1,39 @@
+//! Communication sets for two-sided array assignments
+//! `A(lₐ : uₐ : sₐ) = B(l_b : u_b : s_b)`.
+//!
+//! When the right-hand side lives on different processors than the
+//! left-hand side, node programs must exchange elements. Computing *which*
+//! elements (the communication sets) is the companion problem Chatterjee
+//! et al. and Stichnoth et al. study; here it is a substrate for the
+//! examples, built directly on the access-sequence machinery: each source
+//! processor enumerates the RHS elements it owns with the core algorithm,
+//! maps each element's section rank to its LHS home, and the exchange is
+//! executed by message passing over the pluggable [`crate::transport`]
+//! fabric (standing in for the iPSC/860's message passing). Node bodies
+//! launch through [`crate::pool`]: pooled mode reuses the resident fabric
+//! and recycles message buffers through each node's arena; scoped mode
+//! reproduces the historical per-call spawn. Both modes run the identical
+//! body, so all deterministic counter totals are bit-identical across
+//! modes — and across transports, because the transport byte counters
+//! are charged at the canonical wire size on every backend.
+//!
+//! The module splits along the three phases of the problem:
+//!
+//! * [`schedule`] — *what moves*: [`Transfer`]/[`TransferRun`] rows in
+//!   flat CSR storage, built by enumeration or in closed form, plus the
+//!   [`MessageMatrix`] planning query;
+//! * [`wire`] — *how it is represented*: the [`PackValue`] payload hooks
+//!   (pack/apply/run-coalesced fast paths) and the run-encoded wire
+//!   format (`RunSpan` headers + fixed-width payload bytes) the
+//!   serialized backends ship;
+//! * [`exec`] — *how it runs*: the batched and per-element executors over
+//!   any [`crate::transport::TransportKind`], and the multi-process
+//!   executor behind `bcag spmd`.
+
+pub mod exec;
+pub mod schedule;
+pub mod wire;
+
+pub use exec::{assign_array, ExecMode};
+pub use schedule::{CommSchedule, MessageMatrix, Transfer, TransferRun};
+pub use wire::{PackValue, RunSpan};

@@ -9,9 +9,14 @@
 //!   exclusive local memory, plus the per-node timing discipline
 //!   ("maximum over all processors") the paper reports;
 //! * [`pool`] — the resident worker pool behind every launch: `p`
-//!   persistent node threads, a reusable channel fabric, and per-node
-//!   buffer arenas, with the historical per-call `thread::scope` path
+//!   persistent node threads, a reusable fabric, and per-node buffer
+//!   arenas, with the historical per-call `thread::scope` path
 //!   selectable as [`pool::LaunchMode::Scoped`];
+//! * [`transport`] — the pluggable fabric those node threads exchange
+//!   envelopes over: the reference `mpsc` backend, a lock-free
+//!   shared-memory SPSC ring-buffer backend, and the serialized-wire
+//!   backend behind the `bcag spmd` multi-process launcher, selected by
+//!   [`Machine::with_transport`] or `BCAG_TRANSPORT={mpsc,shm,proc}`;
 //! * [`darray`] — distributed arrays in the `cyclic(k)` layout of Figure 1;
 //! * [`codeshapes`] — the four node-code shapes of Figure 8 that Table 2
 //!   compares;
@@ -50,8 +55,10 @@
 #![warn(missing_docs)]
 // `deny` rather than `forbid`: the worker pool's job channel needs two
 // audited `#[allow(unsafe_code)]` sites in [`pool`] (lifetime erasure of
-// the dispatched body, guarded by the epoch barrier). Everything else in
-// the crate remains safe code.
+// the dispatched body, guarded by the epoch barrier), and the
+// shared-memory fabric's SPSC ring slots in [`transport::ring`] need raw
+// shared mutability under the single-producer/single-consumer contract.
+// Everything else in the crate remains safe code.
 #![deny(unsafe_code)]
 
 pub mod assign;
@@ -70,6 +77,7 @@ pub mod reduce;
 pub mod shift;
 pub mod statement;
 pub mod stats;
+pub mod transport;
 
 pub use assign::{apply_section, assign_scalar, plan_section, NodePlan};
 pub use blas1::{asum, axpy, iamax, nrm2, scal};
@@ -90,3 +98,4 @@ pub use statement::{assign_expr, redistribute};
 pub use stats::{
     block_size_tradeoff, comm_stats, load_stats, per_node_packed_from_trace, CommStats, LoadStats,
 };
+pub use transport::{default_transport, set_default_transport, TransportKind};

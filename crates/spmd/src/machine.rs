@@ -19,25 +19,45 @@ use std::sync::Mutex;
 use std::time::Duration;
 
 use crate::pool::{self, into_clean, lock_clean, LaunchMode};
+use crate::transport::{self, TransportKind};
 
 /// A simulated distributed-memory machine with `p` nodes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Machine {
     p: i64,
     mode: LaunchMode,
+    kind: TransportKind,
 }
 
 impl Machine {
     /// Creates a machine with `p >= 1` nodes, using the process-default
-    /// launch mode (see [`pool::default_launch`]).
+    /// launch mode (see [`pool::default_launch`]) and transport (see
+    /// [`transport::default_transport`]).
     pub fn new(p: i64) -> Self {
         Machine::with_mode(p, pool::default_launch())
     }
 
-    /// Creates a machine with an explicit launch mode.
+    /// Creates a machine with an explicit launch mode on the
+    /// process-default transport.
     pub fn with_mode(p: i64, mode: LaunchMode) -> Self {
         assert!(p >= 1, "machine needs at least one node");
-        Machine { p, mode }
+        Machine {
+            p,
+            mode,
+            kind: transport::default_transport(),
+        }
+    }
+
+    /// Creates a machine whose node contexts exchange envelopes over an
+    /// explicit fabric ([`TransportKind::Mpsc`], [`TransportKind::Shm`]
+    /// or [`TransportKind::Proc`]).
+    pub fn with_transport(p: i64, kind: TransportKind) -> Self {
+        assert!(p >= 1, "machine needs at least one node");
+        Machine {
+            p,
+            mode: pool::default_launch(),
+            kind,
+        }
     }
 
     /// Creates a pooled machine and eagerly boots its worker pool, so
@@ -64,6 +84,11 @@ impl Machine {
         self.mode
     }
 
+    /// This machine's transport fabric.
+    pub fn transport(&self) -> TransportKind {
+        self.kind
+    }
+
     /// The one launch loop behind [`Machine::run`], [`Machine::run_timed`]
     /// and [`Machine::run_collect`]: runs `node(m)` on every node through
     /// [`pool::launch`], times each node, and credits `barrier_wait_ns`
@@ -73,7 +98,7 @@ impl Machine {
         F: Fn(usize) + Sync,
     {
         let times: Vec<Mutex<Duration>> = (0..self.p).map(|_| Mutex::new(Duration::ZERO)).collect();
-        pool::launch(self.p, self.mode, |m, _ctx| {
+        pool::launch_with(self.p, self.mode, self.kind, |m, _ctx| {
             let _sp = bcag_trace::span("spmd.node");
             let t0 = std::time::Instant::now();
             node(m);

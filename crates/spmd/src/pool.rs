@@ -12,14 +12,16 @@
 //! Architecture:
 //!
 //! - **Workers** — `p` detached threads named `node-<m>`, created once per
-//!   machine size by [`global`] (or eagerly by [`warm`]) and resident for
-//!   the process lifetime. The thread name doubles as the trace-lane
-//!   label, so counters recorded on a worker aggregate on one persistent
-//!   `node-<m>` lane exactly as scoped threads' per-launch lanes would
-//!   sum.
-//! - **Fabric** — one `mpsc` inbox per node plus a shared vector of
-//!   senders; node jobs exchange [`Envelope`]s (type-erased boxed
-//!   payloads) without creating channels per call.
+//!   (machine size, transport) by [`global`] (or eagerly by [`warm`]) and
+//!   resident for the process lifetime. The thread name doubles as the
+//!   trace-lane label, so counters recorded on a worker aggregate on one
+//!   persistent `node-<m>` lane exactly as scoped threads' per-launch
+//!   lanes would sum.
+//! - **Fabric** — each node owns a [`crate::transport::Endpoint`] on the
+//!   pool's fabric ([`TransportKind::Mpsc`] inboxes or the lock-free
+//!   SPSC rings of [`TransportKind::Shm`]/[`TransportKind::Proc`]); node
+//!   jobs exchange [`Envelope`]s (type-erased boxed payloads) without
+//!   creating channels per call.
 //! - **Arena** — each node owns a [`BufferArena`] recycling pack/unpack
 //!   `Vec` allocations across statements; steady-state batched execution
 //!   allocates nothing once buffers reach their high-water mark.
@@ -53,6 +55,10 @@ use bcag_core::error::Result;
 use bcag_core::method::Method;
 use bcag_core::params::Problem;
 use bcag_core::pattern::AccessPattern;
+
+use crate::transport::{self, BarrierArrive, BarrierRelease, Endpoint, Poison, TransportKind};
+
+pub use crate::transport::Envelope;
 
 /// How SPMD node bodies are launched.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -107,14 +113,6 @@ pub fn set_default_launch(mode: LaunchMode) {
     DEFAULT_LAUNCH.store(v, Ordering::Relaxed);
 }
 
-/// A type-erased fabric message. Batched execution ships whole
-/// `Vec<(addr, T)>` buffers as one envelope per (src, dst) pair.
-pub type Envelope = Box<dyn Any + Send>;
-
-/// Marker envelope broadcast by a panicking node job so peers blocked in
-/// [`NodeCtx::recv`] fail fast instead of hanging.
-struct Poison;
-
 /// Arena shelves hold at most this many idle buffers per payload type;
 /// beyond the high-water working set, extra buffers are dropped rather
 /// than hoarded.
@@ -162,15 +160,24 @@ impl BufferArena {
 }
 
 /// Per-node execution context handed to every launched body: the node's
-/// fabric inbox, senders to all peers, and its buffer arena.
+/// fabric endpoint and its buffer arena.
 pub struct NodeCtx {
     m: usize,
-    inbox: Receiver<Envelope>,
-    peers: Arc<Vec<Sender<Envelope>>>,
+    kind: TransportKind,
+    link: Box<dyn Endpoint>,
     arena: BufferArena,
 }
 
 impl NodeCtx {
+    fn new(m: usize, kind: TransportKind, link: Box<dyn Endpoint>) -> NodeCtx {
+        NodeCtx {
+            m,
+            kind,
+            link,
+            arena: BufferArena::default(),
+        }
+    }
+
     /// This node's index in `0..p`.
     pub fn node(&self) -> usize {
         self.m
@@ -178,24 +185,30 @@ impl NodeCtx {
 
     /// The machine size.
     pub fn p(&self) -> usize {
-        self.peers.len()
+        self.link.p()
     }
 
-    /// Sends an envelope to node `dst`'s inbox.
-    pub fn send(&self, dst: usize, env: Envelope) {
-        self.peers[dst]
-            .send(env)
-            .expect("fabric receivers live for the pool lifetime");
+    /// Which fabric this context's envelopes travel over.
+    pub fn transport(&self) -> TransportKind {
+        self.kind
+    }
+
+    /// Whether executors should ship the serialized wire format instead
+    /// of boxed in-memory buffers on this fabric.
+    pub fn serializes(&self) -> bool {
+        self.kind.serializes()
+    }
+
+    /// Sends an envelope to node `dst`.
+    pub fn send(&mut self, dst: usize, env: Envelope) {
+        self.link.send(dst, env);
     }
 
     /// Blocks for the next envelope. Panics with a clear message if a
     /// peer's poison arrives instead — a node job panicked mid-exchange
     /// and this node's expected data will never come.
-    pub fn recv(&self) -> Envelope {
-        let env = self
-            .inbox
-            .recv()
-            .expect("fabric senders live for the pool lifetime");
+    pub fn recv(&mut self) -> Envelope {
+        let env = self.link.recv();
         if env.is::<Poison>() {
             panic!(
                 "spmd node {}: a peer node job panicked mid-exchange",
@@ -203,6 +216,27 @@ impl NodeCtx {
             );
         }
         env
+    }
+
+    /// Full barrier over all nodes of the machine, built on the fabric's
+    /// envelope exchange (every backend inherits it): each node reports
+    /// to node 0, node 0 releases everyone. Only valid at quiescent
+    /// points — no data envelopes may be in flight.
+    pub fn barrier(&mut self) {
+        let p = self.p();
+        if self.m == 0 {
+            for _ in 1..p {
+                let env = self.recv();
+                assert!(env.is::<BarrierArrive>(), "barrier crossed in-flight data");
+            }
+            for dst in 1..p {
+                self.send(dst, Box::new(BarrierRelease));
+            }
+        } else {
+            self.send(0, Box::new(BarrierArrive));
+            let env = self.recv();
+            assert!(env.is::<BarrierRelease>(), "barrier crossed in-flight data");
+        }
     }
 
     /// Takes a recycled buffer from this node's arena.
@@ -218,8 +252,8 @@ impl NodeCtx {
     /// Non-blocking poison check for bodies that receive on their own
     /// typed channels (the per-element executor): panics if a peer's
     /// poison is queued on the fabric.
-    pub(crate) fn check_poison(&self) {
-        if let Ok(env) = self.inbox.try_recv() {
+    pub(crate) fn check_poison(&mut self) {
+        if let Some(env) = self.link.try_recv() {
             if env.is::<Poison>() {
                 panic!(
                     "spmd node {}: a peer node job panicked mid-exchange",
@@ -233,17 +267,42 @@ impl NodeCtx {
         }
     }
 
-    /// Discards everything queued on the inbox (post-panic cleanup).
-    fn drain_inbox(&mut self) {
-        while self.inbox.try_recv().is_ok() {}
+    /// Whether anything is queued on the fabric (post-panic hygiene
+    /// checks in tests).
+    #[cfg(test)]
+    pub(crate) fn fabric_is_clean(&mut self) -> bool {
+        match self.link.try_recv() {
+            None => true,
+            Some(_) => false,
+        }
     }
 
-    /// Broadcasts poison to every other node.
-    fn poison_peers(&self) {
+    /// Discards everything queued on the inbox (post-panic cleanup).
+    fn drain_inbox(&mut self) {
+        while self.link.try_recv().is_some() {}
+    }
+
+    /// Broadcasts poison to every other node. Best-effort with a bounded
+    /// retry: a peer blocked in `recv` keeps draining its rings, so a
+    /// full ring clears quickly, but a departed peer (scoped-mode
+    /// teardown) must not block the panicking node's acknowledgement
+    /// forever.
+    fn poison_peers(&mut self) {
+        let deadline = std::time::Instant::now() + std::time::Duration::from_millis(100);
         for dst in 0..self.p() {
-            if dst != self.m {
-                // A disconnected peer (scoped-mode teardown) is fine.
-                let _ = self.peers[dst].send(Box::new(Poison));
+            if dst == self.m {
+                continue;
+            }
+            let mut env: Envelope = Box::new(Poison);
+            loop {
+                if self.link.offer(dst, env) {
+                    break;
+                }
+                if std::time::Instant::now() >= deadline {
+                    break;
+                }
+                std::thread::yield_now();
+                env = Box::new(Poison);
             }
         }
     }
@@ -253,9 +312,10 @@ impl NodeCtx {
 type Job = Box<dyn FnOnce(&mut NodeCtx) + Send>;
 
 /// A resident pool of `p` node workers. Obtain one via [`global`]; all
-/// launches for a given machine size share it.
+/// launches for a given (machine size, transport) share it.
 pub struct Pool {
     p: usize,
+    kind: TransportKind,
     workers: Vec<Sender<Job>>,
     /// Serializes dispatches: interleaving jobs from two epochs on
     /// shared workers could deadlock nodes that exchange data.
@@ -322,21 +382,15 @@ impl Drop for EpochBarrier {
 }
 
 impl Pool {
-    /// Boots `p` resident workers with a fresh fabric.
-    fn new(p: usize) -> Pool {
+    /// Boots `p` resident workers with a fresh fabric of the given kind.
+    fn new(p: usize, kind: TransportKind) -> Pool {
         assert!(p >= 1, "machine needs at least one node");
-        let (senders, inboxes): (Vec<_>, Vec<_>) = (0..p).map(|_| channel::<Envelope>()).unzip();
-        let peers = Arc::new(senders);
+        let endpoints = transport::connect(kind, p);
         let mut workers = Vec::with_capacity(p);
-        for (m, inbox) in inboxes.into_iter().enumerate() {
+        for (m, link) in endpoints.into_iter().enumerate() {
             let (jtx, jrx) = channel::<Job>();
             workers.push(jtx);
-            let mut ctx = NodeCtx {
-                m,
-                inbox,
-                peers: Arc::clone(&peers),
-                arena: BufferArena::default(),
-            };
+            let mut ctx = NodeCtx::new(m, kind, link);
             std::thread::Builder::new()
                 // The thread name is the default trace-lane label, so
                 // pooled counters land on `node-<m>` lanes exactly like
@@ -352,6 +406,7 @@ impl Pool {
         }
         Pool {
             p,
+            kind,
             workers,
             gate: Mutex::new(()),
         }
@@ -360,6 +415,11 @@ impl Pool {
     /// The machine size this pool serves.
     pub fn p(&self) -> usize {
         self.p
+    }
+
+    /// The fabric this pool's node contexts exchange envelopes over.
+    pub fn transport(&self) -> TransportKind {
+        self.kind
     }
 
     /// Runs `body(m, ctx)` once on every node and blocks until all have
@@ -430,70 +490,124 @@ impl Pool {
     }
 }
 
-/// Registry of resident pools, one per machine size ever requested.
+/// Registry of resident pools, one per (machine size, transport) ever
+/// requested.
 fn registry() -> &'static Mutex<Vec<Arc<Pool>>> {
     static REGISTRY: OnceLock<Mutex<Vec<Arc<Pool>>>> = OnceLock::new();
     REGISTRY.get_or_init(|| Mutex::new(Vec::new()))
 }
 
-/// The resident pool for machine size `p`, booting it on first use.
+/// The resident pool for machine size `p` on the process-default
+/// transport, booting it on first use.
 pub fn global(p: i64) -> Arc<Pool> {
+    global_with(p, transport::default_transport())
+}
+
+/// The resident pool for machine size `p` on an explicit transport.
+pub fn global_with(p: i64, kind: TransportKind) -> Arc<Pool> {
     assert!(p >= 1, "machine needs at least one node");
     let p = p as usize;
     let mut pools = lock_clean(registry());
-    if let Some(pool) = pools.iter().find(|pool| pool.p == p) {
+    if let Some(pool) = pools.iter().find(|pool| pool.p == p && pool.kind == kind) {
         return Arc::clone(pool);
     }
-    let pool = Arc::new(Pool::new(p));
+    let pool = Arc::new(Pool::new(p, kind));
     pools.push(Arc::clone(&pool));
     pool
 }
 
 /// Eagerly boots the pool for machine size `p`, so the first statement
-/// of a script doesn't pay the one-time worker spawn.
+/// of a script doesn't pay the one-time worker spawn. No-op inside an
+/// `spmd` node process, where node bodies run inline (each process *is*
+/// one node).
 pub fn warm(p: i64) {
+    if transport::proc::active().is_some() {
+        return;
+    }
     let _ = global(p);
 }
 
-/// Runs `body(m, ctx)` on every node of a `p`-node machine and blocks
-/// until all finish. `Pooled` dispatches to the resident pool; `Scoped`
-/// (or any launch from inside a pool worker) spawns a per-call
-/// `thread::scope` with a fresh fabric and arenas.
+/// Runs `body(m, ctx)` on every node of a `p`-node machine on the
+/// process-default transport and blocks until all finish.
 pub fn launch<F>(p: i64, mode: LaunchMode, body: F)
 where
     F: Fn(usize, &mut NodeCtx) + Sync,
 {
+    launch_with(p, mode, transport::default_transport(), body)
+}
+
+/// Runs `body(m, ctx)` on every node of a `p`-node machine and blocks
+/// until all finish. `Pooled` dispatches to the resident pool for
+/// `(p, kind)`; `Scoped` (or any launch from inside a pool worker)
+/// spawns a per-call `thread::scope` with a fresh fabric and arenas.
+///
+/// Inside an `spmd` node process (multi-process session installed), the
+/// process *is* one node: bodies run inline on the calling thread for
+/// every node index, against a loopback fabric. Node-to-node data of
+/// comm executors never reaches this path there — `CommSchedule`
+/// execution detects the session first and uses the serialized wire —
+/// so inline bodies are compute-only and the replicated execution keeps
+/// every node's local-memory image consistent within each process.
+pub fn launch_with<F>(p: i64, mode: LaunchMode, kind: TransportKind, body: F)
+where
+    F: Fn(usize, &mut NodeCtx) + Sync,
+{
     assert!(p >= 1, "machine needs at least one node");
+    if transport::proc::active().is_some() {
+        return launch_inline(p as usize, &body);
+    }
     match mode {
-        LaunchMode::Pooled if !in_worker() => global(p).dispatch(&body),
-        _ => launch_scoped(p as usize, &body),
+        LaunchMode::Pooled if !in_worker() => global_with(p, kind).dispatch(&body),
+        _ => launch_scoped(p as usize, kind, &body),
     }
 }
 
 /// The historical launch path: fresh threads, fresh fabric, fresh
 /// arenas, one `thread::scope` per call.
-fn launch_scoped(p: usize, body: &(dyn Fn(usize, &mut NodeCtx) + Sync)) {
-    let (senders, inboxes): (Vec<_>, Vec<_>) = (0..p).map(|_| channel::<Envelope>()).unzip();
-    let peers = Arc::new(senders);
-    let mut ctxs: Vec<NodeCtx> = inboxes
+fn launch_scoped(p: usize, kind: TransportKind, body: &(dyn Fn(usize, &mut NodeCtx) + Sync)) {
+    let mut ctxs: Vec<NodeCtx> = transport::connect(kind, p)
         .into_iter()
         .enumerate()
-        .map(|(m, inbox)| NodeCtx {
-            m,
-            inbox,
-            peers: Arc::clone(&peers),
-            arena: BufferArena::default(),
-        })
+        .map(|(m, link)| NodeCtx::new(m, kind, link))
         .collect();
+    // Same poison protocol as the pooled epoch: a panicking body must
+    // release peers blocked in `recv` instead of deadlocking the scope
+    // join, and the first panic is re-raised after everyone returns.
+    let first_panic: Mutex<Option<Box<dyn Any + Send>>> = Mutex::new(None);
     std::thread::scope(|scope| {
         for ctx in ctxs.iter_mut() {
+            let first_panic = &first_panic;
             scope.spawn(move || {
                 let _lane = bcag_trace::enabled()
                     .then(|| bcag_trace::set_lane_label(&format!("node-{}", ctx.m)));
-                body(ctx.m, ctx);
+                if let Err(payload) = catch_unwind(AssertUnwindSafe(|| body(ctx.m, ctx))) {
+                    ctx.poison_peers();
+                    let mut slot = lock_clean(first_panic);
+                    if slot.is_none() {
+                        *slot = Some(payload);
+                    }
+                }
             });
         }
     });
+    if let Some(payload) = into_clean(first_panic) {
+        resume_unwind(payload);
+    }
+}
+
+/// The multi-process session path: runs every node body sequentially on
+/// the calling thread (this process's trace lane is its node's lane).
+/// Each body gets a fresh single-node loopback context; fabric traffic
+/// would deadlock by construction, which is exactly right — compute
+/// bodies must not communicate here.
+fn launch_inline(p: usize, body: &(dyn Fn(usize, &mut NodeCtx) + Sync)) {
+    for m in 0..p {
+        let link = transport::connect(TransportKind::Mpsc, 1)
+            .pop()
+            .expect("one endpoint");
+        let mut ctx = NodeCtx::new(m, TransportKind::Mpsc, link);
+        body(m, &mut ctx);
+    }
 }
 
 /// Builds the access patterns of all `p` processors with per-processor
@@ -546,18 +660,37 @@ mod tests {
 
     #[test]
     fn fabric_ring_pass() {
-        for mode in [LaunchMode::Pooled, LaunchMode::Scoped] {
-            let p = 5usize;
-            let got: Vec<Mutex<i64>> = (0..p).map(|_| Mutex::new(-1)).collect();
-            launch(p as i64, mode, |m, ctx| {
-                ctx.send((m + 1) % p, Box::new(m as i64));
-                let env = ctx.recv();
-                *lock_clean(&got[m]) = *env.downcast::<i64>().expect("ring payload");
-            });
-            for (m, slot) in got.iter().enumerate() {
-                let want = ((m + p - 1) % p) as i64;
-                assert_eq!(*lock_clean(slot), want, "mode {mode:?} node {m}");
+        for kind in TransportKind::ALL {
+            for mode in [LaunchMode::Pooled, LaunchMode::Scoped] {
+                let p = 5usize;
+                let got: Vec<Mutex<i64>> = (0..p).map(|_| Mutex::new(-1)).collect();
+                launch_with(p as i64, mode, kind, |m, ctx| {
+                    ctx.send((m + 1) % p, Box::new(m as i64));
+                    let env = ctx.recv();
+                    *lock_clean(&got[m]) = *env.downcast::<i64>().expect("ring payload");
+                });
+                for (m, slot) in got.iter().enumerate() {
+                    let want = ((m + p - 1) % p) as i64;
+                    assert_eq!(*lock_clean(slot), want, "{} {mode:?} node {m}", kind.name());
+                }
             }
+        }
+    }
+
+    #[test]
+    fn barrier_synchronizes_all_backends() {
+        for kind in TransportKind::ALL {
+            let p = 4usize;
+            let after: Vec<Mutex<u32>> = (0..p).map(|_| Mutex::new(0)).collect();
+            launch_with(p as i64, LaunchMode::Scoped, kind, |m, ctx| {
+                ctx.barrier();
+                *lock_clean(&after[m]) += 1;
+                ctx.barrier();
+                // After the second barrier every node observed every
+                // other node's first increment.
+                let sum: u32 = after.iter().map(|s| *lock_clean(s)).sum();
+                assert_eq!(sum, p as u32, "{} node {m}", kind.name());
+            });
         }
     }
 
@@ -614,7 +747,7 @@ mod tests {
         // The pool stays usable and the fabric is clean.
         let clean: Vec<Mutex<bool>> = (0..4).map(|_| Mutex::new(false)).collect();
         pool.dispatch(&|m, ctx| {
-            *lock_clean(&clean[m]) = ctx.inbox.try_recv().is_err();
+            *lock_clean(&clean[m]) = ctx.fabric_is_clean();
         });
         for (m, slot) in clean.iter().enumerate() {
             assert!(*lock_clean(slot), "node {m} inbox drained after panic");

@@ -20,9 +20,11 @@ use bcag_core::method::Method;
 use bcag_core::section::RegularSection;
 
 use crate::cache;
-use crate::comm::PackValue;
+use crate::comm::{ExecMode, PackValue};
 use crate::darray::DistArray;
 use crate::machine::Machine;
+use crate::pool;
+use crate::transport;
 
 /// Executes `A(sec_a) = f(operand values...)` where each operand is a
 /// `(array, section)` pair conforming to `sec_a` (equal element counts).
@@ -60,11 +62,25 @@ where
     // Schedules and plans come from the process-wide cache, so a loop
     // executing the same statement shape rebuilds nothing after its first
     // iteration.
+    // The cache key carries the execution context the schedule will run
+    // under, so an A/B run switching transports or executors mid-process
+    // never reuses a plan warmed for the other configuration.
+    let mode = ExecMode::Batched;
+    let kind = transport::active_transport();
     let mut staged: Vec<DistArray<T>> = Vec::with_capacity(operands.len());
     for (b, sec_b) in operands {
         let mut tmp = a.clone();
-        let schedule = cache::schedule(a.p(), a.k(), sec_a, b.k(), sec_b, Method::Lattice)?;
-        schedule.execute(&mut tmp, b)?;
+        let schedule = cache::schedule(
+            a.p(),
+            a.k(),
+            sec_a,
+            b.k(),
+            sec_b,
+            Method::Lattice,
+            mode,
+            kind,
+        )?;
+        schedule.execute_transport(&mut tmp, b, mode, pool::default_launch(), kind)?;
         staged.push(tmp);
     }
 
@@ -107,8 +123,10 @@ pub fn redistribute<T: PackValue>(arr: &DistArray<T>, new_k: i64) -> Result<Dist
     let proto = arr.get(0)?.clone();
     let mut out = DistArray::new(arr.p(), new_k, n, proto)?;
     let sec = RegularSection::new(0, n - 1, 1)?;
-    let schedule = cache::schedule_lattice(arr.p(), new_k, &sec, arr.k(), &sec)?;
-    schedule.execute(&mut out, arr)?;
+    let mode = ExecMode::Batched;
+    let kind = transport::active_transport();
+    let schedule = cache::schedule_lattice(arr.p(), new_k, &sec, arr.k(), &sec, mode, kind)?;
+    schedule.execute_transport(&mut out, arr, mode, pool::default_launch(), kind)?;
     Ok(out)
 }
 

@@ -10,7 +10,7 @@
 use bcag_core::method::Method;
 use bcag_core::section::RegularSection;
 use bcag_harness::prop;
-use bcag_spmd::{cache, CommSchedule, DistArray, ExecMode};
+use bcag_spmd::{cache, CommSchedule, DistArray, ExecMode, TransportKind};
 
 /// Sequential oracle for `A(sec_a) = B(sec_b)` over global index space.
 fn seq_assign(a: &mut [i64], sec_a: &RegularSection, b: &[i64], sec_b: &RegularSection) {
@@ -154,8 +154,28 @@ fn schedule_cache_counters_are_traced() {
     let sec_a = RegularSection::new(5, 1930, 35).unwrap();
     let sec_b = RegularSection::new(9, 1934, 35).unwrap();
     let ((), trace) = bcag_trace::capture(|| {
-        let first = cache::schedule(4, 14, &sec_a, 15, &sec_b, Method::Lattice).unwrap();
-        let second = cache::schedule(4, 14, &sec_a, 15, &sec_b, Method::Lattice).unwrap();
+        let first = cache::schedule(
+            4,
+            14,
+            &sec_a,
+            15,
+            &sec_b,
+            Method::Lattice,
+            ExecMode::Batched,
+            TransportKind::Mpsc,
+        )
+        .unwrap();
+        let second = cache::schedule(
+            4,
+            14,
+            &sec_a,
+            15,
+            &sec_b,
+            Method::Lattice,
+            ExecMode::Batched,
+            TransportKind::Mpsc,
+        )
+        .unwrap();
         assert!(std::sync::Arc::ptr_eq(&first, &second));
     });
     assert_eq!(trace.counter_total("schedule_cache_misses"), 1);

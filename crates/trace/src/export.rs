@@ -11,7 +11,7 @@
 
 use bcag_harness::json::Json;
 
-use crate::{Lane, Trace};
+use crate::{Event, Lane, Trace};
 
 /// Builds the `bcag-trace/v1` summary document.
 pub fn summary(trace: &Trace) -> Json {
@@ -29,8 +29,14 @@ pub fn summary(trace: &Trace) -> Json {
         }
     }
     let lanes: Vec<Json> = trace.lanes.iter().map(lane_summary).collect();
+    let tags: Vec<(String, Json)> = trace
+        .tags
+        .iter()
+        .map(|(k, v)| (k.clone(), Json::Str(v.clone())))
+        .collect();
     Json::obj(vec![
         ("format", Json::Str("bcag-trace/v1".into())),
+        ("tags", Json::Obj(tags)),
         ("counters", Json::Obj(own(totals))),
         (
             "critical_path_ns",
@@ -102,10 +108,113 @@ pub fn chrome(trace: &Trace) -> Json {
     ])
 }
 
+/// Serializes a [`Trace`] with full fidelity (every event, counter and
+/// tag) so a node process can ship its timeline to the launcher, which
+/// reassembles it with [`from_json`] and merges lanes via
+/// [`Trace::merged`]. This is the transport format between `bcag
+/// spmd-node` children and the parent; `summary` stays the human/CI-facing
+/// aggregate.
+pub fn to_json(trace: &Trace) -> Json {
+    let lanes: Vec<Json> = trace
+        .lanes
+        .iter()
+        .map(|lane| {
+            let events: Vec<Json> = lane
+                .events
+                .iter()
+                .map(|e| {
+                    Json::obj(vec![
+                        ("name", Json::Str(e.name.into())),
+                        ("start_ns", Json::Int(e.start_ns as i64)),
+                        ("dur_ns", Json::Int(e.dur_ns as i64)),
+                        ("depth", Json::Int(e.depth as i64)),
+                    ])
+                })
+                .collect();
+            let counters: Vec<(String, Json)> = lane
+                .counters
+                .iter()
+                .map(|(k, v)| (k.to_string(), Json::Int(*v as i64)))
+                .collect();
+            Json::obj(vec![
+                ("label", Json::Str(lane.label.clone())),
+                ("events", Json::Arr(events)),
+                ("counters", Json::Obj(counters)),
+            ])
+        })
+        .collect();
+    let tags: Vec<(String, Json)> = trace
+        .tags
+        .iter()
+        .map(|(k, v)| (k.clone(), Json::Str(v.clone())))
+        .collect();
+    Json::obj(vec![
+        ("format", Json::Str("bcag-trace-full/v1".into())),
+        ("tags", Json::Obj(tags)),
+        ("lanes", Json::Arr(lanes)),
+    ])
+}
+
+/// Reassembles a [`Trace`] serialized by [`to_json`]. Span and counter
+/// names become `&'static str` again through the bounded
+/// [`crate::intern`] registry.
+pub fn from_json(doc: &Json) -> Result<Trace, String> {
+    let fmt = doc.get("format").and_then(Json::as_str).unwrap_or("");
+    if fmt != "bcag-trace-full/v1" {
+        return Err(format!("not a bcag-trace-full/v1 document: {fmt:?}"));
+    }
+    let mut tags = Vec::new();
+    if let Some(Json::Obj(fields)) = doc.get("tags") {
+        for (k, v) in fields {
+            let v = v.as_str().ok_or("tag value must be a string")?;
+            tags.push((k.clone(), v.to_string()));
+        }
+    }
+    let mut lanes = Vec::new();
+    for lane in doc.get("lanes").and_then(Json::as_arr).unwrap_or(&[]) {
+        let label = lane
+            .get("label")
+            .and_then(Json::as_str)
+            .ok_or("lane without label")?
+            .to_string();
+        let mut events = Vec::new();
+        for e in lane.get("events").and_then(Json::as_arr).unwrap_or(&[]) {
+            let field = |k: &str| {
+                e.get(k)
+                    .and_then(Json::as_i64)
+                    .ok_or_else(|| format!("event field {k} missing"))
+            };
+            events.push(Event {
+                name: crate::intern(
+                    e.get("name")
+                        .and_then(Json::as_str)
+                        .ok_or("unnamed event")?,
+                ),
+                start_ns: field("start_ns")? as u64,
+                dur_ns: field("dur_ns")? as u64,
+                depth: field("depth")? as u32,
+            });
+        }
+        let mut counters = std::collections::BTreeMap::new();
+        if let Some(Json::Obj(fields)) = lane.get("counters") {
+            for (k, v) in fields {
+                let v = v.as_i64().ok_or("counter value must be an integer")?;
+                counters.insert(crate::intern(k), v as u64);
+            }
+        }
+        lanes.push(Lane {
+            label,
+            events,
+            counters,
+        });
+    }
+    Ok(Trace { lanes, tags })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{capture, count, set_lane_label, span};
+    use crate::{capture, count, set_lane_label, set_tag, span};
 
     fn sample_trace() -> Trace {
         let ((), trace) = capture(|| {
@@ -148,8 +257,41 @@ mod tests {
 
     #[test]
     fn empty_trace_exports_cleanly() {
-        let trace = Trace { lanes: vec![] };
+        let trace = Trace::empty();
         assert!(summary(&trace).to_string().contains("bcag-trace/v1"));
         assert!(chrome(&trace).to_string().contains("traceEvents"));
+    }
+
+    #[test]
+    fn tags_land_in_summary() {
+        let ((), trace) = capture(|| {
+            set_tag("transport", "shm");
+            set_tag("transport", "proc"); // replaces
+            set_tag("launch", "pooled");
+            count("x", 1);
+        });
+        assert_eq!(trace.tag("transport"), Some("proc"));
+        let text = summary(&trace).to_string();
+        assert!(text.contains(r#""transport":"proc""#), "{text}");
+        assert!(text.contains(r#""launch":"pooled""#), "{text}");
+    }
+
+    #[test]
+    fn full_json_round_trip_preserves_trace() {
+        let mut trace = sample_trace();
+        trace.tags.push(("transport".into(), "proc".into()));
+        let doc = to_json(&trace);
+        let parsed = Json::parse(&doc.to_string()).unwrap();
+        let back = from_json(&parsed).unwrap();
+        assert_eq!(back, trace);
+        // Merging with an empty trace is identity on lanes and tags.
+        let merged = Trace::merged(vec![Trace::empty(), back]);
+        assert_eq!(merged, trace);
+    }
+
+    #[test]
+    fn from_json_rejects_wrong_format() {
+        let doc = Json::parse(r#"{"format":"bcag-trace/v1"}"#).unwrap();
+        assert!(from_json(&doc).is_err());
     }
 }

@@ -54,6 +54,7 @@ static ENABLED: AtomicBool = AtomicBool::new(false);
 static GENERATION: AtomicU64 = AtomicU64::new(0);
 static REGISTRY: Mutex<Vec<Arc<Mutex<LaneData>>>> = Mutex::new(Vec::new());
 static ANON_LANES: AtomicU64 = AtomicU64::new(0);
+static TAGS: Mutex<Vec<(String, String)>> = Mutex::new(Vec::new());
 
 /// Nanoseconds since the process-wide trace epoch (first use).
 fn now_ns() -> u64 {
@@ -136,8 +137,25 @@ pub fn enabled() -> bool {
 pub fn start() {
     let mut reg = lock_clean(&REGISTRY);
     reg.clear();
+    lock_clean(&TAGS).clear();
     GENERATION.fetch_add(1, Ordering::Release);
     ENABLED.store(true, Ordering::SeqCst);
+}
+
+/// Attaches a session-level tag (e.g. `transport = shm`) to the trace
+/// being recorded. Tags describe run configuration rather than events;
+/// they land in the `bcag-trace/v1` summary. Setting a key again replaces
+/// its value. No-op while tracing is disabled.
+pub fn set_tag(key: &str, value: &str) {
+    if !enabled() {
+        return;
+    }
+    let mut tags = lock_clean(&TAGS);
+    if let Some(slot) = tags.iter_mut().find(|(k, _)| k == key) {
+        slot.1 = value.to_string();
+    } else {
+        tags.push((key.to_string(), value.to_string()));
+    }
 }
 
 /// Stops recording and returns everything collected since [`start`].
@@ -145,6 +163,7 @@ pub fn start() {
 pub fn stop() -> Trace {
     ENABLED.store(false, Ordering::SeqCst);
     GENERATION.fetch_add(1, Ordering::Release);
+    let tags = std::mem::take(&mut *lock_clean(&TAGS));
     let handles = std::mem::take(&mut *lock_clean(&REGISTRY));
     let mut lanes: Vec<Lane> = handles
         .into_iter()
@@ -158,7 +177,23 @@ pub fn stop() -> Trace {
         })
         .collect();
     lanes.sort_by(|a, b| natural_key(&a.label).cmp(&natural_key(&b.label)));
-    Trace { lanes }
+    Trace { lanes, tags }
+}
+
+/// Interns a string as `&'static str`. Span and counter names are static
+/// in the record path; deserialization ([`export::from_json`]) has only
+/// owned strings, so it leaks each *distinct* name once through this
+/// registry. The set of span/counter names in the instrumented stack is a
+/// small fixed vocabulary, so the leak is bounded.
+pub fn intern(name: &str) -> &'static str {
+    static INTERNED: Mutex<Vec<&'static str>> = Mutex::new(Vec::new());
+    let mut set = lock_clean(&INTERNED);
+    if let Some(s) = set.iter().find(|s| **s == name) {
+        return s;
+    }
+    let leaked: &'static str = Box::leak(name.to_string().into_boxed_str());
+    set.push(leaked);
+    leaked
 }
 
 /// Splits a label into (text, number) runs so lane sorting treats embedded
@@ -335,9 +370,45 @@ impl Lane {
 pub struct Trace {
     /// Lanes, sorted by label (numeric-aware).
     pub lanes: Vec<Lane>,
+    /// Session-level configuration tags set via [`set_tag`].
+    pub tags: Vec<(String, String)>,
 }
 
 impl Trace {
+    /// An empty trace (no lanes, no tags).
+    pub fn empty() -> Self {
+        Trace {
+            lanes: vec![],
+            tags: vec![],
+        }
+    }
+
+    /// Merges several traces into one: lanes are concatenated and re-sorted
+    /// by label, tags are unioned (first writer of a key wins). Used by the
+    /// multi-process launcher to fold each node process's trace into the
+    /// parent's timeline.
+    pub fn merged(traces: impl IntoIterator<Item = Trace>) -> Trace {
+        let mut lanes = Vec::new();
+        let mut tags: Vec<(String, String)> = Vec::new();
+        for t in traces {
+            lanes.extend(t.lanes);
+            for (k, v) in t.tags {
+                if !tags.iter().any(|(k2, _)| *k2 == k) {
+                    tags.push((k, v));
+                }
+            }
+        }
+        lanes.sort_by(|a, b| natural_key(&a.label).cmp(&natural_key(&b.label)));
+        Trace { lanes, tags }
+    }
+
+    /// The value of a session tag, if set.
+    pub fn tag(&self, key: &str) -> Option<&str> {
+        self.tags
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
     /// Sum of a counter over all lanes.
     pub fn counter_total(&self, name: &str) -> u64 {
         self.lanes.iter().map(|l| l.counter(name)).sum()

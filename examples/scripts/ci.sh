@@ -24,7 +24,8 @@ cargo test -q --workspace --offline
 echo "==> bench smoke (--quick) for every target"
 for bench in construction sorting_ablation gcd_effect codeshapes \
              tableless comm_schedule comm_throughput exec_latency \
-             special_cases trace_overhead pack_throughput; do
+             special_cases trace_overhead pack_throughput \
+             transport_throughput; do
     echo "--> $bench"
     cargo bench -q --offline -p bcag-bench --bench "$bench" -- --quick \
         > /dev/null
@@ -62,5 +63,18 @@ grep -q '"pool_buffer_reuses"' "$cache_out" \
 # Run coalescing must be active on the statement loop's data movement.
 grep -q '"runs_coalesced"' "$cache_out" \
     || { echo "no runs_coalesced in summary: $cache_out" >&2; exit 1; }
+
+echo "==> multi-process smoke: bcag spmd --procs 4 on cache_loop.hpf"
+spmd_out="target/ci-spmd.json"
+rm -f "$spmd_out" "target/ci-spmd.chrome.json"
+got="$(target/release/bcag spmd --file examples/scripts/cache_loop.hpf \
+    --procs 4 --trace "$spmd_out")"
+want="$(target/release/bcag run --file examples/scripts/cache_loop.hpf)"
+[ "$got" = "$want" ] \
+    || { echo "spmd output diverges from in-process run" >&2; exit 1; }
+grep -q '"node-3"' "$spmd_out" \
+    || { echo "merged spmd trace lost per-node lanes: $spmd_out" >&2; exit 1; }
+grep -q '"transport": "proc"' "$spmd_out" \
+    || { echo "spmd trace missing transport tag: $spmd_out" >&2; exit 1; }
 
 echo "ci: OK"
