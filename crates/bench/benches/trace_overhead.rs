@@ -36,6 +36,13 @@ fn main() {
     let mut group = bench.group("primitive_disabled");
     group.bench("span", || black_box(bcag_trace::span("bench.probe")));
     group.bench("count", || bcag_trace::count("bench_probe", 1));
+    // The histogram sites must share the same disabled fast path: one
+    // relaxed atomic load, no clock read, no lane lookup.
+    group.bench("record", || bcag_trace::record("bench_probe_ns", 42));
+    group.bench("timed_span", || {
+        black_box(bcag_trace::timed_span("bench_probe_ns"))
+    });
+    group.bench("gauge", || bcag_trace::gauge("bench_probe_depth", 3));
 
     bench.finish();
 }

@@ -1,0 +1,194 @@
+//! Traffic bench: many driver threads pushing randomized interpreter
+//! scripts through the shared schedule cache and resident worker pools.
+//!
+//! Unlike the other benches (median/MAD of one hot loop), this one
+//! measures the *distribution* of whole-script latencies under
+//! concurrency — the regime where a shared cache either amortizes table
+//! construction across drivers or serializes them on its lock. Script
+//! parameters are drawn from small pools so distinct drivers collide on
+//! the same `(p, k, section)` shapes and the cache hit rate is a
+//! meaningful output rather than noise.
+//!
+//! The report (`BENCH_traffic.json`, schema `bcag-traffic/v1`) carries
+//! p50/p95/p99/max script latency plus the schedule-cache hit rate over
+//! the run. Flags: `--quick` (smoke profile), `--json <path>`,
+//! `--seed <n>`; unknown flags are ignored like the engine's.
+
+use std::sync::Mutex;
+use std::time::Instant;
+
+use bcag_harness::bench::default_report_dir;
+use bcag_harness::json::Json;
+use bcag_harness::rng::{mix_seed, Rng};
+use bcag_trace::Histogram;
+
+/// One randomized script. Every parameter is drawn from a small pool on
+/// purpose: the traffic must *repeat* shapes across threads for the
+/// shared schedule cache to show a hit rate. The full profile includes
+/// the paper's machine scale (p=32); `--quick` keeps node counts small
+/// so the CI smoke stays cheap.
+fn random_script(rng: &mut Rng, quick: bool) -> String {
+    const N: i64 = 384;
+    let p = if quick {
+        *rng.choice(&[2i64, 4])
+    } else {
+        *rng.choice(&[4i64, 32])
+    };
+    let k = *rng.choice(&[3i64, 5, 8]);
+    let k2 = *rng.choice(&[2i64, 4, 7]);
+    let s = *rng.choice(&[1i64, 3, 4, 9]);
+    let l = *rng.choice(&[0i64, 1, 2, 5]);
+    let u = N - 1 - *rng.choice(&[0i64, 1, 3]);
+    let mut script = format!(
+        "PROCESSORS P({p})\n\
+         TEMPLATE T({N})\n\
+         REAL A({N})\n\
+         REAL B({N})\n\
+         ALIGN A(i) WITH T(i)\n\
+         ALIGN B(i) WITH T(i)\n\
+         DISTRIBUTE T(CYCLIC({k})) ONTO P\n\
+         INIT A LINEAR 1 0\n\
+         INIT B LINEAR 2 1\n"
+    );
+    for _ in 0..rng.random_range(1..=3) {
+        if rng.random_bool(0.5) {
+            script.push_str(&format!("ASSIGN A({l}:{u}:{s}) = B({l}:{u}:{s}) * 2\n"));
+        } else {
+            script.push_str(&format!(
+                "ASSIGN A({l}:{u}:{s}) = A({l}:{u}:{s}) + B({l}:{u}:{s})\n"
+            ));
+        }
+    }
+    if rng.random_bool(0.5) {
+        script.push_str(&format!("REDISTRIBUTE A CYCLIC({k2})\n"));
+    }
+    script
+}
+
+fn hist_json(h: &Histogram) -> Json {
+    Json::obj(vec![
+        ("count", Json::Int(h.count() as i64)),
+        ("mean_ns", Json::Num(h.mean() as f64)),
+        ("p50_ns", Json::Int(h.percentile(50.0) as i64)),
+        ("p95_ns", Json::Int(h.percentile(95.0) as i64)),
+        ("p99_ns", Json::Int(h.percentile(99.0) as i64)),
+        ("max_ns", Json::Int(h.max() as i64)),
+    ])
+}
+
+fn main() {
+    let mut quick = false;
+    let mut json_path: Option<std::path::PathBuf> = None;
+    let mut seed = 0xbca6_7aff_1c00_0001u64;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--json" => json_path = args.next().map(Into::into),
+            "--seed" => {
+                seed = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--seed needs a u64")
+            }
+            "--bench" => {}
+            other => eprintln!("traffic: ignoring unknown argument {other:?}"),
+        }
+    }
+    let (threads, scripts_per_thread) = if quick { (2, 6) } else { (4, 32) };
+
+    let cache_before = bcag_spmd::cache::stats();
+    let merged = Mutex::new(Histogram::new());
+    let statements = std::sync::atomic::AtomicU64::new(0);
+    let t0 = Instant::now();
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let merged = &merged;
+            let statements = &statements;
+            let mut rng = Rng::seed_from_u64(mix_seed(seed.wrapping_add(t as u64)));
+            scope.spawn(move || {
+                let mut local = Histogram::new();
+                for _ in 0..scripts_per_thread {
+                    let src = random_script(&mut rng, quick);
+                    let start = Instant::now();
+                    let out = bcag_rt::Interp::run(&src).expect("generated script must run");
+                    local.record(start.elapsed().as_nanos() as u64);
+                    statements.fetch_add(
+                        src.lines().count() as u64,
+                        std::sync::atomic::Ordering::Relaxed,
+                    );
+                    std::hint::black_box(out);
+                }
+                merged.lock().unwrap().merge(&local);
+            });
+        }
+    });
+    let wall_ns = t0.elapsed().as_nanos() as i64;
+    let cache_after = bcag_spmd::cache::stats();
+    let script_latency = merged.into_inner().unwrap();
+
+    // Hit rate over this run only: the cache is process-global, so delta
+    // the counters instead of reading the lifetime totals.
+    let hits = cache_after.hits - cache_before.hits;
+    let misses = cache_after.misses - cache_before.misses;
+    let lookups = hits + misses;
+    let hit_rate = if lookups == 0 {
+        0.0
+    } else {
+        hits as f64 / lookups as f64
+    };
+
+    println!(
+        "traffic: {} threads x {} scripts ({} statements) in {:.1} ms",
+        threads,
+        scripts_per_thread,
+        statements.load(std::sync::atomic::Ordering::Relaxed),
+        wall_ns as f64 / 1e6
+    );
+    println!(
+        "script latency ns: p50={} p95={} p99={} max={}",
+        script_latency.percentile(50.0),
+        script_latency.percentile(95.0),
+        script_latency.percentile(99.0),
+        script_latency.max()
+    );
+    println!(
+        "schedule cache: hits={hits} misses={misses} hit_rate={:.1}% evictions={}",
+        hit_rate * 100.0,
+        cache_after.evictions - cache_before.evictions
+    );
+
+    let report = Json::obj(vec![
+        ("schema", Json::Str("bcag-traffic/v1".into())),
+        ("bench", Json::Str("traffic".into())),
+        ("quick", Json::Bool(quick)),
+        ("threads", Json::Int(threads)),
+        ("scripts_per_thread", Json::Int(scripts_per_thread)),
+        (
+            "statements",
+            Json::Int(statements.load(std::sync::atomic::Ordering::Relaxed) as i64),
+        ),
+        ("wall_ns", Json::Int(wall_ns)),
+        ("script_latency", hist_json(&script_latency)),
+        (
+            "schedule_cache",
+            Json::obj(vec![
+                ("hits", Json::Int(hits as i64)),
+                ("misses", Json::Int(misses as i64)),
+                ("hit_rate", Json::Num(hit_rate)),
+                ("entries", Json::Int(cache_after.entries as i64)),
+                ("capacity", Json::Int(cache_after.capacity as i64)),
+                (
+                    "evictions",
+                    Json::Int((cache_after.evictions - cache_before.evictions) as i64),
+                ),
+            ]),
+        ),
+    ]);
+    let path = json_path.unwrap_or_else(|| default_report_dir().join("traffic.json"));
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir).expect("create report directory");
+    }
+    std::fs::write(&path, report.to_pretty_string()).expect("write report");
+    println!("traffic: report -> {}", path.display());
+}

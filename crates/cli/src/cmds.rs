@@ -300,11 +300,9 @@ pub fn hpf(argv: &[String]) -> i32 {
     }
 }
 
-/// `bcag trace`: run a workload with tracing enabled and write the
-/// `bcag-trace/v1` summary plus a chrome://tracing event file.
-pub fn trace(argv: &[String], global_out: Option<&str>) -> i32 {
-    // The script may be given positionally (before, between or after the
-    // flag pairs) or via `--file`; split argv into positional + flag words.
+/// Splits an argv into one optional positional word plus `--flag value`
+/// pairs (the script path may come before, between or after the pairs).
+fn split_positional(argv: &[String]) -> Result<(Option<String>, Vec<String>), String> {
     let mut positional: Option<String> = None;
     let mut rest: Vec<String> = Vec::new();
     let mut it = argv.iter();
@@ -317,10 +315,21 @@ pub fn trace(argv: &[String], global_out: Option<&str>) -> i32 {
         } else if positional.is_none() {
             positional = Some(a.clone());
         } else {
-            return fail(&format!("unexpected extra argument `{a}`"));
+            return Err(format!("unexpected extra argument `{a}`"));
         }
     }
-    let flags = match Flags::parse(&rest, &["file", "p", "k"]) {
+    Ok((positional, rest))
+}
+
+/// `bcag trace`: run a workload with tracing enabled and write the
+/// `bcag-trace/v2` summary plus a chrome://tracing event file (and, with
+/// `--prom`, a Prometheus text exposition).
+pub fn trace(argv: &[String], global_out: Option<&str>) -> i32 {
+    let (positional, rest) = match split_positional(argv) {
+        Ok(v) => v,
+        Err(e) => return fail(&e),
+    };
+    let flags = match Flags::parse(&rest, &["file", "p", "k", "prom"]) {
         Ok(f) => f,
         Err(e) => return fail(&e),
     };
@@ -350,6 +359,10 @@ pub fn trace(argv: &[String], global_out: Option<&str>) -> i32 {
         let trace = bcag_trace::stop();
         let desc = result?;
         write_trace_artifacts(&trace, &out)?;
+        if let Some(prom) = flags.opt_str("prom") {
+            let text = bcag_trace::export::prometheus(&trace);
+            std::fs::write(prom, text).map_err(|e| format!("{prom}: {e}"))?;
+        }
         println!("traced {desc}");
         println!(
             "lanes={} spans={} messages_sent={} bytes_packed={} critical_path_ns={}",
@@ -359,8 +372,142 @@ pub fn trace(argv: &[String], global_out: Option<&str>) -> i32 {
             trace.counter_total("bytes_packed"),
             trace.critical_path_ns()
         );
+        print_human_summary(&trace);
         println!("summary: {out}");
         println!("chrome:  {}", chrome_path_for(&out));
+        if let Some(prom) = flags.opt_str("prom") {
+            println!("prom:    {prom}");
+        }
+        Ok(())
+    };
+    match run() {
+        Ok(()) => 0,
+        Err(e) => fail(&e),
+    }
+}
+
+/// Prints the human-facing digest of a trace: the top spans by total
+/// time (with self time, i.e. minus nested children) and the headline
+/// percentiles of every histogram. Per-destination `msg_bytes_to_<dst>`
+/// histograms are folded into the `msg_bytes` row to keep the table
+/// readable at p=32 (they remain in the JSON artifacts).
+fn print_human_summary(trace: &bcag_trace::Trace) {
+    let rollup = trace.span_rollup();
+    if !rollup.is_empty() {
+        println!("top spans by total time:");
+        println!(
+            "  {:<22} {:>8} {:>12} {:>12}",
+            "span", "count", "total_ms", "self_ms"
+        );
+        for s in rollup.iter().take(10) {
+            println!(
+                "  {:<22} {:>8} {:>12.3} {:>12.3}",
+                s.name,
+                s.count,
+                s.total_ns as f64 / 1e6,
+                s.self_ns as f64 / 1e6
+            );
+        }
+    }
+    let names: Vec<&str> = trace
+        .histogram_names()
+        .into_iter()
+        .filter(|n| !n.starts_with("msg_bytes_to_"))
+        .collect();
+    if !names.is_empty() {
+        println!("histogram percentiles:");
+        println!(
+            "  {:<22} {:>8} {:>10} {:>10} {:>10} {:>10} {:>10}",
+            "name", "count", "p50", "p90", "p95", "p99", "max"
+        );
+        for name in names {
+            let h = trace.histogram_total(name);
+            println!(
+                "  {:<22} {:>8} {:>10} {:>10} {:>10} {:>10} {:>10}",
+                name,
+                h.count(),
+                h.percentile(50.0),
+                h.percentile(90.0),
+                h.percentile(95.0),
+                h.percentile(99.0),
+                h.max()
+            );
+        }
+    }
+}
+
+/// The built-in script `bcag stats` interprets when none is given: a few
+/// mixed-layout statements so the flight recorder and every histogram
+/// site have something to show.
+const STATS_SCRIPT: &str = "\
+PROCESSORS P(4)
+TEMPLATE T(256)
+REAL A(256)
+REAL B(256)
+ALIGN A(i) WITH T(i)
+ALIGN B(i) WITH T(i)
+DISTRIBUTE T(CYCLIC(8)) ONTO P
+INIT A LINEAR 1 0
+INIT B LINEAR 2 1
+ASSIGN A(0:252:3) = B(0:252:3) * 2
+ASSIGN A(1:253:4) = A(1:253:4) + B(1:253:4)
+REDISTRIBUTE A CYCLIC(5)
+";
+
+/// `bcag stats`: interpret a script with tracing on and print the flight
+/// recorder's last-statements table, schedule-cache effectiveness and the
+/// headline latency percentiles — the operator's at-a-glance view, no
+/// JSON artifacts.
+pub fn stats(argv: &[String]) -> i32 {
+    let (positional, rest) = match split_positional(argv) {
+        Ok(v) => v,
+        Err(e) => return fail(&e),
+    };
+    let flags = match Flags::parse(&rest, &["file", "p", "k", "last"]) {
+        Ok(f) => f,
+        Err(e) => return fail(&e),
+    };
+    let run = || -> Result<(), String> {
+        let p = flags.opt_i64("p", 0)?;
+        let k = flags.opt_i64("k", 0)?;
+        let last = flags.opt_i64("last", 16)?.max(1) as usize;
+        let script = match (&positional, flags.opt_str("file")) {
+            (Some(_), Some(_)) => {
+                return Err("give the script either positionally or via --file, not both".into())
+            }
+            (Some(a), None) => Some(a.clone()),
+            (None, Some(f)) => Some(f.to_string()),
+            (None, None) => None,
+        };
+        let src = match &script {
+            Some(path) => std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?,
+            None => STATS_SCRIPT.to_string(),
+        };
+        let src = override_directives(&src, p, k);
+        bcag_rt::flight::clear();
+        bcag_trace::start();
+        let result = bcag_rt::Interp::run(&src);
+        let trace = bcag_trace::stop();
+        result.map_err(|e| e.to_string())?;
+        let records = bcag_rt::flight::snapshot();
+        let tail = &records[records.len().saturating_sub(last)..];
+        println!(
+            "flight recorder: last {} of {} statements",
+            tail.len(),
+            records.len()
+        );
+        print!("{}", bcag_rt::flight::render(tail));
+        let cs = bcag_spmd::cache::stats();
+        println!(
+            "schedule cache: hits={} misses={} hit_rate={:.1}% entries={}/{} evictions={}",
+            cs.hits,
+            cs.misses,
+            cs.hit_rate() * 100.0,
+            cs.entries,
+            cs.capacity,
+            cs.evictions
+        );
+        print_human_summary(&trace);
         Ok(())
     };
     match run() {

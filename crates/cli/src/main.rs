@@ -9,8 +9,11 @@
 //! * `basis`  — show the lattice basis vectors R and L (Figures 3/4)
 //! * `plan`   — show the full per-processor node plans for a bounded
 //!   section (starts, lasts, table lengths)
-//! * `trace`  — run a workload with tracing on and write `bcag-trace/v1`
-//!   summary + chrome://tracing artifacts
+//! * `trace`  — run a workload with tracing on and write `bcag-trace/v2`
+//!   summary + chrome://tracing artifacts (and, with `--prom`, a
+//!   Prometheus text exposition)
+//! * `stats`  — run a script and print the statement flight recorder,
+//!   schedule-cache effectiveness and headline latency percentiles
 //!
 //! Every subcommand additionally accepts the global `--trace OUT.json`
 //! flag, which records a trace of the whole command and writes the same
@@ -29,11 +32,14 @@ fn main() {
         }
     };
     let sub = argv.first().map(String::as_str);
-    // `bcag trace` manages the trace session itself, and `bcag spmd`
-    // merges its children's traces; for every other subcommand the
-    // global `--trace OUT` flag wraps the whole dispatch.
-    let wrap =
-        trace_out.is_some() && !matches!(sub, Some("trace") | Some("spmd") | Some("spmd-node"));
+    // `bcag trace` and `bcag stats` manage the trace session themselves,
+    // and `bcag spmd` merges its children's traces; for every other
+    // subcommand the global `--trace OUT` flag wraps the whole dispatch.
+    let wrap = trace_out.is_some()
+        && !matches!(
+            sub,
+            Some("trace") | Some("stats") | Some("spmd") | Some("spmd-node")
+        );
     if wrap {
         bcag_trace::start();
     }
@@ -50,6 +56,7 @@ fn main() {
         Some("spmd") => cmds::spmd(&argv[1..], trace_out.as_deref()),
         Some("spmd-node") => cmds::spmd_node(&argv[1..]),
         Some("trace") => cmds::trace(&argv[1..], trace_out.as_deref()),
+        Some("stats") => cmds::stats(&argv[1..]),
         Some("help") | Some("--help") | Some("-h") | None => {
             print_help();
             0
@@ -105,12 +112,20 @@ SUBCOMMANDS:
             exchanging the serialized wire format over pipes. P must match
             the script's PROCESSORS size. With --trace, each node records
             its own lane and the merged timeline is written to OUT.json.
-    trace   [SCRIPT | --file SCRIPT] [--p P] [--k K] [--trace OUT.json]
+    trace   [SCRIPT | --file SCRIPT] [--p P] [--k K] [--prom OUT.prom]
+            [--trace OUT.json]
             Run SCRIPT (or a built-in synthetic workload) with tracing on
-            and write a bcag-trace/v1 summary to OUT.json (default
+            and write a bcag-trace/v2 summary to OUT.json (default
             TRACE.json) plus a chrome://tracing event file next to it
-            (OUT.chrome.json). --p/--k override PROCESSORS/CYCLIC sizes
-            in the script's directives.
+            (OUT.chrome.json); also prints a top-spans table and the
+            latency-histogram percentiles. --p/--k override PROCESSORS/
+            CYCLIC sizes in the script's directives; --prom additionally
+            writes a Prometheus text exposition.
+    stats   [SCRIPT | --file SCRIPT] [--p P] [--k K] [--last N]
+            Interpret SCRIPT (or a small built-in one) with tracing on and
+            print the flight recorder's last N statements (default 16),
+            schedule-cache hit rate/occupancy/evictions and the headline
+            latency percentiles. No JSON artifacts.
 
 GLOBAL FLAGS:
     --trace OUT.json

@@ -176,7 +176,7 @@ fn trace_subcommand_writes_both_artifacts() {
     let summary = read_json(&out);
     assert_eq!(
         summary.get("format").and_then(|f| f.as_str()),
-        Some("bcag-trace/v1"),
+        Some("bcag-trace/v2"),
         "{stdout}"
     );
     // --p 8 took effect: per-node lanes exist for all eight nodes.
@@ -253,12 +253,57 @@ fn trace_synthetic_fallback_and_global_flag() {
     let summary = read_json(&out);
     assert_eq!(
         summary.get("format").and_then(|f| f.as_str()),
-        Some("bcag-trace/v1")
+        Some("bcag-trace/v2")
     );
     let counters = summary.get("counters").unwrap();
     assert!(counters.get("table_entries").and_then(|c| c.as_i64()) > Some(0));
     let _ = std::fs::remove_file(&out);
     let _ = std::fs::remove_file(dir.join("bcag_cli_trace_global.chrome.json"));
+}
+
+/// `bcag trace` prints the human-readable digest (top-spans table +
+/// histogram percentiles) and `--prom` writes a Prometheus exposition.
+#[test]
+fn trace_prints_summary_tables_and_writes_prometheus() {
+    let dir = std::env::temp_dir();
+    let out = dir.join("bcag_cli_trace_prom.json");
+    let prom = dir.join("bcag_cli_trace_prom.prom");
+    let (stdout, stderr, code) = bcag(&[
+        "trace",
+        "--p",
+        "4",
+        "--k",
+        "8",
+        "--prom",
+        prom.to_str().unwrap(),
+        "--trace",
+        out.to_str().unwrap(),
+    ]);
+    assert_eq!(code, 0, "stdout:\n{stdout}\nstderr:\n{stderr}");
+    assert!(stdout.contains("top spans by total time:"), "{stdout}");
+    assert!(stdout.contains("histogram percentiles:"), "{stdout}");
+    assert!(stdout.contains("recv_wait_ns"), "{stdout}");
+    let text = std::fs::read_to_string(&prom).unwrap();
+    assert!(text.contains("# TYPE bcag_messages_sent counter"), "{text}");
+    assert!(text.contains("bcag_recv_wait_ns_bucket{le="), "{text}");
+    assert!(text.contains("bcag_recv_wait_ns_count"), "{text}");
+    for f in [&out, &prom, &dir.join("bcag_cli_trace_prom.chrome.json")] {
+        let _ = std::fs::remove_file(f);
+    }
+}
+
+/// `bcag stats` runs its built-in script and prints the flight-recorder
+/// table, cache effectiveness and headline percentiles.
+#[test]
+fn stats_prints_flight_recorder_and_percentiles() {
+    let (stdout, stderr, code) = bcag(&["stats"]);
+    assert_eq!(code, 0, "stderr:\n{stderr}");
+    assert!(stdout.contains("flight recorder: last"), "{stdout}");
+    assert!(stdout.contains("rt.ASSIGN"), "{stdout}");
+    assert!(stdout.contains("REDISTRIBUTE A CYCLIC(5)"), "{stdout}");
+    assert!(stdout.contains("schedule cache: hits="), "{stdout}");
+    assert!(stdout.contains("histogram percentiles:"), "{stdout}");
+    assert!(stdout.contains("rt_statement_ns"), "{stdout}");
 }
 
 #[test]

@@ -59,7 +59,7 @@ fn spmd_trace_merges_per_node_lanes() {
     assert!(stdout.contains("SUM A(0:99:3) = 3009"), "{stdout}");
     let summary = std::fs::read_to_string(&out).unwrap();
     assert!(
-        summary.contains("\"format\": \"bcag-trace/v1\""),
+        summary.contains("\"format\": \"bcag-trace/v2\""),
         "{summary}"
     );
     // One lane per node process survives the merge.
@@ -71,6 +71,62 @@ fn spmd_trace_merges_per_node_lanes() {
     assert!(summary.contains("\"transport_bytes_tx\""), "{summary}");
     let chrome = dir.join("spmd.chrome.json");
     assert!(chrome.exists(), "chrome twin written next to the summary");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The traffic- and wait-shaped histograms must merge *exactly* across
+/// node processes: the merged trace's total counts equal an in-process
+/// traced run of the same script, message for message. (Per-process
+/// histograms like `rt_statement_ns` legitimately multiply by p — every
+/// node interprets the whole script — so only the distributions driven
+/// by the shared communication schedule are compared.)
+#[test]
+fn spmd_merged_histogram_counts_match_in_process_run() {
+    let script = script_path("cache_loop.hpf");
+    let dir = std::env::temp_dir().join(format!("bcag-spmd-hist-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let spmd_out = dir.join("spmd.json");
+    let inproc_out = dir.join("inproc.json");
+    let (_, stderr, code) = bcag(
+        &[
+            "spmd",
+            "--file",
+            &script,
+            "--procs",
+            "4",
+            "--trace",
+            spmd_out.to_str().unwrap(),
+        ],
+        &[],
+    );
+    assert_eq!(code, 0, "{stderr}");
+    let (_, stderr, code) = bcag(
+        &[
+            "trace",
+            "--file",
+            &script,
+            "--trace",
+            inproc_out.to_str().unwrap(),
+        ],
+        &[],
+    );
+    assert_eq!(code, 0, "{stderr}");
+    let spmd = bcag_harness::json::Json::parse(&std::fs::read_to_string(&spmd_out).unwrap())
+        .expect("merged summary parses");
+    let inproc = bcag_harness::json::Json::parse(&std::fs::read_to_string(&inproc_out).unwrap())
+        .expect("in-process summary parses");
+    let count = |doc: &bcag_harness::json::Json, name: &str| {
+        doc.get("histograms")
+            .and_then(|h| h.get(name))
+            .and_then(|h| h.get("count"))
+            .and_then(|c| c.as_i64())
+            .unwrap_or_else(|| panic!("histogram {name} missing"))
+    };
+    for name in ["recv_wait_ns", "barrier_wait_ns", "msg_bytes"] {
+        let (s, i) = (count(&spmd, name), count(&inproc, name));
+        assert_eq!(s, i, "{name}: merged spmd count {s} != in-process {i}");
+        assert!(s > 0, "{name}: empty distribution");
+    }
     std::fs::remove_dir_all(&dir).ok();
 }
 

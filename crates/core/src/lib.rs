@@ -62,6 +62,7 @@ pub mod intersect;
 pub mod lattice;
 pub mod lattice_alg;
 pub mod layout;
+pub mod locality;
 pub mod method;
 pub mod nth;
 pub mod numth;

@@ -54,7 +54,29 @@ fn disabled_instrumentation_overhead_under_two_percent() {
             bcag_trace::count("overhead_probe", 1);
         }
     }) / batch;
-    let per_hit_ns = span_ns.max(count_ns).max(1);
+    // The histogram sites added for percentile telemetry share the same
+    // contract: record / timed_span / gauge are one relaxed load when off.
+    let record_ns = median_ns(20, || {
+        for _ in 0..batch {
+            bcag_trace::record("overhead_probe_ns", 42);
+        }
+    }) / batch;
+    let timed_ns = median_ns(20, || {
+        for _ in 0..batch {
+            let _t = bcag_trace::timed_span("overhead_probe_ns");
+        }
+    }) / batch;
+    let gauge_ns = median_ns(20, || {
+        for _ in 0..batch {
+            bcag_trace::gauge("overhead_probe_depth", 3);
+        }
+    }) / batch;
+    let per_hit_ns = span_ns
+        .max(count_ns)
+        .max(record_ns)
+        .max(timed_ns)
+        .max(gauge_ns)
+        .max(1);
 
     // The workload itself, instrumented but with tracing disabled.
     let build_ns = median_ns(30, || {

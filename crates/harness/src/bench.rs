@@ -281,7 +281,9 @@ impl Bench {
 /// reports across member crates. Resolve against `CARGO_TARGET_DIR` when
 /// set, else locate the shared target directory from the executable path
 /// (`<target>/<profile>/deps/<bin>`), else fall back to cwd-relative.
-fn default_report_dir() -> PathBuf {
+/// Public so benches with custom report shapes (percentile distributions
+/// rather than median/MAD summaries) land next to the engine's reports.
+pub fn default_report_dir() -> PathBuf {
     if let Ok(dir) = std::env::var("CARGO_TARGET_DIR") {
         return PathBuf::from(dir).join("bcag-bench");
     }

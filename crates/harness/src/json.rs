@@ -504,6 +504,41 @@ mod tests {
         assert_eq!(Json::Str("s".into()).as_i64(), None);
     }
 
+    /// v1-era trace artifacts (no `histograms` / `samples` sections) must
+    /// stay readable: older committed `TRACE_example.json` snapshots and
+    /// node traces from mixed-version spmd launches still navigate with
+    /// the same accessors the v2 reader uses.
+    #[test]
+    fn reads_bcag_trace_v1_documents() {
+        let v1 = r#"{
+          "format": "bcag-trace-full/v1",
+          "lanes": [
+            {
+              "label": "node-0",
+              "events": [["core.build", 10, 250, 0]],
+              "counters": {"table_entries": 8}
+            }
+          ]
+        }"#;
+        let doc = Json::parse(v1).unwrap();
+        assert_eq!(
+            doc.get("format").and_then(Json::as_str),
+            Some("bcag-trace-full/v1")
+        );
+        let lanes = doc.get("lanes").and_then(Json::as_arr).unwrap();
+        assert_eq!(lanes[0].get("label").and_then(Json::as_str), Some("node-0"));
+        // Sections introduced by v2 are simply absent, not an error.
+        assert_eq!(lanes[0].get("histograms"), None);
+        assert_eq!(lanes[0].get("samples"), None);
+        assert_eq!(
+            lanes[0]
+                .get("counters")
+                .and_then(|c| c.get("table_entries"))
+                .and_then(Json::as_i64),
+            Some(8)
+        );
+    }
+
     #[test]
     fn pretty_is_reparseable_shape() {
         let v = Json::obj(vec![

@@ -138,7 +138,10 @@ impl Interp {
             bcag_spmd::pool::warm(p);
         }
 
-        // Phase 3: execute statements in order.
+        // Phase 3: execute statements in order. A panic unwinding out of
+        // a statement (a pool poison surfaces as one) dumps the flight
+        // ring so the crash carries its recent-statement context.
+        let _flight_dump = crate::flight::DumpOnPanic;
         for (no, line) in statements {
             interp
                 .exec(&line)
@@ -154,9 +157,20 @@ impl Interp {
 
     fn exec(&mut self, line: &str) -> Result<(), ParseError> {
         let upper = line.to_ascii_uppercase();
+        let kind = statement_span_name(&upper);
         // One span per executed statement, named by statement kind, so a
-        // trace shows which script statements the run time went to.
-        let _sp = bcag_trace::span(statement_span_name(&upper));
+        // trace shows which script statements the run time went to; the
+        // timed_span feeds the same latencies into the rt_statement_ns
+        // percentile histogram.
+        let _sp = bcag_trace::span(kind);
+        let _t = bcag_trace::timed_span("rt_statement_ns");
+        let before = crate::flight::Baseline::capture();
+        let result = self.dispatch(&upper, line);
+        crate::flight::record(kind, line, before, result.is_ok());
+        result
+    }
+
+    fn dispatch(&mut self, upper: &str, line: &str) -> Result<(), ParseError> {
         if let Some(rest) = upper.strip_prefix("INIT ") {
             self.exec_init(rest.trim())
         } else if let Some(rest) = upper.strip_prefix("ASSIGN ") {

@@ -28,6 +28,7 @@
 #![forbid(unsafe_code)]
 
 pub mod expr;
+pub mod flight;
 pub mod interp;
 pub mod spmd;
 

@@ -66,10 +66,16 @@ pub fn plan_section(
                 _ => None,
             };
             let last = last_g.map_or(-1, |g| lay.local_addr(g));
+            let runs = RunPlan::compile(start, last, pat.gaps());
+            // Locality analytics ride the compile (the cache memoizes the
+            // result, so a steady-state loop records each plan once):
+            // reuse-distance histogram + working-set counters for the
+            // canonical 8-byte element the runtime moves.
+            bcag_core::locality::record(&runs, 8);
             Ok(NodePlan {
                 start,
                 last,
-                runs: RunPlan::compile(start, last, pat.gaps()),
+                runs,
                 delta_m: pat.gaps().to_vec(),
                 tables: TwoTable::from_pattern(&pat),
             })

@@ -78,6 +78,7 @@ struct Store {
     tick: u64,
     hits: u64,
     misses: u64,
+    evictions: u64,
 }
 
 impl Store {
@@ -88,6 +89,7 @@ impl Store {
             tick: 0,
             hits: 0,
             misses: 0,
+            evictions: 0,
         }
     }
 }
@@ -123,15 +125,37 @@ pub struct CacheStats {
     pub misses: u64,
     /// Entries currently resident.
     pub entries: usize,
+    /// Maximum entries the store retains (0 = caching disabled).
+    pub capacity: usize,
+    /// LRU entries displaced to make room for new ones.
+    pub evictions: u64,
 }
 
-/// Returns the lifetime hit/miss totals and current occupancy.
+impl CacheStats {
+    /// Hit fraction in `[0, 1]` (0 when no lookups happened).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Returns the lifetime hit/miss/eviction totals and current occupancy.
 pub fn stats() -> CacheStats {
-    let s = store().lock().unwrap();
+    stats_of(store())
+}
+
+fn stats_of(store: &Mutex<Store>) -> CacheStats {
+    let s = store.lock().unwrap();
     CacheStats {
         hits: s.hits,
         misses: s.misses,
         entries: s.entries.len(),
+        capacity: s.capacity,
+        evictions: s.evictions,
     }
 }
 
@@ -167,8 +191,12 @@ fn get_or_build_in(
             s.entries[pos].stamp = tick;
             s.hits += 1;
             let v = s.entries[pos].value.clone();
+            let (hits, misses) = (s.hits, s.misses);
             drop(s);
             bcag_trace::count("schedule_cache_hits", 1);
+            if bcag_trace::enabled() {
+                bcag_trace::gauge("schedule_cache_hit_pct", 100 * hits / (hits + misses));
+            }
             return Ok(v);
         }
         s.misses += 1;
@@ -186,6 +214,7 @@ fn get_or_build_in(
         s.entries[pos].stamp = tick;
         return Ok(s.entries[pos].value.clone());
     }
+    let mut evicted = false;
     if s.entries.len() >= s.capacity {
         let oldest = s
             .entries
@@ -195,12 +224,26 @@ fn get_or_build_in(
             .map(|(i, _)| i)
             .expect("non-empty at capacity");
         s.entries.swap_remove(oldest);
+        s.evictions += 1;
+        evicted = true;
     }
     s.entries.push(Entry {
         key,
         value: value.clone(),
         stamp: tick,
     });
+    let (entries, hits, misses) = (s.entries.len() as u64, s.hits, s.misses);
+    drop(s);
+    if evicted {
+        bcag_trace::count("schedule_cache_evictions", 1);
+    }
+    if bcag_trace::enabled() {
+        bcag_trace::gauge("schedule_cache_entries", entries);
+        bcag_trace::gauge(
+            "schedule_cache_hit_pct",
+            100 * hits / (hits + misses).max(1),
+        );
+    }
     Ok(value)
 }
 
@@ -433,6 +476,32 @@ mod tests {
             &e.key,
             Key::Plans { sec, .. } if *sec == sec_key(&secs[2])
         )));
+    }
+
+    #[test]
+    fn eviction_accounting_matches_displacements() {
+        let store = Mutex::new(Store::with_capacity(2));
+        let secs: Vec<RegularSection> = (0..5)
+            .map(|i| RegularSection::new(i, i + 90, 9).unwrap())
+            .collect();
+        for sec in &secs {
+            let _ = probe_plans(&store, sec);
+        }
+        // 5 distinct keys through a 2-entry store: the first two fill it,
+        // the next three each displace one LRU victim.
+        let st = stats_of(&store);
+        assert_eq!(st.evictions, 3);
+        assert_eq!(st.entries, 2);
+        assert_eq!(st.capacity, 2);
+        assert_eq!(st.misses, 5);
+        assert_eq!(st.hits, 0);
+        assert_eq!(st.hit_rate(), 0.0);
+        // A hit displaces nothing.
+        let _ = probe_plans(&store, &secs[4]);
+        let st = stats_of(&store);
+        assert_eq!(st.evictions, 3);
+        assert_eq!(st.hits, 1);
+        assert!(st.hit_rate() > 0.0);
     }
 
     #[test]

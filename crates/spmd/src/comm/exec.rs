@@ -123,6 +123,7 @@ impl CommSchedule {
         assert_eq!(a.p(), self.p, "LHS machine size mismatch");
         assert_eq!(b.p(), self.p, "RHS machine size mismatch");
         let _sp = bcag_trace::span("comm.execute");
+        let _t = bcag_trace::timed_span("comm_execute_ns");
         if let Some(session) = transport::proc::active() {
             bcag_trace::set_tag("transport", TransportKind::Proc.name());
             return self.execute_proc(a, b, &session);
@@ -208,10 +209,15 @@ impl CommSchedule {
                         r.len as usize,
                     );
                 }
-                bcag_trace::count(
-                    "transport_bytes_tx",
-                    wire::wire_size::<T>(spans.len(), vals.len()) as u64,
-                );
+                if bcag_trace::enabled() {
+                    // Per-(src,dst) message-size distribution: the sample
+                    // lands on this node's (src) lane; the interned name
+                    // carries the destination.
+                    let tx = wire::wire_size::<T>(spans.len(), vals.len()) as u64;
+                    bcag_trace::count("transport_bytes_tx", tx);
+                    bcag_trace::record("msg_bytes", tx);
+                    bcag_trace::record(bcag_trace::intern(&format!("msg_bytes_to_{dst}")), tx);
+                }
                 if use_wire {
                     ctx.send(dst, Box::new(wire::encode(&spans, &vals)));
                     ctx.put_buf(spans);
@@ -233,7 +239,9 @@ impl CommSchedule {
                 let t0 = bcag_trace::enabled().then(std::time::Instant::now);
                 let env = ctx.recv();
                 if let Some(t0) = t0 {
-                    wait_ns += t0.elapsed().as_nanos() as u64;
+                    let ns = t0.elapsed().as_nanos() as u64;
+                    wait_ns += ns;
+                    bcag_trace::record("recv_wait_ns", ns);
                 }
                 let (spans, vals) = if use_wire {
                     let bytes = *env
@@ -330,7 +338,9 @@ impl CommSchedule {
                 let t0 = bcag_trace::enabled().then(std::time::Instant::now);
                 let (addr, v) = recv_typed(&inbox, ctx);
                 if let Some(t0) = t0 {
-                    wait_ns += t0.elapsed().as_nanos() as u64;
+                    let ns = t0.elapsed().as_nanos() as u64;
+                    wait_ns += ns;
+                    bcag_trace::record("recv_wait_ns", ns);
                 }
                 local_a[addr as usize] = v;
             }
@@ -413,7 +423,14 @@ impl CommSchedule {
                 );
             }
             let bytes = wire::encode(&spans, &vals);
-            bcag_trace::count("transport_bytes_tx", bytes.len() as u64);
+            if bcag_trace::enabled() {
+                bcag_trace::count("transport_bytes_tx", bytes.len() as u64);
+                bcag_trace::record("msg_bytes", bytes.len() as u64);
+                bcag_trace::record(
+                    bcag_trace::intern(&format!("msg_bytes_to_{dst}")),
+                    bytes.len() as u64,
+                );
+            }
             session.send_data(dst, bytes);
         }
         bcag_core::runs::count_coalesced(seg_count, seg_elems);
@@ -439,7 +456,9 @@ impl CommSchedule {
             let t0 = bcag_trace::enabled().then(std::time::Instant::now);
             let bytes = session.recv_from(src);
             if let Some(t0) = t0 {
-                wait_ns += t0.elapsed().as_nanos() as u64;
+                let ns = t0.elapsed().as_nanos() as u64;
+                wait_ns += ns;
+                bcag_trace::record("recv_wait_ns", ns);
             }
             bcag_trace::count("transport_bytes_rx", bytes.len() as u64);
             spans.clear();

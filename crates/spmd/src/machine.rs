@@ -169,11 +169,10 @@ fn record_barrier_waits(times: &[Duration]) {
         return;
     };
     for (m, &t) in times.iter().enumerate() {
-        bcag_trace::count_on_lane(
-            &format!("node-{m}"),
-            "barrier_wait_ns",
-            (max - t).as_nanos() as u64,
-        );
+        let label = format!("node-{m}");
+        let wait = (max - t).as_nanos() as u64;
+        bcag_trace::count_on_lane(&label, "barrier_wait_ns", wait);
+        bcag_trace::record_on_lane(&label, "barrier_wait_ns", wait);
     }
 }
 

@@ -81,6 +81,7 @@ pub fn pack_with_buf_mode<T: PackValue>(
     out: &mut Vec<T>,
 ) -> Result<usize> {
     let _sp = bcag_trace::span("spmd.pack");
+    let _t = bcag_trace::timed_span("pack_ns");
     out.clear();
     let plans = cache::plans(arr.p(), arr.k(), section, method)?;
     let plan = &plans[m as usize];
@@ -159,6 +160,7 @@ pub fn unpack_mode<T: PackValue>(
     buffer: &[T],
 ) -> Result<()> {
     let _sp = bcag_trace::span("spmd.unpack");
+    let _t = bcag_trace::timed_span("unpack_ns");
     let plans = cache::plans(arr.p(), arr.k(), section, method)?;
     let plan = &plans[m as usize];
     if plan.start.is_none() {

@@ -426,7 +426,26 @@ impl Pool {
     /// finished (one epoch). If any node job panicked, drains the fabric
     /// and re-raises the first panic; the pool remains usable.
     pub fn dispatch(&self, body: &(dyn Fn(usize, &mut NodeCtx) + Sync)) {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static INFLIGHT: AtomicU64 = AtomicU64::new(0);
+        /// Decrements the in-flight depth and samples the gauge on the way
+        /// out, so the track returns to its resting level.
+        struct DepthGuard;
+        impl Drop for DepthGuard {
+            fn drop(&mut self) {
+                let depth = INFLIGHT.fetch_sub(1, Ordering::Relaxed) - 1;
+                bcag_trace::gauge("pool_dispatch_inflight", depth);
+            }
+        }
         let _sp = bcag_trace::span("pool.dispatch");
+        let _t = bcag_trace::timed_span("pool_dispatch_ns");
+        // Sampled before the gate: concurrent drivers queued on the same
+        // pool show up as depth > 1 in the timeline.
+        let _depth = bcag_trace::enabled().then(|| {
+            let depth = INFLIGHT.fetch_add(1, Ordering::Relaxed) + 1;
+            bcag_trace::gauge("pool_dispatch_inflight", depth);
+            DepthGuard
+        });
         let _gate = lock_clean(&self.gate);
         if let Some(payload) = self.run_epoch(body) {
             // Jobs stopped mid-protocol: stray data and poison envelopes

@@ -287,6 +287,7 @@ impl Endpoint for RingEndpoint {
             if let Some(env) = self.sweep() {
                 if parked_ns > 0 {
                     bcag_trace::count("transport_park_ns", parked_ns);
+                    bcag_trace::record("transport_park_ns", parked_ns);
                 }
                 return env;
             }

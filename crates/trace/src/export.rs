@@ -1,19 +1,23 @@
 //! Serialization of a collected [`Trace`]: a machine-readable
-//! `bcag-trace/v1` summary and the Chrome Trace Event format.
+//! `bcag-trace/v2` summary, the Chrome Trace Event format, and a
+//! Prometheus-style text exposition.
 //!
-//! The summary carries counter totals, per-lane aggregates and the
-//! max-over-nodes critical path (the paper reports "the maximum time over
-//! the 32 processors"; [`Trace::critical_path_ns`] is the same statistic
-//! over node lanes). The Chrome file loads directly into
-//! `chrome://tracing` or <https://ui.perfetto.dev>: one row (`tid`) per
-//! lane, named via `thread_name` metadata events, all spans as complete
-//! (`"ph": "X"`) events with microsecond timestamps.
+//! The summary carries counter totals, histogram percentiles, per-lane
+//! aggregates and the max-over-nodes critical path (the paper reports
+//! "the maximum time over the 32 processors"; [`Trace::critical_path_ns`]
+//! is the same statistic over node lanes). The Chrome file loads directly
+//! into `chrome://tracing` or <https://ui.perfetto.dev>: one row (`tid`)
+//! per lane, named via `thread_name` metadata events, all spans as
+//! complete (`"ph": "X"`) events and all gauge samples as counter
+//! (`"ph": "C"`) events with microsecond timestamps. The Prometheus
+//! writer emits `# TYPE` lines with cumulative `_bucket{le=...}` rows —
+//! plain text, still serde-free.
 
 use bcag_harness::json::Json;
 
-use crate::{Event, Lane, Trace};
+use crate::{Event, Histogram, Lane, Sample, Trace};
 
-/// Builds the `bcag-trace/v1` summary document.
+/// Builds the `bcag-trace/v2` summary document.
 pub fn summary(trace: &Trace) -> Json {
     let mut totals: Vec<(&str, Json)> = Vec::new();
     {
@@ -28,6 +32,10 @@ pub fn summary(trace: &Trace) -> Json {
             totals.push((name, Json::Int(trace.counter_total(name) as i64)));
         }
     }
+    let mut hists: Vec<(&str, Json)> = Vec::new();
+    for name in trace.histogram_names() {
+        hists.push((name, hist_summary(&trace.histogram_total(name))));
+    }
     let lanes: Vec<Json> = trace.lanes.iter().map(lane_summary).collect();
     let tags: Vec<(String, Json)> = trace
         .tags
@@ -35,14 +43,29 @@ pub fn summary(trace: &Trace) -> Json {
         .map(|(k, v)| (k.clone(), Json::Str(v.clone())))
         .collect();
     Json::obj(vec![
-        ("format", Json::Str("bcag-trace/v1".into())),
+        ("format", Json::Str("bcag-trace/v2".into())),
         ("tags", Json::Obj(tags)),
         ("counters", Json::Obj(own(totals))),
+        ("histograms", Json::Obj(own(hists))),
         (
             "critical_path_ns",
             Json::Int(trace.critical_path_ns() as i64),
         ),
         ("lanes", Json::Arr(lanes)),
+    ])
+}
+
+/// Headline percentiles of one histogram (the upper-bound estimator of
+/// [`Histogram::percentile`], exact at `max`).
+fn hist_summary(h: &Histogram) -> Json {
+    Json::obj(vec![
+        ("count", Json::Int(h.count() as i64)),
+        ("sum", Json::Int(h.sum() as i64)),
+        ("p50", Json::Int(h.percentile(50.0) as i64)),
+        ("p90", Json::Int(h.percentile(90.0) as i64)),
+        ("p95", Json::Int(h.percentile(95.0) as i64)),
+        ("p99", Json::Int(h.percentile(99.0) as i64)),
+        ("max", Json::Int(h.max() as i64)),
     ])
 }
 
@@ -52,11 +75,17 @@ fn lane_summary(lane: &Lane) -> Json {
         .iter()
         .map(|(k, v)| (k.to_string(), Json::Int(*v as i64)))
         .collect();
+    let hists: Vec<(String, Json)> = lane
+        .histograms
+        .iter()
+        .map(|(k, h)| (k.to_string(), hist_summary(h)))
+        .collect();
     Json::obj(vec![
         ("label", Json::Str(lane.label.clone())),
         ("spans", Json::Int(lane.events.len() as i64)),
         ("busy_ns", Json::Int(lane.busy_ns() as i64)),
         ("counters", Json::Obj(counters)),
+        ("histograms", Json::Obj(hists)),
     ])
 }
 
@@ -70,13 +99,18 @@ fn own(fields: Vec<(&str, Json)>) -> Vec<(String, Json)> {
 /// Builds a Chrome Trace Event document (`{"traceEvents": [...]}`).
 /// Timestamps are rebased so the earliest span starts at 0 and expressed
 /// in microseconds (the format's unit), keeping nanosecond resolution via
-/// fractional values.
+/// fractional values. Gauge samples become `"ph": "C"` counter events, so
+/// queue depths and cache hit rates render as tracks over time.
 pub fn chrome(trace: &Trace) -> Json {
     let t0 = trace
         .lanes
         .iter()
-        .flat_map(|l| &l.events)
-        .map(|e| e.start_ns)
+        .flat_map(|l| {
+            l.events
+                .iter()
+                .map(|e| e.start_ns)
+                .chain(l.samples.iter().map(|s| s.t_ns))
+        })
         .min()
         .unwrap_or(0);
     let mut events: Vec<Json> = Vec::new();
@@ -101,6 +135,19 @@ pub fn chrome(trace: &Trace) -> Json {
                 ("dur", Json::Num(e.dur_ns as f64 / 1_000.0)),
             ]));
         }
+        for s in &lane.samples {
+            events.push(Json::obj(vec![
+                ("name", Json::Str(s.name.into())),
+                ("ph", Json::Str("C".into())),
+                ("pid", Json::Int(0)),
+                ("tid", Json::Int(tid as i64)),
+                ("ts", Json::Num((s.t_ns - t0) as f64 / 1_000.0)),
+                (
+                    "args",
+                    Json::obj(vec![("value", Json::Int(s.value as i64))]),
+                ),
+            ]));
+        }
     }
     Json::obj(vec![
         ("traceEvents", Json::Arr(events)),
@@ -108,12 +155,62 @@ pub fn chrome(trace: &Trace) -> Json {
     ])
 }
 
-/// Serializes a [`Trace`] with full fidelity (every event, counter and
-/// tag) so a node process can ship its timeline to the launcher, which
-/// reassembles it with [`from_json`] and merges lanes via
-/// [`Trace::merged`]. This is the transport format between `bcag
-/// spmd-node` children and the parent; `summary` stays the human/CI-facing
-/// aggregate.
+/// Writes the trace's counters and histograms in the Prometheus text
+/// exposition format: `# TYPE` lines, cumulative `_bucket{le="..."}` rows
+/// per histogram plus `_sum`/`_count`. Names are prefixed `bcag_` and
+/// sanitized to the metric charset. Counters and histograms are totals
+/// over all lanes.
+pub fn prometheus(trace: &Trace) -> String {
+    let mut out = String::new();
+    let mut counter_names: Vec<&'static str> = trace
+        .lanes
+        .iter()
+        .flat_map(|l| l.counters.keys().copied())
+        .collect();
+    counter_names.sort_unstable();
+    counter_names.dedup();
+    for name in counter_names {
+        let metric = metric_name(name);
+        out.push_str(&format!("# TYPE {metric} counter\n"));
+        out.push_str(&format!("{metric} {}\n", trace.counter_total(name)));
+    }
+    for name in trace.histogram_names() {
+        let h = trace.histogram_total(name);
+        let metric = metric_name(name);
+        out.push_str(&format!("# TYPE {metric} histogram\n"));
+        let mut cum = 0u64;
+        for (idx, n) in h.nonzero_buckets() {
+            cum += n;
+            let (_, hi) = crate::hist::bucket_bounds(idx);
+            out.push_str(&format!("{metric}_bucket{{le=\"{hi}\"}} {cum}\n"));
+        }
+        out.push_str(&format!("{metric}_bucket{{le=\"+Inf\"}} {}\n", h.count()));
+        out.push_str(&format!("{metric}_sum {}\n", h.sum()));
+        out.push_str(&format!("{metric}_count {}\n", h.count()));
+    }
+    out
+}
+
+/// Maps a span/counter name onto the Prometheus metric charset.
+fn metric_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 5);
+    out.push_str("bcag_");
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+/// Serializes a [`Trace`] with full fidelity (every event, counter,
+/// histogram, gauge sample and tag) so a node process can ship its
+/// timeline to the launcher, which reassembles it with [`from_json`] and
+/// merges lanes via [`Trace::merged`]. This is the transport format
+/// between `bcag spmd-node` children and the parent; `summary` stays the
+/// human/CI-facing aggregate.
 pub fn to_json(trace: &Trace) -> Json {
     let lanes: Vec<Json> = trace
         .lanes
@@ -136,10 +233,41 @@ pub fn to_json(trace: &Trace) -> Json {
                 .iter()
                 .map(|(k, v)| (k.to_string(), Json::Int(*v as i64)))
                 .collect();
+            let hists: Vec<(String, Json)> = lane
+                .histograms
+                .iter()
+                .map(|(k, h)| {
+                    let buckets: Vec<Json> = h
+                        .nonzero_buckets()
+                        .map(|(i, n)| Json::Arr(vec![Json::Int(i as i64), Json::Int(n as i64)]))
+                        .collect();
+                    (
+                        k.to_string(),
+                        Json::obj(vec![
+                            ("buckets", Json::Arr(buckets)),
+                            ("sum", Json::Int(h.sum() as i64)),
+                            ("max", Json::Int(h.max() as i64)),
+                        ]),
+                    )
+                })
+                .collect();
+            let samples: Vec<Json> = lane
+                .samples
+                .iter()
+                .map(|s| {
+                    Json::Arr(vec![
+                        Json::Str(s.name.into()),
+                        Json::Int(s.t_ns as i64),
+                        Json::Int(s.value as i64),
+                    ])
+                })
+                .collect();
             Json::obj(vec![
                 ("label", Json::Str(lane.label.clone())),
                 ("events", Json::Arr(events)),
                 ("counters", Json::Obj(counters)),
+                ("histograms", Json::Obj(hists)),
+                ("samples", Json::Arr(samples)),
             ])
         })
         .collect();
@@ -149,19 +277,21 @@ pub fn to_json(trace: &Trace) -> Json {
         .map(|(k, v)| (k.clone(), Json::Str(v.clone())))
         .collect();
     Json::obj(vec![
-        ("format", Json::Str("bcag-trace-full/v1".into())),
+        ("format", Json::Str("bcag-trace-full/v2".into())),
         ("tags", Json::Obj(tags)),
         ("lanes", Json::Arr(lanes)),
     ])
 }
 
-/// Reassembles a [`Trace`] serialized by [`to_json`]. Span and counter
-/// names become `&'static str` again through the bounded
-/// [`crate::intern`] registry.
+/// Reassembles a [`Trace`] serialized by [`to_json`]. Accepts both the
+/// current `bcag-trace-full/v2` format and the pre-histogram
+/// `bcag-trace-full/v1` (whose lanes simply carry no histograms or
+/// samples). Span and counter names become `&'static str` again through
+/// the bounded [`crate::intern`] registry.
 pub fn from_json(doc: &Json) -> Result<Trace, String> {
     let fmt = doc.get("format").and_then(Json::as_str).unwrap_or("");
-    if fmt != "bcag-trace-full/v1" {
-        return Err(format!("not a bcag-trace-full/v1 document: {fmt:?}"));
+    if fmt != "bcag-trace-full/v2" && fmt != "bcag-trace-full/v1" {
+        return Err(format!("not a bcag-trace-full/v1|v2 document: {fmt:?}"));
     }
     let mut tags = Vec::new();
     if let Some(Json::Obj(fields)) = doc.get("tags") {
@@ -202,10 +332,46 @@ pub fn from_json(doc: &Json) -> Result<Trace, String> {
                 counters.insert(crate::intern(k), v as u64);
             }
         }
+        let mut histograms = std::collections::BTreeMap::new();
+        if let Some(Json::Obj(fields)) = lane.get("histograms") {
+            for (k, v) in fields {
+                let mut buckets = Vec::new();
+                for pair in v.get("buckets").and_then(Json::as_arr).unwrap_or(&[]) {
+                    let pair = pair.as_arr().ok_or("bucket must be [index, count]")?;
+                    let idx = pair
+                        .first()
+                        .and_then(Json::as_i64)
+                        .ok_or("bucket index must be an integer")?;
+                    let n = pair
+                        .get(1)
+                        .and_then(Json::as_i64)
+                        .ok_or("bucket count must be an integer")?;
+                    buckets.push((idx as usize, n as u64));
+                }
+                let sum = v.get("sum").and_then(Json::as_i64).unwrap_or(0) as u64;
+                let max = v.get("max").and_then(Json::as_i64).unwrap_or(0) as u64;
+                histograms.insert(crate::intern(k), Histogram::from_parts(&buckets, sum, max));
+            }
+        }
+        let mut samples = Vec::new();
+        for s in lane.get("samples").and_then(Json::as_arr).unwrap_or(&[]) {
+            let s = s.as_arr().ok_or("sample must be [name, t_ns, value]")?;
+            samples.push(Sample {
+                name: crate::intern(
+                    s.first()
+                        .and_then(Json::as_str)
+                        .ok_or("sample without name")?,
+                ),
+                t_ns: s.get(1).and_then(Json::as_i64).ok_or("sample t_ns")? as u64,
+                value: s.get(2).and_then(Json::as_i64).ok_or("sample value")? as u64,
+            });
+        }
         lanes.push(Lane {
             label,
             events,
             counters,
+            histograms,
+            samples,
         });
     }
     Ok(Trace { lanes, tags })
@@ -214,7 +380,7 @@ pub fn from_json(doc: &Json) -> Result<Trace, String> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{capture, count, set_lane_label, set_tag, span};
+    use crate::{capture, count, gauge, record, set_lane_label, set_tag, span};
 
     fn sample_trace() -> Trace {
         let ((), trace) = capture(|| {
@@ -224,6 +390,10 @@ mod tests {
                         set_lane_label(&format!("node-{m}"));
                         let _sp = span("work");
                         count("elements_moved", 10 * (m + 1) as u64);
+                        for i in 0..20u64 {
+                            record("recv_wait_ns", i * 100 * (m + 1) as u64);
+                        }
+                        gauge("queue_depth", m as u64);
                     });
                 }
             });
@@ -236,10 +406,20 @@ mod tests {
         let trace = sample_trace();
         let doc = summary(&trace);
         let text = doc.to_string();
-        assert!(text.contains(r#""format":"bcag-trace/v1""#), "{text}");
+        assert!(text.contains(r#""format":"bcag-trace/v2""#), "{text}");
         assert!(text.contains(r#""elements_moved":30"#), "{text}");
         assert!(text.contains(r#""label":"node-0""#), "{text}");
         assert!(text.contains(r#""critical_path_ns":"#), "{text}");
+        assert!(text.contains(r#""histograms":"#), "{text}");
+        assert!(text.contains(r#""recv_wait_ns":"#), "{text}");
+        assert!(text.contains(r#""p99":"#), "{text}");
+        // Top-level histogram section merges both lanes' 20 samples.
+        let h = doc
+            .get("histograms")
+            .and_then(|h| h.get("recv_wait_ns"))
+            .and_then(|h| h.get("count"))
+            .and_then(Json::as_i64);
+        assert_eq!(h, Some(40));
     }
 
     #[test]
@@ -250,7 +430,9 @@ mod tests {
         assert!(text.contains(r#""traceEvents":"#), "{text}");
         assert!(text.contains(r#""ph":"M""#), "{text}");
         assert!(text.contains(r#""ph":"X""#), "{text}");
+        assert!(text.contains(r#""ph":"C""#), "{text}");
         assert!(text.contains(r#""name":"node-1""#), "{text}");
+        assert!(text.contains(r#""name":"queue_depth""#), "{text}");
         // Rebased: some event starts at ts 0.
         assert!(text.contains(r#""ts":0"#), "{text}");
     }
@@ -258,8 +440,9 @@ mod tests {
     #[test]
     fn empty_trace_exports_cleanly() {
         let trace = Trace::empty();
-        assert!(summary(&trace).to_string().contains("bcag-trace/v1"));
+        assert!(summary(&trace).to_string().contains("bcag-trace/v2"));
         assert!(chrome(&trace).to_string().contains("traceEvents"));
+        assert_eq!(prometheus(&trace), "");
     }
 
     #[test]
@@ -277,6 +460,33 @@ mod tests {
     }
 
     #[test]
+    fn prometheus_emits_counters_and_cumulative_buckets() {
+        let trace = sample_trace();
+        let text = prometheus(&trace);
+        assert!(
+            text.contains("# TYPE bcag_elements_moved counter"),
+            "{text}"
+        );
+        assert!(text.contains("bcag_elements_moved 30"), "{text}");
+        assert!(
+            text.contains("# TYPE bcag_recv_wait_ns histogram"),
+            "{text}"
+        );
+        assert!(
+            text.contains(r#"bcag_recv_wait_ns_bucket{le="+Inf"} 40"#),
+            "{text}"
+        );
+        assert!(text.contains("bcag_recv_wait_ns_count 40"), "{text}");
+        // Cumulative bucket counts are non-decreasing.
+        let mut prev = 0u64;
+        for line in text.lines().filter(|l| l.contains("_bucket{le=")) {
+            let n: u64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+            assert!(n >= prev, "{line}");
+            prev = n;
+        }
+    }
+
+    #[test]
     fn full_json_round_trip_preserves_trace() {
         let mut trace = sample_trace();
         trace.tags.push(("transport".into(), "proc".into()));
@@ -287,6 +497,27 @@ mod tests {
         // Merging with an empty trace is identity on lanes and tags.
         let merged = Trace::merged(vec![Trace::empty(), back]);
         assert_eq!(merged, trace);
+        // Histogram totals survive the round trip and the merge.
+        assert_eq!(
+            merged.histogram_total("recv_wait_ns"),
+            trace.histogram_total("recv_wait_ns")
+        );
+    }
+
+    #[test]
+    fn from_json_accepts_v1_documents() {
+        let doc = Json::parse(
+            r#"{"format":"bcag-trace-full/v1","tags":{"transport":"proc"},
+                "lanes":[{"label":"node-0",
+                          "events":[{"name":"work","start_ns":10,"dur_ns":5,"depth":0}],
+                          "counters":{"elements_moved":42}}]}"#,
+        )
+        .unwrap();
+        let trace = from_json(&doc).unwrap();
+        assert_eq!(trace.counter_total("elements_moved"), 42);
+        assert_eq!(trace.span_count("work"), 1);
+        assert!(trace.histogram_names().is_empty());
+        assert_eq!(trace.tag("transport"), Some("proc"));
     }
 
     #[test]

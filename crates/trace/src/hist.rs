@@ -1,0 +1,310 @@
+//! HDR-style latency/size histograms: power-of-two buckets subdivided
+//! into linear sub-buckets, giving bounded relative error with a small,
+//! lazily-grown table and an exact bucket-wise merge.
+//!
+//! Values below [`SUB_BUCKETS`] land in exact unit-width buckets. Above
+//! that, each power-of-two range `[2^m, 2^(m+1))` splits into
+//! [`SUB_BUCKETS`] equal sub-buckets, so any recorded value is bucketed
+//! within a factor of `1/SUB_BUCKETS` (~3.1%) of its true magnitude.
+//! Percentile queries return the *upper bound* of the bucket holding the
+//! target rank (and exactly `max()` at the top), which keeps
+//! `percentile(q)` monotone in `q`; [`Histogram::percentile_bounds`]
+//! exposes the full bucket interval when the error bound matters.
+//!
+//! Merging adds bucket counts index-by-index, so merge is associative and
+//! commutative and `Trace::merged` composes per-process histograms into
+//! exactly the histogram a single-process run would have recorded.
+
+/// log2 of the number of linear sub-buckets per power-of-two range.
+pub const SUB_BITS: u32 = 5;
+/// Number of linear sub-buckets per power-of-two range (32): the maximum
+/// relative bucketing error is `1/SUB_BUCKETS` ≈ 3.1%.
+pub const SUB_BUCKETS: u64 = 1 << SUB_BITS;
+
+/// Returns the bucket index for a value. Values `< SUB_BUCKETS` map to
+/// exact unit buckets; larger values map into the linear sub-bucket of
+/// their power-of-two range.
+#[inline]
+pub fn bucket_index(v: u64) -> usize {
+    if v < SUB_BUCKETS {
+        return v as usize;
+    }
+    let msb = 63 - v.leading_zeros(); // >= SUB_BITS
+    let block = (msb - SUB_BITS + 1) as usize;
+    let sub = ((v >> (msb - SUB_BITS)) - SUB_BUCKETS) as usize;
+    (block << SUB_BITS) + sub
+}
+
+/// Returns the inclusive `[lo, hi]` value range covered by a bucket index.
+pub fn bucket_bounds(index: usize) -> (u64, u64) {
+    let block = index >> SUB_BITS;
+    let sub = (index & (SUB_BUCKETS as usize - 1)) as u64;
+    if block == 0 {
+        return (sub, sub);
+    }
+    let shift = (block - 1) as u32;
+    let lo = (SUB_BUCKETS + sub) << shift;
+    let hi = lo + ((1u64 << shift) - 1);
+    (lo, hi)
+}
+
+/// A fixed-error histogram of `u64` samples (typically nanoseconds or
+/// bytes). Zero-dependency and allocation-light: the bucket table grows
+/// lazily to the highest index actually recorded.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        self.record_n(v, 1);
+    }
+
+    /// Records `n` identical samples.
+    pub fn record_n(&mut self, v: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        let idx = bucket_index(v);
+        if idx >= self.counts.len() {
+            self.counts.resize(idx + 1, 0);
+        }
+        self.counts[idx] += n;
+        self.count += n;
+        self.sum = self.sum.saturating_add(v.saturating_mul(n));
+        self.max = self.max.max(v);
+    }
+
+    /// Adds another histogram's buckets into this one (exact: merging
+    /// per-process histograms equals recording all samples in one).
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.counts.len() > self.counts.len() {
+            self.counts.resize(other.counts.len(), 0);
+        }
+        for (i, n) in other.counts.iter().enumerate() {
+            self.counts[i] += n;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Total number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Saturating sum of all recorded samples.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Largest recorded sample (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean of recorded samples, rounded down (0 when empty).
+    pub fn mean(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.sum / self.count
+        }
+    }
+
+    /// True when no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Value at quantile `q` in `[0, 100]`: the upper bound of the bucket
+    /// containing the target rank, except the top of the distribution
+    /// where the exact `max()` is returned. Monotone in `q`. Returns 0 on
+    /// an empty histogram.
+    pub fn percentile(&self, q: f64) -> u64 {
+        match self.rank_bucket(q) {
+            None => 0,
+            Some((idx, is_last)) => {
+                if is_last {
+                    self.max
+                } else {
+                    bucket_bounds(idx).1
+                }
+            }
+        }
+    }
+
+    /// The `[lo, hi]` bucket interval containing quantile `q`: the true
+    /// sample value at that rank lies within these bounds. Returns
+    /// `(0, 0)` on an empty histogram.
+    pub fn percentile_bounds(&self, q: f64) -> (u64, u64) {
+        match self.rank_bucket(q) {
+            None => (0, 0),
+            Some((idx, _)) => bucket_bounds(idx),
+        }
+    }
+
+    /// Finds the bucket holding the rank for quantile `q`; returns
+    /// `(index, is_last_nonempty)`.
+    fn rank_bucket(&self, q: f64) -> Option<(usize, bool)> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 100.0);
+        let rank = ((q / 100.0 * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cum = 0u64;
+        let mut last = 0usize;
+        for (i, &n) in self.counts.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            cum += n;
+            last = i;
+            if cum >= rank {
+                // Is this the last non-empty bucket?
+                let is_last = self.counts[i + 1..].iter().all(|&m| m == 0);
+                return Some((i, is_last));
+            }
+        }
+        Some((last, true))
+    }
+
+    /// Iterates the non-empty buckets as `(index, count)` pairs in
+    /// ascending index order.
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (usize, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(i, &n)| (i, n))
+    }
+
+    /// Rebuilds a histogram from serialized parts: `(index, count)` bucket
+    /// pairs plus the exact `sum` and `max` that bucketing discards.
+    pub fn from_parts(buckets: &[(usize, u64)], sum: u64, max: u64) -> Self {
+        let mut h = Histogram::new();
+        for &(idx, n) in buckets {
+            if n == 0 {
+                continue;
+            }
+            if idx >= h.counts.len() {
+                h.counts.resize(idx + 1, 0);
+            }
+            h.counts[idx] += n;
+            h.count += n;
+        }
+        h.sum = sum;
+        h.max = max;
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_are_exact() {
+        for v in 0..SUB_BUCKETS {
+            let idx = bucket_index(v);
+            assert_eq!(bucket_bounds(idx), (v, v), "v={v}");
+        }
+    }
+
+    #[test]
+    fn bounds_contain_value_and_tile_the_axis() {
+        let mut expected_lo = 0u64;
+        for idx in 0..bucket_index(1 << 20) {
+            let (lo, hi) = bucket_bounds(idx);
+            assert_eq!(lo, expected_lo, "idx={idx}");
+            assert!(hi >= lo);
+            expected_lo = hi + 1;
+        }
+        for v in [0, 1, 31, 32, 33, 63, 64, 100, 1000, 1 << 20, u64::MAX] {
+            let (lo, hi) = bucket_bounds(bucket_index(v));
+            assert!(lo <= v && v <= hi, "v={v} not in [{lo},{hi}]");
+        }
+    }
+
+    #[test]
+    fn relative_error_is_bounded() {
+        for v in [100u64, 999, 12_345, 1 << 30, (1 << 40) + 12_345] {
+            let (lo, hi) = bucket_bounds(bucket_index(v));
+            let err = (hi - lo) as f64 / lo as f64;
+            assert!(err <= 1.0 / SUB_BUCKETS as f64 + 1e-9, "v={v} err={err}");
+        }
+    }
+
+    #[test]
+    fn percentiles_of_uniform_ramp() {
+        let mut h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 1000);
+        assert_eq!(h.max(), 1000);
+        assert_eq!(h.percentile(100.0), 1000);
+        let p50 = h.percentile(50.0);
+        assert!((470..=540).contains(&p50), "p50={p50}");
+        let (lo, hi) = h.percentile_bounds(50.0);
+        assert!(lo <= 500 && 500 <= hi + hi / 16, "bounds ({lo},{hi})");
+        // Monotone in q.
+        let mut prev = 0;
+        for q in [0.0, 10.0, 50.0, 90.0, 95.0, 99.0, 100.0] {
+            let v = h.percentile(q);
+            assert!(v >= prev, "q={q}: {v} < {prev}");
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn merge_equals_recording_everything_in_one() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut all = Histogram::new();
+        for i in 0..500u64 {
+            let v = i * i % 7919;
+            if i % 2 == 0 {
+                a.record(v);
+            } else {
+                b.record(v);
+            }
+            all.record(v);
+        }
+        let mut merged = a.clone();
+        merged.merge(&b);
+        assert_eq!(merged, all);
+    }
+
+    #[test]
+    fn parts_round_trip() {
+        let mut h = Histogram::new();
+        for v in [0u64, 5, 31, 32, 1000, 123_456_789] {
+            h.record(v);
+        }
+        let buckets: Vec<(usize, u64)> = h.nonzero_buckets().collect();
+        let back = Histogram::from_parts(&buckets, h.sum(), h.max());
+        assert_eq!(back, h);
+    }
+
+    #[test]
+    fn empty_histogram_is_benign() {
+        let h = Histogram::new();
+        assert_eq!(h.percentile(99.0), 0);
+        assert_eq!(h.percentile_bounds(50.0), (0, 0));
+        assert_eq!(h.mean(), 0);
+        assert!(h.is_empty());
+    }
+}

@@ -35,14 +35,29 @@
 //! cycle and also serializes concurrent sessions in one process (the
 //! switch and sink are process-global).
 //!
-//! Export lives in [`export`]: a `bcag-trace/v1` summary (counter totals,
-//! per-lane aggregates, max-over-nodes critical path) and the Chrome Trace
-//! Event format loadable by `chrome://tracing` / Perfetto.
+//! * **Histograms** — [`record`] adds a sample to a named per-lane
+//!   [`Histogram`] (HDR-style: power-of-two buckets with linear
+//!   sub-buckets, ~3.1% bucket error); [`timed_span`] is the RAII form
+//!   that records the guarded scope's duration in nanoseconds without
+//!   producing a timeline event. Histograms merge exactly, so
+//!   [`Trace::merged`] composes per-process distributions just like
+//!   counters.
+//! * **Gauges** — [`gauge`] samples an instantaneous value (queue depth,
+//!   cache occupancy) with a timestamp; the Chrome export renders them as
+//!   counter tracks over time.
+//!
+//! Export lives in [`export`]: a `bcag-trace/v2` summary (counter totals,
+//! histogram percentiles, per-lane aggregates, max-over-nodes critical
+//! path), the Chrome Trace Event format loadable by `chrome://tracing` /
+//! Perfetto, and a Prometheus-style text exposition writer.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod export;
+pub mod hist;
+
+pub use hist::Histogram;
 
 use std::cell::RefCell;
 use std::collections::BTreeMap;
@@ -75,12 +90,25 @@ pub struct Event {
     pub depth: u32,
 }
 
+/// One timestamped gauge sample on a lane.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Sample {
+    /// Gauge name.
+    pub name: &'static str,
+    /// Sample time, nanoseconds since the trace epoch.
+    pub t_ns: u64,
+    /// Instantaneous value at that time.
+    pub value: u64,
+}
+
 /// Mutable per-thread collection state.
 struct LaneData {
     label: String,
     depth: u32,
     events: Vec<Event>,
     counters: BTreeMap<&'static str, u64>,
+    histograms: BTreeMap<&'static str, Histogram>,
+    samples: Vec<Sample>,
 }
 
 thread_local! {
@@ -108,6 +136,8 @@ fn with_lane<R>(f: impl FnOnce(&mut LaneData) -> R) -> R {
                 depth: 0,
                 events: Vec::new(),
                 counters: BTreeMap::new(),
+                histograms: BTreeMap::new(),
+                samples: Vec::new(),
             }));
             lock_clean(&REGISTRY).push(lane.clone());
             *slot = Some((gen, lane));
@@ -173,6 +203,8 @@ pub fn stop() -> Trace {
                 label: std::mem::take(&mut d.label),
                 events: std::mem::take(&mut d.events),
                 counters: std::mem::take(&mut d.counters),
+                histograms: std::mem::take(&mut d.histograms),
+                samples: std::mem::take(&mut d.samples),
             }
         })
         .collect();
@@ -274,6 +306,105 @@ pub fn count_on_lane(label: &str, name: &'static str, delta: u64) {
     }
 }
 
+/// Records one sample into the named histogram on the current thread's
+/// lane. A disabled call is one relaxed atomic load.
+#[inline]
+pub fn record(name: &'static str, value: u64) {
+    if !enabled() {
+        return;
+    }
+    with_lane(|l| l.histograms.entry(name).or_default().record(value));
+}
+
+/// Records a sample into a histogram on the lane currently labeled
+/// `label` (the histogram analogue of [`count_on_lane`]: the machine
+/// credits each node's barrier wait after the join, when only the
+/// launcher knows the maximum). Unknown labels are ignored.
+pub fn record_on_lane(label: &str, name: &'static str, value: u64) {
+    if !enabled() {
+        return;
+    }
+    for lane in lock_clean(&REGISTRY).iter() {
+        let mut d = lock_clean(lane);
+        if d.label == label {
+            d.histograms.entry(name).or_default().record(value);
+            return;
+        }
+    }
+}
+
+/// Merges a locally-built [`Histogram`] into the named histogram on the
+/// current thread's lane (bulk form of [`record`]: analyses that build a
+/// distribution off to the side fold it in with one call). A disabled
+/// call is one relaxed atomic load.
+#[inline]
+pub fn record_hist(name: &'static str, h: &Histogram) {
+    if !enabled() || h.is_empty() {
+        return;
+    }
+    with_lane(|l| l.histograms.entry(name).or_default().merge(h));
+}
+
+/// Samples an instantaneous gauge value (queue depth, cache occupancy)
+/// on the current thread's lane. A disabled call is one relaxed atomic
+/// load.
+#[inline]
+pub fn gauge(name: &'static str, value: u64) {
+    if !enabled() {
+        return;
+    }
+    let t_ns = now_ns();
+    with_lane(|l| l.samples.push(Sample { name, t_ns, value }));
+}
+
+/// The current in-session total of a counter across all registered lanes
+/// (0 while disabled). Lets always-on diagnostics (the flight recorder)
+/// read live deltas without waiting for [`stop`].
+pub fn counter_now(name: &str) -> u64 {
+    if !enabled() {
+        return 0;
+    }
+    lock_clean(&REGISTRY)
+        .iter()
+        .map(|lane| lock_clean(lane).counters.get(name).copied().unwrap_or(0))
+        .sum()
+}
+
+/// RAII guard returned by [`timed_span`]; records the elapsed nanoseconds
+/// into a histogram on drop (no timeline event).
+#[must_use = "a timed_span measures the scope holding the guard"]
+pub struct TimedSpan {
+    open: Option<(&'static str, u64, Instant)>,
+}
+
+/// Times the guarded scope and records its duration (ns) into the named
+/// histogram when the guard drops. Cheaper than [`span`] on hot paths
+/// that only need the distribution, not the timeline. Disabled calls are
+/// one relaxed atomic load; guards straddling a [`stop`] are discarded.
+#[inline]
+pub fn timed_span(name: &'static str) -> TimedSpan {
+    if !enabled() {
+        return TimedSpan { open: None };
+    }
+    let gen = GENERATION.load(Ordering::Acquire);
+    TimedSpan {
+        open: Some((name, gen, Instant::now())),
+    }
+}
+
+impl Drop for TimedSpan {
+    fn drop(&mut self) {
+        let Some((name, gen, t0)) = self.open.take() else {
+            return;
+        };
+        if GENERATION.load(Ordering::Acquire) != gen || !enabled() {
+            return;
+        }
+        let ns = t0.elapsed().as_nanos() as u64;
+        with_lane(|l| l.histograms.entry(name).or_default().record(ns));
+    }
+}
+
 /// RAII span guard returned by [`span`]; records a complete event on drop.
 #[must_use = "a span measures the scope holding the guard"]
 pub struct Span {
@@ -340,6 +471,10 @@ pub struct Lane {
     pub events: Vec<Event>,
     /// Counter totals accumulated on this lane.
     pub counters: BTreeMap<&'static str, u64>,
+    /// Sample distributions recorded on this lane.
+    pub histograms: BTreeMap<&'static str, Histogram>,
+    /// Timestamped gauge samples recorded on this lane.
+    pub samples: Vec<Sample>,
 }
 
 impl Lane {
@@ -363,6 +498,24 @@ impl Lane {
     pub fn node_id(&self) -> Option<usize> {
         self.label.strip_prefix("node-")?.parse().ok()
     }
+
+    /// This lane's histogram for a name, if any samples were recorded.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+}
+
+/// Per-span-name aggregate produced by [`Trace::span_rollup`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanStat {
+    /// Span name.
+    pub name: &'static str,
+    /// Number of completed spans with this name.
+    pub count: u64,
+    /// Total time inside these spans (children included).
+    pub total_ns: u64,
+    /// Time inside these spans minus time inside their nested children.
+    pub self_ns: u64,
 }
 
 /// A completed recording session: one [`Lane`] per participating thread.
@@ -443,6 +596,63 @@ impl Trace {
             .flat_map(|l| &l.events)
             .filter(|e| e.name == name)
             .count()
+    }
+
+    /// Exact merge of a histogram over all lanes: the distribution a
+    /// single lane would hold had it recorded every sample. Empty when no
+    /// lane recorded the name.
+    pub fn histogram_total(&self, name: &str) -> Histogram {
+        let mut out = Histogram::new();
+        for lane in &self.lanes {
+            if let Some(h) = lane.histograms.get(name) {
+                out.merge(h);
+            }
+        }
+        out
+    }
+
+    /// Every histogram name present on any lane, sorted and deduplicated.
+    pub fn histogram_names(&self) -> Vec<&'static str> {
+        let mut names: Vec<&'static str> = self
+            .lanes
+            .iter()
+            .flat_map(|l| l.histograms.keys().copied())
+            .collect();
+        names.sort_unstable();
+        names.dedup();
+        names
+    }
+
+    /// Per-span-name totals with self time (total minus nested children),
+    /// sorted by total time descending. Events on a lane are in
+    /// completion order, so children always precede their parent; a
+    /// per-depth accumulator attributes each child's duration to its
+    /// enclosing span exactly once.
+    pub fn span_rollup(&self) -> Vec<SpanStat> {
+        let mut stats: BTreeMap<&'static str, SpanStat> = BTreeMap::new();
+        for lane in &self.lanes {
+            let mut child_ns: Vec<u64> = Vec::new();
+            for e in &lane.events {
+                let d = e.depth as usize;
+                if child_ns.len() <= d + 1 {
+                    child_ns.resize(d + 2, 0);
+                }
+                let nested = std::mem::take(&mut child_ns[d + 1]);
+                child_ns[d] += e.dur_ns;
+                let s = stats.entry(e.name).or_insert(SpanStat {
+                    name: e.name,
+                    count: 0,
+                    total_ns: 0,
+                    self_ns: 0,
+                });
+                s.count += 1;
+                s.total_ns += e.dur_ns;
+                s.self_ns += e.dur_ns.saturating_sub(nested);
+            }
+        }
+        let mut out: Vec<SpanStat> = stats.into_values().collect();
+        out.sort_by(|a, b| b.total_ns.cmp(&a.total_ns).then(a.name.cmp(b.name)));
+        out
     }
 
     /// The paper's timing discipline: the maximum busy time over node
@@ -548,6 +758,117 @@ mod tests {
             123
         );
         assert_eq!(trace.counter_total("barrier_wait_ns"), 123);
+    }
+
+    #[test]
+    fn record_and_timed_span_build_histograms() {
+        let ((), trace) = capture(|| {
+            set_lane_label("node-0");
+            for v in [5u64, 50, 500, 5000] {
+                record("msg_bytes", v);
+            }
+            let _t = timed_span("work_ns");
+        });
+        let lane = trace.lane("node-0").unwrap();
+        let h = lane.histogram("msg_bytes").unwrap();
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.max(), 5000);
+        let t = trace.histogram_total("work_ns");
+        assert_eq!(t.count(), 1);
+        assert!(trace.histogram_names().contains(&"msg_bytes"));
+    }
+
+    #[test]
+    fn histogram_total_merges_across_lanes() {
+        let ((), trace) = capture(|| {
+            std::thread::scope(|scope| {
+                for m in 0..3 {
+                    scope.spawn(move || {
+                        set_lane_label(&format!("node-{m}"));
+                        for i in 0..10u64 {
+                            record("wait_ns", i * (m + 1) as u64);
+                        }
+                    });
+                }
+            });
+            record_on_lane("node-1", "wait_ns", 7777);
+            record_on_lane("no-such-lane", "wait_ns", 1);
+        });
+        let total = trace.histogram_total("wait_ns");
+        assert_eq!(total.count(), 31);
+        assert_eq!(total.max(), 7777);
+        assert_eq!(
+            trace
+                .lane("node-1")
+                .unwrap()
+                .histogram("wait_ns")
+                .unwrap()
+                .count(),
+            11
+        );
+    }
+
+    #[test]
+    fn gauges_record_timestamped_samples() {
+        let ((), trace) = capture(|| {
+            set_lane_label("main");
+            gauge("queue_depth", 3);
+            gauge("queue_depth", 1);
+        });
+        let lane = trace.lane("main").unwrap();
+        assert_eq!(lane.samples.len(), 2);
+        assert_eq!(lane.samples[0].value, 3);
+        assert!(lane.samples[1].t_ns >= lane.samples[0].t_ns);
+    }
+
+    #[test]
+    fn counter_now_reads_live_totals() {
+        let ((), ()) = {
+            let _guard = session_lock();
+            start();
+            count("live", 4);
+            assert_eq!(counter_now("live"), 4);
+            count("live", 2);
+            assert_eq!(counter_now("live"), 6);
+            let _ = stop();
+            assert_eq!(counter_now("live"), 0);
+            ((), ())
+        };
+    }
+
+    #[test]
+    fn span_rollup_computes_self_time() {
+        let ((), trace) = capture(|| {
+            set_lane_label("main");
+            let _outer = span("outer");
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            {
+                let _inner = span("inner");
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+        });
+        let rollup = trace.span_rollup();
+        let outer = rollup.iter().find(|s| s.name == "outer").unwrap();
+        let inner = rollup.iter().find(|s| s.name == "inner").unwrap();
+        assert_eq!(outer.count, 1);
+        assert!(outer.total_ns >= inner.total_ns);
+        assert!(outer.self_ns <= outer.total_ns - inner.total_ns);
+        assert_eq!(inner.self_ns, inner.total_ns);
+        // Sorted by total descending.
+        assert_eq!(rollup[0].name, "outer");
+    }
+
+    #[test]
+    fn timed_span_straddling_stop_is_discarded() {
+        let _guard = session_lock();
+        start();
+        let t = timed_span("straddler_ns");
+        let first = stop();
+        start();
+        drop(t);
+        let second = stop();
+        assert!(first.histogram_total("straddler_ns").is_empty());
+        assert!(second.histogram_total("straddler_ns").is_empty());
     }
 
     #[test]

@@ -1,0 +1,114 @@
+//! Property tests for the histogram: bucket-bound containment, merge
+//! algebra and percentile monotonicity under randomized inputs.
+//!
+//! Reproduce a failure with `BCAG_PROPTEST_SEED=<seed from the report>`;
+//! `BCAG_PROPTEST_CASES` scales the per-property case count.
+
+use bcag_harness::prop::{check, ints, VecOfInts};
+use bcag_trace::hist::{bucket_bounds, bucket_index};
+use bcag_trace::Histogram;
+
+fn hist_of(values: &[i64]) -> Histogram {
+    let mut h = Histogram::new();
+    for &v in values {
+        h.record(v as u64);
+    }
+    h
+}
+
+/// Every recorded value must fall inside the bounds of the bucket it
+/// lands in, and the bucket width must respect the 1/32 relative-error
+/// contract above the exact range.
+#[test]
+fn value_lies_within_its_bucket_bounds() {
+    check("value_within_bucket", &ints(0, i64::MAX), |&v| {
+        let v = v as u64;
+        let idx = bucket_index(v);
+        let (lo, hi) = bucket_bounds(idx);
+        assert!(lo <= v && v <= hi, "value {v} outside bucket [{lo}, {hi}]");
+        // Above the exact unit-bucket range, width/lo <= 1/32.
+        if lo >= 32 {
+            let width = hi - lo + 1;
+            assert!(
+                width <= lo / 32 + 1,
+                "bucket [{lo}, {hi}] too wide for 1/32 relative error"
+            );
+        }
+    });
+}
+
+/// Merging is associative and commutative, and merging two histograms is
+/// indistinguishable from recording the concatenated value stream.
+#[test]
+fn merge_is_concatenation() {
+    let gen = (
+        VecOfInts::new(0, 40, 0, 1 << 30),
+        VecOfInts::new(0, 40, 0, 1 << 30),
+        VecOfInts::new(0, 40, 0, 1 << 30),
+    );
+    check("merge_concat_assoc", &gen, |(a, b, c)| {
+        let (ha, hb, hc) = (hist_of(a), hist_of(b), hist_of(c));
+        // merge == record-all over the concatenation
+        let mut ab = ha.clone();
+        ab.merge(&hb);
+        let concat: Vec<i64> = a.iter().chain(b).copied().collect();
+        assert_eq!(ab, hist_of(&concat), "merge != concatenated recording");
+        // commutativity
+        let mut ba = hb.clone();
+        ba.merge(&ha);
+        assert_eq!(ab, ba, "merge not commutative");
+        // associativity
+        let mut ab_c = ab.clone();
+        ab_c.merge(&hc);
+        let mut bc = hb.clone();
+        bc.merge(&hc);
+        let mut a_bc = ha.clone();
+        a_bc.merge(&bc);
+        assert_eq!(ab_c, a_bc, "merge not associative");
+    });
+}
+
+/// percentile(q) is monotone in q, bounded by max(), and exact at the
+/// extremes of single-bucket populations.
+#[test]
+fn percentiles_are_monotone_and_bounded() {
+    let gen = VecOfInts::new(1, 60, 0, 1 << 40);
+    check("percentile_monotone", &gen, |values| {
+        let h = hist_of(values);
+        let qs = [0.0, 1.0, 10.0, 25.0, 50.0, 75.0, 90.0, 95.0, 99.0, 100.0];
+        let mut prev = 0u64;
+        for &q in &qs {
+            let p = h.percentile(q);
+            assert!(
+                p >= prev,
+                "percentile({q}) = {p} < earlier percentile {prev}"
+            );
+            assert!(p <= h.max(), "percentile({q}) = {p} above max {}", h.max());
+            prev = p;
+        }
+        assert_eq!(h.percentile(100.0), h.max(), "p100 must be the exact max");
+        // The estimate for any q never undershoots the true minimum's
+        // bucket lower bound.
+        let min = values.iter().copied().min().expect("nonempty") as u64;
+        let (min_lo, _) = bucket_bounds(bucket_index(min));
+        assert!(h.percentile(0.0) >= min_lo);
+    });
+}
+
+/// Sum and count survive any merge tree (fold order irrelevant).
+#[test]
+fn count_and_sum_are_merge_invariants() {
+    let gen = VecOfInts::new(0, 50, 0, 1 << 35);
+    check("count_sum_invariant", &gen, |values| {
+        // Split the stream at every position: count/sum of the merge must
+        // equal count/sum of the whole, regardless of the split point.
+        let whole = hist_of(values);
+        for cut in 0..=values.len() {
+            let mut left = hist_of(&values[..cut]);
+            left.merge(&hist_of(&values[cut..]));
+            assert_eq!(left.count(), whole.count());
+            assert_eq!(left.sum(), whole.sum());
+            assert_eq!(left.max(), whole.max());
+        }
+    });
+}

@@ -25,13 +25,21 @@ echo "==> bench smoke (--quick) for every target"
 for bench in construction sorting_ablation gcd_effect codeshapes \
              tableless comm_schedule comm_throughput exec_latency \
              special_cases trace_overhead pack_throughput \
-             transport_throughput; do
+             transport_throughput traffic; do
     echo "--> $bench"
     cargo bench -q --offline -p bcag-bench --bench "$bench" -- --quick \
         > /dev/null
     report="target/bcag-bench/$bench.json"
     [ -s "$report" ] || { echo "missing bench report: $report" >&2; exit 1; }
 done
+# The traffic report must carry the percentile + cache-hit-rate payload,
+# and its committed snapshot must exist at the repo root.
+grep -q '"p99_ns"' target/bcag-bench/traffic.json \
+    || { echo "traffic report lacks percentiles" >&2; exit 1; }
+grep -q '"hit_rate"' target/bcag-bench/traffic.json \
+    || { echo "traffic report lacks cache hit rate" >&2; exit 1; }
+[ -s BENCH_traffic.json ] \
+    || { echo "missing committed BENCH_traffic.json snapshot" >&2; exit 1; }
 
 echo "==> trace smoke: bcag trace on examples/scripts/triad.hpf"
 trace_out="target/ci-trace.json"
@@ -41,8 +49,10 @@ target/release/bcag trace --file examples/scripts/triad.hpf \
     --trace "$trace_out" > /dev/null
 [ -s "$trace_out" ] || { echo "missing trace summary: $trace_out" >&2; exit 1; }
 [ -s "$trace_chrome" ] || { echo "missing chrome trace: $trace_chrome" >&2; exit 1; }
-grep -q '"format": "bcag-trace/v1"' "$trace_out" \
-    || { echo "summary is not bcag-trace/v1: $trace_out" >&2; exit 1; }
+grep -q '"format": "bcag-trace/v2"' "$trace_out" \
+    || { echo "summary is not bcag-trace/v2: $trace_out" >&2; exit 1; }
+grep -q '"histograms"' "$trace_out" \
+    || { echo "summary has no histograms section: $trace_out" >&2; exit 1; }
 grep -q '"traceEvents"' "$trace_chrome" \
     || { echo "chrome file has no traceEvents: $trace_chrome" >&2; exit 1; }
 
@@ -76,5 +86,12 @@ grep -q '"node-3"' "$spmd_out" \
     || { echo "merged spmd trace lost per-node lanes: $spmd_out" >&2; exit 1; }
 grep -q '"transport": "proc"' "$spmd_out" \
     || { echo "spmd trace missing transport tag: $spmd_out" >&2; exit 1; }
+# Percentile telemetry must survive the per-node trace merge: the merged
+# summary carries a histograms section with the node lanes' wait-time
+# distributions.
+grep -q '"histograms"' "$spmd_out" \
+    || { echo "merged spmd trace lost histograms: $spmd_out" >&2; exit 1; }
+grep -q '"recv_wait_ns"' "$spmd_out" \
+    || { echo "merged spmd trace lost recv_wait_ns: $spmd_out" >&2; exit 1; }
 
 echo "ci: OK"
