@@ -1,0 +1,285 @@
+//! Cache-contention bench: concurrent hit-path lookups/sec through the
+//! sharded plan cache vs the legacy single-mutex store.
+//!
+//! The serving regime the ROADMAP targets — many interpreted scripts per
+//! process — turns every statement into a handful of plan-cache lookups.
+//! Before the sharded store, all of them funneled through one global
+//! `Mutex<Vec>` with an O(n) linear scan, serializing exactly the fast
+//! path the paper makes fast. This bench pins the claim with an A/B:
+//!
+//! * `sharded`  — [`ShardedCache`] at the process-default shard count
+//!   (`next_pow2(4 × cores)`, or `BCAG_CACHE_SHARDS` when set);
+//! * `sharded1` — the same store at one shard, i.e. what
+//!   `BCAG_CACHE_SHARDS=1` gives the process-global cache (one lock
+//!   domain, still hash-probed and read-mostly);
+//! * `mutex`    — an in-bench replica of the pre-sharding store: one
+//!   `Mutex` around a `Vec` of entries, linear key scan, stamp LRU.
+//!
+//! Each store is warmed with every key, then hammered with uniformly
+//! distributed hit-path lookups from 1/8/32 driver threads (the
+//! `traffic` bench's driver-count axis). Keys are schedule-shaped
+//! tuples so the `mutex` baseline pays realistic comparison costs.
+//! Two working-set scales run: `default` (capacity 128, 96 keys — the
+//! out-of-the-box store) and `serving` (capacity 1024, 768 keys — a
+//! multi-tenant process where 32 scripts each keep dozens of statement
+//! shapes warm, capacity raised via `BCAG_SCHED_CACHE_CAP` as a serving
+//! deployment would). The serving scale is where the legacy store's
+//! O(n) scan-under-one-lock compounds with contention; the hash-probed
+//! sharded store stays O(1) per lookup at both scales.
+//! The report (`BENCH_cache.json`, schema `bcag-cache/v1`) carries
+//! lookups/sec per (scale, store, threads) plus the headline
+//! `speedup_at_32 = sharded / mutex` at serving scale that CI gates on.
+
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use bcag_harness::bench::default_report_dir;
+use bcag_harness::hash::next_pow2;
+use bcag_harness::json::Json;
+use bcag_harness::rng::Rng;
+use bcag_spmd::cache::ShardedCache;
+
+/// Schedule-shaped key: `(p, k_a, sec_a, k_b, sec_b, method)`.
+type Key = (i64, i64, (i64, i64, i64), i64, (i64, i64, i64), u8);
+type Value = Arc<Vec<u64>>;
+
+fn key_of(i: usize) -> Key {
+    let i = i as i64;
+    (
+        32,
+        8,
+        (i, 384 + i, 3),
+        5,
+        (i + 1, 385 + i, 3),
+        (i % 2) as u8,
+    )
+}
+
+/// The value a build produces: big enough that a plan is not free, small
+/// enough that the bench measures lookup, not memcpy.
+fn build_value(i: usize) -> Value {
+    Arc::new((0..256).map(|j| (i as u64) * 1000 + j).collect())
+}
+
+/// Replica of the pre-sharding store: `Mutex<Vec>` with a linear scan
+/// and stamp-LRU bookkeeping on every hit — the legacy baseline.
+struct MutexVecCache {
+    entries: Mutex<(Vec<(Key, Value, u64)>, u64)>,
+    capacity: usize,
+}
+
+impl MutexVecCache {
+    fn new(capacity: usize) -> MutexVecCache {
+        MutexVecCache {
+            entries: Mutex::new((Vec::new(), 0)),
+            capacity,
+        }
+    }
+
+    fn get_or_build(&self, key: Key, build: impl FnOnce() -> Value) -> Value {
+        {
+            let mut guard = self.entries.lock().unwrap();
+            let (entries, tick) = &mut *guard;
+            *tick += 1;
+            let stamp = *tick;
+            if let Some(pos) = entries.iter().position(|(k, _, _)| *k == key) {
+                entries[pos].2 = stamp;
+                return entries[pos].1.clone();
+            }
+        }
+        let value = build();
+        let mut guard = self.entries.lock().unwrap();
+        let (entries, tick) = &mut *guard;
+        *tick += 1;
+        let stamp = *tick;
+        if let Some(pos) = entries.iter().position(|(k, _, _)| *k == key) {
+            return entries[pos].1.clone();
+        }
+        if entries.len() >= self.capacity {
+            let oldest = entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, (_, _, s))| *s)
+                .map(|(i, _)| i)
+                .expect("non-empty at capacity");
+            entries.swap_remove(oldest);
+        }
+        entries.push((key, value.clone(), stamp));
+        value
+    }
+}
+
+/// One store under test, behind a uniform lookup entry point.
+enum Store {
+    Sharded(ShardedCache<Key, Value>),
+    Mutex(MutexVecCache),
+}
+
+impl Store {
+    fn lookup(&self, i: usize) -> Value {
+        match self {
+            Store::Sharded(s) => {
+                s.get_or_try_build(key_of(i), || Ok::<_, ()>(build_value(i)))
+                    .unwrap()
+                    .value
+            }
+            Store::Mutex(m) => m.get_or_build(key_of(i), || build_value(i)),
+        }
+    }
+}
+
+/// Hammers `store` with hit-path lookups over `keys` distinct keys from
+/// `threads` drivers; returns (total lookups, wall ns). Each worker
+/// clocks its own span after the barrier release and the wall is
+/// `max(end) - min(start)` — timing from the orchestrating thread would
+/// under-count whenever the scheduler runs the released workers to
+/// completion before waking it.
+fn hammer(store: &Store, keys: usize, threads: usize, lookups_per_thread: usize) -> (u64, u64) {
+    let gate = std::sync::Barrier::new(threads);
+    let spans: Vec<(Instant, Instant)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let gate = &gate;
+                scope.spawn(move || {
+                    let mut rng = Rng::seed_from_u64(0xcac4e + t as u64);
+                    gate.wait(); // line up, then measure from the release
+                    let start = Instant::now();
+                    for _ in 0..lookups_per_thread {
+                        let i = rng.random_range(0..keys as i64) as usize;
+                        std::hint::black_box(store.lookup(i));
+                    }
+                    (start, Instant::now())
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let start = spans.iter().map(|(s, _)| *s).min().expect("threads >= 1");
+    let end = spans.iter().map(|(_, e)| *e).max().expect("threads >= 1");
+    let wall_ns = (end - start).as_nanos() as u64;
+    ((threads * lookups_per_thread) as u64, wall_ns.max(1))
+}
+
+/// One working-set scale: (label, store capacity, distinct keys). Keys
+/// stay under capacity so the timed phase is pure hit path — the regime
+/// a read-mostly serving cache lives in.
+const SCALES: [(&str, usize, usize); 2] = [
+    // The out-of-the-box store (`DEFAULT_CAPACITY`), one script's shapes.
+    ("default", 128, 96),
+    // Multi-tenant serving: 32 scripts × dozens of statement shapes,
+    // capacity raised via BCAG_SCHED_CACHE_CAP as a deployment would.
+    ("serving", 1024, 768),
+];
+/// The CI floor on `speedup_at_32` (serving scale).
+const MIN_SPEEDUP_AT_32: f64 = 4.0;
+
+fn main() {
+    let mut quick = false;
+    let mut json_path: Option<std::path::PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--json" => json_path = args.next().map(Into::into),
+            "--bench" => {}
+            other => eprintln!("cache_contention: ignoring unknown argument {other:?}"),
+        }
+    }
+    let lookups_per_thread = if quick { 4_000 } else { 40_000 };
+    let thread_counts = [1usize, 8, 32];
+    let default_shards = match std::env::var("BCAG_CACHE_SHARDS")
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+    {
+        Some(n) if n >= 1 => next_pow2(n),
+        _ => next_pow2(
+            4 * std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+        ),
+    };
+
+    let mut rows = Vec::new();
+    let mut rates: Vec<(&str, &str, usize, f64)> = Vec::new();
+    for &(scale, capacity, keys) in &SCALES {
+        let stores: Vec<(&str, Store)> = vec![
+            (
+                "sharded",
+                Store::Sharded(ShardedCache::new(capacity, default_shards)),
+            ),
+            ("sharded1", Store::Sharded(ShardedCache::new(capacity, 1))),
+            ("mutex", Store::Mutex(MutexVecCache::new(capacity))),
+        ];
+        // Warm every key so the timed phase measures the hit path.
+        for (_, store) in &stores {
+            for i in 0..keys {
+                let _ = store.lookup(i);
+            }
+        }
+        for (name, store) in &stores {
+            for &threads in &thread_counts {
+                let (lookups, wall_ns) = hammer(store, keys, threads, lookups_per_thread);
+                let rate = lookups as f64 / (wall_ns as f64 / 1e9);
+                println!(
+                    "{scale:>8} {name:>8} threads={threads:<2} {:>12.0} lookups/sec",
+                    rate
+                );
+                rates.push((scale, name, threads, rate));
+                rows.push(Json::obj(vec![
+                    ("scale", Json::Str(scale.into())),
+                    ("capacity", Json::Int(capacity as i64)),
+                    ("keys", Json::Int(keys as i64)),
+                    ("store", Json::Str((*name).into())),
+                    ("threads", Json::Int(threads as i64)),
+                    ("lookups", Json::Int(lookups as i64)),
+                    ("wall_ns", Json::Int(wall_ns as i64)),
+                    ("lookups_per_sec", Json::Num(rate)),
+                ]));
+            }
+        }
+    }
+
+    let rate_of = |scale: &str, name: &str, threads: usize| {
+        rates
+            .iter()
+            .find(|(sc, n, t, _)| *sc == scale && *n == name && *t == threads)
+            .map(|(_, _, _, r)| *r)
+            .expect("measured")
+    };
+    let max_threads = *thread_counts.last().expect("thread counts");
+    let speedup_at_32 =
+        rate_of("serving", "sharded", max_threads) / rate_of("serving", "mutex", max_threads);
+    let speedup_default =
+        rate_of("default", "sharded", max_threads) / rate_of("default", "mutex", max_threads);
+    println!(
+        "sharded vs mutex at {max_threads} threads: {speedup_at_32:.1}x serving, \
+         {speedup_default:.1}x default (shards={default_shards})"
+    );
+
+    let report = Json::obj(vec![
+        ("schema", Json::Str("bcag-cache/v1".into())),
+        ("bench", Json::Str("cache_contention".into())),
+        ("quick", Json::Bool(quick)),
+        ("shards", Json::Int(default_shards as i64)),
+        ("lookups_per_thread", Json::Int(lookups_per_thread as i64)),
+        ("rows", Json::Arr(rows)),
+        ("speedup_at_32", Json::Num(speedup_at_32)),
+        ("speedup_at_32_default_scale", Json::Num(speedup_default)),
+        (
+            "slo",
+            Json::obj(vec![
+                ("min_speedup_at_32", Json::Num(MIN_SPEEDUP_AT_32)),
+                (
+                    "speedup_within_slo",
+                    Json::Bool(speedup_at_32 >= MIN_SPEEDUP_AT_32),
+                ),
+            ]),
+        ),
+    ]);
+    let path = json_path.unwrap_or_else(|| default_report_dir().join("cache_contention.json"));
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir).expect("create report directory");
+    }
+    std::fs::write(&path, report.to_pretty_string()).expect("write report");
+    println!("cache_contention: report -> {}", path.display());
+}

@@ -9,10 +9,13 @@
 //! the same `(p, k, section)` shapes and the cache hit rate is a
 //! meaningful output rather than noise.
 //!
-//! The report (`BENCH_traffic.json`, schema `bcag-traffic/v1`) carries
-//! p50/p95/p99/max script latency plus the schedule-cache hit rate over
-//! the run. Flags: `--quick` (smoke profile), `--json <path>`,
-//! `--seed <n>`; unknown flags are ignored like the engine's.
+//! The report (`BENCH_traffic.json`, schema `bcag-traffic/v2`) carries
+//! p50/p95/p99/max script latency, the schedule-cache hit rate over the
+//! run, the cache shard count, and an `slo` block: the committed p99
+//! ceiling and hit-rate floor for the full profile, plus pass/fail bools
+//! that `ci.sh` gates merges on. Flags: `--quick` (smoke profile),
+//! `--json <path>`, `--seed <n>`; unknown flags are ignored like the
+//! engine's.
 
 use std::sync::Mutex;
 use std::time::Instant;
@@ -64,6 +67,14 @@ fn random_script(rng: &mut Rng, quick: bool) -> String {
     }
     script
 }
+
+/// Serving SLOs for the full profile, asserted by `ci.sh` against the
+/// committed `BENCH_traffic.json`: whole-script p99 must stay under the
+/// ceiling and the schedule-cache hit rate above the floor. The quick
+/// profile reports the same keys (the gates only bind on full runs —
+/// quick's tiny script count makes its p99 a coin flip).
+const SLO_P99_CEILING_NS: u64 = 6_200_000;
+const SLO_HIT_RATE_FLOOR: f64 = 0.65;
 
 fn hist_json(h: &Histogram) -> Json {
     Json::obj(vec![
@@ -158,8 +169,9 @@ fn main() {
         cache_after.evictions - cache_before.evictions
     );
 
+    let p99_ns = script_latency.percentile(99.0);
     let report = Json::obj(vec![
-        ("schema", Json::Str("bcag-traffic/v1".into())),
+        ("schema", Json::Str("bcag-traffic/v2".into())),
         ("bench", Json::Str("traffic".into())),
         ("quick", Json::Bool(quick)),
         ("threads", Json::Int(threads)),
@@ -181,6 +193,19 @@ fn main() {
                 (
                     "evictions",
                     Json::Int((cache_after.evictions - cache_before.evictions) as i64),
+                ),
+                ("shards", Json::Int(cache_after.shards as i64)),
+            ]),
+        ),
+        (
+            "slo",
+            Json::obj(vec![
+                ("p99_ceiling_ns", Json::Int(SLO_P99_CEILING_NS as i64)),
+                ("hit_rate_floor", Json::Num(SLO_HIT_RATE_FLOOR)),
+                ("p99_within_slo", Json::Bool(p99_ns <= SLO_P99_CEILING_NS)),
+                (
+                    "hit_rate_within_slo",
+                    Json::Bool(hit_rate >= SLO_HIT_RATE_FLOOR),
                 ),
             ]),
         ),

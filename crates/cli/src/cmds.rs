@@ -507,6 +507,21 @@ pub fn stats(argv: &[String]) -> i32 {
             cs.capacity,
             cs.evictions
         );
+        let occ = bcag_spmd::cache::shard_entries();
+        let max = occ.iter().copied().max().unwrap_or(0);
+        let mean = cs.entries as f64 / occ.len().max(1) as f64;
+        // Balance is the max/mean occupancy ratio: 1.0 is a perfectly
+        // even key spread; high values flag a skewed hash distribution
+        // that would re-serialize lookups on one shard.
+        let balance = if cs.entries == 0 {
+            1.0
+        } else {
+            max as f64 / mean
+        };
+        println!(
+            "cache shards: {} occupancy={:?} balance(max/mean)={:.2}",
+            cs.shards, occ, balance
+        );
         print_human_summary(&trace);
         Ok(())
     };

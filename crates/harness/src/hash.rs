@@ -1,0 +1,152 @@
+//! FxHash-style hashing: the rustc/Firefox multiply-rotate mixer.
+//!
+//! The workspace's sharded runtime stores (the schedule cache and the
+//! pool registry in `bcag-spmd`) need a fast, deterministic, in-repo
+//! hash to pick a shard and a table slot. SipHash (the stdlib default)
+//! spends more cycles per key than a cache hit spends on everything
+//! else; FxHash is the standard answer for trusted, non-adversarial
+//! keys: one wrapping multiply and a rotate per word. Determinism
+//! matters doubly here — shard assignment must be stable across runs so
+//! bench A/Bs and the committed reports are reproducible.
+//!
+//! [`FxHasher`] implements [`std::hash::Hasher`], so any `#[derive(Hash)]`
+//! key works; [`hash_one`] is the one-shot convenience.
+
+use std::hash::{Hash, Hasher};
+
+/// The 64-bit Fx multiplier (derived from the golden ratio, as in
+/// rustc's `FxHasher`).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// Word-at-a-time multiply-rotate hasher (FxHash). Not cryptographic and
+/// not DoS-resistant — for internal, trusted keys only.
+#[derive(Debug, Clone, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    /// A fresh hasher with the zero state.
+    pub fn new() -> FxHasher {
+        FxHasher::default()
+    }
+
+    #[inline]
+    fn add_word(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add_word(u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rem.len()].copy_from_slice(rem);
+            self.add_word(u64::from_le_bytes(tail));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_word(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_word(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_word(i as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        // A final avalanche round (SplitMix64's finalizer) so the low
+        // *and* high bits are usable for independent masks: sharded
+        // stores take the shard index from the high bits and the table
+        // slot from the low bits of one hash.
+        let mut z = self.hash;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+/// Hashes one value with [`FxHasher`].
+pub fn hash_one<T: Hash>(value: &T) -> u64 {
+    let mut h = FxHasher::new();
+    value.hash(&mut h);
+    h.finish()
+}
+
+/// The smallest power of two `>= n.max(1)` — shard counts and
+/// open-addressed table sizes are kept at powers of two so index
+/// selection is a mask, not a division.
+pub fn next_pow2(n: usize) -> usize {
+    n.max(1).next_power_of_two()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_hashers() {
+        let key = (7i64, 13i64, (0i64, 99i64, 3i64));
+        assert_eq!(hash_one(&key), hash_one(&key));
+        let other = (7i64, 13i64, (0i64, 99i64, 4i64));
+        assert_ne!(hash_one(&key), hash_one(&other));
+    }
+
+    #[test]
+    fn bytes_and_words_mix_tails() {
+        // Distinct short byte strings (sub-word tails) must not collide
+        // trivially.
+        let a = {
+            let mut h = FxHasher::new();
+            h.write(b"abc");
+            h.finish()
+        };
+        let b = {
+            let mut h = FxHasher::new();
+            h.write(b"abd");
+            h.finish()
+        };
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn high_and_low_bits_both_spread() {
+        // 256 sequential keys through 16 shards (high bits) and a
+        // 64-slot table (low bits): every shard and most slots see
+        // traffic. Sequential integers are the worst realistic case —
+        // (p, k, section) keys differ in a few low words.
+        let mut shards = [0u32; 16];
+        let mut slots = [0u32; 64];
+        for i in 0..256u64 {
+            let h = hash_one(&i);
+            shards[(h >> 32) as usize & 15] += 1;
+            slots[h as usize & 63] += 1;
+        }
+        assert!(shards.iter().all(|&c| c > 0), "{shards:?}");
+        let nonempty = slots.iter().filter(|&&c| c > 0).count();
+        assert!(nonempty > 48, "{nonempty} of 64 slots hit");
+    }
+
+    #[test]
+    fn next_pow2_rounds_up() {
+        assert_eq!(next_pow2(0), 1);
+        assert_eq!(next_pow2(1), 1);
+        assert_eq!(next_pow2(3), 4);
+        assert_eq!(next_pow2(4), 4);
+        assert_eq!(next_pow2(129), 256);
+    }
+}

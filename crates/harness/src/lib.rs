@@ -14,7 +14,10 @@
 //! * [`bench`] — a measurement engine with warmup, calibrated iteration
 //!   counts, median/MAD/min statistics and machine-readable JSON reports
 //!   (the `BENCH_*.json` perf-trajectory files), built on [`stats`] and
-//!   [`json`].
+//!   [`json`];
+//! * [`hash`] — an FxHash-style multiply-rotate hasher (the `fxhash` /
+//!   `rustc-hash` replacement) for the runtime's sharded stores: fast,
+//!   deterministic, and explicitly not DoS-resistant.
 //!
 //! The modules are dependency-free and intentionally small; they implement
 //! the subset of the replaced crates this workspace actually uses, with
@@ -25,6 +28,7 @@
 #![forbid(unsafe_code)]
 
 pub mod bench;
+pub mod hash;
 pub mod json;
 pub mod prop;
 pub mod rng;

@@ -1,7 +1,8 @@
 //! Statement flight recorder: a bounded ring of the last executed
 //! interpreter statements, always on (independent of the `bcag-trace`
 //! switch) and cheap enough to leave running — one `Instant` read, one
-//! schedule-cache stats snapshot and one small mutex push per statement.
+//! lock-free schedule-cache counter rollup and one small mutex push per
+//! statement.
 //!
 //! Each record carries what an operator needs after the fact: the
 //! statement's kind and text, its latency, the data it moved (when
@@ -64,7 +65,11 @@ fn lock_ring() -> std::sync::MutexGuard<'static, VecDeque<StatementRecord>> {
 /// stores per-statement deltas rather than process totals.
 pub struct Baseline {
     t0: Instant,
-    cache: cache::CacheStats,
+    /// `(hits, misses)` via [`cache::counters`] — the lock-free shard
+    /// rollup, not the full [`cache::stats`] snapshot: the recorder runs
+    /// on every statement and must never take the sharded store's table
+    /// locks just for bookkeeping.
+    cache: (u64, u64),
     elements_moved: u64,
     bytes_tx: u64,
 }
@@ -76,7 +81,7 @@ impl Baseline {
         let traced = bcag_trace::enabled();
         Baseline {
             t0: Instant::now(),
-            cache: cache::stats(),
+            cache: cache::counters(),
             elements_moved: if traced {
                 bcag_trace::counter_now("elements_moved")
             } else {
@@ -95,7 +100,7 @@ impl Baseline {
 /// onto the ring, displacing the oldest entry at capacity.
 pub fn record(kind: &'static str, line: &str, before: Baseline, ok: bool) {
     let latency_ns = before.t0.elapsed().as_nanos() as u64;
-    let cache_now = cache::stats();
+    let cache_now = cache::counters();
     let traced = bcag_trace::enabled();
     let rec = StatementRecord {
         seq: SEQ.fetch_add(1, Ordering::Relaxed),
@@ -112,8 +117,8 @@ pub fn record(kind: &'static str, line: &str, before: Baseline, ok: bool) {
         } else {
             0
         },
-        cache_hits: cache_now.hits.saturating_sub(before.cache.hits),
-        cache_misses: cache_now.misses.saturating_sub(before.cache.misses),
+        cache_hits: cache_now.0.saturating_sub(before.cache.0),
+        cache_misses: cache_now.1.saturating_sub(before.cache.1),
         exec_mode: bcag_spmd::comm::ExecMode::Batched.name(),
         pack_mode: bcag_spmd::pack::PackMode::Runs.name(),
         transport: bcag_spmd::transport::active_transport().name(),

@@ -29,7 +29,9 @@
 //! * [`csr`] — the flat compressed-sparse-row storage the schedules and
 //!   2-D rank decompositions are built on;
 //! * [`cache`] — a process-wide, capacity-bounded cache of communication
-//!   schedules and section plans keyed by their build parameters;
+//!   schedules and section plans keyed by their build parameters, sharded
+//!   over `next_pow2(4 × cores)` read-mostly lock domains with
+//!   single-flight builds so concurrent drivers don't serialize on it;
 //! * [`reduce`] — reductions over sections (`SUM`, `DOT_PRODUCT`, custom
 //!   folds) with the same traversal machinery;
 //! * [`dmatrix`] — 2-D distributed matrices over an HPF mapping, with SPMD

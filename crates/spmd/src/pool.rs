@@ -49,7 +49,7 @@ use std::collections::HashMap;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
-use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use bcag_core::error::Result;
 use bcag_core::method::Method;
@@ -509,11 +509,28 @@ impl Pool {
     }
 }
 
+/// Lock domains of the pool registry. Every `Machine::new` and
+/// `CommSchedule` execution resolves its pool through the registry, so
+/// like the schedule cache it must not funnel concurrent drivers through
+/// one exclusive lock; 16 shards is far past the handful of
+/// (machine size, transport) pairs a process ever runs.
+const REGISTRY_SHARDS: usize = 16;
+
 /// Registry of resident pools, one per (machine size, transport) ever
-/// requested.
-fn registry() -> &'static Mutex<Vec<Arc<Pool>>> {
-    static REGISTRY: OnceLock<Mutex<Vec<Arc<Pool>>>> = OnceLock::new();
-    REGISTRY.get_or_init(|| Mutex::new(Vec::new()))
+/// requested: a sharded read-mostly map. The steady-state path (pool
+/// already booted) takes one shared lock on the key's shard; the
+/// write lock doubles as single-flight arbitration for the one-time
+/// worker boot.
+fn registry() -> &'static [RwLock<Vec<Arc<Pool>>>; REGISTRY_SHARDS] {
+    static REGISTRY: OnceLock<[RwLock<Vec<Arc<Pool>>>; REGISTRY_SHARDS]> = OnceLock::new();
+    REGISTRY.get_or_init(|| std::array::from_fn(|_| RwLock::new(Vec::new())))
+}
+
+/// The registry shard for a (machine size, transport) key: high FxHash
+/// bits, like the schedule cache's shard selection.
+fn registry_shard(p: usize, kind: TransportKind) -> &'static RwLock<Vec<Arc<Pool>>> {
+    let hash = bcag_harness::hash::hash_one(&(p, kind));
+    &registry()[(hash >> 32) as usize & (REGISTRY_SHARDS - 1)]
 }
 
 /// The resident pool for machine size `p` on the process-default
@@ -526,7 +543,17 @@ pub fn global(p: i64) -> Arc<Pool> {
 pub fn global_with(p: i64, kind: TransportKind) -> Arc<Pool> {
     assert!(p >= 1, "machine needs at least one node");
     let p = p as usize;
-    let mut pools = lock_clean(registry());
+    let shard = registry_shard(p, kind);
+    {
+        let pools = read_clean(shard);
+        if let Some(pool) = pools.iter().find(|pool| pool.p == p && pool.kind == kind) {
+            return Arc::clone(pool);
+        }
+    }
+    let mut pools = write_clean(shard);
+    // Double-check under the write lock: a racing driver may have booted
+    // this pool between our read probe and here. The write lock makes
+    // the boot single-flight — `p` worker threads spawn exactly once.
     if let Some(pool) = pools.iter().find(|pool| pool.p == p && pool.kind == kind) {
         return Arc::clone(pool);
     }
@@ -658,6 +685,16 @@ pub(crate) fn into_clean<T>(m: Mutex<T>) -> T {
     m.into_inner().unwrap_or_else(|e| e.into_inner())
 }
 
+/// Shared-locks an `RwLock`, ignoring poisoning (see [`lock_clean`]).
+pub(crate) fn read_clean<T>(l: &RwLock<T>) -> RwLockReadGuard<'_, T> {
+    l.read().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Write-locks an `RwLock`, ignoring poisoning (see [`lock_clean`]).
+pub(crate) fn write_clean<T>(l: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
+    l.write().unwrap_or_else(|e| e.into_inner())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -770,6 +807,38 @@ mod tests {
         });
         for (m, slot) in clean.iter().enumerate() {
             assert!(*lock_clean(slot), "node {m} inbox drained after panic");
+        }
+    }
+
+    #[test]
+    fn registry_shares_one_pool_per_key() {
+        let a = global_with(3, TransportKind::Mpsc);
+        let b = global_with(3, TransportKind::Mpsc);
+        assert!(Arc::ptr_eq(&a, &b));
+        let other_kind = global_with(3, TransportKind::Shm);
+        assert!(!Arc::ptr_eq(&a, &other_kind));
+        let other_p = global_with(2, TransportKind::Mpsc);
+        assert!(!Arc::ptr_eq(&a, &other_p));
+    }
+
+    #[test]
+    fn concurrent_lookups_boot_one_pool() {
+        // The shard write lock is the boot arbiter: 8 racing drivers
+        // must share a single pool (worker threads spawn exactly once).
+        let gate = std::sync::Barrier::new(8);
+        let pools: Vec<Arc<Pool>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| {
+                    scope.spawn(|| {
+                        gate.wait();
+                        global_with(9, TransportKind::Shm)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for pool in &pools[1..] {
+            assert!(Arc::ptr_eq(&pools[0], pool));
         }
     }
 

@@ -13,7 +13,12 @@
 //! ([`crate::pool`]), the schedule cache answers the planning queries,
 //! and message buffers come from the per-node arenas: after the first
 //! iteration a statement spawns no threads and allocates no fresh
-//! message buffers.
+//! message buffers. Both shared services are built for many concurrent
+//! drivers: the cache is sharded with lock-free hit bookkeeping and the
+//! pool registry is a sharded read-mostly map, so N interpreted scripts
+//! running this path simultaneously contend only when they miss on the
+//! same key at the same time (and then the single-flight arbitration
+//! builds once and shares the result).
 
 use bcag_core::error::{BcagError, Result};
 use bcag_core::method::Method;

@@ -1,0 +1,146 @@
+//! Serving-path stress tests for the sharded schedule/plan cache:
+//! randomized concurrent hammering of a small [`ShardedCache`] and the
+//! occupancy-gauge contract of `cache::clear()`.
+//!
+//! The hammer is the concurrency oracle for the tentpole invariants:
+//! under 16 threads of mixed hit/miss/evict traffic, (a) every `Arc`
+//! returned for a key is pointer-identical *per build generation* —
+//! single-flight plus shared handles mean a generation has exactly one
+//! allocation, no matter how many threads raced on it — and (b) the
+//! rolled-up counters are exact: `hits + misses == lookups`, with no
+//! lookup dropped or double-counted by the shard bookkeeping.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
+
+use bcag_harness::Rng;
+use bcag_spmd::cache::{self, ShardedCache};
+
+/// Number of distinct keys the hammer draws from. Deliberately larger
+/// than the store capacity so eviction churn runs throughout.
+const KEYS: usize = 24;
+const THREADS: usize = 16;
+const LOOKUPS_PER_THREAD: usize = 400;
+
+#[test]
+fn concurrent_hammer_keeps_generations_and_counters_exact() {
+    // Capacity 8 over 4 shards: 2 entries per shard, so the 24-key
+    // workload constantly evicts while hot keys re-hit.
+    let store: ShardedCache<u64, Arc<(u64, u64)>> = ShardedCache::new(8, 4);
+    // Per-key build-generation counters: every build of key `k` gets a
+    // fresh generation number, baked into the value.
+    let generations: Vec<AtomicU64> = (0..KEYS).map(|_| AtomicU64::new(0)).collect();
+    let gate = Barrier::new(THREADS);
+
+    let per_thread: Vec<Vec<Arc<(u64, u64)>>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let store = &store;
+                let generations = &generations;
+                let gate = &gate;
+                scope.spawn(move || {
+                    let mut rng = Rng::seed_from_u64(0xcafe + t as u64);
+                    let mut got = Vec::with_capacity(LOOKUPS_PER_THREAD);
+                    gate.wait();
+                    for _ in 0..LOOKUPS_PER_THREAD {
+                        // Skewed key choice: half the traffic on 4 hot
+                        // keys (hits), the rest spread wide (misses and
+                        // evictions).
+                        let key = if rng.random_bool(0.5) {
+                            rng.random_range(0..4) as u64
+                        } else {
+                            rng.random_range(0..KEYS as i64) as u64
+                        };
+                        let out = store
+                            .get_or_try_build(key, || {
+                                let generation =
+                                    generations[key as usize].fetch_add(1, Ordering::Relaxed);
+                                Ok::<_, ()>(Arc::new((key, generation)))
+                            })
+                            .unwrap();
+                        assert_eq!(out.value.0, key, "value answers the looked-up key");
+                        got.push(out.value);
+                    }
+                    got
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    // (a) Pointer identity per generation: group every returned Arc by
+    // (key, generation); each group must share one allocation.
+    let mut by_generation: Vec<(u64, u64, Arc<(u64, u64)>)> = Vec::new();
+    let mut lookups = 0u64;
+    for got in &per_thread {
+        lookups += got.len() as u64;
+        for arc in got {
+            let (key, generation) = **arc;
+            match by_generation
+                .iter()
+                .find(|(k, g, _)| *k == key && *g == generation)
+            {
+                Some((_, _, first)) => assert!(
+                    Arc::ptr_eq(first, arc),
+                    "key {key} generation {generation}: two distinct allocations"
+                ),
+                None => by_generation.push((key, generation, Arc::clone(arc))),
+            }
+        }
+    }
+    // Single-flight sanity: the hammer saw far fewer builds than lookups.
+    let builds: u64 = generations.iter().map(|g| g.load(Ordering::Relaxed)).sum();
+    assert!(
+        builds < lookups / 2,
+        "{builds} builds for {lookups} lookups"
+    );
+
+    // (b) Counter exactness under concurrency.
+    let st = store.stats();
+    assert_eq!(
+        st.hits + st.misses,
+        lookups,
+        "every lookup counted exactly once"
+    );
+    assert!(st.entries <= st.capacity);
+    // Every build was triggered by a miss; the remaining misses joined
+    // an in-progress flight (or found the value just-inserted) instead
+    // of duplicating the build.
+    assert!(
+        st.misses >= builds,
+        "misses {} < builds {builds}",
+        st.misses
+    );
+}
+
+#[test]
+fn clear_emits_zeroed_occupancy_gauge() {
+    use bcag_core::method::Method;
+    use bcag_core::section::RegularSection;
+
+    let ((), trace) = bcag_trace::capture(|| {
+        bcag_trace::set_lane_label("cache-clear-test");
+        // Populate, then clear: the timeline must end at zero occupancy,
+        // not at whatever the last insert sampled.
+        let sec = RegularSection::new(2, 902, 9).unwrap();
+        let _ = cache::plans(3, 4, &sec, Method::Lattice).unwrap();
+        cache::clear();
+    });
+    let lane = trace.lane("cache-clear-test").expect("recording lane");
+    let last_entries = lane
+        .samples
+        .iter()
+        .rev()
+        .find(|s| s.name == "schedule_cache_entries")
+        .expect("occupancy gauge sampled");
+    assert_eq!(last_entries.value, 0, "clear() re-zeroes the gauge");
+    // Per-shard occupancy gauges are zeroed too.
+    let shard0 = lane
+        .samples
+        .iter()
+        .rev()
+        .find(|s| s.name.starts_with("schedule_cache_shard"))
+        .expect("per-shard gauge sampled");
+    assert_eq!(shard0.value, 0);
+    assert_eq!(cache::stats().entries, 0);
+}

@@ -357,6 +357,19 @@ pub fn gauge(name: &'static str, value: u64) {
     with_lane(|l| l.samples.push(Sample { name, t_ns, value }));
 }
 
+/// [`gauge`] for names built at runtime (per-shard occupancy gauges like
+/// `schedule_cache_shard3_entries`): interns the name once, then samples
+/// like any static gauge. A disabled call returns before formatting-time
+/// costs matter to the caller, but the caller should still gate any
+/// `format!` behind [`enabled`].
+#[inline]
+pub fn gauge_dyn(name: &str, value: u64) {
+    if !enabled() {
+        return;
+    }
+    gauge(intern(name), value);
+}
+
 /// The current in-session total of a counter across all registered lanes
 /// (0 while disabled). Lets always-on diagnostics (the flight recorder)
 /// read live deltas without waiting for [`stop`].

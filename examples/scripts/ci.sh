@@ -25,21 +25,55 @@ echo "==> bench smoke (--quick) for every target"
 for bench in construction sorting_ablation gcd_effect codeshapes \
              tableless comm_schedule comm_throughput exec_latency \
              special_cases trace_overhead pack_throughput \
-             transport_throughput traffic; do
+             transport_throughput traffic cache_contention; do
     echo "--> $bench"
     cargo bench -q --offline -p bcag-bench --bench "$bench" -- --quick \
         > /dev/null
     report="target/bcag-bench/$bench.json"
     [ -s "$report" ] || { echo "missing bench report: $report" >&2; exit 1; }
 done
-# The traffic report must carry the percentile + cache-hit-rate payload,
-# and its committed snapshot must exist at the repo root.
+# The traffic report must carry the percentile + cache-hit-rate payload
+# plus the serving SLO block, and its committed snapshot must exist at
+# the repo root.
 grep -q '"p99_ns"' target/bcag-bench/traffic.json \
     || { echo "traffic report lacks percentiles" >&2; exit 1; }
 grep -q '"hit_rate"' target/bcag-bench/traffic.json \
     || { echo "traffic report lacks cache hit rate" >&2; exit 1; }
+for slo_key in p99_ceiling_ns hit_rate_floor p99_within_slo hit_rate_within_slo; do
+    grep -q "\"$slo_key\"" target/bcag-bench/traffic.json \
+        || { echo "traffic report lacks SLO key $slo_key" >&2; exit 1; }
+done
 [ -s BENCH_traffic.json ] \
     || { echo "missing committed BENCH_traffic.json snapshot" >&2; exit 1; }
+
+# Serving SLO gates bind on the committed full-profile snapshots (the
+# quick smoke's sample counts are too small for a stable p99): traffic
+# p99 under its committed ceiling + hit rate over its floor, and the
+# sharded cache's contention win at or above the committed floor.
+awk '
+    /"p99_ns":/         { gsub(/[^0-9]/, "", $2); p99 = $2 }
+    /"p99_ceiling_ns":/ { gsub(/[^0-9]/, "", $2); ceil = $2 }
+    /"hit_rate":/       { gsub(/[^0-9.]/, "", $2); rate = $2 }
+    /"hit_rate_floor":/ { gsub(/[^0-9.]/, "", $2); floor = $2 }
+    END {
+        if (p99 == "" || ceil == "" || rate == "" || floor == "")
+            { print "BENCH_traffic.json missing SLO fields" > "/dev/stderr"; exit 1 }
+        if (p99 + 0 > ceil + 0)
+            { printf "traffic p99 %d ns exceeds SLO ceiling %d ns\n", p99, ceil > "/dev/stderr"; exit 1 }
+        if (rate + 0 < floor + 0)
+            { printf "traffic hit rate %s below SLO floor %s\n", rate, floor > "/dev/stderr"; exit 1 }
+    }' BENCH_traffic.json
+[ -s BENCH_cache.json ] \
+    || { echo "missing committed BENCH_cache.json snapshot" >&2; exit 1; }
+awk '
+    /"speedup_at_32":/     { gsub(/[^0-9.]/, "", $2); speedup = $2 }
+    /"min_speedup_at_32":/ { gsub(/[^0-9.]/, "", $2); floor = $2 }
+    END {
+        if (speedup == "" || floor == "")
+            { print "BENCH_cache.json missing speedup fields" > "/dev/stderr"; exit 1 }
+        if (speedup + 0 < floor + 0)
+            { printf "cache speedup %sx below SLO floor %sx\n", speedup, floor > "/dev/stderr"; exit 1 }
+    }' BENCH_cache.json
 
 echo "==> trace smoke: bcag trace on examples/scripts/triad.hpf"
 trace_out="target/ci-trace.json"
