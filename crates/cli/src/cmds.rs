@@ -497,6 +497,12 @@ pub fn stats(argv: &[String]) -> i32 {
             records.len()
         );
         print!("{}", bcag_rt::flight::render(tail));
+        println!(
+            "statement compiler: mode={} (BCAG_FUSE=on|off), transport={}, launch={}",
+            bcag_spmd::default_fused().name(),
+            bcag_spmd::transport::active_transport().name(),
+            bcag_spmd::pool::default_launch().name()
+        );
         let cs = bcag_spmd::cache::stats();
         println!(
             "schedule cache: hits={} misses={} hit_rate={:.1}% entries={}/{} evictions={}",

@@ -80,6 +80,16 @@ fn spmd_trace_merges_per_node_lanes() {
 /// histograms like `rt_statement_ns` legitimately multiply by p — every
 /// node interprets the whole script — so only the distributions driven
 /// by the shared communication schedule are compared.)
+///
+/// Multi-process sessions run the interpreted statement path, so the
+/// baseline in-process run pins `BCAG_FUSE=off`; a third, fused run then
+/// checks the fused epochs feed the same schedule-driven histograms with
+/// identical counts (`barrier_wait_ns` excepted — the pool's epoch
+/// barrier replaces the fabric barrier in a fused epoch). `msg_bytes` is
+/// charged per logical (operand, peer) message even though fused epochs
+/// coalesce physical sends by destination; `recv_wait_ns` records
+/// physical receives, which equal logical ones on this single-operand
+/// script.
 #[test]
 fn spmd_merged_histogram_counts_match_in_process_run() {
     let script = script_path("cache_loop.hpf");
@@ -87,6 +97,7 @@ fn spmd_merged_histogram_counts_match_in_process_run() {
     std::fs::create_dir_all(&dir).unwrap();
     let spmd_out = dir.join("spmd.json");
     let inproc_out = dir.join("inproc.json");
+    let fused_out = dir.join("fused.json");
     let (_, stderr, code) = bcag(
         &[
             "spmd",
@@ -108,13 +119,26 @@ fn spmd_merged_histogram_counts_match_in_process_run() {
             "--trace",
             inproc_out.to_str().unwrap(),
         ],
-        &[],
+        &[("BCAG_FUSE", "off")],
+    );
+    assert_eq!(code, 0, "{stderr}");
+    let (_, stderr, code) = bcag(
+        &[
+            "trace",
+            "--file",
+            &script,
+            "--trace",
+            fused_out.to_str().unwrap(),
+        ],
+        &[("BCAG_FUSE", "on")],
     );
     assert_eq!(code, 0, "{stderr}");
     let spmd = bcag_harness::json::Json::parse(&std::fs::read_to_string(&spmd_out).unwrap())
         .expect("merged summary parses");
     let inproc = bcag_harness::json::Json::parse(&std::fs::read_to_string(&inproc_out).unwrap())
         .expect("in-process summary parses");
+    let fused = bcag_harness::json::Json::parse(&std::fs::read_to_string(&fused_out).unwrap())
+        .expect("fused summary parses");
     let count = |doc: &bcag_harness::json::Json, name: &str| {
         doc.get("histograms")
             .and_then(|h| h.get(name))
@@ -126,6 +150,13 @@ fn spmd_merged_histogram_counts_match_in_process_run() {
         let (s, i) = (count(&spmd, name), count(&inproc, name));
         assert_eq!(s, i, "{name}: merged spmd count {s} != in-process {i}");
         assert!(s > 0, "{name}: empty distribution");
+    }
+    // Fused trace parity: the compiled epochs drive the same message
+    // exchange, so the schedule-driven distributions keep their counts.
+    for name in ["recv_wait_ns", "msg_bytes"] {
+        let (f, i) = (count(&fused, name), count(&inproc, name));
+        assert_eq!(f, i, "{name}: fused count {f} != interpreted {i}");
+        assert!(f > 0, "{name}: empty distribution");
     }
     std::fs::remove_dir_all(&dir).ok();
 }

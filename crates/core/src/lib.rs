@@ -26,6 +26,9 @@
 //! * [`runs`] — run-length compilation of gap tables: contiguity analysis
 //!   that folds `AM` into constant-gap runs so traversals become slice
 //!   copies (`memcpy` when `s == 1`) instead of per-element walks;
+//! * [`lower`] — lowering pass over compiled [`runs`]: flattens a
+//!   `RunPlan` into shape-classified segments so plan compilers can bind
+//!   gap-specialized kernels ahead of execution;
 //! * [`fsm`] — the finite-state-machine view of the gap sequence used by
 //!   Chatterjee et al. to describe the problem;
 //! * [`aligned`] — affine alignments (`A(i)` at template cell `a·i + b`) by
@@ -63,6 +66,7 @@ pub mod lattice;
 pub mod lattice_alg;
 pub mod layout;
 pub mod locality;
+pub mod lower;
 pub mod method;
 pub mod nth;
 pub mod numth;
@@ -82,6 +86,7 @@ pub mod walker;
 
 pub use error::{BcagError, Result};
 pub use layout::Layout;
+pub use lower::{lower_plan, LoweredSegment, ShapeClass};
 pub use method::{build, Method};
 pub use params::Problem;
 pub use pattern::{Access, AccessPattern, CyclicPattern, Pattern};

@@ -44,6 +44,8 @@ pub struct StatementRecord {
     pub cache_misses: u64,
     /// Executor mode name (`batched` / `per-element`).
     pub exec_mode: &'static str,
+    /// Statement-compiler mode name (`fused` / `interp`).
+    pub fuse: &'static str,
     /// Pack mode name (`runs` / `per-element`).
     pub pack_mode: &'static str,
     /// Transport fabric name (`mpsc` / `shm` / `proc`).
@@ -120,6 +122,7 @@ pub fn record(kind: &'static str, line: &str, before: Baseline, ok: bool) {
         cache_hits: cache_now.0.saturating_sub(before.cache.0),
         cache_misses: cache_now.1.saturating_sub(before.cache.1),
         exec_mode: bcag_spmd::comm::ExecMode::Batched.name(),
+        fuse: bcag_spmd::fuse::default_fused().name(),
         pack_mode: bcag_spmd::pack::PackMode::Runs.name(),
         transport: bcag_spmd::transport::active_transport().name(),
         launch: bcag_spmd::pool::default_launch().name(),
@@ -146,7 +149,7 @@ pub fn clear() {
 pub fn render(records: &[StatementRecord]) -> String {
     let mut out = String::new();
     out.push_str(&format!(
-        "{:>5} {:<16} {:>10} {:>9} {:>10} {:>5} {:>5} {:<8} {:<6} {:<6} {:<3} statement\n",
+        "{:>5} {:<16} {:>10} {:>9} {:>10} {:>5} {:>5} {:<8} {:<6} {:<6} {:<6} {:<3} statement\n",
         "seq",
         "kind",
         "lat_us",
@@ -155,13 +158,14 @@ pub fn render(records: &[StatementRecord]) -> String {
         "hit",
         "miss",
         "exec",
+        "fuse",
         "xport",
         "launch",
         "ok",
     ));
     for r in records {
         out.push_str(&format!(
-            "{:>5} {:<16} {:>10.1} {:>9} {:>10} {:>5} {:>5} {:<8} {:<6} {:<6} {:<3} {}\n",
+            "{:>5} {:<16} {:>10.1} {:>9} {:>10} {:>5} {:>5} {:<8} {:<6} {:<6} {:<6} {:<3} {}\n",
             r.seq,
             r.kind,
             r.latency_ns as f64 / 1_000.0,
@@ -170,6 +174,7 @@ pub fn render(records: &[StatementRecord]) -> String {
             r.cache_hits,
             r.cache_misses,
             r.exec_mode,
+            r.fuse,
             r.transport,
             r.launch,
             if r.ok { "yes" } else { "NO" },
@@ -251,6 +256,7 @@ mod tests {
             cache_hits: 2,
             cache_misses: 1,
             exec_mode: "batched",
+            fuse: "fused",
             pack_mode: "runs",
             transport: "shm",
             launch: "pooled",
@@ -261,6 +267,7 @@ mod tests {
         assert_eq!(text.lines().count(), 2);
         assert!(text.contains("rt.ASSIGN"), "{text}");
         assert!(text.contains("ASSIGN A(0:9:1)"), "{text}");
+        assert!(text.contains("fused"), "{text}");
     }
 
     #[test]

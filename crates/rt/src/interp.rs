@@ -833,6 +833,37 @@ mod tests {
     }
 
     #[test]
+    fn fused_and_interpreted_scripts_print_identically() {
+        // The same script through the fused statement compiler and the
+        // interpreted gather/compute path must print bit-identical
+        // output (the fused path's contract).
+        use bcag_spmd::{set_default_fused, FusedMode};
+        const AB_SCRIPT: &str = "
+            PROCESSORS P(4)
+            TEMPLATE T(400)
+            REAL A(400)
+            ALIGN A(i) WITH T(i)
+            DISTRIBUTE T(CYCLIC(8)) ONTO P
+            TEMPLATE TB(400)
+            REAL B(400)
+            ALIGN B(i) WITH TB(i)
+            DISTRIBUTE TB(CYCLIC(5)) ONTO P
+            INIT B LINEAR 1 0
+            ASSIGN A(0:99:3) = 2 * B(0:330:10) + 1
+            ASSIGN A(100:199:1) = A(0:99:1) * 0.5 - B(0:99:1)
+            FORALL I = 0:49:1 : A(3 * I) = B(2 * I) + B(0) + 1
+            PRINT SUM A(0:399:1)
+            PRINT A(100:109:1)
+        ";
+        set_default_fused(FusedMode::On);
+        let fused = Interp::run(AB_SCRIPT).unwrap();
+        set_default_fused(FusedMode::Off);
+        let interp = Interp::run(AB_SCRIPT).unwrap();
+        set_default_fused(FusedMode::On);
+        assert_eq!(fused, interp);
+    }
+
+    #[test]
     fn error_reporting_with_line_numbers() {
         let e = Interp::run(
             "PROCESSORS P(2)

@@ -41,6 +41,7 @@
 //! much rebuild work the cache absorbed and how evenly the shards carry
 //! it.
 
+use std::any::{Any, TypeId};
 use std::hash::Hash;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock, RwLock};
@@ -87,12 +88,25 @@ enum Key {
         sec: (i64, i64, i64),
         method: Method,
     },
+    /// A fused statement program from [`crate::fuse`]: the whole
+    /// statement shape (LHS layout/section plus every operand's), the
+    /// monomorphized element type, and the execution context it was
+    /// compiled for. Stored type-erased so the cache stays monomorphic.
+    Fused {
+        p: i64,
+        k_a: i64,
+        sec_a: (i64, i64, i64),
+        ops: Vec<(i64, (i64, i64, i64))>,
+        tid: TypeId,
+        exec: (ExecMode, TransportKind),
+    },
 }
 
 #[derive(Clone)]
 enum Value {
     Schedule(Arc<CommSchedule>),
     Plans(Arc<Vec<NodePlan>>),
+    Fused(Arc<dyn Any + Send + Sync>),
 }
 
 /// One resident entry. The stamp is atomic so the read path can refresh
@@ -685,7 +699,7 @@ pub fn schedule(
     })?;
     match v {
         Value::Schedule(s) => Ok(s),
-        Value::Plans(_) => unreachable!("schedule key maps to schedule value"),
+        _ => unreachable!("schedule key maps to schedule value"),
     }
 }
 
@@ -715,7 +729,7 @@ pub fn schedule_lattice(
     })?;
     match v {
         Value::Schedule(s) => Ok(s),
-        Value::Plans(_) => unreachable!("schedule key maps to schedule value"),
+        _ => unreachable!("schedule key maps to schedule value"),
     }
 }
 
@@ -732,7 +746,38 @@ pub fn plans(p: i64, k: i64, sec: &RegularSection, method: Method) -> Result<Arc
     })?;
     match v {
         Value::Plans(p) => Ok(p),
-        Value::Schedule(_) => unreachable!("plans key maps to plans value"),
+        _ => unreachable!("plans key maps to plans value"),
+    }
+}
+
+/// Cached fused statement program (built by [`crate::fuse`]), keyed by
+/// the full statement shape — LHS `(p, k_a, sec_a)` plus every operand's
+/// `(k_b, sec_b)` in order — the monomorphized program type `V` (which
+/// carries the element type), and the execution context. Single-flight
+/// builds and LRU eviction apply exactly as for schedules and plans.
+pub fn fused<V: Send + Sync + 'static>(
+    p: i64,
+    k_a: i64,
+    sec_a: &RegularSection,
+    ops: &[(i64, RegularSection)],
+    mode: ExecMode,
+    kind: TransportKind,
+    build: impl FnOnce() -> Result<Arc<V>>,
+) -> Result<Arc<V>> {
+    let key = Key::Fused {
+        p,
+        k_a,
+        sec_a: sec_key(sec_a),
+        ops: ops.iter().map(|(k, s)| (*k, sec_key(s))).collect(),
+        tid: TypeId::of::<V>(),
+        exec: (mode, kind),
+    };
+    let v = get_or_build(key, || {
+        build().map(|f| Value::Fused(f as Arc<dyn Any + Send + Sync>))
+    })?;
+    match v {
+        Value::Fused(f) => Ok(Arc::downcast::<V>(f).expect("fused key carries the program type")),
+        _ => unreachable!("fused key maps to fused value"),
     }
 }
 

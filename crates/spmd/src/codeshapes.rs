@@ -24,6 +24,7 @@
 //! instead of a table load per element, one tight slice (or strided) loop
 //! per constant-gap run — the shape the pack/comm fast paths share.
 
+use bcag_core::lower::ShapeClass;
 use bcag_core::runs::RunPlan;
 use bcag_core::two_table::TwoTable;
 
@@ -159,8 +160,26 @@ pub fn traverse_two_table<T>(
     }
 }
 
+/// Fixed-gap strided visit: the constant `GAP` lets `step_by` constant-
+/// fold, so each of the common small gaps gets its own tight loop
+/// (mirroring the fused path's kernel table in [`crate::fuse`]).
+fn traverse_strided<T, const GAP: usize>(
+    local: &mut [T],
+    addr: usize,
+    len: usize,
+    f: &mut impl FnMut(&mut T),
+) {
+    let span = (len - 1) * GAP + 1;
+    for x in local[addr..addr + span].iter_mut().step_by(GAP) {
+        f(x);
+    }
+}
+
 /// Run-coalesced traversal: one slice loop per unit-gap segment, one
-/// strided loop per wide-gap segment — no table load per element. Emits
+/// strided loop per wide-gap segment — no table load per element.
+/// Segments dispatch through [`bcag_core::lower::ShapeClass`], the same
+/// gap classification the fused statement compiler keys its kernel
+/// table on, so the common small gaps run constant-stride loops. Emits
 /// the `runs_coalesced`/`run_len_total` counters for multi-element
 /// segments (their ratio is the average coalesced run length).
 pub fn traverse_runs<T>(local: &mut [T], runs: &RunPlan, mut f: impl FnMut(&mut T)) {
@@ -169,15 +188,21 @@ pub fn traverse_runs<T>(local: &mut [T], runs: &RunPlan, mut f: impl FnMut(&mut 
     runs.for_each_segment(|seg| {
         let a = seg.addr as usize;
         let len = seg.len as usize;
-        if seg.gap == 1 {
-            for x in &mut local[a..a + len] {
-                f(x);
+        match ShapeClass::of_gap(seg.gap) {
+            ShapeClass::Memcpy => {
+                for x in &mut local[a..a + len] {
+                    f(x);
+                }
             }
-        } else {
-            let gap = seg.gap as usize;
-            let span = (len - 1) * gap + 1;
-            for x in local[a..a + span].iter_mut().step_by(gap) {
-                f(x);
+            ShapeClass::Stride2 => traverse_strided::<T, 2>(local, a, len, &mut f),
+            ShapeClass::Stride3 => traverse_strided::<T, 3>(local, a, len, &mut f),
+            ShapeClass::Stride4 => traverse_strided::<T, 4>(local, a, len, &mut f),
+            ShapeClass::Wide => {
+                let gap = seg.gap as usize;
+                let span = (len - 1) * gap + 1;
+                for x in local[a..a + span].iter_mut().step_by(gap) {
+                    f(x);
+                }
             }
         }
         if len >= 2 {

@@ -1,0 +1,928 @@
+//! The plan compiler: fuse a whole statement's schedule + pack + compute
+//! into one specialized per-node epoch.
+//!
+//! The interpreted statement path ([`crate::statement::assign_expr`])
+//! pays per-statement orchestration every epoch: one full schedule
+//! execution — pool dispatch, whole-array staging clone, per-run shape
+//! dispatch — *per operand*, plus a final compute dispatch. The paper's
+//! point is that all of that structure is computable ahead of execution:
+//! the access sequence, the communication sets, and the contiguity
+//! classes are pure functions of `(p, k, section)` parameters, never of
+//! array contents.
+//!
+//! This module compiles a statement shape once into a [`FusedStatement`]:
+//! a per-node program whose every step — same-node move, gather, scatter,
+//! elementwise apply — is bound to a **gap-specialized kernel function
+//! pointer** selected from a macro-expanded shape table over
+//! [`ShapeClass`] ([`bcag_core::lower`]). The literal gap constant-folds
+//! through the [`PackValue`] primitives, so the executed epoch contains
+//! no per-run `match`, no per-statement schedule walk, and exactly **one
+//! pool dispatch** for the whole statement: each node applies
+//! self-transfers into arena-recycled staging snapshots, packs and sends
+//! its outgoing traffic, drains a counted inbox, then runs the
+//! owner-computes loop — pack→send→recv→unpack→apply as one fused
+//! function. Because the compiler sees every operand at once, it also
+//! **coalesces messages by destination**: all logical (operand, peer)
+//! messages of the statement merge into one physical message per peer
+//! per epoch — an optimization the interpreted path structurally cannot
+//! perform, since it exchanges operand by operand in separate epochs.
+//! Trace counters are still charged per logical message at canonical
+//! wire size, so deterministic totals keep parity.
+//!
+//! Programs are cached in the sharded plan cache ([`crate::cache::fused`])
+//! next to the schedules they were compiled from, so single-flight builds
+//! and LRU eviction cover them for free. The fused path is selected by
+//! [`default_fused`] (`BCAG_FUSE=on|off`, default on) and keeps **bit-exact
+//! parity** with the interpreted path: staging snapshots reproduce the
+//! interpreted `tmp = a.clone()` semantics node-locally, traversal order
+//! equals [`RunPlan::for_each_segment`] order, and every deterministic
+//! trace counter total (`elements_moved`, `messages_sent`,
+//! `transport_bytes_tx/_rx`, `runs_coalesced`, …) matches the interpreted
+//! path's by construction.
+//!
+//! Inside a `bcag spmd` node process the fused path is not used — the
+//! multi-process executor has its own shadow-application protocol — so
+//! [`crate::statement::assign_expr`] falls back to the interpreted path
+//! whenever a proc session is active.
+//!
+//! [`RunPlan::for_each_segment`]: bcag_core::runs::RunPlan::for_each_segment
+
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::{Arc, Mutex};
+
+use bcag_core::error::{BcagError, Result};
+use bcag_core::lower::{lower_plan, ShapeClass};
+use bcag_core::method::Method;
+use bcag_core::section::RegularSection;
+
+use crate::cache;
+use crate::comm::wire::{self, PackValue};
+use crate::comm::ExecMode;
+use crate::darray::DistArray;
+use crate::pool::{self, lock_clean, LaunchMode};
+use crate::transport::{self, TransportKind};
+
+/// Whether [`crate::statement::assign_expr`] routes statements through
+/// the fused plan compiler or the interpreted per-operand path — the A/B
+/// switch of the fusion work, in the spirit of [`LaunchMode`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FusedMode {
+    /// Compile and run fused per-node epochs (the default).
+    On,
+    /// Interpret the statement operand by operand (the historical path).
+    Off,
+}
+
+impl FusedMode {
+    /// Short human-readable name (used by benches and the flight
+    /// recorder).
+    pub fn name(&self) -> &'static str {
+        match self {
+            FusedMode::On => "fused",
+            FusedMode::Off => "interp",
+        }
+    }
+}
+
+/// 0 = unset (read the env var on first use), 1 = On, 2 = Off.
+static DEFAULT_FUSED: AtomicU8 = AtomicU8::new(0);
+
+/// The process-default [`FusedMode`]. First use reads `BCAG_FUSE`
+/// (`off`/`0` disable fusion, anything else — including unset — keeps it
+/// on); later uses return the cached choice.
+pub fn default_fused() -> FusedMode {
+    match DEFAULT_FUSED.load(Ordering::Relaxed) {
+        1 => FusedMode::On,
+        2 => FusedMode::Off,
+        _ => {
+            let mode = match std::env::var("BCAG_FUSE") {
+                Ok(v) if v.trim().eq_ignore_ascii_case("off") || v.trim() == "0" => FusedMode::Off,
+                _ => FusedMode::On,
+            };
+            set_default_fused(mode);
+            mode
+        }
+    }
+}
+
+/// Overrides the process-default [`FusedMode`] (benches and differential
+/// tests flip this around [`crate::statement::assign_expr`] calls).
+pub fn set_default_fused(mode: FusedMode) {
+    let v = match mode {
+        FusedMode::On => 1,
+        FusedMode::Off => 2,
+    };
+    DEFAULT_FUSED.store(v, Ordering::Relaxed);
+}
+
+/// Gather kernel: append `len` elements read from `src` at
+/// `(addr, addr + gap, …)` onto the message buffer. The gap is
+/// constant-folded for the specialized classes.
+type GatherFn<T> = fn(&mut Vec<T>, &[T], usize, usize, usize);
+
+/// Scatter kernel: write a packed value run into `dst` at
+/// `(addr, addr + gap, …)`.
+type ScatterFn<T> = fn(&mut [T], usize, usize, &[T]);
+
+/// Same-node move kernel: `(dst, src, daddr, dgap, saddr, sgap, len)`,
+/// both gaps constant-folded for the specialized class pairs.
+type MoveFn<T> = fn(&mut [T], &[T], usize, usize, usize, usize, usize);
+
+/// Elementwise apply kernel: `(local, stagings, args, f, addr, gap,
+/// len)` — the owner-computes loop body with the LHS gap
+/// constant-folded.
+type ApplyFn<T> = fn(&mut [T], &[Vec<T>], &mut Vec<T>, &dyn Fn(&[T]) -> T, usize, usize, usize);
+
+/// Selects the gather kernel for one source shape class: the macro
+/// expands one non-capturing closure per literal gap, so the
+/// [`PackValue::extend_run`] gap `match` folds away at monomorphization.
+fn gather_kernel<T: PackValue>(class: ShapeClass) -> GatherFn<T> {
+    macro_rules! k {
+        ($g:literal) => {
+            |out: &mut Vec<T>, src: &[T], addr: usize, _gap: usize, len: usize| {
+                T::extend_run(out, src, addr, $g, len)
+            }
+        };
+    }
+    match class {
+        ShapeClass::Memcpy => k!(1),
+        ShapeClass::Stride2 => k!(2),
+        ShapeClass::Stride3 => k!(3),
+        ShapeClass::Stride4 => k!(4),
+        ShapeClass::Wide => |out: &mut Vec<T>, src: &[T], addr: usize, gap: usize, len: usize| {
+            T::extend_run(out, src, addr, gap, len)
+        },
+    }
+}
+
+/// Selects the scatter kernel for one destination shape class (see
+/// [`gather_kernel`]).
+fn scatter_kernel<T: PackValue>(class: ShapeClass) -> ScatterFn<T> {
+    macro_rules! k {
+        ($g:literal) => {
+            |dst: &mut [T], addr: usize, _gap: usize, vals: &[T]| T::write_run(dst, addr, $g, vals)
+        };
+    }
+    match class {
+        ShapeClass::Memcpy => k!(1),
+        ShapeClass::Stride2 => k!(2),
+        ShapeClass::Stride3 => k!(3),
+        ShapeClass::Stride4 => k!(4),
+        ShapeClass::Wide => {
+            |dst: &mut [T], addr: usize, gap: usize, vals: &[T]| T::write_run(dst, addr, gap, vals)
+        }
+    }
+}
+
+/// Selects the same-node move kernel for one `(source, destination)`
+/// shape class pair: a 4×4 grid of gap-literal kernels (the `(1, 1)`
+/// cell is a straight slice copy), with one runtime-gap fallback for
+/// pairs involving a wide stride.
+fn move_kernel<T: PackValue>(s: ShapeClass, d: ShapeClass) -> MoveFn<T> {
+    macro_rules! k {
+        ($sg:literal, $dg:literal) => {
+            |dst: &mut [T], src: &[T], da: usize, _dg: usize, sa: usize, _sg: usize, len: usize| {
+                for j in 0..len {
+                    dst[da + j * $dg] = src[sa + j * $sg].clone();
+                }
+            }
+        };
+    }
+    use ShapeClass::*;
+    match (s, d) {
+        (Memcpy, Memcpy) => {
+            |dst: &mut [T], src: &[T], da: usize, _dg: usize, sa: usize, _sg: usize, len: usize| {
+                dst[da..da + len].clone_from_slice(&src[sa..sa + len])
+            }
+        }
+        (Memcpy, Stride2) => k!(1, 2),
+        (Memcpy, Stride3) => k!(1, 3),
+        (Memcpy, Stride4) => k!(1, 4),
+        (Stride2, Memcpy) => k!(2, 1),
+        (Stride2, Stride2) => k!(2, 2),
+        (Stride2, Stride3) => k!(2, 3),
+        (Stride2, Stride4) => k!(2, 4),
+        (Stride3, Memcpy) => k!(3, 1),
+        (Stride3, Stride2) => k!(3, 2),
+        (Stride3, Stride3) => k!(3, 3),
+        (Stride3, Stride4) => k!(3, 4),
+        (Stride4, Memcpy) => k!(4, 1),
+        (Stride4, Stride2) => k!(4, 2),
+        (Stride4, Stride3) => k!(4, 3),
+        (Stride4, Stride4) => k!(4, 4),
+        (Wide, _) | (_, Wide) => {
+            |dst: &mut [T], src: &[T], da: usize, dg: usize, sa: usize, sg: usize, len: usize| {
+                for j in 0..len {
+                    dst[da + j * dg] = src[sa + j * sg].clone();
+                }
+            }
+        }
+    }
+}
+
+/// Selects the owner-computes apply kernel for one LHS segment class:
+/// the traversal gap folds into the loop body, so the hot loop is a
+/// plain affine walk with no per-element address table.
+fn apply_kernel<T: PackValue>(class: ShapeClass) -> ApplyFn<T> {
+    macro_rules! k {
+        ($g:literal) => {
+            |local: &mut [T],
+             stagings: &[Vec<T>],
+             args: &mut Vec<T>,
+             f: &dyn Fn(&[T]) -> T,
+             addr: usize,
+             _gap: usize,
+             len: usize| {
+                for j in 0..len {
+                    let at = addr + j * $g;
+                    args.clear();
+                    for st in stagings {
+                        args.push(st[at].clone());
+                    }
+                    local[at] = f(args.as_slice());
+                }
+            }
+        };
+    }
+    match class {
+        ShapeClass::Memcpy => k!(1),
+        ShapeClass::Stride2 => k!(2),
+        ShapeClass::Stride3 => k!(3),
+        ShapeClass::Stride4 => k!(4),
+        ShapeClass::Wide => |local: &mut [T],
+                             stagings: &[Vec<T>],
+                             args: &mut Vec<T>,
+                             f: &dyn Fn(&[T]) -> T,
+                             addr: usize,
+                             gap: usize,
+                             len: usize| {
+            for j in 0..len {
+                let at = addr + j * gap;
+                args.clear();
+                for st in stagings {
+                    args.push(st[at].clone());
+                }
+                local[at] = f(args.as_slice());
+            }
+        },
+    }
+}
+
+/// One same-node transfer run, kernel-bound at compile time.
+struct MoveStep<T> {
+    dst: usize,
+    dgap: usize,
+    src: usize,
+    sgap: usize,
+    len: usize,
+    kernel: MoveFn<T>,
+}
+
+/// One gather segment of an outgoing message, reading from operand
+/// `op`'s local memory.
+struct GatherStep<T> {
+    op: usize,
+    addr: usize,
+    gap: usize,
+    len: usize,
+    kernel: GatherFn<T>,
+}
+
+/// One outgoing **physical** message: every operand's traffic from this
+/// node to `dst`, packed back to back in operand order. The interpreted
+/// path exchanges operand by operand in separate epochs; the fused
+/// compiler sees the whole statement, so it merges them — one message
+/// per peer per epoch. `charges` keeps one canonical wire size per
+/// *logical* (operand, destination) message so trace totals still match
+/// the interpreted path.
+struct SendPlan<T> {
+    dst: usize,
+    elements: usize,
+    charges: Vec<u64>,
+    gathers: Vec<GatherStep<T>>,
+}
+
+/// One scatter segment of an inbound message: where the next `len`
+/// packed values (at `off` in the payload) land in operand `op`'s
+/// staging buffer.
+struct ScatterStep<T> {
+    op: usize,
+    addr: usize,
+    gap: usize,
+    len: usize,
+    off: usize,
+    kernel: ScatterFn<T>,
+}
+
+/// One expected inbound physical message, identified by source node —
+/// the schedule is global knowledge, so the payload layout (operand
+/// order, then compiled run order) and per-logical-message `charges`
+/// are compiled here and the wire carries only values.
+struct RecvPlan<T> {
+    src: usize,
+    charges: Vec<u64>,
+    steps: Vec<ScatterStep<T>>,
+}
+
+/// One LHS traversal segment of the owner-computes loop.
+struct ApplyStep<T> {
+    addr: usize,
+    gap: usize,
+    len: usize,
+    kernel: ApplyFn<T>,
+}
+
+/// The compiled epoch of one node: every data-movement and compute step
+/// of the whole statement, kernel-bound, plus the precomputed trace
+/// counter totals the epoch charges (identical to the interpreted
+/// path's per-operand emissions, summed).
+struct NodeProgram<T> {
+    /// Same-node transfer runs, per operand.
+    self_moves: Vec<Vec<MoveStep<T>>>,
+    /// Outgoing physical messages, one per destination with traffic.
+    sends: Vec<SendPlan<T>>,
+    /// Expected inbound physical messages, one per source with traffic.
+    recvs: Vec<RecvPlan<T>>,
+    /// Owner-computes traversal segments.
+    apply: Vec<ApplyStep<T>>,
+    /// Total outgoing transfers (all destinations, self included).
+    moved: u64,
+    /// Non-empty non-self destinations (messages really sent).
+    msgs: u64,
+    /// Elements leaving this node.
+    nonlocal: u64,
+    /// Coalesced (multi-element) outgoing runs.
+    seg_count: u64,
+    /// Elements covered by those coalesced runs.
+    seg_elems: u64,
+}
+
+/// In-memory fused message: the receiver routes by source node — the
+/// payload layout is already compiled into its [`RecvPlan`].
+struct FusedMsg<T> {
+    src: u32,
+    vals: Vec<T>,
+}
+
+/// Bytes of the source-node routing tag appended to wire-encoded fused
+/// messages.
+const WIRE_TAG_BYTES: usize = 4;
+
+/// A whole statement `A(sec_a) = f(B₀(sec₀), …)` compiled to per-node
+/// epochs: built once per statement shape by [`compile`], cached in the
+/// sharded plan cache, executed many times by [`FusedStatement::execute`].
+pub struct FusedStatement<T: PackValue> {
+    p: i64,
+    nodes: Vec<NodeProgram<T>>,
+}
+
+/// Structural summary of a compiled [`FusedStatement`] — totals over all
+/// nodes, for `bcag stats` and planning tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FuseCensus {
+    /// Outgoing messages compiled across all nodes and operands.
+    pub sends: usize,
+    /// Inbound message plans compiled across all nodes.
+    pub recvs: usize,
+    /// Same-node transfer runs compiled across all nodes and operands.
+    pub self_moves: usize,
+    /// Owner-computes traversal segments across all nodes.
+    pub apply_segments: usize,
+}
+
+impl<T: PackValue> FusedStatement<T> {
+    /// Structural totals of the compiled program. `sends`/`recvs` count
+    /// *logical* (operand, peer) messages — the interpreted path's unit —
+    /// even though the fused epoch coalesces them into one physical
+    /// message per peer.
+    pub fn census(&self) -> FuseCensus {
+        let mut c = FuseCensus::default();
+        for n in &self.nodes {
+            c.sends += n.sends.iter().map(|s| s.charges.len()).sum::<usize>();
+            c.recvs += n.recvs.iter().map(|r| r.charges.len()).sum::<usize>();
+            c.self_moves += n.self_moves.iter().map(Vec::len).sum::<usize>();
+            c.apply_segments += n.apply.len();
+        }
+        c
+    }
+
+    /// Runs the fused epoch: one pool dispatch executes pack → send →
+    /// recv → unpack → apply for the whole statement. `operands` must be
+    /// the arrays the program was compiled for, in compile order (same
+    /// `p`, `k`, and sections); contents are free to vary.
+    pub fn execute<F>(
+        &self,
+        a: &mut DistArray<T>,
+        operands: &[&DistArray<T>],
+        f: F,
+        launch: LaunchMode,
+        kind: TransportKind,
+    ) where
+        F: Fn(&[T]) -> T + Sync,
+    {
+        assert_eq!(a.p(), self.p, "LHS machine size mismatch");
+        let _sp = bcag_trace::span("fuse.execute");
+        let _t = bcag_trace::timed_span("fuse_execute_ns");
+        bcag_trace::set_tag("transport", kind.name());
+        bcag_trace::count("fused_epochs", 1);
+        let nops = operands.len();
+        let slots: Vec<Mutex<&mut Vec<T>>> = a.locals_mut().iter_mut().map(Mutex::new).collect();
+        pool::launch_with(self.p, launch, kind, |me, ctx| {
+            let _sp = bcag_trace::span("fuse.epoch.node");
+            let prog = &self.nodes[me];
+            let use_wire = ctx.serializes() && T::WIRE_BYTES.is_some();
+            let mut slot = lock_clean(&slots[me]);
+            let local_a: &mut Vec<T> = &mut slot;
+            // Stage phase. Each operand's staging buffer is a snapshot
+            // of this node's pre-statement LHS memory (the node-local
+            // equivalent of the interpreted path's whole-array
+            // `tmp = a.clone()`), then self-transfers land in it directly
+            // and inbound messages scatter into it below. `local_a` is
+            // not written until the apply phase, so every snapshot is
+            // taken from clean pre-statement state.
+            let mut stagings: Vec<Vec<T>> = Vec::with_capacity(nops);
+            for (op, b) in operands.iter().enumerate() {
+                let local_b = b.local(me as i64);
+                let mut st: Vec<T> = ctx.take_buf();
+                st.extend_from_slice(local_a);
+                for mv in &prog.self_moves[op] {
+                    (mv.kernel)(&mut st, local_b, mv.dst, mv.dgap, mv.src, mv.sgap, mv.len);
+                }
+                stagings.push(st);
+            }
+            // Send phase: one physical message per destination, every
+            // operand's traffic packed back to back in operand order
+            // (the receiver's plan was compiled to the same layout).
+            for send in &prog.sends {
+                let mut vals: Vec<T> = ctx.take_buf();
+                vals.reserve(send.elements);
+                for g in &send.gathers {
+                    let local_b = operands[g.op].local(me as i64);
+                    (g.kernel)(&mut vals, local_b, g.addr, g.gap, g.len);
+                }
+                if bcag_trace::enabled() {
+                    // Charged per *logical* (operand, destination)
+                    // message at the canonical run-encoded size (span
+                    // headers included even though fused messages carry
+                    // no spans), so counts and totals match the
+                    // interpreted path on every backend.
+                    for &tx in &send.charges {
+                        bcag_trace::count("transport_bytes_tx", tx);
+                        bcag_trace::record("msg_bytes", tx);
+                        bcag_trace::record(
+                            bcag_trace::intern(&format!("msg_bytes_to_{}", send.dst)),
+                            tx,
+                        );
+                    }
+                }
+                if use_wire {
+                    let mut bytes = wire::encode::<T>(&[], &vals);
+                    bytes.extend_from_slice(&(me as u32).to_le_bytes());
+                    ctx.send(send.dst, Box::new(bytes));
+                    ctx.put_buf(vals);
+                } else {
+                    ctx.send(
+                        send.dst,
+                        Box::new(FusedMsg {
+                            src: me as u32,
+                            vals,
+                        }),
+                    );
+                }
+            }
+            // Counter totals were folded at compile time: one emission
+            // per epoch instead of one per (operand, destination), with
+            // identical totals.
+            bcag_trace::count("elements_moved", prog.moved);
+            bcag_trace::count("bytes_packed", prog.moved * std::mem::size_of::<T>() as u64);
+            if prog.msgs > 0 {
+                bcag_trace::count("messages_sent", prog.msgs);
+                bcag_trace::count("elements_nonlocal", prog.nonlocal);
+            }
+            bcag_core::runs::count_coalesced(prog.seg_count, prog.seg_elems);
+            // Receive phase: the counted inbox drain of the batched
+            // executor, routed by the source tag since inbound order
+            // across sources is nondeterministic. One physical message
+            // per source carries every operand's traffic.
+            let mut wait_ns = 0u64;
+            for _ in 0..prog.recvs.len() {
+                let t0 = bcag_trace::enabled().then(std::time::Instant::now);
+                let env = ctx.recv();
+                if let Some(t0) = t0 {
+                    let ns = t0.elapsed().as_nanos() as u64;
+                    wait_ns += ns;
+                    bcag_trace::record("recv_wait_ns", ns);
+                }
+                let (src, vals) = if use_wire {
+                    let mut bytes = *env
+                        .downcast::<Vec<u8>>()
+                        .expect("fused wire message payload type");
+                    let tag_at = bytes.len() - WIRE_TAG_BYTES;
+                    let src =
+                        u32::from_le_bytes(bytes[tag_at..].try_into().expect("4 bytes")) as usize;
+                    bytes.truncate(tag_at);
+                    let mut spans: Vec<wire::RunSpan> = ctx.take_buf();
+                    let mut vals: Vec<T> = ctx.take_buf();
+                    wire::decode_into(&bytes, &mut spans, &mut vals);
+                    ctx.put_buf(spans);
+                    (src, vals)
+                } else {
+                    let msg = *env
+                        .downcast::<FusedMsg<T>>()
+                        .expect("fused message payload type");
+                    (msg.src as usize, msg.vals)
+                };
+                let plan = prog
+                    .recvs
+                    .iter()
+                    .find(|r| r.src == src)
+                    .expect("inbound message matches a compiled recv plan");
+                for &rx in &plan.charges {
+                    bcag_trace::count("transport_bytes_rx", rx);
+                }
+                for sc in &plan.steps {
+                    (sc.kernel)(
+                        &mut stagings[sc.op],
+                        sc.addr,
+                        sc.gap,
+                        &vals[sc.off..sc.off + sc.len],
+                    );
+                }
+                ctx.put_buf(vals);
+            }
+            bcag_trace::count("recv_wait_ns", wait_ns);
+            // Apply phase: the owner-computes loop over kernel-bound LHS
+            // segments, reading all stagings in operand order — the same
+            // addresses, in the same order, with the same argument
+            // values as the interpreted compute phase.
+            let fref: &dyn Fn(&[T]) -> T = &f;
+            let mut args: Vec<T> = Vec::with_capacity(nops);
+            for step in &prog.apply {
+                (step.kernel)(
+                    local_a, &stagings, &mut args, fref, step.addr, step.gap, step.len,
+                );
+            }
+            for st in stagings {
+                ctx.put_buf(st);
+            }
+        });
+    }
+}
+
+/// Compiles the statement shape `A(sec_a) = f(ops…)` on a `(p, k_a)` LHS
+/// layout into per-node fused epochs. `ops` lists each operand's
+/// `(k, section)`; planning artifacts (node plans, per-operand comm
+/// schedules) come from — and warm — the process-wide cache, so the
+/// locality analytics recorded at plan build time stay live under the
+/// fused path.
+pub fn compile<T: PackValue>(
+    p: i64,
+    k_a: i64,
+    sec_a: &RegularSection,
+    ops: &[(i64, RegularSection)],
+    mode: ExecMode,
+    kind: TransportKind,
+) -> Result<FusedStatement<T>> {
+    let _sp = bcag_trace::span("fuse.compile");
+    let _t = bcag_trace::timed_span("fuse_compile_ns");
+    let plans = cache::plans(p, k_a, sec_a, Method::Lattice)?;
+    let mut schedules = Vec::with_capacity(ops.len());
+    for (k_b, sec_b) in ops {
+        schedules.push(cache::schedule(
+            p,
+            k_a,
+            sec_a,
+            *k_b,
+            sec_b,
+            Method::Lattice,
+            mode,
+            kind,
+        )?);
+    }
+    let pu = p as usize;
+    let mut nodes = Vec::with_capacity(pu);
+    for me in 0..pu {
+        let mut prog: NodeProgram<T> = NodeProgram {
+            self_moves: Vec::with_capacity(ops.len()),
+            sends: Vec::new(),
+            recvs: Vec::new(),
+            apply: Vec::new(),
+            moved: 0,
+            msgs: 0,
+            nonlocal: 0,
+            seg_count: 0,
+            seg_elems: 0,
+        };
+        // Per-peer accumulators: logical (operand, peer) messages merge
+        // into one physical message per peer, packed — and unpacked —
+        // in operand order, then compiled run order, so sender and
+        // receiver derive the same payload layout independently.
+        let mut send_acc: Vec<SendPlan<T>> = (0..pu)
+            .map(|dst| SendPlan {
+                dst,
+                elements: 0,
+                charges: Vec::new(),
+                gathers: Vec::new(),
+            })
+            .collect();
+        let mut recv_acc: Vec<RecvPlan<T>> = (0..pu)
+            .map(|src| RecvPlan {
+                src,
+                charges: Vec::new(),
+                steps: Vec::new(),
+            })
+            .collect();
+        let mut recv_offs = vec![0usize; pu];
+        for (op, sched) in schedules.iter().enumerate() {
+            let mut op_moves = Vec::new();
+            for dst in 0..pu {
+                let transfers = sched.pair(me, dst);
+                prog.moved += transfers.len() as u64;
+                let runs = sched.pair_runs(me, dst);
+                for r in runs {
+                    if r.len >= 2 {
+                        prog.seg_count += 1;
+                        prog.seg_elems += r.len as u64;
+                    }
+                }
+                if dst == me {
+                    for r in runs {
+                        op_moves.push(MoveStep {
+                            dst: r.dst_local as usize,
+                            dgap: r.dgap as usize,
+                            src: r.src_local as usize,
+                            sgap: r.sgap as usize,
+                            len: r.len as usize,
+                            kernel: move_kernel::<T>(
+                                ShapeClass::of_gap(r.sgap),
+                                ShapeClass::of_gap(r.dgap),
+                            ),
+                        });
+                    }
+                    continue;
+                }
+                if transfers.is_empty() {
+                    continue;
+                }
+                prog.msgs += 1;
+                prog.nonlocal += transfers.len() as u64;
+                let acc = &mut send_acc[dst];
+                acc.elements += transfers.len();
+                acc.charges
+                    .push(wire::wire_size::<T>(runs.len(), transfers.len()) as u64);
+                acc.gathers.extend(runs.iter().map(|r| GatherStep {
+                    op,
+                    addr: r.src_local as usize,
+                    gap: r.sgap as usize,
+                    len: r.len as usize,
+                    kernel: gather_kernel::<T>(ShapeClass::of_gap(r.sgap)),
+                }));
+            }
+            prog.self_moves.push(op_moves);
+            for src in 0..pu {
+                let transfers = sched.pair(src, me);
+                if src == me || transfers.is_empty() {
+                    continue;
+                }
+                let runs = sched.pair_runs(src, me);
+                let acc = &mut recv_acc[src];
+                acc.charges
+                    .push(wire::wire_size::<T>(runs.len(), transfers.len()) as u64);
+                let off = &mut recv_offs[src];
+                for r in runs {
+                    acc.steps.push(ScatterStep {
+                        op,
+                        addr: r.dst_local as usize,
+                        gap: r.dgap as usize,
+                        len: r.len as usize,
+                        off: *off,
+                        kernel: scatter_kernel::<T>(ShapeClass::of_gap(r.dgap)),
+                    });
+                    *off += r.len as usize;
+                }
+            }
+        }
+        prog.sends = send_acc
+            .into_iter()
+            .filter(|s| !s.charges.is_empty())
+            .collect();
+        prog.recvs = recv_acc
+            .into_iter()
+            .filter(|r| !r.charges.is_empty())
+            .collect();
+        if plans[me].start.is_some() {
+            for seg in lower_plan(&plans[me].runs) {
+                prog.apply.push(ApplyStep {
+                    addr: seg.addr as usize,
+                    gap: seg.gap as usize,
+                    len: seg.len as usize,
+                    kernel: apply_kernel::<T>(seg.class),
+                });
+            }
+        }
+        nodes.push(prog);
+    }
+    Ok(FusedStatement { p, nodes })
+}
+
+/// [`compile`] through the sharded plan cache: the program is built once
+/// per (statement shape × element type × execution context) and shared.
+pub fn cached_program<T: PackValue>(
+    p: i64,
+    k_a: i64,
+    sec_a: &RegularSection,
+    ops: &[(i64, RegularSection)],
+    mode: ExecMode,
+    kind: TransportKind,
+) -> Result<Arc<FusedStatement<T>>> {
+    cache::fused::<FusedStatement<T>>(p, k_a, sec_a, ops, mode, kind, || {
+        compile::<T>(p, k_a, sec_a, ops, mode, kind).map(Arc::new)
+    })
+}
+
+/// Executes `A(sec_a) = f(operand values…)` through the fused plan
+/// compiler on the process-default launch mode and transport — the fused
+/// twin of [`crate::statement::assign_expr`], which routes here when
+/// [`default_fused`] is [`FusedMode::On`]. Callers must have validated
+/// the statement (ascending LHS section, conforming operands on one
+/// machine) as `assign_expr` does.
+pub fn assign_fused<T, F>(
+    a: &mut DistArray<T>,
+    sec_a: &RegularSection,
+    operands: &[(&DistArray<T>, RegularSection)],
+    f: F,
+) -> Result<()>
+where
+    T: PackValue,
+    F: Fn(&[T]) -> T + Sync,
+{
+    assign_fused_on(
+        a,
+        sec_a,
+        operands,
+        f,
+        pool::default_launch(),
+        transport::active_transport(),
+    )
+}
+
+/// [`assign_fused`] with an explicit launch mode and transport — the A/B
+/// entry point of the differential suite.
+pub fn assign_fused_on<T, F>(
+    a: &mut DistArray<T>,
+    sec_a: &RegularSection,
+    operands: &[(&DistArray<T>, RegularSection)],
+    f: F,
+    launch: LaunchMode,
+    kind: TransportKind,
+) -> Result<()>
+where
+    T: PackValue,
+    F: Fn(&[T]) -> T + Sync,
+{
+    if transport::proc::active().is_some() {
+        // The multi-process executor shadow-applies pairs across its
+        // replicated image; a fused epoch has no equivalent protocol.
+        // `assign_expr` routes proc sessions to the interpreted path.
+        return Err(BcagError::Precondition(
+            "fused epochs do not run inside a multi-process session",
+        ));
+    }
+    let ops: Vec<(i64, RegularSection)> = operands.iter().map(|(b, s)| (b.k(), *s)).collect();
+    let program = cached_program::<T>(a.p(), a.k(), sec_a, &ops, ExecMode::Batched, kind)?;
+    let arrays: Vec<&DistArray<T>> = operands.iter().map(|(b, _)| *b).collect();
+    program.execute(a, &arrays, f, launch, kind);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mode_names_and_flip() {
+        assert_eq!(FusedMode::On.name(), "fused");
+        assert_eq!(FusedMode::Off.name(), "interp");
+        let before = default_fused();
+        set_default_fused(FusedMode::Off);
+        assert_eq!(default_fused(), FusedMode::Off);
+        set_default_fused(before);
+        assert_eq!(default_fused(), before);
+    }
+
+    #[test]
+    fn kernels_match_their_generic_forms() {
+        let src: Vec<i64> = (0..64).collect();
+        for gap in [1usize, 2, 3, 4, 7] {
+            let kernel = gather_kernel::<i64>(ShapeClass::of_gap(gap as i64));
+            let mut got = Vec::new();
+            kernel(&mut got, &src, 3, gap, 5);
+            let mut want = Vec::new();
+            i64::extend_run(&mut want, &src, 3, gap, 5);
+            assert_eq!(got, want, "gather gap={gap}");
+
+            let scatter = scatter_kernel::<i64>(ShapeClass::of_gap(gap as i64));
+            let mut got_dst = vec![0i64; 64];
+            scatter(&mut got_dst, 2, gap, &want);
+            let mut want_dst = vec![0i64; 64];
+            i64::write_run(&mut want_dst, 2, gap, &want);
+            assert_eq!(got_dst, want_dst, "scatter gap={gap}");
+        }
+    }
+
+    #[test]
+    fn move_kernels_cover_the_gap_grid() {
+        let src: Vec<i64> = (100..200).collect();
+        for sgap in [1i64, 2, 3, 4, 6] {
+            for dgap in [1i64, 2, 3, 4, 9] {
+                let kernel = move_kernel::<i64>(ShapeClass::of_gap(sgap), ShapeClass::of_gap(dgap));
+                let mut got = vec![0i64; 100];
+                kernel(&mut got, &src, 1, dgap as usize, 2, sgap as usize, 7);
+                let mut want = vec![0i64; 100];
+                for j in 0..7usize {
+                    want[1 + j * dgap as usize] = src[2 + j * sgap as usize];
+                }
+                assert_eq!(got, want, "sgap={sgap} dgap={dgap}");
+            }
+        }
+    }
+
+    #[test]
+    fn fused_statement_matches_interpreted_triad() {
+        let n = 400i64;
+        let alpha = 3.0f64;
+        let bg: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let cg: Vec<f64> = (0..n).map(|i| (i * i % 97) as f64).collect();
+        let b = DistArray::from_global(4, 5, &bg).unwrap();
+        let c = DistArray::from_global(4, 16, &cg).unwrap();
+        let sec_a = RegularSection::new(0, 357, 3).unwrap();
+        let sec_b = RegularSection::new(2, 240, 2).unwrap();
+        let sec_c = RegularSection::new(10, 129, 1).unwrap();
+
+        let mut fused = DistArray::new(4, 8, n, 0.0f64).unwrap();
+        assign_fused(&mut fused, &sec_a, &[(&b, sec_b), (&c, sec_c)], |args| {
+            args[0] * alpha + args[1]
+        })
+        .unwrap();
+
+        let got = fused.to_global();
+        for t in 0..120i64 {
+            let ia = (3 * t) as usize;
+            let ib = (2 + 2 * t) as usize;
+            let ic = (10 + t) as usize;
+            assert_eq!(got[ia], bg[ib] * alpha + cg[ic], "t={t}");
+        }
+        assert_eq!(got[1], 0.0);
+        assert_eq!(got[2], 0.0);
+    }
+
+    #[test]
+    fn compiled_programs_are_cached_and_shared() {
+        // A shape unlike anything else in the suite, so the first call
+        // is a genuine build.
+        let sec_a = RegularSection::new(1, 1171, 26).unwrap();
+        let sec_b = RegularSection::new(3, 1173, 26).unwrap();
+        let ops = vec![(9i64, sec_b)];
+        let first =
+            cached_program::<i64>(3, 11, &sec_a, &ops, ExecMode::Batched, TransportKind::Mpsc)
+                .unwrap();
+        let second =
+            cached_program::<i64>(3, 11, &sec_a, &ops, ExecMode::Batched, TransportKind::Mpsc)
+                .unwrap();
+        assert!(Arc::ptr_eq(&first, &second));
+        // A different element type is a distinct cache entry.
+        let other =
+            cached_program::<f64>(3, 11, &sec_a, &ops, ExecMode::Batched, TransportKind::Mpsc)
+                .unwrap();
+        assert!(other.census() == first.census());
+    }
+
+    #[test]
+    fn census_counts_structure() {
+        let sec = RegularSection::new(0, 239, 1).unwrap();
+        let prog = compile::<i64>(
+            4,
+            8,
+            &sec,
+            &[(3, sec)],
+            ExecMode::Batched,
+            TransportKind::Mpsc,
+        )
+        .unwrap();
+        let census = prog.census();
+        assert!(census.sends > 0, "redistribution must send messages");
+        assert_eq!(census.sends, census.recvs, "every send has a receiver");
+        assert!(census.apply_segments >= 4, "every node owns LHS elements");
+    }
+
+    #[test]
+    fn zero_operand_fused_fill() {
+        let mut a = DistArray::new(2, 4, 50, 0i64).unwrap();
+        let sec = RegularSection::new(1, 49, 4).unwrap();
+        assign_fused(&mut a, &sec, &[], |_| 9).unwrap();
+        let g = a.to_global();
+        for i in 0..50i64 {
+            assert_eq!(g[i as usize], if sec.contains(i) { 9 } else { 0 });
+        }
+    }
+}

@@ -38,6 +38,11 @@
 //!   updates of rectangular, diagonal and trapezoidal regions;
 //! * [`statement`] — whole array statements `A(secA) = f(B(secB), ...)`
 //!   (gather + owner-computes) and block-size redistribution;
+//! * [`fuse`] — the plan compiler behind those statements: compiles a
+//!   whole statement shape into one fused per-node epoch (pack→send→
+//!   recv→unpack→apply, gap-specialized kernels, a single pool
+//!   dispatch), cached next to the schedules and A/B-selectable with
+//!   `BCAG_FUSE=on|off`;
 //! * [`pack`] — message vectorization: pack/unpack a node's share of a
 //!   section into contiguous buffers, run-coalesced into slice copies by
 //!   the [`bcag_core::runs`] contiguity analysis of the gap table.
@@ -72,6 +77,7 @@ pub mod comm2d;
 pub mod csr;
 pub mod darray;
 pub mod dmatrix;
+pub mod fuse;
 pub mod machine;
 pub mod pack;
 pub mod pool;
@@ -91,6 +97,7 @@ pub use comm2d::assign_matrix;
 pub use csr::Csr;
 pub use darray::DistArray;
 pub use dmatrix::DistMatrix;
+pub use fuse::{assign_fused, default_fused, set_default_fused, FuseCensus, FusedMode};
 pub use machine::Machine;
 pub use pack::{gather_section, PackMode};
 pub use pool::{LaunchMode, NodeCtx};
@@ -98,6 +105,7 @@ pub use reduce::{dot_sections, reduce_section, sum_section};
 pub use shift::{cshift, eoshift};
 pub use statement::{assign_expr, redistribute};
 pub use stats::{
-    block_size_tradeoff, comm_stats, load_stats, per_node_packed_from_trace, CommStats, LoadStats,
+    block_size_tradeoff, comm_stats, fuse_census, load_stats, per_node_packed_from_trace,
+    CommStats, LoadStats,
 };
 pub use transport::{default_transport, set_default_transport, TransportKind};

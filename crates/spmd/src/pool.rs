@@ -47,7 +47,7 @@
 use std::any::Any;
 use std::collections::HashMap;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Mutex, MutexGuard, OnceLock, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
@@ -320,6 +320,9 @@ pub struct Pool {
     /// Serializes dispatches: interleaving jobs from two epochs on
     /// shared workers could deadlock nodes that exchange data.
     gate: Mutex<()>,
+    /// [`POOL_TICK`] stamp of the last registry hit or dispatch — the
+    /// recency signal admission control's LRU eviction scans.
+    last_used: AtomicU64,
 }
 
 thread_local! {
@@ -409,7 +412,26 @@ impl Pool {
             kind,
             workers,
             gate: Mutex::new(()),
+            last_used: AtomicU64::new(0),
         }
+    }
+
+    /// Stamps this pool as the most recently used resident pool.
+    fn touch(&self) {
+        let tick = POOL_TICK.fetch_add(1, Ordering::Relaxed) + 1;
+        self.last_used.store(tick, Ordering::Relaxed);
+    }
+
+    /// Whether no dispatch currently holds the epoch gate. Admission
+    /// control only evicts idle pools; a busy pool stays resident no
+    /// matter how stale its stamp is.
+    fn is_idle(&self) -> bool {
+        // `Ok` (briefly acquired, dropped immediately) and `Poisoned`
+        // both mean nobody is dispatching right now.
+        !matches!(
+            self.gate.try_lock(),
+            Err(std::sync::TryLockError::WouldBlock)
+        )
     }
 
     /// The machine size this pool serves.
@@ -446,6 +468,7 @@ impl Pool {
             bcag_trace::gauge("pool_dispatch_inflight", depth);
             DepthGuard
         });
+        self.touch();
         let _gate = lock_clean(&self.gate);
         if let Some(payload) = self.run_epoch(body) {
             // Jobs stopped mid-protocol: stray data and poison envelopes
@@ -509,6 +532,77 @@ impl Pool {
     }
 }
 
+/// Global recency clock for pool admission control: every registry hit
+/// and dispatch takes a tick and stamps it on the pool it used.
+static POOL_TICK: AtomicU64 = AtomicU64::new(0);
+
+/// Resolves the resident-pool cap from `BCAG_MAX_POOLS`. An explicit
+/// positive integer is respected verbatim; unset or unparseable falls
+/// back to the host's core count (floor 2, so single-core CI machines
+/// can still keep a pool per transport under A/B tests without churn).
+fn parse_max_pools(var: Option<&str>) -> usize {
+    match var.and_then(|s| s.trim().parse::<usize>().ok()) {
+        Some(n) if n >= 1 => n,
+        _ => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .max(2),
+    }
+}
+
+/// The process-wide resident-pool cap (see [`parse_max_pools`]), read
+/// once from the environment.
+fn max_pools() -> usize {
+    static CAP: OnceLock<usize> = OnceLock::new();
+    *CAP.get_or_init(|| parse_max_pools(std::env::var("BCAG_MAX_POOLS").ok().as_deref()))
+}
+
+/// Counts pools currently registered across all shards.
+fn resident_pools() -> usize {
+    registry().iter().map(|shard| read_clean(shard).len()).sum()
+}
+
+/// Admission control for pool boot: while at least `cap` pools are
+/// resident, evicts the least-recently-used *idle* pool so the caller's
+/// boot doesn't grow the fleet past the cap. Pools matching the caller's
+/// own `(keep_p, keep_kind)` key are never victims — a racing booter of
+/// the same key must find the freshly booted pool, not evict it.
+///
+/// Best-effort by design: if every resident pool is mid-dispatch the new
+/// pool is admitted over the cap rather than blocking the caller. The
+/// registry drops only its own `Arc`; in-flight holders keep an evicted
+/// pool (and its worker threads) alive until their dispatches finish,
+/// after which the workers exit when the last `Arc` drops.
+fn enforce_pool_cap(cap: usize, keep_p: usize, keep_kind: TransportKind) {
+    while resident_pools() >= cap {
+        // Scan for the stalest idle pool. Read locks only, one shard at
+        // a time, nothing held across the eviction below — no ordering
+        // hazard against concurrent lookups or boots.
+        let mut victim: Option<(usize, u64, Arc<Pool>)> = None;
+        for (i, shard) in registry().iter().enumerate() {
+            for pool in read_clean(shard).iter() {
+                if pool.p == keep_p && pool.kind == keep_kind {
+                    continue;
+                }
+                if !pool.is_idle() {
+                    continue;
+                }
+                let stamp = pool.last_used.load(Ordering::Relaxed);
+                if victim.as_ref().map_or(true, |(_, s, _)| stamp < *s) {
+                    victim = Some((i, stamp, Arc::clone(pool)));
+                }
+            }
+        }
+        let Some((i, _, victim)) = victim else {
+            // Every pool is busy (or matches the caller's key): admit
+            // over the cap rather than stall the boot.
+            return;
+        };
+        write_clean(&registry()[i]).retain(|q| !Arc::ptr_eq(q, &victim));
+        bcag_trace::count("pool_evictions", 1);
+    }
+}
+
 /// Lock domains of the pool registry. Every `Machine::new` and
 /// `CommSchedule` execution resolves its pool through the registry, so
 /// like the schedule cache it must not funnel concurrent drivers through
@@ -540,6 +634,12 @@ pub fn global(p: i64) -> Arc<Pool> {
 }
 
 /// The resident pool for machine size `p` on an explicit transport.
+///
+/// Boots are admission-controlled: at most `BCAG_MAX_POOLS` pools
+/// (default: host core count) stay registered, with idle
+/// least-recently-used pools evicted to make room — a long-lived driver
+/// cycling through many machine sizes doesn't accumulate `Σpᵢ` parked
+/// worker threads.
 pub fn global_with(p: i64, kind: TransportKind) -> Arc<Pool> {
     assert!(p >= 1, "machine needs at least one node");
     let p = p as usize;
@@ -547,18 +647,30 @@ pub fn global_with(p: i64, kind: TransportKind) -> Arc<Pool> {
     {
         let pools = read_clean(shard);
         if let Some(pool) = pools.iter().find(|pool| pool.p == p && pool.kind == kind) {
+            pool.touch();
             return Arc::clone(pool);
         }
     }
+    // Make room before booting: evict idle LRU pools (never this key's)
+    // while the fleet is at the cap. No locks held here, so the scan's
+    // shard reads and the eviction's shard write cannot deadlock against
+    // the write lock below.
+    enforce_pool_cap(max_pools(), p, kind);
     let mut pools = write_clean(shard);
     // Double-check under the write lock: a racing driver may have booted
     // this pool between our read probe and here. The write lock makes
     // the boot single-flight — `p` worker threads spawn exactly once.
     if let Some(pool) = pools.iter().find(|pool| pool.p == p && pool.kind == kind) {
+        pool.touch();
         return Arc::clone(pool);
     }
     let pool = Arc::new(Pool::new(p, kind));
+    pool.touch();
     pools.push(Arc::clone(&pool));
+    drop(pools);
+    if bcag_trace::enabled() {
+        bcag_trace::gauge("resident_pools", resident_pools() as u64);
+    }
     pool
 }
 
@@ -812,6 +924,7 @@ mod tests {
 
     #[test]
     fn registry_shares_one_pool_per_key() {
+        let _serial = lock_clean(&REGISTRY_TEST_LOCK);
         let a = global_with(3, TransportKind::Mpsc);
         let b = global_with(3, TransportKind::Mpsc);
         assert!(Arc::ptr_eq(&a, &b));
@@ -823,6 +936,7 @@ mod tests {
 
     #[test]
     fn concurrent_lookups_boot_one_pool() {
+        let _serial = lock_clean(&REGISTRY_TEST_LOCK);
         // The shard write lock is the boot arbiter: 8 racing drivers
         // must share a single pool (worker threads spawn exactly once).
         let gate = std::sync::Barrier::new(8);
@@ -840,6 +954,68 @@ mod tests {
         for pool in &pools[1..] {
             assert!(Arc::ptr_eq(&pools[0], pool));
         }
+    }
+
+    /// Serializes the tests that assert on registry identity against
+    /// the admission test's evictions (parallel test threads otherwise
+    /// race on the shared process-wide registry).
+    static REGISTRY_TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    /// Whether a pool for `(p, kind)` is currently registered.
+    fn registered(p: usize, kind: TransportKind) -> bool {
+        read_clean(registry_shard(p, kind))
+            .iter()
+            .any(|pool| pool.p == p && pool.kind == kind)
+    }
+
+    #[test]
+    fn max_pools_parses_env_with_core_count_fallback() {
+        let fallback = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .max(2);
+        assert_eq!(parse_max_pools(Some("3")), 3);
+        assert_eq!(parse_max_pools(Some(" 12 ")), 12);
+        assert_eq!(parse_max_pools(Some("1")), 1);
+        assert_eq!(parse_max_pools(Some("0")), fallback);
+        assert_eq!(parse_max_pools(Some("lots")), fallback);
+        assert_eq!(parse_max_pools(None), fallback);
+        assert!(max_pools() >= 1);
+    }
+
+    #[test]
+    fn admission_evicts_idle_lru_pools() {
+        let _serial = lock_clean(&REGISTRY_TEST_LOCK);
+        // Machine sizes unique to this test, so concurrent tests' pools
+        // are unrelated and cross-test Arc identities stay unaffected
+        // (evicted pools survive through held Arcs anyway). Registered
+        // directly rather than via `global_with`, whose own boot-time
+        // admission would evict the earlier keys before the scenario is
+        // even set up; the stamp order is 31 < 32 < 33 < 34.
+        let held: Vec<Arc<Pool>> = [31usize, 32, 33, 34]
+            .iter()
+            .map(|&p| {
+                let pool = Arc::new(Pool::new(p, TransportKind::Shm));
+                pool.touch();
+                write_clean(registry_shard(p, TransportKind::Shm)).push(Arc::clone(&pool));
+                pool
+            })
+            .collect();
+        for &p in &[31usize, 32, 33, 34] {
+            assert!(registered(p, TransportKind::Shm));
+        }
+        // Cap of 2 with a keep-key matching none of them: the three
+        // stalest idle pools must be evicted, leaving the fleet under
+        // the cap with only the most recently used survivor.
+        enforce_pool_cap(2, 0, TransportKind::Mpsc);
+        assert!(!registered(31, TransportKind::Shm), "LRU pool evicted");
+        assert!(!registered(32, TransportKind::Shm));
+        assert!(!registered(33, TransportKind::Shm));
+        // Eviction drops only the registry's Arc: held pools still
+        // dispatch fine, and a fresh lookup re-boots a new pool.
+        held[0].dispatch(&|_m, _ctx| {});
+        let reborn = global_with(31, TransportKind::Shm);
+        assert!(!Arc::ptr_eq(&held[0], &reborn), "evicted key re-boots");
     }
 
     #[test]

@@ -27,6 +27,7 @@ use bcag_core::section::RegularSection;
 use crate::cache;
 use crate::comm::{ExecMode, PackValue};
 use crate::darray::DistArray;
+use crate::fuse;
 use crate::machine::Machine;
 use crate::pool;
 use crate::transport;
@@ -60,6 +61,17 @@ where
         if sec_b.count() != sec_a.count() {
             return Err(BcagError::Precondition("operand sections must conform"));
         }
+    }
+
+    // Fused path (default): the whole statement — gather, exchange, and
+    // owner-computes loop — runs as one compiled per-node epoch with a
+    // single pool dispatch and no staging array clones. Bit-exact with
+    // the interpreted path below; `BCAG_FUSE=off` selects the
+    // interpreted path for A/B runs. Multi-process sessions keep the
+    // interpreted path, whose executor has the shadow-application
+    // protocol replicated images need.
+    if fuse::default_fused() == fuse::FusedMode::On && transport::proc::active().is_none() {
+        return fuse::assign_fused(a, sec_a, operands, f);
     }
 
     // Gather phase: each operand's section values land in an A-shaped

@@ -15,7 +15,9 @@ use bcag_core::params::Problem;
 use bcag_core::section::RegularSection;
 use bcag_core::start::count_owned;
 
-use crate::comm::CommSchedule;
+use crate::comm::{CommSchedule, ExecMode};
+use crate::fuse::{self, FuseCensus};
+use crate::transport;
 
 /// Load distribution of a section over a `(p, k)` layout.
 #[derive(Debug, Clone, PartialEq)]
@@ -123,6 +125,34 @@ pub fn per_node_packed_from_trace(trace: &bcag_trace::Trace, p: i64) -> Vec<i64>
     out
 }
 
+/// Structure census of the fused per-node epoch a statement shape
+/// compiles to: how many send, receive, local-move and apply segments
+/// the compiled program executes per epoch. The analytics counterpart
+/// of [`comm_stats`] for the fused path — a shape whose census shows
+/// many `Wide` exchanges and few self-moves is communication-bound no
+/// matter how fast the kernels run.
+///
+/// The census is a property of the statement *shape* alone (element
+/// type only selects kernels, not structure), so this compiles a
+/// throwaway `f64` program — schedules still come from the shared
+/// cache, but nothing is installed in the fused-program cache.
+pub fn fuse_census(
+    p: i64,
+    k_a: i64,
+    sec_a: &RegularSection,
+    ops: &[(i64, RegularSection)],
+) -> Result<FuseCensus> {
+    let program = fuse::compile::<f64>(
+        p,
+        k_a,
+        sec_a,
+        ops,
+        ExecMode::Batched,
+        transport::default_transport(),
+    )?;
+    Ok(program.census())
+}
+
 /// Sweeps block sizes and reports `(k, imbalance, nonlocal fraction)` for a
 /// same-layout copy shifted by `shift` — the classic "choose k" tradeoff
 /// table: small `k` balances load; large `k` keeps shifted neighbors local.
@@ -200,6 +230,24 @@ mod tests {
         // k = 1: every shifted element crosses; k = 64: only block edges.
         assert!(fracs[0] > 0.99);
         assert!(fracs[3] < 0.05);
+    }
+
+    #[test]
+    fn fuse_census_agrees_with_comm_stats() {
+        // Shift by exactly k: every element crosses one processor, so
+        // the fused program's send/recv plan counts equal the message
+        // matrix's nonempty-pair count.
+        let sec_a = RegularSection::new(0, 91, 1).unwrap();
+        let sec_b = RegularSection::new(8, 99, 1).unwrap();
+        let comm = comm_stats(4, 8, &sec_a, 8, &sec_b).unwrap();
+        let census = fuse_census(4, 8, &sec_a, &[(8, sec_b)]).unwrap();
+        assert_eq!(census.sends, comm.messages);
+        assert_eq!(census.recvs, comm.messages);
+        assert!(census.apply_segments > 0, "{census:?}");
+        // Identity copy: all traffic is self-moves.
+        let same = fuse_census(4, 8, &sec_a, &[(8, sec_a)]).unwrap();
+        assert_eq!(same.sends, 0);
+        assert!(same.self_moves > 0, "{same:?}");
     }
 
     #[test]

@@ -1,0 +1,282 @@
+//! Randomized differential suite: fused epochs vs the interpreted path.
+//!
+//! [`bcag_spmd::fuse`] promises bit-exact results with the interpreted
+//! gather/compute statement executor. These properties draw random
+//! statement shapes — machine size, block sizes, sections, operand
+//! count, transport, launch mode — run both executors on identical
+//! inputs and compare the full global images bit for bit (`f64` compares
+//! `to_bits`, so `-0.0`/`NaN` drift would fail too). A panicking
+//! statement body then checks the poison protocol clears a fused epoch
+//! the same way it clears an interpreted one.
+
+use std::sync::Mutex;
+
+use bcag_core::section::RegularSection;
+use bcag_harness::prop::{self, Config};
+use bcag_harness::rng::Rng;
+use bcag_spmd::fuse::assign_fused_on;
+use bcag_spmd::pool::LaunchMode;
+use bcag_spmd::{assign_expr, set_default_fused, DistArray, FusedMode, TransportKind};
+
+/// The fused-mode default is process-global and the interpreted
+/// reference runs need it `Off`; every test here flips it, so they
+/// serialize on this lock (other test binaries are separate processes).
+static FUSE_FLAG: Mutex<()> = Mutex::new(());
+
+fn lock_flag() -> std::sync::MutexGuard<'static, ()> {
+    FUSE_FLAG.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// One random statement shape.
+#[derive(Debug, Clone)]
+struct Case {
+    p: i64,
+    k_a: i64,
+    n: i64,
+    sec_a: RegularSection,
+    /// Operand block sizes and sections (all conforming to `sec_a`).
+    ops: Vec<(i64, RegularSection)>,
+    kind: TransportKind,
+    launch: LaunchMode,
+}
+
+fn random_section(rng: &mut Rng, count: i64) -> (i64, RegularSection) {
+    let stride = rng.random_range(1..=5);
+    let lo = rng.random_range(0..=23);
+    let hi = lo + (count - 1) * stride;
+    (hi, RegularSection::new(lo, hi, stride).unwrap())
+}
+
+fn random_case(rng: &mut Rng) -> Case {
+    let p = rng.random_range(1..=5);
+    let k_a = rng.random_range(1..=10);
+    let count = rng.random_range(1..=48);
+    let (mut max_hi, sec_a) = random_section(rng, count);
+    let nops = rng.random_range(0..=3);
+    let mut ops = Vec::with_capacity(nops as usize);
+    for _ in 0..nops {
+        let k_b = rng.random_range(1..=10);
+        let (hi, sec_b) = random_section(rng, count);
+        max_hi = max_hi.max(hi);
+        ops.push((k_b, sec_b));
+    }
+    let n = max_hi + 1 + rng.random_range(0..=9);
+    let kind = *rng.choice(&TransportKind::ALL);
+    let launch = *rng.choice(&[LaunchMode::Pooled, LaunchMode::Scoped]);
+    Case {
+        p,
+        k_a,
+        n,
+        sec_a,
+        ops,
+        kind,
+        launch,
+    }
+}
+
+/// Runs one case through both executors over element type `T` and
+/// compares the resulting global images with `eq`.
+fn differential<T, F>(
+    case: &Case,
+    value: impl Fn(i64, usize) -> T,
+    f: F,
+    eq: impl Fn(&T, &T) -> bool,
+) where
+    T: bcag_spmd::PackValue + std::fmt::Debug,
+    F: Fn(&[T]) -> T + Sync + Copy,
+{
+    let base: Vec<T> = (0..case.n).map(|i| value(i, 0)).collect();
+    let mut fused = DistArray::from_global(case.p, case.k_a, &base).unwrap();
+    let op_arrays: Vec<DistArray<T>> = case
+        .ops
+        .iter()
+        .enumerate()
+        .map(|(j, (k_b, _))| {
+            let vals: Vec<T> = (0..case.n).map(|i| value(i, j + 1)).collect();
+            DistArray::from_global(case.p, *k_b, &vals).unwrap()
+        })
+        .collect();
+    let operands: Vec<(&DistArray<T>, RegularSection)> = op_arrays
+        .iter()
+        .zip(&case.ops)
+        .map(|(a, (_, s))| (a, *s))
+        .collect();
+    let mut interp = fused.clone();
+    assign_fused_on(
+        &mut fused,
+        &case.sec_a,
+        &operands,
+        f,
+        case.launch,
+        case.kind,
+    )
+    .unwrap();
+    set_default_fused(FusedMode::Off);
+    let r = assign_expr(&mut interp, &case.sec_a, &operands, f);
+    set_default_fused(FusedMode::On);
+    r.unwrap();
+    let (fg, ig) = (fused.to_global(), interp.to_global());
+    assert!(
+        fg.len() == ig.len() && fg.iter().zip(&ig).all(|(a, b)| eq(a, b)),
+        "fused image diverges from interpreted\n fused:  {fg:?}\n interp: {ig:?}"
+    );
+}
+
+#[test]
+fn fused_matches_interpreted_f64() {
+    let _serial = lock_flag();
+    prop::check("fuse-diff-f64", &prop::from_fn(random_case), |case| {
+        differential(
+            case,
+            |i, j| ((i * 7 + 13 * j as i64) % 113) as f64 * 0.25 - 3.5,
+            |args: &[f64]| {
+                args.iter()
+                    .enumerate()
+                    .map(|(j, v)| (j as f64 + 1.0) * v)
+                    .sum::<f64>()
+                    + 0.125
+            },
+            |a: &f64, b: &f64| a.to_bits() == b.to_bits(),
+        );
+    });
+}
+
+#[test]
+fn fused_matches_interpreted_i64() {
+    let _serial = lock_flag();
+    let cfg = Config {
+        cases: 64,
+        ..Config::default()
+    };
+    prop::check_with(&cfg, "fuse-diff-i64", &prop::from_fn(random_case), |case| {
+        differential(
+            case,
+            |i, j| i * 31 + 7 * j as i64 - 11,
+            |args: &[i64]| {
+                args.iter().enumerate().fold(5i64, |acc, (j, v)| {
+                    acc.wrapping_mul(3).wrapping_add(v * (j as i64 + 1))
+                })
+            },
+            |a: &i64, b: &i64| a == b,
+        );
+    });
+}
+
+/// `String` payloads have no fixed wire size (`WIRE_BYTES` is `None`),
+/// so the fused epoch ships boxed in-memory messages on every fabric —
+/// including the serializing `proc` fabric, where the wire fast path
+/// must correctly step aside.
+#[test]
+fn fused_matches_interpreted_strings() {
+    let _serial = lock_flag();
+    let cfg = Config {
+        cases: 24,
+        ..Config::default()
+    };
+    prop::check_with(
+        &cfg,
+        "fuse-diff-string",
+        &prop::from_fn(random_case),
+        |case| {
+            differential(
+                case,
+                |i, j| format!("v{j}.{i}"),
+                |args: &[String]| {
+                    let mut out = String::from("(");
+                    for a in args {
+                        out.push_str(a);
+                        out.push('|');
+                    }
+                    out.push(')');
+                    out
+                },
+                |a: &String, b: &String| a == b,
+            );
+        },
+    );
+}
+
+/// A statement body that panics mid-epoch must poison its peers, fail
+/// the fused statement cleanly, and leave the pool and fabric reusable:
+/// the very next fused statement on the same machine must run correctly.
+#[test]
+fn panic_poison_recovers_through_a_fused_epoch() {
+    let _serial = lock_flag();
+    let n = 120i64;
+    let data: Vec<f64> = (0..n).map(|i| i as f64).collect();
+    let sec = RegularSection::new(0, n - 1, 1).unwrap();
+    for kind in TransportKind::ALL {
+        let src = DistArray::from_global(4, 7, &data).unwrap();
+        let mut dst = DistArray::from_global(4, 5, &data).unwrap();
+        let boom = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            assign_fused_on(
+                &mut dst,
+                &sec,
+                &[(&src, sec)],
+                |args: &[f64]| {
+                    if args[0] == 60.0 {
+                        panic!("injected fused-epoch failure");
+                    }
+                    args[0]
+                },
+                LaunchMode::Pooled,
+                kind,
+            )
+        }));
+        assert!(
+            boom.is_err(),
+            "{}: the node panic must propagate",
+            kind.name()
+        );
+        // Pool survived and the fabric is clean: the next fused
+        // statement over the same machine computes the exact image.
+        let mut again = DistArray::from_global(4, 5, &data).unwrap();
+        assign_fused_on(
+            &mut again,
+            &sec,
+            &[(&src, sec)],
+            |args: &[f64]| args[0] * 2.0 + 1.0,
+            LaunchMode::Pooled,
+            kind,
+        )
+        .unwrap();
+        let got = again.to_global();
+        for i in 0..n {
+            assert_eq!(
+                got[i as usize],
+                i as f64 * 2.0 + 1.0,
+                "{} i={i}",
+                kind.name()
+            );
+        }
+    }
+}
+
+/// The fused path must snapshot operands before writing (`A = shift(A)`
+/// through the same array), exactly like the interpreted staging copy.
+#[test]
+fn fused_self_assignment_snapshots() {
+    let _serial = lock_flag();
+    let n = 100i64;
+    let data: Vec<i64> = (0..n).collect();
+    let mut a = DistArray::from_global(4, 4, &data).unwrap();
+    let src = a.clone();
+    let sec_dst = RegularSection::new(0, 89, 1).unwrap();
+    let sec_src = RegularSection::new(10, 99, 1).unwrap();
+    assign_fused_on(
+        &mut a,
+        &sec_dst,
+        &[(&src, sec_src)],
+        |args: &[i64]| args[0],
+        LaunchMode::Pooled,
+        TransportKind::Shm,
+    )
+    .unwrap();
+    let g = a.to_global();
+    for i in 0..90 {
+        assert_eq!(g[i as usize], i + 10);
+    }
+    for i in 90..100 {
+        assert_eq!(g[i as usize], i);
+    }
+}

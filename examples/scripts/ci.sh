@@ -25,7 +25,7 @@ echo "==> bench smoke (--quick) for every target"
 for bench in construction sorting_ablation gcd_effect codeshapes \
              tableless comm_schedule comm_throughput exec_latency \
              special_cases trace_overhead pack_throughput \
-             transport_throughput traffic cache_contention; do
+             transport_throughput traffic cache_contention fuse; do
     echo "--> $bench"
     cargo bench -q --offline -p bcag-bench --bench "$bench" -- --quick \
         > /dev/null
@@ -65,15 +65,43 @@ awk '
     }' BENCH_traffic.json
 [ -s BENCH_cache.json ] \
     || { echo "missing committed BENCH_cache.json snapshot" >&2; exit 1; }
+# The contention win is a multi-core property: with a single hardware
+# thread the sharded cache's readers serialize anyway and the committed
+# floor (measured on a multi-core box) cannot bind, so gate it only when
+# this host can actually contend.
+if [ "$(nproc)" -gt 1 ]; then
+    awk '
+        $1 == "\"speedup_at_32\":"     { gsub(/[^0-9.]/, "", $2); speedup = $2 }
+        $1 == "\"min_speedup_at_32\":" { gsub(/[^0-9.]/, "", $2); floor = $2 }
+        END {
+            if (speedup == "" || floor == "")
+                { print "BENCH_cache.json missing speedup fields" > "/dev/stderr"; exit 1 }
+            if (speedup + 0 < floor + 0)
+                { printf "cache speedup %sx below SLO floor %sx\n", speedup, floor > "/dev/stderr"; exit 1 }
+        }' BENCH_cache.json
+else
+    echo "--> single hardware thread: skipping multi-core cache contention floor"
+fi
+
+# Fused-epoch SLO gates, also on the committed full-profile snapshot:
+# the fused statement compiler must beat the interpreted path by its
+# committed factor and stay within its committed ceiling of hand-coded
+# BLAS-1.
+[ -s BENCH_fuse.json ] \
+    || { echo "missing committed BENCH_fuse.json snapshot" >&2; exit 1; }
 awk '
-    /"speedup_at_32":/     { gsub(/[^0-9.]/, "", $2); speedup = $2 }
-    /"min_speedup_at_32":/ { gsub(/[^0-9.]/, "", $2); floor = $2 }
+    $1 == "\"fused_over_interpreted\":"     { gsub(/[^0-9.]/, "", $2); speedup = $2 }
+    $1 == "\"min_fused_over_interpreted\":" { gsub(/[^0-9.]/, "", $2); floor = $2 }
+    $1 == "\"fused_vs_blas1\":"             { gsub(/[^0-9.]/, "", $2); vsblas = $2 }
+    $1 == "\"max_fused_vs_blas1\":"         { gsub(/[^0-9.]/, "", $2); ceil = $2 }
     END {
-        if (speedup == "" || floor == "")
-            { print "BENCH_cache.json missing speedup fields" > "/dev/stderr"; exit 1 }
+        if (speedup == "" || floor == "" || vsblas == "" || ceil == "")
+            { print "BENCH_fuse.json missing SLO fields" > "/dev/stderr"; exit 1 }
         if (speedup + 0 < floor + 0)
-            { printf "cache speedup %sx below SLO floor %sx\n", speedup, floor > "/dev/stderr"; exit 1 }
-    }' BENCH_cache.json
+            { printf "fused speedup %sx below SLO floor %sx\n", speedup, floor > "/dev/stderr"; exit 1 }
+        if (vsblas + 0 > ceil + 0)
+            { printf "fused statement %sx of blas1 exceeds SLO ceiling %sx\n", vsblas, ceil > "/dev/stderr"; exit 1 }
+    }' BENCH_fuse.json
 
 echo "==> trace smoke: bcag trace on examples/scripts/triad.hpf"
 trace_out="target/ci-trace.json"
@@ -107,6 +135,12 @@ grep -q '"pool_buffer_reuses"' "$cache_out" \
 # Run coalescing must be active on the statement loop's data movement.
 grep -q '"runs_coalesced"' "$cache_out" \
     || { echo "no runs_coalesced in summary: $cache_out" >&2; exit 1; }
+# In-process statements default to the fused compiler (BCAG_FUSE=on):
+# the loop must run as fused epochs without going dark in the trace.
+grep -q '"fused_epochs"' "$cache_out" \
+    || { echo "no fused_epochs in summary: $cache_out" >&2; exit 1; }
+grep -q '"recv_wait_ns"' "$cache_out" \
+    || { echo "fused trace lost recv_wait_ns: $cache_out" >&2; exit 1; }
 
 echo "==> multi-process smoke: bcag spmd --procs 4 on cache_loop.hpf"
 spmd_out="target/ci-spmd.json"
