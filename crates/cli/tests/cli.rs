@@ -304,6 +304,10 @@ fn stats_prints_flight_recorder_and_percentiles() {
     assert!(stdout.contains("schedule cache: hits="), "{stdout}");
     assert!(stdout.contains("histogram percentiles:"), "{stdout}");
     assert!(stdout.contains("rt_statement_ns"), "{stdout}");
+    // The self-tuning dispatch line: mode, resolved L2 and the decision
+    // counters the run recorded.
+    assert!(stdout.contains("tune: mode="), "{stdout}");
+    assert!(stdout.contains("decisions: runs="), "{stdout}");
 }
 
 #[test]

@@ -49,6 +49,24 @@ impl ShapeClass {
             _ => ShapeClass::Wide,
         }
     }
+
+    /// Classifies a gap for elements of `elem_bytes` against the cache
+    /// line: once the element pitch (`gap × elem_bytes`) spans a full
+    /// 64-byte line, every element sits on its own line and the
+    /// traversal is fetch-bound — const-generic unrolling cannot win, so
+    /// those segments take the runtime-gap [`ShapeClass::Wide`] kernel
+    /// and keep the specialized classes for the gaps where line
+    /// utilization is above one element per fetch. All kernels are
+    /// semantically identical, so the classification is bit-exact; only
+    /// dispatch changes.
+    pub fn of_gap_for(gap: i64, elem_bytes: usize) -> ShapeClass {
+        let pitch = (gap.max(1) as u128) * (elem_bytes.max(1) as u128);
+        if gap > 1 && pitch >= crate::locality::CACHE_LINE_BYTES as u128 {
+            ShapeClass::Wide
+        } else {
+            ShapeClass::of_gap(gap)
+        }
+    }
 }
 
 /// One lowered traversal segment: `len` elements at `addr, addr + gap, …`,
@@ -94,6 +112,22 @@ mod tests {
         assert_eq!(ShapeClass::of_gap(4), ShapeClass::Stride4);
         assert_eq!(ShapeClass::of_gap(5), ShapeClass::Wide);
         assert_eq!(ShapeClass::of_gap(64), ShapeClass::Wide);
+    }
+
+    #[test]
+    fn line_aware_classes_demote_full_line_pitches() {
+        // 8-byte elements: gaps 2–4 stay specialized (pitch < 64B)…
+        assert_eq!(ShapeClass::of_gap_for(2, 8), ShapeClass::Stride2);
+        assert_eq!(ShapeClass::of_gap_for(4, 8), ShapeClass::Stride4);
+        // …and gap 8 was Wide already.
+        assert_eq!(ShapeClass::of_gap_for(8, 8), ShapeClass::Wide);
+        // 32-byte elements: gap 2 pitches a full line — Wide.
+        assert_eq!(ShapeClass::of_gap_for(2, 32), ShapeClass::Wide);
+        assert_eq!(ShapeClass::of_gap_for(3, 32), ShapeClass::Wide);
+        // Contiguous segments are memcpy regardless of element width.
+        assert_eq!(ShapeClass::of_gap_for(1, 64), ShapeClass::Memcpy);
+        // 1-byte elements keep every specialized class.
+        assert_eq!(ShapeClass::of_gap_for(4, 1), ShapeClass::Stride4);
     }
 
     #[test]

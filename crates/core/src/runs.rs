@@ -168,6 +168,18 @@ impl RunPlan {
         }
     }
 
+    /// Elements per gap-table period — the `delta_m` length the plan was
+    /// compiled from (`0` when empty, `1` for the closed-form shapes,
+    /// which repeat a one-gap period). The average run length is
+    /// `period_elements() / runs_per_period()`.
+    pub fn period_elements(&self) -> usize {
+        match &self.shape {
+            RunShape::Empty => 0,
+            RunShape::Single | RunShape::Uniform { .. } => 1,
+            RunShape::Cyclic(runs) => runs.iter().map(|r| r.len as usize).sum(),
+        }
+    }
+
     /// Exact number of elements the traversal visits, in closed form over
     /// whole periods plus one partial-period walk.
     pub fn count(&self) -> usize {

@@ -46,8 +46,13 @@ pub struct StatementRecord {
     pub exec_mode: &'static str,
     /// Statement-compiler mode name (`fused` / `interp`).
     pub fuse: &'static str,
-    /// Pack mode name (`runs` / `per-element`).
+    /// Pack mode the statement actually resolved to (`runs` /
+    /// `per-element`, or `-` before any pack ran) — under the self-tuning
+    /// default this is the measured dispatch decision, not a static
+    /// configuration.
     pub pack_mode: &'static str,
+    /// Whether the statement's fused epoch ran L2-blocked.
+    pub blocked: bool,
     /// Transport fabric name (`mpsc` / `shm` / `proc`).
     pub transport: &'static str,
     /// Launch mode name (`pooled` / `scoped`).
@@ -123,7 +128,8 @@ pub fn record(kind: &'static str, line: &str, before: Baseline, ok: bool) {
         cache_misses: cache_now.1.saturating_sub(before.cache.1),
         exec_mode: bcag_spmd::comm::ExecMode::Batched.name(),
         fuse: bcag_spmd::fuse::default_fused().name(),
-        pack_mode: bcag_spmd::pack::PackMode::Runs.name(),
+        pack_mode: bcag_spmd::pack::last_pack_mode().map_or("-", |m| m.name()),
+        blocked: bcag_spmd::fuse::last_blocked().unwrap_or(false),
         transport: bcag_spmd::transport::active_transport().name(),
         launch: bcag_spmd::pool::default_launch().name(),
         ok,
@@ -149,7 +155,7 @@ pub fn clear() {
 pub fn render(records: &[StatementRecord]) -> String {
     let mut out = String::new();
     out.push_str(&format!(
-        "{:>5} {:<16} {:>10} {:>9} {:>10} {:>5} {:>5} {:<8} {:<6} {:<6} {:<6} {:<3} statement\n",
+        "{:>5} {:<16} {:>10} {:>9} {:>10} {:>5} {:>5} {:<8} {:<6} {:<15} {:<6} {:<6} {:<3} statement\n",
         "seq",
         "kind",
         "lat_us",
@@ -159,13 +165,19 @@ pub fn render(records: &[StatementRecord]) -> String {
         "miss",
         "exec",
         "fuse",
+        "pack",
         "xport",
         "launch",
         "ok",
     ));
     for r in records {
+        let pack = if r.blocked {
+            format!("{}+blk", r.pack_mode)
+        } else {
+            r.pack_mode.to_string()
+        };
         out.push_str(&format!(
-            "{:>5} {:<16} {:>10.1} {:>9} {:>10} {:>5} {:>5} {:<8} {:<6} {:<6} {:<6} {:<3} {}\n",
+            "{:>5} {:<16} {:>10.1} {:>9} {:>10} {:>5} {:>5} {:<8} {:<6} {:<15} {:<6} {:<6} {:<3} {}\n",
             r.seq,
             r.kind,
             r.latency_ns as f64 / 1_000.0,
@@ -175,6 +187,7 @@ pub fn render(records: &[StatementRecord]) -> String {
             r.cache_misses,
             r.exec_mode,
             r.fuse,
+            pack,
             r.transport,
             r.launch,
             if r.ok { "yes" } else { "NO" },
@@ -258,6 +271,7 @@ mod tests {
             exec_mode: "batched",
             fuse: "fused",
             pack_mode: "runs",
+            blocked: true,
             transport: "shm",
             launch: "pooled",
             ok: true,
@@ -268,6 +282,21 @@ mod tests {
         assert!(text.contains("rt.ASSIGN"), "{text}");
         assert!(text.contains("ASSIGN A(0:9:1)"), "{text}");
         assert!(text.contains("fused"), "{text}");
+        assert!(text.contains("runs+blk"), "{text}");
+    }
+
+    #[test]
+    fn records_capture_the_resolved_pack_mode() {
+        // Run one real statement, then record: the pack column must show
+        // the mode the statement actually resolved to, not a constant.
+        let mut a = bcag_spmd::darray::DistArray::new(2, 4, 64, 0i64).unwrap();
+        let b = bcag_spmd::darray::DistArray::new(2, 4, 64, 5i64).unwrap();
+        let sec = bcag_core::section::RegularSection::new(0, 63, 1).unwrap();
+        let base = Baseline::capture();
+        bcag_spmd::statement::assign_expr(&mut a, &sec, &[(&b, sec)], |v| v[0]).unwrap();
+        record("rt.ASSIGN", "ASSIGN A(0:63:1) = B(0:63:1)", base, true);
+        let rec = snapshot().into_iter().last().unwrap();
+        assert_ne!(rec.pack_mode, "-", "a pack ran, so a mode was noted");
     }
 
     #[test]

@@ -99,6 +99,23 @@ enum Key {
         ops: Vec<(i64, (i64, i64, i64))>,
         tid: TypeId,
         exec: (ExecMode, TransportKind),
+        /// Transfer block size (elements) the program was compiled for
+        /// (`0` = unblocked). Part of the key so `BCAG_TUNE` A/B flips —
+        /// and L2-size overrides in tests — never reuse a program
+        /// compiled for the other blocking regime.
+        block: usize,
+    },
+    /// Per-node [`bcag_core::tune::DispatchDecision`]s for one section
+    /// shape: the memoized output of the self-tuning pass, cached next
+    /// to the plans it describes. Keyed by element width because both
+    /// the line-utilization measurement and the block-size model depend
+    /// on it.
+    Tune {
+        p: i64,
+        k: i64,
+        sec: (i64, i64, i64),
+        method: Method,
+        elem_bytes: usize,
     },
 }
 
@@ -107,6 +124,7 @@ enum Value {
     Schedule(Arc<CommSchedule>),
     Plans(Arc<Vec<NodePlan>>),
     Fused(Arc<dyn Any + Send + Sync>),
+    Tune(Arc<Vec<bcag_core::tune::DispatchDecision>>),
 }
 
 /// One resident entry. The stamp is atomic so the read path can refresh
@@ -762,6 +780,7 @@ pub fn fused<V: Send + Sync + 'static>(
     ops: &[(i64, RegularSection)],
     mode: ExecMode,
     kind: TransportKind,
+    block: usize,
     build: impl FnOnce() -> Result<Arc<V>>,
 ) -> Result<Arc<V>> {
     let key = Key::Fused {
@@ -771,6 +790,7 @@ pub fn fused<V: Send + Sync + 'static>(
         ops: ops.iter().map(|(k, s)| (*k, sec_key(s))).collect(),
         tid: TypeId::of::<V>(),
         exec: (mode, kind),
+        block,
     };
     let v = get_or_build(key, || {
         build().map(|f| Value::Fused(f as Arc<dyn Any + Send + Sync>))
@@ -778,6 +798,50 @@ pub fn fused<V: Send + Sync + 'static>(
     match v {
         Value::Fused(f) => Ok(Arc::downcast::<V>(f).expect("fused key carries the program type")),
         _ => unreachable!("fused key maps to fused value"),
+    }
+}
+
+/// Cached per-node dispatch decisions for one section shape: fetches
+/// the (also cached) plans, runs the fast line-utilization analysis
+/// bounded at [`bcag_core::tune::ANALYZE_BOUND`] elements on each node's
+/// run plan, and memoizes the resulting
+/// [`bcag_core::tune::DispatchDecision`]s. Decisions are pure functions
+/// of the plan, the element width and the resolved L2 size, so the
+/// cache can serve them to every statement touching the shape.
+pub fn decisions(
+    p: i64,
+    k: i64,
+    sec: &RegularSection,
+    method: Method,
+    elem_bytes: usize,
+) -> Result<Arc<Vec<bcag_core::tune::DispatchDecision>>> {
+    let key = Key::Tune {
+        p,
+        k,
+        sec: sec_key(sec),
+        method,
+        elem_bytes,
+    };
+    let v = get_or_build(key, || {
+        // Nested cache access is safe: builds run outside shard locks
+        // (single-flight), and the plans fetch uses its own flight.
+        let plans = plans(p, k, sec, method)?;
+        let ds = plans
+            .iter()
+            .map(|np| {
+                let stats = bcag_core::locality::analyze_lines(
+                    &np.runs,
+                    elem_bytes,
+                    bcag_core::tune::ANALYZE_BOUND,
+                );
+                bcag_core::tune::decide(&stats, &np.runs, elem_bytes)
+            })
+            .collect();
+        Ok(Value::Tune(Arc::new(ds)))
+    })?;
+    match v {
+        Value::Tune(d) => Ok(d),
+        _ => unreachable!("tune key maps to tune value"),
     }
 }
 

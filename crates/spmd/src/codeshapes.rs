@@ -179,16 +179,20 @@ fn traverse_strided<T, const GAP: usize>(
 /// strided loop per wide-gap segment — no table load per element.
 /// Segments dispatch through [`bcag_core::lower::ShapeClass`], the same
 /// gap classification the fused statement compiler keys its kernel
-/// table on, so the common small gaps run constant-stride loops. Emits
-/// the `runs_coalesced`/`run_len_total` counters for multi-element
-/// segments (their ratio is the average coalesced run length).
+/// table on, so the common small gaps run constant-stride loops. The
+/// classification is element-size aware ([`ShapeClass::of_gap_for`]):
+/// once a segment's element pitch spans a full cache line, the
+/// const-generic unrolling cannot win and the runtime-gap loop serves.
+/// Emits the `runs_coalesced`/`run_len_total` counters for
+/// multi-element segments (their ratio is the average coalesced run
+/// length).
 pub fn traverse_runs<T>(local: &mut [T], runs: &RunPlan, mut f: impl FnMut(&mut T)) {
     let mut segments = 0u64;
     let mut elements = 0u64;
     runs.for_each_segment(|seg| {
         let a = seg.addr as usize;
         let len = seg.len as usize;
-        match ShapeClass::of_gap(seg.gap) {
+        match ShapeClass::of_gap_for(seg.gap, std::mem::size_of::<T>()) {
             ShapeClass::Memcpy => {
                 for x in &mut local[a..a + len] {
                     f(x);

@@ -40,6 +40,16 @@
 //! `transport_bytes_tx/_rx`, `runs_coalesced`, …) matches the interpreted
 //! path's by construction.
 //!
+//! Under [`bcag_core::tune::TuneMode::Auto`] (the default) epochs whose
+//! working set spills L2 are **blocked**: [`epoch_block_elems`] derives
+//! an L2-resident chunk size, physical messages split into ≤-block-sized
+//! payloads at compile time (sender and receiver derive identical split
+//! points from the same schedule, so no wire metadata is added), and
+//! communication-free epochs stage → move → apply one L2-sized address
+//! range at a time instead of snapshotting the whole local image. The
+//! block size is part of the fused cache key, so `BCAG_TUNE` A/B flips
+//! never reuse programs compiled for the other regime.
+//!
 //! Inside a `bcag spmd` node process the fused path is not used — the
 //! multi-process executor has its own shadow-application protocol — so
 //! [`crate::statement::assign_expr`] falls back to the interpreted path
@@ -54,11 +64,13 @@ use bcag_core::error::{BcagError, Result};
 use bcag_core::lower::{lower_plan, ShapeClass};
 use bcag_core::method::Method;
 use bcag_core::section::RegularSection;
+use bcag_core::tune::{self, TuneMode};
 
 use crate::cache;
 use crate::comm::wire::{self, PackValue};
 use crate::comm::ExecMode;
 use crate::darray::DistArray;
+use crate::pack::{self, PackMode};
 use crate::pool::{self, lock_clean, LaunchMode};
 use crate::transport::{self, TransportKind};
 
@@ -114,6 +126,50 @@ pub fn set_default_fused(mode: FusedMode) {
     };
     DEFAULT_FUSED.store(v, Ordering::Relaxed);
 }
+
+/// 0 = no fused epoch ran yet, 1 = last epoch was unblocked, 2 = last
+/// epoch ran L2-blocked — the flight recorder's companion to
+/// [`crate::pack::last_pack_mode`].
+static LAST_BLOCKED: AtomicU8 = AtomicU8::new(0);
+
+pub(crate) fn note_blocked(blocked: bool) {
+    LAST_BLOCKED.store(if blocked { 2 } else { 1 }, Ordering::Relaxed);
+}
+
+/// Whether the most recent fused epoch on this process ran L2-blocked;
+/// `None` before any fused epoch executed.
+pub fn last_blocked() -> Option<bool> {
+    match LAST_BLOCKED.load(Ordering::Relaxed) {
+        1 => Some(false),
+        2 => Some(true),
+        _ => None,
+    }
+}
+
+/// Transfer block size (in elements) for a statement whose LHS section
+/// is `sec_a`: zero (unblocked) under [`TuneMode::Fixed`], otherwise the
+/// L2-residency cap of [`tune::block_elems_for`] — zero again when the
+/// statement's working set fits. The value feeds [`compile`] and is part
+/// of the fused cache key ([`crate::cache::fused`]), so `BCAG_TUNE` A/B
+/// flips and test-local L2 overrides never share compiled programs.
+pub fn epoch_block_elems<T: PackValue>(sec_a: &RegularSection) -> usize {
+    match tune::default_tune() {
+        TuneMode::Fixed => 0,
+        TuneMode::Auto => tune::block_elems_for(
+            sec_a.count() as u64,
+            std::mem::size_of::<T>(),
+            tune::l2_bytes(),
+        ),
+    }
+}
+
+/// Upper bound on the number of message blocks one directed (src, dst)
+/// pair may split into per epoch — half the shm fabric's per-pair SPSC
+/// ring capacity, so an epoch's entire blocked send phase fits in the
+/// ring and a send never has to wait for the peer (which is itself
+/// still sending) to drain it. [`compile`] widens a pair's block size
+/// past the L2 target rather than exceed this count.
+const MAX_BLOCKS_PER_PEER: usize = crate::transport::ring::RING_CAP / 2;
 
 /// Gather kernel: append `len` elements read from `src` at
 /// `(addr, addr + gap, …)` onto the message buffer. The gap is
@@ -288,18 +344,26 @@ struct GatherStep<T> {
     kernel: GatherFn<T>,
 }
 
-/// One outgoing **physical** message: every operand's traffic from this
-/// node to `dst`, packed back to back in operand order. The interpreted
-/// path exchanges operand by operand in separate epochs; the fused
-/// compiler sees the whole statement, so it merges them — one message
-/// per peer per epoch. `charges` keeps one canonical wire size per
-/// *logical* (operand, destination) message so trace totals still match
-/// the interpreted path.
+/// One ≤-block-sized chunk of an outgoing physical message: the gather
+/// segments whose packed payload this chunk carries. Unblocked plans
+/// have exactly one block per peer.
+struct SendBlock<T> {
+    elements: usize,
+    gathers: Vec<GatherStep<T>>,
+}
+
+/// The outgoing traffic from this node to `dst`: every operand's
+/// transfers, packed back to back in operand order, split into
+/// L2-blocked physical messages. The interpreted path exchanges operand
+/// by operand in separate epochs; the fused compiler sees the whole
+/// statement, so it merges them — one message (per block) per peer per
+/// epoch. `charges` keeps one canonical wire size per *logical*
+/// (operand, destination) message so trace totals still match the
+/// interpreted path; they are emitted once per peer, on the first block.
 struct SendPlan<T> {
     dst: usize,
-    elements: usize,
     charges: Vec<u64>,
-    gathers: Vec<GatherStep<T>>,
+    blocks: Vec<SendBlock<T>>,
 }
 
 /// One scatter segment of an inbound message: where the next `len`
@@ -314,14 +378,18 @@ struct ScatterStep<T> {
     kernel: ScatterFn<T>,
 }
 
-/// One expected inbound physical message, identified by source node —
-/// the schedule is global knowledge, so the payload layout (operand
-/// order, then compiled run order) and per-logical-message `charges`
-/// are compiled here and the wire carries only values.
+/// The expected inbound traffic from `src` — the schedule is global
+/// knowledge, so the payload layout (operand order, then compiled run
+/// order, split at the same block boundaries the sender derives) and
+/// per-logical-message `charges` are compiled here and the wire carries
+/// only values. `blocks[i]` scatters the `i`-th physical message from
+/// `src`; each step's `off` is relative to that block's payload.
+/// Per-producer FIFO on every in-process transport (one mpsc channel,
+/// one SPSC ring per directed pair) keeps block order deterministic.
 struct RecvPlan<T> {
     src: usize,
     charges: Vec<u64>,
-    steps: Vec<ScatterStep<T>>,
+    blocks: Vec<Vec<ScatterStep<T>>>,
 }
 
 /// One LHS traversal segment of the owner-computes loop.
@@ -330,6 +398,22 @@ struct ApplyStep<T> {
     gap: usize,
     len: usize,
     kernel: ApplyFn<T>,
+}
+
+/// One L2-sized address range `[lo, hi)` of a blocked
+/// communication-free epoch: the same-node moves (per operand) and
+/// apply segments clipped to the range, with staging-side addresses
+/// rebased by `-lo`. The epoch stages, moves and applies one range at a
+/// time, so the working set per range is `(operands + 1) × (hi - lo)`
+/// elements instead of the whole local image. Bit-exact because ranges
+/// partition the address space: each range's snapshot still reads
+/// pre-statement values (earlier ranges wrote disjoint addresses), and
+/// every apply address reads staging within its own range.
+struct LocalBlock<T> {
+    lo: usize,
+    hi: usize,
+    moves: Vec<Vec<MoveStep<T>>>,
+    apply: Vec<ApplyStep<T>>,
 }
 
 /// The compiled epoch of one node: every data-movement and compute step
@@ -345,6 +429,12 @@ struct NodeProgram<T> {
     recvs: Vec<RecvPlan<T>>,
     /// Owner-computes traversal segments.
     apply: Vec<ApplyStep<T>>,
+    /// L2-blocked ranges for communication-free epochs (empty when the
+    /// node communicates or the program is unblocked); when non-empty,
+    /// `execute` runs these instead of `self_moves` + `apply`, which are
+    /// still compiled so [`FusedStatement::census`] stays
+    /// blocking-independent.
+    local_blocks: Vec<LocalBlock<T>>,
     /// Total outgoing transfers (all destinations, self included).
     moved: u64,
     /// Non-empty non-self destinations (messages really sent).
@@ -374,6 +464,10 @@ const WIRE_TAG_BYTES: usize = 4;
 pub struct FusedStatement<T: PackValue> {
     p: i64,
     nodes: Vec<NodeProgram<T>>,
+    /// Whether any node's epoch is L2-blocked (chunked messages or
+    /// blocked local ranges) — drives the `tune_decision_blocked`
+    /// counter and the flight recorder's blocked flag.
+    blocked: bool,
 }
 
 /// Structural summary of a compiled [`FusedStatement`] — totals over all
@@ -388,6 +482,11 @@ pub struct FuseCensus {
     pub self_moves: usize,
     /// Owner-computes traversal segments across all nodes.
     pub apply_segments: usize,
+    /// Physical message blocks compiled across all nodes — equals the
+    /// physical message count when unblocked, larger when L2-chunked.
+    pub send_blocks: usize,
+    /// L2-blocked local epoch ranges compiled across all nodes.
+    pub local_blocks: usize,
 }
 
 impl<T: PackValue> FusedStatement<T> {
@@ -402,6 +501,8 @@ impl<T: PackValue> FusedStatement<T> {
             c.recvs += n.recvs.iter().map(|r| r.charges.len()).sum::<usize>();
             c.self_moves += n.self_moves.iter().map(Vec::len).sum::<usize>();
             c.apply_segments += n.apply.len();
+            c.send_blocks += n.sends.iter().map(|s| s.blocks.len()).sum::<usize>();
+            c.local_blocks += n.local_blocks.len();
         }
         c
     }
@@ -425,6 +526,13 @@ impl<T: PackValue> FusedStatement<T> {
         let _t = bcag_trace::timed_span("fuse_execute_ns");
         bcag_trace::set_tag("transport", kind.name());
         bcag_trace::count("fused_epochs", 1);
+        // Fused epochs pack coalesced runs; note mode and blocking for
+        // the flight recorder and the tuning counters.
+        pack::note_pack_mode(PackMode::Runs);
+        note_blocked(self.blocked);
+        if self.blocked && bcag_trace::enabled() {
+            bcag_trace::count("tune_decision_blocked", 1);
+        }
         let nops = operands.len();
         let slots: Vec<Mutex<&mut Vec<T>>> = a.locals_mut().iter_mut().map(Mutex::new).collect();
         pool::launch_with(self.p, launch, kind, |me, ctx| {
@@ -433,6 +541,39 @@ impl<T: PackValue> FusedStatement<T> {
             let use_wire = ctx.serializes() && T::WIRE_BYTES.is_some();
             let mut slot = lock_clean(&slots[me]);
             let local_a: &mut Vec<T> = &mut slot;
+            // Blocked communication-free epoch: stage → move → apply one
+            // L2-sized address range at a time. The folded counter
+            // emissions are identical to the unblocked epoch's.
+            if !prog.local_blocks.is_empty() {
+                bcag_trace::count("elements_moved", prog.moved);
+                bcag_trace::count("bytes_packed", prog.moved * std::mem::size_of::<T>() as u64);
+                bcag_core::runs::count_coalesced(prog.seg_count, prog.seg_elems);
+                bcag_trace::count("recv_wait_ns", 0);
+                let fref: &dyn Fn(&[T]) -> T = &f;
+                let mut args: Vec<T> = Vec::with_capacity(nops);
+                for blk in &prog.local_blocks {
+                    let mut stagings: Vec<Vec<T>> = Vec::with_capacity(nops);
+                    for (op, b) in operands.iter().enumerate() {
+                        let local_b = b.local(me as i64);
+                        let mut st: Vec<T> = ctx.take_buf();
+                        st.extend_from_slice(&local_a[blk.lo..blk.hi]);
+                        for mv in &blk.moves[op] {
+                            (mv.kernel)(&mut st, local_b, mv.dst, mv.dgap, mv.src, mv.sgap, mv.len);
+                        }
+                        stagings.push(st);
+                    }
+                    let window = &mut local_a[blk.lo..blk.hi];
+                    for step in &blk.apply {
+                        (step.kernel)(
+                            window, &stagings, &mut args, fref, step.addr, step.gap, step.len,
+                        );
+                    }
+                    for st in stagings {
+                        ctx.put_buf(st);
+                    }
+                }
+                return;
+            }
             // Stage phase. Each operand's staging buffer is a snapshot
             // of this node's pre-statement LHS memory (the node-local
             // equivalent of the interpreted path's whole-array
@@ -450,44 +591,48 @@ impl<T: PackValue> FusedStatement<T> {
                 }
                 stagings.push(st);
             }
-            // Send phase: one physical message per destination, every
-            // operand's traffic packed back to back in operand order
-            // (the receiver's plan was compiled to the same layout).
+            // Send phase: one physical message per destination per
+            // block, every operand's traffic packed back to back in
+            // operand order (the receiver's plan was compiled to the
+            // same layout and the same block boundaries).
             for send in &prog.sends {
-                let mut vals: Vec<T> = ctx.take_buf();
-                vals.reserve(send.elements);
-                for g in &send.gathers {
-                    let local_b = operands[g.op].local(me as i64);
-                    (g.kernel)(&mut vals, local_b, g.addr, g.gap, g.len);
-                }
-                if bcag_trace::enabled() {
-                    // Charged per *logical* (operand, destination)
-                    // message at the canonical run-encoded size (span
-                    // headers included even though fused messages carry
-                    // no spans), so counts and totals match the
-                    // interpreted path on every backend.
-                    for &tx in &send.charges {
-                        bcag_trace::count("transport_bytes_tx", tx);
-                        bcag_trace::record("msg_bytes", tx);
-                        bcag_trace::record(
-                            bcag_trace::intern(&format!("msg_bytes_to_{}", send.dst)),
-                            tx,
+                for (bi, blk) in send.blocks.iter().enumerate() {
+                    let mut vals: Vec<T> = ctx.take_buf();
+                    vals.reserve(blk.elements);
+                    for g in &blk.gathers {
+                        let local_b = operands[g.op].local(me as i64);
+                        (g.kernel)(&mut vals, local_b, g.addr, g.gap, g.len);
+                    }
+                    if bi == 0 && bcag_trace::enabled() {
+                        // Charged per *logical* (operand, destination)
+                        // message at the canonical run-encoded size (span
+                        // headers included even though fused messages
+                        // carry no spans), once per peer on the first
+                        // block, so counts and totals match the
+                        // interpreted path on every backend.
+                        for &tx in &send.charges {
+                            bcag_trace::count("transport_bytes_tx", tx);
+                            bcag_trace::record("msg_bytes", tx);
+                            bcag_trace::record(
+                                bcag_trace::intern(&format!("msg_bytes_to_{}", send.dst)),
+                                tx,
+                            );
+                        }
+                    }
+                    if use_wire {
+                        let mut bytes = wire::encode::<T>(&[], &vals);
+                        bytes.extend_from_slice(&(me as u32).to_le_bytes());
+                        ctx.send(send.dst, Box::new(bytes));
+                        ctx.put_buf(vals);
+                    } else {
+                        ctx.send(
+                            send.dst,
+                            Box::new(FusedMsg {
+                                src: me as u32,
+                                vals,
+                            }),
                         );
                     }
-                }
-                if use_wire {
-                    let mut bytes = wire::encode::<T>(&[], &vals);
-                    bytes.extend_from_slice(&(me as u32).to_le_bytes());
-                    ctx.send(send.dst, Box::new(bytes));
-                    ctx.put_buf(vals);
-                } else {
-                    ctx.send(
-                        send.dst,
-                        Box::new(FusedMsg {
-                            src: me as u32,
-                            vals,
-                        }),
-                    );
                 }
             }
             // Counter totals were folded at compile time: one emission
@@ -502,10 +647,13 @@ impl<T: PackValue> FusedStatement<T> {
             bcag_core::runs::count_coalesced(prog.seg_count, prog.seg_elems);
             // Receive phase: the counted inbox drain of the batched
             // executor, routed by the source tag since inbound order
-            // across sources is nondeterministic. One physical message
-            // per source carries every operand's traffic.
+            // across sources is nondeterministic. Blocks from one source
+            // arrive in send order (per-producer FIFO), so a per-source
+            // cursor selects the scatter plan for each inbound message.
             let mut wait_ns = 0u64;
-            for _ in 0..prog.recvs.len() {
+            let mut next_blk = vec![0usize; prog.recvs.len()];
+            let total_blocks: usize = prog.recvs.iter().map(|r| r.blocks.len()).sum();
+            for _ in 0..total_blocks {
                 let t0 = bcag_trace::enabled().then(std::time::Instant::now);
                 let env = ctx.recv();
                 if let Some(t0) = t0 {
@@ -532,15 +680,20 @@ impl<T: PackValue> FusedStatement<T> {
                         .expect("fused message payload type");
                     (msg.src as usize, msg.vals)
                 };
-                let plan = prog
+                let pi = prog
                     .recvs
                     .iter()
-                    .find(|r| r.src == src)
+                    .position(|r| r.src == src)
                     .expect("inbound message matches a compiled recv plan");
-                for &rx in &plan.charges {
-                    bcag_trace::count("transport_bytes_rx", rx);
+                let plan = &prog.recvs[pi];
+                let bi = next_blk[pi];
+                next_blk[pi] += 1;
+                if bi == 0 {
+                    for &rx in &plan.charges {
+                        bcag_trace::count("transport_bytes_rx", rx);
+                    }
                 }
-                for sc in &plan.steps {
+                for sc in &plan.blocks[bi] {
                     (sc.kernel)(
                         &mut stagings[sc.op],
                         sc.addr,
@@ -569,12 +722,169 @@ impl<T: PackValue> FusedStatement<T> {
     }
 }
 
+/// Appends one gather run to `plan`, splitting it across ≤`cap`-element
+/// message blocks. `cur` tracks the open block's fill and persists
+/// across runs and operands, so block boundaries depend only on the
+/// compiled run sequence — which sender and receiver share.
+fn push_send_run<T: PackValue>(
+    plan: &mut SendPlan<T>,
+    cur: &mut usize,
+    cap: usize,
+    op: usize,
+    mut addr: usize,
+    gap: usize,
+    mut len: usize,
+    kernel: GatherFn<T>,
+) {
+    while len > 0 {
+        if plan.blocks.is_empty() || *cur == cap {
+            plan.blocks.push(SendBlock {
+                elements: 0,
+                gathers: Vec::new(),
+            });
+            *cur = 0;
+        }
+        let take = len.min(cap - *cur);
+        let blk = plan.blocks.last_mut().expect("block ensured above");
+        blk.gathers.push(GatherStep {
+            op,
+            addr,
+            gap,
+            len: take,
+            kernel,
+        });
+        blk.elements += take;
+        *cur += take;
+        addr += gap * take;
+        len -= take;
+    }
+}
+
+/// The receiver-side twin of [`push_send_run`]: same cap, same run
+/// sequence, therefore the same split points — each block's scatter
+/// offsets restart at zero because each block is its own payload.
+fn push_recv_run<T: PackValue>(
+    plan: &mut RecvPlan<T>,
+    cur: &mut usize,
+    cap: usize,
+    op: usize,
+    mut addr: usize,
+    gap: usize,
+    mut len: usize,
+    kernel: ScatterFn<T>,
+) {
+    while len > 0 {
+        if plan.blocks.is_empty() || *cur == cap {
+            plan.blocks.push(Vec::new());
+            *cur = 0;
+        }
+        let take = len.min(cap - *cur);
+        plan.blocks
+            .last_mut()
+            .expect("block ensured above")
+            .push(ScatterStep {
+                op,
+                addr,
+                gap,
+                len: take,
+                off: *cur,
+                kernel,
+            });
+        *cur += take;
+        addr += gap * take;
+        len -= take;
+    }
+}
+
+/// Clips an affine address walk `base + j * gap, j in 0..len` to the
+/// half-open range `[lo, hi)`: returns the first index and the clipped
+/// length, or `None` when the walk misses the range.
+fn clip_walk(base: usize, gap: usize, len: usize, lo: usize, hi: usize) -> Option<(usize, usize)> {
+    if len == 0 || base >= hi {
+        return None;
+    }
+    let gap = gap.max(1);
+    let j0 = if base >= lo {
+        0
+    } else {
+        (lo - base).div_ceil(gap)
+    };
+    if j0 >= len || base + j0 * gap >= hi {
+        return None;
+    }
+    let j1 = ((hi - 1 - base) / gap).min(len - 1);
+    Some((j0, j1 - j0 + 1))
+}
+
+/// Builds the L2-blocked ranges of a communication-free node program:
+/// partitions the touched local address space into ≤`block`-element
+/// ranges and clips every same-node move (by destination) and apply
+/// segment to its range, rebasing staging-side addresses by `-lo`.
+fn local_blocks_for<T: PackValue>(prog: &NodeProgram<T>, block: usize) -> Vec<LocalBlock<T>> {
+    let mut extent = 0usize;
+    for step in &prog.apply {
+        extent = extent.max(step.addr + (step.len - 1) * step.gap + 1);
+    }
+    for mv in prog.self_moves.iter().flatten() {
+        extent = extent.max(mv.dst + (mv.len - 1) * mv.dgap + 1);
+    }
+    if extent <= block {
+        return Vec::new();
+    }
+    let mut blocks = Vec::with_capacity(extent.div_ceil(block));
+    let mut lo = 0usize;
+    while lo < extent {
+        let hi = (lo + block).min(extent);
+        let moves = prog
+            .self_moves
+            .iter()
+            .map(|op_moves| {
+                op_moves
+                    .iter()
+                    .filter_map(|mv| {
+                        clip_walk(mv.dst, mv.dgap, mv.len, lo, hi).map(|(j0, len)| MoveStep {
+                            dst: mv.dst + j0 * mv.dgap - lo,
+                            dgap: mv.dgap,
+                            src: mv.src + j0 * mv.sgap,
+                            sgap: mv.sgap,
+                            len,
+                            kernel: mv.kernel,
+                        })
+                    })
+                    .collect()
+            })
+            .collect();
+        let apply = prog
+            .apply
+            .iter()
+            .filter_map(|step| {
+                clip_walk(step.addr, step.gap, step.len, lo, hi).map(|(j0, len)| ApplyStep {
+                    addr: step.addr + j0 * step.gap - lo,
+                    gap: step.gap,
+                    len,
+                    kernel: step.kernel,
+                })
+            })
+            .collect();
+        blocks.push(LocalBlock {
+            lo,
+            hi,
+            moves,
+            apply,
+        });
+        lo = hi;
+    }
+    blocks
+}
+
 /// Compiles the statement shape `A(sec_a) = f(ops…)` on a `(p, k_a)` LHS
 /// layout into per-node fused epochs. `ops` lists each operand's
 /// `(k, section)`; planning artifacts (node plans, per-operand comm
 /// schedules) come from — and warm — the process-wide cache, so the
 /// locality analytics recorded at plan build time stay live under the
-/// fused path.
+/// fused path. `block` caps physical message payloads and local epoch
+/// ranges at that many elements (`0` = unblocked); callers derive it
+/// from [`epoch_block_elems`].
 pub fn compile<T: PackValue>(
     p: i64,
     k_a: i64,
@@ -582,6 +892,7 @@ pub fn compile<T: PackValue>(
     ops: &[(i64, RegularSection)],
     mode: ExecMode,
     kind: TransportKind,
+    block: usize,
 ) -> Result<FusedStatement<T>> {
     let _sp = bcag_trace::span("fuse.compile");
     let _t = bcag_trace::timed_span("fuse_compile_ns");
@@ -600,6 +911,11 @@ pub fn compile<T: PackValue>(
         )?);
     }
     let pu = p as usize;
+    let eb = std::mem::size_of::<T>();
+    // Message payload cap in elements; shared by both sides of every
+    // pair, so split points agree.
+    let cap = if block == 0 { usize::MAX } else { block };
+    let mut blocked = false;
     let mut nodes = Vec::with_capacity(pu);
     for me in 0..pu {
         let mut prog: NodeProgram<T> = NodeProgram {
@@ -607,6 +923,7 @@ pub fn compile<T: PackValue>(
             sends: Vec::new(),
             recvs: Vec::new(),
             apply: Vec::new(),
+            local_blocks: Vec::new(),
             moved: 0,
             msgs: 0,
             nonlocal: 0,
@@ -614,25 +931,48 @@ pub fn compile<T: PackValue>(
             seg_elems: 0,
         };
         // Per-peer accumulators: logical (operand, peer) messages merge
-        // into one physical message per peer, packed — and unpacked —
-        // in operand order, then compiled run order, so sender and
-        // receiver derive the same payload layout independently.
+        // into one physical message per peer per block, packed — and
+        // unpacked — in operand order, then compiled run order, so
+        // sender and receiver derive the same payload layout
+        // independently.
         let mut send_acc: Vec<SendPlan<T>> = (0..pu)
             .map(|dst| SendPlan {
                 dst,
-                elements: 0,
                 charges: Vec::new(),
-                gathers: Vec::new(),
+                blocks: Vec::new(),
             })
             .collect();
+        let mut send_cur = vec![0usize; pu];
         let mut recv_acc: Vec<RecvPlan<T>> = (0..pu)
             .map(|src| RecvPlan {
                 src,
                 charges: Vec::new(),
-                steps: Vec::new(),
+                blocks: Vec::new(),
             })
             .collect();
-        let mut recv_offs = vec![0usize; pu];
+        let mut recv_cur = vec![0usize; pu];
+        // Per-peer payload caps: the global cap widened so no pair ever
+        // splits into more than [`MAX_BLOCKS_PER_PEER`] envelopes. The
+        // epoch protocol sends every block before receiving any, so on
+        // the shm fabric's fixed-capacity SPSC rings an unbounded block
+        // count could leave two peers spinning on mutually full rings;
+        // keeping the per-pair envelope count under the ring capacity
+        // means a send can never block, whatever the transfer size.
+        // Sender and receiver widen from the same pair totals, so the
+        // split points still agree.
+        let mut send_cap = vec![cap; pu];
+        let mut recv_cap = vec![cap; pu];
+        if block > 0 {
+            for peer in 0..pu {
+                if peer == me {
+                    continue;
+                }
+                let out: usize = schedules.iter().map(|s| s.pair(me, peer).len()).sum();
+                send_cap[peer] = cap.max(out.div_ceil(MAX_BLOCKS_PER_PEER));
+                let inn: usize = schedules.iter().map(|s| s.pair(peer, me).len()).sum();
+                recv_cap[peer] = cap.max(inn.div_ceil(MAX_BLOCKS_PER_PEER));
+            }
+        }
         for (op, sched) in schedules.iter().enumerate() {
             let mut op_moves = Vec::new();
             for dst in 0..pu {
@@ -654,8 +994,8 @@ pub fn compile<T: PackValue>(
                             sgap: r.sgap as usize,
                             len: r.len as usize,
                             kernel: move_kernel::<T>(
-                                ShapeClass::of_gap(r.sgap),
-                                ShapeClass::of_gap(r.dgap),
+                                ShapeClass::of_gap_for(r.sgap, eb),
+                                ShapeClass::of_gap_for(r.dgap, eb),
                             ),
                         });
                     }
@@ -667,16 +1007,20 @@ pub fn compile<T: PackValue>(
                 prog.msgs += 1;
                 prog.nonlocal += transfers.len() as u64;
                 let acc = &mut send_acc[dst];
-                acc.elements += transfers.len();
                 acc.charges
                     .push(wire::wire_size::<T>(runs.len(), transfers.len()) as u64);
-                acc.gathers.extend(runs.iter().map(|r| GatherStep {
-                    op,
-                    addr: r.src_local as usize,
-                    gap: r.sgap as usize,
-                    len: r.len as usize,
-                    kernel: gather_kernel::<T>(ShapeClass::of_gap(r.sgap)),
-                }));
+                for r in runs {
+                    push_send_run(
+                        acc,
+                        &mut send_cur[dst],
+                        send_cap[dst],
+                        op,
+                        r.src_local as usize,
+                        r.sgap as usize,
+                        r.len as usize,
+                        gather_kernel::<T>(ShapeClass::of_gap_for(r.sgap, eb)),
+                    );
+                }
             }
             prog.self_moves.push(op_moves);
             for src in 0..pu {
@@ -688,17 +1032,17 @@ pub fn compile<T: PackValue>(
                 let acc = &mut recv_acc[src];
                 acc.charges
                     .push(wire::wire_size::<T>(runs.len(), transfers.len()) as u64);
-                let off = &mut recv_offs[src];
                 for r in runs {
-                    acc.steps.push(ScatterStep {
+                    push_recv_run(
+                        acc,
+                        &mut recv_cur[src],
+                        recv_cap[src],
                         op,
-                        addr: r.dst_local as usize,
-                        gap: r.dgap as usize,
-                        len: r.len as usize,
-                        off: *off,
-                        kernel: scatter_kernel::<T>(ShapeClass::of_gap(r.dgap)),
-                    });
-                    *off += r.len as usize;
+                        r.dst_local as usize,
+                        r.dgap as usize,
+                        r.len as usize,
+                        scatter_kernel::<T>(ShapeClass::of_gap_for(r.dgap, eb)),
+                    );
                 }
             }
         }
@@ -716,17 +1060,22 @@ pub fn compile<T: PackValue>(
                     addr: seg.addr as usize,
                     gap: seg.gap as usize,
                     len: seg.len as usize,
-                    kernel: apply_kernel::<T>(seg.class),
+                    kernel: apply_kernel::<T>(ShapeClass::of_gap_for(seg.gap, eb)),
                 });
             }
         }
+        if block > 0 && prog.sends.is_empty() && prog.recvs.is_empty() {
+            prog.local_blocks = local_blocks_for(&prog, block);
+        }
+        blocked |= !prog.local_blocks.is_empty() || prog.sends.iter().any(|s| s.blocks.len() > 1);
         nodes.push(prog);
     }
-    Ok(FusedStatement { p, nodes })
+    Ok(FusedStatement { p, nodes, blocked })
 }
 
 /// [`compile`] through the sharded plan cache: the program is built once
-/// per (statement shape × element type × execution context) and shared.
+/// per (statement shape × element type × execution context × block size)
+/// and shared.
 pub fn cached_program<T: PackValue>(
     p: i64,
     k_a: i64,
@@ -734,9 +1083,10 @@ pub fn cached_program<T: PackValue>(
     ops: &[(i64, RegularSection)],
     mode: ExecMode,
     kind: TransportKind,
+    block: usize,
 ) -> Result<Arc<FusedStatement<T>>> {
-    cache::fused::<FusedStatement<T>>(p, k_a, sec_a, ops, mode, kind, || {
-        compile::<T>(p, k_a, sec_a, ops, mode, kind).map(Arc::new)
+    cache::fused::<FusedStatement<T>>(p, k_a, sec_a, ops, mode, kind, block, || {
+        compile::<T>(p, k_a, sec_a, ops, mode, kind, block).map(Arc::new)
     })
 }
 
@@ -789,7 +1139,8 @@ where
         ));
     }
     let ops: Vec<(i64, RegularSection)> = operands.iter().map(|(b, s)| (b.k(), *s)).collect();
-    let program = cached_program::<T>(a.p(), a.k(), sec_a, &ops, ExecMode::Batched, kind)?;
+    let block = epoch_block_elems::<T>(sec_a);
+    let program = cached_program::<T>(a.p(), a.k(), sec_a, &ops, ExecMode::Batched, kind, block)?;
     let arrays: Vec<&DistArray<T>> = operands.iter().map(|(b, _)| *b).collect();
     program.execute(a, &arrays, f, launch, kind);
     Ok(())
@@ -883,18 +1234,52 @@ mod tests {
         let sec_a = RegularSection::new(1, 1171, 26).unwrap();
         let sec_b = RegularSection::new(3, 1173, 26).unwrap();
         let ops = vec![(9i64, sec_b)];
-        let first =
-            cached_program::<i64>(3, 11, &sec_a, &ops, ExecMode::Batched, TransportKind::Mpsc)
-                .unwrap();
-        let second =
-            cached_program::<i64>(3, 11, &sec_a, &ops, ExecMode::Batched, TransportKind::Mpsc)
-                .unwrap();
+        let first = cached_program::<i64>(
+            3,
+            11,
+            &sec_a,
+            &ops,
+            ExecMode::Batched,
+            TransportKind::Mpsc,
+            0,
+        )
+        .unwrap();
+        let second = cached_program::<i64>(
+            3,
+            11,
+            &sec_a,
+            &ops,
+            ExecMode::Batched,
+            TransportKind::Mpsc,
+            0,
+        )
+        .unwrap();
         assert!(Arc::ptr_eq(&first, &second));
         // A different element type is a distinct cache entry.
-        let other =
-            cached_program::<f64>(3, 11, &sec_a, &ops, ExecMode::Batched, TransportKind::Mpsc)
-                .unwrap();
+        let other = cached_program::<f64>(
+            3,
+            11,
+            &sec_a,
+            &ops,
+            ExecMode::Batched,
+            TransportKind::Mpsc,
+            0,
+        )
+        .unwrap();
         assert!(other.census() == first.census());
+        // A different block size is a distinct cache entry too: tune
+        // A/B flips must never reuse the other regime's programs.
+        let chunked = cached_program::<i64>(
+            3,
+            11,
+            &sec_a,
+            &ops,
+            ExecMode::Batched,
+            TransportKind::Mpsc,
+            7,
+        )
+        .unwrap();
+        assert!(!Arc::ptr_eq(&first, &chunked));
     }
 
     #[test]
@@ -907,12 +1292,174 @@ mod tests {
             &[(3, sec)],
             ExecMode::Batched,
             TransportKind::Mpsc,
+            0,
         )
         .unwrap();
         let census = prog.census();
         assert!(census.sends > 0, "redistribution must send messages");
         assert_eq!(census.sends, census.recvs, "every send has a receiver");
         assert!(census.apply_segments >= 4, "every node owns LHS elements");
+        assert!(
+            census.send_blocks > 0,
+            "unblocked sends still count one block each"
+        );
+        assert_eq!(
+            census.local_blocks, 0,
+            "unblocked programs compile no local ranges"
+        );
+    }
+
+    #[test]
+    fn blocked_messages_match_unblocked() {
+        // k mismatch forces redistribution; tiny block caps split every
+        // physical message into many chunks, which must stay bit-exact.
+        let n = 600i64;
+        let bg: Vec<i64> = (0..n).map(|i| 7 * i - 3).collect();
+        let b = DistArray::from_global(3, 4, &bg).unwrap();
+        let sec_a = RegularSection::new(0, 597, 3).unwrap();
+        let sec_b = RegularSection::new(1, 399, 2).unwrap();
+        let ops = vec![(b.k(), sec_b)];
+        let run = |block: usize| {
+            let prog = compile::<i64>(
+                3,
+                7,
+                &sec_a,
+                &ops,
+                ExecMode::Batched,
+                TransportKind::Mpsc,
+                block,
+            )
+            .unwrap();
+            let mut a = DistArray::new(3, 7, n, 0i64).unwrap();
+            prog.execute(
+                &mut a,
+                &[&b],
+                |v| v[0] * 2 + 1,
+                pool::default_launch(),
+                TransportKind::Mpsc,
+            );
+            (prog.census(), a.to_global())
+        };
+        let (base_census, want) = run(0);
+        for block in [1usize, 5, 64] {
+            let (census, got) = run(block);
+            assert_eq!(got, want, "block={block}");
+            assert_eq!(
+                census.sends, base_census.sends,
+                "logical messages are cap-independent"
+            );
+            if block < 64 {
+                assert!(
+                    census.send_blocks > base_census.send_blocks,
+                    "small caps must chunk messages (block={block})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn blocked_sends_are_ring_safe() {
+        // A pair transfer far larger than the shm ring capacity at
+        // block=1: the per-pair clamp must widen blocks so the whole
+        // send phase fits in the ring — without it, two peers both
+        // stuck in their send phase on mutually full rings would
+        // deadlock before either reached its receive loop.
+        let n = 4000i64;
+        let bg: Vec<i64> = (0..n).collect();
+        let b = DistArray::from_global(2, 4, &bg).unwrap();
+        let sec = RegularSection::new(0, n - 1, 1).unwrap();
+        let ops = vec![(b.k(), sec)];
+        let prog =
+            compile::<i64>(2, 16, &sec, &ops, ExecMode::Batched, TransportKind::Shm, 1).unwrap();
+        for node in &prog.nodes {
+            for send in &node.sends {
+                assert!(send.blocks.len() > 1, "the transfer must still chunk");
+                assert!(
+                    send.blocks.len() <= MAX_BLOCKS_PER_PEER,
+                    "per-pair envelope count must stay under the ring capacity, got {}",
+                    send.blocks.len()
+                );
+            }
+        }
+        let mut a = DistArray::new(2, 16, n, 0i64).unwrap();
+        prog.execute(
+            &mut a,
+            &[&b],
+            |v| v[0] + 1,
+            pool::default_launch(),
+            TransportKind::Shm,
+        );
+        let got = a.to_global();
+        for i in 0..n as usize {
+            assert_eq!(got[i], i as i64 + 1, "i={i}");
+        }
+    }
+
+    #[test]
+    fn blocked_local_epochs_match_unblocked() {
+        // Same layout on both sides: every transfer is a self-move, so
+        // blocking takes the local-epoch range path.
+        let n = 1200i64;
+        let bg: Vec<f64> = (0..n).map(|i| (i * 13 % 101) as f64).collect();
+        let b = DistArray::from_global(2, 8, &bg).unwrap();
+        let sec = RegularSection::new(2, 1195, 3).unwrap();
+        let ops = vec![(8i64, sec)];
+        let run = |block: usize| {
+            let prog = compile::<f64>(
+                2,
+                8,
+                &sec,
+                &ops,
+                ExecMode::Batched,
+                TransportKind::Mpsc,
+                block,
+            )
+            .unwrap();
+            let mut a = DistArray::new(2, 8, n, -1.0f64).unwrap();
+            prog.execute(
+                &mut a,
+                &[&b],
+                |v| v[0] * 0.5,
+                pool::default_launch(),
+                TransportKind::Mpsc,
+            );
+            (prog.census(), a.to_global())
+        };
+        let (base_census, want) = run(0);
+        assert_eq!(base_census.sends, 0, "same-layout copy never communicates");
+        for block in [16usize, 100, 4096] {
+            let (census, got) = run(block);
+            assert_eq!(got, want, "block={block}");
+            if block < 512 {
+                assert!(
+                    census.local_blocks > 1,
+                    "small caps must split the local epoch (block={block})"
+                );
+            }
+        }
+        // Zero-operand fills block too.
+        let fill = |block: usize| {
+            let prog = compile::<f64>(
+                2,
+                8,
+                &sec,
+                &[],
+                ExecMode::Batched,
+                TransportKind::Mpsc,
+                block,
+            )
+            .unwrap();
+            let mut a = DistArray::new(2, 8, n, 0.0f64).unwrap();
+            prog.execute(
+                &mut a,
+                &[],
+                |_| 9.0,
+                pool::default_launch(),
+                TransportKind::Mpsc,
+            );
+            a.to_global()
+        };
+        assert_eq!(fill(0), fill(32));
     }
 
     #[test]

@@ -97,9 +97,12 @@ pub use comm2d::assign_matrix;
 pub use csr::Csr;
 pub use darray::DistArray;
 pub use dmatrix::DistMatrix;
-pub use fuse::{assign_fused, default_fused, set_default_fused, FuseCensus, FusedMode};
+pub use fuse::{
+    assign_fused, default_fused, epoch_block_elems, last_blocked, set_default_fused, FuseCensus,
+    FusedMode,
+};
 pub use machine::Machine;
-pub use pack::{gather_section, PackMode};
+pub use pack::{default_pack_mode, gather_section, last_pack_mode, PackMode};
 pub use pool::{LaunchMode, NodeCtx};
 pub use reduce::{dot_sections, reduce_section, sum_section};
 pub use shift::{cshift, eoshift};

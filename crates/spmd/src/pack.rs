@@ -10,12 +10,22 @@
 //! to `memcpy`-grade slice copies wherever the gap table is constant:
 //! unit-gap runs become `extend_from_slice`/`copy_from_slice`, constant
 //! wide-gap runs become tight strided loops. [`PackMode`] keeps the
-//! historical element-by-element walk alive for ablation; both modes
+//! historical element-by-element walk alive for ablation; all modes
 //! produce bit-identical buffers and counter totals.
+//!
+//! The default mode is [`PackMode::Tuned`]: each call resolves to runs
+//! or the scalar walk per the plan's cached
+//! [`bcag_core::tune::DispatchDecision`] (line-utilization driven — see
+//! [`bcag_core::tune`]), unless `BCAG_TUNE=fixed` pins the historical
+//! run-coalesced default. Explicitly forced modes are honored as given,
+//! so `PackMode::Runs` is a genuine A/B baseline.
+
+use std::sync::atomic::{AtomicU8, Ordering};
 
 use bcag_core::error::{BcagError, Result};
 use bcag_core::method::Method;
 use bcag_core::section::RegularSection;
+use bcag_core::tune::{self, PackChoice, TuneMode};
 
 use crate::cache;
 use crate::comm::PackValue;
@@ -25,12 +35,15 @@ use crate::darray::DistArray;
 /// optimization, mirroring [`crate::comm::ExecMode`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PackMode {
-    /// Run-coalesced (default): one slice copy per constant-gap run of the
-    /// access sequence.
+    /// Run-coalesced: one slice copy per constant-gap run of the access
+    /// sequence.
     Runs,
     /// Historical element-by-element gap-table walk, kept for A/B
     /// comparison; produces bit-identical buffers.
     PerElement,
+    /// Resolve per the plan's cached [`bcag_core::tune::DispatchDecision`]
+    /// (the default under `BCAG_TUNE=auto`).
+    Tuned,
 }
 
 impl PackMode {
@@ -39,8 +52,75 @@ impl PackMode {
         match self {
             PackMode::Runs => "runs",
             PackMode::PerElement => "per-element",
+            PackMode::Tuned => "tuned",
         }
     }
+}
+
+/// The process-default [`PackMode`]: [`PackMode::Tuned`] under
+/// `BCAG_TUNE=auto` (the default), the historical [`PackMode::Runs`]
+/// under `BCAG_TUNE=fixed`.
+pub fn default_pack_mode() -> PackMode {
+    match tune::default_tune() {
+        TuneMode::Auto => PackMode::Tuned,
+        TuneMode::Fixed => PackMode::Runs,
+    }
+}
+
+/// Last concrete pack mode a pack/unpack (or fused epoch) resolved to:
+/// 0 = none yet, 1 = runs, 2 = per-element. Feeds the statement flight
+/// recorder, which records the decision actually used rather than a
+/// hardcoded default.
+static LAST_PACK: AtomicU8 = AtomicU8::new(0);
+
+/// Notes the concrete mode a traversal resolved to (fused epochs note
+/// [`PackMode::Runs`] — their gathers are run-coalesced by compilation).
+pub(crate) fn note_pack_mode(mode: PackMode) {
+    let v = match mode {
+        PackMode::Runs => 1,
+        PackMode::PerElement => 2,
+        PackMode::Tuned => return,
+    };
+    LAST_PACK.store(v, Ordering::Relaxed);
+}
+
+/// The last concrete mode noted by [`note_pack_mode`], if any.
+pub fn last_pack_mode() -> Option<PackMode> {
+    match LAST_PACK.load(Ordering::Relaxed) {
+        1 => Some(PackMode::Runs),
+        2 => Some(PackMode::PerElement),
+        _ => None,
+    }
+}
+
+/// Resolves [`PackMode::Tuned`] to a concrete mode via the cached
+/// per-node dispatch decisions (recording the `tune_decision_*` trace
+/// counter); forced modes pass through untouched.
+fn resolve_mode<T: PackValue>(
+    mode: PackMode,
+    arr: &DistArray<T>,
+    section: &RegularSection,
+    m: i64,
+    method: Method,
+) -> Result<PackMode> {
+    if mode != PackMode::Tuned {
+        return Ok(mode);
+    }
+    let ds = cache::decisions(arr.p(), arr.k(), section, method, std::mem::size_of::<T>())?;
+    let resolved = match ds[m as usize].pack {
+        PackChoice::Runs => PackMode::Runs,
+        PackChoice::PerElement => PackMode::PerElement,
+    };
+    if bcag_trace::enabled() {
+        bcag_trace::count(
+            match resolved {
+                PackMode::Runs => "tune_decision_runs",
+                _ => "tune_decision_per_element",
+            },
+            1,
+        );
+    }
+    Ok(resolved)
 }
 
 /// Packs processor `m`'s share of `arr(section)` into a contiguous buffer,
@@ -67,7 +147,7 @@ pub fn pack_with_buf<T: PackValue>(
     method: Method,
     out: &mut Vec<T>,
 ) -> Result<usize> {
-    pack_with_buf_mode(arr, section, m, method, PackMode::Runs, out)
+    pack_with_buf_mode(arr, section, m, method, default_pack_mode(), out)
 }
 
 /// [`pack_with_buf`] with an explicit [`PackMode`] — the ablation entry
@@ -89,6 +169,8 @@ pub fn pack_with_buf_mode<T: PackValue>(
         bcag_trace::count("elements_packed", 0);
         return Ok(0);
     }
+    let mode = resolve_mode(mode, arr, section, m, method)?;
+    note_pack_mode(mode);
     let local = arr.local(m);
     // The owned count falls out of the run plan in closed form: size the
     // buffer once, no reallocation during the walk.
@@ -128,6 +210,7 @@ pub fn pack_with_buf_mode<T: PackValue>(
                 }
             }
         }
+        PackMode::Tuned => unreachable!("resolved above"),
     }
     bcag_trace::count("elements_packed", out.len() as u64);
     bcag_trace::count(
@@ -147,7 +230,7 @@ pub fn unpack<T: PackValue>(
     method: Method,
     buffer: &[T],
 ) -> Result<()> {
-    unpack_mode(arr, section, m, method, PackMode::Runs, buffer)
+    unpack_mode(arr, section, m, method, default_pack_mode(), buffer)
 }
 
 /// [`unpack`] with an explicit [`PackMode`].
@@ -182,22 +265,14 @@ pub fn unpack_mode<T: PackValue>(
     if buffer.len() > owned {
         return Err(BcagError::Precondition("buffer longer than owned count"));
     }
+    // The degenerate-run fallback that used to live here (mostly-
+    // singleton plans taking the scalar walk) is now owned by the tuner:
+    // [`PackMode::Tuned`] resolves it from the cached decision, together
+    // with the line-utilization criterion, while explicitly forced modes
+    // are honored as given — forced `Runs` is a genuine A/B baseline.
+    let mode = resolve_mode(mode, arr, section, m, method)?;
+    note_pack_mode(mode);
     let local = arr.local_mut(m);
-    // Mostly-singleton plans (average run length below 2 per period)
-    // offer almost no slice copies; the scalar walk is cheaper than
-    // per-segment dispatch there. The closed-form shapes always win —
-    // they emit one segment for the whole traversal.
-    let worthwhile = match plan.runs.shape() {
-        bcag_core::runs::RunShape::Cyclic(_) => {
-            plan.runs.runs_per_period() * 2 <= plan.delta_m.len()
-        }
-        _ => plan.runs.coalesces(),
-    };
-    let mode = if mode == PackMode::Runs && !worthwhile {
-        PackMode::PerElement
-    } else {
-        mode
-    };
     match mode {
         PackMode::Runs => {
             let mut cursor = 0usize;
@@ -237,6 +312,7 @@ pub fn unpack_mode<T: PackValue>(
                 }
             }
         }
+        PackMode::Tuned => unreachable!("resolved above"),
     }
     bcag_trace::count("elements_unpacked", owned as u64);
     bcag_trace::count("bytes_unpacked", (owned * std::mem::size_of::<T>()) as u64);
@@ -339,6 +415,70 @@ mod tests {
                 assert_eq!(runs, per, "m={m} sec=({l}:{u}:{s})");
             }
         }
+    }
+
+    #[test]
+    fn tuned_mode_is_bit_identical_and_counts_decisions() {
+        let data: Vec<i64> = (0..4096).map(|i| i * 7 + 1).collect();
+        let arr = DistArray::from_global(4, 8, &data).unwrap();
+        // Dense (tuned → runs), sparse s=k+1 (tuned → per-element),
+        // gap-64B uniform (tuned → per-element), mixed.
+        for (l, u, s) in [
+            (0i64, 4095i64, 1i64),
+            (0, 4095, 9),
+            (0, 4088, 8),
+            (3, 4000, 17),
+        ] {
+            let sec = RegularSection::new(l, u, s).unwrap();
+            for m in 0..4 {
+                let mut tuned = Vec::new();
+                let mut runs = Vec::new();
+                pack_with_buf_mode(&arr, &sec, m, Method::Lattice, PackMode::Tuned, &mut tuned)
+                    .unwrap();
+                pack_with_buf_mode(&arr, &sec, m, Method::Lattice, PackMode::Runs, &mut runs)
+                    .unwrap();
+                assert_eq!(tuned, runs, "m={m} sec=({l}:{u}:{s})");
+                // Tuned unpack round-trips through every mode's buffer.
+                let mut rebuilt = DistArray::new(4, 8, 4096, 0i64).unwrap();
+                unpack_mode(
+                    &mut rebuilt,
+                    &sec,
+                    m,
+                    Method::Lattice,
+                    PackMode::Tuned,
+                    &tuned,
+                )
+                .unwrap();
+                let mut fixed = DistArray::new(4, 8, 4096, 0i64).unwrap();
+                unpack_mode(&mut fixed, &sec, m, Method::Lattice, PackMode::Runs, &runs).unwrap();
+                assert_eq!(rebuilt.local(m), fixed.local(m), "m={m} sec=({l}:{u}:{s})");
+            }
+        }
+        // The sparse shape resolves per-element and records the decision.
+        let sec = RegularSection::new(0, 4095, 9).unwrap();
+        let ((), trace) = bcag_trace::capture(|| {
+            let mut buf = Vec::new();
+            for m in 0..4 {
+                pack_with_buf_mode(&arr, &sec, m, Method::Lattice, PackMode::Tuned, &mut buf)
+                    .unwrap();
+            }
+        });
+        assert_eq!(trace.counter_total("tune_decision_per_element"), 4);
+        assert_eq!(trace.counter_total("tune_decision_runs"), 0);
+        // Other lib tests pack concurrently, so only assert a mode was
+        // noted — the flight-recorder wiring is pinned in bcag-rt.
+        assert!(last_pack_mode().is_some());
+    }
+
+    #[test]
+    fn default_mode_follows_tune_mode() {
+        let before = bcag_core::tune::default_tune();
+        bcag_core::tune::set_default_tune(bcag_core::tune::TuneMode::Auto);
+        assert_eq!(default_pack_mode(), PackMode::Tuned);
+        bcag_core::tune::set_default_tune(bcag_core::tune::TuneMode::Fixed);
+        assert_eq!(default_pack_mode(), PackMode::Runs);
+        bcag_core::tune::set_default_tune(before);
+        assert_eq!(PackMode::Tuned.name(), "tuned");
     }
 
     #[test]

@@ -23,6 +23,7 @@
 use bcag_core::error::{BcagError, Result};
 use bcag_core::method::Method;
 use bcag_core::section::RegularSection;
+use bcag_core::tune::{default_tune, CodeShapeChoice, TuneMode};
 
 use crate::cache;
 use crate::comm::{ExecMode, PackValue};
@@ -101,17 +102,56 @@ where
         staged.push(tmp);
     }
 
-    // Compute phase: owner-computes over the LHS access sequence.
+    // The interpreted path is never L2-blocked; keep the flight
+    // recorder's blocked flag honest across fused/interpreted A/B runs.
+    fuse::note_blocked(false);
+
+    // Compute phase: owner-computes over the LHS access sequence. Under
+    // the self-tuning default, each node's traversal shape comes from
+    // its memoized dispatch decision: fragmented plans walk the
+    // offset-indexed two-table form (Figure 8(d)) instead of the
+    // run-coalesced segment loop, whose per-segment setup dominates when
+    // runs are short.
     let plans = cache::plans(a.p(), a.k(), sec_a, Method::Lattice)?;
+    let decisions = match default_tune() {
+        TuneMode::Auto => Some(cache::decisions(
+            a.p(),
+            a.k(),
+            sec_a,
+            Method::Lattice,
+            std::mem::size_of::<T>(),
+        )?),
+        TuneMode::Fixed => None,
+    };
     let machine = Machine::new(a.p());
     let staged_refs: Vec<&DistArray<T>> = staged.iter().collect();
     machine.run(a.locals_mut(), |m, local| {
         let plan = &plans[m];
-        if plan.start.is_none() {
+        let Some(start) = plan.start else {
             return;
-        }
+        };
         let locs: Vec<&[T]> = staged_refs.iter().map(|t| t.local(m as i64)).collect();
         let mut args: Vec<T> = Vec::with_capacity(locs.len());
+        let two_table = decisions
+            .as_ref()
+            .is_some_and(|ds| ds[m].code_shape == CodeShapeChoice::TwoTableLoop);
+        if let (true, Some(tables)) = (two_table, plan.tables.as_ref()) {
+            // Figure 8(d) walk: two loads per access, no wrap test — the
+            // winning shape when the plan decomposes into short runs.
+            let mut base = start;
+            let mut i = tables.start_offset;
+            while base <= plan.last {
+                let addr = base as usize;
+                args.clear();
+                for lv in &locs {
+                    args.push(lv[addr].clone());
+                }
+                local[addr] = f(&args);
+                base += tables.delta_m[i as usize];
+                i = tables.next_offset[i as usize];
+            }
+            return;
+        }
         // Run-coalesced traversal: direct indexing per segment instead of
         // a gap-table load per element.
         plan.runs.for_each_segment(|seg| {

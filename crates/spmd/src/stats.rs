@@ -149,6 +149,9 @@ pub fn fuse_census(
         ops,
         ExecMode::Batched,
         transport::default_transport(),
+        // Census under the current tune regime, so `bcag stats` shows
+        // the blocking the fused path would actually run with.
+        fuse::epoch_block_elems::<f64>(sec_a),
     )?;
     Ok(program.census())
 }

@@ -25,7 +25,8 @@ echo "==> bench smoke (--quick) for every target"
 for bench in construction sorting_ablation gcd_effect codeshapes \
              tableless comm_schedule comm_throughput exec_latency \
              special_cases trace_overhead pack_throughput \
-             transport_throughput traffic cache_contention fuse; do
+             transport_throughput traffic cache_contention fuse \
+             locality_tuning; do
     echo "--> $bench"
     cargo bench -q --offline -p bcag-bench --bench "$bench" -- --quick \
         > /dev/null
@@ -102,6 +103,48 @@ awk '
         if (vsblas + 0 > ceil + 0)
             { printf "fused statement %sx of blas1 exceeds SLO ceiling %sx\n", vsblas, ceil > "/dev/stderr"; exit 1 }
     }' BENCH_fuse.json
+
+# Self-tuning dispatch SLO gates on the committed full-profile snapshot:
+# tuned dispatch must beat forced-Runs on the sparse low-utilization
+# shape by its committed factor, and must stay within parity of the best
+# forced mode on every cell (the decision lookup is the only allowed
+# overhead). Both are single-threaded pack-loop properties and bind on
+# any host.
+[ -s BENCH_tune.json ] \
+    || { echo "missing committed BENCH_tune.json snapshot" >&2; exit 1; }
+awk '
+    $1 == "\"tuned_over_runs_sparse\":"     { gsub(/[^0-9.]/, "", $2); sparse = $2 }
+    $1 == "\"min_tuned_over_runs_sparse\":" { gsub(/[^0-9.]/, "", $2); sfloor = $2 }
+    $1 == "\"parity_worst\":"               { gsub(/[^0-9.]/, "", $2); parity = $2 }
+    $1 == "\"min_parity\":"                 { gsub(/[^0-9.]/, "", $2); pfloor = $2 }
+    END {
+        if (sparse == "" || sfloor == "" || parity == "" || pfloor == "")
+            { print "BENCH_tune.json missing SLO fields" > "/dev/stderr"; exit 1 }
+        if (sparse + 0 < sfloor + 0)
+            { printf "tuned sparse speedup %sx below SLO floor %sx\n", sparse, sfloor > "/dev/stderr"; exit 1 }
+        if (parity + 0 < pfloor + 0)
+            { printf "tuned parity %sx below SLO floor %sx\n", parity, pfloor > "/dev/stderr"; exit 1 }
+    }' BENCH_tune.json
+# The blocked-epoch margin is host-class-dependent (PR 9-style nproc
+# guard, inverted host class): the committed snapshot's A/B ran with the
+# pool's two node threads time-sharing one hardware thread, where the
+# win is a pure per-core L2-residency effect. With genuinely concurrent
+# node threads the memory system is shared differently and the 1-core
+# margin is not evidence either way, so bind the floor only on the host
+# class the snapshot was measured on.
+if [ "$(nproc)" -eq 1 ]; then
+    awk '
+        $1 == "\"blocked_over_unblocked\":"     { gsub(/[^0-9.]/, "", $2); blocked = $2 }
+        $1 == "\"min_blocked_over_unblocked\":" { gsub(/[^0-9.]/, "", $2); bfloor = $2 }
+        END {
+            if (blocked == "" || bfloor == "")
+                { print "BENCH_tune.json missing blocked SLO fields" > "/dev/stderr"; exit 1 }
+            if (blocked + 0 < bfloor + 0)
+                { printf "blocked epochs %sx below SLO floor %sx\n", blocked, bfloor > "/dev/stderr"; exit 1 }
+        }' BENCH_tune.json
+else
+    echo "--> multi-thread host: skipping single-thread blocked-epoch floor"
+fi
 
 echo "==> trace smoke: bcag trace on examples/scripts/triad.hpf"
 trace_out="target/ci-trace.json"
